@@ -1,0 +1,90 @@
+//! E7: adaptive main-memory indexing of cached stream batches — repeated
+//! point probes against a window batch, with the stats-driven indexer vs
+//! always-scan vs always-index, plus the operator-fusion ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use optique_exastream::adaptive::AdaptiveIndexer;
+use optique_exastream::udf::Pipeline;
+use optique_relational::index::HashIndex;
+use optique_relational::Value;
+
+fn batch(rows: usize) -> Vec<Vec<Value>> {
+    (0..rows as i64)
+        .map(|i| vec![Value::Int(i % 500), Value::Float(i as f64)])
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_indexing");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for rows in [1_000usize, 10_000, 100_000] {
+        let data = batch(rows);
+        let probes: Vec<Value> = (0..64i64).map(|i| Value::Int(i * 7 % 500)).collect();
+
+        group.bench_with_input(BenchmarkId::new("always_scan", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &probes {
+                    hits += data
+                        .iter()
+                        .filter(|row| row[0].sql_eq(p) == Some(true))
+                        .count();
+                }
+                hits
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("adaptive", rows), &rows, |b, _| {
+            b.iter(|| {
+                let idx = AdaptiveIndexer::new(3, 64);
+                let key = ("w".to_string(), 0usize);
+                let mut hits = 0usize;
+                for p in &probes {
+                    hits += idx.probe(&key, &data, p).len();
+                }
+                hits
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("always_index", rows), &rows, |b, _| {
+            b.iter(|| {
+                let idx = HashIndex::build(&data, 0);
+                let mut hits = 0usize;
+                for p in &probes {
+                    hits += idx.lookup(p).len();
+                }
+                hits
+            })
+        });
+    }
+
+    // Operator fusion ablation (stands in for JIT trace compilation).
+    for rows in [10_000usize, 100_000] {
+        let data = batch(rows);
+        let build = || {
+            Pipeline::new()
+                .filter(|r| r[0].as_i64().unwrap() % 3 == 0)
+                .map(|mut r| {
+                    let v = r[1].as_f64().unwrap();
+                    r[1] = Value::Float(v * 1.8 + 32.0);
+                    r
+                })
+                .filter(|r| r[1].as_f64().unwrap() > 50.0)
+        };
+        group.bench_with_input(BenchmarkId::new("fused", rows), &rows, |b, _| {
+            let p = build();
+            b.iter(|| p.run_fused(data.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("materialized", rows), &rows, |b, _| {
+            let p = build();
+            b.iter(|| p.run_materialized(data.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E6: BootOX bootstrapping time vs schema size (paper: ontologies and
+//! mappings for the Siemens deployment "in realistic time").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use optique_bootstrap::{bootstrap_direct, BootstrapSettings, RelTable, RelationalSchema};
+use optique_relational::ColumnType;
+
+fn schema(tables: usize) -> RelationalSchema {
+    let mut s = RelationalSchema::new().with_table(
+        RelTable::new("root", vec![("id", ColumnType::Int), ("name", ColumnType::Text)])
+            .with_pk(&["id"]),
+    );
+    for i in 0..tables {
+        s = s.with_table(
+            RelTable::new(
+                format!("table_{i}"),
+                vec![
+                    ("id", ColumnType::Int),
+                    ("label", ColumnType::Text),
+                    ("amount", ColumnType::Float),
+                    ("root_id", ColumnType::Int),
+                ],
+            )
+            .with_pk(&["id"])
+            .with_fk("root_id", "root", "id"),
+        );
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for tables in [5usize, 25, 100, 500] {
+        let s = schema(tables);
+        group.bench_with_input(BenchmarkId::from_parameter(tables), &tables, |b, _| {
+            b.iter(|| bootstrap_direct(&s, &BootstrapSettings::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

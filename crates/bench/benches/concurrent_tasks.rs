@@ -1,0 +1,57 @@
+//! E2: aggregate throughput under concurrent registered diagnostic tasks
+//! (paper: >1,000 / up to 1,024 concurrent tasks in real time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+use optique_exastream::cluster::{hash_partition, Cluster};
+use optique_exastream::gateway::Gateway;
+use optique_relational::Database;
+use optique_siemens::{FleetConfig, StreamConfig};
+
+fn cluster() -> Arc<Cluster> {
+    let mut db = Database::new();
+    let sensors =
+        optique_siemens::fleet::build_fleet(&mut db, &FleetConfig::small()).unwrap();
+    optique_siemens::streamgen::build_stream(&mut db, &StreamConfig::small(sensors)).unwrap();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let stream = (**db.table("S_Msmt").unwrap()).clone();
+    let shards = hash_partition(&stream, 1, workers);
+    Arc::new(Cluster::provision(workers, |id| {
+        let mut wdb = Database::new();
+        wdb.put_table("S_Msmt", shards[id].clone());
+        wdb
+    }))
+}
+
+fn bench(c: &mut Criterion) {
+    let cluster = cluster();
+    let mut group = c.benchmark_group("concurrent_tasks");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for queries in [1usize, 4, 16, 64, 256, 1024] {
+        group.throughput(Throughput::Elements(queries as u64));
+        let gateway = Gateway::new(Arc::clone(&cluster));
+        for i in 0..queries {
+            gateway
+                .register(
+                    format!(
+                        "SELECT COUNT(*) AS n, MAX(value) AS mx FROM S_Msmt WHERE sensor_id % 16 = {}",
+                        i % 16
+                    ),
+                    1.0,
+                )
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(queries), &queries, |b, _| {
+            b.iter(|| {
+                let results = gateway.run_all();
+                assert!(results.iter().all(|(_, r)| r.is_ok()));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E4: enrichment (PerfectRef) time vs ontology size — the paper claims
+//! polynomial-time enrichment for OWL 2 QL. Includes the
+//! redundancy-elimination ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use optique_ontology::{Axiom, BasicConcept, Ontology};
+use optique_rdf::Iri;
+use optique_rewrite::{rewrite, Atom, ConjunctiveQuery, QueryTerm, RewriteSettings};
+
+/// A TBox with a deep-and-wide class hierarchy under `Root` plus
+/// domain/range axioms: `axioms` total.
+fn tbox(axioms: usize) -> Ontology {
+    let mut o = Ontology::new();
+    let iri = |s: String| Iri::new(format!("http://x/{s}"));
+    // A forest of chains of length 5 all leading to Root.
+    let mut count = 0;
+    let mut chain = 0;
+    while count < axioms {
+        let mut parent = "Root".to_string();
+        for depth in 0..5 {
+            let child = format!("C{chain}_{depth}");
+            o.add_axiom(Axiom::subclass(
+                BasicConcept::Atomic(iri(child.clone())),
+                BasicConcept::Atomic(iri(parent.clone())),
+            ));
+            parent = child;
+            count += 1;
+            if count >= axioms {
+                break;
+            }
+        }
+        chain += 1;
+    }
+    o
+}
+
+fn query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new(
+        vec!["x".into()],
+        vec![Atom::class(Iri::new("http://x/Root"), QueryTerm::var("x"))],
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enrichment");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for axioms in [10usize, 50, 200, 1000, 5000] {
+        let onto = tbox(axioms);
+        let q = query();
+        group.bench_with_input(BenchmarkId::new("with_pruning", axioms), &axioms, |b, _| {
+            b.iter(|| rewrite(&q, &onto, &RewriteSettings::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("no_pruning", axioms), &axioms, |b, _| {
+            let s = RewriteSettings { eliminate_subsumed: false, ..Default::default() };
+            b.iter(|| rewrite(&q, &onto, &s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! F1: end-to-end latency of the Figure 1 pipeline — parse, translate
+//! (enrich + unfold), register, and a single pulse tick.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use optique::OptiquePlatform;
+use optique_siemens::SiemensDeployment;
+use optique_starql::FIGURE1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let deployment = SiemensDeployment::small();
+    let ns = deployment.namespaces.clone();
+
+    group.bench_function("parse", |b| {
+        b.iter(|| optique_starql::parse_starql(black_box(FIGURE1), &ns).unwrap())
+    });
+
+    group.bench_function("translate", |b| {
+        let parsed = optique_starql::parse_starql(FIGURE1, &ns).unwrap();
+        let ctx = optique_starql::TranslationContext {
+            ontology: &deployment.ontology,
+            mappings: &deployment.mappings,
+            rewrite_settings: Default::default(),
+            unfold_settings: Default::default(),
+        };
+        b.iter(|| optique_starql::translate(black_box(&parsed), &ctx).unwrap())
+    });
+
+    group.bench_function("register", |b| {
+        let platform = OptiquePlatform::from_siemens(SiemensDeployment::small());
+        b.iter(|| {
+            let id = platform.register_starql(black_box(FIGURE1)).unwrap();
+            platform.deregister(id);
+        })
+    });
+
+    group.bench_function("tick", |b| {
+        let platform = OptiquePlatform::from_siemens(SiemensDeployment::small());
+        platform.register_starql(FIGURE1).unwrap();
+        b.iter(|| platform.tick_all(black_box(609_000)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

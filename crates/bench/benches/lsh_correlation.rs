@@ -1,0 +1,45 @@
+//! E9: LSH correlation search vs exhaustive exact Pearson over growing
+//! sensor counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use optique_lsh::CorrelationIndex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn index_of(n_sensors: usize, dim: usize) -> CorrelationIndex {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut index = CorrelationIndex::new(dim, 16, 8, 5);
+    // Three correlated families among noise.
+    for fam in 0..3u64 {
+        let base: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
+        for k in 0..3u64 {
+            let noisy: Vec<f64> = base.iter().map(|x| x + rng.random_range(-0.1..=0.1)).collect();
+            index.insert(1_000 + fam * 10 + k, &noisy);
+        }
+    }
+    for id in 0..n_sensors as u64 {
+        let series: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
+        index.insert(id, &series);
+    }
+    index
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsh_correlation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for sensors in [100usize, 500, 2_000] {
+        let index = index_of(sensors, 64);
+        group.bench_with_input(BenchmarkId::new("exact_all_pairs", sensors), &sensors, |b, _| {
+            b.iter(|| index.exact_pairs_above(0.9))
+        });
+        group.bench_with_input(BenchmarkId::new("lsh_banded", sensors), &sensors, |b, _| {
+            b.iter(|| index.correlated_pairs(0.8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

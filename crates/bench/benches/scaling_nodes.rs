@@ -1,0 +1,60 @@
+//! E1: throughput scaling with worker-node count (paper: 1 → 128 nodes,
+//! up to 10M tuples/sec). Expect near-linear speedup until the host's
+//! physical cores saturate, then a plateau — the shape, not the testbed's
+//! absolute numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+use optique_exastream::cluster::{hash_partition, Cluster};
+use optique_relational::Database;
+use optique_siemens::{FleetConfig, StreamConfig};
+
+const QUERY: &str =
+    "SELECT sensor_id, COUNT(*) AS n, MAX(value) AS mx FROM S_Msmt GROUP BY sensor_id";
+
+fn source() -> (Database, usize) {
+    let mut db = Database::new();
+    let sensors = optique_siemens::fleet::build_fleet(
+        &mut db,
+        &FleetConfig { turbines: 40, assemblies_per_turbine: 4, sensors_per_assembly: 4, seed: 5 },
+    )
+    .unwrap();
+    let config = StreamConfig {
+        sensor_ids: sensors,
+        start_ms: 0,
+        duration_ms: 60_000,
+        period_ms: 1_000,
+        seed: 5,
+        ramp_failures: 2,
+        correlated_pairs: 1,
+        hot_bursts: 1,
+    };
+    optique_siemens::streamgen::build_stream(&mut db, &config).unwrap();
+    let n = db.table("S_Msmt").unwrap().len();
+    (db, n)
+}
+
+fn bench(c: &mut Criterion) {
+    let (db, tuples) = source();
+    let mut group = c.benchmark_group("scaling_nodes");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(tuples as u64));
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let stream = (**db.table("S_Msmt").unwrap()).clone();
+        let shards = hash_partition(&stream, 1, nodes);
+        let cluster = Arc::new(Cluster::provision(nodes, |id| {
+            let mut wdb = Database::new();
+            wdb.put_table("S_Msmt", shards[id].clone());
+            wdb
+        }));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| cluster.parallel_query(QUERY).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

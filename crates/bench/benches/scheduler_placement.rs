@@ -1,0 +1,32 @@
+//! F2: scheduler placement cost and balance for large operator batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use optique_exastream::scheduler::{OperatorTask, Scheduler};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (workers, tasks) in [(8usize, 128usize), (32, 1_024), (128, 4_096)] {
+        let batch: Vec<OperatorTask> = (0..tasks as u64)
+            .map(|id| OperatorTask { id, cost: 1.0 + (id % 7) as f64 })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("{workers}w"), tasks),
+            &tasks,
+            |b, _| {
+                b.iter(|| {
+                    let mut s = Scheduler::new(workers);
+                    let placement = s.place_batch(&batch);
+                    assert!(placement.imbalance() < 1.5);
+                    placement
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E3 report: one STARQL query vs the fleet of low-level queries it
+//! replaces, across the 20-task Siemens catalog (paper §1: fleets of
+//! hundreds of queries; 80 % of diagnostic time spent authoring them).
+
+use optique::OptiquePlatform;
+use optique_siemens::catalog::TaskQuery;
+use optique_siemens::{diagnostic_tasks, SiemensDeployment};
+
+fn main() {
+    let platform = OptiquePlatform::from_siemens(SiemensDeployment::small());
+    println!("# E3 conciseness — STARQL vs unfolded fleet");
+    println!("| task | STARQL chars | fleet queries | fleet chars | expansion |");
+    println!("|------|-------------:|--------------:|------------:|----------:|");
+    let mut total_queries = 0usize;
+    let mut total_ratio = 0.0f64;
+    let mut n = 0usize;
+    for task in diagnostic_tasks() {
+        let TaskQuery::StarQl(text) = &task.query else { continue };
+        let id = platform.register_task(&task).expect("registers");
+        let report = platform.fleet_report(id, text).expect("registered");
+        let ratio = report.fleet_chars as f64 / report.starql_chars as f64;
+        println!(
+            "| {} | {} | {} | {} | {:.1}x |",
+            task.id, report.starql_chars, report.fleet_queries, report.fleet_chars, ratio
+        );
+        total_queries += report.fleet_queries;
+        total_ratio += ratio;
+        n += 1;
+    }
+    println!(
+        "\n{n} STARQL tasks stand for {total_queries} low-level queries \
+         (mean text expansion {:.1}x)",
+        total_ratio / n as f64
+    );
+}

@@ -1,0 +1,56 @@
+//! E2 report: sustained concurrent diagnostic tasks (paper: >1,000 tasks,
+//! up to 1,024). Prints aggregate throughput and per-query latency.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use optique_exastream::cluster::{hash_partition, Cluster};
+use optique_exastream::gateway::Gateway;
+use optique_exastream::metrics::format_rate;
+use optique_relational::Database;
+use optique_siemens::{FleetConfig, StreamConfig};
+
+fn main() {
+    let mut db = Database::new();
+    let sensors = optique_siemens::fleet::build_fleet(&mut db, &FleetConfig::small()).unwrap();
+    optique_siemens::streamgen::build_stream(&mut db, &StreamConfig::small(sensors)).unwrap();
+    let tuples = db.table("S_Msmt").unwrap().len();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let stream = (**db.table("S_Msmt").unwrap()).clone();
+    let shards = hash_partition(&stream, 1, workers);
+    let cluster = Arc::new(Cluster::provision(workers, |id| {
+        let mut wdb = Database::new();
+        wdb.put_table("S_Msmt", shards[id].clone());
+        wdb
+    }));
+
+    println!("# E2 concurrent_tasks — {workers} workers, {tuples} stream tuples");
+    println!("| queries | round elapsed | queries/sec | tuples/sec (aggregate) |");
+    println!("|--------:|--------------:|------------:|-----------------------:|");
+    for queries in [1usize, 4, 16, 64, 256, 1024] {
+        let gateway = Gateway::new(Arc::clone(&cluster));
+        for i in 0..queries {
+            gateway
+                .register(
+                    format!(
+                        "SELECT COUNT(*) AS n, MAX(value) AS mx FROM S_Msmt WHERE sensor_id % 16 = {}",
+                        i % 16
+                    ),
+                    1.0,
+                )
+                .unwrap();
+        }
+        gateway.run_all(); // warm-up
+        let start = Instant::now();
+        let results = gateway.run_all();
+        let elapsed = start.elapsed();
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+        let qps = queries as f64 / elapsed.as_secs_f64();
+        // Each query scans ~its shard of the stream.
+        let processed = (queries * tuples / workers) as f64 / elapsed.as_secs_f64();
+        println!(
+            "| {queries} | {elapsed:?} | {qps:.0} | {} |",
+            format_rate(processed)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! E9 report: LSH vs exact Pearson — runtime, planted-pair detection, and
+//! recall against the exhaustive baseline.
+//!
+//! Windows here are high-entropy (independent noise per sensor) with a few
+//! planted correlated families — the regime where banding prunes; a fleet
+//! sharing one strong common-mode signal degenerates to all-pairs and is
+//! measured separately by the `lsh_correlation` Criterion bench.
+
+use std::time::Instant;
+
+use optique_lsh::CorrelationIndex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    println!("# E9 lsh_correlation (64-sample windows, 16 bands x 8 bits)");
+    println!("| sensors | exact time | LSH time | speedup | planted found | recall vs exact |");
+    println!("|--------:|-----------:|---------:|--------:|--------------:|----------------:|");
+    for n_sensors in [100usize, 500, 2000] {
+        let dim = 64;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut index = CorrelationIndex::new(dim, 16, 8, 5);
+        // Planted: 4 correlated pairs.
+        let mut planted = Vec::new();
+        for fam in 0..4u64 {
+            let base: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
+            let a = 1_000_000 + fam * 2;
+            let b = a + 1;
+            for id in [a, b] {
+                let noisy: Vec<f64> =
+                    base.iter().map(|x| x + rng.random_range(-0.1..=0.1)).collect();
+                index.insert(id, &noisy);
+            }
+            planted.push((a, b));
+        }
+        // Background: independent noise.
+        for id in 0..n_sensors as u64 {
+            let series: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
+            index.insert(id, &series);
+        }
+
+        let start = Instant::now();
+        let exact = index.exact_pairs_above(0.9);
+        let exact_time = start.elapsed();
+        let start = Instant::now();
+        let approx = index.correlated_pairs(0.8);
+        let lsh_time = start.elapsed();
+
+        let exact_set: std::collections::BTreeSet<(u64, u64)> =
+            exact.iter().map(|(a, b, _)| (*a, *b)).collect();
+        let found: std::collections::BTreeSet<(u64, u64)> =
+            approx.iter().map(|p| (p.a, p.b)).collect();
+        let recalled = exact_set.intersection(&found).count();
+        let planted_found = planted.iter().filter(|p| found.contains(p)).count();
+        println!(
+            "| {n_sensors} | {exact_time:?} | {lsh_time:?} | {:.1}x | {planted_found}/{} | {recalled}/{} |",
+            exact_time.as_secs_f64() / lsh_time.as_secs_f64().max(1e-9),
+            planted.len(),
+            exact_set.len()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! E1 report: tuples/sec vs worker-node count (paper: 1–128 nodes,
+//! up to 10M tuples/sec). Prints the EXPERIMENTS.md table.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use optique_exastream::cluster::{hash_partition, Cluster};
+use optique_exastream::metrics::format_rate;
+use optique_relational::Database;
+use optique_siemens::{FleetConfig, StreamConfig};
+
+const QUERY: &str =
+    "SELECT sensor_id, COUNT(*) AS n, AVG(value) AS mean, MAX(value) AS mx \
+     FROM S_Msmt GROUP BY sensor_id";
+
+fn main() {
+    let mut db = Database::new();
+    let sensors = optique_siemens::fleet::build_fleet(
+        &mut db,
+        &FleetConfig { turbines: 100, assemblies_per_turbine: 4, sensors_per_assembly: 5, seed: 3 },
+    )
+    .unwrap();
+    let config = StreamConfig {
+        sensor_ids: sensors,
+        start_ms: 0,
+        duration_ms: 120_000,
+        period_ms: 1_000,
+        seed: 3,
+        ramp_failures: 4,
+        correlated_pairs: 2,
+        hot_bursts: 2,
+    };
+    optique_siemens::streamgen::build_stream(&mut db, &config).unwrap();
+    let tuples = db.table("S_Msmt").unwrap().len();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    println!("# E1 scaling_nodes — {tuples} stream tuples, host cores: {cores}");
+    println!("| nodes | elapsed/query | tuples/sec | speedup |");
+    println!("|------:|--------------:|-----------:|--------:|");
+    let mut base = None;
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let stream = (**db.table("S_Msmt").unwrap()).clone();
+        let shards = hash_partition(&stream, 1, nodes);
+        let cluster = Arc::new(Cluster::provision(nodes, |id| {
+            let mut wdb = Database::new();
+            wdb.put_table("S_Msmt", shards[id].clone());
+            wdb
+        }));
+        let reps = 7u32;
+        // Warm-up.
+        cluster.parallel_query(QUERY).unwrap();
+        let start = Instant::now();
+        for _ in 0..reps {
+            cluster.parallel_query(QUERY).unwrap();
+        }
+        let elapsed = start.elapsed() / reps;
+        let rate = tuples as f64 / elapsed.as_secs_f64();
+        let speedup = match base {
+            None => {
+                base = Some(elapsed.as_secs_f64());
+                1.0
+            }
+            Some(b) => b / elapsed.as_secs_f64(),
+        };
+        println!(
+            "| {nodes} | {elapsed:?} | {} | {speedup:.2}x |",
+            format_rate(rate)
+        );
+    }
+}

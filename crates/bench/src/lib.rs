@@ -1,0 +1,3 @@
+//! Shared helpers for the Optique benchmark harness live in the bench
+//! binaries themselves; this library file exists so the crate can host
+//! `[[bench]]` and `[[bin]]` targets.

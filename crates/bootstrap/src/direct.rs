@@ -1,0 +1,355 @@
+//! The direct-mapping bootstrapper (BootOX's *logical* bootstrapper).
+//!
+//! Per table `T(pk, c₁ … cₙ)`:
+//! * `T` becomes class `ns:ClassCase(T)` with mapping `SELECT pk FROM T`,
+//! * each non-key column `cᵢ` becomes a data property with mapping
+//!   `SELECT pk, cᵢ FROM T`,
+//! * each single-column FK to `S` becomes an object property with mapping
+//!   `SELECT pk, fk FROM T`, plus domain/range axioms,
+//! * a table whose PK *is* an FK models an ISA: a `SubClassOf` axiom is
+//!   emitted instead of an object property.
+//!
+//! Multi-column keys cannot instantiate single-slot IRI templates; affected
+//! artifacts are listed in [`BootstrapOutput::skipped`] rather than silently
+//! dropped.
+
+use std::time::Instant;
+
+use optique_mapping::{MappingAssertion, MappingCatalog, TermMap};
+use optique_ontology::{Axiom, BasicConcept, Ontology};
+use optique_rdf::{Datatype, Iri};
+use optique_relational::ColumnType;
+
+use crate::schema::{class_case, property_case, RelationalSchema};
+
+/// Bootstrapper configuration.
+#[derive(Clone, Debug)]
+pub struct BootstrapSettings {
+    /// Namespace for ontology vocabulary (classes, properties).
+    pub vocab_ns: String,
+    /// Namespace for instance IRIs minted by templates.
+    pub data_ns: String,
+    /// Emit mandatory-participation axioms (`C ⊑ ∃p`) for non-nullable FK
+    /// columns.
+    pub mandatory_participation: bool,
+}
+
+impl Default for BootstrapSettings {
+    fn default() -> Self {
+        BootstrapSettings {
+            vocab_ns: "http://optique.example/vocab#".into(),
+            data_ns: "http://optique.example/data/".into(),
+            mandatory_participation: true,
+        }
+    }
+}
+
+/// Everything the bootstrapper produced.
+#[derive(Debug)]
+pub struct BootstrapOutput {
+    /// The extracted ontology.
+    pub ontology: Ontology,
+    /// The extracted mapping catalog.
+    pub mappings: MappingCatalog,
+    /// Artifacts skipped with reasons (multi-column keys etc.).
+    pub skipped: Vec<String>,
+    /// Wall-clock duration (the E6 measurement).
+    pub elapsed: std::time::Duration,
+}
+
+impl BootstrapOutput {
+    /// Number of classes bootstrapped.
+    pub fn class_count(&self) -> usize {
+        self.ontology.classes().count()
+    }
+}
+
+/// Runs the direct mapping over a schema.
+pub fn bootstrap_direct(
+    schema: &RelationalSchema,
+    settings: &BootstrapSettings,
+) -> Result<BootstrapOutput, String> {
+    schema.validate()?;
+    let start = Instant::now();
+    let mut ontology = Ontology::new();
+    let mut mappings = MappingCatalog::new();
+    let mut skipped = Vec::new();
+
+    for table in &schema.tables {
+        let class_iri = Iri::new(format!("{}{}", settings.vocab_ns, class_case(&table.name)));
+        ontology.declare_class(class_iri.clone());
+
+        let [pk] = table.primary_key.as_slice() else {
+            skipped.push(format!(
+                "table {}: {} primary-key columns (need exactly 1 for IRI templates)",
+                table.name,
+                table.primary_key.len()
+            ));
+            continue;
+        };
+        let subject_template =
+            format!("{}{}/{{{}}}", settings.data_ns, table.name, pk);
+
+        // Class mapping.
+        mappings.add(
+            MappingAssertion::class(
+                format!("direct:{}", table.name),
+                class_iri.clone(),
+                format!("SELECT {pk} FROM {}", table.name),
+                TermMap::template(&subject_template),
+            )
+            .with_key(vec![pk.clone()]),
+        )?;
+
+        // ISA pattern: PK column is also an FK.
+        let isa_fk = table
+            .foreign_keys
+            .iter()
+            .find(|fk| fk.columns.len() == 1 && &fk.columns[0] == pk);
+        if let Some(fk) = isa_fk {
+            let super_class =
+                Iri::new(format!("{}{}", settings.vocab_ns, class_case(&fk.ref_table)));
+            ontology.add_axiom(Axiom::subclass(
+                BasicConcept::Atomic(class_iri.clone()),
+                BasicConcept::Atomic(super_class),
+            ));
+        }
+
+        for column in &table.columns {
+            if column.name == *pk {
+                continue;
+            }
+            if table.is_fk_column(&column.name) {
+                continue; // handled below as object properties
+            }
+            // Data property.
+            let prop_iri = Iri::new(format!(
+                "{}{}{}",
+                settings.vocab_ns,
+                property_case(&table.name),
+                class_case(&column.name)
+            ));
+            ontology.declare_data_property(prop_iri.clone());
+            ontology.add_axiom(Axiom::SubClass {
+                sub: BasicConcept::exists(prop_iri.clone()),
+                sup: BasicConcept::Atomic(class_iri.clone()),
+            });
+            mappings.add(
+                MappingAssertion::property(
+                    format!("direct:{}.{}", table.name, column.name),
+                    prop_iri,
+                    format!("SELECT {pk}, {} FROM {}", column.name, table.name),
+                    TermMap::template(&subject_template),
+                    TermMap::column(column.name.clone(), datatype_of(column.ty)),
+                )
+                .with_key(vec![pk.clone()]),
+            )?;
+        }
+
+        for fk in &table.foreign_keys {
+            let [fk_col] = fk.columns.as_slice() else {
+                skipped.push(format!(
+                    "table {}: composite foreign key {:?}",
+                    table.name, fk.columns
+                ));
+                continue;
+            };
+            if fk_col == pk {
+                continue; // the ISA case above
+            }
+            let Some(target) = schema.table(&fk.ref_table) else { continue };
+            let [target_pk] = target.primary_key.as_slice() else {
+                skipped.push(format!(
+                    "table {}: FK into {} whose key is not a single column",
+                    table.name, fk.ref_table
+                ));
+                continue;
+            };
+            if &fk.ref_columns != &vec![target_pk.clone()] {
+                skipped.push(format!(
+                    "table {}: FK into non-PK columns of {}",
+                    table.name, fk.ref_table
+                ));
+                continue;
+            }
+            let prop_name = fk_col
+                .strip_suffix("_id")
+                .map(property_case)
+                .unwrap_or_else(|| format!("has{}", class_case(&fk.ref_table)));
+            let prop_iri = Iri::new(format!("{}{}", settings.vocab_ns, prop_name));
+            let target_class =
+                Iri::new(format!("{}{}", settings.vocab_ns, class_case(&fk.ref_table)));
+            let target_template =
+                format!("{}{}/{{{}}}", settings.data_ns, fk.ref_table, fk_col);
+            ontology.declare_object_property(prop_iri.clone());
+            ontology.add_axiom(Axiom::domain(prop_iri.clone(), BasicConcept::Atomic(class_iri.clone())));
+            ontology.add_axiom(Axiom::range(prop_iri.clone(), BasicConcept::Atomic(target_class)));
+            if settings.mandatory_participation
+                && table.column(fk_col).is_some_and(|c| !c.nullable)
+            {
+                ontology.add_axiom(Axiom::SubClass {
+                    sub: BasicConcept::Atomic(class_iri.clone()),
+                    sup: BasicConcept::exists(prop_iri.clone()),
+                });
+            }
+            mappings.add(
+                MappingAssertion::property(
+                    format!("direct:{}.{}", table.name, fk_col),
+                    prop_iri,
+                    format!("SELECT {pk}, {fk_col} FROM {}", table.name),
+                    TermMap::template(&subject_template),
+                    TermMap::template(&target_template),
+                )
+                .with_key(vec![pk.clone()]),
+            )?;
+        }
+    }
+
+    Ok(BootstrapOutput { ontology, mappings, skipped, elapsed: start.elapsed() })
+}
+
+fn datatype_of(ty: ColumnType) -> Datatype {
+    match ty {
+        ColumnType::Int => Datatype::Integer,
+        ColumnType::Float => Datatype::Double,
+        ColumnType::Text | ColumnType::Any => Datatype::String,
+        ColumnType::Bool => Datatype::Boolean,
+        ColumnType::Timestamp => Datatype::DateTime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelTable;
+
+    fn schema() -> RelationalSchema {
+        RelationalSchema::new()
+            .with_table(
+                RelTable::new("countries", vec![("id", ColumnType::Int), ("name", ColumnType::Text)])
+                    .with_pk(&["id"]),
+            )
+            .with_table(
+                RelTable::new(
+                    "turbines",
+                    vec![
+                        ("tid", ColumnType::Int),
+                        ("model", ColumnType::Text),
+                        ("country_id", ColumnType::Int),
+                    ],
+                )
+                .with_pk(&["tid"])
+                .with_fk("country_id", "countries", "id"),
+            )
+            .with_table(
+                RelTable::new("gas_turbines", vec![("tid", ColumnType::Int), ("fuel", ColumnType::Text)])
+                    .with_pk(&["tid"])
+                    .with_fk("tid", "turbines", "tid"),
+            )
+    }
+
+    #[test]
+    fn classes_and_mappings_for_each_table() {
+        let out = bootstrap_direct(&schema(), &BootstrapSettings::default()).unwrap();
+        let classes: Vec<String> =
+            out.ontology.classes().map(|c| c.local_name().to_string()).collect();
+        assert!(classes.contains(&"Turbine".to_string()));
+        assert!(classes.contains(&"Country".to_string()));
+        assert!(classes.contains(&"GasTurbine".to_string()));
+        // One class mapping per table at minimum.
+        assert!(out.mappings.len() >= 3);
+        assert!(out.skipped.is_empty(), "{:?}", out.skipped);
+    }
+
+    #[test]
+    fn fk_becomes_object_property_with_domain_range() {
+        let out = bootstrap_direct(&schema(), &BootstrapSettings::default()).unwrap();
+        let prop = out
+            .ontology
+            .object_properties()
+            .find(|p| p.local_name() == "country")
+            .expect("country_id → country property");
+        // Domain Turbine, range Country.
+        let domain_holds = out.ontology.sup_concepts_closure(&BasicConcept::exists(prop.clone()))
+            .iter()
+            .any(|c| c.as_atomic().is_some_and(|i| i.local_name() == "Turbine"));
+        assert!(domain_holds);
+    }
+
+    #[test]
+    fn isa_pk_fk_becomes_subclass() {
+        let out = bootstrap_direct(&schema(), &BootstrapSettings::default()).unwrap();
+        let gas = BasicConcept::atomic(Iri::new("http://optique.example/vocab#GasTurbine"));
+        let sups = out.ontology.sup_concepts_closure(&gas);
+        assert!(sups
+            .iter()
+            .any(|c| c.as_atomic().is_some_and(|i| i.local_name() == "Turbine")));
+    }
+
+    #[test]
+    fn data_properties_typed() {
+        let out = bootstrap_direct(&schema(), &BootstrapSettings::default()).unwrap();
+        assert!(out
+            .ontology
+            .data_properties()
+            .any(|p| p.local_name() == "turbineModel"));
+    }
+
+    #[test]
+    fn multi_column_pk_skipped_with_reason() {
+        let s = RelationalSchema::new().with_table(
+            RelTable::new("readings", vec![("a", ColumnType::Int), ("b", ColumnType::Int)])
+                .with_pk(&["a", "b"]),
+        );
+        let out = bootstrap_direct(&s, &BootstrapSettings::default()).unwrap();
+        assert_eq!(out.skipped.len(), 1);
+        assert!(out.skipped[0].contains("readings"));
+    }
+
+    /// End-to-end: bootstrapped assets answer queries over real data.
+    #[test]
+    fn bootstrapped_assets_are_queryable() {
+        use optique_relational::{table::table_of, Database, Value};
+        use optique_rewrite::{Atom, ConjunctiveQuery, QueryTerm};
+
+        let mut db = Database::new();
+        db.put_table(
+            "countries",
+            table_of(
+                "countries",
+                &[("id", ColumnType::Int), ("name", ColumnType::Text)],
+                vec![vec![Value::Int(1), Value::text("Germany")]],
+            )
+            .unwrap(),
+        );
+        db.put_table(
+            "turbines",
+            table_of(
+                "turbines",
+                &[("tid", ColumnType::Int), ("model", ColumnType::Text), ("country_id", ColumnType::Int)],
+                vec![
+                    vec![Value::Int(7), Value::text("SGT-400"), Value::Int(1)],
+                    vec![Value::Int(8), Value::text("SGT-800"), Value::Int(1)],
+                ],
+            )
+            .unwrap(),
+        );
+        db.put_table(
+            "gas_turbines",
+            table_of("gas_turbines", &[("tid", ColumnType::Int), ("fuel", ColumnType::Text)], vec![])
+                .unwrap(),
+        );
+
+        let out = bootstrap_direct(&schema(), &BootstrapSettings::default()).unwrap();
+        let q = ConjunctiveQuery::new(
+            vec!["t".into()],
+            vec![Atom::class(
+                Iri::new("http://optique.example/vocab#Turbine"),
+                QueryTerm::var("t"),
+            )],
+        );
+        let (sql, _) = optique_mapping::unfold_cq(&q, &out.mappings, &Default::default()).unwrap();
+        let table = optique_relational::exec::query(&sql.unwrap().to_string(), &db).unwrap();
+        assert_eq!(table.len(), 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! The relational-schema model BootOX bootstraps from.
+
+use optique_relational::ColumnType;
+
+/// A column in a source table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelColumn {
+    /// Column name.
+    pub name: String,
+    /// Static type.
+    pub ty: ColumnType,
+    /// Whether NULLs are expected (drives mandatory-participation axioms).
+    pub nullable: bool,
+}
+
+/// A foreign key: `columns` of this table reference `ref_columns` of
+/// `ref_table`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing columns.
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns.
+    pub ref_columns: Vec<String>,
+}
+
+/// A source table with key metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelTable {
+    /// Table name as known to the catalog.
+    pub name: String,
+    /// Columns in order.
+    pub columns: Vec<RelColumn>,
+    /// Primary-key columns (possibly empty when unknown).
+    pub primary_key: Vec<String>,
+    /// Declared (or discovered) foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl RelTable {
+    /// A builder-style table with no keys.
+    pub fn new(name: impl Into<String>, columns: Vec<(&str, ColumnType)>) -> Self {
+        RelTable {
+            name: name.into(),
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| RelColumn { name: n.to_string(), ty: t, nullable: true })
+                .collect(),
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Sets the primary key.
+    pub fn with_pk(mut self, columns: &[&str]) -> Self {
+        self.primary_key = columns.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Adds a single-column foreign key.
+    pub fn with_fk(mut self, column: &str, ref_table: &str, ref_column: &str) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            columns: vec![column.to_string()],
+            ref_table: ref_table.to_string(),
+            ref_columns: vec![ref_column.to_string()],
+        });
+        self
+    }
+
+    /// Whether `column` participates in any foreign key.
+    pub fn is_fk_column(&self, column: &str) -> bool {
+        self.foreign_keys.iter().any(|fk| fk.columns.iter().any(|c| c == column))
+    }
+
+    /// Column lookup.
+    pub fn column(&self, name: &str) -> Option<&RelColumn> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// A whole source schema.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RelationalSchema {
+    /// Tables, in declaration order.
+    pub tables: Vec<RelTable>,
+}
+
+impl RelationalSchema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        RelationalSchema::default()
+    }
+
+    /// Adds a table (builder style).
+    pub fn with_table(mut self, table: RelTable) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Table lookup.
+    pub fn table(&self, name: &str) -> Option<&RelTable> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut RelTable> {
+        self.tables.iter_mut().find(|t| t.name == name)
+    }
+
+    /// Validates referential metadata: FK targets exist, key columns exist.
+    pub fn validate(&self) -> Result<(), String> {
+        for table in &self.tables {
+            for pk in &table.primary_key {
+                if table.column(pk).is_none() {
+                    return Err(format!("table {}: PK column {pk} missing", table.name));
+                }
+            }
+            for fk in &table.foreign_keys {
+                let Some(target) = self.table(&fk.ref_table) else {
+                    return Err(format!(
+                        "table {}: FK references unknown table {}",
+                        table.name, fk.ref_table
+                    ));
+                };
+                for c in &fk.columns {
+                    if table.column(c).is_none() {
+                        return Err(format!("table {}: FK column {c} missing", table.name));
+                    }
+                }
+                for c in &fk.ref_columns {
+                    if target.column(c).is_none() {
+                        return Err(format!(
+                            "table {}: FK target column {}.{c} missing",
+                            table.name, fk.ref_table
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Converts a snake_case (or lowercase) name to UpperCamelCase, dropping a
+/// plural-`s` from the final token — `gas_turbines` → `GasTurbine`. The
+/// singularization heuristic matches BootOX's "meaningful names" goal and
+/// stays deterministic for tests.
+pub fn class_case(name: &str) -> String {
+    let mut out = String::new();
+    let tokens: Vec<&str> = name.split(['_', '-', ' ']).filter(|t| !t.is_empty()).collect();
+    for (i, token) in tokens.iter().enumerate() {
+        let token = if i + 1 == tokens.len() { singular(token) } else { (*token).to_string() };
+        let mut chars = token.chars();
+        if let Some(first) = chars.next() {
+            out.extend(first.to_uppercase());
+            out.push_str(chars.as_str());
+        }
+    }
+    out
+}
+
+/// lowerCamelCase for property names.
+pub fn property_case(name: &str) -> String {
+    let upper = class_case(name);
+    let mut chars = upper.chars();
+    match chars.next() {
+        Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
+        None => upper,
+    }
+}
+
+fn singular(token: &str) -> String {
+    if token.len() > 3 && token.ends_with("ies") {
+        format!("{}y", &token[..token.len() - 3])
+    } else if token.len() > 3 && token.ends_with('s') && !token.ends_with("ss") {
+        token[..token.len() - 1].to_string()
+    } else {
+        token.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RelationalSchema {
+        RelationalSchema::new()
+            .with_table(
+                RelTable::new("countries", vec![("id", ColumnType::Int), ("name", ColumnType::Text)])
+                    .with_pk(&["id"]),
+            )
+            .with_table(
+                RelTable::new(
+                    "turbines",
+                    vec![
+                        ("tid", ColumnType::Int),
+                        ("model", ColumnType::Text),
+                        ("country_id", ColumnType::Int),
+                    ],
+                )
+                .with_pk(&["tid"])
+                .with_fk("country_id", "countries", "id"),
+            )
+    }
+
+    #[test]
+    fn validation_passes_for_sane_schema() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_missing_fk_target() {
+        let s = RelationalSchema::new().with_table(
+            RelTable::new("a", vec![("x", ColumnType::Int)]).with_fk("x", "nope", "y"),
+        );
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_missing_pk_column() {
+        let s = RelationalSchema::new()
+            .with_table(RelTable::new("a", vec![("x", ColumnType::Int)]).with_pk(&["nope"]));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fk_column_detection() {
+        let s = sample();
+        let t = s.table("turbines").unwrap();
+        assert!(t.is_fk_column("country_id"));
+        assert!(!t.is_fk_column("model"));
+    }
+
+    #[test]
+    fn naming_heuristics() {
+        assert_eq!(class_case("turbines"), "Turbine");
+        assert_eq!(class_case("gas_turbines"), "GasTurbine");
+        assert_eq!(class_case("countries"), "Country");
+        assert_eq!(class_case("service_history"), "ServiceHistory");
+        assert_eq!(property_case("country_id"), "countryId");
+        assert_eq!(class_case("glass"), "Glass", "double-s nouns stay");
+    }
+}

@@ -1,0 +1,154 @@
+//! Monitoring dashboards (the textual equivalent of paper Figure 3).
+//!
+//! "Dashboards show diagnostics results in real time, as well as statistics
+//! on streaming answers, relevant turbines, and other information that is
+//! typically required by Siemens Energy service engineers."
+
+/// One query's monitoring panel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryPanel {
+    /// Platform query id.
+    pub id: u64,
+    /// Query name.
+    pub name: String,
+    /// Static WHERE bindings (monitored sensors).
+    pub bindings: usize,
+    /// Ticks executed so far.
+    pub ticks: u64,
+    /// Cumulative alarms.
+    pub alarms: u64,
+    /// Cumulative stream tuples inspected.
+    pub tuples: u64,
+    /// Size of the low-level query fleet this query replaces.
+    pub fleet_size: usize,
+}
+
+/// A point-in-time monitoring snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct Dashboard {
+    /// Per-query panels, in registration order.
+    pub panels: Vec<QueryPanel>,
+    /// Shared window-cache hits.
+    pub wcache_hits: u64,
+    /// Shared window-cache misses.
+    pub wcache_misses: u64,
+}
+
+impl Dashboard {
+    /// Total alarms across all panels.
+    pub fn total_alarms(&self) -> u64 {
+        self.panels.iter().map(|p| p.alarms).sum()
+    }
+
+    /// Total tuples inspected across all panels.
+    pub fn total_tuples(&self) -> u64 {
+        self.panels.iter().map(|p| p.tuples).sum()
+    }
+
+    /// Window-cache hit rate in `[0, 1]` (`None` before any access).
+    pub fn wcache_hit_rate(&self) -> Option<f64> {
+        let total = self.wcache_hits + self.wcache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.wcache_hits as f64 / total as f64)
+        }
+    }
+
+    /// Renders an ASCII dashboard frame.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "┌─ OPTIQUE monitoring ─ {} queries ─ {} alarms ─ wCache {}\n",
+            self.panels.len(),
+            self.total_alarms(),
+            match self.wcache_hit_rate() {
+                Some(rate) => format!("{:.0}% hit", rate * 100.0),
+                None => "idle".to_string(),
+            }
+        ));
+        out.push_str("│ id   name                                bindings  ticks  alarms    tuples  fleet\n");
+        for p in &self.panels {
+            out.push_str(&format!(
+                "│ {:<4} {:<36} {:>8} {:>6} {:>7} {:>9} {:>6}\n",
+                p.id,
+                truncate(&p.name, 36),
+                p.bindings,
+                p.ticks,
+                p.alarms,
+                p.tuples,
+                p.fleet_size
+            ));
+        }
+        out.push_str("└─\n");
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dash() -> Dashboard {
+        Dashboard {
+            panels: vec![
+                QueryPanel {
+                    id: 1,
+                    name: "T01:monotonic-increase/temperature".into(),
+                    bindings: 60,
+                    ticks: 10,
+                    alarms: 2,
+                    tuples: 1200,
+                    fleet_size: 5,
+                },
+                QueryPanel {
+                    id: 2,
+                    name: "T05:overheat/temperature".into(),
+                    bindings: 15,
+                    ticks: 10,
+                    alarms: 1,
+                    tuples: 300,
+                    fleet_size: 3,
+                },
+            ],
+            wcache_hits: 9,
+            wcache_misses: 1,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let d = dash();
+        assert_eq!(d.total_alarms(), 3);
+        assert_eq!(d.total_tuples(), 1500);
+        assert_eq!(d.wcache_hit_rate(), Some(0.9));
+    }
+
+    #[test]
+    fn empty_dashboard_has_no_hit_rate() {
+        assert_eq!(Dashboard::default().wcache_hit_rate(), None);
+    }
+
+    #[test]
+    fn render_contains_all_panels() {
+        let r = dash().render();
+        assert!(r.contains("T01"));
+        assert!(r.contains("T05"));
+        assert!(r.contains("90% hit"));
+    }
+
+    #[test]
+    fn long_names_truncated() {
+        assert_eq!(truncate("abcdef", 4), "abc…");
+        assert_eq!(truncate("abc", 4), "abc");
+    }
+}

@@ -1,0 +1,335 @@
+//! The OPTIQUE platform: deployment + continuous-query lifecycle.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use optique_bootstrap::{bootstrap_direct, BootstrapSettings, RelationalSchema};
+use optique_mapping::MappingCatalog;
+use optique_ontology::Ontology;
+use optique_rdf::Namespaces;
+use optique_relational::Database;
+use optique_rewrite::RewriteSettings;
+use optique_siemens::{DiagnosticTask, SiemensDeployment};
+use optique_starql::{
+    parse_starql, translate, ContinuousQuery, StreamToRdf, TickOutput, TranslationContext,
+};
+use optique_stream::WCache;
+use parking_lot::Mutex;
+
+use crate::dashboard::{Dashboard, QueryPanel};
+
+/// A registered STARQL query with its accumulated monitoring counters.
+pub struct RegisteredStarQl {
+    /// Platform-assigned id.
+    pub id: u64,
+    /// Human-readable name (output-stream name or task id).
+    pub name: String,
+    /// The compiled continuous query.
+    pub query: ContinuousQuery,
+    /// Cumulative alarms raised.
+    pub alarms: u64,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Cumulative tuples inspected.
+    pub tuples: u64,
+}
+
+/// The conciseness report behind experiment E3: one STARQL text versus the
+/// fleet of low-level queries it replaces.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Query name.
+    pub name: String,
+    /// Characters of STARQL text.
+    pub starql_chars: usize,
+    /// Number of generated low-level queries.
+    pub fleet_queries: usize,
+    /// Total characters of generated SQL.
+    pub fleet_chars: usize,
+}
+
+/// The deployed integration platform.
+pub struct OptiquePlatform {
+    /// The data sources (static tables + stream tables).
+    pub db: Arc<Database>,
+    /// The deployment TBox.
+    pub ontology: Ontology,
+    /// Prefixes for query text.
+    pub namespaces: Namespaces,
+    /// The mapping catalog.
+    pub mappings: MappingCatalog,
+    /// The stream-side mapping.
+    pub stream_to_rdf: StreamToRdf,
+    wcache: Arc<WCache>,
+    queries: Mutex<BTreeMap<u64, RegisteredStarQl>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl OptiquePlatform {
+    /// Deploys over explicit assets.
+    pub fn deploy(
+        db: Database,
+        ontology: Ontology,
+        namespaces: Namespaces,
+        mappings: MappingCatalog,
+        stream_to_rdf: StreamToRdf,
+    ) -> Self {
+        OptiquePlatform {
+            db: Arc::new(db),
+            ontology,
+            namespaces,
+            mappings,
+            stream_to_rdf,
+            wcache: Arc::new(WCache::new()),
+            queries: Mutex::new(BTreeMap::new()),
+            next_id: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Deploys straight from a generated Siemens scenario.
+    pub fn from_siemens(deployment: SiemensDeployment) -> Self {
+        OptiquePlatform::deploy(
+            deployment.db,
+            deployment.ontology,
+            deployment.namespaces,
+            deployment.mappings,
+            deployment.stream_to_rdf,
+        )
+    }
+
+    /// Deploys by **bootstrapping** ontology and mappings from a relational
+    /// schema (demo scenario S3), then merging any extra curated assets.
+    pub fn deploy_with_bootstrap(
+        db: Database,
+        schema: &RelationalSchema,
+        settings: &BootstrapSettings,
+        namespaces: Namespaces,
+        stream_to_rdf: StreamToRdf,
+        extra_ontology: Option<&Ontology>,
+        extra_mappings: Option<MappingCatalog>,
+    ) -> Result<Self, String> {
+        let out = bootstrap_direct(schema, settings)?;
+        let mut ontology = out.ontology;
+        if let Some(extra) = extra_ontology {
+            for ax in extra.axioms() {
+                ontology.add_axiom(ax.clone());
+            }
+            for p in extra.data_properties() {
+                ontology.declare_data_property(p.clone());
+            }
+        }
+        let mut mappings = out.mappings;
+        if let Some(extra) = extra_mappings {
+            mappings.merge(extra)?;
+        }
+        Ok(OptiquePlatform::deploy(db, ontology, namespaces, mappings, stream_to_rdf))
+    }
+
+    /// Parses, translates (enrich + unfold) and registers a STARQL query.
+    pub fn register_starql(&self, text: &str) -> Result<u64, String> {
+        self.register_named(None, text)
+    }
+
+    /// Registers a catalog task.
+    pub fn register_task(&self, task: &DiagnosticTask) -> Result<u64, String> {
+        match &task.query {
+            optique_siemens::catalog::TaskQuery::StarQl(text) => {
+                self.register_named(Some(format!("{}:{}", task.id, task.name)), text)
+            }
+            optique_siemens::catalog::TaskQuery::SqlPlus(_) => Err(format!(
+                "task {} is a SQL(+) dataflow; run it on the relational engine directly",
+                task.id
+            )),
+        }
+    }
+
+    fn register_named(&self, name: Option<String>, text: &str) -> Result<u64, String> {
+        let parsed = parse_starql(text, &self.namespaces).map_err(|e| e.to_string())?;
+        let ctx = TranslationContext {
+            ontology: &self.ontology,
+            mappings: &self.mappings,
+            rewrite_settings: RewriteSettings::default(),
+            unfold_settings: Default::default(),
+        };
+        let translated = translate(&parsed, &ctx).map_err(|e| e.to_string())?;
+        let query = ContinuousQuery::register(translated, self.stream_to_rdf.clone(), &self.db)?;
+        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let name = name.unwrap_or_else(|| parsed.output_stream.clone());
+        self.queries.lock().insert(
+            id,
+            RegisteredStarQl { id, name, query, alarms: 0, ticks: 0, tuples: 0 },
+        );
+        Ok(id)
+    }
+
+    /// Deregisters a query; returns whether it existed.
+    pub fn deregister(&self, id: u64) -> bool {
+        self.queries.lock().remove(&id).is_some()
+    }
+
+    /// Number of registered queries.
+    pub fn registered(&self) -> usize {
+        self.queries.lock().len()
+    }
+
+    /// Runs one pulse tick for every registered query, updating counters.
+    /// Outputs come back in registration order.
+    pub fn tick_all(&self, tick_ms: i64) -> Result<Vec<(u64, TickOutput)>, String> {
+        let mut out = Vec::new();
+        let mut queries = self.queries.lock();
+        for (id, reg) in queries.iter_mut() {
+            let result = reg.query.tick(&self.db, &self.wcache, tick_ms)?;
+            reg.ticks += 1;
+            reg.alarms += result.satisfied as u64;
+            reg.tuples += result.tuples_in_window as u64;
+            out.push((*id, result));
+        }
+        Ok(out)
+    }
+
+    /// The shared window cache (hit/miss statistics for E8).
+    pub fn wcache(&self) -> &WCache {
+        &self.wcache
+    }
+
+    /// Conciseness report for one registered query (E3).
+    pub fn fleet_report(&self, id: u64, starql_text: &str) -> Option<FleetReport> {
+        let queries = self.queries.lock();
+        let reg = queries.get(&id)?;
+        let fleet = &reg.query.translated.fleet;
+        Some(FleetReport {
+            name: reg.name.clone(),
+            starql_chars: starql_text.len(),
+            fleet_queries: fleet.len(),
+            fleet_chars: fleet.iter().map(String::len).sum(),
+        })
+    }
+
+    /// A monitoring snapshot of all registered queries.
+    pub fn dashboard(&self) -> Dashboard {
+        let queries = self.queries.lock();
+        let panels = queries
+            .values()
+            .map(|reg| QueryPanel {
+                id: reg.id,
+                name: reg.name.clone(),
+                bindings: reg.query.binding_count(),
+                ticks: reg.ticks,
+                alarms: reg.alarms,
+                tuples: reg.tuples,
+                fleet_size: reg.query.translated.fleet.len(),
+            })
+            .collect();
+        Dashboard { panels, wcache_hits: self.wcache.hits(), wcache_misses: self.wcache.misses() }
+    }
+}
+
+impl std::fmt::Debug for OptiquePlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OptiquePlatform({} queries, {} mappings, {:?})",
+            self.registered(),
+            self.mappings.len(),
+            self.ontology
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optique_siemens::catalog::TaskQuery;
+
+    fn platform() -> OptiquePlatform {
+        OptiquePlatform::from_siemens(SiemensDeployment::small())
+    }
+
+    #[test]
+    fn register_and_tick_figure1() {
+        let p = platform();
+        let id = p.register_starql(optique_starql::FIGURE1).unwrap();
+        assert_eq!(p.registered(), 1);
+        // The small deployment plants ramp failures near the end of its 60 s
+        // stream; tick across the stream and count alarms.
+        let mut alarms = 0;
+        for tick in (600_000..=660_000).step_by(1_000) {
+            let outputs = p.tick_all(tick).unwrap();
+            alarms += outputs[0].1.satisfied;
+        }
+        assert!(alarms >= 1, "the planted monotonic ramp must fire");
+        assert!(p.deregister(id));
+    }
+
+    #[test]
+    fn catalog_tasks_register() {
+        let p = platform();
+        let mut registered = 0;
+        for task in optique_siemens::diagnostic_tasks() {
+            match &task.query {
+                TaskQuery::StarQl(_) => {
+                    p.register_task(&task).unwrap_or_else(|e| panic!("{}: {e}", task.id));
+                    registered += 1;
+                }
+                TaskQuery::SqlPlus(sql) => {
+                    optique_relational::exec::query(sql, &p.db).unwrap();
+                }
+            }
+        }
+        assert_eq!(registered, 18);
+        assert_eq!(p.registered(), 18);
+    }
+
+    #[test]
+    fn dashboard_reflects_activity() {
+        let p = platform();
+        p.register_starql(optique_starql::FIGURE1).unwrap();
+        p.tick_all(609_000).unwrap();
+        let dash = p.dashboard();
+        assert_eq!(dash.panels.len(), 1);
+        assert_eq!(dash.panels[0].ticks, 1);
+        assert!(dash.panels[0].bindings > 0);
+        assert!(dash.render().contains("S_out"));
+    }
+
+    #[test]
+    fn fleet_report_shows_conciseness() {
+        let p = platform();
+        let id = p.register_starql(optique_starql::FIGURE1).unwrap();
+        let report = p.fleet_report(id, optique_starql::FIGURE1).unwrap();
+        assert!(report.fleet_queries >= 2);
+        assert!(report.fleet_chars > 0);
+    }
+
+    #[test]
+    fn bad_starql_rejected() {
+        let p = platform();
+        assert!(p.register_starql("CREATE NONSENSE").is_err());
+        assert_eq!(p.registered(), 0);
+    }
+
+    #[test]
+    fn bootstrap_deployment_path() {
+        let deployment = SiemensDeployment::small();
+        let schema = optique_siemens::fleet::fleet_schema();
+        let p = OptiquePlatform::deploy_with_bootstrap(
+            deployment.db,
+            &schema,
+            &BootstrapSettings {
+                vocab_ns: optique_siemens::SIE_NS.into(),
+                data_ns: optique_siemens::DATA_NS.into(),
+                mandatory_participation: true,
+            },
+            deployment.namespaces,
+            deployment.stream_to_rdf,
+            Some(&deployment.ontology),
+            Some(deployment.mappings),
+        )
+        .unwrap();
+        // Both bootstrapped and curated terms are mapped.
+        assert!(p.mappings.len() > 13);
+        let id = p.register_starql(optique_starql::FIGURE1).unwrap();
+        let _ = p.tick_all(609_000).unwrap();
+        assert!(p.deregister(id));
+    }
+}

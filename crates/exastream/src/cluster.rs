@@ -1,0 +1,212 @@
+//! Worker nodes and data sharding.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use optique_relational::{Database, SqlError, Table, Value};
+
+/// One simulated worker node: an id plus its private catalog shard.
+///
+/// Workers are deliberately share-nothing — all inter-worker dataflow goes
+/// through [`crate::exchange`] — so the thread-per-worker execution in
+/// [`Cluster::parallel_query`] faithfully models the paper's distributed
+/// layout on a single box.
+#[derive(Clone, Debug)]
+pub struct Worker {
+    /// Worker id, `0..cluster.size()`.
+    pub id: usize,
+    /// The worker's catalog: its shard of partitioned tables plus full
+    /// replicas of broadcast (static) tables.
+    pub db: Arc<Database>,
+}
+
+/// A simulated cluster of share-nothing workers.
+pub struct Cluster {
+    workers: Vec<Worker>,
+}
+
+impl Cluster {
+    /// Builds a cluster of `n` workers; `provision` constructs each worker's
+    /// catalog (receives the worker id).
+    pub fn provision(n: usize, provision: impl Fn(usize) -> Database) -> Self {
+        assert!(n > 0, "cluster needs at least one worker");
+        let workers = (0..n)
+            .map(|id| Worker { id, db: Arc::new(provision(id)) })
+            .collect();
+        Cluster { workers }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The workers.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Runs the same SQL(+) text on every worker's shard in parallel and
+    /// concatenates the per-shard results (partitioned-table pattern:
+    /// correct when the query groups/filters by the partition key or the
+    /// caller merges downstream).
+    pub fn parallel_query(&self, sql: &str) -> Result<Vec<Table>, SqlError> {
+        let mut results: Vec<Option<Result<Table, SqlError>>> =
+            (0..self.workers.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers.len());
+            for worker in &self.workers {
+                let db = Arc::clone(&worker.db);
+                handles.push((
+                    worker.id,
+                    scope.spawn(move || optique_relational::exec::query(sql, &db)),
+                ));
+            }
+            for (id, handle) in handles {
+                results[id] = Some(handle.join().expect("worker thread panicked"));
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every worker reported"))
+            .collect()
+    }
+
+    /// Runs a different closure per worker in parallel (operator placement
+    /// execution path). Results come back in worker order.
+    pub fn parallel_map<T: Send>(
+        &self,
+        f: impl Fn(&Worker) -> T + Sync,
+    ) -> Vec<T> {
+        let mut results: Vec<Option<T>> = (0..self.workers.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers.len());
+            for worker in &self.workers {
+                let f = &f;
+                handles.push((worker.id, scope.spawn(move || f(worker))));
+            }
+            for (id, handle) in handles {
+                results[id] = Some(handle.join().expect("worker thread panicked"));
+            }
+        });
+        results.into_iter().map(|slot| slot.expect("worker reported")).collect()
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cluster({} workers)", self.workers.len())
+    }
+}
+
+/// Hash-partitions a table's rows into `n` shards by the value in `key_col`
+/// (NULL keys go to shard 0). This is how measurement streams are
+/// distributed by sensor across the cluster.
+pub fn hash_partition(table: &Table, key_col: usize, n: usize) -> Vec<Table> {
+    assert!(n > 0);
+    let mut shards: Vec<Table> = (0..n).map(|_| Table::empty(table.schema.clone())).collect();
+    for row in &table.rows {
+        let shard = shard_of(&row[key_col], n);
+        shards[shard].rows.push(row.clone());
+    }
+    shards
+}
+
+/// The shard a key value routes to.
+pub fn shard_of(key: &Value, n: usize) -> usize {
+    if key.is_null() {
+        return 0;
+    }
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optique_relational::{Column, ColumnType, Schema};
+
+    fn measurements(n: i64) -> Table {
+        let schema = Schema::qualified(
+            "m",
+            vec![Column::new("sensor_id", ColumnType::Int), Column::new("value", ColumnType::Float)],
+        );
+        let rows = (0..n).map(|i| vec![Value::Int(i % 50), Value::Float(i as f64)]).collect();
+        Table::new(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn partitioning_is_complete_and_disjoint() {
+        let t = measurements(1000);
+        let shards = hash_partition(&t, 0, 8);
+        assert_eq!(shards.iter().map(Table::len).sum::<usize>(), 1000);
+        // Same key always lands on the same shard.
+        for shard in &shards {
+            for row in &shard.rows {
+                assert_eq!(shard_of(&row[0], 8), shard_of(&shards.iter().flat_map(|s| &s.rows).find(|r| r[0] == row[0]).unwrap()[0], 8));
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_balances_reasonably() {
+        let t = measurements(5000);
+        let shards = hash_partition(&t, 0, 4);
+        for s in &shards {
+            assert!(s.len() > 500, "shard with {} rows is suspiciously empty", s.len());
+        }
+    }
+
+    #[test]
+    fn parallel_query_covers_all_shards() {
+        let t = measurements(1000);
+        let shards = hash_partition(&t, 0, 4);
+        let cluster = Cluster::provision(4, |id| {
+            let mut db = Database::new();
+            db.put_table("m", shards[id].clone());
+            db
+        });
+        let results = cluster.parallel_query("SELECT COUNT(*) AS n FROM m").unwrap();
+        let total: i64 = results.iter().map(|t| t.rows[0][0].as_i64().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn parallel_map_in_worker_order() {
+        let cluster = Cluster::provision(6, |_| Database::new());
+        let ids = cluster.parallel_map(|w| w.id);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn per_key_grouping_is_shard_local() {
+        // Because partitioning is by sensor, per-sensor aggregates computed
+        // shard-locally are globally correct.
+        let t = measurements(1000);
+        let shards = hash_partition(&t, 0, 4);
+        let cluster = Cluster::provision(4, |id| {
+            let mut db = Database::new();
+            db.put_table("m", shards[id].clone());
+            db
+        });
+        let results = cluster
+            .parallel_query("SELECT sensor_id, COUNT(*) AS n FROM m GROUP BY sensor_id")
+            .unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for t in &results {
+            for row in &t.rows {
+                *counts.entry(row[0].as_i64().unwrap()).or_insert(0i64) += row[1].as_i64().unwrap();
+            }
+        }
+        assert_eq!(counts.len(), 50);
+        assert!(counts.values().all(|&n| n == 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::provision(0, |_| Database::new());
+    }
+}

@@ -1,0 +1,268 @@
+//! The asynchronous gateway server and continuous-query registry.
+//!
+//! Queries enter ExaStream through the gateway: registration validates the
+//! SQL(+), asks the [`Scheduler`] for a worker placement, and records the
+//! query in the registry. The demo's S1/S2 scenarios — registering and
+//! monitoring up to 1,024 concurrent diagnostic tasks — drive exactly this
+//! interface. An [`AsyncFrontend`] accepts submissions from any thread over
+//! a channel, mirroring the paper's "Asynchronous Gateway Server".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use optique_relational::{SqlError, Table};
+use parking_lot::Mutex;
+
+use crate::cluster::Cluster;
+use crate::scheduler::{OperatorTask, Scheduler};
+
+/// Opaque continuous-query id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// A registered continuous query.
+#[derive(Clone, Debug)]
+pub struct RegisteredQuery {
+    /// Its id.
+    pub id: QueryId,
+    /// The SQL(+) text executed at each tick.
+    pub sql: String,
+    /// The worker the scheduler placed it on.
+    pub worker: usize,
+    /// The cost estimate used for placement.
+    pub cost: f64,
+}
+
+/// The gateway: registry + scheduler + cluster handle.
+pub struct Gateway {
+    cluster: Arc<Cluster>,
+    scheduler: Mutex<Scheduler>,
+    registry: Mutex<HashMap<QueryId, RegisteredQuery>>,
+    next_id: AtomicU64,
+}
+
+impl Gateway {
+    /// A gateway over `cluster`.
+    pub fn new(cluster: Arc<Cluster>) -> Arc<Self> {
+        let scheduler = Scheduler::new(cluster.size());
+        Arc::new(Gateway {
+            cluster,
+            scheduler: Mutex::new(scheduler),
+            registry: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Registers a continuous query: validates it parses, places it on the
+    /// least-loaded worker, records it.
+    pub fn register(&self, sql: impl Into<String>, cost: f64) -> Result<QueryId, SqlError> {
+        let sql = sql.into();
+        optique_relational::parse_select(&sql)?;
+        let id = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let worker = self.scheduler.lock().place_one(&OperatorTask { id: id.0, cost });
+        self.registry
+            .lock()
+            .insert(id, RegisteredQuery { id, sql, worker, cost });
+        Ok(id)
+    }
+
+    /// Deregisters a query, releasing its scheduler load. Returns whether it
+    /// existed.
+    pub fn deregister(&self, id: QueryId) -> bool {
+        match self.registry.lock().remove(&id) {
+            Some(q) => {
+                self.scheduler.lock().release(q.worker, q.cost);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of registered queries.
+    pub fn registered(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    /// Copy of a query's registration record.
+    pub fn query_info(&self, id: QueryId) -> Option<RegisteredQuery> {
+        self.registry.lock().get(&id).cloned()
+    }
+
+    /// Current scheduler loads (one per worker).
+    pub fn worker_loads(&self) -> Vec<f64> {
+        self.scheduler.lock().loads().to_vec()
+    }
+
+    /// Executes every registered query once, each on its placed worker's
+    /// shard, workers running in parallel. Results are `(query, table)`
+    /// pairs in query-id order.
+    pub fn run_all(&self) -> Vec<(QueryId, Result<Table, SqlError>)> {
+        let queries: Vec<RegisteredQuery> = {
+            let reg = self.registry.lock();
+            let mut qs: Vec<_> = reg.values().cloned().collect();
+            qs.sort_by_key(|q| q.id);
+            qs
+        };
+        // Group by worker so each worker thread runs its own queue.
+        let mut per_worker: Vec<Vec<RegisteredQuery>> =
+            (0..self.cluster.size()).map(|_| Vec::new()).collect();
+        for q in queries {
+            per_worker[q.worker].push(q);
+        }
+        let outputs = self.cluster.parallel_map(|worker| {
+            let mut out = Vec::new();
+            for q in &per_worker[worker.id] {
+                out.push((q.id, optique_relational::exec::query(&q.sql, &worker.db)));
+            }
+            out
+        });
+        let mut all: Vec<(QueryId, Result<Table, SqlError>)> =
+            outputs.into_iter().flatten().collect();
+        all.sort_by_key(|(id, _)| *id);
+        all
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gateway({} queries, {} workers)", self.registered(), self.cluster.size())
+    }
+}
+
+/// A submission sent to the asynchronous frontend.
+struct Submission {
+    sql: String,
+    cost: f64,
+    reply: Sender<Result<QueryId, SqlError>>,
+}
+
+/// Channel-fed asynchronous registration frontend. Submissions are processed
+/// by a dedicated thread; `submit` returns immediately with a receiver for
+/// the eventual query id.
+pub struct AsyncFrontend {
+    tx: Sender<Submission>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AsyncFrontend {
+    /// Spawns the frontend thread over a gateway.
+    pub fn spawn(gateway: Arc<Gateway>) -> Self {
+        let (tx, rx): (Sender<Submission>, Receiver<Submission>) = unbounded();
+        let handle = std::thread::spawn(move || {
+            while let Ok(sub) = rx.recv() {
+                let result = gateway.register(sub.sql, sub.cost);
+                // Submitter may have given up; that's fine.
+                let _ = sub.reply.send(result);
+            }
+        });
+        AsyncFrontend { tx, handle: Some(handle) }
+    }
+
+    /// Submits a query; returns a receiver that yields its id (or error).
+    pub fn submit(&self, sql: impl Into<String>, cost: f64) -> Receiver<Result<QueryId, SqlError>> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Submission { sql: sql.into(), cost, reply: reply_tx })
+            .expect("frontend thread alive");
+        reply_rx
+    }
+}
+
+impl Drop for AsyncFrontend {
+    fn drop(&mut self) {
+        // Close the channel, then join the worker.
+        let (closed_tx, _) = unbounded();
+        let _ = std::mem::replace(&mut self.tx, closed_tx);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optique_relational::{Column, ColumnType, Database, Schema, Value};
+
+    fn cluster(n: usize) -> Arc<Cluster> {
+        Arc::new(Cluster::provision(n, |id| {
+            let schema = Schema::qualified(
+                "m",
+                vec![Column::new("sensor_id", ColumnType::Int), Column::new("value", ColumnType::Float)],
+            );
+            let rows = (0..100)
+                .map(|i| vec![Value::Int((id * 100 + i) as i64), Value::Float(i as f64)])
+                .collect();
+            let mut db = Database::new();
+            db.put_table("m", Table::new(schema, rows).unwrap());
+            db
+        }))
+    }
+
+    #[test]
+    fn register_validates_sql() {
+        let g = Gateway::new(cluster(2));
+        assert!(g.register("SELECT nonsense FROM", 1.0).is_err());
+        assert!(g.register("SELECT value FROM m", 1.0).is_ok());
+        assert_eq!(g.registered(), 1);
+    }
+
+    #[test]
+    fn placement_balances_queries() {
+        let g = Gateway::new(cluster(4));
+        for _ in 0..16 {
+            g.register("SELECT COUNT(*) FROM m", 1.0).unwrap();
+        }
+        let loads = g.worker_loads();
+        assert!(loads.iter().all(|&l| (l - 4.0).abs() < 1e-9), "{loads:?}");
+    }
+
+    #[test]
+    fn run_all_executes_each_query_on_its_worker() {
+        let g = Gateway::new(cluster(3));
+        let a = g.register("SELECT COUNT(*) AS n FROM m", 1.0).unwrap();
+        let b = g.register("SELECT MAX(value) AS mx FROM m", 1.0).unwrap();
+        let results = g.run_all();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, a);
+        assert_eq!(results[1].0, b);
+        let t = results[0].1.as_ref().unwrap();
+        assert_eq!(t.rows[0][0], Value::Int(100));
+    }
+
+    #[test]
+    fn deregister_releases_load() {
+        let g = Gateway::new(cluster(1));
+        let id = g.register("SELECT value FROM m", 5.0).unwrap();
+        assert_eq!(g.worker_loads(), vec![5.0]);
+        assert!(g.deregister(id));
+        assert_eq!(g.worker_loads(), vec![0.0]);
+        assert!(!g.deregister(id), "double deregistration is a no-op");
+    }
+
+    #[test]
+    fn async_frontend_round_trip() {
+        let g = Gateway::new(cluster(2));
+        let frontend = AsyncFrontend::spawn(Arc::clone(&g));
+        let replies: Vec<_> = (0..32)
+            .map(|_| frontend.submit("SELECT COUNT(*) FROM m", 1.0))
+            .collect();
+        for rx in replies {
+            rx.recv().unwrap().unwrap();
+        }
+        assert_eq!(g.registered(), 32);
+    }
+
+    #[test]
+    fn thousand_registrations() {
+        let g = Gateway::new(cluster(8));
+        for _ in 0..1024 {
+            g.register("SELECT sensor_id, MAX(value) FROM m GROUP BY sensor_id", 1.0).unwrap();
+        }
+        assert_eq!(g.registered(), 1024);
+        let loads = g.worker_loads();
+        assert!(loads.iter().all(|&l| (l - 128.0).abs() < 1e-9));
+    }
+}

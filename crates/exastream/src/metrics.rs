@@ -1,0 +1,183 @@
+//! Throughput and latency accounting.
+//!
+//! Every number reported in EXPERIMENTS.md — tuples/sec for the node sweep,
+//! aggregate throughput under 1,024 tasks, extrapolated bytes/day against
+//! the paper's 10 TB/day claim — comes out of these counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A thread-safe tuples/bytes throughput meter.
+#[derive(Debug)]
+pub struct ThroughputMeter {
+    start: Instant,
+    tuples: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl ThroughputMeter {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        ThroughputMeter { start: Instant::now(), tuples: AtomicU64::new(0), bytes: AtomicU64::new(0) }
+    }
+
+    /// Records processed tuples (and optionally their encoded size).
+    pub fn record(&self, tuples: u64, bytes: u64) {
+        self.tuples.fetch_add(tuples, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Total tuples recorded.
+    pub fn tuples(&self) -> u64 {
+        self.tuples.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Elapsed wall-clock time.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Tuples per second over the elapsed window.
+    pub fn tuples_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.tuples() as f64 / secs
+        }
+    }
+
+    /// Extrapolated bytes/day at the observed rate (the paper's "10 TB/day"
+    /// axis).
+    pub fn bytes_per_day(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes() as f64 / secs * 86_400.0
+        }
+    }
+}
+
+/// Latency distribution over recorded samples (not thread-safe; collect per
+/// thread and merge).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Empty stats.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_us.push(latency.as_micros() as u64);
+    }
+
+    /// Merges another instance (per-thread collection).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// The p-th percentile (0 < p ≤ 100) in microseconds, `None` when empty.
+    pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        Some(self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64)
+    }
+}
+
+/// Formats a tuples/sec figure the way the report binaries print it.
+pub fn format_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2} Mtuples/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1} Ktuples/s", rate / 1e3)
+    } else {
+        format!("{rate:.0} tuples/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_across_threads() {
+        let meter = ThroughputMeter::start();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        meter.record(10, 80);
+                    }
+                });
+            }
+        });
+        assert_eq!(meter.tuples(), 40_000);
+        assert_eq!(meter.bytes(), 320_000);
+        assert!(meter.tuples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut stats = LatencyStats::new();
+        for ms in 1..=100u64 {
+            stats.record(Duration::from_micros(ms));
+        }
+        assert_eq!(stats.percentile_us(50.0), Some(50));
+        assert_eq!(stats.percentile_us(95.0), Some(95));
+        assert_eq!(stats.percentile_us(100.0), Some(100));
+        assert_eq!(stats.count(), 100);
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let stats = LatencyStats::new();
+        assert_eq!(stats.percentile_us(50.0), None);
+        assert_eq!(stats.mean_us(), None);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(Duration::from_micros(1));
+        let mut b = LatencyStats::new();
+        b.record(Duration::from_micros(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean_us(), Some(2.0));
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(format_rate(12.0), "12 tuples/s");
+        assert_eq!(format_rate(1_500.0), "1.5 Ktuples/s");
+        assert_eq!(format_rate(10_000_000.0), "10.00 Mtuples/s");
+    }
+}

@@ -1,0 +1,199 @@
+//! User-defined functions and fused operator pipelines.
+//!
+//! "The EXASTREAM system natively supports User Defined Functions (UDFs)
+//! with arbitrary user code. The engine blends the execution of UDFs
+//! together with relational operators using JIT tracing compilation
+//! techniques." Rust has no JIT here; the honest equivalent of trace
+//! compilation for this engine is **operator fusion**: a chain of
+//! filter/map/UDF stages compiled (at registration time) into one closure
+//! that runs per tuple without intermediate batch materialization — the same
+//! "only the relevant execution traces are used" effect, minus the runtime
+//! code generation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use optique_relational::{SqlError, Value};
+
+/// A scalar UDF over row slices.
+pub type ScalarUdf = Arc<dyn Fn(&[Value]) -> Result<Value, SqlError> + Send + Sync>;
+
+/// Registry of scalar UDFs (case-insensitive names).
+#[derive(Clone, Default)]
+pub struct UdfRegistry {
+    scalars: HashMap<String, ScalarUdf>,
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        UdfRegistry::default()
+    }
+
+    /// Registers a scalar UDF.
+    pub fn register(&mut self, name: impl Into<String>, f: ScalarUdf) {
+        self.scalars.insert(name.into().to_ascii_lowercase(), f);
+    }
+
+    /// Looks up a UDF.
+    pub fn get(&self, name: &str) -> Option<&ScalarUdf> {
+        self.scalars.get(&name.to_ascii_lowercase())
+    }
+
+    /// Calls a UDF by name.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, SqlError> {
+        let f = self
+            .get(name)
+            .ok_or_else(|| SqlError::Binding(format!("unknown UDF {name}")))?;
+        f(args)
+    }
+}
+
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UdfRegistry({} scalar UDFs)", self.scalars.len())
+    }
+}
+
+/// One stage of a tuple pipeline.
+pub enum Stage {
+    /// Keep rows satisfying the predicate.
+    Filter(Box<dyn Fn(&[Value]) -> bool + Send + Sync>),
+    /// Transform the row.
+    Map(Box<dyn Fn(Vec<Value>) -> Vec<Value> + Send + Sync>),
+}
+
+/// A pipeline of stages, executable fused (one pass per tuple) or
+/// materialized (one pass per stage) — the E7 ablation pair.
+pub struct Pipeline {
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (identity).
+    pub fn new() -> Self {
+        Pipeline { stages: Vec::new() }
+    }
+
+    /// Appends a filter stage.
+    pub fn filter(mut self, pred: impl Fn(&[Value]) -> bool + Send + Sync + 'static) -> Self {
+        self.stages.push(Stage::Filter(Box::new(pred)));
+        self
+    }
+
+    /// Appends a map stage.
+    pub fn map(mut self, f: impl Fn(Vec<Value>) -> Vec<Value> + Send + Sync + 'static) -> Self {
+        self.stages.push(Stage::Map(Box::new(f)));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Fused execution: each tuple flows through every stage before the next
+    /// tuple starts; no intermediate vectors.
+    pub fn run_fused(&self, input: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        let mut out = Vec::with_capacity(input.len());
+        'tuple: for mut row in input {
+            for stage in &self.stages {
+                match stage {
+                    Stage::Filter(pred) => {
+                        if !pred(&row) {
+                            continue 'tuple;
+                        }
+                    }
+                    Stage::Map(f) => row = f(row),
+                }
+            }
+            out.push(row);
+        }
+        out
+    }
+
+    /// Operator-at-a-time execution: every stage materializes its full
+    /// output before the next begins (the unfused baseline).
+    pub fn run_materialized(&self, input: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        let mut current = input;
+        for stage in &self.stages {
+            current = match stage {
+                Stage::Filter(pred) => current.into_iter().filter(|r| pred(r)).collect(),
+                Stage::Map(f) => current.into_iter().map(f).collect(),
+            };
+        }
+        current
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: i64) -> Vec<Vec<Value>> {
+        (0..n).map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5)]).collect()
+    }
+
+    fn sample_pipeline() -> Pipeline {
+        Pipeline::new()
+            .filter(|r| r[0].as_i64().unwrap() % 2 == 0)
+            .map(|mut r| {
+                let v = r[1].as_f64().unwrap();
+                r[1] = Value::Float(v * 10.0);
+                r
+            })
+            .filter(|r| r[1].as_f64().unwrap() > 10.0)
+    }
+
+    #[test]
+    fn fused_equals_materialized() {
+        let p = sample_pipeline();
+        let input = rows(100);
+        assert_eq!(p.run_fused(input.clone()), p.run_materialized(input));
+    }
+
+    #[test]
+    fn filter_then_map_applies_in_order() {
+        let p = sample_pipeline();
+        let out = p.run_fused(rows(10));
+        // Even ids with 5·i > 10 → i ∈ {4, 6, 8}.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0][0], Value::Int(4));
+        assert_eq!(out[0][1], Value::Float(20.0));
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let p = Pipeline::new();
+        assert_eq!(p.run_fused(rows(5)), rows(5));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut reg = UdfRegistry::new();
+        reg.register(
+            "FahrenheitToCelsius",
+            Arc::new(|args: &[Value]| {
+                let f = args[0]
+                    .as_f64()
+                    .ok_or_else(|| SqlError::Type("needs a number".into()))?;
+                Ok(Value::Float((f - 32.0) * 5.0 / 9.0))
+            }),
+        );
+        let v = reg.call("fahrenheittocelsius", &[Value::Float(212.0)]).unwrap();
+        assert_eq!(v, Value::Float(100.0));
+        assert!(reg.call("missing", &[]).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Banded correlation search over many streams.
+
+use std::collections::HashMap;
+
+use crate::signature::{standardize, Signature, SignatureScheme};
+
+/// Exact sample Pearson correlation; `None` when undefined (length < 2 or a
+/// constant series).
+pub fn exact_pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    let denom = (var_a * var_b).sqrt();
+    if denom == 0.0 {
+        None
+    } else {
+        Some(cov / denom)
+    }
+}
+
+/// A correlated pair report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorrelatedPair {
+    /// First stream id.
+    pub a: u64,
+    /// Second stream id (`a < b`).
+    pub b: u64,
+    /// LSH correlation estimate.
+    pub estimated: f64,
+    /// Exact Pearson on the stored windows (verification step).
+    pub exact: f64,
+}
+
+/// An index of stream windows supporting approximate all-pairs correlation
+/// search — the LSH UDF's core.
+pub struct CorrelationIndex {
+    scheme: SignatureScheme,
+    bands: usize,
+    band_bits: usize,
+    series: HashMap<u64, Vec<f64>>,
+    signatures: HashMap<u64, Signature>,
+}
+
+impl CorrelationIndex {
+    /// An index over windows of length `dim`, with `bands × band_bits`
+    /// signature bits.
+    pub fn new(dim: usize, bands: usize, band_bits: usize, seed: u64) -> Self {
+        let scheme = SignatureScheme::new(dim, bands * band_bits, seed);
+        CorrelationIndex { scheme, bands, band_bits, series: HashMap::new(), signatures: HashMap::new() }
+    }
+
+    /// Inserts (or replaces) stream `id`'s current window. Constant windows
+    /// are skipped — their correlation is undefined.
+    pub fn insert(&mut self, id: u64, window: &[f64]) {
+        let z = standardize(window);
+        if z.iter().all(|&x| x == 0.0) {
+            self.series.remove(&id);
+            self.signatures.remove(&id);
+            return;
+        }
+        let sig = self.scheme.sign(&z);
+        self.series.insert(id, window.to_vec());
+        self.signatures.insert(id, sig);
+    }
+
+    /// Number of indexed streams.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True when no streams are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Candidate pairs: ids sharing at least one band bucket. The returned
+    /// pairs are deduplicated with `a < b`.
+    pub fn candidate_pairs(&self) -> Vec<(u64, u64)> {
+        let mut buckets: HashMap<(usize, u64), Vec<u64>> = HashMap::new();
+        let mut ids: Vec<&u64> = self.signatures.keys().collect();
+        ids.sort_unstable();
+        for &id in &ids {
+            let sig = &self.signatures[id];
+            for b in 0..self.bands {
+                buckets.entry((b, sig.band(b, self.band_bits))).or_default().push(*id);
+            }
+        }
+        let mut pairs = std::collections::BTreeSet::new();
+        for members in buckets.values() {
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    let (a, b) = (members[i].min(members[j]), members[i].max(members[j]));
+                    pairs.insert((a, b));
+                }
+            }
+        }
+        pairs.into_iter().collect()
+    }
+
+    /// Finds pairs whose *estimated* correlation magnitude reaches
+    /// `threshold`, verifying each candidate with exact Pearson. Results are
+    /// sorted by descending exact correlation magnitude.
+    pub fn correlated_pairs(&self, threshold: f64) -> Vec<CorrelatedPair> {
+        let mut out = Vec::new();
+        for (a, b) in self.candidate_pairs() {
+            let sa = &self.signatures[&a];
+            let sb = &self.signatures[&b];
+            let estimated = self.scheme.estimate_correlation(sa, sb);
+            if estimated.abs() < threshold {
+                continue;
+            }
+            let Some(exact) = exact_pearson(&self.series[&a], &self.series[&b]) else {
+                continue;
+            };
+            out.push(CorrelatedPair { a, b, estimated, exact });
+        }
+        out.sort_by(|x, y| y.exact.abs().total_cmp(&x.exact.abs()));
+        out
+    }
+
+    /// Exhaustive exact baseline over all pairs (the comparator in E9).
+    pub fn exact_pairs_above(&self, threshold: f64) -> Vec<(u64, u64, f64)> {
+        let mut ids: Vec<u64> = self.series.keys().copied().collect();
+        ids.sort_unstable();
+        let mut out = Vec::new();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                if let Some(r) = exact_pearson(&self.series[&ids[i]], &self.series[&ids[j]]) {
+                    if r.abs() >= threshold {
+                        out.push((ids[i], ids[j], r));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for CorrelationIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CorrelationIndex({} streams, {} bands × {} bits)",
+            self.len(),
+            self.bands,
+            self.band_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn noisy_family(rng: &mut StdRng, base: &[f64], noise: f64) -> Vec<f64> {
+        base.iter().map(|x| x + rng.random_range(-noise..=noise)).collect()
+    }
+
+    #[test]
+    fn exact_pearson_basics() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..10).map(|i| 3.0 * i as f64 + 2.0).collect();
+        assert!((exact_pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = (0..10).map(|i| -(i as f64)).collect();
+        assert!((exact_pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(exact_pearson(&a, &[1.0; 10]), None, "constant series");
+        assert_eq!(exact_pearson(&a, &a[..5]), None, "length mismatch");
+    }
+
+    #[test]
+    fn finds_planted_correlated_pair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dim = 64;
+        let base: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.2).sin()).collect();
+        let mut index = CorrelationIndex::new(dim, 16, 8, 5);
+        // Two strongly-correlated streams among unrelated noise.
+        index.insert(100, &noisy_family(&mut rng, &base, 0.05));
+        index.insert(200, &noisy_family(&mut rng, &base, 0.05));
+        for id in 0..30u64 {
+            let noise: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
+            index.insert(id, &noise);
+        }
+        let hits = index.correlated_pairs(0.8);
+        assert!(
+            hits.iter().any(|p| (p.a, p.b) == (100, 200)),
+            "planted pair not found: {hits:?}"
+        );
+        let top = &hits[0];
+        assert!(top.exact > 0.9);
+    }
+
+    #[test]
+    fn candidate_pruning_is_effective() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dim = 64;
+        let mut index = CorrelationIndex::new(dim, 8, 16, 5);
+        let n = 60u64;
+        for id in 0..n {
+            let noise: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
+            index.insert(id, &noise);
+        }
+        let all_pairs = (n * (n - 1) / 2) as usize;
+        let candidates = index.candidate_pairs().len();
+        assert!(
+            candidates < all_pairs / 2,
+            "banding should prune: {candidates} of {all_pairs}"
+        );
+    }
+
+    #[test]
+    fn recall_against_exact_baseline() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let dim = 128;
+        let mut index = CorrelationIndex::new(dim, 32, 4, 5);
+        // Three correlated families of three streams each.
+        for fam in 0..3u64 {
+            let base: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
+            for k in 0..3u64 {
+                index.insert(fam * 10 + k, &noisy_family(&mut rng, &base, 0.1));
+            }
+        }
+        let exact: std::collections::BTreeSet<(u64, u64)> =
+            index.exact_pairs_above(0.9).into_iter().map(|(a, b, _)| (a, b)).collect();
+        let found: std::collections::BTreeSet<(u64, u64)> =
+            index.correlated_pairs(0.7).into_iter().map(|p| (p.a, p.b)).collect();
+        let recalled = exact.intersection(&found).count();
+        assert!(
+            recalled as f64 >= 0.8 * exact.len() as f64,
+            "recall too low: {recalled}/{}",
+            exact.len()
+        );
+    }
+
+    #[test]
+    fn constant_windows_are_skipped() {
+        let mut index = CorrelationIndex::new(8, 4, 4, 1);
+        index.insert(1, &[2.0; 8]);
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_window() {
+        let mut index = CorrelationIndex::new(8, 4, 4, 1);
+        index.insert(1, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        index.insert(1, &[8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(index.len(), 1);
+    }
+}

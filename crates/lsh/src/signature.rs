@@ -1,0 +1,206 @@
+//! Random-hyperplane bit signatures.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A bit signature, packed into 64-bit words.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Signature {
+    bits: Vec<u64>,
+    n_bits: usize,
+}
+
+impl Signature {
+    /// Number of signature bits.
+    pub fn len(&self) -> usize {
+        self.n_bits
+    }
+
+    /// True when the signature has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.n_bits == 0
+    }
+
+    /// Hamming distance to another signature of the same length.
+    pub fn hamming(&self, other: &Signature) -> usize {
+        assert_eq!(self.n_bits, other.n_bits, "signatures must share a scheme");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The `i`-th bit.
+    pub fn bit(&self, i: usize) -> bool {
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Extracts band `b` of `band_bits` bits as a hashable key.
+    pub fn band(&self, b: usize, band_bits: usize) -> u64 {
+        let mut key = 0u64;
+        for i in 0..band_bits {
+            let idx = b * band_bits + i;
+            if idx < self.n_bits && self.bit(idx) {
+                key |= 1 << i;
+            }
+        }
+        key
+    }
+}
+
+/// A signature scheme: `n_bits` random hyperplanes in dimension `dim`,
+/// deterministic in the seed.
+#[derive(Clone, Debug)]
+pub struct SignatureScheme {
+    hyperplanes: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl SignatureScheme {
+    /// Draws `n_bits` hyperplanes of dimension `dim` from a seeded RNG.
+    /// Components are uniform in [-1, 1]; for sign-based hashing only the
+    /// direction matters, so Gaussian sampling is unnecessary.
+    pub fn new(dim: usize, n_bits: usize, seed: u64) -> Self {
+        assert!(dim > 0 && n_bits > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hyperplanes = (0..n_bits)
+            .map(|_| (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect())
+            .collect();
+        SignatureScheme { hyperplanes, dim }
+    }
+
+    /// Input dimension (window length).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of signature bits.
+    pub fn n_bits(&self) -> usize {
+        self.hyperplanes.len()
+    }
+
+    /// Signs a vector (typically a standardized window).
+    pub fn sign(&self, vector: &[f64]) -> Signature {
+        assert_eq!(vector.len(), self.dim, "vector dimension must match the scheme");
+        let n_bits = self.n_bits();
+        let mut bits = vec![0u64; n_bits.div_ceil(64)];
+        for (i, plane) in self.hyperplanes.iter().enumerate() {
+            let dot: f64 = plane.iter().zip(vector).map(|(a, b)| a * b).sum();
+            if dot >= 0.0 {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        Signature { bits, n_bits }
+    }
+
+    /// Correlation estimate from two signatures:
+    /// `cos(π · hamming / bits)`.
+    pub fn estimate_correlation(&self, a: &Signature, b: &Signature) -> f64 {
+        let frac = a.hamming(b) as f64 / self.n_bits() as f64;
+        (std::f64::consts::PI * frac).cos()
+    }
+}
+
+/// Z-normalizes a series (mean 0, unit variance). Constant series map to the
+/// zero vector, whose correlation with anything is undefined; callers filter
+/// those out just as SQL `CORR` returns NULL for them.
+pub fn standardize(series: &[f64]) -> Vec<f64> {
+    let n = series.len() as f64;
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / n;
+    let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    if var == 0.0 {
+        return vec![0.0; series.len()];
+    }
+    let sd = var.sqrt();
+    series.iter().map(|x| (x - mean) / sd).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_estimate_one() {
+        let scheme = SignatureScheme::new(32, 256, 7);
+        let v: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
+        let s = scheme.sign(&standardize(&v));
+        assert_eq!(s.hamming(&s), 0);
+        assert!((scheme.estimate_correlation(&s, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negated_vectors_estimate_minus_one() {
+        let scheme = SignatureScheme::new(32, 512, 7);
+        let v: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let neg: Vec<f64> = v.iter().map(|x| -x).collect();
+        let sa = scheme.sign(&standardize(&v));
+        let sb = scheme.sign(&standardize(&neg));
+        let est = scheme.estimate_correlation(&sa, &sb);
+        assert!(est < -0.95, "got {est}");
+    }
+
+    #[test]
+    fn estimate_tracks_exact_for_noisy_copies() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let dim = 64;
+        let scheme = SignatureScheme::new(dim, 1024, 9);
+        let base: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
+        for noise in [0.1, 0.5, 1.5] {
+            let other: Vec<f64> =
+                base.iter().map(|x| x + rng.random_range(-noise..=noise)).collect();
+            let exact = crate::correlate::exact_pearson(&base, &other).unwrap();
+            let sa = scheme.sign(&standardize(&base));
+            let sb = scheme.sign(&standardize(&other));
+            let est = scheme.estimate_correlation(&sa, &sb);
+            assert!(
+                (est - exact).abs() < 0.15,
+                "noise {noise}: estimate {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn standardize_properties() {
+        let z = standardize(&[1.0, 2.0, 3.0, 4.0]);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+        assert_eq!(standardize(&[5.0; 4]), vec![0.0; 4]);
+        assert!(standardize(&[]).is_empty());
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let a = SignatureScheme::new(16, 64, 3);
+        let b = SignatureScheme::new(16, 64, 3);
+        let v: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        assert_eq!(a.sign(&v), b.sign(&v));
+    }
+
+    #[test]
+    fn bands_partition_bits() {
+        let scheme = SignatureScheme::new(8, 64, 1);
+        let v: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let s = scheme.sign(&v);
+        // 8 bands of 8 bits reconstruct the words.
+        let mut rebuilt = 0u64;
+        for b in 0..8 {
+            rebuilt |= s.band(b, 8) << (b * 8);
+        }
+        assert_eq!(rebuilt, s.bits[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must match")]
+    fn wrong_dimension_panics() {
+        let scheme = SignatureScheme::new(8, 16, 1);
+        let _ = scheme.sign(&[1.0; 9]);
+    }
+}

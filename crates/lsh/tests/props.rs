@@ -1,0 +1,46 @@
+//! Property test: the LSH correlation estimate tracks exact Pearson within
+//! the binomial error bound of the signature length.
+
+use optique_lsh::{exact_pearson, standardize, SignatureScheme};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// |estimate − exact| stays within a generous tolerance for 2048-bit
+    /// signatures (the hamming fraction estimates θ/π with σ ≈ 0.011; the
+    /// cosine amplifies this by at most π).
+    #[test]
+    fn estimate_tracks_exact(
+        base in proptest::collection::vec(-100.0f64..100.0, 32..33),
+        scale in prop_oneof![Just(1.0f64), Just(-1.0f64), Just(0.5f64)],
+        noise_seed in any::<u64>(),
+        noise_level in 0.0f64..50.0,
+    ) {
+        // Derive a second series deterministically from the first.
+        let mut noise_state = noise_seed | 1;
+        let mut next_noise = move || {
+            // xorshift
+            noise_state ^= noise_state << 13;
+            noise_state ^= noise_state >> 7;
+            noise_state ^= noise_state << 17;
+            ((noise_state % 2_000) as f64 / 1_000.0 - 1.0) * noise_level
+        };
+        let other: Vec<f64> = base.iter().map(|x| x * scale + next_noise()).collect();
+
+        let Some(exact) = exact_pearson(&base, &other) else {
+            return Ok(()); // constant series — undefined correlation
+        };
+        let za = standardize(&base);
+        let zb = standardize(&other);
+        if za.iter().all(|&v| v == 0.0) || zb.iter().all(|&v| v == 0.0) {
+            return Ok(());
+        }
+        let scheme = SignatureScheme::new(32, 2048, 7);
+        let est = scheme.estimate_correlation(&scheme.sign(&za), &scheme.sign(&zb));
+        prop_assert!(
+            (est - exact).abs() < 0.25,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+}

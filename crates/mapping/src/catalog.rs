@@ -1,0 +1,163 @@
+//! The mapping catalog, indexed by ontological term.
+
+use std::collections::HashMap;
+
+use optique_rdf::Iri;
+
+use crate::assertion::{MappingAssertion, MappingHead};
+
+/// A set of mapping assertions with term-indexed lookup — the deployment
+/// artifact BootOX produces and the unfolder consumes.
+#[derive(Clone, Debug, Default)]
+pub struct MappingCatalog {
+    assertions: Vec<MappingAssertion>,
+    by_class: HashMap<Iri, Vec<usize>>,
+    by_property: HashMap<Iri, Vec<usize>>,
+}
+
+impl MappingCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        MappingCatalog::default()
+    }
+
+    /// Adds an assertion after validation.
+    pub fn add(&mut self, assertion: MappingAssertion) -> Result<(), String> {
+        assertion.validate()?;
+        let idx = self.assertions.len();
+        match &assertion.head {
+            MappingHead::Class(c) => self.by_class.entry(c.clone()).or_default().push(idx),
+            MappingHead::Property(p) => self.by_property.entry(p.clone()).or_default().push(idx),
+        }
+        self.assertions.push(assertion);
+        Ok(())
+    }
+
+    /// All assertions.
+    pub fn assertions(&self) -> &[MappingAssertion] {
+        &self.assertions
+    }
+
+    /// Number of assertions.
+    pub fn len(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assertions.is_empty()
+    }
+
+    /// Assertions populating class `c`.
+    pub fn for_class(&self, c: &Iri) -> Vec<&MappingAssertion> {
+        self.by_class
+            .get(c)
+            .map(|ids| ids.iter().map(|&i| &self.assertions[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Assertions populating property `p`.
+    pub fn for_property(&self, p: &Iri) -> Vec<&MappingAssertion> {
+        self.by_property
+            .get(p)
+            .map(|ids| ids.iter().map(|&i| &self.assertions[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Ontological terms that have at least one mapping.
+    pub fn mapped_terms(&self) -> Vec<&Iri> {
+        let mut terms: Vec<&Iri> =
+            self.by_class.keys().chain(self.by_property.keys()).collect();
+        terms.sort();
+        terms
+    }
+
+    /// Merges another catalog into this one (BootOX "importing" flow).
+    pub fn merge(&mut self, other: MappingCatalog) -> Result<(), String> {
+        for a in other.assertions {
+            self.add(a)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::TermMap;
+    use optique_rdf::Datatype;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://x/{s}"))
+    }
+
+    fn catalog() -> MappingCatalog {
+        let mut c = MappingCatalog::new();
+        c.add(MappingAssertion::class(
+            "m1",
+            iri("Turbine"),
+            "SELECT tid FROM turbines",
+            TermMap::template("http://x/turbine/{tid}"),
+        ))
+        .unwrap();
+        c.add(MappingAssertion::class(
+            "m2",
+            iri("Turbine"),
+            "SELECT tid FROM legacy_turbines",
+            TermMap::template("http://x/turbine/{tid}"),
+        ))
+        .unwrap();
+        c.add(MappingAssertion::property(
+            "m3",
+            iri("hasValue"),
+            "SELECT sid, val FROM msmt",
+            TermMap::template("http://x/sensor/{sid}"),
+            TermMap::column("val", Datatype::Double),
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn lookup_by_term() {
+        let c = catalog();
+        assert_eq!(c.for_class(&iri("Turbine")).len(), 2);
+        assert_eq!(c.for_property(&iri("hasValue")).len(), 1);
+        assert!(c.for_class(&iri("Nope")).is_empty());
+    }
+
+    #[test]
+    fn invalid_assertion_rejected() {
+        let mut c = MappingCatalog::new();
+        let err = c.add(MappingAssertion::class(
+            "bad",
+            iri("X"),
+            "NOT SQL",
+            TermMap::template("http://x/{id}"),
+        ));
+        assert!(err.is_err());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn mapped_terms_sorted() {
+        let c = catalog();
+        let terms = c.mapped_terms();
+        assert_eq!(terms.len(), 2);
+    }
+
+    #[test]
+    fn merge_catalogs() {
+        let mut a = catalog();
+        let mut b = MappingCatalog::new();
+        b.add(MappingAssertion::class(
+            "m9",
+            iri("Sensor"),
+            "SELECT sid FROM sensors",
+            TermMap::template("http://x/sensor/{sid}"),
+        ))
+        .unwrap();
+        a.merge(b).unwrap();
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Single-variable IRI templates with inversion.
+
+use optique_relational::Value;
+
+/// An IRI template of shape `prefix{column}suffix`.
+///
+/// BootOX and the hand-written Siemens mappings only ever mint object
+/// identifiers from a single key column, so one variable slot is enforced —
+/// it is what makes template *inversion* (constant IRI → column constraint)
+/// and join-compatibility checks exact.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct IriTemplate {
+    prefix: String,
+    column: String,
+    suffix: String,
+}
+
+impl IriTemplate {
+    /// Parses `"http://x/turbine/{tid}"`-style templates. Exactly one
+    /// `{column}` slot is required.
+    pub fn parse(template: &str) -> Result<Self, String> {
+        let open = template
+            .find('{')
+            .ok_or_else(|| format!("template {template:?} has no {{column}} slot"))?;
+        let close = template[open..]
+            .find('}')
+            .map(|i| open + i)
+            .ok_or_else(|| format!("template {template:?} has an unterminated slot"))?;
+        let column = template[open + 1..close].to_string();
+        if column.is_empty() {
+            return Err(format!("template {template:?} has an empty column name"));
+        }
+        let rest = &template[close + 1..];
+        if rest.contains('{') {
+            return Err(format!("template {template:?} has more than one slot"));
+        }
+        Ok(IriTemplate {
+            prefix: template[..open].to_string(),
+            column,
+            suffix: rest.to_string(),
+        })
+    }
+
+    /// The column the slot reads.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// The template text with the slot as `{}` — the form the
+    /// `iri_template` SQL scalar takes.
+    pub fn sql_pattern(&self) -> String {
+        format!("{}{{}}{}", self.prefix, self.suffix)
+    }
+
+    /// Renders the IRI for a concrete value.
+    pub fn render(&self, value: &Value) -> String {
+        let middle = match value {
+            Value::Text(s) => s.to_string(),
+            other => other.to_string(),
+        };
+        format!("{}{middle}{}", self.prefix, self.suffix)
+    }
+
+    /// Two templates can produce equal IRIs only when their fixed parts
+    /// agree (they may differ in column *name* — that just means joining on
+    /// differently-named key columns).
+    pub fn compatible_with(&self, other: &IriTemplate) -> bool {
+        self.prefix == other.prefix && self.suffix == other.suffix
+    }
+
+    /// Inverts the template against a constant IRI: the column value that
+    /// would render it, or `None` when the IRI does not match. Numeric
+    /// strings come back as integers so column comparisons type-check.
+    pub fn invert(&self, iri: &str) -> Option<Value> {
+        let rest = iri.strip_prefix(self.prefix.as_str())?;
+        let middle = rest.strip_suffix(self.suffix.as_str())?;
+        if middle.is_empty() {
+            return None;
+        }
+        Some(match middle.parse::<i64>() {
+            Ok(n) => Value::Int(n),
+            Err(_) => Value::text(middle),
+        })
+    }
+}
+
+impl std::fmt::Display for IriTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{{{}}}{}", self.prefix, self.column, self.suffix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_render() {
+        let t = IriTemplate::parse("http://x/turbine/{tid}").unwrap();
+        assert_eq!(t.column(), "tid");
+        assert_eq!(t.render(&Value::Int(42)), "http://x/turbine/42");
+        assert_eq!(t.sql_pattern(), "http://x/turbine/{}");
+    }
+
+    #[test]
+    fn parse_with_suffix() {
+        let t = IriTemplate::parse("http://x/{sid}/sensor").unwrap();
+        assert_eq!(t.render(&Value::text("a7")), "http://x/a7/sensor");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(IriTemplate::parse("http://x/noslot").is_err());
+        assert!(IriTemplate::parse("http://x/{unterminated").is_err());
+        assert!(IriTemplate::parse("http://x/{}").is_err());
+        assert!(IriTemplate::parse("http://x/{a}/{b}").is_err());
+    }
+
+    #[test]
+    fn inversion() {
+        let t = IriTemplate::parse("http://x/turbine/{tid}").unwrap();
+        assert_eq!(t.invert("http://x/turbine/42"), Some(Value::Int(42)));
+        assert_eq!(t.invert("http://x/turbine/ab7"), Some(Value::text("ab7")));
+        assert_eq!(t.invert("http://x/sensor/42"), None);
+        assert_eq!(t.invert("http://x/turbine/"), None);
+    }
+
+    #[test]
+    fn compatibility_ignores_column_name() {
+        let a = IriTemplate::parse("http://x/t/{id}").unwrap();
+        let b = IriTemplate::parse("http://x/t/{turbine_id}").unwrap();
+        let c = IriTemplate::parse("http://x/s/{id}").unwrap();
+        assert!(a.compatible_with(&b));
+        assert!(!a.compatible_with(&c));
+    }
+
+    #[test]
+    fn roundtrip_display() {
+        let t = IriTemplate::parse("http://x/{sid}/part").unwrap();
+        let re = IriTemplate::parse(&t.to_string()).unwrap();
+        assert_eq!(t, re);
+    }
+}

@@ -1,0 +1,129 @@
+//! TBox axioms of the OWL 2 QL fragment.
+
+use std::fmt;
+
+use crate::concept::BasicConcept;
+use crate::role::Role;
+
+/// An OWL 2 QL (DL-Lite_R) TBox axiom.
+///
+/// `SubClass` covers the OWL constructs `SubClassOf`, `ObjectPropertyDomain`
+/// (`∃P ⊑ A`), `ObjectPropertyRange` (`∃P⁻ ⊑ A`), and mandatory-participation
+/// axioms (`A ⊑ ∃P`). `SubRole` covers `SubObjectPropertyOf` and (as a pair
+/// of inclusions) `InverseObjectProperties`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Axiom {
+    /// `sub ⊑ sup` between basic concepts.
+    SubClass {
+        /// Subsumed concept.
+        sub: BasicConcept,
+        /// Subsuming concept.
+        sup: BasicConcept,
+    },
+    /// `sub ⊑ sup` between roles.
+    SubRole {
+        /// Subsumed role.
+        sub: Role,
+        /// Subsuming role.
+        sup: Role,
+    },
+    /// `a ⊑ ¬b`: the two concepts share no instances.
+    DisjointClasses(BasicConcept, BasicConcept),
+    /// `r ⊑ ¬s`: the two roles share no pairs.
+    DisjointRoles(Role, Role),
+    /// `funct R`: integrity constraint — each subject has at most one
+    /// `R`-successor. Never used for rewriting (OWL 2 QL excludes it there);
+    /// the STARQL sequencing semantics checks it per window state.
+    Functional(Role),
+}
+
+impl Axiom {
+    /// Convenience: `SubClassOf(A, B)` between two named classes.
+    pub fn subclass(sub: impl Into<BasicConcept>, sup: impl Into<BasicConcept>) -> Self {
+        Axiom::SubClass { sub: sub.into(), sup: sup.into() }
+    }
+
+    /// Convenience: `ObjectPropertyDomain(P, A)` as `∃P ⊑ A`.
+    pub fn domain(property: impl Into<optique_rdf::Iri>, class: impl Into<BasicConcept>) -> Self {
+        Axiom::SubClass { sub: BasicConcept::Exists(Role::named(property.into())), sup: class.into() }
+    }
+
+    /// Convenience: `ObjectPropertyRange(P, A)` as `∃P⁻ ⊑ A`.
+    pub fn range(property: impl Into<optique_rdf::Iri>, class: impl Into<BasicConcept>) -> Self {
+        Axiom::SubClass {
+            sub: BasicConcept::Exists(Role::inverse_of(property.into())),
+            sup: class.into(),
+        }
+    }
+
+    /// Convenience: `SubObjectPropertyOf(P, Q)`.
+    pub fn subrole(sub: Role, sup: Role) -> Self {
+        Axiom::SubRole { sub, sup }
+    }
+
+    /// The pair of role inclusions equivalent to `InverseObjectProperties(P, Q)`.
+    pub fn inverse_properties(p: impl Into<optique_rdf::Iri>, q: impl Into<optique_rdf::Iri>) -> [Self; 2] {
+        let p = p.into();
+        let q = q.into();
+        [
+            Axiom::SubRole { sub: Role::named(p.clone()), sup: Role::inverse_of(q.clone()) },
+            Axiom::SubRole { sub: Role::named(q), sup: Role::inverse_of(p) },
+        ]
+    }
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axiom::SubClass { sub, sup } => write!(f, "{sub} ⊑ {sup}"),
+            Axiom::SubRole { sub, sup } => write!(f, "{sub} ⊑ {sup}"),
+            Axiom::DisjointClasses(a, b) => write!(f, "{a} ⊑ ¬{b}"),
+            Axiom::DisjointRoles(a, b) => write!(f, "{a} ⊑ ¬{b}"),
+            Axiom::Functional(r) => write!(f, "funct {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optique_rdf::Iri;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://x/{s}"))
+    }
+
+    #[test]
+    fn domain_is_exists_inclusion() {
+        let ax = Axiom::domain(iri("p"), BasicConcept::atomic(iri("A")));
+        let Axiom::SubClass { sub, .. } = &ax else { panic!() };
+        assert_eq!(sub, &BasicConcept::exists(iri("p")));
+    }
+
+    #[test]
+    fn range_is_inverse_exists_inclusion() {
+        let ax = Axiom::range(iri("p"), BasicConcept::atomic(iri("A")));
+        let Axiom::SubClass { sub, .. } = &ax else { panic!() };
+        assert_eq!(sub, &BasicConcept::exists_inverse(iri("p")));
+    }
+
+    #[test]
+    fn inverse_properties_expand_to_two_inclusions() {
+        let [a, b] = Axiom::inverse_properties(iri("hasPart"), iri("partOf"));
+        let Axiom::SubRole { sub: s1, sup: p1 } = &a else { panic!() };
+        let Axiom::SubRole { sub: s2, sup: p2 } = &b else { panic!() };
+        assert_eq!(s1, &Role::named(iri("hasPart")));
+        assert_eq!(p1, &Role::inverse_of(iri("partOf")));
+        assert_eq!(s2, &Role::named(iri("partOf")));
+        assert_eq!(p2, &Role::inverse_of(iri("hasPart")));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let ax = Axiom::subclass(
+            BasicConcept::atomic(iri("TemperatureSensor")),
+            BasicConcept::atomic(iri("Sensor")),
+        );
+        assert!(ax.to_string().contains("⊑"));
+    }
+}

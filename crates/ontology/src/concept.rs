@@ -1,0 +1,96 @@
+//! Basic concepts of DL-Lite_R.
+
+use std::fmt;
+
+use optique_rdf::Iri;
+
+use crate::role::Role;
+
+/// A DL-Lite_R *basic concept*: an atomic class or an unqualified
+/// existential restriction over a role.
+///
+/// `∃R` denotes "things with at least one `R`-successor"; `∃R⁻` (an
+/// existential over an inverse role) denotes "things with at least one
+/// `R`-predecessor". These are exactly the concept shapes OWL 2 QL permits
+/// on the left-hand side of inclusions, and — together with atomic classes —
+/// the shapes PerfectRef rewrites between.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum BasicConcept {
+    /// A named class `A`.
+    Atomic(Iri),
+    /// `∃R` for a (possibly inverse) role `R`.
+    Exists(Role),
+}
+
+impl BasicConcept {
+    /// A named class.
+    pub fn atomic(iri: impl Into<Iri>) -> Self {
+        BasicConcept::Atomic(iri.into())
+    }
+
+    /// `∃P` over a named property.
+    pub fn exists(iri: impl Into<Iri>) -> Self {
+        BasicConcept::Exists(Role::named(iri.into()))
+    }
+
+    /// `∃P⁻` over a named property.
+    pub fn exists_inverse(iri: impl Into<Iri>) -> Self {
+        BasicConcept::Exists(Role::inverse_of(iri.into()))
+    }
+
+    /// The class IRI when atomic.
+    pub fn as_atomic(&self) -> Option<&Iri> {
+        match self {
+            BasicConcept::Atomic(iri) => Some(iri),
+            BasicConcept::Exists(_) => None,
+        }
+    }
+
+    /// The role when existential.
+    pub fn as_exists(&self) -> Option<&Role> {
+        match self {
+            BasicConcept::Exists(role) => Some(role),
+            BasicConcept::Atomic(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for BasicConcept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicConcept::Atomic(iri) => write!(f, "{iri}"),
+            BasicConcept::Exists(role) => write!(f, "∃{role}"),
+        }
+    }
+}
+
+impl From<Iri> for BasicConcept {
+    fn from(value: Iri) -> Self {
+        BasicConcept::Atomic(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = BasicConcept::atomic(Iri::new("http://x/A"));
+        assert!(a.as_atomic().is_some());
+        assert!(a.as_exists().is_none());
+        let e = BasicConcept::exists(Iri::new("http://x/p"));
+        assert!(e.as_atomic().is_none());
+        assert_eq!(e.as_exists().unwrap().property().as_str(), "http://x/p");
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(BasicConcept::atomic(Iri::new("http://x/A")).to_string(), "<http://x/A>");
+        assert_eq!(BasicConcept::exists(Iri::new("http://x/p")).to_string(), "∃<http://x/p>");
+        assert_eq!(
+            BasicConcept::exists_inverse(Iri::new("http://x/p")).to_string(),
+            "∃<http://x/p>⁻"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! OWL 2 QL ontology model for Optique's semantic layer.
+//!
+//! OWL 2 QL is the profile the paper's STARQL language is defined over: it is
+//! the maximal OWL fragment for which conjunctive-query answering is
+//! *first-order rewritable*, i.e. the enrichment stage can compile the
+//! ontology into the query in polynomial time and hand the result to a plain
+//! relational engine. Semantically the profile corresponds to the description
+//! logic **DL-Lite_R**, which is exactly what this crate models:
+//!
+//! * [`Role`] — named object/data properties and their inverses,
+//! * [`BasicConcept`] — atomic classes `A` and unqualified existentials
+//!   `∃R`/`∃R⁻`,
+//! * [`Axiom`] — concept/role inclusions, disjointness, and functionality
+//!   (the latter kept as an *integrity constraint*, as in the paper's
+//!   sequencing semantics, never used for rewriting),
+//! * [`Ontology`] — the axiom store with applicability indexes used by the
+//!   PerfectRef-style rewriter in `optique-rewrite`,
+//! * [`parser`] — a functional-style text syntax for authoring TBoxes,
+//! * [`materialize`] — forward-chaining saturation of an RDF graph under a
+//!   TBox, used as the ground-truth oracle in rewriting tests.
+
+pub mod axiom;
+pub mod concept;
+pub mod materialize;
+pub mod ontology;
+pub mod parser;
+pub mod role;
+
+pub use axiom::Axiom;
+pub use concept::BasicConcept;
+pub use ontology::Ontology;
+pub use role::Role;

@@ -1,0 +1,377 @@
+//! Forward-chaining saturation (a bounded chase) of an RDF graph under a TBox.
+//!
+//! Used as the ground-truth oracle when testing the rewriting-based pipeline:
+//! answering a conjunctive query over the *materialized* graph must agree
+//! with answering the *rewritten* query over the raw graph. The chase is
+//! depth-bounded because DL-Lite existentials (`A ⊑ ∃R`) can generate
+//! infinite chains; queries in this workspace never traverse more than a few
+//! existential hops, so a small bound is exact for them.
+
+use std::collections::HashMap;
+
+use optique_rdf::{Graph, Iri, Term, Triple, TriplePattern};
+
+use crate::axiom::Axiom;
+use crate::concept::BasicConcept;
+use crate::ontology::Ontology;
+use crate::role::Role;
+
+/// Saturates `graph` under the TBox with existential-witness chains bounded
+/// by `max_chase_depth` (0 disables witness creation entirely). Returns the
+/// number of triples added.
+pub fn materialize(graph: &mut Graph, ontology: &Ontology, max_chase_depth: usize) -> usize {
+    let rdf_type = Iri::new(optique_rdf::vocab::rdf::TYPE);
+    let mut witness_depth: HashMap<u64, usize> = HashMap::new();
+    let mut added = 0usize;
+    loop {
+        let mut new_triples: Vec<Triple> = Vec::new();
+        for axiom in ontology.axioms() {
+            match axiom {
+                Axiom::SubClass { sub, sup } => {
+                    for member in concept_members(graph, sub) {
+                        extend_with_concept(
+                            graph,
+                            &member,
+                            sup,
+                            &rdf_type,
+                            max_chase_depth,
+                            &witness_depth,
+                            &mut new_triples,
+                        );
+                    }
+                }
+                Axiom::SubRole { sub, sup } => {
+                    for (x, y) in role_pairs(graph, sub) {
+                        let triple = role_triple(&x, &y, sup);
+                        if let Some(t) = triple {
+                            if !graph.contains(&t) {
+                                new_triples.push(t);
+                            }
+                        }
+                    }
+                }
+                // Constraints add no facts.
+                Axiom::DisjointClasses(..) | Axiom::DisjointRoles(..) | Axiom::Functional(..) => {}
+            }
+        }
+        if new_triples.is_empty() {
+            return added;
+        }
+        for t in new_triples {
+            // Track chase depth of freshly minted witnesses: a witness hanging
+            // off another witness is one level deeper.
+            if let Term::BNode(id) = &t.object {
+                if !witness_depth.contains_key(id) {
+                    let parent_depth = match &t.subject {
+                        Term::BNode(pid) => witness_depth.get(pid).copied().unwrap_or(0),
+                        _ => 0,
+                    };
+                    witness_depth.insert(*id, parent_depth + 1);
+                }
+            }
+            if graph.insert(t) {
+                added += 1;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_with_concept(
+    graph: &Graph,
+    member: &Term,
+    sup: &BasicConcept,
+    rdf_type: &Iri,
+    max_chase_depth: usize,
+    witness_depth: &HashMap<u64, usize>,
+    out: &mut Vec<Triple>,
+) {
+    match sup {
+        BasicConcept::Atomic(class) => {
+            let t = Triple::new(member.clone(), rdf_type.clone(), Term::Iri(class.clone()));
+            if !graph.contains(&t) {
+                out.push(t);
+            }
+        }
+        BasicConcept::Exists(role) => {
+            // `member ∈ ∃R` — if it has no R-successor yet, mint a witness,
+            // unless the member is itself a witness at the depth bound.
+            if has_role_successor(graph, member, role) {
+                return;
+            }
+            let depth = match member {
+                Term::BNode(id) => witness_depth.get(id).copied().unwrap_or(0),
+                _ => 0,
+            };
+            if depth >= max_chase_depth {
+                return;
+            }
+            // Deterministic witness id derived from insertion count: callers
+            // observe only that the witness is fresh.
+            let witness = Term::BNode(hash_witness(member, role));
+            if let Some(t) = role_triple(member, &witness, role) {
+                if !graph.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+    }
+}
+
+/// Stable witness id so repeated chase rounds reuse the same blank node
+/// instead of minting endless fresh ones for the same (member, role) demand.
+fn hash_witness(member: &Term, role: &Role) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    member.hash(&mut h);
+    role.hash(&mut h);
+    h.finish()
+}
+
+fn has_role_successor(graph: &Graph, member: &Term, role: &Role) -> bool {
+    let pattern = match role {
+        Role::Named(p) => TriplePattern::any()
+            .with_subject(member.clone())
+            .with_predicate(p.clone()),
+        Role::Inverse(p) => TriplePattern::any()
+            .with_predicate(p.clone())
+            .with_object(member.clone()),
+    };
+    !graph.matching(&pattern).is_empty()
+}
+
+/// The graph members of a basic concept: `A` → subjects of `rdf:type A`;
+/// `∃R` → subjects with an `R`-successor.
+pub fn concept_members(graph: &Graph, concept: &BasicConcept) -> Vec<Term> {
+    match concept {
+        BasicConcept::Atomic(class) => graph.instances_of(class),
+        BasicConcept::Exists(Role::Named(p)) => graph
+            .matching(&TriplePattern::any().with_predicate(p.clone()))
+            .into_iter()
+            .map(|t| t.subject)
+            .collect(),
+        BasicConcept::Exists(Role::Inverse(p)) => graph
+            .matching(&TriplePattern::any().with_predicate(p.clone()))
+            .into_iter()
+            .filter(|t| t.object.is_resource())
+            .map(|t| t.object)
+            .collect(),
+    }
+}
+
+/// The `(x, y)` pairs of a role in the graph, normalised so `x` is the role
+/// subject (i.e. inverse roles swap the triple's positions).
+pub fn role_pairs(graph: &Graph, role: &Role) -> Vec<(Term, Term)> {
+    let triples = graph.matching(&TriplePattern::any().with_predicate(role.property().clone()));
+    triples
+        .into_iter()
+        .filter_map(|t| match role {
+            Role::Named(_) => Some((t.subject, t.object)),
+            Role::Inverse(_) => {
+                if t.object.is_resource() {
+                    Some((t.object, t.subject))
+                } else {
+                    None
+                }
+            }
+        })
+        .collect()
+}
+
+fn role_triple(x: &Term, y: &Term, role: &Role) -> Option<Triple> {
+    match role {
+        Role::Named(p) => Some(Triple::new(x.clone(), p.clone(), y.clone())),
+        Role::Inverse(p) => {
+            if y.is_resource() {
+                Some(Triple::new(y.clone(), p.clone(), x.clone()))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// ABox-level constraint violations found in a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An individual belongs to two disjoint concepts.
+    DisjointConcepts {
+        /// The offending individual.
+        individual: Term,
+        /// First concept.
+        left: BasicConcept,
+        /// Second concept.
+        right: BasicConcept,
+    },
+    /// A functional role with two distinct successors for one subject.
+    Functionality {
+        /// The role asserted functional.
+        role: Role,
+        /// The subject with multiple successors.
+        subject: Term,
+    },
+}
+
+/// Checks a (typically materialized) graph against the TBox's disjointness
+/// and functionality constraints — the consistency half of OBSSDI's
+/// closed-world integrity checking.
+pub fn check_constraints(graph: &Graph, ontology: &Ontology) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (a, b) in ontology.disjoint_concepts() {
+        let left: std::collections::BTreeSet<_> = concept_members(graph, a).into_iter().collect();
+        for member in concept_members(graph, b) {
+            if left.contains(&member) {
+                violations.push(Violation::DisjointConcepts {
+                    individual: member,
+                    left: a.clone(),
+                    right: b.clone(),
+                });
+            }
+        }
+    }
+    for role in ontology.functional_roles() {
+        let mut seen: HashMap<Term, Term> = HashMap::new();
+        for (x, y) in role_pairs(graph, role) {
+            match seen.get(&x) {
+                Some(existing) if existing != &y => {
+                    violations.push(Violation::Functionality { role: role.clone(), subject: x });
+                }
+                _ => {
+                    seen.insert(x, y);
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://x/{s}"))
+    }
+
+    fn atomic(s: &str) -> BasicConcept {
+        BasicConcept::atomic(iri(s))
+    }
+
+    fn tbox() -> Ontology {
+        let mut o = Ontology::new();
+        o.add_axiom(Axiom::subclass(atomic("TempSensor"), atomic("Sensor")));
+        o.add_axiom(Axiom::domain(iri("inAssembly"), atomic("Sensor")));
+        o.add_axiom(Axiom::range(iri("inAssembly"), atomic("Assembly")));
+        o.add_axiom(Axiom::subrole(Role::named(iri("partOf")), Role::named(iri("locatedIn"))));
+        o
+    }
+
+    #[test]
+    fn subclass_materializes() {
+        let mut g = Graph::new();
+        g.insert(Triple::class_assertion(Term::iri("http://x/s1"), iri("TempSensor")));
+        materialize(&mut g, &tbox(), 0);
+        assert!(g.contains(&Triple::class_assertion(Term::iri("http://x/s1"), iri("Sensor"))));
+    }
+
+    #[test]
+    fn domain_and_range_materialize() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(Term::iri("http://x/s1"), iri("inAssembly"), Term::iri("http://x/a1")));
+        materialize(&mut g, &tbox(), 0);
+        assert!(g.contains(&Triple::class_assertion(Term::iri("http://x/s1"), iri("Sensor"))));
+        assert!(g.contains(&Triple::class_assertion(Term::iri("http://x/a1"), iri("Assembly"))));
+    }
+
+    #[test]
+    fn subrole_materializes() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(Term::iri("http://x/p1"), iri("partOf"), Term::iri("http://x/t1")));
+        materialize(&mut g, &tbox(), 0);
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://x/p1"),
+            iri("locatedIn"),
+            Term::iri("http://x/t1")
+        )));
+    }
+
+    #[test]
+    fn existential_mints_bounded_witnesses() {
+        let mut o = Ontology::new();
+        // A ⊑ ∃p and ∃p⁻ ⊑ A: each witness re-enters A, creating a chain.
+        o.add_axiom(Axiom::SubClass { sub: atomic("A"), sup: BasicConcept::exists(iri("p")) });
+        o.add_axiom(Axiom::range(iri("p"), atomic("A")));
+        let mut g = Graph::new();
+        g.insert(Triple::class_assertion(Term::iri("http://x/a"), iri("A")));
+        materialize(&mut g, &o, 2);
+        // depth bound 2: a → w1 → w2, and w2 gets typed A but no further p edge.
+        let p_edges = g.matching(&TriplePattern::any().with_predicate(iri("p")));
+        assert_eq!(p_edges.len(), 2, "chase depth bounded");
+    }
+
+    #[test]
+    fn chase_depth_zero_adds_no_witnesses() {
+        let mut o = Ontology::new();
+        o.add_axiom(Axiom::SubClass { sub: atomic("A"), sup: BasicConcept::exists(iri("p")) });
+        let mut g = Graph::new();
+        g.insert(Triple::class_assertion(Term::iri("http://x/a"), iri("A")));
+        let added = materialize(&mut g, &o, 0);
+        assert_eq!(added, 0);
+    }
+
+    #[test]
+    fn existing_successor_satisfies_existential() {
+        let mut o = Ontology::new();
+        o.add_axiom(Axiom::SubClass { sub: atomic("A"), sup: BasicConcept::exists(iri("p")) });
+        let mut g = Graph::new();
+        g.insert(Triple::class_assertion(Term::iri("http://x/a"), iri("A")));
+        g.insert(Triple::new(Term::iri("http://x/a"), iri("p"), Term::iri("http://x/b")));
+        let before = g.len();
+        materialize(&mut g, &o, 3);
+        assert_eq!(g.len(), before, "no witness needed");
+    }
+
+    #[test]
+    fn disjointness_violation_detected() {
+        let mut o = tbox();
+        o.add_axiom(Axiom::DisjointClasses(atomic("Sensor"), atomic("Turbine")));
+        let mut g = Graph::new();
+        g.insert(Triple::class_assertion(Term::iri("http://x/z"), iri("Sensor")));
+        g.insert(Triple::class_assertion(Term::iri("http://x/z"), iri("Turbine")));
+        let violations = check_constraints(&g, &o);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(violations[0], Violation::DisjointConcepts { .. }));
+    }
+
+    #[test]
+    fn functionality_violation_detected() {
+        let mut o = Ontology::new();
+        o.add_axiom(Axiom::Functional(Role::named(iri("inAssembly"))));
+        let mut g = Graph::new();
+        g.insert(Triple::new(Term::iri("http://x/s"), iri("inAssembly"), Term::iri("http://x/a1")));
+        g.insert(Triple::new(Term::iri("http://x/s"), iri("inAssembly"), Term::iri("http://x/a2")));
+        let violations = check_constraints(&g, &o);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(violations[0], Violation::Functionality { .. }));
+    }
+
+    #[test]
+    fn consistent_graph_passes() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(Term::iri("http://x/s"), iri("inAssembly"), Term::iri("http://x/a1")));
+        materialize(&mut g, &tbox(), 0);
+        assert!(check_constraints(&g, &tbox()).is_empty());
+    }
+
+    #[test]
+    fn materialize_is_idempotent() {
+        let mut g = Graph::new();
+        g.insert(Triple::class_assertion(Term::iri("http://x/s1"), iri("TempSensor")));
+        materialize(&mut g, &tbox(), 1);
+        let len = g.len();
+        let added = materialize(&mut g, &tbox(), 1);
+        assert_eq!(added, 0);
+        assert_eq!(g.len(), len);
+    }
+}

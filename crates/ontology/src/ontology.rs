@@ -1,0 +1,434 @@
+//! The TBox store with the applicability indexes used by enrichment.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use optique_rdf::Iri;
+
+use crate::axiom::Axiom;
+use crate::concept::BasicConcept;
+use crate::role::Role;
+
+/// An OWL 2 QL TBox: declared vocabulary plus axioms, indexed for the
+/// backward-chaining accesses that PerfectRef-style rewriting performs.
+///
+/// Two index directions are maintained: `sup → direct subs` (who is directly
+/// subsumed by this concept/role — the rewriter's "applicable axioms"
+/// question) and `sub → direct sups` (used by classification, satisfiability
+/// and the materialization oracle).
+#[derive(Clone, Default)]
+pub struct Ontology {
+    axioms: Vec<Axiom>,
+    classes: BTreeSet<Iri>,
+    object_properties: BTreeSet<Iri>,
+    data_properties: BTreeSet<Iri>,
+    subs_of_concept: HashMap<BasicConcept, Vec<BasicConcept>>,
+    sups_of_concept: HashMap<BasicConcept, Vec<BasicConcept>>,
+    subs_of_role: HashMap<Role, Vec<Role>>,
+    sups_of_role: HashMap<Role, Vec<Role>>,
+    disjoint_concepts: Vec<(BasicConcept, BasicConcept)>,
+    disjoint_roles: Vec<(Role, Role)>,
+    functional: HashSet<Role>,
+}
+
+impl Ontology {
+    /// An empty TBox.
+    pub fn new() -> Self {
+        Ontology::default()
+    }
+
+    /// Declares a named class (idempotent).
+    pub fn declare_class(&mut self, iri: impl Into<Iri>) {
+        self.classes.insert(iri.into());
+    }
+
+    /// Declares an object property (idempotent).
+    pub fn declare_object_property(&mut self, iri: impl Into<Iri>) {
+        self.object_properties.insert(iri.into());
+    }
+
+    /// Declares a data property (idempotent).
+    pub fn declare_data_property(&mut self, iri: impl Into<Iri>) {
+        self.data_properties.insert(iri.into());
+    }
+
+    /// Declared classes in sorted order.
+    pub fn classes(&self) -> impl Iterator<Item = &Iri> {
+        self.classes.iter()
+    }
+
+    /// Declared object properties in sorted order.
+    pub fn object_properties(&self) -> impl Iterator<Item = &Iri> {
+        self.object_properties.iter()
+    }
+
+    /// Declared data properties in sorted order.
+    pub fn data_properties(&self) -> impl Iterator<Item = &Iri> {
+        self.data_properties.iter()
+    }
+
+    /// True when `iri` is declared as a data property.
+    pub fn is_data_property(&self, iri: &Iri) -> bool {
+        self.data_properties.contains(iri)
+    }
+
+    /// All axioms in insertion order.
+    pub fn axioms(&self) -> &[Axiom] {
+        &self.axioms
+    }
+
+    /// Number of axioms.
+    pub fn axiom_count(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Adds an axiom, auto-declaring any vocabulary it mentions, and updates
+    /// the applicability indexes.
+    pub fn add_axiom(&mut self, axiom: Axiom) {
+        match &axiom {
+            Axiom::SubClass { sub, sup } => {
+                self.note_concept(sub);
+                self.note_concept(sup);
+                self.subs_of_concept.entry(sup.clone()).or_default().push(sub.clone());
+                self.sups_of_concept.entry(sub.clone()).or_default().push(sup.clone());
+            }
+            Axiom::SubRole { sub, sup } => {
+                self.note_role(sub);
+                self.note_role(sup);
+                // A role inclusion S ⊑ R entails S⁻ ⊑ R⁻; index both
+                // orientations so closure walks need no special-casing.
+                for (s, r) in [(sub.clone(), sup.clone()), (sub.inverse(), sup.inverse())] {
+                    self.subs_of_role.entry(r.clone()).or_default().push(s.clone());
+                    self.sups_of_role.entry(s).or_default().push(r);
+                }
+            }
+            Axiom::DisjointClasses(a, b) => {
+                self.note_concept(a);
+                self.note_concept(b);
+                self.disjoint_concepts.push((a.clone(), b.clone()));
+            }
+            Axiom::DisjointRoles(a, b) => {
+                self.note_role(a);
+                self.note_role(b);
+                self.disjoint_roles.push((a.clone(), b.clone()));
+            }
+            Axiom::Functional(role) => {
+                self.note_role(role);
+                self.functional.insert(role.clone());
+            }
+        }
+        self.axioms.push(axiom);
+    }
+
+    fn note_concept(&mut self, concept: &BasicConcept) {
+        match concept {
+            BasicConcept::Atomic(iri) => {
+                self.classes.insert(iri.clone());
+            }
+            BasicConcept::Exists(role) => self.note_role(role),
+        }
+    }
+
+    fn note_role(&mut self, role: &Role) {
+        let iri = role.property().clone();
+        if !self.data_properties.contains(&iri) {
+            self.object_properties.insert(iri);
+        }
+    }
+
+    /// Direct subsumees of a concept: every `B` with an explicit `B ⊑ concept`
+    /// axiom (not including those induced by role inclusions).
+    pub fn direct_sub_concepts(&self, concept: &BasicConcept) -> &[BasicConcept] {
+        self.subs_of_concept.get(concept).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Direct subsumees of a role, with inverse orientations already folded in.
+    pub fn direct_sub_roles(&self, role: &Role) -> &[Role] {
+        self.subs_of_role.get(role).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Reflexive-transitive subsumee closure of a concept, accounting for
+    /// role inclusions (`S ⊑ R` entails `∃S ⊑ ∃R`).
+    pub fn sub_concepts_closure(&self, concept: &BasicConcept) -> BTreeSet<BasicConcept> {
+        self.concept_closure(concept, Direction::Down)
+    }
+
+    /// Reflexive-transitive subsumer closure of a concept.
+    pub fn sup_concepts_closure(&self, concept: &BasicConcept) -> BTreeSet<BasicConcept> {
+        self.concept_closure(concept, Direction::Up)
+    }
+
+    fn concept_closure(&self, concept: &BasicConcept, dir: Direction) -> BTreeSet<BasicConcept> {
+        let mut seen: BTreeSet<BasicConcept> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(concept.clone());
+        queue.push_back(concept.clone());
+        while let Some(current) = queue.pop_front() {
+            let concept_edges = match dir {
+                Direction::Down => self.subs_of_concept.get(&current),
+                Direction::Up => self.sups_of_concept.get(&current),
+            };
+            let role_neighbours: Vec<BasicConcept> = match &current {
+                BasicConcept::Exists(role) => {
+                    let role_edges = match dir {
+                        Direction::Down => self.subs_of_role.get(role),
+                        Direction::Up => self.sups_of_role.get(role),
+                    };
+                    role_edges
+                        .into_iter()
+                        .flatten()
+                        .map(|r| BasicConcept::Exists(r.clone()))
+                        .collect()
+                }
+                BasicConcept::Atomic(_) => Vec::new(),
+            };
+            for next in concept_edges.into_iter().flatten().cloned().chain(role_neighbours) {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reflexive-transitive subsumee closure of a role.
+    pub fn sub_roles_closure(&self, role: &Role) -> BTreeSet<Role> {
+        self.role_closure(role, Direction::Down)
+    }
+
+    /// Reflexive-transitive subsumer closure of a role.
+    pub fn sup_roles_closure(&self, role: &Role) -> BTreeSet<Role> {
+        self.role_closure(role, Direction::Up)
+    }
+
+    fn role_closure(&self, role: &Role, dir: Direction) -> BTreeSet<Role> {
+        let mut seen: BTreeSet<Role> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(role.clone());
+        queue.push_back(role.clone());
+        while let Some(current) = queue.pop_front() {
+            let edges = match dir {
+                Direction::Down => self.subs_of_role.get(&current),
+                Direction::Up => self.sups_of_role.get(&current),
+            };
+            for next in edges.into_iter().flatten().cloned() {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Classifies the atomic class hierarchy: for each declared class, the
+    /// set of its atomic subsumers (excluding itself).
+    pub fn classify(&self) -> BTreeMap<Iri, BTreeSet<Iri>> {
+        let mut out = BTreeMap::new();
+        for class in &self.classes {
+            let concept = BasicConcept::Atomic(class.clone());
+            let sups: BTreeSet<Iri> = self
+                .sup_concepts_closure(&concept)
+                .into_iter()
+                .filter_map(|c| c.as_atomic().cloned())
+                .filter(|iri| iri != class)
+                .collect();
+            out.insert(class.clone(), sups);
+        }
+        out
+    }
+
+    /// Declared disjointness between concepts (as asserted, not closed).
+    pub fn disjoint_concepts(&self) -> &[(BasicConcept, BasicConcept)] {
+        &self.disjoint_concepts
+    }
+
+    /// Declared disjointness between roles.
+    pub fn disjoint_roles(&self) -> &[(Role, Role)] {
+        &self.disjoint_roles
+    }
+
+    /// Roles asserted functional.
+    pub fn functional_roles(&self) -> impl Iterator<Item = &Role> {
+        self.functional.iter()
+    }
+
+    /// True when `role` is asserted functional.
+    pub fn is_functional(&self, role: &Role) -> bool {
+        self.functional.contains(role)
+    }
+
+    /// A concept is unsatisfiable when its subsumer closure contains two
+    /// concepts asserted disjoint (directly or through further subsumption).
+    pub fn is_satisfiable(&self, concept: &BasicConcept) -> bool {
+        let sups = self.sup_concepts_closure(concept);
+        for (a, b) in &self.disjoint_concepts {
+            let a_hit = sups.iter().any(|s| self.sup_concepts_closure(s).contains(a));
+            let b_hit = sups.iter().any(|s| self.sup_concepts_closure(s).contains(b));
+            if a_hit && b_hit {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All declared classes that are unsatisfiable — the "quality
+    /// verification" check BootOX runs after bootstrapping or importing.
+    pub fn unsatisfiable_classes(&self) -> Vec<Iri> {
+        self.classes
+            .iter()
+            .filter(|c| !self.is_satisfiable(&BasicConcept::Atomic((*c).clone())))
+            .cloned()
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Up,
+    Down,
+}
+
+impl std::fmt::Debug for Ontology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Ontology({} axioms, {} classes, {} object props, {} data props)",
+            self.axioms.len(),
+            self.classes.len(),
+            self.object_properties.len(),
+            self.data_properties.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://x/{s}"))
+    }
+
+    fn atomic(s: &str) -> BasicConcept {
+        BasicConcept::atomic(iri(s))
+    }
+
+    /// TBox used across tests:
+    /// TempSensor ⊑ Sensor ⊑ Device; ∃inAssembly ⊑ Sensor; ∃inAssembly⁻ ⊑ Assembly;
+    /// partOf ⊑ locatedIn; Turbine disj Sensor; funct inAssembly.
+    fn siemens_like() -> Ontology {
+        let mut o = Ontology::new();
+        o.add_axiom(Axiom::subclass(atomic("TempSensor"), atomic("Sensor")));
+        o.add_axiom(Axiom::subclass(atomic("Sensor"), atomic("Device")));
+        o.add_axiom(Axiom::domain(iri("inAssembly"), atomic("Sensor")));
+        o.add_axiom(Axiom::range(iri("inAssembly"), atomic("Assembly")));
+        o.add_axiom(Axiom::subrole(Role::named(iri("partOf")), Role::named(iri("locatedIn"))));
+        o.add_axiom(Axiom::DisjointClasses(atomic("Turbine"), atomic("Sensor")));
+        o.add_axiom(Axiom::Functional(Role::named(iri("inAssembly"))));
+        o
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let o = siemens_like();
+        let sups = o.sup_concepts_closure(&atomic("TempSensor"));
+        assert!(sups.contains(&atomic("Sensor")));
+        assert!(sups.contains(&atomic("Device")));
+    }
+
+    #[test]
+    fn closure_is_reflexive() {
+        let o = siemens_like();
+        assert!(o.sup_concepts_closure(&atomic("Sensor")).contains(&atomic("Sensor")));
+        assert!(o.sub_concepts_closure(&atomic("Sensor")).contains(&atomic("Sensor")));
+    }
+
+    #[test]
+    fn domain_gives_exists_subsumee() {
+        let o = siemens_like();
+        let subs = o.sub_concepts_closure(&atomic("Sensor"));
+        assert!(subs.contains(&BasicConcept::exists(iri("inAssembly"))));
+        // And transitively Device subsumes ∃inAssembly.
+        let device_subs = o.sub_concepts_closure(&atomic("Device"));
+        assert!(device_subs.contains(&BasicConcept::exists(iri("inAssembly"))));
+    }
+
+    #[test]
+    fn role_inclusion_induces_exists_inclusion() {
+        let o = siemens_like();
+        let subs = o.sub_concepts_closure(&BasicConcept::exists(iri("locatedIn")));
+        assert!(subs.contains(&BasicConcept::exists(iri("partOf"))));
+        // Inverse orientation too.
+        let subs_inv = o.sub_concepts_closure(&BasicConcept::exists_inverse(iri("locatedIn")));
+        assert!(subs_inv.contains(&BasicConcept::exists_inverse(iri("partOf"))));
+    }
+
+    #[test]
+    fn role_closure_handles_inverse_orientation() {
+        let o = siemens_like();
+        let subs = o.sub_roles_closure(&Role::inverse_of(iri("locatedIn")));
+        assert!(subs.contains(&Role::inverse_of(iri("partOf"))));
+    }
+
+    #[test]
+    fn classify_lists_atomic_subsumers() {
+        let o = siemens_like();
+        let taxonomy = o.classify();
+        let temp_sups = &taxonomy[&iri("TempSensor")];
+        assert!(temp_sups.contains(&iri("Sensor")));
+        assert!(temp_sups.contains(&iri("Device")));
+        assert!(!temp_sups.contains(&iri("TempSensor")), "classification excludes self");
+    }
+
+    #[test]
+    fn satisfiability_detects_disjointness_clash() {
+        let mut o = siemens_like();
+        // TurbineSensor ⊑ Turbine and ⊑ Sensor, which are disjoint.
+        o.add_axiom(Axiom::subclass(atomic("TurbineSensor"), atomic("Turbine")));
+        o.add_axiom(Axiom::subclass(atomic("TurbineSensor"), atomic("Sensor")));
+        assert!(!o.is_satisfiable(&atomic("TurbineSensor")));
+        assert_eq!(o.unsatisfiable_classes(), vec![iri("TurbineSensor")]);
+    }
+
+    #[test]
+    fn satisfiable_by_default() {
+        let o = siemens_like();
+        assert!(o.is_satisfiable(&atomic("Sensor")));
+        assert!(o.unsatisfiable_classes().is_empty());
+    }
+
+    #[test]
+    fn functional_roles_recorded() {
+        let o = siemens_like();
+        assert!(o.is_functional(&Role::named(iri("inAssembly"))));
+        assert!(!o.is_functional(&Role::named(iri("partOf"))));
+    }
+
+    #[test]
+    fn vocabulary_autodeclared() {
+        let o = siemens_like();
+        let classes: Vec<_> = o.classes().cloned().collect();
+        assert!(classes.contains(&iri("Sensor")));
+        assert!(classes.contains(&iri("Assembly")));
+        let props: Vec<_> = o.object_properties().cloned().collect();
+        assert!(props.contains(&iri("inAssembly")));
+    }
+
+    #[test]
+    fn data_property_declaration_wins_over_autodeclare() {
+        let mut o = Ontology::new();
+        o.declare_data_property(iri("hasValue"));
+        o.add_axiom(Axiom::domain(iri("hasValue"), atomic("Sensor")));
+        assert!(o.is_data_property(&iri("hasValue")));
+        assert!(!o.object_properties().any(|p| p == &iri("hasValue")));
+    }
+
+    #[test]
+    fn cyclic_hierarchy_terminates() {
+        let mut o = Ontology::new();
+        o.add_axiom(Axiom::subclass(atomic("A"), atomic("B")));
+        o.add_axiom(Axiom::subclass(atomic("B"), atomic("A")));
+        let sups = o.sup_concepts_closure(&atomic("A"));
+        assert!(sups.contains(&atomic("B")));
+        assert_eq!(sups.len(), 2);
+    }
+}

@@ -1,0 +1,394 @@
+//! A functional-style text syntax for authoring OWL 2 QL TBoxes.
+//!
+//! The grammar is a pragmatic subset of the OWL 2 Functional-Style Syntax,
+//! restricted to the constructs expressible in the QL profile:
+//!
+//! ```text
+//! Prefix(sie: <http://siemens.example/ontology#>)
+//! Declaration(Class(sie:Turbine))
+//! Declaration(ObjectProperty(sie:inAssembly))
+//! Declaration(DataProperty(sie:hasValue))
+//! SubClassOf(sie:TempSensor sie:Sensor)
+//! SubClassOf(sie:Turbine ObjectSomeValuesFrom(sie:hasPart owl:Thing))
+//! ObjectPropertyDomain(sie:inAssembly sie:Sensor)
+//! ObjectPropertyRange(sie:inAssembly sie:Assembly)
+//! SubObjectPropertyOf(sie:partOf sie:locatedIn)
+//! SubObjectPropertyOf(ObjectInverseOf(sie:hasPart) sie:partOf)
+//! InverseObjectProperties(sie:hasPart sie:partOf)
+//! DisjointClasses(sie:Turbine sie:Sensor)
+//! FunctionalObjectProperty(sie:inAssembly)
+//! FunctionalDataProperty(sie:hasValue)
+//! DataPropertyDomain(sie:hasValue sie:Sensor)
+//! ```
+//!
+//! Comments start with `#` and run to end of line. Whitespace is free-form.
+
+use optique_rdf::{Iri, Namespaces};
+
+use crate::axiom::Axiom;
+use crate::concept::BasicConcept;
+use crate::ontology::Ontology;
+use crate::role::Role;
+
+/// A parse failure with positional context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OntologyParseError {
+    /// 1-based line where the failure was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for OntologyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for OntologyParseError {}
+
+/// Parses a TBox document, returning the ontology and the prefix table it
+/// declared (callers reuse the prefixes to compact IRIs in reports).
+pub fn parse_ontology(text: &str) -> Result<(Ontology, Namespaces), OntologyParseError> {
+    let mut namespaces = Namespaces::with_w3c_defaults();
+    let mut ontology = Ontology::new();
+    let mut tokens = Tokenizer::new(text);
+    while let Some(tok) = tokens.next_token()? {
+        let Token::Ident(head) = tok else {
+            return Err(tokens.error(format!("expected construct name, got {tok:?}")));
+        };
+        tokens.expect(Token::Open)?;
+        match head.as_str() {
+            "Prefix" => parse_prefix(&mut tokens, &mut namespaces)?,
+            "Declaration" => parse_declaration(&mut tokens, &namespaces, &mut ontology)?,
+            "SubClassOf" => {
+                let sub = parse_concept(&mut tokens, &namespaces)?;
+                let sup = parse_concept(&mut tokens, &namespaces)?;
+                ontology.add_axiom(Axiom::SubClass { sub, sup });
+            }
+            "ObjectPropertyDomain" => {
+                let role = parse_role(&mut tokens, &namespaces)?;
+                let sup = parse_concept(&mut tokens, &namespaces)?;
+                ontology.add_axiom(Axiom::SubClass { sub: BasicConcept::Exists(role), sup });
+            }
+            "ObjectPropertyRange" => {
+                let role = parse_role(&mut tokens, &namespaces)?;
+                let sup = parse_concept(&mut tokens, &namespaces)?;
+                ontology
+                    .add_axiom(Axiom::SubClass { sub: BasicConcept::Exists(role.inverse()), sup });
+            }
+            "DataPropertyDomain" => {
+                let prop = parse_curie(&mut tokens, &namespaces)?;
+                ontology.declare_data_property(prop.clone());
+                let sup = parse_concept(&mut tokens, &namespaces)?;
+                ontology
+                    .add_axiom(Axiom::SubClass { sub: BasicConcept::Exists(Role::Named(prop)), sup });
+            }
+            "SubObjectPropertyOf" => {
+                let sub = parse_role(&mut tokens, &namespaces)?;
+                let sup = parse_role(&mut tokens, &namespaces)?;
+                ontology.add_axiom(Axiom::SubRole { sub, sup });
+            }
+            "InverseObjectProperties" => {
+                let p = parse_curie(&mut tokens, &namespaces)?;
+                let q = parse_curie(&mut tokens, &namespaces)?;
+                for ax in Axiom::inverse_properties(p, q) {
+                    ontology.add_axiom(ax);
+                }
+            }
+            "DisjointClasses" => {
+                let a = parse_concept(&mut tokens, &namespaces)?;
+                let b = parse_concept(&mut tokens, &namespaces)?;
+                ontology.add_axiom(Axiom::DisjointClasses(a, b));
+            }
+            "DisjointObjectProperties" => {
+                let a = parse_role(&mut tokens, &namespaces)?;
+                let b = parse_role(&mut tokens, &namespaces)?;
+                ontology.add_axiom(Axiom::DisjointRoles(a, b));
+            }
+            "FunctionalObjectProperty" => {
+                let role = parse_role(&mut tokens, &namespaces)?;
+                ontology.add_axiom(Axiom::Functional(role));
+            }
+            "FunctionalDataProperty" => {
+                let prop = parse_curie(&mut tokens, &namespaces)?;
+                ontology.declare_data_property(prop.clone());
+                ontology.add_axiom(Axiom::Functional(Role::Named(prop)));
+            }
+            other => return Err(tokens.error(format!("unsupported construct {other}"))),
+        }
+        tokens.expect(Token::Close)?;
+    }
+    Ok((ontology, namespaces))
+}
+
+fn parse_prefix(tokens: &mut Tokenizer<'_>, ns: &mut Namespaces) -> Result<(), OntologyParseError> {
+    let Some(Token::Ident(binding)) = tokens.next_token()? else {
+        return Err(tokens.error("expected `prefix:` binding".into()));
+    };
+    let prefix = binding
+        .strip_suffix(':')
+        .ok_or_else(|| tokens.error(format!("prefix binding must end with ':', got {binding}")))?
+        .to_string();
+    let Some(Token::IriRef(iri)) = tokens.next_token()? else {
+        return Err(tokens.error("expected <IRI> after prefix".into()));
+    };
+    ns.bind(prefix, iri);
+    Ok(())
+}
+
+fn parse_declaration(
+    tokens: &mut Tokenizer<'_>,
+    ns: &Namespaces,
+    ontology: &mut Ontology,
+) -> Result<(), OntologyParseError> {
+    let Some(Token::Ident(kind)) = tokens.next_token()? else {
+        return Err(tokens.error("expected entity kind in Declaration".into()));
+    };
+    tokens.expect(Token::Open)?;
+    let iri = parse_curie(tokens, ns)?;
+    tokens.expect(Token::Close)?;
+    match kind.as_str() {
+        "Class" => ontology.declare_class(iri),
+        "ObjectProperty" => ontology.declare_object_property(iri),
+        "DataProperty" => ontology.declare_data_property(iri),
+        other => return Err(tokens.error(format!("unsupported declaration kind {other}"))),
+    }
+    Ok(())
+}
+
+fn parse_concept(
+    tokens: &mut Tokenizer<'_>,
+    ns: &Namespaces,
+) -> Result<BasicConcept, OntologyParseError> {
+    match tokens.next_token()? {
+        Some(Token::Ident(name)) if name == "ObjectSomeValuesFrom" => {
+            tokens.expect(Token::Open)?;
+            let role = parse_role(tokens, ns)?;
+            // The filler must be owl:Thing in OWL 2 QL subclass position.
+            let filler = parse_curie(tokens, ns)?;
+            if filler.as_str() != optique_rdf::vocab::owl::THING {
+                return Err(tokens.error(format!(
+                    "OWL 2 QL restricts existential fillers here to owl:Thing, got {filler}"
+                )));
+            }
+            tokens.expect(Token::Close)?;
+            Ok(BasicConcept::Exists(role))
+        }
+        Some(tok) => {
+            let iri = curie_from_token(tok, ns).map_err(|m| tokens.error(m))?;
+            Ok(BasicConcept::Atomic(iri))
+        }
+        None => Err(tokens.error("expected concept, found end of input".into())),
+    }
+}
+
+fn parse_role(tokens: &mut Tokenizer<'_>, ns: &Namespaces) -> Result<Role, OntologyParseError> {
+    match tokens.next_token()? {
+        Some(Token::Ident(name)) if name == "ObjectInverseOf" => {
+            tokens.expect(Token::Open)?;
+            let iri = parse_curie(tokens, ns)?;
+            tokens.expect(Token::Close)?;
+            Ok(Role::Inverse(iri))
+        }
+        Some(tok) => {
+            let iri = curie_from_token(tok, ns).map_err(|m| tokens.error(m))?;
+            Ok(Role::Named(iri))
+        }
+        None => Err(tokens.error("expected role, found end of input".into())),
+    }
+}
+
+fn parse_curie(tokens: &mut Tokenizer<'_>, ns: &Namespaces) -> Result<Iri, OntologyParseError> {
+    match tokens.next_token()? {
+        Some(tok) => curie_from_token(tok, ns).map_err(|m| tokens.error(m)),
+        None => Err(tokens.error("expected IRI, found end of input".into())),
+    }
+}
+
+fn curie_from_token(tok: Token, ns: &Namespaces) -> Result<Iri, String> {
+    match tok {
+        Token::IriRef(full) => Ok(Iri::new(full)),
+        Token::Ident(curie) => ns
+            .expand(&curie)
+            .ok_or_else(|| format!("unbound or malformed CURIE {curie}")),
+        other => Err(format!("expected IRI or CURIE, got {other:?}")),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    IriRef(String),
+    Open,
+    Close,
+}
+
+struct Tokenizer<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(text: &'a str) -> Self {
+        Tokenizer { rest: text, line: 1 }
+    }
+
+    fn error(&self, message: String) -> OntologyParseError {
+        OntologyParseError { line: self.line, message }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            let trimmed = self.rest.trim_start_matches(|c: char| {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                c.is_whitespace()
+            });
+            if let Some(after) = trimmed.strip_prefix('#') {
+                let end = after.find('\n').map(|i| i + 1).unwrap_or(after.len());
+                if after[..end].ends_with('\n') {
+                    self.line += 1;
+                }
+                self.rest = &after[end..];
+            } else {
+                self.rest = trimmed;
+                return;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, OntologyParseError> {
+        self.skip_trivia();
+        let mut chars = self.rest.chars();
+        let Some(first) = chars.next() else {
+            return Ok(None);
+        };
+        match first {
+            '(' => {
+                self.rest = &self.rest[1..];
+                Ok(Some(Token::Open))
+            }
+            ')' => {
+                self.rest = &self.rest[1..];
+                Ok(Some(Token::Close))
+            }
+            '<' => {
+                let end = self
+                    .rest
+                    .find('>')
+                    .ok_or_else(|| self.error("unterminated <IRI>".into()))?;
+                let iri = self.rest[1..end].to_string();
+                self.rest = &self.rest[end + 1..];
+                Ok(Some(Token::IriRef(iri)))
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let end = self
+                    .rest
+                    .find(|ch: char| !(ch.is_alphanumeric() || ch == '_' || ch == ':' || ch == '-' || ch == '.'))
+                    .unwrap_or(self.rest.len());
+                let ident = self.rest[..end].to_string();
+                self.rest = &self.rest[end..];
+                Ok(Some(Token::Ident(ident)))
+            }
+            other => Err(self.error(format!("unexpected character {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, expected: Token) -> Result<(), OntologyParseError> {
+        match self.next_token()? {
+            Some(tok) if tok == expected => Ok(()),
+            Some(tok) => Err(self.error(format!("expected {expected:?}, got {tok:?}"))),
+            None => Err(self.error(format!("expected {expected:?}, found end of input"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        Prefix(sie: <http://siemens.example/ontology#>)
+        # equipment taxonomy
+        Declaration(Class(sie:Turbine))
+        Declaration(DataProperty(sie:hasValue))
+        SubClassOf(sie:TempSensor sie:Sensor)
+        SubClassOf(sie:Turbine ObjectSomeValuesFrom(sie:hasPart owl:Thing))
+        ObjectPropertyDomain(sie:inAssembly sie:Sensor)
+        ObjectPropertyRange(sie:inAssembly sie:Assembly)
+        SubObjectPropertyOf(sie:partOf sie:locatedIn)
+        SubObjectPropertyOf(ObjectInverseOf(sie:hasPart) sie:partOf)
+        InverseObjectProperties(sie:hasPart sie:partOf)
+        DisjointClasses(sie:Turbine sie:Sensor)
+        FunctionalObjectProperty(sie:inAssembly)
+        FunctionalDataProperty(sie:hasValue)
+        DataPropertyDomain(sie:hasValue sie:Sensor)
+    "#;
+
+    #[test]
+    fn parses_sample_document() {
+        let (onto, ns) = parse_ontology(SAMPLE).unwrap();
+        assert!(onto.axiom_count() >= 11);
+        assert!(ns.namespace("sie").is_some());
+        let sensor = ns.expand("sie:Sensor").unwrap();
+        let temp = ns.expand("sie:TempSensor").unwrap();
+        assert!(onto
+            .sup_concepts_closure(&BasicConcept::Atomic(temp))
+            .contains(&BasicConcept::Atomic(sensor)));
+    }
+
+    #[test]
+    fn data_property_tracked() {
+        let (onto, ns) = parse_ontology(SAMPLE).unwrap();
+        assert!(onto.is_data_property(&ns.expand("sie:hasValue").unwrap()));
+    }
+
+    #[test]
+    fn existential_superclass_parses() {
+        let (onto, ns) = parse_ontology(SAMPLE).unwrap();
+        let turbine = BasicConcept::Atomic(ns.expand("sie:Turbine").unwrap());
+        let has_part = ns.expand("sie:hasPart").unwrap();
+        assert!(onto
+            .sup_concepts_closure(&turbine)
+            .contains(&BasicConcept::Exists(Role::Named(has_part))));
+    }
+
+    #[test]
+    fn inverse_role_in_subproperty_position() {
+        let (onto, ns) = parse_ontology(SAMPLE).unwrap();
+        let part_of = Role::Named(ns.expand("sie:partOf").unwrap());
+        let has_part_inv = Role::Inverse(ns.expand("sie:hasPart").unwrap());
+        assert!(onto.sub_roles_closure(&part_of).contains(&has_part_inv));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_ontology("Prefix(sie: <http://x#>)\nBogus(sie:A)").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("Bogus"));
+    }
+
+    #[test]
+    fn unbound_prefix_rejected() {
+        let err = parse_ontology("SubClassOf(foo:A foo:B)").unwrap_err();
+        assert!(err.message.contains("unbound"));
+    }
+
+    #[test]
+    fn non_thing_filler_rejected() {
+        let err = parse_ontology(
+            "Prefix(s: <http://x#>)\nSubClassOf(s:A ObjectSomeValuesFrom(s:p s:B))",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("owl:Thing"));
+    }
+
+    #[test]
+    fn full_iris_accepted_anywhere() {
+        let (onto, _) =
+            parse_ontology("SubClassOf(<http://a/X> <http://a/Y>)").unwrap();
+        assert_eq!(onto.axiom_count(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Roles: object/data properties and their inverses.
+
+use std::fmt;
+
+use optique_rdf::Iri;
+
+/// A DL-Lite_R role: a named property or the inverse of one.
+///
+/// Data properties are modelled as roles whose object position holds a
+/// literal; the rewriter never inverts them (inverting a data property is
+/// not expressible in OWL 2 QL), which callers enforce by only constructing
+/// [`Role::Inverse`] for object properties.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Role {
+    /// A named property `P`.
+    Named(Iri),
+    /// The inverse `P⁻` of a named property.
+    Inverse(Iri),
+}
+
+impl Role {
+    /// A named role.
+    pub fn named(iri: impl Into<Iri>) -> Self {
+        Role::Named(iri.into())
+    }
+
+    /// The inverse of a named role.
+    pub fn inverse_of(iri: impl Into<Iri>) -> Self {
+        Role::Inverse(iri.into())
+    }
+
+    /// The underlying property IRI, regardless of direction.
+    pub fn property(&self) -> &Iri {
+        match self {
+            Role::Named(iri) | Role::Inverse(iri) => iri,
+        }
+    }
+
+    /// Swaps direction: `P ↦ P⁻`, `P⁻ ↦ P`.
+    pub fn inverse(&self) -> Role {
+        match self {
+            Role::Named(iri) => Role::Inverse(iri.clone()),
+            Role::Inverse(iri) => Role::Named(iri.clone()),
+        }
+    }
+
+    /// True for `P⁻`.
+    pub fn is_inverse(&self) -> bool {
+        matches!(self, Role::Inverse(_))
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Named(iri) => write!(f, "{iri}"),
+            Role::Inverse(iri) => write!(f, "{iri}⁻"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_inverse_is_identity() {
+        let r = Role::named(Iri::new("http://x/p"));
+        assert_eq!(r.inverse().inverse(), r);
+    }
+
+    #[test]
+    fn property_ignores_direction() {
+        let p = Iri::new("http://x/p");
+        assert_eq!(Role::named(p.clone()).property(), &p);
+        assert_eq!(Role::inverse_of(p.clone()).property(), &p);
+    }
+
+    #[test]
+    fn inverse_flag() {
+        assert!(!Role::named(Iri::new("http://x/p")).is_inverse());
+        assert!(Role::inverse_of(Iri::new("http://x/p")).is_inverse());
+    }
+}

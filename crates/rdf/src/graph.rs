@@ -1,0 +1,350 @@
+//! An interned, triple-indexed in-memory RDF graph.
+//!
+//! The graph interns every distinct [`Term`] once and stores triples as
+//! `(u32, u32, u32)` id tuples in three `BTreeSet` orderings (SPO, POS, OSP).
+//! Any triple pattern with at least one bound position is answered by a range
+//! scan over the ordering whose prefix is bound, so lookups are logarithmic
+//! in graph size; a fully unbound pattern degrades to a full SPO scan.
+
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
+
+use crate::term::{Iri, Term};
+use crate::triple::Triple;
+
+type Id = u32;
+
+/// A triple pattern: each position is either a bound term or a wildcard.
+#[derive(Clone, Debug, Default)]
+pub struct TriplePattern {
+    /// Bound subject, or `None` for a wildcard.
+    pub subject: Option<Term>,
+    /// Bound predicate, or `None` for a wildcard.
+    pub predicate: Option<Iri>,
+    /// Bound object, or `None` for a wildcard.
+    pub object: Option<Term>,
+}
+
+impl TriplePattern {
+    /// The all-wildcard pattern matching every triple.
+    pub fn any() -> Self {
+        TriplePattern::default()
+    }
+
+    /// Pattern builder: bind the subject.
+    pub fn with_subject(mut self, s: Term) -> Self {
+        self.subject = Some(s);
+        self
+    }
+
+    /// Pattern builder: bind the predicate.
+    pub fn with_predicate(mut self, p: Iri) -> Self {
+        self.predicate = Some(p);
+        self
+    }
+
+    /// Pattern builder: bind the object.
+    pub fn with_object(mut self, o: Term) -> Self {
+        self.object = Some(o);
+        self
+    }
+}
+
+/// An in-memory RDF graph with SPO/POS/OSP indexes.
+#[derive(Clone, Default)]
+pub struct Graph {
+    terms: Vec<Term>,
+    ids: HashMap<Term, Id>,
+    spo: BTreeSet<(Id, Id, Id)>,
+    pos: BTreeSet<(Id, Id, Id)>,
+    osp: BTreeSet<(Id, Id, Id)>,
+    next_bnode: u64,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of triples stored.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Number of distinct terms interned (useful for memory accounting).
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Mints a blank node that is fresh for this graph.
+    pub fn fresh_bnode(&mut self) -> Term {
+        let id = self.next_bnode;
+        self.next_bnode += 1;
+        Term::BNode(id)
+    }
+
+    fn intern(&mut self, term: &Term) -> Id {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = Id::try_from(self.terms.len()).expect("more than u32::MAX distinct terms");
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    fn lookup(&self, term: &Term) -> Option<Id> {
+        self.ids.get(term).copied()
+    }
+
+    /// Inserts a triple; returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let s = self.intern(&triple.subject);
+        let p = self.intern(&Term::Iri(triple.predicate.clone()));
+        let o = self.intern(&triple.object);
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Membership test.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.lookup(&triple.subject),
+            self.lookup(&Term::Iri(triple.predicate.clone())),
+            self.lookup(&triple.object),
+        ) else {
+            return false;
+        };
+        self.spo.contains(&(s, p, o))
+    }
+
+    fn term(&self, id: Id) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    fn rebuild(&self, (s, p, o): (Id, Id, Id)) -> Triple {
+        let Term::Iri(predicate) = self.term(p).clone() else {
+            unreachable!("predicate position always interns an IRI");
+        };
+        Triple { subject: self.term(s).clone(), predicate, object: self.term(o).clone() }
+    }
+
+    /// Iterates over all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&ids| self.rebuild(ids))
+    }
+
+    /// Answers a triple pattern, choosing the best index for its bound prefix.
+    pub fn matching(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        let s = pattern.subject.as_ref().map(|t| self.lookup(t));
+        let p = pattern.predicate.as_ref().map(|i| self.lookup(&Term::Iri(i.clone())));
+        let o = pattern.object.as_ref().map(|t| self.lookup(t));
+        // A bound term absent from the graph can never match.
+        for slot in [&s, &p, &o] {
+            if matches!(slot, Some(None)) {
+                return Vec::new();
+            }
+        }
+        let s = s.flatten();
+        let p = p.flatten();
+        let o = o.flatten();
+
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![self.rebuild((s, p, o))]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .range2(&self.spo, s, p)
+                .map(|&ids| self.rebuild(ids))
+                .collect(),
+            (Some(s), None, None) => self
+                .range1(&self.spo, s)
+                .map(|&ids| self.rebuild(ids))
+                .collect(),
+            (None, Some(p), Some(o)) => self
+                .range2(&self.pos, p, o)
+                .map(|&(p, o, s)| self.rebuild((s, p, o)))
+                .collect(),
+            (None, Some(p), None) => self
+                .range1(&self.pos, p)
+                .map(|&(p, o, s)| self.rebuild((s, p, o)))
+                .collect(),
+            (None, None, Some(o)) => self
+                .range1(&self.osp, o)
+                .map(|&(o, s, p)| self.rebuild((s, p, o)))
+                .collect(),
+            (Some(s), None, Some(o)) => self
+                .range2(&self.osp, o, s)
+                .map(|&(o, s, p)| self.rebuild((s, p, o)))
+                .collect(),
+            (None, None, None) => self.iter().collect(),
+        }
+    }
+
+    fn range1<'a>(
+        &'a self,
+        index: &'a BTreeSet<(Id, Id, Id)>,
+        a: Id,
+    ) -> impl Iterator<Item = &'a (Id, Id, Id)> {
+        index.range((Bound::Included((a, 0, 0)), Bound::Included((a, Id::MAX, Id::MAX))))
+    }
+
+    fn range2<'a>(
+        &'a self,
+        index: &'a BTreeSet<(Id, Id, Id)>,
+        a: Id,
+        b: Id,
+    ) -> impl Iterator<Item = &'a (Id, Id, Id)> {
+        index.range((Bound::Included((a, b, 0)), Bound::Included((a, b, Id::MAX))))
+    }
+
+    /// All subjects appearing with `rdf:type == class`.
+    pub fn instances_of(&self, class: &Iri) -> Vec<Term> {
+        self.matching(
+            &TriplePattern::any()
+                .with_predicate(Iri::new(crate::vocab::rdf::TYPE))
+                .with_object(Term::Iri(class.clone())),
+        )
+        .into_iter()
+        .map(|t| t.subject)
+        .collect()
+    }
+
+    /// Bulk-extends the graph from an iterator of triples.
+    pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph({} triples, {} terms)", self.len(), self.term_count())
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://x/{s}"))
+    }
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert(Triple::class_assertion(Term::Iri(iri("s1")), iri("Sensor")));
+        g.insert(Triple::class_assertion(Term::Iri(iri("s2")), iri("Sensor")));
+        g.insert(Triple::class_assertion(Term::Iri(iri("t1")), iri("Turbine")));
+        g.insert(Triple::new(Term::Iri(iri("s1")), iri("inAssembly"), Term::Iri(iri("a1"))));
+        g.insert(Triple::new(Term::Iri(iri("s1")), iri("hasValue"), Term::Literal(Literal::double(90.0))));
+        g.insert(Triple::new(Term::Iri(iri("s2")), iri("hasValue"), Term::Literal(Literal::double(70.0))));
+        g
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut g = sample_graph();
+        let n = g.len();
+        assert!(!g.insert(Triple::class_assertion(Term::Iri(iri("s1")), iri("Sensor"))));
+        assert_eq!(g.len(), n);
+    }
+
+    #[test]
+    fn contains_finds_inserted() {
+        let g = sample_graph();
+        assert!(g.contains(&Triple::class_assertion(Term::Iri(iri("s1")), iri("Sensor"))));
+        assert!(!g.contains(&Triple::class_assertion(Term::Iri(iri("s1")), iri("Turbine"))));
+    }
+
+    #[test]
+    fn pattern_by_subject() {
+        let g = sample_graph();
+        let out = g.matching(&TriplePattern::any().with_subject(Term::Iri(iri("s1"))));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn pattern_by_predicate() {
+        let g = sample_graph();
+        let out = g.matching(&TriplePattern::any().with_predicate(iri("hasValue")));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn pattern_by_object() {
+        let g = sample_graph();
+        let out = g.matching(&TriplePattern::any().with_object(Term::Iri(iri("Sensor"))));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn pattern_subject_object() {
+        let g = sample_graph();
+        let out = g.matching(
+            &TriplePattern::any()
+                .with_subject(Term::Iri(iri("s1")))
+                .with_object(Term::Iri(iri("a1"))),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].predicate, iri("inAssembly"));
+    }
+
+    #[test]
+    fn pattern_with_unknown_term_matches_nothing() {
+        let g = sample_graph();
+        let out = g.matching(&TriplePattern::any().with_subject(Term::Iri(iri("nope"))));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn full_scan_returns_everything() {
+        let g = sample_graph();
+        assert_eq!(g.matching(&TriplePattern::any()).len(), g.len());
+    }
+
+    #[test]
+    fn instances_of_class() {
+        let g = sample_graph();
+        let sensors = g.instances_of(&iri("Sensor"));
+        assert_eq!(sensors.len(), 2);
+    }
+
+    #[test]
+    fn fresh_bnodes_are_distinct() {
+        let mut g = Graph::new();
+        let a = g.fresh_bnode();
+        let b = g.fresh_bnode();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let g: Graph = sample_graph().iter().collect();
+        assert_eq!(g.len(), sample_graph().len());
+    }
+}

@@ -1,0 +1,27 @@
+//! RDF data-model substrate for the Optique OBSSDI stack.
+//!
+//! Optique's semantic layer speaks RDF: ontologies are sets of axioms over IRIs,
+//! mappings populate *virtual* RDF graphs from relational data, and STARQL
+//! `CONSTRUCT` clauses emit RDF triples on the output stream. This crate
+//! provides the minimal-but-faithful core the rest of the stack builds on:
+//!
+//! * [`Iri`], [`Literal`], [`Term`] — the term model with cheap (`Arc`-backed)
+//!   clones and typed literal accessors,
+//! * [`Triple`] and [`Graph`] — an interned, triple-indexed in-memory graph
+//!   with SPO/POS/OSP orderings for pattern matching,
+//! * [`vocab`] — the RDF/RDFS/OWL/XSD vocabulary constants used by the
+//!   ontology and bootstrapping layers,
+//! * [`Namespaces`] — prefix management and CURIE expansion,
+//! * [`ntriples`] — a line-oriented serialization for debugging and tests.
+
+pub mod graph;
+pub mod namespace;
+pub mod ntriples;
+pub mod term;
+pub mod triple;
+pub mod vocab;
+
+pub use graph::{Graph, TriplePattern};
+pub use namespace::Namespaces;
+pub use term::{Datatype, Iri, Literal, Term};
+pub use triple::Triple;

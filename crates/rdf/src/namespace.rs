@@ -1,0 +1,113 @@
+//! Prefix management and CURIE expansion.
+
+use std::collections::HashMap;
+
+use crate::term::Iri;
+
+/// A prefix table mapping short names (`sie`, `rdf`, …) to namespace IRIs.
+///
+/// STARQL queries and bootstrapped mappings use compact CURIEs such as
+/// `sie:Sensor`; this table expands them to full IRIs and renders full IRIs
+/// back to their compact form for display.
+#[derive(Clone, Debug, Default)]
+pub struct Namespaces {
+    prefixes: HashMap<String, String>,
+}
+
+impl Namespaces {
+    /// An empty prefix table.
+    pub fn new() -> Self {
+        Namespaces::default()
+    }
+
+    /// A table pre-loaded with the W3C prefixes (`rdf`, `rdfs`, `owl`, `xsd`).
+    pub fn with_w3c_defaults() -> Self {
+        let mut ns = Namespaces::new();
+        ns.bind("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#");
+        ns.bind("rdfs", "http://www.w3.org/2000/01/rdf-schema#");
+        ns.bind("owl", "http://www.w3.org/2002/07/owl#");
+        ns.bind("xsd", "http://www.w3.org/2001/XMLSchema#");
+        ns
+    }
+
+    /// Binds `prefix` to `namespace`, replacing any previous binding.
+    pub fn bind(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
+        self.prefixes.insert(prefix.into(), namespace.into());
+    }
+
+    /// Looks up the namespace bound to `prefix`.
+    pub fn namespace(&self, prefix: &str) -> Option<&str> {
+        self.prefixes.get(prefix).map(String::as_str)
+    }
+
+    /// Expands a CURIE (`sie:Sensor`) to a full IRI. Returns `None` when the
+    /// prefix is unbound or the input has no colon.
+    pub fn expand(&self, curie: &str) -> Option<Iri> {
+        let (prefix, local) = curie.split_once(':')?;
+        let ns = self.prefixes.get(prefix)?;
+        Some(Iri::new(format!("{ns}{local}")))
+    }
+
+    /// Renders an IRI compactly when some bound namespace prefixes it;
+    /// otherwise returns the bracketed full form.
+    pub fn compact(&self, iri: &Iri) -> String {
+        for (prefix, ns) in &self.prefixes {
+            if let Some(local) = iri.as_str().strip_prefix(ns.as_str()) {
+                if !local.is_empty() && !local.contains(['/', '#']) {
+                    return format!("{prefix}:{local}");
+                }
+            }
+        }
+        iri.to_string()
+    }
+
+    /// Iterates over `(prefix, namespace)` bindings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.prefixes.iter().map(|(p, n)| (p.as_str(), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_bound_prefix() {
+        let mut ns = Namespaces::new();
+        ns.bind("sie", "http://siemens.example/ontology#");
+        let iri = ns.expand("sie:Sensor").unwrap();
+        assert_eq!(iri.as_str(), "http://siemens.example/ontology#Sensor");
+    }
+
+    #[test]
+    fn expand_unbound_prefix_fails() {
+        let ns = Namespaces::new();
+        assert!(ns.expand("sie:Sensor").is_none());
+        assert!(ns.expand("nocolon").is_none());
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let mut ns = Namespaces::with_w3c_defaults();
+        ns.bind("sie", "http://siemens.example/ontology#");
+        let iri = ns.expand("sie:Turbine").unwrap();
+        assert_eq!(ns.compact(&iri), "sie:Turbine");
+    }
+
+    #[test]
+    fn compact_falls_back_to_full_form() {
+        let ns = Namespaces::new();
+        let iri = Iri::new("http://elsewhere/x");
+        assert_eq!(ns.compact(&iri), "<http://elsewhere/x>");
+    }
+
+    #[test]
+    fn w3c_defaults_present() {
+        let ns = Namespaces::with_w3c_defaults();
+        assert_eq!(
+            ns.expand("rdf:type").unwrap().as_str(),
+            crate::vocab::rdf::TYPE
+        );
+        assert!(ns.namespace("owl").is_some());
+    }
+}

@@ -1,0 +1,191 @@
+//! Line-oriented N-Triples-style serialization.
+//!
+//! Used for debugging, golden tests and the dashboard's raw answer view. The
+//! parser accepts the subset that [`write_graph`] emits (IRIs, blank nodes,
+//! string/typed literals) — enough for graph round-trips within this
+//! workspace, not a general-purpose N-Triples implementation.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+use crate::term::{Datatype, Iri, Literal, Term};
+use crate::triple::Triple;
+
+/// Serializes a graph, one triple per line, in deterministic SPO-index order.
+pub fn write_graph(graph: &Graph) -> String {
+    let mut out = String::new();
+    for triple in graph.iter() {
+        let _ = writeln!(out, "{triple}");
+    }
+    out
+}
+
+/// Errors raised while parsing the serialized form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the output of [`write_graph`] back into a [`Graph`].
+pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(line).map_err(|message| ParseError { line: line_no, message })?;
+        graph.insert(triple);
+    }
+    Ok(graph)
+}
+
+fn parse_line(line: &str) -> Result<Triple, String> {
+    let body = line
+        .strip_suffix('.')
+        .ok_or_else(|| "missing terminating '.'".to_string())?
+        .trim_end();
+    let (subject, rest) = parse_term(body)?;
+    let (pred_term, rest) = parse_term(rest)?;
+    let Term::Iri(predicate) = pred_term else {
+        return Err("predicate must be an IRI".into());
+    };
+    let (object, rest) = parse_term(rest)?;
+    if !rest.trim().is_empty() {
+        return Err(format!("trailing content: {rest:?}"));
+    }
+    if !subject.is_resource() {
+        return Err("subject must be an IRI or blank node".into());
+    }
+    Ok(Triple { subject, predicate, object })
+}
+
+fn parse_term(input: &str) -> Result<(Term, &str), String> {
+    let input = input.trim_start();
+    if let Some(rest) = input.strip_prefix('<') {
+        let end = rest.find('>').ok_or("unterminated IRI")?;
+        let iri = &rest[..end];
+        return Ok((Term::Iri(Iri::new(iri)), &rest[end + 1..]));
+    }
+    if let Some(rest) = input.strip_prefix("_:b") {
+        let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+        let id: u64 = rest[..end].parse().map_err(|_| "bad blank node id".to_string())?;
+        return Ok((Term::BNode(id), &rest[end..]));
+    }
+    if let Some(rest) = input.strip_prefix('"') {
+        let end = find_unescaped_quote(rest).ok_or("unterminated literal")?;
+        let lexical = rest[..end].replace("\\\"", "\"").replace("\\\\", "\\");
+        let after = &rest[end + 1..];
+        if let Some(dt_rest) = after.strip_prefix("^^<") {
+            let dt_end = dt_rest.find('>').ok_or("unterminated datatype IRI")?;
+            let datatype = datatype_from_iri(&dt_rest[..dt_end])?;
+            return Ok((Term::Literal(Literal::typed(lexical, datatype)), &dt_rest[dt_end + 1..]));
+        }
+        return Ok((Term::Literal(Literal::string(lexical)), after));
+    }
+    Err(format!("cannot parse term at: {input:?}"))
+}
+
+fn find_unescaped_quote(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn datatype_from_iri(iri: &str) -> Result<Datatype, String> {
+    use crate::vocab::xsd;
+    match iri {
+        xsd::STRING => Ok(Datatype::String),
+        xsd::INTEGER => Ok(Datatype::Integer),
+        xsd::DOUBLE => Ok(Datatype::Double),
+        xsd::BOOLEAN => Ok(Datatype::Boolean),
+        xsd::DATE_TIME => Ok(Datatype::DateTime),
+        xsd::DURATION => Ok(Datatype::Duration),
+        other => Err(format!("unsupported datatype {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(Triple::class_assertion(Term::iri("http://x/s1"), Iri::new("http://x/Sensor")));
+        g.insert(Triple::new(
+            Term::iri("http://x/s1"),
+            Iri::new("http://x/hasValue"),
+            Term::Literal(Literal::double(81.25)),
+        ));
+        g.insert(Triple::new(
+            Term::BNode(7),
+            Iri::new("http://x/label"),
+            Term::Literal(Literal::string("main \"hot\" sensor")),
+        ));
+        g
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let text = write_graph(&g);
+        let back = parse_graph(&text).unwrap();
+        assert_eq!(back.len(), g.len());
+        for t in g.iter() {
+            assert!(back.contains(&t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let g = parse_graph("# comment\n\n<http://x/a> <http://x/p> <http://x/b> .\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse_graph("<http://x/a> <http://x/p> <http://x/b> .\ngarbage\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        let err = parse_graph("\"lit\" <http://x/p> <http://x/b> .").unwrap_err();
+        assert!(err.message.contains("subject"));
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let err = parse_graph("<http://x/a> <http://x/p> <http://x/b>").unwrap_err();
+        assert!(err.message.contains("terminating"));
+    }
+
+    #[test]
+    fn typed_literal_parses() {
+        let g = parse_graph(
+            "<http://x/a> <http://x/v> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+        )
+        .unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.object.as_literal().unwrap().as_i64(), Some(5));
+    }
+}

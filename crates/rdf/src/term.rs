@@ -1,0 +1,350 @@
+//! RDF terms: IRIs, blank nodes and typed literals.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An Internationalized Resource Identifier.
+///
+/// Backed by an `Arc<str>` so that clones are reference-count bumps; IRIs are
+/// copied pervasively through rewriting and unfolding, so cheap clones matter.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    /// Creates an IRI from any string-like value. No syntactic validation is
+    /// performed beyond rejecting the empty string, mirroring the lenient
+    /// behaviour of most RDF toolkits on already-trusted vocabularies.
+    pub fn new(value: impl AsRef<str>) -> Self {
+        let v = value.as_ref();
+        assert!(!v.is_empty(), "IRI must not be empty");
+        Iri(Arc::from(v))
+    }
+
+    /// The full textual form of the IRI.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The fragment or final path segment — the "local name" used when
+    /// rendering compact forms (e.g. `Sensor` for `…/siemens#Sensor`).
+    pub fn local_name(&self) -> &str {
+        let s = self.as_str();
+        match s.rfind(['#', '/']) {
+            Some(idx) if idx + 1 < s.len() => &s[idx + 1..],
+            _ => s,
+        }
+    }
+
+    /// The namespace part: everything up to and including the last `#` or `/`.
+    pub fn namespace(&self) -> &str {
+        let s = self.as_str();
+        match s.rfind(['#', '/']) {
+            Some(idx) if idx + 1 < s.len() => &s[..=idx],
+            _ => "",
+        }
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(value: &str) -> Self {
+        Iri::new(value)
+    }
+}
+
+impl From<String> for Iri {
+    fn from(value: String) -> Self {
+        Iri::new(value)
+    }
+}
+
+/// The XSD datatypes the Optique stack manipulates.
+///
+/// The relational layer produces exactly these shapes (see
+/// `optique-relational`'s value model), so a closed enum is both faster and
+/// more honest than carrying arbitrary datatype IRIs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Datatype {
+    /// `xsd:string`
+    String,
+    /// `xsd:integer`
+    Integer,
+    /// `xsd:double`
+    Double,
+    /// `xsd:boolean`
+    Boolean,
+    /// `xsd:dateTime`, lexical form is an ISO-8601 instant
+    DateTime,
+    /// `xsd:duration`, e.g. `PT10S`
+    Duration,
+}
+
+impl Datatype {
+    /// The canonical XSD IRI for this datatype.
+    pub fn iri(self) -> Iri {
+        let s = match self {
+            Datatype::String => crate::vocab::xsd::STRING,
+            Datatype::Integer => crate::vocab::xsd::INTEGER,
+            Datatype::Double => crate::vocab::xsd::DOUBLE,
+            Datatype::Boolean => crate::vocab::xsd::BOOLEAN,
+            Datatype::DateTime => crate::vocab::xsd::DATE_TIME,
+            Datatype::Duration => crate::vocab::xsd::DURATION,
+        };
+        Iri::new(s)
+    }
+}
+
+/// A typed RDF literal: a lexical form plus one of the supported datatypes.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    lexical: Arc<str>,
+    datatype: Datatype,
+}
+
+impl Literal {
+    /// A plain `xsd:string` literal.
+    pub fn string(value: impl AsRef<str>) -> Self {
+        Literal { lexical: Arc::from(value.as_ref()), datatype: Datatype::String }
+    }
+
+    /// An `xsd:integer` literal in canonical form.
+    pub fn integer(value: i64) -> Self {
+        Literal { lexical: Arc::from(value.to_string().as_str()), datatype: Datatype::Integer }
+    }
+
+    /// An `xsd:double` literal. NaN is permitted (lexical `NaN`).
+    pub fn double(value: f64) -> Self {
+        Literal { lexical: Arc::from(value.to_string().as_str()), datatype: Datatype::Double }
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Literal { lexical: Arc::from(if value { "true" } else { "false" }), datatype: Datatype::Boolean }
+    }
+
+    /// An `xsd:dateTime` literal from a millisecond Unix timestamp. The
+    /// lexical form keeps the raw milliseconds readable (the stream layer
+    /// works in integer milliseconds throughout).
+    pub fn datetime_millis(millis: i64) -> Self {
+        Literal { lexical: Arc::from(millis.to_string().as_str()), datatype: Datatype::DateTime }
+    }
+
+    /// An `xsd:duration` literal from a lexical form such as `PT10S`.
+    pub fn duration(lexical: impl AsRef<str>) -> Self {
+        Literal { lexical: Arc::from(lexical.as_ref()), datatype: Datatype::Duration }
+    }
+
+    /// A literal with an explicit datatype and lexical form.
+    pub fn typed(lexical: impl AsRef<str>, datatype: Datatype) -> Self {
+        Literal { lexical: Arc::from(lexical.as_ref()), datatype }
+    }
+
+    /// The lexical form.
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    /// The datatype tag.
+    pub fn datatype(&self) -> Datatype {
+        self.datatype
+    }
+
+    /// Numeric view of the literal, when its datatype admits one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.datatype {
+            Datatype::Integer | Datatype::Double | Datatype::DateTime => {
+                self.lexical.parse::<f64>().ok()
+            }
+            _ => None,
+        }
+    }
+
+    /// Integer view of the literal, when its datatype admits one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.datatype {
+            Datatype::Integer | Datatype::DateTime => self.lexical.parse::<i64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the literal.
+    pub fn as_bool(&self) -> Option<bool> {
+        match (self.datatype, self.lexical()) {
+            (Datatype::Boolean, "true" | "1") => Some(true),
+            (Datatype::Boolean, "false" | "0") => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let escaped = self.lexical.replace('\\', "\\\\").replace('"', "\\\"");
+        match self.datatype {
+            Datatype::String => write!(f, "\"{escaped}\""),
+            other => write!(f, "\"{escaped}\"^^<{}>", other.iri().as_str()),
+        }
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An RDF term: IRI, blank node, or literal.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A named resource.
+    Iri(Iri),
+    /// An anonymous node, identified only within one graph.
+    BNode(u64),
+    /// A typed literal value.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Shorthand constructor for an IRI term.
+    pub fn iri(value: impl AsRef<str>) -> Self {
+        Term::Iri(Iri::new(value))
+    }
+
+    /// Returns the IRI if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// Returns the literal if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// True when the term may appear in subject position of an RDF triple.
+    pub fn is_resource(&self) -> bool {
+        matches!(self, Term::Iri(_) | Term::BNode(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => fmt::Display::fmt(iri, f),
+            Term::BNode(id) => write!(f, "_:b{id}"),
+            Term::Literal(lit) => fmt::Display::fmt(lit, f),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(value: Iri) -> Self {
+        Term::Iri(value)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(value: Literal) -> Self {
+        Term::Literal(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_local_name_after_hash() {
+        let iri = Iri::new("http://siemens.example/ontology#Turbine");
+        assert_eq!(iri.local_name(), "Turbine");
+        assert_eq!(iri.namespace(), "http://siemens.example/ontology#");
+    }
+
+    #[test]
+    fn iri_local_name_after_slash() {
+        let iri = Iri::new("http://siemens.example/data/turbine/42");
+        assert_eq!(iri.local_name(), "42");
+    }
+
+    #[test]
+    fn iri_without_separator_is_its_own_local_name() {
+        let iri = Iri::new("urn-like-token");
+        assert_eq!(iri.local_name(), "urn-like-token");
+        assert_eq!(iri.namespace(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "IRI must not be empty")]
+    fn empty_iri_rejected() {
+        let _ = Iri::new("");
+    }
+
+    #[test]
+    fn literal_integer_roundtrip() {
+        let lit = Literal::integer(-17);
+        assert_eq!(lit.as_i64(), Some(-17));
+        assert_eq!(lit.as_f64(), Some(-17.0));
+        assert_eq!(lit.datatype(), Datatype::Integer);
+    }
+
+    #[test]
+    fn literal_double_roundtrip() {
+        let lit = Literal::double(3.5);
+        assert_eq!(lit.as_f64(), Some(3.5));
+        assert_eq!(lit.as_i64(), None);
+    }
+
+    #[test]
+    fn literal_boolean_views() {
+        assert_eq!(Literal::boolean(true).as_bool(), Some(true));
+        assert_eq!(Literal::boolean(false).as_bool(), Some(false));
+        assert_eq!(Literal::string("true").as_bool(), None);
+    }
+
+    #[test]
+    fn literal_string_has_no_numeric_view() {
+        assert_eq!(Literal::string("12").as_f64(), None);
+    }
+
+    #[test]
+    fn datetime_millis_numeric_view() {
+        let lit = Literal::datetime_millis(1_000);
+        assert_eq!(lit.as_i64(), Some(1_000));
+        assert_eq!(lit.datatype(), Datatype::DateTime);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("http://x/A").to_string(), "<http://x/A>");
+        assert_eq!(Term::BNode(3).to_string(), "_:b3");
+        assert_eq!(Literal::string("hi").to_string(), "\"hi\"");
+        assert!(Literal::integer(5).to_string().contains("^^<http://www.w3.org/2001/XMLSchema#integer>"));
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::iri("http://x/A");
+        assert!(t.as_iri().is_some());
+        assert!(t.as_literal().is_none());
+        assert!(t.is_resource());
+        let l = Term::Literal(Literal::integer(1));
+        assert!(!l.is_resource());
+        assert!(l.as_literal().is_some());
+    }
+}

@@ -1,0 +1,76 @@
+//! RDF triples.
+
+use std::fmt;
+
+use crate::term::{Iri, Term};
+
+/// An RDF triple `(subject, predicate, object)`.
+///
+/// Subjects are restricted to resources (IRIs or blank nodes) by the
+/// [`Triple::new`] constructor; predicates are always IRIs.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Triple {
+    /// Subject resource.
+    pub subject: Term,
+    /// Predicate IRI.
+    pub predicate: Iri,
+    /// Object term (resource or literal).
+    pub object: Term,
+}
+
+impl Triple {
+    /// Builds a triple, checking the RDF constraint that subjects are
+    /// resources. Panics on literal subjects — the construction sites in this
+    /// workspace are all code-generated, so a malformed subject is a logic
+    /// bug, not input error.
+    pub fn new(subject: impl Into<Term>, predicate: impl Into<Iri>, object: impl Into<Term>) -> Self {
+        let subject = subject.into();
+        assert!(subject.is_resource(), "triple subject must be an IRI or blank node, got {subject}");
+        Triple { subject, predicate: predicate.into(), object: object.into() }
+    }
+
+    /// Convenience constructor for `s rdf:type C` membership triples.
+    pub fn class_assertion(subject: impl Into<Term>, class: impl Into<Iri>) -> Self {
+        Triple::new(subject, Iri::new(crate::vocab::rdf::TYPE), Term::Iri(class.into()))
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    #[test]
+    fn builds_and_displays() {
+        let t = Triple::new(
+            Term::iri("http://x/s1"),
+            Iri::new("http://x/hasValue"),
+            Term::Literal(Literal::double(81.5)),
+        );
+        let s = t.to_string();
+        assert!(s.starts_with("<http://x/s1> <http://x/hasValue>"));
+        assert!(s.ends_with(" ."));
+    }
+
+    #[test]
+    fn class_assertion_uses_rdf_type() {
+        let t = Triple::class_assertion(Term::iri("http://x/s1"), Iri::new("http://x/Sensor"));
+        assert_eq!(t.predicate.as_str(), crate::vocab::rdf::TYPE);
+    }
+
+    #[test]
+    #[should_panic(expected = "subject must be an IRI or blank node")]
+    fn literal_subject_rejected() {
+        let _ = Triple::new(
+            Term::Literal(Literal::integer(1)),
+            Iri::new("http://x/p"),
+            Term::iri("http://x/o"),
+        );
+    }
+}

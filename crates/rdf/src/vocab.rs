@@ -1,0 +1,85 @@
+//! W3C vocabulary constants used across the Optique stack.
+
+/// The RDF core vocabulary.
+pub mod rdf {
+    /// `rdf:type` — class membership.
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// `rdf:Property`.
+    pub const PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+}
+
+/// The RDFS vocabulary fragment relevant to OWL 2 QL bootstrapping.
+pub mod rdfs {
+    /// `rdfs:subClassOf`.
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    /// `rdfs:subPropertyOf`.
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    /// `rdfs:domain`.
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    /// `rdfs:range`.
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    /// `rdfs:label`.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `rdfs:comment`.
+    pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+}
+
+/// The OWL 2 vocabulary fragment used by the DL-Lite_R ontology model.
+pub mod owl {
+    /// `owl:Class`.
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+    /// `owl:ObjectProperty`.
+    pub const OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+    /// `owl:DatatypeProperty`.
+    pub const DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+    /// `owl:inverseOf`.
+    pub const INVERSE_OF: &str = "http://www.w3.org/2002/07/owl#inverseOf";
+    /// `owl:disjointWith`.
+    pub const DISJOINT_WITH: &str = "http://www.w3.org/2002/07/owl#disjointWith";
+    /// `owl:FunctionalProperty`.
+    pub const FUNCTIONAL_PROPERTY: &str = "http://www.w3.org/2002/07/owl#FunctionalProperty";
+    /// `owl:Thing`, the top class.
+    pub const THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+    /// `owl:Nothing`, the bottom class.
+    pub const NOTHING: &str = "http://www.w3.org/2002/07/owl#Nothing";
+}
+
+/// XSD datatype IRIs.
+pub mod xsd {
+    /// `xsd:string`.
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:integer`.
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:double`.
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:boolean`.
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:dateTime`.
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    /// `xsd:duration`.
+    pub const DURATION: &str = "http://www.w3.org/2001/XMLSchema#duration";
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Iri;
+
+    #[test]
+    fn vocab_iris_parse() {
+        for s in [
+            super::rdf::TYPE,
+            super::rdfs::SUB_CLASS_OF,
+            super::owl::INVERSE_OF,
+            super::xsd::DATE_TIME,
+        ] {
+            let iri = Iri::new(s);
+            assert!(!iri.local_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn local_names_match_expectation() {
+        assert_eq!(Iri::new(super::rdf::TYPE).local_name(), "type");
+        assert_eq!(Iri::new(super::owl::THING).local_name(), "Thing");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: serialization round-trips and index-consistency of the
+//! triple store.
+
+use optique_rdf::{ntriples, Graph, Iri, Literal, Term, Triple, TriplePattern};
+use proptest::prelude::*;
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    "[a-z]{1,8}(/[a-z0-9]{1,6}){0,2}".prop_map(|s| Iri::new(format!("http://x/{s}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i64>().prop_map(Literal::integer),
+        // Finite doubles only: NaN breaks round-trip equality by design.
+        (-1e15f64..1e15f64).prop_map(Literal::double),
+        any::<bool>().prop_map(Literal::boolean),
+        "[ -~]{0,24}".prop_map(Literal::string),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri().prop_map(Term::Iri),
+        (0u64..50).prop_map(Term::BNode),
+        arb_literal().prop_map(Term::Literal),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (
+        prop_oneof![arb_iri().prop_map(Term::Iri), (0u64..50).prop_map(Term::BNode)],
+        arb_iri(),
+        arb_term(),
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    /// write_graph ∘ parse_graph is the identity on graphs.
+    #[test]
+    fn ntriples_roundtrip(triples in proptest::collection::vec(arb_triple(), 0..40)) {
+        let graph: Graph = triples.into_iter().collect();
+        let text = ntriples::write_graph(&graph);
+        let back = ntriples::parse_graph(&text).expect("own output parses");
+        prop_assert_eq!(back.len(), graph.len());
+        for t in graph.iter() {
+            prop_assert!(back.contains(&t), "missing {}", t);
+        }
+    }
+
+    /// Every pattern answer equals a linear scan with the same bindings.
+    #[test]
+    fn pattern_matching_agrees_with_scan(
+        triples in proptest::collection::vec(arb_triple(), 1..40),
+        pick in any::<proptest::sample::Index>(),
+        mask in 0u8..8,
+    ) {
+        let graph: Graph = triples.clone().into_iter().collect();
+        let probe = &triples[pick.index(triples.len())];
+        let mut pattern = TriplePattern::any();
+        if mask & 1 != 0 { pattern.subject = Some(probe.subject.clone()); }
+        if mask & 2 != 0 { pattern.predicate = Some(probe.predicate.clone()); }
+        if mask & 4 != 0 { pattern.object = Some(probe.object.clone()); }
+
+        let mut expected: Vec<Triple> = graph
+            .iter()
+            .filter(|t| {
+                pattern.subject.as_ref().is_none_or(|s| &t.subject == s)
+                    && pattern.predicate.as_ref().is_none_or(|p| &t.predicate == p)
+                    && pattern.object.as_ref().is_none_or(|o| &t.object == o)
+            })
+            .collect();
+        let mut got = graph.matching(&pattern);
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Insertion is idempotent and order-independent.
+    #[test]
+    fn insertion_order_irrelevant(triples in proptest::collection::vec(arb_triple(), 0..30)) {
+        let forward: Graph = triples.clone().into_iter().collect();
+        let mut reversed_triples = triples;
+        reversed_triples.reverse();
+        let reverse: Graph = reversed_triples.into_iter().collect();
+        prop_assert_eq!(forward.len(), reverse.len());
+        for t in forward.iter() {
+            prop_assert!(reverse.contains(&t));
+        }
+    }
+}

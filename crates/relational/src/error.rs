@@ -1,0 +1,58 @@
+//! Engine-wide error type.
+
+use std::fmt;
+
+/// Errors produced by parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical or grammatical error, with byte offset context.
+    Parse {
+        /// Description of the problem.
+        message: String,
+        /// Byte offset in the input where it was detected.
+        offset: usize,
+    },
+    /// Name resolution failed (unknown table/column/function, ambiguity).
+    Binding(String),
+    /// A type rule was violated while evaluating an expression.
+    Type(String),
+    /// Runtime execution failure (bad arguments, overflow treated as error…).
+    Execution(String),
+    /// Referenced catalog object is missing.
+    UnknownTable(String),
+}
+
+impl SqlError {
+    /// Shorthand for a parse error.
+    pub fn parse(message: impl Into<String>, offset: usize) -> Self {
+        SqlError::Parse { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SqlError::Binding(m) => write!(f, "binding error: {m}"),
+            SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::Execution(m) => write!(f, "execution error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SqlError::parse("unexpected ')'", 17);
+        assert!(e.to_string().contains("byte 17"));
+        assert!(SqlError::UnknownTable("t".into()).to_string().contains("t"));
+    }
+}

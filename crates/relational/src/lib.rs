@@ -1,0 +1,43 @@
+//! In-memory relational engine — the "SQLite" substrate under ExaStream.
+//!
+//! The paper builds EXASTREAM "as a streaming extension of the SQLite DBMS";
+//! this crate is the relational core of that substitution: a self-contained
+//! SQL engine the streaming layer (`optique-stream`) and the distributed
+//! engine (`optique-exastream`) extend. It owns:
+//!
+//! * [`Value`]/[`ColumnType`] — the dynamic value model with SQL NULL
+//!   semantics,
+//! * [`Schema`]/[`Table`]/[`Database`] — catalogs of named, typed,
+//!   row-oriented tables plus secondary [`index`]es (hash and B-tree),
+//! * [`parse_select`] — a lexer + recursive-descent parser for the SQL
+//!   subset that STARQL unfolding emits (SELECT / JOIN / WHERE / GROUP BY /
+//!   HAVING / ORDER BY / LIMIT / UNION ALL / subqueries / table-valued
+//!   functions),
+//! * [`plan`] — the logical plan, name binder, and rule-based [`optimizer`]
+//!   (predicate pushdown, projection pruning, constant folding),
+//! * [`exec`] — a materializing executor with hash joins, grouped
+//!   aggregation and an extensible scalar/aggregate function registry
+//!   (including `CORR`, the Pearson-correlation aggregate the Siemens
+//!   catalog uses).
+
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod functions;
+pub mod index;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use error::SqlError;
+pub use exec::execute;
+pub use expr::Expr;
+pub use parser::{parse_select, SelectStatement};
+pub use plan::LogicalPlan;
+pub use schema::{Column, ColumnType, Schema};
+pub use table::{Database, Table};
+pub use value::Value;

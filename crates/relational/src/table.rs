@@ -1,0 +1,277 @@
+//! Row-oriented tables and the database catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::SqlError;
+use crate::index::{BTreeIndex, HashIndex};
+use crate::schema::{Column, ColumnType, Schema};
+use crate::value::Value;
+
+/// A materialized relation: a schema plus rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// The relation schema.
+    pub schema: Schema,
+    /// Row-major data; every row has `schema.len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Builds a table, validating row arity and column types.
+    pub fn new(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Self, SqlError> {
+        let mut t = Table::empty(schema);
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(t)
+    }
+
+    /// Appends a row after arity/type validation.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), SqlError> {
+        if row.len() != self.schema.len() {
+            return Err(SqlError::Execution(format!(
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        for (value, column) in row.iter().zip(self.schema.columns()) {
+            if !column.ty.admits(value) {
+                return Err(SqlError::Type(format!(
+                    "value {value} not admitted by column {} of type {}",
+                    column.name, column.ty
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an ASCII preview of up to `limit` rows (dashboard + examples).
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&self.schema.header().join(" | "));
+        out.push('\n');
+        for row in self.rows.iter().take(limit) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        if self.rows.len() > limit {
+            out.push_str(&format!("… {} more rows\n", self.rows.len() - limit));
+        }
+        out
+    }
+}
+
+/// A table-valued function: takes literal arguments, returns a relation.
+/// SQL(+) exposes the stream operators (`timeSlidingWindow`, `wcache`) this
+/// way, exactly as the paper describes ExaStream's UDF mechanism.
+pub type TableFunction = Arc<dyn Fn(&[Value], &Database) -> Result<Table, SqlError> + Send + Sync>;
+
+/// The catalog: named tables, secondary indexes, and registered UDFs.
+#[derive(Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Arc<Table>>,
+    hash_indexes: HashMap<(String, String), Arc<HashIndex>>,
+    btree_indexes: HashMap<(String, String), Arc<BTreeIndex>>,
+    table_functions: HashMap<String, TableFunction>,
+}
+
+impl Database {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers (or replaces) a table under `name`. Existing indexes on the
+    /// old table are dropped — they describe stale data.
+    pub fn put_table(&mut self, name: impl Into<String>, table: Table) {
+        let name = name.into();
+        self.hash_indexes.retain(|(t, _), _| t != &name);
+        self.btree_indexes.retain(|(t, _), _| t != &name);
+        self.tables.insert(name, Arc::new(table));
+    }
+
+    /// Fetches a table.
+    pub fn table(&self, name: &str) -> Result<&Arc<Table>, SqlError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
+    /// True when a table named `name` exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Builds (or rebuilds) a hash index on `table.column`.
+    pub fn create_hash_index(&mut self, table: &str, column: &str) -> Result<(), SqlError> {
+        let t = self.table(table)?.clone();
+        let col = t
+            .schema
+            .index_of(column)
+            .ok_or_else(|| SqlError::Binding(format!("unknown column {column} on {table}")))?;
+        let index = HashIndex::build(&t.rows, col);
+        self.hash_indexes
+            .insert((table.to_string(), column.to_string()), Arc::new(index));
+        Ok(())
+    }
+
+    /// Builds (or rebuilds) a B-tree index on `table.column`.
+    pub fn create_btree_index(&mut self, table: &str, column: &str) -> Result<(), SqlError> {
+        let t = self.table(table)?.clone();
+        let col = t
+            .schema
+            .index_of(column)
+            .ok_or_else(|| SqlError::Binding(format!("unknown column {column} on {table}")))?;
+        let index = BTreeIndex::build(&t.rows, col);
+        self.btree_indexes
+            .insert((table.to_string(), column.to_string()), Arc::new(index));
+        Ok(())
+    }
+
+    /// Hash index lookup, if one exists for `table.column`.
+    pub fn hash_index(&self, table: &str, column: &str) -> Option<&Arc<HashIndex>> {
+        self.hash_indexes.get(&(table.to_string(), column.to_string()))
+    }
+
+    /// B-tree index lookup, if one exists for `table.column`.
+    pub fn btree_index(&self, table: &str, column: &str) -> Option<&Arc<BTreeIndex>> {
+        self.btree_indexes.get(&(table.to_string(), column.to_string()))
+    }
+
+    /// Registers a table-valued function under `name` (case-insensitive).
+    pub fn register_table_function(&mut self, name: impl Into<String>, f: TableFunction) {
+        self.table_functions.insert(name.into().to_ascii_lowercase(), f);
+    }
+
+    /// Fetches a table-valued function.
+    pub fn table_function(&self, name: &str) -> Option<&TableFunction> {
+        self.table_functions.get(&name.to_ascii_lowercase())
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Database({} tables, {} hash idx, {} btree idx, {} table fns)",
+            self.tables.len(),
+            self.hash_indexes.len(),
+            self.btree_indexes.len(),
+            self.table_functions.len()
+        )
+    }
+}
+
+/// Convenience builder used pervasively by tests and the workload generator.
+pub fn table_of(
+    alias: &str,
+    cols: &[(&str, ColumnType)],
+    rows: Vec<Vec<Value>>,
+) -> Result<Table, SqlError> {
+    let schema = Schema::qualified(
+        alias,
+        cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
+    );
+    Table::new(schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensors() -> Table {
+        table_of(
+            "sensor",
+            &[("id", ColumnType::Int), ("name", ColumnType::Text)],
+            vec![
+                vec![Value::Int(1), Value::text("t-inlet")],
+                vec![Value::Int(2), Value::text("t-outlet")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = sensors();
+        let err = t.push_row(vec![Value::Int(3)]).unwrap_err();
+        assert!(matches!(err, SqlError::Execution(_)));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = sensors();
+        let err = t.push_row(vec![Value::text("x"), Value::text("y")]).unwrap_err();
+        assert!(matches!(err, SqlError::Type(_)));
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut db = Database::new();
+        db.put_table("sensor", sensors());
+        assert!(db.has_table("sensor"));
+        assert_eq!(db.table("sensor").unwrap().len(), 2);
+        assert!(matches!(db.table("missing"), Err(SqlError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn index_creation_and_invalidation() {
+        let mut db = Database::new();
+        db.put_table("sensor", sensors());
+        db.create_hash_index("sensor", "id").unwrap();
+        assert!(db.hash_index("sensor", "id").is_some());
+        // Replacing the table drops the stale index.
+        db.put_table("sensor", sensors());
+        assert!(db.hash_index("sensor", "id").is_none());
+    }
+
+    #[test]
+    fn index_on_unknown_column_fails() {
+        let mut db = Database::new();
+        db.put_table("sensor", sensors());
+        assert!(db.create_btree_index("sensor", "nope").is_err());
+    }
+
+    #[test]
+    fn table_function_registry_is_case_insensitive() {
+        let mut db = Database::new();
+        db.register_table_function(
+            "TimeSlidingWindow",
+            Arc::new(|_args, _db| Ok(Table::empty(Schema::new(vec![])))),
+        );
+        assert!(db.table_function("timeslidingwindow").is_some());
+        assert!(db.table_function("TIMESLIDINGWINDOW").is_some());
+    }
+
+    #[test]
+    fn render_truncates() {
+        let r = sensors().render(1);
+        assert!(r.contains("… 1 more rows"));
+    }
+}

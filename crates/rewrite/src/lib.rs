@@ -1,0 +1,24 @@
+//! Query **enrichment** for Optique: PerfectRef-style rewriting of
+//! conjunctive queries with respect to an OWL 2 QL TBox.
+//!
+//! Enrichment is stage (i) of OBSSDI query evaluation: "the ontological query
+//! is automatically reformulated with the help of axioms in another
+//! ontological query in order to access as much of relevant data as
+//! possible". For OWL 2 QL that reformulation is the classical *PerfectRef*
+//! algorithm: the output is a union of conjunctive queries (UCQ) whose
+//! answers over the raw data coincide with the certain answers of the
+//! original query over data + ontology. The paper's complexity claim —
+//! enrichment is polynomial in ontology size — is exercised directly by the
+//! `enrichment_scaling` bench.
+//!
+//! * [`query`] — the conjunctive-query model over ontology vocabulary, with
+//!   canonicalization and direct evaluation over RDF graphs (the test
+//!   oracle's other half),
+//! * [`perfectref`] — the rewriter plus subsumption-based redundancy
+//!   elimination.
+
+pub mod perfectref;
+pub mod query;
+
+pub use perfectref::{rewrite, RewriteSettings, RewriteStats};
+pub use query::{Atom, ConjunctiveQuery, QueryTerm, UnionQuery};

@@ -1,0 +1,512 @@
+//! Conjunctive queries over ontology vocabulary.
+//!
+//! Queries here are the *ontological* half of STARQL: the WHERE clause and
+//! the graph patterns inside HAVING are basic graph patterns, i.e.
+//! conjunctive queries whose predicates are ontology classes and properties.
+//! Role atoms are normalised to named properties (an inverse-role atom
+//! `P⁻(x, y)` is stored as `P(y, x)`), which keeps unification and SQL
+//! unfolding simple.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use optique_rdf::{Graph, Iri, Term, TriplePattern};
+
+/// A term inside a query atom: a variable or an RDF constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum QueryTerm {
+    /// A named variable (no leading `?` in the stored name).
+    Var(String),
+    /// A constant RDF term.
+    Const(Term),
+}
+
+impl QueryTerm {
+    /// A variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        QueryTerm::Var(name.into())
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            QueryTerm::Var(v) => Some(v),
+            QueryTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for QueryTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryTerm::Var(v) => write!(f, "?{v}"),
+            QueryTerm::Const(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A query atom: class membership or a (named) property between two terms.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Atom {
+    /// `C(arg)` — `arg rdf:type C`.
+    Class {
+        /// The class IRI.
+        class: Iri,
+        /// The single argument.
+        arg: QueryTerm,
+    },
+    /// `P(subject, object)` — `subject P object`.
+    Property {
+        /// The (always named) property IRI.
+        property: Iri,
+        /// Subject position.
+        subject: QueryTerm,
+        /// Object position.
+        object: QueryTerm,
+    },
+}
+
+impl Atom {
+    /// Class-membership atom.
+    pub fn class(class: impl Into<Iri>, arg: QueryTerm) -> Self {
+        Atom::Class { class: class.into(), arg }
+    }
+
+    /// Property atom.
+    pub fn property(property: impl Into<Iri>, subject: QueryTerm, object: QueryTerm) -> Self {
+        Atom::Property { property: property.into(), subject, object }
+    }
+
+    /// The terms of the atom, in positional order.
+    pub fn terms(&self) -> Vec<&QueryTerm> {
+        match self {
+            Atom::Class { arg, .. } => vec![arg],
+            Atom::Property { subject, object, .. } => vec![subject, object],
+        }
+    }
+
+    fn map_terms(&self, f: &mut impl FnMut(&QueryTerm) -> QueryTerm) -> Atom {
+        match self {
+            Atom::Class { class, arg } => Atom::Class { class: class.clone(), arg: f(arg) },
+            Atom::Property { property, subject, object } => Atom::Property {
+                property: property.clone(),
+                subject: f(subject),
+                object: f(object),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Class { class, arg } => write!(f, "{class}({arg})"),
+            Atom::Property { property, subject, object } => {
+                write!(f, "{property}({subject}, {object})")
+            }
+        }
+    }
+}
+
+/// A conjunctive query: `q(answer_vars) ← atom₁ ∧ … ∧ atomₙ`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ConjunctiveQuery {
+    /// Distinguished (answer) variables, in output order.
+    pub answer_vars: Vec<String>,
+    /// Body atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query; answer variables not occurring in the body are
+    /// permitted (they simply never bind).
+    pub fn new(answer_vars: Vec<String>, atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery { answer_vars, atoms }
+    }
+
+    /// Occurrence count of every variable in the body.
+    pub fn var_occurrences(&self) -> HashMap<&str, usize> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for atom in &self.atoms {
+            for term in atom.terms() {
+                if let Some(v) = term.as_var() {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// A term is *bound* when it is a constant, a distinguished variable, or
+    /// a variable shared between atom positions — the PerfectRef
+    /// applicability condition.
+    pub fn is_bound(&self, term: &QueryTerm) -> bool {
+        match term {
+            QueryTerm::Const(_) => true,
+            QueryTerm::Var(v) => {
+                self.answer_vars.iter().any(|a| a == v)
+                    || self.var_occurrences().get(v.as_str()).copied().unwrap_or(0) > 1
+            }
+        }
+    }
+
+    /// Applies a variable substitution to the whole body, dropping duplicate
+    /// atoms that the substitution creates.
+    pub fn substitute(&self, subst: &HashMap<String, QueryTerm>) -> ConjunctiveQuery {
+        let mut f = |t: &QueryTerm| match t {
+            QueryTerm::Var(v) => subst.get(v).cloned().unwrap_or_else(|| t.clone()),
+            QueryTerm::Const(_) => t.clone(),
+        };
+        let mut seen = BTreeSet::new();
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| a.map_terms(&mut f))
+            .filter(|a| seen.insert(a.clone()))
+            .collect();
+        ConjunctiveQuery { answer_vars: self.answer_vars.clone(), atoms }
+    }
+
+    /// A canonical string key: variables renamed by first occurrence over
+    /// sorted atoms, so α-equivalent queries share a key. Used to deduplicate
+    /// the rewriting frontier.
+    pub fn canonical_key(&self) -> String {
+        let mut atoms = self.atoms.clone();
+        atoms.sort();
+        let mut renaming: BTreeMap<String, String> = BTreeMap::new();
+        for v in &self.answer_vars {
+            renaming.insert(v.clone(), v.clone());
+        }
+        let mut next = 0usize;
+        let mut out = String::new();
+        for atom in &atoms {
+            let rendered = atom.map_terms(&mut |t| match t {
+                QueryTerm::Var(v) => {
+                    let name = renaming.entry(v.clone()).or_insert_with(|| {
+                        next += 1;
+                        format!("_e{next}")
+                    });
+                    QueryTerm::Var(name.clone())
+                }
+                QueryTerm::Const(_) => t.clone(),
+            });
+            out.push_str(&rendered.to_string());
+            out.push(';');
+        }
+        // Re-sort after renaming so names don't leak ordering differences.
+        let mut parts: Vec<&str> = out.split_terminator(';').collect();
+        parts.sort_unstable();
+        format!("{}|{}", self.answer_vars.join(","), parts.join(";"))
+    }
+
+    /// Evaluates the query over an RDF graph by backtracking join, returning
+    /// distinct answer tuples (one [`Term`] per answer variable).
+    ///
+    /// This is the "ABox" evaluation path used for STATIC DATA graphs and as
+    /// the rewriting test oracle; bulk relational evaluation goes through
+    /// unfolding instead.
+    pub fn evaluate(&self, graph: &Graph) -> BTreeSet<Vec<Term>> {
+        let mut results = BTreeSet::new();
+        let mut binding: HashMap<String, Term> = HashMap::new();
+        self.eval_rec(graph, 0, &mut binding, &mut results);
+        results
+    }
+
+    fn eval_rec(
+        &self,
+        graph: &Graph,
+        idx: usize,
+        binding: &mut HashMap<String, Term>,
+        results: &mut BTreeSet<Vec<Term>>,
+    ) {
+        if idx == self.atoms.len() {
+            let tuple: Vec<Term> = self
+                .answer_vars
+                .iter()
+                .map(|v| {
+                    binding
+                        .get(v)
+                        .cloned()
+                        .unwrap_or_else(|| Term::Literal(optique_rdf::Literal::string("")))
+                })
+                .collect();
+            results.insert(tuple);
+            return;
+        }
+        let atom = &self.atoms[idx];
+        let (pattern, positions) = self.atom_pattern(atom, binding);
+        for triple in graph.matching(&pattern) {
+            let mut newly_bound: Vec<String> = Vec::new();
+            let mut ok = true;
+            for (var, value) in positions.iter().zip(triple_terms(&triple, atom)) {
+                let Some(var) = var else { continue };
+                match binding.get(var) {
+                    Some(existing) if existing != &value => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        binding.insert(var.clone(), value);
+                        newly_bound.push(var.clone());
+                    }
+                }
+            }
+            if ok {
+                self.eval_rec(graph, idx + 1, binding, results);
+            }
+            for var in newly_bound {
+                binding.remove(&var);
+            }
+        }
+    }
+
+    /// Builds the triple pattern for an atom under the current bindings and
+    /// reports which variable (if any) each matched position binds.
+    fn atom_pattern(
+        &self,
+        atom: &Atom,
+        binding: &HashMap<String, Term>,
+    ) -> (TriplePattern, Vec<Option<String>>) {
+        let resolve = |t: &QueryTerm| -> (Option<Term>, Option<String>) {
+            match t {
+                QueryTerm::Const(c) => (Some(c.clone()), None),
+                QueryTerm::Var(v) => match binding.get(v) {
+                    Some(val) => (Some(val.clone()), None),
+                    None => (None, Some(v.clone())),
+                },
+            }
+        };
+        match atom {
+            Atom::Class { class, arg } => {
+                let (bound, var) = resolve(arg);
+                let mut pattern = TriplePattern::any()
+                    .with_predicate(Iri::new(optique_rdf::vocab::rdf::TYPE))
+                    .with_object(Term::Iri(class.clone()));
+                if let Some(subject) = bound {
+                    pattern = pattern.with_subject(subject);
+                }
+                (pattern, vec![var])
+            }
+            Atom::Property { property, subject, object } => {
+                let (s_bound, s_var) = resolve(subject);
+                let (o_bound, o_var) = resolve(object);
+                let mut pattern = TriplePattern::any().with_predicate(property.clone());
+                if let Some(s) = s_bound {
+                    pattern = pattern.with_subject(s);
+                }
+                if let Some(o) = o_bound {
+                    pattern = pattern.with_object(o);
+                }
+                (pattern, vec![s_var, o_var])
+            }
+        }
+    }
+}
+
+fn triple_terms(triple: &optique_rdf::Triple, atom: &Atom) -> Vec<Term> {
+    match atom {
+        Atom::Class { .. } => vec![triple.subject.clone()],
+        Atom::Property { .. } => vec![triple.subject.clone(), triple.object.clone()],
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q(")?;
+        for (i, v) in self.answer_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "?{v}")?;
+        }
+        write!(f, ") ← ")?;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries — the output shape of enrichment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnionQuery {
+    /// Disjuncts sharing the same answer signature.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Wraps a single CQ.
+    pub fn single(cq: ConjunctiveQuery) -> Self {
+        UnionQuery { disjuncts: vec![cq] }
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// True when there are no disjuncts.
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Evaluates all disjuncts over a graph and unions the answers.
+    pub fn evaluate(&self, graph: &Graph) -> BTreeSet<Vec<Term>> {
+        let mut out = BTreeSet::new();
+        for cq in &self.disjuncts {
+            out.extend(cq.evaluate(graph));
+        }
+        out
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, cq) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f, " ∪")?;
+            }
+            write!(f, "{cq}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optique_rdf::{Literal, Triple};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://x/{s}"))
+    }
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert(Triple::class_assertion(Term::iri("http://x/s1"), iri("Sensor")));
+        g.insert(Triple::class_assertion(Term::iri("http://x/s2"), iri("Sensor")));
+        g.insert(Triple::new(Term::iri("http://x/s1"), iri("inAssembly"), Term::iri("http://x/a1")));
+        g.insert(Triple::new(Term::iri("http://x/s2"), iri("inAssembly"), Term::iri("http://x/a2")));
+        g.insert(Triple::new(Term::iri("http://x/s1"), iri("hasValue"), Term::Literal(Literal::double(91.0))));
+        g
+    }
+
+    #[test]
+    fn single_atom_evaluation() {
+        let q = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![Atom::class(iri("Sensor"), QueryTerm::var("x"))],
+        );
+        assert_eq!(q.evaluate(&graph()).len(), 2);
+    }
+
+    #[test]
+    fn join_evaluation() {
+        let q = ConjunctiveQuery::new(
+            vec!["x".into(), "a".into()],
+            vec![
+                Atom::class(iri("Sensor"), QueryTerm::var("x")),
+                Atom::property(iri("inAssembly"), QueryTerm::var("x"), QueryTerm::var("a")),
+            ],
+        );
+        let ans = q.evaluate(&graph());
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![Term::iri("http://x/s1"), Term::iri("http://x/a1")]));
+    }
+
+    #[test]
+    fn constant_filters() {
+        let q = ConjunctiveQuery::new(
+            vec!["a".into()],
+            vec![Atom::property(
+                iri("inAssembly"),
+                QueryTerm::Const(Term::iri("http://x/s1")),
+                QueryTerm::var("a"),
+            )],
+        );
+        let ans = q.evaluate(&graph());
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn shared_var_must_agree() {
+        // x must both be a Sensor and have a value: only s1 qualifies.
+        let q = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![
+                Atom::class(iri("Sensor"), QueryTerm::var("x")),
+                Atom::property(iri("hasValue"), QueryTerm::var("x"), QueryTerm::var("v")),
+            ],
+        );
+        assert_eq!(q.evaluate(&graph()).len(), 1);
+    }
+
+    #[test]
+    fn boundness() {
+        let q = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![Atom::property(iri("inAssembly"), QueryTerm::var("x"), QueryTerm::var("y"))],
+        );
+        assert!(q.is_bound(&QueryTerm::var("x")), "answer var is bound");
+        assert!(!q.is_bound(&QueryTerm::var("y")), "single-occurrence existential is unbound");
+        assert!(q.is_bound(&QueryTerm::Const(Term::iri("http://x/c"))));
+    }
+
+    #[test]
+    fn substitution_dedups_atoms() {
+        let q = ConjunctiveQuery::new(
+            vec![],
+            vec![
+                Atom::class(iri("A"), QueryTerm::var("x")),
+                Atom::class(iri("A"), QueryTerm::var("y")),
+            ],
+        );
+        let mut s = HashMap::new();
+        s.insert("y".to_string(), QueryTerm::var("x"));
+        assert_eq!(q.substitute(&s).atoms.len(), 1);
+    }
+
+    #[test]
+    fn canonical_key_alpha_invariant() {
+        let q1 = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("y"))],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("z"))],
+        );
+        assert_eq!(q1.canonical_key(), q2.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_shapes() {
+        let q1 = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("y"))],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("x"))],
+        );
+        assert_ne!(q1.canonical_key(), q2.canonical_key());
+    }
+
+    #[test]
+    fn union_evaluation_unions() {
+        let q1 = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![Atom::class(iri("Sensor"), QueryTerm::var("x"))],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![Atom::property(iri("hasValue"), QueryTerm::var("x"), QueryTerm::var("v"))],
+        );
+        let u = UnionQuery { disjuncts: vec![q1, q2] };
+        assert_eq!(u.evaluate(&graph()).len(), 2, "s1 appears once despite matching twice");
+    }
+}

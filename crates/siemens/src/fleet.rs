@@ -1,0 +1,281 @@
+//! Static-side fleet generation: turbines, assemblies, sensors, history.
+
+use optique_bootstrap::{RelTable, RelationalSchema};
+use optique_relational::{table::table_of, ColumnType, Database, SqlError, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fleet shape parameters. [`FleetConfig::demo`] reproduces the paper's
+/// scale (950 turbines, >100,000 sensors); [`FleetConfig::small`] keeps
+/// tests fast.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Number of turbines.
+    pub turbines: usize,
+    /// Assemblies per turbine.
+    pub assemblies_per_turbine: usize,
+    /// Sensors per assembly.
+    pub sensors_per_assembly: usize,
+    /// RNG seed (generation is deterministic in it).
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// The paper's demo scale: 950 turbines × 8 assemblies × 14 sensors
+    /// ≈ 106,400 sensors.
+    pub fn demo() -> Self {
+        FleetConfig { turbines: 950, assemblies_per_turbine: 8, sensors_per_assembly: 14, seed: 2016 }
+    }
+
+    /// A laptop-test scale.
+    pub fn small() -> Self {
+        FleetConfig { turbines: 10, assemblies_per_turbine: 2, sensors_per_assembly: 3, seed: 2016 }
+    }
+
+    /// Total sensor count.
+    pub fn sensor_count(&self) -> usize {
+        self.turbines * self.assemblies_per_turbine * self.sensors_per_assembly
+    }
+}
+
+/// Sensor kinds the generator assigns round-robin.
+pub const SENSOR_KINDS: [&str; 4] = ["temperature", "pressure", "rotor_speed", "vibration"];
+/// Turbine models.
+pub const MODELS: [&str; 4] = ["SGT-400", "SGT-800", "SST-600", "SGT5-8000H"];
+/// Country pool for `locatedIn`.
+pub const COUNTRIES: [&str; 6] = ["Germany", "Norway", "USA", "Brazil", "India", "Japan"];
+
+/// Builds the static tables into `db`; returns the sensor ids created.
+pub fn build_fleet(db: &mut Database, config: &FleetConfig) -> Result<Vec<i64>, SqlError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let countries: Vec<Vec<Value>> = COUNTRIES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| vec![Value::Int(i as i64 + 1), Value::text(*name)])
+        .collect();
+    db.put_table(
+        "countries",
+        table_of("countries", &[("id", ColumnType::Int), ("name", ColumnType::Text)], countries)?,
+    );
+
+    let mut turbines = Vec::with_capacity(config.turbines);
+    let mut assemblies = Vec::new();
+    let mut sensors = Vec::new();
+    let mut service_events = Vec::new();
+    let mut sensor_ids = Vec::with_capacity(config.sensor_count());
+
+    let mut aid: i64 = 0;
+    let mut sid: i64 = 0;
+    let mut eid: i64 = 0;
+    for t in 0..config.turbines as i64 {
+        let model = MODELS[rng.random_range(0..MODELS.len())];
+        let country = rng.random_range(1..=COUNTRIES.len() as i64);
+        let built = rng.random_range(2002..=2011i64);
+        let kind = if model.starts_with("SST") { "steam" } else { "gas" };
+        turbines.push(vec![
+            Value::Int(t),
+            Value::text(model),
+            Value::text(kind),
+            Value::Int(country),
+            Value::Int(built),
+        ]);
+        // Sparse service history: ~2 events per turbine.
+        for _ in 0..rng.random_range(1..=3u32) {
+            service_events.push(vec![
+                Value::Int(eid),
+                Value::Int(t),
+                Value::Timestamp(rng.random_range(0..86_400_000i64)),
+                Value::text(["inspection", "repair", "overhaul"][rng.random_range(0..3)]),
+            ]);
+            eid += 1;
+        }
+        for a in 0..config.assemblies_per_turbine as i64 {
+            let kind = ["burner", "rotor", "compressor", "exhaust"][(a % 4) as usize];
+            assemblies.push(vec![Value::Int(aid), Value::Int(t), Value::text(kind)]);
+            for s in 0..config.sensors_per_assembly as i64 {
+                let kind = SENSOR_KINDS[(s % SENSOR_KINDS.len() as i64) as usize];
+                sensors.push(vec![Value::Int(sid), Value::Int(aid), Value::text(kind)]);
+                sensor_ids.push(sid);
+                sid += 1;
+            }
+            aid += 1;
+        }
+    }
+
+    db.put_table(
+        "turbines",
+        table_of(
+            "turbines",
+            &[
+                ("tid", ColumnType::Int),
+                ("model", ColumnType::Text),
+                ("kind", ColumnType::Text),
+                ("country_id", ColumnType::Int),
+                ("built", ColumnType::Int),
+            ],
+            turbines,
+        )?,
+    );
+    db.put_table(
+        "assemblies",
+        table_of(
+            "assemblies",
+            &[("aid", ColumnType::Int), ("tid", ColumnType::Int), ("kind", ColumnType::Text)],
+            assemblies,
+        )?,
+    );
+    db.put_table(
+        "sensors",
+        table_of(
+            "sensors",
+            &[("sid", ColumnType::Int), ("aid", ColumnType::Int), ("kind", ColumnType::Text)],
+            sensors.clone(),
+        )?,
+    );
+    // Regional legacy registries: the same sensors scattered over three
+    // structurally different schemas (different table and column names) —
+    // the heterogeneity that makes the paper's query fleets explode. Every
+    // sensor lives in exactly one region.
+    for (region, table_name) in ["eu", "na", "apac"].iter().enumerate() {
+        let rows: Vec<Vec<Value>> = sensors
+            .iter()
+            .filter(|row| (row[0].as_i64().unwrap() % 3) as usize == region)
+            .map(|row| row.clone())
+            .collect();
+        db.put_table(
+            format!("sensors_{table_name}"),
+            table_of(
+                &format!("sensors_{table_name}"),
+                &[
+                    ("sensor_no", ColumnType::Int),
+                    ("assembly_no", ColumnType::Int),
+                    ("sensor_kind", ColumnType::Text),
+                ],
+                rows,
+            )?,
+        );
+    }
+    db.put_table(
+        "service_events",
+        table_of(
+            "service_events",
+            &[
+                ("eid", ColumnType::Int),
+                ("tid", ColumnType::Int),
+                ("ts", ColumnType::Timestamp),
+                ("kind", ColumnType::Text),
+            ],
+            service_events,
+        )?,
+    );
+    Ok(sensor_ids)
+}
+
+/// The fleet's relational schema with key metadata, as BootOX sees it.
+pub fn fleet_schema() -> RelationalSchema {
+    RelationalSchema::new()
+        .with_table(
+            RelTable::new("countries", vec![("id", ColumnType::Int), ("name", ColumnType::Text)])
+                .with_pk(&["id"]),
+        )
+        .with_table(
+            RelTable::new(
+                "turbines",
+                vec![
+                    ("tid", ColumnType::Int),
+                    ("model", ColumnType::Text),
+                    ("kind", ColumnType::Text),
+                    ("country_id", ColumnType::Int),
+                    ("built", ColumnType::Int),
+                ],
+            )
+            .with_pk(&["tid"])
+            .with_fk("country_id", "countries", "id"),
+        )
+        .with_table(
+            RelTable::new(
+                "assemblies",
+                vec![("aid", ColumnType::Int), ("tid", ColumnType::Int), ("kind", ColumnType::Text)],
+            )
+            .with_pk(&["aid"])
+            .with_fk("tid", "turbines", "tid"),
+        )
+        .with_table(
+            RelTable::new(
+                "sensors",
+                vec![("sid", ColumnType::Int), ("aid", ColumnType::Int), ("kind", ColumnType::Text)],
+            )
+            .with_pk(&["sid"])
+            .with_fk("aid", "assemblies", "aid"),
+        )
+        .with_table(
+            RelTable::new(
+                "service_events",
+                vec![
+                    ("eid", ColumnType::Int),
+                    ("tid", ColumnType::Int),
+                    ("ts", ColumnType::Timestamp),
+                    ("kind", ColumnType::Text),
+                ],
+            )
+            .with_pk(&["eid"])
+            .with_fk("tid", "turbines", "tid"),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_builds() {
+        let mut db = Database::new();
+        let sensors = build_fleet(&mut db, &FleetConfig::small()).unwrap();
+        assert_eq!(sensors.len(), 10 * 2 * 3);
+        assert_eq!(db.table("turbines").unwrap().len(), 10);
+        assert_eq!(db.table("assemblies").unwrap().len(), 20);
+        assert_eq!(db.table("sensors").unwrap().len(), 60);
+        assert!(db.table("service_events").unwrap().len() >= 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = Database::new();
+        let mut b = Database::new();
+        build_fleet(&mut a, &FleetConfig::small()).unwrap();
+        build_fleet(&mut b, &FleetConfig::small()).unwrap();
+        assert_eq!(a.table("turbines").unwrap().rows, b.table("turbines").unwrap().rows);
+    }
+
+    #[test]
+    fn demo_scale_matches_paper() {
+        let c = FleetConfig::demo();
+        assert_eq!(c.turbines, 950);
+        assert!(c.sensor_count() > 100_000, "paper: more than 100,000 sensors");
+    }
+
+    #[test]
+    fn schema_validates_and_matches_tables() {
+        let schema = fleet_schema();
+        schema.validate().unwrap();
+        let mut db = Database::new();
+        build_fleet(&mut db, &FleetConfig::small()).unwrap();
+        for table in &schema.tables {
+            assert!(db.has_table(&table.name), "{} missing", table.name);
+        }
+    }
+
+    #[test]
+    fn referential_integrity_holds() {
+        let mut db = Database::new();
+        build_fleet(&mut db, &FleetConfig::small()).unwrap();
+        let t = optique_relational::exec::query(
+            "SELECT COUNT(*) AS n FROM sensors s JOIN assemblies a ON s.aid = a.aid \
+             JOIN turbines tb ON a.tid = tb.tid JOIN countries c ON tb.country_id = c.id",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(t.rows[0][0], Value::Int(60), "every sensor joins through to a country");
+    }
+}

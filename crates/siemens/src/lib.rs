@@ -1,0 +1,36 @@
+//! The Siemens Energy demo scenario — synthetic substitute for the paper's
+//! proprietary data.
+//!
+//! The demo data set "contains streaming and static data produced by 950 gas
+//! and steam turbines during 2002–2011 … anonymised in a way that preserves
+//! the patterns needed for demo diagnostic tasks". This crate generates the
+//! equivalent shapes, deterministically from a seed:
+//!
+//! * [`fleet`] — the static side: turbines (models, countries, build years),
+//!   assemblies, sensors (up to 2,000 per turbine), service history; both as
+//!   populated tables and as a [`RelationalSchema`](optique_bootstrap::RelationalSchema)
+//!   with key metadata for BootOX,
+//! * [`ontology`] — the hand-curated Siemens TBox and mapping catalog (the
+//!   paper bootstraps then manually post-processes; this is the
+//!   post-processed result),
+//! * [`streamgen`] — measurement streams with *injected ground truth*:
+//!   monotonic ramps ending in failure events, correlated sensor pairs,
+//!   threshold excursions — so query answers are checkable,
+//! * [`catalog`] — the 20-task diagnostic catalog as STARQL text,
+//! * [`deploy`] — one-call assembly of a full deployment.
+
+pub mod catalog;
+pub mod deploy;
+pub mod fleet;
+pub mod ontology;
+pub mod streamgen;
+
+pub use catalog::{diagnostic_tasks, DiagnosticTask};
+pub use deploy::SiemensDeployment;
+pub use fleet::FleetConfig;
+pub use streamgen::{GroundTruth, StreamConfig};
+
+/// The vocabulary namespace of the Siemens ontology.
+pub const SIE_NS: &str = "http://siemens.example/ontology#";
+/// The namespace instance IRIs are minted in.
+pub const DATA_NS: &str = "http://siemens.example/data/";

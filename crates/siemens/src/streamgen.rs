@@ -1,0 +1,269 @@
+//! Measurement-stream generation with injected, checkable ground truth.
+//!
+//! Signals are `baseline + slow sinusoid + noise` per sensor. Three
+//! anomaly patterns can be planted, mirroring what the demo tasks detect:
+//!
+//! * **monotonic ramp → failure** (the Figure 1 target): a strictly
+//!   increasing run of readings ending in a `failure` event,
+//! * **correlated pair**: two sensors share a latent signal (near-±1
+//!   Pearson correlation) — the LSH/CORR tasks' target,
+//! * **threshold excursion**: a burst of readings above a hot threshold.
+
+use optique_relational::{table::table_of, ColumnType, Database, SqlError, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Stream generation parameters.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Sensor ids to produce measurements for.
+    pub sensor_ids: Vec<i64>,
+    /// First measurement instant (ms).
+    pub start_ms: i64,
+    /// Stream length (ms).
+    pub duration_ms: i64,
+    /// Measurement period per sensor (ms).
+    pub period_ms: i64,
+    /// RNG seed.
+    pub seed: u64,
+    /// How many monotonic-ramp-failure anomalies to plant.
+    pub ramp_failures: usize,
+    /// How many correlated sensor pairs to plant.
+    pub correlated_pairs: usize,
+    /// How many threshold excursions to plant.
+    pub hot_bursts: usize,
+}
+
+impl StreamConfig {
+    /// A small default over the given sensors: 60 s of 1 Hz data.
+    pub fn small(sensor_ids: Vec<i64>) -> Self {
+        StreamConfig {
+            sensor_ids,
+            start_ms: 600_000,
+            duration_ms: 60_000,
+            period_ms: 1_000,
+            seed: 7,
+            ramp_failures: 2,
+            correlated_pairs: 1,
+            hot_bursts: 1,
+        }
+    }
+}
+
+/// What was planted where — the answer key for correctness checks.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// `(sensor, failure instant)` of each planted monotonic ramp.
+    pub ramp_failures: Vec<(i64, i64)>,
+    /// Planted correlated sensor pairs.
+    pub correlated_pairs: Vec<(i64, i64)>,
+    /// `(sensor, burst start)` of each planted hot excursion.
+    pub hot_bursts: Vec<(i64, i64)>,
+}
+
+/// Generates the `S_Msmt` stream table into `db`. Returns the ground truth.
+///
+/// Schema: `S_Msmt(ts TIMESTAMP, sensor_id INT, value FLOAT, event TEXT)`.
+pub fn build_stream(db: &mut Database, config: &StreamConfig) -> Result<GroundTruth, SqlError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let steps = (config.duration_ms / config.period_ms).max(1) as usize;
+    let n = config.sensor_ids.len();
+    let mut truth = GroundTruth::default();
+
+    // Per-sensor baselines.
+    let baselines: Vec<f64> = (0..n).map(|_| rng.random_range(40.0..70.0)).collect();
+
+    // Value matrix [sensor][step].
+    let mut values: Vec<Vec<f64>> = (0..n)
+        .map(|s| {
+            (0..steps)
+                .map(|k| {
+                    let phase = (k as f64) * 0.05 + s as f64;
+                    baselines[s] + 3.0 * phase.sin() + rng.random_range(-1.0..1.0)
+                })
+                .collect()
+        })
+        .collect();
+    let mut events: Vec<Vec<Option<&str>>> = vec![vec![None; steps]; n];
+
+    // Plant correlated pairs first (they overwrite whole series).
+    let mut used: Vec<usize> = Vec::new();
+    for p in 0..config.correlated_pairs.min(n / 2) {
+        let a = 2 * p;
+        let b = 2 * p + 1;
+        let latent: Vec<f64> =
+            (0..steps).map(|k| 50.0 + 10.0 * ((k as f64) * 0.21 + p as f64).sin()).collect();
+        for k in 0..steps {
+            values[a][k] = latent[k] + rng.random_range(-0.5..0.5);
+            values[b][k] = latent[k] * 0.8 + 20.0 + rng.random_range(-0.5..0.5);
+        }
+        used.push(a);
+        used.push(b);
+        truth.correlated_pairs.push((config.sensor_ids[a], config.sensor_ids[b]));
+    }
+
+    // Plant monotonic ramps ending in failures.
+    let ramp_len = 12.min(steps);
+    for r in 0..config.ramp_failures {
+        let Some(s) = next_free(&used, n) else { break };
+        if steps < ramp_len {
+            continue;
+        }
+        let end = steps - 1 - (r % 3);
+        let begin = end + 1 - ramp_len;
+        for (j, k) in (begin..=end).enumerate() {
+            // Strictly increasing with a comfortable margin over noise.
+            values[s][k] = 60.0 + (j as f64) * 2.5;
+        }
+        events[s][end] = Some("failure");
+        truth
+            .ramp_failures
+            .push((config.sensor_ids[s], config.start_ms + (end as i64) * config.period_ms));
+        used.push(s);
+    }
+
+    // Plant hot bursts.
+    for h in 0..config.hot_bursts {
+        let Some(s) = next_free(&used, n) else { break };
+        let _ = h;
+        let begin = steps / 3;
+        for k in begin..(begin + 5).min(steps) {
+            values[s][k] = 96.0 + rng.random_range(0.0..3.0);
+        }
+        truth
+            .hot_bursts
+            .push((config.sensor_ids[s], config.start_ms + (begin as i64) * config.period_ms));
+        used.push(s);
+    }
+
+    // Emit rows in time order (streams are timestamp-sorted).
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(n * steps);
+    for k in 0..steps {
+        let ts = config.start_ms + (k as i64) * config.period_ms;
+        for s in 0..n {
+            rows.push(vec![
+                Value::Timestamp(ts),
+                Value::Int(config.sensor_ids[s]),
+                Value::Float(values[s][k]),
+                events[s][k].map(Value::text).unwrap_or(Value::Null),
+            ]);
+        }
+    }
+    db.put_table(
+        "S_Msmt",
+        table_of(
+            "S_Msmt",
+            &[
+                ("ts", ColumnType::Timestamp),
+                ("sensor_id", ColumnType::Int),
+                ("value", ColumnType::Float),
+                ("event", ColumnType::Text),
+            ],
+            rows,
+        )?,
+    );
+    Ok(truth)
+}
+
+/// First sensor index not yet hosting a planted anomaly.
+fn next_free(used: &[usize], n: usize) -> Option<usize> {
+    (0..n).find(|s| !used.contains(s))
+}
+
+/// Extracts one sensor's series from the generated stream (test helper and
+/// LSH feed).
+pub fn sensor_series(db: &Database, sensor_id: i64) -> Result<Vec<f64>, SqlError> {
+    let t = optique_relational::exec::query(
+        &format!("SELECT value FROM S_Msmt WHERE sensor_id = {sensor_id} ORDER BY ts"),
+        db,
+    )?;
+    Ok(t.rows.iter().filter_map(|r| r[0].as_f64()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate() -> (Database, GroundTruth, StreamConfig) {
+        let mut db = Database::new();
+        let config = StreamConfig::small((0..12).collect());
+        let truth = build_stream(&mut db, &config).unwrap();
+        (db, truth, config)
+    }
+
+    #[test]
+    fn stream_has_expected_volume() {
+        let (db, _, config) = generate();
+        let expected = config.sensor_ids.len() * (config.duration_ms / config.period_ms) as usize;
+        assert_eq!(db.table("S_Msmt").unwrap().len(), expected);
+    }
+
+    #[test]
+    fn ground_truth_reported() {
+        let (_, truth, _) = generate();
+        assert_eq!(truth.ramp_failures.len(), 2);
+        assert_eq!(truth.correlated_pairs.len(), 1);
+        assert_eq!(truth.hot_bursts.len(), 1);
+    }
+
+    #[test]
+    fn planted_ramp_is_strictly_increasing_before_failure() {
+        let (db, truth, config) = generate();
+        let (sensor, fail_ts) = truth.ramp_failures[0];
+        let series = sensor_series(&db, sensor).unwrap();
+        let fail_idx = ((fail_ts - config.start_ms) / config.period_ms) as usize;
+        for k in (fail_idx - 10)..fail_idx {
+            assert!(
+                series[k] < series[k + 1],
+                "ramp must rise at step {k}: {} vs {}",
+                series[k],
+                series[k + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn failure_event_recorded_in_stream() {
+        let (db, truth, _) = generate();
+        let (sensor, fail_ts) = truth.ramp_failures[0];
+        let t = optique_relational::exec::query(
+            &format!("SELECT event FROM S_Msmt WHERE sensor_id = {sensor} AND ts = {fail_ts}"),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(t.rows[0][0], Value::text("failure"));
+    }
+
+    #[test]
+    fn planted_pair_is_strongly_correlated() {
+        let (db, truth, _) = generate();
+        let (a, b) = truth.correlated_pairs[0];
+        let sa = sensor_series(&db, a).unwrap();
+        let sb = sensor_series(&db, b).unwrap();
+        let n = sa.len() as f64;
+        let (ma, mb) = (sa.iter().sum::<f64>() / n, sb.iter().sum::<f64>() / n);
+        let cov: f64 = sa.iter().zip(&sb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = sa.iter().map(|x| (x - ma).powi(2)).sum();
+        let vb: f64 = sb.iter().map(|y| (y - mb).powi(2)).sum();
+        let r = cov / (va * vb).sqrt();
+        assert!(r > 0.95, "correlation {r}");
+    }
+
+    #[test]
+    fn hot_burst_exceeds_threshold() {
+        let (db, truth, _) = generate();
+        let (sensor, _) = truth.hot_bursts[0];
+        let series = sensor_series(&db, sensor).unwrap();
+        assert!(series.iter().any(|&v| v >= 95.0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Database::new();
+        let mut b = Database::new();
+        let config = StreamConfig::small((0..8).collect());
+        build_stream(&mut a, &config).unwrap();
+        build_stream(&mut b, &config).unwrap();
+        assert_eq!(a.table("S_Msmt").unwrap().rows, b.table("S_Msmt").unwrap().rows);
+    }
+}

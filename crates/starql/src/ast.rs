@@ -1,0 +1,118 @@
+//! The STARQL abstract syntax tree.
+
+use optique_rewrite::Atom;
+
+use crate::having::ProtoFormula;
+
+/// A parsed STARQL continuous query (paper Figure 1 shape).
+#[derive(Clone, Debug)]
+pub struct StarQlQuery {
+    /// `CREATE STREAM <name> AS` — the output stream's name.
+    pub output_stream: String,
+    /// `CONSTRUCT GRAPH NOW { … }` — the output triple template (atoms over
+    /// WHERE/HAVING variables).
+    pub construct: Vec<Atom>,
+    /// `FROM STREAM <name> [window] -> slide`.
+    pub stream: StreamClause,
+    /// `STATIC DATA <iri>`, when present.
+    pub static_data: Option<String>,
+    /// `ONTOLOGY <iri>`, when present.
+    pub ontology_ref: Option<String>,
+    /// `USING PULSE WITH START = …, FREQUENCY = …`.
+    pub pulse: Option<PulseClause>,
+    /// The WHERE basic graph pattern (a conjunctive query over the
+    /// ontology's vocabulary).
+    pub where_bgp: Vec<Atom>,
+    /// `SEQUENCE BY` method.
+    pub sequence: SequenceMethod,
+    /// The HAVING condition, pre-macro-expansion.
+    pub having: ProtoFormula,
+    /// `CREATE AGGREGATE` macro definitions appearing with the query.
+    pub aggregates: Vec<AggregateDef>,
+}
+
+/// The windowed input stream reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamClause {
+    /// Stream name.
+    pub name: String,
+    /// Window range in ms (`NOW - range` to `NOW`).
+    pub range_ms: i64,
+    /// Window slide in ms (`-> slide`).
+    pub slide_ms: i64,
+}
+
+/// The output pulse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PulseClause {
+    /// First tick, ms (clock literals are ms since the logical midnight).
+    pub start_ms: i64,
+    /// Tick period, ms.
+    pub frequency_ms: i64,
+}
+
+/// Window sequencing strategies. The paper's demo uses the *standard
+/// sequence* (one state per distinct timestamp); the enum leaves room for
+/// the sensitivity variants of [12].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SequenceMethod {
+    /// One state per distinct timestamp, states ordered by time.
+    StdSeq {
+        /// The sequence variable name (`AS seq`).
+        alias: String,
+    },
+}
+
+impl SequenceMethod {
+    /// The sequence alias.
+    pub fn alias(&self) -> &str {
+        match self {
+            SequenceMethod::StdSeq { alias } => alias,
+        }
+    }
+}
+
+/// A `CREATE AGGREGATE NS:NAME ($p1, $p2) AS HAVING <formula>` macro.
+#[derive(Clone, Debug)]
+pub struct AggregateDef {
+    /// Namespace part (`MONOTONIC`).
+    pub namespace: String,
+    /// Name part (`HAVING`).
+    pub name: String,
+    /// Formal parameters, `$`-stripped (`var`, `attr`).
+    pub params: Vec<String>,
+    /// The body, with [`crate::having::ProtoTerm::Param`] placeholders.
+    pub body: ProtoFormula,
+}
+
+impl std::fmt::Display for StreamClause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [NOW-\"{}\"^^xsd:duration, NOW]->\"{}\"^^xsd:duration",
+            self.name,
+            crate::duration::format_duration_ms(self.range_ms),
+            crate::duration::format_duration_ms(self.slide_ms)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_clause_displays_durations() {
+        let c = StreamClause { name: "S_Msmt".into(), range_ms: 10_000, slide_ms: 1_000 };
+        assert_eq!(
+            c.to_string(),
+            "S_Msmt [NOW-\"PT10S\"^^xsd:duration, NOW]->\"PT1S\"^^xsd:duration"
+        );
+    }
+
+    #[test]
+    fn sequence_alias() {
+        let s = SequenceMethod::StdSeq { alias: "seq".into() };
+        assert_eq!(s.alias(), "seq");
+    }
+}

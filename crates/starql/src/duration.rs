@@ -1,0 +1,138 @@
+//! `xsd:duration` and wall-clock literals, in milliseconds.
+
+/// Parses an ISO-8601 duration of the `PnDTnHnMnS` family into milliseconds.
+/// Supports the units STARQL windows use: days, hours, minutes, seconds
+/// (with fractional seconds). Examples: `PT10S`, `PT1M`, `PT0.5S`, `P1D`,
+/// `P1DT2H30M`.
+pub fn parse_duration_ms(text: &str) -> Result<i64, String> {
+    let rest = text
+        .strip_prefix('P')
+        .ok_or_else(|| format!("duration {text:?} must start with 'P'"))?;
+    let (date_part, time_part) = match rest.split_once('T') {
+        Some((d, t)) => (d, t),
+        None => (rest, ""),
+    };
+    let mut total_ms: i64 = 0;
+    let mut parse_components = |part: &str, units: &[(char, i64)]| -> Result<(), String> {
+        let mut num = String::new();
+        for c in part.chars() {
+            if c.is_ascii_digit() || c == '.' {
+                num.push(c);
+            } else {
+                let (_, factor) = units
+                    .iter()
+                    .find(|(u, _)| *u == c)
+                    .ok_or_else(|| format!("unexpected unit {c:?} in duration {text:?}"))?;
+                let value: f64 = num
+                    .parse()
+                    .map_err(|_| format!("bad number {num:?} in duration {text:?}"))?;
+                total_ms += (value * *factor as f64).round() as i64;
+                num.clear();
+            }
+        }
+        if !num.is_empty() {
+            return Err(format!("trailing digits without unit in duration {text:?}"));
+        }
+        Ok(())
+    };
+    parse_components(date_part, &[('D', 86_400_000)])?;
+    parse_components(
+        time_part,
+        &[('H', 3_600_000), ('M', 60_000), ('S', 1_000)],
+    )?;
+    if total_ms == 0 && date_part.is_empty() && time_part.is_empty() {
+        return Err(format!("empty duration {text:?}"));
+    }
+    Ok(total_ms)
+}
+
+/// Parses a wall-clock literal `HH:MM:SS` (with an optional trailing
+/// timezone tag like `CET`, which is recorded but ignored — the simulated
+/// cluster runs on a single logical clock) into milliseconds since midnight.
+pub fn parse_clock_ms(text: &str) -> Result<i64, String> {
+    let digits_end = text
+        .find(|c: char| !(c.is_ascii_digit() || c == ':'))
+        .unwrap_or(text.len());
+    let clock = &text[..digits_end];
+    let parts: Vec<&str> = clock.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("clock literal {text:?} must be HH:MM:SS"));
+    }
+    let h: i64 = parts[0].parse().map_err(|_| format!("bad hours in {text:?}"))?;
+    let m: i64 = parts[1].parse().map_err(|_| format!("bad minutes in {text:?}"))?;
+    let s: i64 = parts[2].parse().map_err(|_| format!("bad seconds in {text:?}"))?;
+    if !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..60).contains(&s) {
+        return Err(format!("clock literal {text:?} out of range"));
+    }
+    Ok(((h * 60 + m) * 60 + s) * 1_000)
+}
+
+/// Renders milliseconds as a compact ISO duration (for AST display).
+pub fn format_duration_ms(ms: i64) -> String {
+    if ms % 1_000 != 0 {
+        return format!("PT{}.{:03}S", ms / 1_000, ms % 1_000);
+    }
+    let s = ms / 1_000;
+    if s % 3_600 == 0 && s >= 3_600 {
+        format!("PT{}H", s / 3_600)
+    } else if s % 60 == 0 && s >= 60 {
+        format!("PT{}M", s / 60)
+    } else {
+        format!("PT{s}S")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_durations() {
+        assert_eq!(parse_duration_ms("PT10S").unwrap(), 10_000);
+        assert_eq!(parse_duration_ms("PT1S").unwrap(), 1_000);
+        assert_eq!(parse_duration_ms("PT1M").unwrap(), 60_000);
+        assert_eq!(parse_duration_ms("PT2H").unwrap(), 7_200_000);
+        assert_eq!(parse_duration_ms("P1D").unwrap(), 86_400_000);
+    }
+
+    #[test]
+    fn compound_durations() {
+        assert_eq!(parse_duration_ms("P1DT2H30M").unwrap(), 86_400_000 + 9_000_000);
+        assert_eq!(parse_duration_ms("PT1M30S").unwrap(), 90_000);
+    }
+
+    #[test]
+    fn fractional_seconds() {
+        assert_eq!(parse_duration_ms("PT0.5S").unwrap(), 500);
+        assert_eq!(parse_duration_ms("PT1.25S").unwrap(), 1_250);
+    }
+
+    #[test]
+    fn bad_durations() {
+        assert!(parse_duration_ms("10S").is_err());
+        assert!(parse_duration_ms("PT10").is_err());
+        assert!(parse_duration_ms("PT10X").is_err());
+    }
+
+    #[test]
+    fn clock_literals() {
+        assert_eq!(parse_clock_ms("00:10:00CET").unwrap(), 600_000);
+        assert_eq!(parse_clock_ms("01:00:00").unwrap(), 3_600_000);
+        assert_eq!(parse_clock_ms("23:59:59UTC").unwrap(), 86_399_000);
+    }
+
+    #[test]
+    fn bad_clock_literals() {
+        assert!(parse_clock_ms("25:00:00").is_err());
+        assert!(parse_clock_ms("12:00").is_err());
+        assert!(parse_clock_ms("aa:bb:cc").is_err());
+    }
+
+    #[test]
+    fn format_roundtrip() {
+        for ms in [1_000, 10_000, 60_000, 3_600_000, 500, 90_000] {
+            let text = format_duration_ms(ms);
+            assert_eq!(parse_duration_ms(&text).unwrap(), ms, "through {text}");
+        }
+    }
+}

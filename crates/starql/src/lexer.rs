@@ -1,0 +1,466 @@
+//! STARQL lexer.
+
+/// A token with its byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// STARQL token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Keyword / bare identifier / CURIE (`sie:hasValue`, `:MonInc`,
+    /// `MONOTONIC`, `rdf:type`).
+    Ident(String),
+    /// `?name` variable.
+    Var(String),
+    /// `$name` macro parameter.
+    Param(String),
+    /// `<…>` IRI reference.
+    IriRef(String),
+    /// `"…"` string literal (datatype tag, if any, arrives as `^^` + Ident).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `^^` datatype marker.
+    Carets,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `->`
+    Arrow,
+    /// `-`
+    Minus,
+    /// `+`
+    Plus,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes STARQL text. `#` comments run to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    // Byte offsets per char index for error reporting.
+    let mut offsets = Vec::with_capacity(chars.len() + 1);
+    let mut acc = 0;
+    for c in &chars {
+        offsets.push(acc);
+        acc += c.len_utf8();
+    }
+    offsets.push(acc);
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let offset = offsets[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let kind = match c {
+            '{' => {
+                i += 1;
+                TokenKind::LBrace
+            }
+            '}' => {
+                i += 1;
+                TokenKind::RBrace
+            }
+            '[' => {
+                i += 1;
+                TokenKind::LBracket
+            }
+            ']' => {
+                i += 1;
+                TokenKind::RBracket
+            }
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            '.' => {
+                i += 1;
+                TokenKind::Dot
+            }
+            ';' => {
+                i += 1;
+                TokenKind::Semicolon
+            }
+            '=' => {
+                i += 1;
+                TokenKind::Eq
+            }
+            '+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    TokenKind::Ne
+                } else {
+                    return Err(LexError { offset, message: "stray '!'".into() });
+                }
+            }
+            '^' => {
+                if chars.get(i + 1) == Some(&'^') {
+                    i += 2;
+                    TokenKind::Carets
+                } else {
+                    return Err(LexError { offset, message: "stray '^'".into() });
+                }
+            }
+            '-' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    i += 2;
+                    TokenKind::Arrow
+                } else {
+                    i += 1;
+                    TokenKind::Minus
+                }
+            }
+            '<' => {
+                // '<=' | '<iri>' | '<'
+                if chars.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    TokenKind::Le
+                } else if chars.get(i + 1).is_some_and(|n| n.is_alphabetic() || *n == '_') {
+                    // Heuristic: `<` directly followed by a letter starts an
+                    // IRI reference (comparisons are written with spaces).
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j] != '>' {
+                        j += 1;
+                    }
+                    if j == chars.len() {
+                        return Err(LexError { offset, message: "unterminated <IRI>".into() });
+                    }
+                    let iri: String = chars[i + 1..j].iter().collect();
+                    i = j + 1;
+                    TokenKind::IriRef(iri)
+                } else {
+                    i += 1;
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(j) {
+                        Some('"') => {
+                            j += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            if let Some(next) = chars.get(j + 1) {
+                                s.push(*next);
+                                j += 2;
+                            } else {
+                                return Err(LexError {
+                                    offset,
+                                    message: "unterminated escape".into(),
+                                });
+                            }
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            j += 1;
+                        }
+                        None => {
+                            return Err(LexError { offset, message: "unterminated string".into() })
+                        }
+                    }
+                }
+                i = j;
+                TokenKind::Str(s)
+            }
+            '?' => {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(LexError { offset, message: "empty variable name".into() });
+                }
+                let name: String = chars[i + 1..j].iter().collect();
+                i = j;
+                TokenKind::Var(name)
+            }
+            '$' => {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(LexError { offset, message: "empty parameter name".into() });
+                }
+                let name: String = chars[i + 1..j].iter().collect();
+                i = j;
+                TokenKind::Param(name)
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < chars.len() {
+                    let ch = chars[j];
+                    if ch.is_ascii_digit() {
+                        j += 1;
+                    } else if ch == '.'
+                        && !is_float
+                        && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        is_float = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[i..j].iter().collect();
+                i = j;
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        offset,
+                        message: format!("bad float {text}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        offset,
+                        message: format!("bad integer {text}"),
+                    })?)
+                }
+            }
+            c if c.is_alphabetic() || c == '_' || c == ':' => {
+                // Identifier or CURIE; a ':' is absorbed only when followed
+                // by an identifier character (so `seq:` stays `seq` + `:`).
+                let mut j = i;
+                if c == ':' {
+                    // Leading-colon CURIE like `:MonInc`.
+                    j += 1;
+                    if !chars.get(j).is_some_and(|n| is_ident_char(*n)) {
+                        i += 1;
+                        tokens.push(Token { kind: TokenKind::Colon, offset });
+                        continue;
+                    }
+                }
+                while j < chars.len() {
+                    let ch = chars[j];
+                    if is_ident_char(ch)
+                        || (ch == ':' && chars.get(j + 1).is_some_and(|n| is_ident_char(*n)))
+                    {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word: String = chars[i..j].iter().collect();
+                i = j;
+                TokenKind::Ident(word)
+            }
+            other => {
+                return Err(LexError { offset, message: format!("unexpected character {other:?}") })
+            }
+        };
+        tokens.push(Token { kind, offset });
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        lex(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn curies_and_vars() {
+        assert_eq!(
+            kinds("?c1 a sie:Assembly"),
+            vec![
+                TokenKind::Var("c1".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("sie:Assembly".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn leading_colon_curie() {
+        assert_eq!(kinds(":MonInc"), vec![TokenKind::Ident(":MonInc".into())]);
+    }
+
+    #[test]
+    fn colon_not_absorbed_before_space() {
+        assert_eq!(
+            kinds("SEQ: GRAPH"),
+            vec![
+                TokenKind::Ident("SEQ".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("GRAPH".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn window_tokens() {
+        assert_eq!(
+            kinds("[NOW-\"PT10S\"^^xsd:duration, NOW]->\"PT1S\"^^xsd:duration"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Ident("NOW".into()),
+                TokenKind::Minus,
+                TokenKind::Str("PT10S".into()),
+                TokenKind::Carets,
+                TokenKind::Ident("xsd:duration".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("NOW".into()),
+                TokenKind::RBracket,
+                TokenKind::Arrow,
+                TokenKind::Str("PT1S".into()),
+                TokenKind::Carets,
+                TokenKind::Ident("xsd:duration".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn iriref_vs_comparison() {
+        assert_eq!(
+            kinds("<http://x/a> ?x <= ?y ?i < ?j"),
+            vec![
+                TokenKind::IriRef("http://x/a".into()),
+                TokenKind::Var("x".into()),
+                TokenKind::Le,
+                TokenKind::Var("y".into()),
+                TokenKind::Var("i".into()),
+                TokenKind::Lt,
+                TokenKind::Var("j".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn params_and_macro_dots() {
+        assert_eq!(
+            kinds("MONOTONIC.HAVING($var,$attr)"),
+            vec![
+                TokenKind::Ident("MONOTONIC".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("HAVING".into()),
+                TokenKind::LParen,
+                TokenKind::Param("var".into()),
+                TokenKind::Comma,
+                TokenKind::Param("attr".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn macro_colon_name_is_single_curie() {
+        assert_eq!(
+            kinds("MONOTONIC:HAVING"),
+            vec![TokenKind::Ident("MONOTONIC:HAVING".into())]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("a # rest\n b"), vec![
+            TokenKind::Ident("a".into()),
+            TokenKind::Ident("b".into())
+        ]);
+    }
+
+    #[test]
+    fn no_le_inside_compact_comparison() {
+        assert_eq!(
+            kinds("?x<=?y"),
+            vec![TokenKind::Var("x".into()), TokenKind::Le, TokenKind::Var("y".into())]
+        );
+    }
+
+    #[test]
+    fn errors_have_offsets() {
+        let err = lex("abc ^def").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+}

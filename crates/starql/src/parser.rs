@@ -1,0 +1,785 @@
+//! Recursive-descent parser for STARQL (the paper's Figure 1 grammar).
+
+use optique_rdf::{Iri, Literal, Namespaces, Term};
+use optique_rewrite::{Atom, QueryTerm};
+
+use crate::ast::{AggregateDef, PulseClause, SequenceMethod, StarQlQuery, StreamClause};
+use crate::duration::{parse_clock_ms, parse_duration_ms};
+use crate::having::{CmpOp, ProtoAtom, ProtoFormula, ProtoPred, ProtoTerm};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parse failure with positional context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarQlError {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for StarQlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "STARQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for StarQlError {}
+
+/// Parses a STARQL query. `namespaces` supplies prefix bindings used by
+/// CURIEs; `PREFIX` declarations in the text extend them.
+pub fn parse_starql(text: &str, namespaces: &Namespaces) -> Result<StarQlQuery, StarQlError> {
+    let tokens = lex(text).map_err(|e| StarQlError { offset: e.offset, message: e.message })?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        ns: namespaces.clone(),
+        state_scope: Vec::new(),
+    };
+    let q = p.parse_query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(format!("unexpected trailing tokens: {:?}", p.peek())));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    ns: Namespaces,
+    /// Stack of state-variable scopes (quantifier nesting) — used to tell
+    /// `?i < ?j` (state order) apart from value comparisons.
+    state_scope: Vec<Vec<String>>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
+    }
+
+    fn err(&self, message: String) -> StarQlError {
+        StarQlError { offset: self.offset(), message }
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), StarQlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}, got {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), StarQlError> {
+        match self.peek() {
+            Some(k) if k == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {kind:?}, got {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, StarQlError> {
+        match self.bump() {
+            Some(TokenKind::Ident(w)) => Ok(w),
+            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String, StarQlError> {
+        match self.bump() {
+            Some(TokenKind::Var(v)) => Ok(v),
+            other => Err(self.err(format!("expected ?variable, got {other:?}"))),
+        }
+    }
+
+    fn resolve_curie(&self, curie: &str) -> Result<Iri, StarQlError> {
+        self.ns.expand(curie).ok_or_else(|| StarQlError {
+            offset: self.offset(),
+            message: format!("unbound prefix in CURIE {curie}"),
+        })
+    }
+
+    fn in_state_scope(&self, var: &str) -> bool {
+        self.state_scope.iter().any(|scope| scope.iter().any(|v| v == var))
+    }
+
+    // ---- top level ----------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<StarQlQuery, StarQlError> {
+        // Optional PREFIX declarations.
+        while self.eat_kw("PREFIX") {
+            let prefix_word = match self.bump() {
+                Some(TokenKind::Ident(w)) => w,
+                Some(TokenKind::Colon) => String::new(),
+                other => return Err(self.err(format!("expected prefix name, got {other:?}"))),
+            };
+            // `sie:` lexes as Ident("sie") + Colon when space-separated; the
+            // colon may also have been absorbed.
+            let prefix = prefix_word.trim_end_matches(':').to_string();
+            if matches!(self.peek(), Some(TokenKind::Colon)) {
+                self.pos += 1;
+            }
+            let Some(TokenKind::IriRef(iri)) = self.bump() else {
+                return Err(self.err("expected <IRI> in PREFIX".into()));
+            };
+            self.ns.bind(prefix, iri);
+        }
+
+        self.expect_kw("CREATE")?;
+        self.expect_kw("STREAM")?;
+        let output_stream = self.expect_ident()?;
+        self.expect_kw("AS")?;
+
+        self.expect_kw("CONSTRUCT")?;
+        self.expect_kw("GRAPH")?;
+        self.expect_kw("NOW")?;
+        self.expect(&TokenKind::LBrace)?;
+        let construct = self.parse_bgp()?;
+        self.expect(&TokenKind::RBrace)?;
+
+        self.expect_kw("FROM")?;
+        self.expect_kw("STREAM")?;
+        let stream_name = self.expect_ident()?;
+        let (range_ms, slide_ms) = self.parse_window()?;
+        let stream = StreamClause { name: stream_name, range_ms, slide_ms };
+
+        let mut static_data = None;
+        let mut ontology_ref = None;
+        while matches!(self.peek(), Some(TokenKind::Comma)) {
+            self.pos += 1;
+            if self.eat_kw("STATIC") {
+                self.expect_kw("DATA")?;
+                let Some(TokenKind::IriRef(iri)) = self.bump() else {
+                    return Err(self.err("expected <IRI> after STATIC DATA".into()));
+                };
+                static_data = Some(iri);
+            } else if self.eat_kw("ONTOLOGY") {
+                let Some(TokenKind::IriRef(iri)) = self.bump() else {
+                    return Err(self.err("expected <IRI> after ONTOLOGY".into()));
+                };
+                ontology_ref = Some(iri);
+            } else {
+                return Err(self.err("expected STATIC DATA or ONTOLOGY".into()));
+            }
+        }
+
+        let pulse = if self.eat_kw("USING") {
+            self.expect_kw("PULSE")?;
+            self.expect_kw("WITH")?;
+            self.expect_kw("START")?;
+            self.expect(&TokenKind::Eq)?;
+            let Some(TokenKind::Str(start)) = self.bump() else {
+                return Err(self.err("expected quoted START value".into()));
+            };
+            self.skip_datatype_tag();
+            self.expect(&TokenKind::Comma)?;
+            self.expect_kw("FREQUENCY")?;
+            self.expect(&TokenKind::Eq)?;
+            let Some(TokenKind::Str(freq)) = self.bump() else {
+                return Err(self.err("expected quoted FREQUENCY value".into()));
+            };
+            self.skip_datatype_tag();
+            let start_ms = parse_clock_ms(&start)
+                .or_else(|_| parse_duration_ms(&start))
+                .map_err(|m| self.err(m))?;
+            let frequency_ms = parse_lenient_duration(&freq).map_err(|m| self.err(m))?;
+            Some(PulseClause { start_ms, frequency_ms })
+        } else {
+            None
+        };
+
+        self.expect_kw("WHERE")?;
+        self.expect(&TokenKind::LBrace)?;
+        let where_bgp = self.parse_bgp()?;
+        self.expect(&TokenKind::RBrace)?;
+
+        self.expect_kw("SEQUENCE")?;
+        self.expect_kw("BY")?;
+        let method = self.expect_ident()?;
+        if !method.eq_ignore_ascii_case("StdSeq") {
+            return Err(self.err(format!("unsupported sequencing method {method}")));
+        }
+        self.expect_kw("AS")?;
+        let alias = self.expect_ident()?;
+        let sequence = SequenceMethod::StdSeq { alias };
+
+        self.expect_kw("HAVING")?;
+        let having = self.parse_formula()?;
+
+        let mut aggregates = Vec::new();
+        while self.peek_kw("CREATE") {
+            aggregates.push(self.parse_aggregate_def()?);
+        }
+
+        Ok(StarQlQuery {
+            output_stream,
+            construct,
+            stream,
+            static_data,
+            ontology_ref,
+            pulse,
+            where_bgp,
+            sequence,
+            having,
+            aggregates,
+        })
+    }
+
+    fn skip_datatype_tag(&mut self) {
+        if matches!(self.peek(), Some(TokenKind::Carets)) {
+            self.pos += 1;
+            let _ = self.bump(); // the datatype CURIE
+        }
+    }
+
+    /// `[NOW - "PT10S"^^xsd:duration, NOW] -> "PT1S"^^xsd:duration`
+    fn parse_window(&mut self) -> Result<(i64, i64), StarQlError> {
+        self.expect(&TokenKind::LBracket)?;
+        self.expect_kw("NOW")?;
+        self.expect(&TokenKind::Minus)?;
+        let range = self.parse_duration_literal()?;
+        self.expect(&TokenKind::Comma)?;
+        self.expect_kw("NOW")?;
+        self.expect(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::Arrow)?;
+        let slide = self.parse_duration_literal()?;
+        Ok((range, slide))
+    }
+
+    fn parse_duration_literal(&mut self) -> Result<i64, StarQlError> {
+        let Some(TokenKind::Str(text)) = self.bump() else {
+            return Err(self.err("expected quoted duration".into()));
+        };
+        self.skip_datatype_tag();
+        parse_lenient_duration(&text).map_err(|m| self.err(m))
+    }
+
+    // ---- basic graph patterns -----------------------------------------
+
+    /// Triples `t1 p t2 .` until the closing brace (not consumed).
+    fn parse_bgp(&mut self) -> Result<Vec<Atom>, StarQlError> {
+        let mut atoms = Vec::new();
+        while !matches!(self.peek(), Some(TokenKind::RBrace) | None) {
+            let subject = self.parse_query_term()?;
+            let (is_type, predicate) = self.parse_predicate()?;
+            let object = self.parse_query_term()?;
+            if is_type {
+                let QueryTerm::Const(Term::Iri(class)) = object else {
+                    return Err(self.err("rdf:type object must be a class IRI".into()));
+                };
+                atoms.push(Atom::Class { class, arg: subject });
+            } else {
+                atoms.push(Atom::Property { property: predicate, subject, object });
+            }
+            if matches!(self.peek(), Some(TokenKind::Dot)) {
+                self.pos += 1;
+            }
+        }
+        Ok(atoms)
+    }
+
+    /// Predicate position: `a` / `rdf:type` flag, or a property IRI.
+    fn parse_predicate(&mut self) -> Result<(bool, Iri), StarQlError> {
+        match self.bump() {
+            Some(TokenKind::Ident(w)) if w == "a" => {
+                Ok((true, Iri::new(optique_rdf::vocab::rdf::TYPE)))
+            }
+            Some(TokenKind::Ident(curie)) => {
+                let iri = self.resolve_curie(&curie)?;
+                Ok((iri.as_str() == optique_rdf::vocab::rdf::TYPE, iri))
+            }
+            Some(TokenKind::IriRef(iri)) => {
+                let iri = Iri::new(iri);
+                Ok((iri.as_str() == optique_rdf::vocab::rdf::TYPE, iri))
+            }
+            other => Err(self.err(format!("expected predicate, got {other:?}"))),
+        }
+    }
+
+    fn parse_query_term(&mut self) -> Result<QueryTerm, StarQlError> {
+        match self.bump() {
+            Some(TokenKind::Var(v)) => Ok(QueryTerm::var(v)),
+            Some(TokenKind::Ident(curie)) => {
+                Ok(QueryTerm::Const(Term::Iri(self.resolve_curie(&curie)?)))
+            }
+            Some(TokenKind::IriRef(iri)) => Ok(QueryTerm::Const(Term::iri(iri))),
+            Some(TokenKind::Str(s)) => {
+                self.skip_datatype_tag();
+                Ok(QueryTerm::Const(Term::Literal(Literal::string(s))))
+            }
+            Some(TokenKind::Int(i)) => Ok(QueryTerm::Const(Term::Literal(Literal::integer(i)))),
+            Some(TokenKind::Float(f)) => Ok(QueryTerm::Const(Term::Literal(Literal::double(f)))),
+            other => Err(self.err(format!("expected term, got {other:?}"))),
+        }
+    }
+
+    // ---- HAVING formulas ----------------------------------------------
+
+    fn parse_formula(&mut self) -> Result<ProtoFormula, StarQlError> {
+        if self.peek_kw("EXISTS") {
+            return self.parse_exists();
+        }
+        if self.peek_kw("FORALL") {
+            return self.parse_forall();
+        }
+        self.parse_or()
+    }
+
+    fn parse_exists(&mut self) -> Result<ProtoFormula, StarQlError> {
+        self.expect_kw("EXISTS")?;
+        let mut vars = vec![self.expect_var()?];
+        while matches!(self.peek(), Some(TokenKind::Comma)) {
+            self.pos += 1;
+            vars.push(self.expect_var()?);
+        }
+        self.expect_kw("IN")?;
+        let _seq = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        self.state_scope.push(vars.clone());
+        let body = self.parse_formula()?;
+        self.state_scope.pop();
+        Ok(ProtoFormula::Exists { state_vars: vars, body: Box::new(body) })
+    }
+
+    fn parse_forall(&mut self) -> Result<ProtoFormula, StarQlError> {
+        self.expect_kw("FORALL")?;
+        // State vars with optional `<` ordering chain: `?i < ?j`.
+        let mut state_vars = vec![self.expect_var()?];
+        let mut order_pairs: Vec<(String, String)> = Vec::new();
+        while matches!(self.peek(), Some(TokenKind::Lt)) {
+            self.pos += 1;
+            let next = self.expect_var()?;
+            order_pairs.push((state_vars.last().expect("nonempty").clone(), next.clone()));
+            state_vars.push(next);
+        }
+        self.expect_kw("IN")?;
+        let _seq = self.expect_ident()?;
+        // Optional value variables.
+        let mut value_vars = Vec::new();
+        while matches!(self.peek(), Some(TokenKind::Comma)) {
+            self.pos += 1;
+            value_vars.push(self.expect_var()?);
+        }
+        self.expect(&TokenKind::Colon)?;
+        self.state_scope.push(state_vars.clone());
+        let body = self.parse_formula()?;
+        self.state_scope.pop();
+        // Inject the header's ordering constraints into the body's guard.
+        let body = if order_pairs.is_empty() {
+            body
+        } else {
+            let mut order: Option<ProtoFormula> = None;
+            for (l, r) in order_pairs {
+                let c = ProtoFormula::StateLess { left: vec![l], right: r };
+                order = Some(match order {
+                    None => c,
+                    Some(prev) => ProtoFormula::And(Box::new(prev), Box::new(c)),
+                });
+            }
+            let order = order.expect("nonempty");
+            match body {
+                ProtoFormula::If { cond, then } => ProtoFormula::If {
+                    cond: Box::new(ProtoFormula::And(Box::new(order), cond)),
+                    then,
+                },
+                other => ProtoFormula::If { cond: Box::new(order), then: Box::new(other) },
+            }
+        };
+        Ok(ProtoFormula::Forall { state_vars, value_vars, body: Box::new(body) })
+    }
+
+    fn parse_or(&mut self) -> Result<ProtoFormula, StarQlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let right = self.parse_and()?;
+            left = ProtoFormula::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<ProtoFormula, StarQlError> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let right = self.parse_not()?;
+            left = ProtoFormula::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<ProtoFormula, StarQlError> {
+        if self.eat_kw("NOT") {
+            let inner = self.parse_not()?;
+            return Ok(ProtoFormula::Not(Box::new(inner)));
+        }
+        self.parse_atomic_formula()
+    }
+
+    fn parse_atomic_formula(&mut self) -> Result<ProtoFormula, StarQlError> {
+        // Nested quantifiers are allowed in atomic position (Figure 1 puts
+        // FORALL directly after AND).
+        if self.peek_kw("EXISTS") {
+            return self.parse_exists();
+        }
+        if self.peek_kw("FORALL") {
+            return self.parse_forall();
+        }
+        if self.eat_kw("IF") {
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.parse_formula()?;
+            self.expect(&TokenKind::RParen)?;
+            self.expect_kw("THEN")?;
+            let then = self.parse_atomic_formula()?;
+            return Ok(ProtoFormula::If { cond: Box::new(cond), then: Box::new(then) });
+        }
+        if self.peek_kw("GRAPH") {
+            return self.parse_graph_formula();
+        }
+        if matches!(self.peek(), Some(TokenKind::LParen)) {
+            self.pos += 1;
+            let inner = self.parse_formula()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        // Macro call: IDENT(.IDENT)?(…) — possibly a CURIE-shaped name.
+        if let Some(TokenKind::Ident(word)) = self.peek().cloned() {
+            return self.parse_macro_call(word);
+        }
+        // Comparisons starting with a variable (or term).
+        self.parse_comparison()
+    }
+
+    fn parse_graph_formula(&mut self) -> Result<ProtoFormula, StarQlError> {
+        self.expect_kw("GRAPH")?;
+        let state = self.expect_var()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut atoms = Vec::new();
+        while !matches!(self.peek(), Some(TokenKind::RBrace) | None) {
+            let subject = self.parse_proto_term()?;
+            let predicate = self.parse_proto_pred()?;
+            // Object present unless the atom ends here.
+            let object = if matches!(
+                self.peek(),
+                Some(TokenKind::RBrace) | Some(TokenKind::Dot) | None
+            ) {
+                None
+            } else {
+                Some(self.parse_proto_term()?)
+            };
+            atoms.push(ProtoAtom { subject, predicate, object });
+            if matches!(self.peek(), Some(TokenKind::Dot)) {
+                self.pos += 1;
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(ProtoFormula::Graph { state, atoms })
+    }
+
+    fn parse_proto_term(&mut self) -> Result<ProtoTerm, StarQlError> {
+        match self.bump() {
+            Some(TokenKind::Var(v)) => Ok(ProtoTerm::Var(v)),
+            Some(TokenKind::Param(p)) => Ok(ProtoTerm::Param(p)),
+            Some(TokenKind::Ident(curie)) => {
+                Ok(ProtoTerm::Const(Term::Iri(self.resolve_curie(&curie)?)))
+            }
+            Some(TokenKind::IriRef(iri)) => Ok(ProtoTerm::Const(Term::iri(iri))),
+            Some(TokenKind::Int(i)) => Ok(ProtoTerm::Const(Term::Literal(Literal::integer(i)))),
+            Some(TokenKind::Float(f)) => Ok(ProtoTerm::Const(Term::Literal(Literal::double(f)))),
+            Some(TokenKind::Str(s)) => {
+                self.skip_datatype_tag();
+                Ok(ProtoTerm::Const(Term::Literal(Literal::string(s))))
+            }
+            other => Err(self.err(format!("expected term, got {other:?}"))),
+        }
+    }
+
+    fn parse_proto_pred(&mut self) -> Result<ProtoPred, StarQlError> {
+        match self.bump() {
+            Some(TokenKind::Param(p)) => Ok(ProtoPred::Param(p)),
+            Some(TokenKind::Ident(w)) if w == "a" => {
+                Ok(ProtoPred::Iri(Iri::new(optique_rdf::vocab::rdf::TYPE)))
+            }
+            Some(TokenKind::Ident(curie)) => Ok(ProtoPred::Iri(self.resolve_curie(&curie)?)),
+            Some(TokenKind::IriRef(iri)) => Ok(ProtoPred::Iri(Iri::new(iri))),
+            other => Err(self.err(format!("expected predicate, got {other:?}"))),
+        }
+    }
+
+    fn parse_macro_call(&mut self, first: String) -> Result<ProtoFormula, StarQlError> {
+        self.pos += 1; // consume the ident
+        let (namespace, name) = if let Some((ns, nm)) = first.split_once([':', '.']) {
+            (ns.to_string(), nm.to_string())
+        } else if matches!(self.peek(), Some(TokenKind::Dot) | Some(TokenKind::Colon)) {
+            self.pos += 1;
+            let name = self.expect_ident()?;
+            (first, name)
+        } else {
+            return Err(self.err(format!("expected macro call, got bare identifier {first}")));
+        };
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Some(TokenKind::RParen)) {
+            args.push(self.parse_proto_term()?);
+            while matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+                args.push(self.parse_proto_term()?);
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(ProtoFormula::MacroCall { namespace, name, args })
+    }
+
+    /// `?i, ?j < ?k` (state order) or `?x <= ?y` (value comparison).
+    fn parse_comparison(&mut self) -> Result<ProtoFormula, StarQlError> {
+        let first = self.parse_proto_term()?;
+        // Collect a comma list of further variables (state-order form).
+        let mut list = vec![first];
+        while matches!(self.peek(), Some(TokenKind::Comma))
+            && matches!(self.peek2(), Some(TokenKind::Var(_)))
+        {
+            self.pos += 1;
+            list.push(self.parse_proto_term()?);
+        }
+        let op = match self.peek() {
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            Some(TokenKind::Eq) => CmpOp::Eq,
+            Some(TokenKind::Ne) => CmpOp::Ne,
+            other => return Err(self.err(format!("expected comparison operator, got {other:?}"))),
+        };
+        self.pos += 1;
+        let right = self.parse_proto_term()?;
+
+        // State-order form: `<` with every operand a state variable.
+        let all_state_vars = list
+            .iter()
+            .chain(std::iter::once(&right))
+            .all(|t| matches!(t, ProtoTerm::Var(v) if self.in_state_scope(v)));
+        if op == CmpOp::Lt && all_state_vars {
+            let left_names: Vec<String> = list
+                .iter()
+                .map(|t| match t {
+                    ProtoTerm::Var(v) => v.clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            let ProtoTerm::Var(right_name) = right else { unreachable!() };
+            return Ok(ProtoFormula::StateLess { left: left_names, right: right_name });
+        }
+        if list.len() != 1 {
+            return Err(self.err("comma-separated operands only valid in state comparisons".into()));
+        }
+        Ok(ProtoFormula::Cmp { left: list.remove(0), op, right })
+    }
+
+    fn parse_aggregate_def(&mut self) -> Result<AggregateDef, StarQlError> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("AGGREGATE")?;
+        let head = self.expect_ident()?;
+        let (namespace, name) = if let Some((ns, nm)) = head.split_once([':', '.']) {
+            (ns.to_string(), nm.to_string())
+        } else if matches!(self.peek(), Some(TokenKind::Colon) | Some(TokenKind::Dot)) {
+            self.pos += 1;
+            (head, self.expect_ident()?)
+        } else {
+            return Err(self.err("aggregate name must be NS:NAME".into()));
+        };
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Some(TokenKind::RParen)) {
+            loop {
+                match self.bump() {
+                    Some(TokenKind::Param(p)) => params.push(p),
+                    other => return Err(self.err(format!("expected $param, got {other:?}"))),
+                }
+                if matches!(self.peek(), Some(TokenKind::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect_kw("AS")?;
+        self.expect_kw("HAVING")?;
+        let body = self.parse_formula()?;
+        Ok(AggregateDef { namespace, name, params, body })
+    }
+}
+
+/// Durations accept full ISO form (`PT1S`) and the paper's shorthand (`1S`).
+fn parse_lenient_duration(text: &str) -> Result<i64, String> {
+    parse_duration_ms(text).or_else(|_| parse_duration_ms(&format!("PT{text}")))
+}
+
+/// The Figure 1 query, verbatim modulo prefix declarations (used by tests,
+/// examples and benches across the workspace).
+pub const FIGURE1: &str = r#"
+PREFIX sie: <http://siemens.example/ontology#>
+PREFIX : <http://siemens.example/ontology#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+CREATE STREAM S_out AS
+CONSTRUCT GRAPH NOW { ?c2 rdf:type :MonInc }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration,
+STATIC DATA <http://www.optique-project.eu/siemens/ABoxstatic>,
+ONTOLOGY <http://www.optique-project.eu/siemens/TBox>
+USING PULSE WITH START = "00:10:00CET", FREQUENCY = "1S"
+WHERE {?c1 a sie:Assembly. ?c2 a sie:Sensor. ?c1 sie:inAssembly ?c2.}
+SEQUENCE BY StdSeq AS seq
+HAVING MONOTONIC.HAVING(?c2,sie:hasValue)
+CREATE AGGREGATE MONOTONIC:HAVING ($var,$attr) AS
+HAVING EXISTS ?k IN seq: GRAPH ?k { $var sie:showsFailure } AND
+FORALL ?i < ?j IN seq, ?x, ?y:
+IF ( ?i, ?j < ?k AND GRAPH ?i {$var $attr ?x} AND GRAPH ?j {$var $attr ?y}) THEN ?x<=?y
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::having::expand;
+
+    fn ns() -> Namespaces {
+        Namespaces::with_w3c_defaults()
+    }
+
+    #[test]
+    fn figure1_parses() {
+        let q = parse_starql(FIGURE1, &ns()).unwrap();
+        assert_eq!(q.output_stream, "S_out");
+        assert_eq!(q.stream.name, "S_Msmt");
+        assert_eq!(q.stream.range_ms, 10_000);
+        assert_eq!(q.stream.slide_ms, 1_000);
+        assert_eq!(q.where_bgp.len(), 3);
+        assert_eq!(q.construct.len(), 1);
+        assert_eq!(q.aggregates.len(), 1);
+        let pulse = q.pulse.unwrap();
+        assert_eq!(pulse.start_ms, 600_000);
+        assert_eq!(pulse.frequency_ms, 1_000);
+        assert_eq!(q.static_data.as_deref(), Some("http://www.optique-project.eu/siemens/ABoxstatic"));
+        assert_eq!(q.sequence.alias(), "seq");
+    }
+
+    #[test]
+    fn figure1_macro_expands() {
+        let q = parse_starql(FIGURE1, &ns()).unwrap();
+        let formula = expand(&q.having, &q.aggregates).unwrap();
+        // Shape: Exists k . (Graph ∧ Forall i j …).
+        let crate::having::HavingFormula::Exists { state_vars, body } = &formula else {
+            panic!("expected EXISTS at top, got {formula:?}")
+        };
+        assert_eq!(state_vars, &vec!["k".to_string()]);
+        let crate::having::HavingFormula::And(first, second) = body.as_ref() else {
+            panic!("expected AND inside EXISTS")
+        };
+        assert!(matches!(first.as_ref(), crate::having::HavingFormula::Graph { .. }));
+        assert!(matches!(second.as_ref(), crate::having::HavingFormula::Forall { .. }));
+    }
+
+    #[test]
+    fn where_bgp_atoms_typed() {
+        let q = parse_starql(FIGURE1, &ns()).unwrap();
+        let classes = q
+            .where_bgp
+            .iter()
+            .filter(|a| matches!(a, Atom::Class { .. }))
+            .count();
+        assert_eq!(classes, 2);
+    }
+
+    #[test]
+    fn construct_uses_rdf_type() {
+        let q = parse_starql(FIGURE1, &ns()).unwrap();
+        let Atom::Class { class, arg } = &q.construct[0] else { panic!() };
+        assert_eq!(class.local_name(), "MonInc");
+        assert_eq!(arg, &QueryTerm::var("c2"));
+    }
+
+    #[test]
+    fn missing_clause_is_an_error() {
+        let err = parse_starql("CREATE STREAM x AS WHERE {}", &ns()).unwrap_err();
+        assert!(err.message.contains("CONSTRUCT"));
+    }
+
+    #[test]
+    fn unbound_prefix_is_an_error() {
+        let text = r#"
+            CREATE STREAM s AS
+            CONSTRUCT GRAPH NOW { ?x a nope:Thing }
+            FROM STREAM S [NOW-"PT1S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE { ?x a nope:Thing }
+            SEQUENCE BY StdSeq AS seq
+            HAVING EXISTS ?k IN seq: GRAPH ?k { ?x nope:p ?y }
+        "#;
+        let err = parse_starql(text, &ns()).unwrap_err();
+        assert!(err.message.contains("unbound prefix"));
+    }
+
+    #[test]
+    fn state_vs_value_comparisons() {
+        let q = parse_starql(FIGURE1, &ns()).unwrap();
+        let formula = expand(&q.having, &q.aggregates).unwrap();
+        // Dig to the IF: its guard must contain a StateLess with left {i,j}.
+        fn find_stateless(f: &crate::having::HavingFormula) -> bool {
+            use crate::having::HavingFormula as H;
+            match f {
+                H::StateLess { left, right } => left.contains(&"j".to_string()) && right == "k"
+                    || left.contains(&"i".to_string()),
+                H::Exists { body, .. } | H::Forall { body, .. } | H::Not(body) => {
+                    find_stateless(body)
+                }
+                H::If { cond, then } => find_stateless(cond) || find_stateless(then),
+                H::And(a, b) | H::Or(a, b) => find_stateless(a) || find_stateless(b),
+                _ => false,
+            }
+        }
+        assert!(find_stateless(&formula));
+    }
+
+    #[test]
+    fn bare_frequency_accepted() {
+        assert_eq!(parse_lenient_duration("1S").unwrap(), 1_000);
+        assert_eq!(parse_lenient_duration("PT2S").unwrap(), 2_000);
+    }
+
+    #[test]
+    fn multi_aggregate_definitions() {
+        let text = format!(
+            "{FIGURE1}\nCREATE AGGREGATE OTHER:ONE ($a) AS HAVING EXISTS ?m IN seq: GRAPH ?m {{ $a sie:showsFailure }}"
+        );
+        let q = parse_starql(&text, &ns()).unwrap();
+        assert_eq!(q.aggregates.len(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! CQL-style data-stream substrate — the "SQL(+)" streaming operators.
+//!
+//! ExaStream extends its relational core with "the essential operators for
+//! stream handling", conforming to the CQL semantics of Arasu/Babu/Widom
+//! [paper ref 1]. This crate provides those operators over the engine in
+//! `optique-relational`:
+//!
+//! * [`Stream`] — a registered stream: a timestamp-ordered relation plus the
+//!   designated time column (archived batches of it live as ordinary tables,
+//!   which is also how the demo "plays" recorded Siemens data),
+//! * [`WindowSpec`] + [`time_sliding_window`] — the paper's
+//!   `timeSlidingWindow` UDF: stream-to-relation conversion tagging every
+//!   tuple with the ids of the sliding windows containing it,
+//! * [`WCache`] — the paper's `wCache` UDF: a shared window-id-keyed cache
+//!   "answering efficiently equality constraints on the time column" for
+//!   many concurrent queries,
+//! * [`r2s`] — the relation-to-stream operators (`IStream`, `DStream`,
+//!   `RStream`),
+//! * [`Pulse`] — the STARQL `USING PULSE` clock that aligns window closes
+//!   with output ticks,
+//! * [`register_stream_functions`] — exposes the operators as SQL(+)
+//!   table-valued functions on a [`Database`](optique_relational::Database).
+
+pub mod pulse;
+pub mod r2s;
+pub mod registry;
+pub mod stream;
+pub mod wcache;
+pub mod window;
+
+pub use pulse::Pulse;
+pub use registry::register_stream_functions;
+pub use stream::Stream;
+pub use wcache::WCache;
+pub use window::{time_sliding_window, WindowSpec};

@@ -1,0 +1,91 @@
+//! The STARQL `USING PULSE` clock.
+//!
+//! A pulse declaration — `USING PULSE WITH START = …, FREQUENCY = …` —
+//! defines the ticks at which a continuous query produces output. Ticks are
+//! aligned with window closes: at tick `t`, the query evaluates over the
+//! last window closing at or before `t`.
+
+use optique_relational::SqlError;
+
+/// A pulse: first tick and period, in milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pulse {
+    /// First tick instant.
+    pub start_ms: i64,
+    /// Period between ticks.
+    pub frequency_ms: i64,
+}
+
+impl Pulse {
+    /// Builds a pulse, validating the period.
+    pub fn new(start_ms: i64, frequency_ms: i64) -> Result<Self, SqlError> {
+        if frequency_ms <= 0 {
+            return Err(SqlError::Execution(format!(
+                "pulse frequency must be positive, got {frequency_ms}"
+            )));
+        }
+        Ok(Pulse { start_ms, frequency_ms })
+    }
+
+    /// The instant of tick `i`.
+    pub fn tick_time(&self, i: u64) -> i64 {
+        self.start_ms + (i as i64) * self.frequency_ms
+    }
+
+    /// Iterator over all ticks in `[from, to]` (inclusive bounds clamped to
+    /// the pulse grid).
+    pub fn ticks_between(&self, from: i64, to: i64) -> impl Iterator<Item = i64> + '_ {
+        let first = if from <= self.start_ms {
+            0
+        } else {
+            // Smallest i with tick_time(i) >= from.
+            ((from - self.start_ms) + self.frequency_ms - 1) / self.frequency_ms
+        };
+        (first as u64..)
+            .map(|i| self.tick_time(i))
+            .take_while(move |&t| t <= to)
+    }
+
+    /// Number of ticks in `[from, to]`.
+    pub fn tick_count(&self, from: i64, to: i64) -> usize {
+        self.ticks_between(from, to).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Pulse::new(0, 0).is_err());
+        assert!(Pulse::new(0, 1_000).is_ok());
+    }
+
+    #[test]
+    fn tick_grid() {
+        let p = Pulse::new(600_000, 1_000).unwrap();
+        assert_eq!(p.tick_time(0), 600_000);
+        assert_eq!(p.tick_time(3), 603_000);
+    }
+
+    #[test]
+    fn ticks_between_clamps_to_grid() {
+        let p = Pulse::new(0, 1_000).unwrap();
+        let ticks: Vec<i64> = p.ticks_between(1_500, 4_000).collect();
+        assert_eq!(ticks, vec![2_000, 3_000, 4_000]);
+    }
+
+    #[test]
+    fn ticks_before_start_begin_at_start() {
+        let p = Pulse::new(5_000, 1_000).unwrap();
+        let ticks: Vec<i64> = p.ticks_between(0, 6_000).collect();
+        assert_eq!(ticks, vec![5_000, 6_000]);
+    }
+
+    #[test]
+    fn tick_count() {
+        let p = Pulse::new(0, 1_000).unwrap();
+        assert_eq!(p.tick_count(0, 9_999), 10);
+    }
+}

@@ -1,0 +1,113 @@
+//! Relation-to-stream operators of CQL: `IStream`, `DStream`, `RStream`.
+//!
+//! CQL queries compute, at every tick, a relation from the current window
+//! contents; these operators turn the tick-indexed sequence of relations
+//! back into a stream: `RStream` emits each whole relation, `IStream` emits
+//! insertions w.r.t. the previous tick, `DStream` emits deletions.
+
+use std::collections::BTreeMap;
+
+use optique_relational::Value;
+
+/// Multiset difference `a − b` over rows.
+fn multiset_diff(a: &[Vec<Value>], b: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut counts: BTreeMap<&[Value], isize> = BTreeMap::new();
+    for row in b {
+        *counts.entry(row.as_slice()).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for row in a {
+        let slot = counts.entry(row.as_slice()).or_insert(0);
+        if *slot > 0 {
+            *slot -= 1;
+        } else {
+            out.push(row.clone());
+        }
+    }
+    out
+}
+
+/// `RStream`: the relation at this tick, unchanged.
+pub fn rstream(current: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    current.to_vec()
+}
+
+/// `IStream`: rows present now but not at the previous tick (multiset).
+pub fn istream(previous: &[Vec<Value>], current: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    multiset_diff(current, previous)
+}
+
+/// `DStream`: rows present at the previous tick but not now (multiset).
+pub fn dstream(previous: &[Vec<Value>], current: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    multiset_diff(previous, current)
+}
+
+/// Stateful wrapper that tracks the previous tick for repeated application.
+#[derive(Debug, Default, Clone)]
+pub struct StreamDiffer {
+    previous: Vec<Vec<Value>>,
+}
+
+impl StreamDiffer {
+    /// Fresh differ with an empty previous relation.
+    pub fn new() -> Self {
+        StreamDiffer::default()
+    }
+
+    /// Advances one tick, returning `(inserted, deleted)`.
+    pub fn tick(&mut self, current: Vec<Vec<Value>>) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+        let ins = istream(&self.previous, &current);
+        let del = dstream(&self.previous, &current);
+        self.previous = current;
+        (ins, del)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(vals: &[i64]) -> Vec<Vec<Value>> {
+        vals.iter().map(|&v| vec![Value::Int(v)]).collect()
+    }
+
+    #[test]
+    fn istream_emits_new_rows() {
+        assert_eq!(istream(&r(&[1, 2]), &r(&[2, 3])), r(&[3]));
+    }
+
+    #[test]
+    fn dstream_emits_dropped_rows() {
+        assert_eq!(dstream(&r(&[1, 2]), &r(&[2, 3])), r(&[1]));
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        // Two copies now, one before → one insertion.
+        assert_eq!(istream(&r(&[5]), &r(&[5, 5])), r(&[5]));
+        // One copy now, two before → one deletion.
+        assert_eq!(dstream(&r(&[5, 5]), &r(&[5])), r(&[5]));
+    }
+
+    #[test]
+    fn rstream_is_identity() {
+        assert_eq!(rstream(&r(&[1, 2])), r(&[1, 2]));
+    }
+
+    #[test]
+    fn differ_tracks_state() {
+        let mut d = StreamDiffer::new();
+        let (ins, del) = d.tick(r(&[1]));
+        assert_eq!((ins, del), (r(&[1]), vec![]));
+        let (ins, del) = d.tick(r(&[1, 2]));
+        assert_eq!((ins, del), (r(&[2]), vec![]));
+        let (ins, del) = d.tick(r(&[2]));
+        assert_eq!((ins, del), (vec![], r(&[1])));
+    }
+
+    #[test]
+    fn empty_relations() {
+        assert!(istream(&r(&[]), &r(&[])).is_empty());
+        assert!(dstream(&r(&[]), &r(&[])).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! The `wCache` shared window cache.
+//!
+//! "wCache acts as an index for answering efficiently equality constraints on
+//! the time column when processing infinite streams. … WCache will then
+//! produce results to multiple queries accessing different streams."
+//!
+//! Concretely: many concurrent diagnostic tasks window the *same* measurement
+//! streams with the *same* spec (the 1,024-task showcase registers variations
+//! of a handful of templates). Without sharing, each query re-slices and
+//! re-tags the stream per window; with `WCache`, the first query to need
+//! `(stream, window)` materializes it and every other query gets the
+//! `Arc`-shared batch. Hit statistics feed the E8 bench.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use optique_relational::Value;
+
+/// Key identifying one materialized window of one stream.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct WindowKey {
+    /// Stream name.
+    pub stream: String,
+    /// Window id under that stream's registered window spec.
+    pub window_id: u64,
+}
+
+/// A shared, thread-safe window cache with hit/miss accounting.
+#[derive(Default)]
+pub struct WCache {
+    entries: RwLock<HashMap<WindowKey, Arc<Vec<Vec<Value>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        WCache::default()
+    }
+
+    /// Fetches the rows of `(stream, window_id)`, materializing them with
+    /// `build` on first access. Concurrent callers may race to build; the
+    /// first insert wins and later builds are discarded (builds are pure).
+    pub fn get_or_build(
+        &self,
+        stream: &str,
+        window_id: u64,
+        build: impl FnOnce() -> Vec<Vec<Value>>,
+    ) -> Arc<Vec<Vec<Value>>> {
+        let key = WindowKey { stream: stream.to_string(), window_id };
+        if let Some(hit) = self.entries.read().expect("wcache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut map = self.entries.write().expect("wcache poisoned");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// Evicts every window of `stream` with id strictly below `watermark` —
+    /// called as the pulse advances past their last possible use.
+    pub fn evict_below(&self, stream: &str, watermark: u64) {
+        let mut map = self.entries.write().expect("wcache poisoned");
+        map.retain(|k, _| k.stream != stream || k.window_id >= watermark);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= builds) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached windows.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("wcache poisoned").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for WCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WCache({} windows, {} hits, {} misses)", self.len(), self.hits(), self.misses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: i64) -> Vec<Vec<Value>> {
+        (0..n).map(|i| vec![Value::Int(i)]).collect()
+    }
+
+    #[test]
+    fn build_once_share_after() {
+        let cache = WCache::new();
+        let mut builds = 0;
+        let a = cache.get_or_build("S", 1, || {
+            builds += 1;
+            rows(3)
+        });
+        let b = cache.get_or_build("S", 1, || {
+            builds += 1;
+            rows(3)
+        });
+        assert_eq!(builds, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_windows_distinct_entries() {
+        let cache = WCache::new();
+        cache.get_or_build("S", 1, || rows(1));
+        cache.get_or_build("S", 2, || rows(2));
+        cache.get_or_build("T", 1, || rows(3));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn eviction_respects_stream_and_watermark() {
+        let cache = WCache::new();
+        for k in 0..5 {
+            cache.get_or_build("S", k, || rows(1));
+        }
+        cache.get_or_build("T", 0, || rows(1));
+        cache.evict_below("S", 3);
+        assert_eq!(cache.len(), 3, "S:3, S:4 and T:0 remain");
+        // Re-fetching evicted window is a miss again.
+        let before = cache.misses();
+        cache.get_or_build("S", 0, || rows(1));
+        assert_eq!(cache.misses(), before + 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(WCache::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for k in 0..50u64 {
+                        let got = cache.get_or_build("S", k, || rows(k as i64 % 7));
+                        assert_eq!(got.len(), (k % 7) as usize, "thread {t} window {k}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 50);
+        assert_eq!(cache.hits() + cache.misses(), 400);
+        assert!(cache.misses() >= 50);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: every tuple lands in exactly the windows covering its
+//! timestamp, for arbitrary window specs.
+
+use optique_relational::{Column, ColumnType, Schema, Table, Value};
+use optique_stream::{time_sliding_window, Stream, WindowSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Materialized window content ≡ per-tuple membership computation.
+    #[test]
+    fn window_partitioning_invariant(
+        range in 1i64..20_000,
+        slide in 1i64..20_000,
+        start in -5_000i64..5_000,
+        times in proptest::collection::vec(0i64..30_000, 0..60),
+    ) {
+        let spec = WindowSpec::new(range, slide).unwrap();
+        let schema = Schema::qualified(
+            "s",
+            vec![Column::new("ts", ColumnType::Timestamp), Column::new("v", ColumnType::Int)],
+        );
+        let rows: Vec<Vec<Value>> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| vec![Value::Timestamp(t), Value::Int(i as i64)])
+            .collect();
+        let stream = Stream::new("s", Table::new(schema, rows).unwrap(), 0).unwrap();
+
+        let last_window = 40u64;
+        let table = time_sliding_window(&stream, spec, start, 0, last_window).unwrap();
+
+        // (a) every emitted (wid, tuple) is justified by membership;
+        for row in &table.rows {
+            let wid = row[0].as_i64().unwrap() as u64;
+            let ts = row[1].as_i64().unwrap();
+            let (lo, hi) = spec.windows_containing(start, ts)
+                .expect("emitted tuple must belong somewhere");
+            prop_assert!(wid >= lo && wid <= hi);
+        }
+        // (b) and every justified membership within range is emitted.
+        let mut expected = 0usize;
+        for &ts in &times {
+            if let Some((lo, hi)) = spec.windows_containing(start, ts) {
+                let lo = lo.max(0);
+                let hi = hi.min(last_window);
+                if hi >= lo {
+                    expected += (hi - lo + 1) as usize;
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), expected);
+    }
+
+    /// Slices are consistent with window bounds.
+    #[test]
+    fn slice_matches_bounds(
+        range in 1i64..10_000,
+        slide in 1i64..10_000,
+        k in 0u64..30,
+        times in proptest::collection::vec(0i64..20_000, 1..40),
+    ) {
+        let spec = WindowSpec::new(range, slide).unwrap();
+        let schema = Schema::qualified("s", vec![Column::new("ts", ColumnType::Timestamp)]);
+        let rows: Vec<Vec<Value>> = times.iter().map(|&t| vec![Value::Timestamp(t)]).collect();
+        let stream = Stream::new("s", Table::new(schema, rows).unwrap(), 0).unwrap();
+        let (open, close) = spec.bounds(0, k);
+        let in_slice = stream.slice(open, close).len();
+        let by_filter = times.iter().filter(|&&t| t > open && t <= close).count();
+        prop_assert_eq!(in_slice, by_filter);
+    }
+}

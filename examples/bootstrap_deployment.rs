@@ -1,0 +1,84 @@
+//! Demo scenario S3 — deploy OPTIQUE over the Siemens data by bootstrapping
+//! ontologies and mappings with BootOX, inspect them, and query the fresh
+//! deployment.
+//!
+//! ```text
+//! cargo run --example bootstrap_deployment
+//! ```
+
+use optique_bootstrap::{
+    align, bootstrap_direct, discover_by_keywords, discover_foreign_keys, BootstrapSettings,
+};
+use optique_rdf::Iri;
+use optique_rewrite::{Atom, ConjunctiveQuery, QueryTerm};
+use optique_siemens::{fleet::fleet_schema, SiemensDeployment};
+
+fn main() {
+    let deployment = SiemensDeployment::small();
+    let schema = fleet_schema();
+    let settings = BootstrapSettings {
+        vocab_ns: "http://boot.example/vocab#".into(),
+        data_ns: "http://boot.example/data/".into(),
+        mandatory_participation: true,
+    };
+
+    println!("== 1. direct-mapping bootstrap over the fleet schema ==");
+    let out = bootstrap_direct(&schema, &settings).expect("bootstrap succeeds");
+    println!(
+        "  {:?} → {} classes, {} axioms, {} mappings (skipped: {})",
+        out.elapsed,
+        out.class_count(),
+        out.ontology.axiom_count(),
+        out.mappings.len(),
+        out.skipped.len()
+    );
+    for assertion in out.mappings.assertions().iter().take(5) {
+        println!("  mapping: {assertion}");
+    }
+
+    println!("\n== 2. implicit FK discovery from the data ==");
+    let mut bare = schema.clone();
+    for table in &mut bare.tables {
+        table.foreign_keys.clear();
+    }
+    for (table, fk) in discover_foreign_keys(&bare, &deployment.db, &Default::default()) {
+        println!("  {table}.{} → {}.{}", fk.columns[0], fk.ref_table, fk.ref_columns[0]);
+    }
+
+    println!("\n== 3. keyword-driven mapping discovery ({{SGT, gas, germany}}) ==");
+    for candidate in discover_by_keywords(&schema, &deployment.db, &["SGT", "gas", "germany"])
+        .into_iter()
+        .take(3)
+    {
+        println!("  score {:.2}: {}", candidate.score, candidate.sql);
+        for (kw, at) in &candidate.matches {
+            println!("    {kw} matched {at}");
+        }
+    }
+
+    println!("\n== 4. aligning the bootstrapped ontology with the curated one ==");
+    let curated = optique_siemens::ontology::siemens_ontology();
+    let result = align(&curated, &out.ontology);
+    println!(
+        "  {} lexical matches, {} bridges accepted, {} rejected",
+        result.matches.len(),
+        result.accepted.len(),
+        result.rejected.len()
+    );
+    for (axiom, reason) in result.rejected.iter().take(3) {
+        println!("  rejected {axiom}: {reason}");
+    }
+
+    println!("\n== 5. querying the bootstrapped deployment ==");
+    let q = ConjunctiveQuery::new(
+        vec!["t".into()],
+        vec![Atom::class(Iri::new("http://boot.example/vocab#Turbine"), QueryTerm::var("t"))],
+    );
+    let (sql, stats) =
+        optique_mapping::unfold_cq(&q, &out.mappings, &Default::default()).expect("unfolds");
+    let sql = sql.expect("Turbine is mapped");
+    println!("  unfolded SQL: {sql}");
+    println!("  ({} combination(s), {} emitted)", stats.combinations, stats.emitted);
+    let table = optique_relational::exec::query(&sql.to_string(), &deployment.db).expect("runs");
+    println!("  {} turbines via the bootstrapped semantic layer", table.len());
+}

@@ -1,0 +1,127 @@
+//! Reproduction of paper Figure 2 (experiment F2): the distributed
+//! stream-engine architecture — gateway registration, scheduler placement,
+//! per-worker execution.
+
+use std::sync::Arc;
+
+use optique_exastream::cluster::{hash_partition, Cluster};
+use optique_exastream::gateway::{AsyncFrontend, Gateway};
+use optique_relational::Database;
+use optique_siemens::{FleetConfig, StreamConfig};
+
+/// A 4-worker cluster with the measurement stream hash-partitioned by
+/// sensor and static tables replicated.
+fn siemens_cluster(workers: usize) -> (Arc<Cluster>, usize) {
+    let mut db = Database::new();
+    let sensor_ids = optique_siemens::fleet::build_fleet(&mut db, &FleetConfig::small()).unwrap();
+    let config = StreamConfig::small(sensor_ids);
+    optique_siemens::streamgen::build_stream(&mut db, &config).unwrap();
+    let stream = (**db.table("S_Msmt").unwrap()).clone();
+    let total = stream.len();
+    let shards = hash_partition(&stream, 1, workers); // column 1 = sensor_id
+    let statics: Vec<(String, _)> = ["turbines", "assemblies", "sensors", "countries"]
+        .iter()
+        .map(|t| (t.to_string(), (**db.table(t).unwrap()).clone()))
+        .collect();
+    let cluster = Cluster::provision(workers, |id| {
+        let mut worker_db = Database::new();
+        worker_db.put_table("S_Msmt", shards[id].clone());
+        for (name, table) in &statics {
+            worker_db.put_table(name.clone(), table.clone());
+        }
+        optique_stream::register_stream_functions(&mut worker_db);
+        worker_db
+    });
+    (Arc::new(cluster), total)
+}
+
+#[test]
+fn partitioned_execution_covers_every_tuple() {
+    let (cluster, total) = siemens_cluster(4);
+    let results = cluster.parallel_query("SELECT COUNT(*) AS n FROM S_Msmt").unwrap();
+    let sum: i64 = results.iter().map(|t| t.rows[0][0].as_i64().unwrap()).sum();
+    assert_eq!(sum as usize, total);
+}
+
+#[test]
+fn gateway_places_queries_by_load() {
+    let (cluster, _) = siemens_cluster(4);
+    let gateway = Gateway::new(Arc::clone(&cluster));
+    for _ in 0..64 {
+        gateway
+            .register("SELECT sensor_id, MAX(value) FROM S_Msmt GROUP BY sensor_id", 1.0)
+            .unwrap();
+    }
+    let loads = gateway.worker_loads();
+    assert_eq!(loads.len(), 4);
+    let (min, max) = loads
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &l| (lo.min(l), hi.max(l)));
+    assert!((max - min).abs() < 1e-9, "uniform queries balance exactly: {loads:?}");
+}
+
+#[test]
+fn run_all_returns_per_query_answers() {
+    let (cluster, _) = siemens_cluster(2);
+    let gateway = Gateway::new(Arc::clone(&cluster));
+    let q1 = gateway.register("SELECT COUNT(*) AS n FROM S_Msmt", 1.0).unwrap();
+    let q2 = gateway
+        .register("SELECT COUNT(*) AS n FROM S_Msmt WHERE value >= 95", 1.0)
+        .unwrap();
+    let results = gateway.run_all();
+    assert_eq!(results.len(), 2);
+    let n1 = results.iter().find(|(id, _)| *id == q1).unwrap().1.as_ref().unwrap().rows[0][0]
+        .as_i64()
+        .unwrap();
+    let n2 = results.iter().find(|(id, _)| *id == q2).unwrap().1.as_ref().unwrap().rows[0][0]
+        .as_i64()
+        .unwrap();
+    assert!(n1 > 0);
+    assert!(n2 < n1, "hot readings are a strict subset (shard-local counts)");
+}
+
+#[test]
+fn async_gateway_accepts_concurrent_submissions() {
+    let (cluster, _) = siemens_cluster(2);
+    let gateway = Gateway::new(Arc::clone(&cluster));
+    let frontend = AsyncFrontend::spawn(Arc::clone(&gateway));
+    let receivers: Vec<_> = (0..128)
+        .map(|i| {
+            frontend.submit(
+                format!("SELECT COUNT(*) FROM S_Msmt WHERE sensor_id = {i}"),
+                1.0,
+            )
+        })
+        .collect();
+    for rx in receivers {
+        rx.recv().unwrap().unwrap();
+    }
+    assert_eq!(gateway.registered(), 128);
+}
+
+#[test]
+fn windowed_queries_run_on_workers() {
+    let (cluster, _) = siemens_cluster(4);
+    let gateway = Gateway::new(Arc::clone(&cluster));
+    gateway
+        .register(
+            "SELECT window_id, COUNT(*) AS n FROM \
+             timeslidingwindow('S_Msmt', 0, 10000, 1000, 600000, 0, 9) AS w \
+             GROUP BY window_id",
+            2.0,
+        )
+        .unwrap();
+    let results = gateway.run_all();
+    let t = results[0].1.as_ref().unwrap();
+    assert!(!t.is_empty(), "windows materialize on the worker's shard");
+}
+
+#[test]
+fn deregistration_frees_capacity() {
+    let (cluster, _) = siemens_cluster(2);
+    let gateway = Gateway::new(Arc::clone(&cluster));
+    let id = gateway.register("SELECT COUNT(*) FROM S_Msmt", 7.5).unwrap();
+    assert!(gateway.worker_loads().iter().any(|&l| l > 0.0));
+    assert!(gateway.deregister(id));
+    assert!(gateway.worker_loads().iter().all(|&l| l == 0.0));
+}

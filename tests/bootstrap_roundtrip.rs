@@ -1,0 +1,122 @@
+//! Demo scenario S3: deploy OPTIQUE over the Siemens data by bootstrapping
+//! ontologies and mappings, then query the bootstrapped deployment.
+
+use optique_bootstrap::{
+    align, bootstrap_direct, discover_by_keywords, discover_foreign_keys, BootstrapSettings,
+};
+use optique_rdf::Iri;
+use optique_rewrite::{Atom, ConjunctiveQuery, QueryTerm};
+use optique_siemens::{fleet::fleet_schema, FleetConfig, SiemensDeployment};
+
+fn settings() -> BootstrapSettings {
+    BootstrapSettings {
+        vocab_ns: "http://boot.example/vocab#".into(),
+        data_ns: "http://boot.example/data/".into(),
+        mandatory_participation: true,
+    }
+}
+
+#[test]
+fn bootstrap_then_query_roundtrip() {
+    let deployment = SiemensDeployment::small();
+    let out = bootstrap_direct(&fleet_schema(), &settings()).unwrap();
+    assert!(out.skipped.is_empty(), "{:?}", out.skipped);
+
+    // Query the bootstrapped class for turbines.
+    let q = ConjunctiveQuery::new(
+        vec!["t".into()],
+        vec![Atom::class(Iri::new("http://boot.example/vocab#Turbine"), QueryTerm::var("t"))],
+    );
+    let (sql, _) = optique_mapping::unfold_cq(&q, &out.mappings, &Default::default()).unwrap();
+    let table =
+        optique_relational::exec::query(&sql.unwrap().to_string(), &deployment.db).unwrap();
+    assert_eq!(table.len(), FleetConfig::small().turbines);
+}
+
+#[test]
+fn bootstrapped_fk_property_joins() {
+    let deployment = SiemensDeployment::small();
+    let out = bootstrap_direct(&fleet_schema(), &settings()).unwrap();
+    // sensors.aid → assemblies: named hasAssembly (no `_id` suffix on the
+    // column, so the target class names the property).
+    let prop = out
+        .mappings
+        .mapped_terms()
+        .into_iter()
+        .find(|iri| iri.as_str().contains("vocab#hasAssembly"))
+        .expect("FK property bootstrapped")
+        .clone();
+    let q = ConjunctiveQuery::new(
+        vec!["s".into(), "a".into()],
+        vec![Atom::property(prop, QueryTerm::var("s"), QueryTerm::var("a"))],
+    );
+    let (sql, _) = optique_mapping::unfold_cq(&q, &out.mappings, &Default::default()).unwrap();
+    let table =
+        optique_relational::exec::query(&sql.unwrap().to_string(), &deployment.db).unwrap();
+    assert_eq!(table.len(), deployment.sensor_ids.len());
+}
+
+#[test]
+fn implicit_fks_rediscovered_from_data() {
+    let deployment = SiemensDeployment::small();
+    // Strip the declared FKs and rediscover them from the data.
+    let mut schema = fleet_schema();
+    for table in &mut schema.tables {
+        table.foreign_keys.clear();
+    }
+    let proposals = discover_foreign_keys(&schema, &deployment.db, &Default::default());
+    let has = |src: &str, col: &str, dst: &str| {
+        proposals.iter().any(|(t, fk)| {
+            t == src && fk.columns == vec![col.to_string()] && fk.ref_table == dst
+        })
+    };
+    assert!(has("sensors", "aid", "assemblies"), "{proposals:?}");
+    assert!(has("assemblies", "tid", "turbines"), "{proposals:?}");
+    assert!(has("turbines", "country_id", "countries"), "{proposals:?}");
+}
+
+#[test]
+fn keyword_discovery_on_fleet() {
+    let deployment = SiemensDeployment::small();
+    let candidates =
+        discover_by_keywords(&fleet_schema(), &deployment.db, &["SGT", "gas", "germany"]);
+    assert!(!candidates.is_empty());
+    let best = &candidates[0];
+    assert!(best.score > 0.6, "{best:?}");
+    let table = optique_relational::exec::query(&best.sql, &deployment.db).unwrap();
+    assert!(!table.is_empty());
+}
+
+#[test]
+fn alignment_bridges_bootstrapped_to_curated() {
+    let curated = optique_siemens::ontology::siemens_ontology();
+    let out = bootstrap_direct(&fleet_schema(), &settings()).unwrap();
+    // Bootstrapped vocabulary uses Turbine/Sensor/Assembly local names, so
+    // lexical alignment against the curated Siemens ontology finds them.
+    let result = align(&curated, &out.ontology);
+    assert!(
+        result.matches.len() >= 3,
+        "expected Turbine/Sensor/Assembly/Country matches, got {:?}",
+        result.matches
+    );
+    assert!(!result.accepted.is_empty());
+    // Merged ontology entails: bootstrapped Turbine ⊑ curated PowerGeneratingAppliance.
+    let boot_turbine = optique_ontology::BasicConcept::atomic(Iri::new(
+        "http://boot.example/vocab#Turbine",
+    ));
+    let sups = result.merged.sup_concepts_closure(&boot_turbine);
+    assert!(
+        sups.iter().any(|c| c
+            .as_atomic()
+            .is_some_and(|i| i.local_name() == "PowerGeneratingAppliance")),
+        "bridge connects bootstrapped vocabulary into the curated taxonomy"
+    );
+}
+
+#[test]
+fn bootstrap_scales_linearly_enough() {
+    // E6 sanity: bootstrapping the fleet schema is effectively instant.
+    let out = bootstrap_direct(&fleet_schema(), &settings()).unwrap();
+    assert!(out.elapsed.as_millis() < 1_000, "took {:?}", out.elapsed);
+    assert!(out.class_count() >= 5);
+}

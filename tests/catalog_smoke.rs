@@ -1,0 +1,118 @@
+//! Demo scenario S1: the whole 20-task Siemens catalog registered and
+//! monitored over one deployment.
+
+use optique::OptiquePlatform;
+use optique_siemens::catalog::TaskQuery;
+use optique_siemens::{diagnostic_tasks, SiemensDeployment};
+
+#[test]
+fn all_tasks_register_and_tick() {
+    let deployment = SiemensDeployment::small();
+    let start = deployment.stream_config.start_ms;
+    let end = start + deployment.stream_config.duration_ms;
+    let hot_sensors: Vec<i64> =
+        deployment.ground_truth.hot_bursts.iter().map(|(s, _)| *s).collect();
+    let platform = OptiquePlatform::from_siemens(deployment);
+
+    let mut starql_count = 0;
+    for task in diagnostic_tasks() {
+        match &task.query {
+            TaskQuery::StarQl(_) => {
+                platform.register_task(&task).unwrap_or_else(|e| panic!("{}: {e}", task.id));
+                starql_count += 1;
+            }
+            TaskQuery::SqlPlus(sql) => {
+                // UDF-style tasks run directly on the engine.
+                optique_relational::exec::query(sql, &platform.db)
+                    .unwrap_or_else(|e| panic!("{}: {e}", task.id));
+            }
+        }
+    }
+    assert_eq!(starql_count, 18);
+    assert_eq!(platform.registered(), 18);
+
+    // Tick the full replay window every 5 s.
+    let mut overheat_alarms: Vec<String> = Vec::new();
+    for tick in (start..=end).step_by(5_000) {
+        for (id, out) in platform.tick_all(tick).unwrap() {
+            let dash = platform.dashboard();
+            let panel = dash.panels.iter().find(|p| p.id == id).unwrap();
+            if panel.name.contains("overheat") {
+                for t in &out.triples {
+                    if let optique_rdf::Term::Iri(iri) = &t.subject {
+                        overheat_alarms.push(iri.as_str().to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    // The planted hot burst must trigger at least one overheat task.
+    for sensor in &hot_sensors {
+        let iri = format!("http://siemens.example/data/sensor/{sensor}");
+        assert!(
+            overheat_alarms.contains(&iri),
+            "hot burst on sensor {sensor} undetected; alarms: {overheat_alarms:?}"
+        );
+    }
+
+    // Monitoring totals are consistent.
+    let dash = platform.dashboard();
+    assert_eq!(dash.panels.len(), 18);
+    assert!(dash.total_tuples() > 0);
+    let rendered = dash.render();
+    assert!(rendered.contains("OPTIQUE monitoring"));
+    assert!(rendered.lines().count() >= 20);
+}
+
+#[test]
+fn pearson_task_finds_planted_pair() {
+    let deployment = SiemensDeployment::small();
+    let (a, b) = deployment.ground_truth.correlated_pairs[0];
+    let task = diagnostic_tasks()
+        .into_iter()
+        .find(|t| t.name == "pearson-correlation")
+        .expect("task T19 exists");
+    let TaskQuery::SqlPlus(sql) = &task.query else { panic!("T19 is SQL(+)") };
+    let table = optique_relational::exec::query(sql, &deployment.db).unwrap();
+    let hit = table.rows.iter().any(|row| {
+        let (s1, s2) = (row[0].as_i64().unwrap(), row[1].as_i64().unwrap());
+        (s1.min(s2), s1.max(s2)) == (a.min(b), a.max(b))
+    });
+    assert!(hit, "planted pair ({a},{b}) not in:\n{}", table.render(20));
+}
+
+#[test]
+fn window_statistics_task_reports_each_window() {
+    let deployment = SiemensDeployment::small();
+    let task = diagnostic_tasks()
+        .into_iter()
+        .find(|t| t.name == "window-statistics")
+        .expect("task T20 exists");
+    let TaskQuery::SqlPlus(sql) = &task.query else { panic!("T20 is SQL(+)") };
+    let table = optique_relational::exec::query(sql, &deployment.db).unwrap();
+    assert_eq!(table.len(), 6, "windows 0..=5");
+    for row in &table.rows {
+        let n = row[1].as_i64().unwrap();
+        let (lo, hi) = (row[3].as_f64().unwrap(), row[4].as_f64().unwrap());
+        assert!(lo <= hi);
+        assert!(n >= 0);
+    }
+}
+
+#[test]
+fn wcache_pays_off_across_the_catalog() {
+    let deployment = SiemensDeployment::small();
+    let start = deployment.stream_config.start_ms;
+    let platform = OptiquePlatform::from_siemens(deployment);
+    // Register the four monotonic tasks — same 10 s / 1 s window spec.
+    for task in diagnostic_tasks().into_iter().take(4) {
+        platform.register_task(&task).unwrap();
+    }
+    platform.tick_all(start + 10_000).unwrap();
+    let dash = platform.dashboard();
+    assert!(
+        dash.wcache_hits >= 3,
+        "three of four same-window queries reuse the materialization: {dash:?}"
+    );
+}
