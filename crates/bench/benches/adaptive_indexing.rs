@@ -18,7 +18,9 @@ fn batch(rows: usize) -> Vec<Vec<Value>> {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("adaptive_indexing");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for rows in [1_000usize, 10_000, 100_000] {
         let data = batch(rows);

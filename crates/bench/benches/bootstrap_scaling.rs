@@ -9,8 +9,11 @@ use optique_relational::ColumnType;
 
 fn schema(tables: usize) -> RelationalSchema {
     let mut s = RelationalSchema::new().with_table(
-        RelTable::new("root", vec![("id", ColumnType::Int), ("name", ColumnType::Text)])
-            .with_pk(&["id"]),
+        RelTable::new(
+            "root",
+            vec![("id", ColumnType::Int), ("name", ColumnType::Text)],
+        )
+        .with_pk(&["id"]),
     );
     for i in 0..tables {
         s = s.with_table(
@@ -32,7 +35,9 @@ fn schema(tables: usize) -> RelationalSchema {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("bootstrap");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for tables in [5usize, 25, 100, 500] {
         let s = schema(tables);
         group.bench_with_input(BenchmarkId::from_parameter(tables), &tables, |b, _| {

@@ -12,10 +12,11 @@ use optique_siemens::{FleetConfig, StreamConfig};
 
 fn cluster() -> Arc<Cluster> {
     let mut db = Database::new();
-    let sensors =
-        optique_siemens::fleet::build_fleet(&mut db, &FleetConfig::small()).unwrap();
+    let sensors = optique_siemens::fleet::build_fleet(&mut db, &FleetConfig::small()).unwrap();
     optique_siemens::streamgen::build_stream(&mut db, &StreamConfig::small(sensors)).unwrap();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let stream = (**db.table("S_Msmt").unwrap()).clone();
     let shards = hash_partition(&stream, 1, workers);
     Arc::new(Cluster::provision(workers, |id| {
@@ -28,7 +29,9 @@ fn cluster() -> Arc<Cluster> {
 fn bench(c: &mut Criterion) {
     let cluster = cluster();
     let mut group = c.benchmark_group("concurrent_tasks");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for queries in [1usize, 4, 16, 64, 256, 1024] {
         group.throughput(Throughput::Elements(queries as u64));
         let gateway = Gateway::new(Arc::clone(&cluster));

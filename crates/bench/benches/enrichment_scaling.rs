@@ -45,7 +45,9 @@ fn query() -> ConjunctiveQuery {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("enrichment");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for axioms in [10usize, 50, 200, 1000, 5000] {
         let onto = tbox(axioms);
         let q = query();
@@ -53,7 +55,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| rewrite(&q, &onto, &RewriteSettings::default()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("no_pruning", axioms), &axioms, |b, _| {
-            let s = RewriteSettings { eliminate_subsumed: false, ..Default::default() };
+            let s = RewriteSettings {
+                eliminate_subsumed: false,
+                ..Default::default()
+            };
             b.iter(|| rewrite(&q, &onto, &s).unwrap())
         });
     }

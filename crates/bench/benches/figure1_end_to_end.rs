@@ -11,7 +11,9 @@ use optique_starql::FIGURE1;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure1");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     let deployment = SiemensDeployment::small();
     let ns = deployment.namespaces.clone();

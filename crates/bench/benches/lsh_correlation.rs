@@ -15,7 +15,10 @@ fn index_of(n_sensors: usize, dim: usize) -> CorrelationIndex {
     for fam in 0..3u64 {
         let base: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
         for k in 0..3u64 {
-            let noisy: Vec<f64> = base.iter().map(|x| x + rng.random_range(-0.1..=0.1)).collect();
+            let noisy: Vec<f64> = base
+                .iter()
+                .map(|x| x + rng.random_range(-0.1..=0.1))
+                .collect();
             index.insert(1_000 + fam * 10 + k, &noisy);
         }
     }
@@ -28,12 +31,16 @@ fn index_of(n_sensors: usize, dim: usize) -> CorrelationIndex {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("lsh_correlation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for sensors in [100usize, 500, 2_000] {
         let index = index_of(sensors, 64);
-        group.bench_with_input(BenchmarkId::new("exact_all_pairs", sensors), &sensors, |b, _| {
-            b.iter(|| index.exact_pairs_above(0.9))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_all_pairs", sensors),
+            &sensors,
+            |b, _| b.iter(|| index.exact_pairs_above(0.9)),
+        );
         group.bench_with_input(BenchmarkId::new("lsh_banded", sensors), &sensors, |b, _| {
             b.iter(|| index.correlated_pairs(0.8))
         });

@@ -18,7 +18,12 @@ fn source() -> (Database, usize) {
     let mut db = Database::new();
     let sensors = optique_siemens::fleet::build_fleet(
         &mut db,
-        &FleetConfig { turbines: 40, assemblies_per_turbine: 4, sensors_per_assembly: 4, seed: 5 },
+        &FleetConfig {
+            turbines: 40,
+            assemblies_per_turbine: 4,
+            sensors_per_assembly: 4,
+            seed: 5,
+        },
     )
     .unwrap();
     let config = StreamConfig {
@@ -39,7 +44,9 @@ fn source() -> (Database, usize) {
 fn bench(c: &mut Criterion) {
     let (db, tuples) = source();
     let mut group = c.benchmark_group("scaling_nodes");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.throughput(Throughput::Elements(tuples as u64));
     for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let stream = (**db.table("S_Msmt").unwrap()).clone();

@@ -1,0 +1,119 @@
+//! SPARQL front-end baseline: parse → PerfectRef rewrite → mapping
+//! unfolding → relational execution latency at 1 / 10 / 100 BGP-atom
+//! scales, so later optimisation PRs have a reference point.
+//!
+//! The workload is a join chain `?v0 x:p0 ?v1 . ?v1 x:p1 ?v2 . …` over a
+//! synthetic catalog with one mapping per property (one unfolding
+//! combination per disjunct — growth isolates per-atom pipeline cost, not
+//! mapping fan-out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use optique_mapping::{MappingAssertion, MappingCatalog, TermMap, UnfoldSettings};
+use optique_ontology::Ontology;
+use optique_rdf::{Iri, Namespaces};
+use optique_relational::{table::table_of, ColumnType, Database, Value};
+use optique_rewrite::RewriteSettings;
+use optique_sparql::{parse_sparql, StaticPipeline};
+
+const ROWS_PER_TABLE: i64 = 8;
+
+fn namespaces() -> Namespaces {
+    let mut ns = Namespaces::with_w3c_defaults();
+    ns.bind("x", "http://x/");
+    ns
+}
+
+/// One table + one property mapping per chain position.
+fn fixtures(atoms: usize) -> (Database, MappingCatalog) {
+    let mut db = Database::new();
+    let mut catalog = MappingCatalog::new();
+    for i in 0..atoms {
+        let rows = (0..ROWS_PER_TABLE)
+            .map(|k| vec![Value::Int(k), Value::Int(k)])
+            .collect();
+        db.put_table(
+            format!("t{i}"),
+            table_of(
+                &format!("t{i}"),
+                &[("a", ColumnType::Int), ("b", ColumnType::Int)],
+                rows,
+            )
+            .expect("valid table"),
+        );
+        catalog
+            .add(
+                MappingAssertion::property(
+                    format!("p{i}"),
+                    Iri::new(format!("http://x/p{i}")),
+                    format!("SELECT a, b FROM t{i}"),
+                    TermMap::template("http://x/obj/{a}"),
+                    TermMap::template("http://x/obj/{b}"),
+                )
+                .with_key(vec!["a".into(), "b".into()]),
+            )
+            .expect("valid mapping");
+    }
+    (db, catalog)
+}
+
+/// `SELECT ?v0 WHERE { ?v0 x:p0 ?v1 . ?v1 x:p1 ?v2 . … }` with `atoms`
+/// chained triple patterns.
+fn query_text(atoms: usize) -> String {
+    let mut text = String::from("SELECT ?v0 WHERE { ");
+    for i in 0..atoms {
+        text.push_str(&format!("?v{i} x:p{i} ?v{} . ", i + 1));
+    }
+    text.push('}');
+    text
+}
+
+fn bench(c: &mut Criterion) {
+    let ns = namespaces();
+    let ontology = Ontology::new();
+    let mut group = c.benchmark_group("sparql_pipeline");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for atoms in [1usize, 10, 100] {
+        let (db, catalog) = fixtures(atoms);
+        let text = query_text(atoms);
+
+        group.bench_with_input(BenchmarkId::new("parse", atoms), &atoms, |b, _| {
+            b.iter(|| parse_sparql(&text, &ns).expect("parses"))
+        });
+
+        let pipeline = StaticPipeline {
+            ontology: &ontology,
+            mappings: &catalog,
+            db: &db,
+            rewrite_settings: RewriteSettings::default(),
+            unfold_settings: UnfoldSettings::default(),
+        };
+        let parsed = parse_sparql(&text, &ns).expect("parses");
+        group.bench_with_input(
+            BenchmarkId::new("rewrite_unfold_execute", atoms),
+            &atoms,
+            |b, _| {
+                b.iter(|| {
+                    let (results, _) = pipeline.answer(&parsed).expect("answers");
+                    assert_eq!(results.len(), ROWS_PER_TABLE as usize);
+                    results
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("end_to_end", atoms), &atoms, |b, _| {
+            b.iter(|| {
+                let query = parse_sparql(&text, &ns).expect("parses");
+                pipeline.answer(&query).expect("answers")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

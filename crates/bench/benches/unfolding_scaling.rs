@@ -53,7 +53,9 @@ fn query() -> ConjunctiveQuery {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("unfolding");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [10usize, 100, 1000, 10_000] {
         let cat = catalog(n);
         let q = query();
@@ -61,7 +63,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| unfold_cq(&q, &cat, &UnfoldSettings::default()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("no_elimination", n), &n, |b, _| {
-            let s = UnfoldSettings { eliminate_self_joins: false, ..Default::default() };
+            let s = UnfoldSettings {
+                eliminate_self_joins: false,
+                ..Default::default()
+            };
             b.iter(|| unfold_cq(&q, &cat, &s).unwrap())
         });
     }

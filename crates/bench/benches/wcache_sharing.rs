@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
     let (db, _) = source();
     let table = db.table("S_Msmt").unwrap().clone();
     let mut group = c.benchmark_group("wcache");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for queries in [1usize, 16, 64, 256] {
         // Without wCache: every query re-slices and copies its window.

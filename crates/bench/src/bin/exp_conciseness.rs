@@ -15,7 +15,9 @@ fn main() {
     let mut total_ratio = 0.0f64;
     let mut n = 0usize;
     for task in diagnostic_tasks() {
-        let TaskQuery::StarQl(text) = &task.query else { continue };
+        let TaskQuery::StarQl(text) = &task.query else {
+            continue;
+        };
         let id = platform.register_task(&task).expect("registers");
         let report = platform.fleet_report(id, text).expect("registered");
         let ratio = report.fleet_chars as f64 / report.starql_chars as f64;

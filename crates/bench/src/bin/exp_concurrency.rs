@@ -15,7 +15,9 @@ fn main() {
     let sensors = optique_siemens::fleet::build_fleet(&mut db, &FleetConfig::small()).unwrap();
     optique_siemens::streamgen::build_stream(&mut db, &StreamConfig::small(sensors)).unwrap();
     let tuples = db.table("S_Msmt").unwrap().len();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let stream = (**db.table("S_Msmt").unwrap()).clone();
     let shards = hash_partition(&stream, 1, workers);
     let cluster = Arc::new(Cluster::provision(workers, |id| {

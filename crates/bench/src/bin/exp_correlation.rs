@@ -27,8 +27,10 @@ fn main() {
             let a = 1_000_000 + fam * 2;
             let b = a + 1;
             for id in [a, b] {
-                let noisy: Vec<f64> =
-                    base.iter().map(|x| x + rng.random_range(-0.1..=0.1)).collect();
+                let noisy: Vec<f64> = base
+                    .iter()
+                    .map(|x| x + rng.random_range(-0.1..=0.1))
+                    .collect();
                 index.insert(id, &noisy);
             }
             planted.push((a, b));

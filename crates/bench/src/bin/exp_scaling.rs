@@ -9,15 +9,19 @@ use optique_exastream::metrics::format_rate;
 use optique_relational::Database;
 use optique_siemens::{FleetConfig, StreamConfig};
 
-const QUERY: &str =
-    "SELECT sensor_id, COUNT(*) AS n, AVG(value) AS mean, MAX(value) AS mx \
+const QUERY: &str = "SELECT sensor_id, COUNT(*) AS n, AVG(value) AS mean, MAX(value) AS mx \
      FROM S_Msmt GROUP BY sensor_id";
 
 fn main() {
     let mut db = Database::new();
     let sensors = optique_siemens::fleet::build_fleet(
         &mut db,
-        &FleetConfig { turbines: 100, assemblies_per_turbine: 4, sensors_per_assembly: 5, seed: 3 },
+        &FleetConfig {
+            turbines: 100,
+            assemblies_per_turbine: 4,
+            sensors_per_assembly: 5,
+            seed: 3,
+        },
     )
     .unwrap();
     let config = StreamConfig {
@@ -32,7 +36,9 @@ fn main() {
     };
     optique_siemens::streamgen::build_stream(&mut db, &config).unwrap();
     let tuples = db.table("S_Msmt").unwrap().len();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
     println!("# E1 scaling_nodes — {tuples} stream tuples, host cores: {cores}");
     println!("| nodes | elapsed/query | tuples/sec | speedup |");
     println!("|------:|--------------:|-----------:|--------:|");

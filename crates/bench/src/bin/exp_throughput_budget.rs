@@ -16,7 +16,12 @@ fn main() {
     let mut db = Database::new();
     let sensors = optique_siemens::fleet::build_fleet(
         &mut db,
-        &FleetConfig { turbines: 100, assemblies_per_turbine: 4, sensors_per_assembly: 5, seed: 4 },
+        &FleetConfig {
+            turbines: 100,
+            assemblies_per_turbine: 4,
+            sensors_per_assembly: 5,
+            seed: 4,
+        },
     )
     .unwrap();
     let config = StreamConfig {
@@ -44,7 +49,9 @@ fn main() {
             wdb
         }));
         let reps = 7u32;
-        cluster.parallel_query("SELECT sensor_id, COUNT(*) FROM S_Msmt GROUP BY sensor_id").unwrap();
+        cluster
+            .parallel_query("SELECT sensor_id, COUNT(*) FROM S_Msmt GROUP BY sensor_id")
+            .unwrap();
         let start = Instant::now();
         for _ in 0..reps {
             cluster

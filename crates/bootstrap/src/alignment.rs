@@ -96,7 +96,11 @@ pub fn align(local: &Ontology, imported: &Ontology) -> AlignmentResult {
         if !unsat.is_empty() {
             let reason = format!(
                 "bridge makes {} unsatisfiable",
-                unsat.iter().map(|c| c.local_name()).collect::<Vec<_>>().join(", ")
+                unsat
+                    .iter()
+                    .map(|c| c.local_name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
             rejected.push((bridge_a, reason));
             continue;
@@ -119,7 +123,12 @@ pub fn align(local: &Ontology, imported: &Ontology) -> AlignmentResult {
         accepted.push(bridge_b);
     }
 
-    AlignmentResult { merged, accepted, rejected, matches }
+    AlignmentResult {
+        merged,
+        accepted,
+        rejected,
+        matches,
+    }
 }
 
 /// Subsumption pairs among the imported ontology's own classes, as entailed
@@ -198,7 +207,10 @@ mod tests {
             result.rejected
         );
         let reasons: Vec<&str> = result.rejected.iter().map(|(_, r)| r.as_str()).collect();
-        assert!(reasons.iter().any(|r| r.contains("non-conservative")), "{reasons:?}");
+        assert!(
+            reasons.iter().any(|r| r.contains("non-conservative")),
+            "{reasons:?}"
+        );
     }
 
     #[test]
@@ -219,12 +231,15 @@ mod tests {
             BasicConcept::atomic(ext_iri("turbine")),
         ));
         let result = align(&local, &imported);
-        assert!(result
-            .rejected
-            .iter()
-            .any(|(_, reason)| reason.contains("unsatisfiable")
-                || reason.contains("non-conservative")),
-            "rejected: {:?}", result.rejected);
+        assert!(
+            result
+                .rejected
+                .iter()
+                .any(|(_, reason)| reason.contains("unsatisfiable")
+                    || reason.contains("non-conservative")),
+            "rejected: {:?}",
+            result.rejected
+        );
     }
 
     #[test]
@@ -234,7 +249,10 @@ mod tests {
         let result = align(&local(), &imported);
         assert!(result.matches.is_empty());
         assert!(result.accepted.is_empty());
-        assert!(result.merged.classes().any(|c| c.local_name() == "CompletelyDifferent"));
+        assert!(result
+            .merged
+            .classes()
+            .any(|c| c.local_name() == "CompletelyDifferent"));
     }
 
     #[test]

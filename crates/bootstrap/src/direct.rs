@@ -87,8 +87,7 @@ pub fn bootstrap_direct(
             ));
             continue;
         };
-        let subject_template =
-            format!("{}{}/{{{}}}", settings.data_ns, table.name, pk);
+        let subject_template = format!("{}{}/{{{}}}", settings.data_ns, table.name, pk);
 
         // Class mapping.
         mappings.add(
@@ -107,8 +106,11 @@ pub fn bootstrap_direct(
             .iter()
             .find(|fk| fk.columns.len() == 1 && &fk.columns[0] == pk);
         if let Some(fk) = isa_fk {
-            let super_class =
-                Iri::new(format!("{}{}", settings.vocab_ns, class_case(&fk.ref_table)));
+            let super_class = Iri::new(format!(
+                "{}{}",
+                settings.vocab_ns,
+                class_case(&fk.ref_table)
+            ));
             ontology.add_axiom(Axiom::subclass(
                 BasicConcept::Atomic(class_iri.clone()),
                 BasicConcept::Atomic(super_class),
@@ -157,7 +159,9 @@ pub fn bootstrap_direct(
             if fk_col == pk {
                 continue; // the ISA case above
             }
-            let Some(target) = schema.table(&fk.ref_table) else { continue };
+            let Some(target) = schema.table(&fk.ref_table) else {
+                continue;
+            };
             let [target_pk] = target.primary_key.as_slice() else {
                 skipped.push(format!(
                     "table {}: FK into {} whose key is not a single column",
@@ -165,7 +169,7 @@ pub fn bootstrap_direct(
                 ));
                 continue;
             };
-            if &fk.ref_columns != &vec![target_pk.clone()] {
+            if fk.ref_columns != vec![target_pk.clone()] {
                 skipped.push(format!(
                     "table {}: FK into non-PK columns of {}",
                     table.name, fk.ref_table
@@ -177,15 +181,22 @@ pub fn bootstrap_direct(
                 .map(property_case)
                 .unwrap_or_else(|| format!("has{}", class_case(&fk.ref_table)));
             let prop_iri = Iri::new(format!("{}{}", settings.vocab_ns, prop_name));
-            let target_class =
-                Iri::new(format!("{}{}", settings.vocab_ns, class_case(&fk.ref_table)));
-            let target_template =
-                format!("{}{}/{{{}}}", settings.data_ns, fk.ref_table, fk_col);
+            let target_class = Iri::new(format!(
+                "{}{}",
+                settings.vocab_ns,
+                class_case(&fk.ref_table)
+            ));
+            let target_template = format!("{}{}/{{{}}}", settings.data_ns, fk.ref_table, fk_col);
             ontology.declare_object_property(prop_iri.clone());
-            ontology.add_axiom(Axiom::domain(prop_iri.clone(), BasicConcept::Atomic(class_iri.clone())));
-            ontology.add_axiom(Axiom::range(prop_iri.clone(), BasicConcept::Atomic(target_class)));
-            if settings.mandatory_participation
-                && table.column(fk_col).is_some_and(|c| !c.nullable)
+            ontology.add_axiom(Axiom::domain(
+                prop_iri.clone(),
+                BasicConcept::Atomic(class_iri.clone()),
+            ));
+            ontology.add_axiom(Axiom::range(
+                prop_iri.clone(),
+                BasicConcept::Atomic(target_class),
+            ));
+            if settings.mandatory_participation && table.column(fk_col).is_some_and(|c| !c.nullable)
             {
                 ontology.add_axiom(Axiom::SubClass {
                     sub: BasicConcept::Atomic(class_iri.clone()),
@@ -205,7 +216,12 @@ pub fn bootstrap_direct(
         }
     }
 
-    Ok(BootstrapOutput { ontology, mappings, skipped, elapsed: start.elapsed() })
+    Ok(BootstrapOutput {
+        ontology,
+        mappings,
+        skipped,
+        elapsed: start.elapsed(),
+    })
 }
 
 fn datatype_of(ty: ColumnType) -> Datatype {
@@ -226,8 +242,11 @@ mod tests {
     fn schema() -> RelationalSchema {
         RelationalSchema::new()
             .with_table(
-                RelTable::new("countries", vec![("id", ColumnType::Int), ("name", ColumnType::Text)])
-                    .with_pk(&["id"]),
+                RelTable::new(
+                    "countries",
+                    vec![("id", ColumnType::Int), ("name", ColumnType::Text)],
+                )
+                .with_pk(&["id"]),
             )
             .with_table(
                 RelTable::new(
@@ -242,17 +261,23 @@ mod tests {
                 .with_fk("country_id", "countries", "id"),
             )
             .with_table(
-                RelTable::new("gas_turbines", vec![("tid", ColumnType::Int), ("fuel", ColumnType::Text)])
-                    .with_pk(&["tid"])
-                    .with_fk("tid", "turbines", "tid"),
+                RelTable::new(
+                    "gas_turbines",
+                    vec![("tid", ColumnType::Int), ("fuel", ColumnType::Text)],
+                )
+                .with_pk(&["tid"])
+                .with_fk("tid", "turbines", "tid"),
             )
     }
 
     #[test]
     fn classes_and_mappings_for_each_table() {
         let out = bootstrap_direct(&schema(), &BootstrapSettings::default()).unwrap();
-        let classes: Vec<String> =
-            out.ontology.classes().map(|c| c.local_name().to_string()).collect();
+        let classes: Vec<String> = out
+            .ontology
+            .classes()
+            .map(|c| c.local_name().to_string())
+            .collect();
         assert!(classes.contains(&"Turbine".to_string()));
         assert!(classes.contains(&"Country".to_string()));
         assert!(classes.contains(&"GasTurbine".to_string()));
@@ -270,7 +295,9 @@ mod tests {
             .find(|p| p.local_name() == "country")
             .expect("country_id → country property");
         // Domain Turbine, range Country.
-        let domain_holds = out.ontology.sup_concepts_closure(&BasicConcept::exists(prop.clone()))
+        let domain_holds = out
+            .ontology
+            .sup_concepts_closure(&BasicConcept::exists(prop.clone()))
             .iter()
             .any(|c| c.as_atomic().is_some_and(|i| i.local_name() == "Turbine"));
         assert!(domain_holds);
@@ -298,8 +325,11 @@ mod tests {
     #[test]
     fn multi_column_pk_skipped_with_reason() {
         let s = RelationalSchema::new().with_table(
-            RelTable::new("readings", vec![("a", ColumnType::Int), ("b", ColumnType::Int)])
-                .with_pk(&["a", "b"]),
+            RelTable::new(
+                "readings",
+                vec![("a", ColumnType::Int), ("b", ColumnType::Int)],
+            )
+            .with_pk(&["a", "b"]),
         );
         let out = bootstrap_direct(&s, &BootstrapSettings::default()).unwrap();
         assert_eq!(out.skipped.len(), 1);
@@ -326,7 +356,11 @@ mod tests {
             "turbines",
             table_of(
                 "turbines",
-                &[("tid", ColumnType::Int), ("model", ColumnType::Text), ("country_id", ColumnType::Int)],
+                &[
+                    ("tid", ColumnType::Int),
+                    ("model", ColumnType::Text),
+                    ("country_id", ColumnType::Int),
+                ],
                 vec![
                     vec![Value::Int(7), Value::text("SGT-400"), Value::Int(1)],
                     vec![Value::Int(8), Value::text("SGT-800"), Value::Int(1)],
@@ -336,8 +370,12 @@ mod tests {
         );
         db.put_table(
             "gas_turbines",
-            table_of("gas_turbines", &[("tid", ColumnType::Int), ("fuel", ColumnType::Text)], vec![])
-                .unwrap(),
+            table_of(
+                "gas_turbines",
+                &[("tid", ColumnType::Int), ("fuel", ColumnType::Text)],
+                vec![],
+            )
+            .unwrap(),
         );
 
         let out = bootstrap_direct(&schema(), &BootstrapSettings::default()).unwrap();

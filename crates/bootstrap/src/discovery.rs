@@ -24,7 +24,10 @@ pub struct DiscoverySettings {
 
 impl Default for DiscoverySettings {
     fn default() -> Self {
-        DiscoverySettings { min_distinct: 3, min_inclusion: 1.0 }
+        DiscoverySettings {
+            min_distinct: 3,
+            min_inclusion: 1.0,
+        }
     }
 }
 
@@ -37,9 +40,15 @@ pub fn discover_foreign_keys(
 ) -> Vec<(String, ForeignKey)> {
     let mut proposals = Vec::new();
     for target in &schema.tables {
-        let [target_pk] = target.primary_key.as_slice() else { continue };
-        let Ok(target_table) = db.table(&target.name) else { continue };
-        let Some(pk_idx) = target_table.schema.index_of(target_pk) else { continue };
+        let [target_pk] = target.primary_key.as_slice() else {
+            continue;
+        };
+        let Ok(target_table) = db.table(&target.name) else {
+            continue;
+        };
+        let Some(pk_idx) = target_table.schema.index_of(target_pk) else {
+            continue;
+        };
         let mut pk_values: HashSet<&Value> = HashSet::new();
         let mut pk_unique = true;
         for row in &target_table.rows {
@@ -59,7 +68,9 @@ pub fn discover_foreign_keys(
             if source.name == target.name {
                 continue;
             }
-            let Ok(source_table) = db.table(&source.name) else { continue };
+            let Ok(source_table) = db.table(&source.name) else {
+                continue;
+            };
             for column in &source.columns {
                 // Skip declared FKs and type mismatches.
                 if source.is_fk_column(&column.name) {
@@ -68,7 +79,9 @@ pub fn discover_foreign_keys(
                 if target.column(target_pk).map(|c| c.ty) != Some(column.ty) {
                     continue;
                 }
-                let Some(col_idx) = source_table.schema.index_of(&column.name) else { continue };
+                let Some(col_idx) = source_table.schema.index_of(&column.name) else {
+                    continue;
+                };
                 let mut distinct: HashSet<&Value> = HashSet::new();
                 for row in &source_table.rows {
                     if !row[col_idx].is_null() {
@@ -109,7 +122,9 @@ mod tests {
             table_of(
                 "countries",
                 &[("id", ColumnType::Int), ("name", ColumnType::Text)],
-                (1..=5).map(|i| vec![Value::Int(i), Value::text(format!("c{i}"))]).collect(),
+                (1..=5)
+                    .map(|i| vec![Value::Int(i), Value::text(format!("c{i}"))])
+                    .collect(),
             )
             .unwrap(),
         );
@@ -130,12 +145,18 @@ mod tests {
     fn schema() -> RelationalSchema {
         RelationalSchema::new()
             .with_table(
-                RelTable::new("countries", vec![("id", ColumnType::Int), ("name", ColumnType::Text)])
-                    .with_pk(&["id"]),
+                RelTable::new(
+                    "countries",
+                    vec![("id", ColumnType::Int), ("name", ColumnType::Text)],
+                )
+                .with_pk(&["id"]),
             )
             .with_table(
-                RelTable::new("turbines", vec![("tid", ColumnType::Int), ("loc", ColumnType::Int)])
-                    .with_pk(&["tid"]),
+                RelTable::new(
+                    "turbines",
+                    vec![("tid", ColumnType::Int), ("loc", ColumnType::Int)],
+                )
+                .with_pk(&["tid"]),
             )
     }
 
@@ -165,7 +186,10 @@ mod tests {
         t.rows.push(vec![Value::Int(99), Value::Int(42)]);
         db.put_table("turbines", t);
         // 5 of 6 distinct values included ≈ 0.83.
-        let relaxed = DiscoverySettings { min_inclusion: 0.8, ..Default::default() };
+        let relaxed = DiscoverySettings {
+            min_inclusion: 0.8,
+            ..Default::default()
+        };
         let proposals = discover_foreign_keys(&schema(), &db, &relaxed);
         assert!(proposals.iter().any(|(t, _)| t == "turbines"));
     }
@@ -175,7 +199,12 @@ mod tests {
         let mut db = Database::new();
         db.put_table(
             "countries",
-            table_of("countries", &[("id", ColumnType::Int)], vec![vec![Value::Int(1)]]).unwrap(),
+            table_of(
+                "countries",
+                &[("id", ColumnType::Int)],
+                vec![vec![Value::Int(1)]],
+            )
+            .unwrap(),
         );
         db.put_table(
             "turbines",

@@ -47,11 +47,15 @@ pub fn discover_by_keywords(
     //    keyword → set of (table, column-for-explanation).
     let mut hits: HashMap<&str, BTreeSet<(String, String)>> = HashMap::new();
     for table in &schema.tables {
-        let Ok(data) = db.table(&table.name) else { continue };
+        let Ok(data) = db.table(&table.name) else {
+            continue;
+        };
         for kw in keywords {
             let kw_lower = kw.to_ascii_lowercase();
             if table.name.to_ascii_lowercase().contains(&kw_lower) {
-                hits.entry(kw).or_default().insert((table.name.clone(), "<name>".into()));
+                hits.entry(kw)
+                    .or_default()
+                    .insert((table.name.clone(), "<name>".into()));
             }
             for (c_idx, column) in table.columns.iter().enumerate() {
                 if column.name.to_ascii_lowercase().contains(&kw_lower) {
@@ -60,7 +64,9 @@ pub fn discover_by_keywords(
                         .insert((table.name.clone(), column.name.clone()));
                     continue;
                 }
-                let Some(idx) = data.schema.index_of(&column.name) else { continue };
+                let Some(idx) = data.schema.index_of(&column.name) else {
+                    continue;
+                };
                 let _ = c_idx;
                 let value_hit = data.rows.iter().any(|row| match &row[idx] {
                     Value::Text(s) => s.to_ascii_lowercase().contains(&kw_lower),
@@ -83,12 +89,20 @@ pub fn discover_by_keywords(
     let mut adjacency: HashMap<&str, Vec<(&str, String)>> = HashMap::new();
     for table in &schema.tables {
         for fk in &table.foreign_keys {
-            if let (Some(t), [col], [rc]) =
-                (schema.table(&fk.ref_table), fk.columns.as_slice(), fk.ref_columns.as_slice())
-            {
+            if let (Some(t), [col], [rc]) = (
+                schema.table(&fk.ref_table),
+                fk.columns.as_slice(),
+                fk.ref_columns.as_slice(),
+            ) {
                 let cond = format!("{}.{} = {}.{}", table.name, col, t.name, rc);
-                adjacency.entry(&table.name).or_default().push((&t.name, cond.clone()));
-                adjacency.entry(&t.name).or_default().push((&table.name, cond));
+                adjacency
+                    .entry(&table.name)
+                    .or_default()
+                    .push((&t.name, cond.clone()));
+                adjacency
+                    .entry(&t.name)
+                    .or_default()
+                    .push((&table.name, cond));
             }
         }
     }
@@ -102,8 +116,12 @@ pub fn discover_by_keywords(
 
     let mut candidates = Vec::new();
     for center in &matched_tables {
-        let Some(center_table) = schema.table(center) else { continue };
-        let [pk] = center_table.primary_key.as_slice() else { continue };
+        let Some(center_table) = schema.table(center) else {
+            continue;
+        };
+        let [pk] = center_table.primary_key.as_slice() else {
+            continue;
+        };
 
         // BFS from the center, recording join edges.
         let mut visited: BTreeSet<&str> = BTreeSet::new();
@@ -137,8 +155,10 @@ pub fn discover_by_keywords(
 
         // Keep only the joins leading to matched tables (prune leaf tables
         // that never serve a keyword) — repeatedly drop unmatched leaves.
-        let needed: BTreeSet<&str> =
-            matches.values().map(|v| v.split('.').next().expect("table.column")).collect();
+        let needed: BTreeSet<&str> = matches
+            .values()
+            .map(|v| v.split('.').next().expect("table.column"))
+            .collect();
         let mut kept = joins.clone();
         loop {
             let mut degree: HashMap<String, usize> = HashMap::new();
@@ -212,8 +232,18 @@ mod tests {
                     ("built", ColumnType::Int),
                 ],
                 vec![
-                    vec![Value::Int(1), Value::text("Albatros"), Value::text("gas"), Value::Int(2008)],
-                    vec![Value::Int(2), Value::text("Kestrel"), Value::text("steam"), Value::Int(1999)],
+                    vec![
+                        Value::Int(1),
+                        Value::text("Albatros"),
+                        Value::text("gas"),
+                        Value::Int(2008),
+                    ],
+                    vec![
+                        Value::Int(2),
+                        Value::text("Kestrel"),
+                        Value::text("steam"),
+                        Value::Int(1999),
+                    ],
                 ],
             )
             .unwrap(),
@@ -259,7 +289,7 @@ mod tests {
         let joined = candidates.iter().find(|c| c.sql.contains("JOIN"));
         assert!(joined.is_some(), "{candidates:#?}");
         let t = optique_relational::exec::query(&joined.unwrap().sql, &db).unwrap();
-        assert!(t.len() >= 1);
+        assert!(!t.is_empty());
     }
 
     #[test]

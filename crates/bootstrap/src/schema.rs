@@ -45,7 +45,11 @@ impl RelTable {
             name: name.into(),
             columns: columns
                 .into_iter()
-                .map(|(n, t)| RelColumn { name: n.to_string(), ty: t, nullable: true })
+                .map(|(n, t)| RelColumn {
+                    name: n.to_string(),
+                    ty: t,
+                    nullable: true,
+                })
                 .collect(),
             primary_key: Vec::new(),
             foreign_keys: Vec::new(),
@@ -70,7 +74,9 @@ impl RelTable {
 
     /// Whether `column` participates in any foreign key.
     pub fn is_fk_column(&self, column: &str) -> bool {
-        self.foreign_keys.iter().any(|fk| fk.columns.iter().any(|c| c == column))
+        self.foreign_keys
+            .iter()
+            .any(|fk| fk.columns.iter().any(|c| c == column))
     }
 
     /// Column lookup.
@@ -148,9 +154,16 @@ impl RelationalSchema {
 /// stays deterministic for tests.
 pub fn class_case(name: &str) -> String {
     let mut out = String::new();
-    let tokens: Vec<&str> = name.split(['_', '-', ' ']).filter(|t| !t.is_empty()).collect();
+    let tokens: Vec<&str> = name
+        .split(['_', '-', ' '])
+        .filter(|t| !t.is_empty())
+        .collect();
     for (i, token) in tokens.iter().enumerate() {
-        let token = if i + 1 == tokens.len() { singular(token) } else { (*token).to_string() };
+        let token = if i + 1 == tokens.len() {
+            singular(token)
+        } else {
+            (*token).to_string()
+        };
         let mut chars = token.chars();
         if let Some(first) = chars.next() {
             out.extend(first.to_uppercase());
@@ -187,8 +200,11 @@ mod tests {
     fn sample() -> RelationalSchema {
         RelationalSchema::new()
             .with_table(
-                RelTable::new("countries", vec![("id", ColumnType::Int), ("name", ColumnType::Text)])
-                    .with_pk(&["id"]),
+                RelTable::new(
+                    "countries",
+                    vec![("id", ColumnType::Int), ("name", ColumnType::Text)],
+                )
+                .with_pk(&["id"]),
             )
             .with_table(
                 RelTable::new(
@@ -211,9 +227,8 @@ mod tests {
 
     #[test]
     fn validation_catches_missing_fk_target() {
-        let s = RelationalSchema::new().with_table(
-            RelTable::new("a", vec![("x", ColumnType::Int)]).with_fk("x", "nope", "y"),
-        );
+        let s = RelationalSchema::new()
+            .with_table(RelTable::new("a", vec![("x", ColumnType::Int)]).with_fk("x", "nope", "y"));
         assert!(s.validate().is_err());
     }
 

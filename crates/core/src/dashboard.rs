@@ -23,11 +23,45 @@ pub struct QueryPanel {
     pub fleet_size: usize,
 }
 
+/// One executed static (SPARQL) query's panel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticQueryPanel {
+    /// Platform-assigned id (its own sequence, separate from stream ids).
+    pub id: u64,
+    /// A one-line preview of the query text.
+    pub query: String,
+    /// Rows (or the 0/1 ASK verdict) returned.
+    pub rows: usize,
+    /// Basic graph patterns evaluated.
+    pub bgps: usize,
+    /// UCQ disjuncts after PerfectRef enrichment.
+    pub ucq_disjuncts: usize,
+    /// SQL disjuncts emitted by unfolding.
+    pub sql_disjuncts: usize,
+    /// Microseconds: parsing.
+    pub parse_micros: u64,
+    /// Microseconds: enrichment.
+    pub rewrite_micros: u64,
+    /// Microseconds: unfolding.
+    pub unfold_micros: u64,
+    /// Microseconds: SQL execution.
+    pub exec_micros: u64,
+}
+
+impl StaticQueryPanel {
+    /// End-to-end pipeline time in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.parse_micros + self.rewrite_micros + self.unfold_micros + self.exec_micros
+    }
+}
+
 /// A point-in-time monitoring snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct Dashboard {
     /// Per-query panels, in registration order.
     pub panels: Vec<QueryPanel>,
+    /// Recently executed static SPARQL queries, oldest first.
+    pub static_queries: Vec<StaticQueryPanel>,
     /// Shared window-cache hits.
     pub wcache_hits: u64,
     /// Shared window-cache misses.
@@ -67,7 +101,9 @@ impl Dashboard {
                 None => "idle".to_string(),
             }
         ));
-        out.push_str("│ id   name                                bindings  ticks  alarms    tuples  fleet\n");
+        out.push_str(
+            "│ id   name                                bindings  ticks  alarms    tuples  fleet\n",
+        );
         for p in &self.panels {
             out.push_str(&format!(
                 "│ {:<4} {:<36} {:>8} {:>6} {:>7} {:>9} {:>6}\n",
@@ -79,6 +115,27 @@ impl Dashboard {
                 p.tuples,
                 p.fleet_size
             ));
+        }
+        if !self.static_queries.is_empty() {
+            out.push_str(&format!(
+                "├─ static SPARQL ─ {} queries\n",
+                self.static_queries.len()
+            ));
+            out.push_str(
+                "│ id   query                                     rows  bgps  ucq  sql     µs\n",
+            );
+            for q in &self.static_queries {
+                out.push_str(&format!(
+                    "│ {:<4} {:<40} {:>5} {:>5} {:>4} {:>4} {:>6}\n",
+                    q.id,
+                    truncate(&q.query, 40),
+                    q.rows,
+                    q.bgps,
+                    q.ucq_disjuncts,
+                    q.sql_disjuncts,
+                    q.total_micros()
+                ));
+            }
         }
         out.push_str("└─\n");
         out
@@ -120,6 +177,18 @@ mod tests {
                     fleet_size: 3,
                 },
             ],
+            static_queries: vec![StaticQueryPanel {
+                id: 1,
+                query: "SELECT ?s WHERE { ?s a sie:Sensor }".into(),
+                rows: 60,
+                bgps: 1,
+                ucq_disjuncts: 5,
+                sql_disjuncts: 8,
+                parse_micros: 40,
+                rewrite_micros: 120,
+                unfold_micros: 300,
+                exec_micros: 2000,
+            }],
             wcache_hits: 9,
             wcache_misses: 1,
         }
@@ -144,6 +213,20 @@ mod tests {
         assert!(r.contains("T01"));
         assert!(r.contains("T05"));
         assert!(r.contains("90% hit"));
+    }
+
+    #[test]
+    fn render_contains_static_queries() {
+        let r = dash().render();
+        assert!(r.contains("static SPARQL"));
+        assert!(r.contains("SELECT ?s WHERE"));
+        assert!(r.contains("2460"), "total µs column: {r}");
+    }
+
+    #[test]
+    fn static_panel_totals() {
+        let p = &dash().static_queries[0];
+        assert_eq!(p.total_micros(), 2460);
     }
 
     #[test]

@@ -23,5 +23,6 @@
 pub mod dashboard;
 pub mod platform;
 
-pub use dashboard::{Dashboard, QueryPanel};
+pub use dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
+pub use optique_sparql::SparqlResults;
 pub use platform::{FleetReport, OptiquePlatform, RegisteredStarQl};

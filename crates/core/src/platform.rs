@@ -10,13 +10,14 @@ use optique_rdf::Namespaces;
 use optique_relational::Database;
 use optique_rewrite::RewriteSettings;
 use optique_siemens::{DiagnosticTask, SiemensDeployment};
+use optique_sparql::{parse_sparql, PipelineStats, SparqlResults, StaticPipeline};
 use optique_starql::{
     parse_starql, translate, ContinuousQuery, StreamToRdf, TickOutput, TranslationContext,
 };
 use optique_stream::WCache;
 use parking_lot::Mutex;
 
-use crate::dashboard::{Dashboard, QueryPanel};
+use crate::dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
 
 /// A registered STARQL query with its accumulated monitoring counters.
 pub struct RegisteredStarQl {
@@ -63,7 +64,12 @@ pub struct OptiquePlatform {
     wcache: Arc<WCache>,
     queries: Mutex<BTreeMap<u64, RegisteredStarQl>>,
     next_id: std::sync::atomic::AtomicU64,
+    static_log: Mutex<Vec<StaticQueryPanel>>,
+    static_next_id: std::sync::atomic::AtomicU64,
 }
+
+/// How many executed static queries the dashboard remembers.
+const STATIC_LOG_CAP: usize = 64;
 
 impl OptiquePlatform {
     /// Deploys over explicit assets.
@@ -83,6 +89,8 @@ impl OptiquePlatform {
             wcache: Arc::new(WCache::new()),
             queries: Mutex::new(BTreeMap::new()),
             next_id: std::sync::atomic::AtomicU64::new(1),
+            static_log: Mutex::new(Vec::new()),
+            static_next_id: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
@@ -122,7 +130,13 @@ impl OptiquePlatform {
         if let Some(extra) = extra_mappings {
             mappings.merge(extra)?;
         }
-        Ok(OptiquePlatform::deploy(db, ontology, namespaces, mappings, stream_to_rdf))
+        Ok(OptiquePlatform::deploy(
+            db,
+            ontology,
+            namespaces,
+            mappings,
+            stream_to_rdf,
+        ))
     }
 
     /// Parses, translates (enrich + unfold) and registers a STARQL query.
@@ -153,13 +167,77 @@ impl OptiquePlatform {
         };
         let translated = translate(&parsed, &ctx).map_err(|e| e.to_string())?;
         let query = ContinuousQuery::register(translated, self.stream_to_rdf.clone(), &self.db)?;
-        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let name = name.unwrap_or_else(|| parsed.output_stream.clone());
         self.queries.lock().insert(
             id,
-            RegisteredStarQl { id, name, query, alarms: 0, ticks: 0, tuples: 0 },
+            RegisteredStarQl {
+                id,
+                name,
+                query,
+                alarms: 0,
+                ticks: 0,
+                tuples: 0,
+            },
         );
         Ok(id)
+    }
+
+    /// Answers a **static** SPARQL query over the deployment's relational
+    /// sources: parse → PerfectRef enrichment against the TBox → mapping
+    /// unfolding → relational execution → residual algebra (OPTIONAL/UNION
+    /// joins, filters, modifiers, aggregates). Per-stage counters land on
+    /// the [`Dashboard`].
+    ///
+    /// This is the paper's one-time-query half: where `register_starql`
+    /// installs a continuous query over the streams, `query_static` answers
+    /// a SPARQL question about the static side immediately.
+    pub fn query_static(&self, text: &str) -> Result<SparqlResults, String> {
+        self.query_static_with_stats(text)
+            .map(|(results, _)| results)
+    }
+
+    /// [`query_static`](Self::query_static), also returning the pipeline
+    /// stats (including parse time) recorded on the dashboard.
+    pub fn query_static_with_stats(
+        &self,
+        text: &str,
+    ) -> Result<(SparqlResults, PipelineStats), String> {
+        let parse_started = std::time::Instant::now();
+        let query = parse_sparql(text, &self.namespaces).map_err(|e| e.to_string())?;
+        let parse_micros = parse_started.elapsed().as_micros() as u64;
+
+        let pipeline = StaticPipeline {
+            ontology: &self.ontology,
+            mappings: &self.mappings,
+            db: &self.db,
+            rewrite_settings: RewriteSettings::default(),
+            unfold_settings: Default::default(),
+        };
+        let (results, stats) = pipeline.answer(&query).map_err(|e| e.to_string())?;
+
+        let id = self
+            .static_next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut log = self.static_log.lock();
+        if log.len() == STATIC_LOG_CAP {
+            log.remove(0);
+        }
+        log.push(StaticQueryPanel {
+            id,
+            query: text.split_whitespace().collect::<Vec<_>>().join(" "),
+            rows: stats.rows,
+            bgps: stats.bgps,
+            ucq_disjuncts: stats.ucq_disjuncts,
+            sql_disjuncts: stats.sql_disjuncts,
+            parse_micros,
+            rewrite_micros: stats.rewrite_micros,
+            unfold_micros: stats.unfold_micros,
+            exec_micros: stats.exec_micros,
+        });
+        Ok((results, stats))
     }
 
     /// Deregisters a query; returns whether it existed.
@@ -220,7 +298,12 @@ impl OptiquePlatform {
                 fleet_size: reg.query.translated.fleet.len(),
             })
             .collect();
-        Dashboard { panels, wcache_hits: self.wcache.hits(), wcache_misses: self.wcache.misses() }
+        Dashboard {
+            panels,
+            static_queries: self.static_log.lock().clone(),
+            wcache_hits: self.wcache.hits(),
+            wcache_misses: self.wcache.misses(),
+        }
     }
 }
 
@@ -268,7 +351,8 @@ mod tests {
         for task in optique_siemens::diagnostic_tasks() {
             match &task.query {
                 TaskQuery::StarQl(_) => {
-                    p.register_task(&task).unwrap_or_else(|e| panic!("{}: {e}", task.id));
+                    p.register_task(&task)
+                        .unwrap_or_else(|e| panic!("{}: {e}", task.id));
                     registered += 1;
                 }
                 TaskQuery::SqlPlus(sql) => {
@@ -306,6 +390,53 @@ mod tests {
         let p = platform();
         assert!(p.register_starql("CREATE NONSENSE").is_err());
         assert_eq!(p.registered(), 0);
+    }
+
+    #[test]
+    fn query_static_answers_select() {
+        let p = platform();
+        let results = p
+            .query_static("SELECT ?s WHERE { ?s a sie:Sensor }")
+            .unwrap();
+        // The small deployment has 60 sensors; the regional registries remap
+        // the same individuals, and the pipeline returns distinct solutions.
+        assert_eq!(results.len(), 60);
+    }
+
+    #[test]
+    fn query_static_enriches_through_the_taxonomy() {
+        let p = platform();
+        // MonitoringDevice has no direct mapping; only the subclass axiom
+        // Sensor ⊑ MonitoringDevice (and the sensor-kind taxonomy below it)
+        // makes the data reachable.
+        let results = p
+            .query_static("SELECT DISTINCT ?s WHERE { ?s a sie:MonitoringDevice }")
+            .unwrap();
+        assert_eq!(results.len(), 60);
+    }
+
+    #[test]
+    fn query_static_ask_and_errors() {
+        let p = platform();
+        assert_eq!(
+            p.query_static("ASK { ?s a sie:Sensor }").unwrap().as_bool(),
+            Some(true)
+        );
+        let err = p.query_static("SELECT ?x WHERE { ?x a }").unwrap_err();
+        assert!(err.contains("line"), "positioned error: {err}");
+    }
+
+    #[test]
+    fn query_static_lands_on_the_dashboard() {
+        let p = platform();
+        p.query_static("SELECT ?s WHERE { ?s a sie:Sensor } LIMIT 5")
+            .unwrap();
+        p.query_static("ASK { ?s a sie:Sensor }").unwrap();
+        let dash = p.dashboard();
+        assert_eq!(dash.static_queries.len(), 2);
+        assert_eq!(dash.static_queries[0].rows, 5);
+        assert!(dash.static_queries[0].sql_disjuncts >= 1);
+        assert!(dash.render().contains("static SPARQL"));
     }
 
     #[test]

@@ -51,18 +51,17 @@ impl AdaptiveIndexer {
     /// size. The paper gives no constants; defaults in [`Self::default`]
     /// come from the E7 crossover measurement.
     pub fn new(threshold: u64, min_batch_rows: usize) -> Self {
-        AdaptiveIndexer { threshold, min_batch_rows, state: Mutex::new(State::default()) }
+        AdaptiveIndexer {
+            threshold,
+            min_batch_rows,
+            state: Mutex::new(State::default()),
+        }
     }
 
     /// Point-lookup of `key` in `batch` on `column`, adaptively indexed:
     /// early probes scan; past the threshold an index is built once and
     /// reused. Returns matching row indices.
-    pub fn probe(
-        &self,
-        batch_key: &BatchKey,
-        batch: &[Vec<Value>],
-        key: &Value,
-    ) -> Vec<usize> {
+    pub fn probe(&self, batch_key: &BatchKey, batch: &[Vec<Value>], key: &Value) -> Vec<usize> {
         let column = batch_key.1;
         let mut state = self.state.lock();
         if let Some(index) = state.indexes.get(batch_key).cloned() {
@@ -135,7 +134,9 @@ mod tests {
     use super::*;
 
     fn batch(n: i64) -> Vec<Vec<Value>> {
-        (0..n).map(|i| vec![Value::Int(i % 10), Value::Float(i as f64)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i % 10), Value::Float(i as f64)])
+            .collect()
     }
 
     #[test]
@@ -146,7 +147,14 @@ mod tests {
         for _ in 0..2 {
             idx.probe(&key, &b, &Value::Int(3));
         }
-        assert_eq!(idx.stats(), AdaptiveStats { scan_probes: 2, indexed_probes: 0, builds: 0 });
+        assert_eq!(
+            idx.stats(),
+            AdaptiveStats {
+                scan_probes: 2,
+                indexed_probes: 0,
+                builds: 0
+            }
+        );
         idx.probe(&key, &b, &Value::Int(3));
         assert_eq!(idx.stats().builds, 1);
         idx.probe(&key, &b, &Value::Int(3));

@@ -32,7 +32,10 @@ impl Cluster {
     pub fn provision(n: usize, provision: impl Fn(usize) -> Database) -> Self {
         assert!(n > 0, "cluster needs at least one worker");
         let workers = (0..n)
-            .map(|id| Worker { id, db: Arc::new(provision(id)) })
+            .map(|id| Worker {
+                id,
+                db: Arc::new(provision(id)),
+            })
             .collect();
         Cluster { workers }
     }
@@ -75,10 +78,7 @@ impl Cluster {
 
     /// Runs a different closure per worker in parallel (operator placement
     /// execution path). Results come back in worker order.
-    pub fn parallel_map<T: Send>(
-        &self,
-        f: impl Fn(&Worker) -> T + Sync,
-    ) -> Vec<T> {
+    pub fn parallel_map<T: Send>(&self, f: impl Fn(&Worker) -> T + Sync) -> Vec<T> {
         let mut results: Vec<Option<T>> = (0..self.workers.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.workers.len());
@@ -90,7 +90,10 @@ impl Cluster {
                 results[id] = Some(handle.join().expect("worker thread panicked"));
             }
         });
-        results.into_iter().map(|slot| slot.expect("worker reported")).collect()
+        results
+            .into_iter()
+            .map(|slot| slot.expect("worker reported"))
+            .collect()
     }
 }
 
@@ -131,9 +134,14 @@ mod tests {
     fn measurements(n: i64) -> Table {
         let schema = Schema::qualified(
             "m",
-            vec![Column::new("sensor_id", ColumnType::Int), Column::new("value", ColumnType::Float)],
+            vec![
+                Column::new("sensor_id", ColumnType::Int),
+                Column::new("value", ColumnType::Float),
+            ],
         );
-        let rows = (0..n).map(|i| vec![Value::Int(i % 50), Value::Float(i as f64)]).collect();
+        let rows = (0..n)
+            .map(|i| vec![Value::Int(i % 50), Value::Float(i as f64)])
+            .collect();
         Table::new(schema, rows).unwrap()
     }
 
@@ -145,7 +153,17 @@ mod tests {
         // Same key always lands on the same shard.
         for shard in &shards {
             for row in &shard.rows {
-                assert_eq!(shard_of(&row[0], 8), shard_of(&shards.iter().flat_map(|s| &s.rows).find(|r| r[0] == row[0]).unwrap()[0], 8));
+                assert_eq!(
+                    shard_of(&row[0], 8),
+                    shard_of(
+                        &shards
+                            .iter()
+                            .flat_map(|s| &s.rows)
+                            .find(|r| r[0] == row[0])
+                            .unwrap()[0],
+                        8
+                    )
+                );
             }
         }
     }
@@ -155,7 +173,11 @@ mod tests {
         let t = measurements(5000);
         let shards = hash_partition(&t, 0, 4);
         for s in &shards {
-            assert!(s.len() > 500, "shard with {} rows is suspiciously empty", s.len());
+            assert!(
+                s.len() > 500,
+                "shard with {} rows is suspiciously empty",
+                s.len()
+            );
         }
     }
 
@@ -168,7 +190,9 @@ mod tests {
             db.put_table("m", shards[id].clone());
             db
         });
-        let results = cluster.parallel_query("SELECT COUNT(*) AS n FROM m").unwrap();
+        let results = cluster
+            .parallel_query("SELECT COUNT(*) AS n FROM m")
+            .unwrap();
         let total: i64 = results.iter().map(|t| t.rows[0][0].as_i64().unwrap()).sum();
         assert_eq!(total, 1000);
     }

@@ -153,7 +153,13 @@ mod tests {
         assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 100);
         for bucket in &buckets {
             for row in bucket {
-                assert_eq!(shard_of(&row[0], 4), buckets.iter().position(|b| std::ptr::eq(b, bucket)).unwrap());
+                assert_eq!(
+                    shard_of(&row[0], 4),
+                    buckets
+                        .iter()
+                        .position(|b| std::ptr::eq(b, bucket))
+                        .unwrap()
+                );
             }
         }
     }

@@ -61,10 +61,19 @@ impl Gateway {
         let sql = sql.into();
         optique_relational::parse_select(&sql)?;
         let id = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let worker = self.scheduler.lock().place_one(&OperatorTask { id: id.0, cost });
-        self.registry
+        let worker = self
+            .scheduler
             .lock()
-            .insert(id, RegisteredQuery { id, sql, worker, cost });
+            .place_one(&OperatorTask { id: id.0, cost });
+        self.registry.lock().insert(
+            id,
+            RegisteredQuery {
+                id,
+                sql,
+                worker,
+                cost,
+            },
+        );
         Ok(id)
     }
 
@@ -127,7 +136,12 @@ impl Gateway {
 
 impl std::fmt::Debug for Gateway {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Gateway({} queries, {} workers)", self.registered(), self.cluster.size())
+        write!(
+            f,
+            "Gateway({} queries, {} workers)",
+            self.registered(),
+            self.cluster.size()
+        )
     }
 }
 
@@ -157,14 +171,21 @@ impl AsyncFrontend {
                 let _ = sub.reply.send(result);
             }
         });
-        AsyncFrontend { tx, handle: Some(handle) }
+        AsyncFrontend {
+            tx,
+            handle: Some(handle),
+        }
     }
 
     /// Submits a query; returns a receiver that yields its id (or error).
     pub fn submit(&self, sql: impl Into<String>, cost: f64) -> Receiver<Result<QueryId, SqlError>> {
         let (reply_tx, reply_rx) = unbounded();
         self.tx
-            .send(Submission { sql: sql.into(), cost, reply: reply_tx })
+            .send(Submission {
+                sql: sql.into(),
+                cost,
+                reply: reply_tx,
+            })
             .expect("frontend thread alive");
         reply_rx
     }
@@ -190,7 +211,10 @@ mod tests {
         Arc::new(Cluster::provision(n, |id| {
             let schema = Schema::qualified(
                 "m",
-                vec![Column::new("sensor_id", ColumnType::Int), Column::new("value", ColumnType::Float)],
+                vec![
+                    Column::new("sensor_id", ColumnType::Int),
+                    Column::new("value", ColumnType::Float),
+                ],
             );
             let rows = (0..100)
                 .map(|i| vec![Value::Int((id * 100 + i) as i64), Value::Float(i as f64)])
@@ -259,7 +283,11 @@ mod tests {
     fn thousand_registrations() {
         let g = Gateway::new(cluster(8));
         for _ in 0..1024 {
-            g.register("SELECT sensor_id, MAX(value) FROM m GROUP BY sensor_id", 1.0).unwrap();
+            g.register(
+                "SELECT sensor_id, MAX(value) FROM m GROUP BY sensor_id",
+                1.0,
+            )
+            .unwrap();
         }
         assert_eq!(g.registered(), 1024);
         let loads = g.worker_loads();

@@ -34,4 +34,4 @@ pub use adaptive::AdaptiveIndexer;
 pub use cluster::{Cluster, Worker};
 pub use gateway::{Gateway, QueryId, RegisteredQuery};
 pub use metrics::ThroughputMeter;
-pub use scheduler::{Scheduler, Placement};
+pub use scheduler::{Placement, Scheduler};

@@ -18,7 +18,11 @@ pub struct ThroughputMeter {
 impl ThroughputMeter {
     /// Starts the clock.
     pub fn start() -> Self {
-        ThroughputMeter { start: Instant::now(), tuples: AtomicU64::new(0), bytes: AtomicU64::new(0) }
+        ThroughputMeter {
+            start: Instant::now(),
+            tuples: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
     }
 
     /// Records processed tuples (and optionally their encoded size).

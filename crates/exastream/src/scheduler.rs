@@ -59,7 +59,9 @@ impl Scheduler {
     /// A scheduler for `workers` nodes, all initially idle.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "scheduler needs at least one worker");
-        Scheduler { loads: vec![0.0; workers] }
+        Scheduler {
+            loads: vec![0.0; workers],
+        }
     }
 
     /// Number of workers.
@@ -94,7 +96,10 @@ impl Scheduler {
             let worker = self.place_one(task);
             assignment.insert(task.id, worker);
         }
-        Placement { assignment, loads: self.loads.clone() }
+        Placement {
+            assignment,
+            loads: self.loads.clone(),
+        }
     }
 
     /// Releases an operator's load from a worker (query deregistration).
@@ -111,7 +116,10 @@ mod tests {
         costs
             .iter()
             .enumerate()
-            .map(|(i, &c)| OperatorTask { id: i as u64, cost: c })
+            .map(|(i, &c)| OperatorTask {
+                id: i as u64,
+                cost: c,
+            })
             .collect()
     }
 
@@ -140,7 +148,11 @@ mod tests {
         let ts = tasks(&[7.0, 7.0, 6.0, 6.0, 5.0, 5.0, 4.0, 4.0, 4.0]);
         let p = s.place_batch(&ts);
         let optimal = 48.0 / 3.0;
-        assert!(p.max_load() <= optimal * 4.0 / 3.0 + 1e-9, "makespan {}", p.max_load());
+        assert!(
+            p.max_load() <= optimal * 4.0 / 3.0 + 1e-9,
+            "makespan {}",
+            p.max_load()
+        );
     }
 
     #[test]

@@ -55,12 +55,17 @@ impl std::fmt::Debug for UdfRegistry {
     }
 }
 
+/// A boxed row predicate.
+pub type RowPredicate = Box<dyn Fn(&[Value]) -> bool + Send + Sync>;
+/// A boxed row transform.
+pub type RowTransform = Box<dyn Fn(Vec<Value>) -> Vec<Value> + Send + Sync>;
+
 /// One stage of a tuple pipeline.
 pub enum Stage {
     /// Keep rows satisfying the predicate.
-    Filter(Box<dyn Fn(&[Value]) -> bool + Send + Sync>),
+    Filter(RowPredicate),
     /// Transform the row.
-    Map(Box<dyn Fn(Vec<Value>) -> Vec<Value> + Send + Sync>),
+    Map(RowTransform),
 }
 
 /// A pipeline of stages, executable fused (one pass per tuple) or
@@ -142,7 +147,9 @@ mod tests {
     use super::*;
 
     fn rows(n: i64) -> Vec<Vec<Value>> {
-        (0..n).map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5)])
+            .collect()
     }
 
     fn sample_pipeline() -> Pipeline {
@@ -192,7 +199,9 @@ mod tests {
                 Ok(Value::Float((f - 32.0) * 5.0 / 9.0))
             }),
         );
-        let v = reg.call("fahrenheittocelsius", &[Value::Float(212.0)]).unwrap();
+        let v = reg
+            .call("fahrenheittocelsius", &[Value::Float(212.0)])
+            .unwrap();
         assert_eq!(v, Value::Float(100.0));
         assert!(reg.call("missing", &[]).is_err());
     }

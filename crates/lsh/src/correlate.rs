@@ -59,7 +59,13 @@ impl CorrelationIndex {
     /// signature bits.
     pub fn new(dim: usize, bands: usize, band_bits: usize, seed: u64) -> Self {
         let scheme = SignatureScheme::new(dim, bands * band_bits, seed);
-        CorrelationIndex { scheme, bands, band_bits, series: HashMap::new(), signatures: HashMap::new() }
+        CorrelationIndex {
+            scheme,
+            bands,
+            band_bits,
+            series: HashMap::new(),
+            signatures: HashMap::new(),
+        }
     }
 
     /// Inserts (or replaces) stream `id`'s current window. Constant windows
@@ -95,7 +101,10 @@ impl CorrelationIndex {
         for &id in &ids {
             let sig = &self.signatures[id];
             for b in 0..self.bands {
-                buckets.entry((b, sig.band(b, self.band_bits))).or_default().push(*id);
+                buckets
+                    .entry((b, sig.band(b, self.band_bits)))
+                    .or_default()
+                    .push(*id);
             }
         }
         let mut pairs = std::collections::BTreeSet::new();
@@ -125,7 +134,12 @@ impl CorrelationIndex {
             let Some(exact) = exact_pearson(&self.series[&a], &self.series[&b]) else {
                 continue;
             };
-            out.push(CorrelatedPair { a, b, estimated, exact });
+            out.push(CorrelatedPair {
+                a,
+                b,
+                estimated,
+                exact,
+            });
         }
         out.sort_by(|x, y| y.exact.abs().total_cmp(&x.exact.abs()));
         out
@@ -168,7 +182,9 @@ mod tests {
     use rand::{RngExt, SeedableRng};
 
     fn noisy_family(rng: &mut StdRng, base: &[f64], noise: f64) -> Vec<f64> {
-        base.iter().map(|x| x + rng.random_range(-noise..=noise)).collect()
+        base.iter()
+            .map(|x| x + rng.random_range(-noise..=noise))
+            .collect()
     }
 
     #[test]
@@ -234,10 +250,16 @@ mod tests {
                 index.insert(fam * 10 + k, &noisy_family(&mut rng, &base, 0.1));
             }
         }
-        let exact: std::collections::BTreeSet<(u64, u64)> =
-            index.exact_pairs_above(0.9).into_iter().map(|(a, b, _)| (a, b)).collect();
-        let found: std::collections::BTreeSet<(u64, u64)> =
-            index.correlated_pairs(0.7).into_iter().map(|p| (p.a, p.b)).collect();
+        let exact: std::collections::BTreeSet<(u64, u64)> = index
+            .exact_pairs_above(0.9)
+            .into_iter()
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        let found: std::collections::BTreeSet<(u64, u64)> = index
+            .correlated_pairs(0.7)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect();
         let recalled = exact.intersection(&found).count();
         assert!(
             recalled as f64 >= 0.8 * exact.len() as f64,

@@ -18,5 +18,5 @@
 pub mod correlate;
 pub mod signature;
 
-pub use correlate::{exact_pearson, CorrelationIndex, CorrelatedPair};
+pub use correlate::{exact_pearson, CorrelatedPair, CorrelationIndex};
 pub use signature::{standardize, Signature, SignatureScheme};

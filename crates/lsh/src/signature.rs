@@ -82,7 +82,11 @@ impl SignatureScheme {
 
     /// Signs a vector (typically a standardized window).
     pub fn sign(&self, vector: &[f64]) -> Signature {
-        assert_eq!(vector.len(), self.dim, "vector dimension must match the scheme");
+        assert_eq!(
+            vector.len(),
+            self.dim,
+            "vector dimension must match the scheme"
+        );
         let n_bits = self.n_bits();
         let mut bits = vec![0u64; n_bits.div_ceil(64)];
         for (i, plane) in self.hyperplanes.iter().enumerate() {
@@ -152,8 +156,10 @@ mod tests {
         let scheme = SignatureScheme::new(dim, 1024, 9);
         let base: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..=1.0)).collect();
         for noise in [0.1, 0.5, 1.5] {
-            let other: Vec<f64> =
-                base.iter().map(|x| x + rng.random_range(-noise..=noise)).collect();
+            let other: Vec<f64> = base
+                .iter()
+                .map(|x| x + rng.random_range(-noise..=noise))
+                .collect();
             let exact = crate::correlate::exact_pearson(&base, &other).unwrap();
             let sa = scheme.sign(&standardize(&base));
             let sb = scheme.sign(&standardize(&other));

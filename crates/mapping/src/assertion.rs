@@ -30,7 +30,10 @@ impl TermMap {
 
     /// Column-literal shorthand.
     pub fn column(name: impl Into<String>, datatype: Datatype) -> Self {
-        TermMap::Column { column: name.into(), datatype }
+        TermMap::Column {
+            column: name.into(),
+            datatype,
+        }
     }
 }
 
@@ -147,10 +150,16 @@ impl MappingAssertion {
             check(obj)?;
         }
         if matches!(self.head, MappingHead::Class(_)) && self.object.is_some() {
-            return Err(format!("mapping {}: class mapping must not have an object", self.id));
+            return Err(format!(
+                "mapping {}: class mapping must not have an object",
+                self.id
+            ));
         }
         if matches!(self.head, MappingHead::Property(_)) && self.object.is_none() {
-            return Err(format!("mapping {}: property mapping needs an object", self.id));
+            return Err(format!(
+                "mapping {}: property mapping needs an object",
+                self.id
+            ));
         }
         Ok(())
     }

@@ -66,8 +66,11 @@ impl MappingCatalog {
 
     /// Ontological terms that have at least one mapping.
     pub fn mapped_terms(&self) -> Vec<&Iri> {
-        let mut terms: Vec<&Iri> =
-            self.by_class.keys().chain(self.by_property.keys()).collect();
+        let mut terms: Vec<&Iri> = self
+            .by_class
+            .keys()
+            .chain(self.by_property.keys())
+            .collect();
         terms.sort();
         terms
     }

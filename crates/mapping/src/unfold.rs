@@ -31,7 +31,10 @@ pub struct UnfoldSettings {
 
 impl Default for UnfoldSettings {
     fn default() -> Self {
-        UnfoldSettings { eliminate_self_joins: true, max_combinations: 100_000 }
+        UnfoldSettings {
+            eliminate_self_joins: true,
+            max_combinations: 100_000,
+        }
     }
 }
 
@@ -59,8 +62,14 @@ struct Position {
 /// Join/filter conditions over aliases, pre-AST.
 #[derive(Clone, Debug, PartialEq)]
 enum Cond {
-    ColEq { left: (usize, String), right: (usize, String) },
-    ColConst { col: (usize, String), value: Value },
+    ColEq {
+        left: (usize, String),
+        right: (usize, String),
+    },
+    ColConst {
+        col: (usize, String),
+        value: Value,
+    },
 }
 
 /// Unfolds a UCQ into a single SQL(+) statement (`None` when no disjunct has
@@ -121,8 +130,11 @@ pub fn unfold_cq(
     let mut odometer = vec![0usize; cq.atoms.len()];
     loop {
         stats.combinations += 1;
-        let picks: Vec<&MappingAssertion> =
-            odometer.iter().enumerate().map(|(i, &j)| candidates[i][j]).collect();
+        let picks: Vec<&MappingAssertion> = odometer
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| candidates[i][j])
+            .collect();
         match build_candidate(cq, &picks, settings, &mut stats)? {
             Some(stmt) => {
                 statements.push(stmt);
@@ -164,18 +176,30 @@ fn build_candidate(
             (Atom::Class { arg, .. }, MappingHead::Class(_)) => {
                 vec![(arg, assertion.subject.clone())]
             }
-            (Atom::Property { subject, object, .. }, MappingHead::Property(_)) => {
-                let obj = object_map.ok_or_else(|| {
-                    format!("mapping {} lacks an object map", assertion.id)
-                })?;
+            (
+                Atom::Property {
+                    subject, object, ..
+                },
+                MappingHead::Property(_),
+            ) => {
+                let obj = object_map
+                    .ok_or_else(|| format!("mapping {} lacks an object map", assertion.id))?;
                 vec![(subject, assertion.subject.clone()), (object, obj)]
             }
-            _ => return Err(format!("mapping {} head does not fit its atom", assertion.id)),
+            _ => {
+                return Err(format!(
+                    "mapping {} head does not fit its atom",
+                    assertion.id
+                ))
+            }
         };
         for (term, map) in pairs {
             match term {
                 QueryTerm::Var(v) => {
-                    var_positions.entry(v).or_default().push(Position { alias: i, map });
+                    var_positions
+                        .entry(v)
+                        .or_default()
+                        .push(Position { alias: i, map });
                 }
                 QueryTerm::Const(c) => match constant_condition(&map, c, i) {
                     ConstOutcome::Cond(cond) => conds.push(cond),
@@ -204,7 +228,13 @@ fn build_candidate(
     let mut alias_rewrite: Vec<usize> = (0..picks.len()).collect();
 
     if settings.eliminate_self_joins {
-        eliminate_self_joins(picks, &mut alias_source, &mut alias_rewrite, &mut conds, stats);
+        eliminate_self_joins(
+            picks,
+            &mut alias_source,
+            &mut alias_rewrite,
+            &mut conds,
+            stats,
+        );
     }
 
     // Canonicalize conditions through alias rewrites and drop tautologies.
@@ -226,17 +256,20 @@ fn build_candidate(
                 }
                 Cond::ColEq { left: l, right: r }
             }
-            Cond::ColConst { col, value } => {
-                Cond::ColConst { col: (rewrite(col.0), col.1), value }
-            }
+            Cond::ColConst { col, value } => Cond::ColConst {
+                col: (rewrite(col.0), col.1),
+                value,
+            },
         };
         if !final_conds.contains(&cond) {
             final_conds.push(cond);
         }
     }
 
-    // SELECT list from answer variables.
-    let mut projections = Vec::with_capacity(cq.answer_vars.len());
+    // SELECT list from answer variables. A boolean (ASK-style) query has
+    // none; project a constant so the statement stays renderable and row
+    // counts still witness satisfiability.
+    let mut projections = Vec::with_capacity(cq.answer_vars.len().max(1));
     for v in &cq.answer_vars {
         let positions = var_positions
             .get(v.as_str())
@@ -244,17 +277,34 @@ fn build_candidate(
         let p = &positions[0];
         let alias = rewrite(p.alias);
         let expr = term_expr(&p.map, alias);
-        projections.push(Projection::Expr { expr, alias: Some(v.clone()) });
+        projections.push(Projection::Expr {
+            expr,
+            alias: Some(v.clone()),
+        });
+    }
+    if projections.is_empty() {
+        projections.push(Projection::Expr {
+            expr: Expr::Literal(Value::Int(1)),
+            alias: Some("__exists".into()),
+        });
     }
 
     // FROM / JOIN over live aliases.
-    let live: Vec<usize> = (0..picks.len()).filter(|&i| alias_source[i].is_some()).collect();
+    let live: Vec<usize> = (0..picks.len())
+        .filter(|&i| alias_source[i].is_some())
+        .collect();
     let mut table_refs: Vec<(usize, TableRef)> = Vec::with_capacity(live.len());
     for &i in &live {
         let sql = alias_source[i].expect("live alias has a source");
         let query = optique_relational::parse_select(sql)
             .map_err(|e| format!("mapping source SQL failed to parse: {e}"))?;
-        table_refs.push((i, TableRef::Subquery { query: Box::new(query), alias: alias_name(i) }));
+        table_refs.push((
+            i,
+            TableRef::Subquery {
+                query: Box::new(query),
+                alias: alias_name(i),
+            },
+        ));
     }
 
     // Assign each condition: join ON for conditions bridging a later alias
@@ -321,10 +371,12 @@ fn constant_condition(map: &TermMap, constant: &Term, alias: usize) -> ConstOutc
             }),
             None => ConstOutcome::Incompatible,
         },
-        (TermMap::Column { column, .. }, Term::Literal(lit)) => ConstOutcome::Cond(Cond::ColConst {
-            col: (alias, column.clone()),
-            value: literal_to_value(lit),
-        }),
+        (TermMap::Column { column, .. }, Term::Literal(lit)) => {
+            ConstOutcome::Cond(Cond::ColConst {
+                col: (alias, column.clone()),
+                value: literal_to_value(lit),
+            })
+        }
         (TermMap::Constant(c), k) => {
             if c == k {
                 ConstOutcome::AlwaysTrue
@@ -370,7 +422,11 @@ fn join_condition(a: &Position, b: &Position) -> JoinOutcome {
         }
         (TermMap::Template(t), TermMap::Constant(Term::Iri(iri)))
         | (TermMap::Constant(Term::Iri(iri)), TermMap::Template(t)) => {
-            let alias = if matches!(a.map, TermMap::Template(_)) { a.alias } else { b.alias };
+            let alias = if matches!(a.map, TermMap::Template(_)) {
+                a.alias
+            } else {
+                b.alias
+            };
             match t.invert(iri.as_str()) {
                 Some(v) => JoinOutcome::Cond(Cond::ColConst {
                     col: (alias, t.column().to_string()),
@@ -413,7 +469,9 @@ fn eliminate_self_joins(
             if picks[i].source_sql != picks[j].source_sql {
                 continue;
             }
-            let Some(key) = &picks[i].source_key else { continue };
+            let Some(key) = &picks[i].source_key else {
+                continue;
+            };
             if picks[j].source_key.as_deref() != Some(key.as_slice()) {
                 continue;
             }
@@ -618,7 +676,11 @@ mod tests {
             )],
         );
         let (table, _) = run_unfolded(&cq, &UnfoldSettings::default());
-        assert_eq!(table.unwrap().len(), 2, "sensors 10 and 11 attach to turbine 1");
+        assert_eq!(
+            table.unwrap().len(),
+            2,
+            "sensors 10 and 11 attach to turbine 1"
+        );
     }
 
     #[test]
@@ -672,7 +734,10 @@ mod tests {
         let with = run_unfolded(&cq, &UnfoldSettings::default());
         let without = run_unfolded(
             &cq,
-            &UnfoldSettings { eliminate_self_joins: false, ..Default::default() },
+            &UnfoldSettings {
+                eliminate_self_joins: false,
+                ..Default::default()
+            },
         );
         assert_eq!(with.1.self_joins_eliminated, 1);
         assert_eq!(without.1.self_joins_eliminated, 0);
@@ -688,8 +753,12 @@ mod tests {
         let mut db = db();
         db.put_table(
             "legacy_turbines",
-            table_of("legacy_turbines", &[("tid", ColumnType::Int)], vec![vec![Value::Int(77)]])
-                .unwrap(),
+            table_of(
+                "legacy_turbines",
+                &[("tid", ColumnType::Int)],
+                vec![vec![Value::Int(77)]],
+            )
+            .unwrap(),
         );
         let mut cat = catalog();
         cat.add(
@@ -726,13 +795,15 @@ mod tests {
     fn ucq_unions_disjuncts() {
         let ucq = UnionQuery {
             disjuncts: vec![
-                ConjunctiveQuery::new(vec!["x".into()], vec![Atom::class(iri("Turbine"), var("x"))]),
+                ConjunctiveQuery::new(
+                    vec!["x".into()],
+                    vec![Atom::class(iri("Turbine"), var("x"))],
+                ),
                 ConjunctiveQuery::new(vec!["x".into()], vec![Atom::class(iri("Sensor"), var("x"))]),
             ],
         };
         let (stmt, stats) = unfold_ucq(&ucq, &catalog(), &UnfoldSettings::default()).unwrap();
-        let table =
-            optique_relational::exec::query(&stmt.unwrap().to_string(), &db()).unwrap();
+        let table = optique_relational::exec::query(&stmt.unwrap().to_string(), &db()).unwrap();
         assert_eq!(table.len(), 5, "2 turbines + 3 sensors");
         assert_eq!(stats.emitted, 2);
     }
@@ -748,8 +819,7 @@ mod tests {
             ],
         );
         let (stmt, _) = unfold_cq(&cq, &catalog(), &UnfoldSettings::default()).unwrap();
-        let table =
-            optique_relational::exec::query(&stmt.unwrap().to_string(), &db()).unwrap();
+        let table = optique_relational::exec::query(&stmt.unwrap().to_string(), &db()).unwrap();
 
         let graph = crate::virtualize::materialize_catalog(&catalog(), &db()).unwrap();
         let oracle = cq.evaluate(&graph);

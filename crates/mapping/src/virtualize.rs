@@ -84,7 +84,10 @@ pub fn materialize_assertion(
                 out.push(Triple::new(subject, p.clone(), object));
             }
             (MappingHead::Property(_), None) => {
-                return Err(format!("mapping {}: property without object map", assertion.id))
+                return Err(format!(
+                    "mapping {}: property without object map",
+                    assertion.id
+                ))
             }
         }
     }
@@ -137,7 +140,9 @@ mod tests {
         );
         let triples = materialize_assertion(&m, &db()).unwrap();
         assert_eq!(triples.len(), 3);
-        assert!(triples.iter().all(|t| t.predicate.as_str() == optique_rdf::vocab::rdf::TYPE));
+        assert!(triples
+            .iter()
+            .all(|t| t.predicate.as_str() == optique_rdf::vocab::rdf::TYPE));
     }
 
     #[test]

@@ -40,12 +40,18 @@ pub enum Axiom {
 impl Axiom {
     /// Convenience: `SubClassOf(A, B)` between two named classes.
     pub fn subclass(sub: impl Into<BasicConcept>, sup: impl Into<BasicConcept>) -> Self {
-        Axiom::SubClass { sub: sub.into(), sup: sup.into() }
+        Axiom::SubClass {
+            sub: sub.into(),
+            sup: sup.into(),
+        }
     }
 
     /// Convenience: `ObjectPropertyDomain(P, A)` as `∃P ⊑ A`.
     pub fn domain(property: impl Into<optique_rdf::Iri>, class: impl Into<BasicConcept>) -> Self {
-        Axiom::SubClass { sub: BasicConcept::Exists(Role::named(property.into())), sup: class.into() }
+        Axiom::SubClass {
+            sub: BasicConcept::Exists(Role::named(property.into())),
+            sup: class.into(),
+        }
     }
 
     /// Convenience: `ObjectPropertyRange(P, A)` as `∃P⁻ ⊑ A`.
@@ -62,12 +68,21 @@ impl Axiom {
     }
 
     /// The pair of role inclusions equivalent to `InverseObjectProperties(P, Q)`.
-    pub fn inverse_properties(p: impl Into<optique_rdf::Iri>, q: impl Into<optique_rdf::Iri>) -> [Self; 2] {
+    pub fn inverse_properties(
+        p: impl Into<optique_rdf::Iri>,
+        q: impl Into<optique_rdf::Iri>,
+    ) -> [Self; 2] {
         let p = p.into();
         let q = q.into();
         [
-            Axiom::SubRole { sub: Role::named(p.clone()), sup: Role::inverse_of(q.clone()) },
-            Axiom::SubRole { sub: Role::named(q), sup: Role::inverse_of(p) },
+            Axiom::SubRole {
+                sub: Role::named(p.clone()),
+                sup: Role::inverse_of(q.clone()),
+            },
+            Axiom::SubRole {
+                sub: Role::named(q),
+                sup: Role::inverse_of(p),
+            },
         ]
     }
 }
@@ -96,22 +111,30 @@ mod tests {
     #[test]
     fn domain_is_exists_inclusion() {
         let ax = Axiom::domain(iri("p"), BasicConcept::atomic(iri("A")));
-        let Axiom::SubClass { sub, .. } = &ax else { panic!() };
+        let Axiom::SubClass { sub, .. } = &ax else {
+            panic!()
+        };
         assert_eq!(sub, &BasicConcept::exists(iri("p")));
     }
 
     #[test]
     fn range_is_inverse_exists_inclusion() {
         let ax = Axiom::range(iri("p"), BasicConcept::atomic(iri("A")));
-        let Axiom::SubClass { sub, .. } = &ax else { panic!() };
+        let Axiom::SubClass { sub, .. } = &ax else {
+            panic!()
+        };
         assert_eq!(sub, &BasicConcept::exists_inverse(iri("p")));
     }
 
     #[test]
     fn inverse_properties_expand_to_two_inclusions() {
         let [a, b] = Axiom::inverse_properties(iri("hasPart"), iri("partOf"));
-        let Axiom::SubRole { sub: s1, sup: p1 } = &a else { panic!() };
-        let Axiom::SubRole { sub: s2, sup: p2 } = &b else { panic!() };
+        let Axiom::SubRole { sub: s1, sup: p1 } = &a else {
+            panic!()
+        };
+        let Axiom::SubRole { sub: s2, sup: p2 } = &b else {
+            panic!()
+        };
         assert_eq!(s1, &Role::named(iri("hasPart")));
         assert_eq!(p1, &Role::inverse_of(iri("partOf")));
         assert_eq!(s2, &Role::named(iri("partOf")));

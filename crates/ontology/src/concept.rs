@@ -86,8 +86,14 @@ mod tests {
 
     #[test]
     fn display_shapes() {
-        assert_eq!(BasicConcept::atomic(Iri::new("http://x/A")).to_string(), "<http://x/A>");
-        assert_eq!(BasicConcept::exists(Iri::new("http://x/p")).to_string(), "∃<http://x/p>");
+        assert_eq!(
+            BasicConcept::atomic(Iri::new("http://x/A")).to_string(),
+            "<http://x/A>"
+        );
+        assert_eq!(
+            BasicConcept::exists(Iri::new("http://x/p")).to_string(),
+            "∃<http://x/p>"
+        );
         assert_eq!(
             BasicConcept::exists_inverse(Iri::new("http://x/p")).to_string(),
             "∃<http://x/p>⁻"

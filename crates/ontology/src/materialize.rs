@@ -235,7 +235,10 @@ pub fn check_constraints(graph: &Graph, ontology: &Ontology) -> Vec<Violation> {
         for (x, y) in role_pairs(graph, role) {
             match seen.get(&x) {
                 Some(existing) if existing != &y => {
-                    violations.push(Violation::Functionality { role: role.clone(), subject: x });
+                    violations.push(Violation::Functionality {
+                        role: role.clone(),
+                        subject: x,
+                    });
                 }
                 _ => {
                     seen.insert(x, y);
@@ -263,31 +266,54 @@ mod tests {
         o.add_axiom(Axiom::subclass(atomic("TempSensor"), atomic("Sensor")));
         o.add_axiom(Axiom::domain(iri("inAssembly"), atomic("Sensor")));
         o.add_axiom(Axiom::range(iri("inAssembly"), atomic("Assembly")));
-        o.add_axiom(Axiom::subrole(Role::named(iri("partOf")), Role::named(iri("locatedIn"))));
+        o.add_axiom(Axiom::subrole(
+            Role::named(iri("partOf")),
+            Role::named(iri("locatedIn")),
+        ));
         o
     }
 
     #[test]
     fn subclass_materializes() {
         let mut g = Graph::new();
-        g.insert(Triple::class_assertion(Term::iri("http://x/s1"), iri("TempSensor")));
+        g.insert(Triple::class_assertion(
+            Term::iri("http://x/s1"),
+            iri("TempSensor"),
+        ));
         materialize(&mut g, &tbox(), 0);
-        assert!(g.contains(&Triple::class_assertion(Term::iri("http://x/s1"), iri("Sensor"))));
+        assert!(g.contains(&Triple::class_assertion(
+            Term::iri("http://x/s1"),
+            iri("Sensor")
+        )));
     }
 
     #[test]
     fn domain_and_range_materialize() {
         let mut g = Graph::new();
-        g.insert(Triple::new(Term::iri("http://x/s1"), iri("inAssembly"), Term::iri("http://x/a1")));
+        g.insert(Triple::new(
+            Term::iri("http://x/s1"),
+            iri("inAssembly"),
+            Term::iri("http://x/a1"),
+        ));
         materialize(&mut g, &tbox(), 0);
-        assert!(g.contains(&Triple::class_assertion(Term::iri("http://x/s1"), iri("Sensor"))));
-        assert!(g.contains(&Triple::class_assertion(Term::iri("http://x/a1"), iri("Assembly"))));
+        assert!(g.contains(&Triple::class_assertion(
+            Term::iri("http://x/s1"),
+            iri("Sensor")
+        )));
+        assert!(g.contains(&Triple::class_assertion(
+            Term::iri("http://x/a1"),
+            iri("Assembly")
+        )));
     }
 
     #[test]
     fn subrole_materializes() {
         let mut g = Graph::new();
-        g.insert(Triple::new(Term::iri("http://x/p1"), iri("partOf"), Term::iri("http://x/t1")));
+        g.insert(Triple::new(
+            Term::iri("http://x/p1"),
+            iri("partOf"),
+            Term::iri("http://x/t1"),
+        ));
         materialize(&mut g, &tbox(), 0);
         assert!(g.contains(&Triple::new(
             Term::iri("http://x/p1"),
@@ -300,7 +326,10 @@ mod tests {
     fn existential_mints_bounded_witnesses() {
         let mut o = Ontology::new();
         // A ⊑ ∃p and ∃p⁻ ⊑ A: each witness re-enters A, creating a chain.
-        o.add_axiom(Axiom::SubClass { sub: atomic("A"), sup: BasicConcept::exists(iri("p")) });
+        o.add_axiom(Axiom::SubClass {
+            sub: atomic("A"),
+            sup: BasicConcept::exists(iri("p")),
+        });
         o.add_axiom(Axiom::range(iri("p"), atomic("A")));
         let mut g = Graph::new();
         g.insert(Triple::class_assertion(Term::iri("http://x/a"), iri("A")));
@@ -313,7 +342,10 @@ mod tests {
     #[test]
     fn chase_depth_zero_adds_no_witnesses() {
         let mut o = Ontology::new();
-        o.add_axiom(Axiom::SubClass { sub: atomic("A"), sup: BasicConcept::exists(iri("p")) });
+        o.add_axiom(Axiom::SubClass {
+            sub: atomic("A"),
+            sup: BasicConcept::exists(iri("p")),
+        });
         let mut g = Graph::new();
         g.insert(Triple::class_assertion(Term::iri("http://x/a"), iri("A")));
         let added = materialize(&mut g, &o, 0);
@@ -323,10 +355,17 @@ mod tests {
     #[test]
     fn existing_successor_satisfies_existential() {
         let mut o = Ontology::new();
-        o.add_axiom(Axiom::SubClass { sub: atomic("A"), sup: BasicConcept::exists(iri("p")) });
+        o.add_axiom(Axiom::SubClass {
+            sub: atomic("A"),
+            sup: BasicConcept::exists(iri("p")),
+        });
         let mut g = Graph::new();
         g.insert(Triple::class_assertion(Term::iri("http://x/a"), iri("A")));
-        g.insert(Triple::new(Term::iri("http://x/a"), iri("p"), Term::iri("http://x/b")));
+        g.insert(Triple::new(
+            Term::iri("http://x/a"),
+            iri("p"),
+            Term::iri("http://x/b"),
+        ));
         let before = g.len();
         materialize(&mut g, &o, 3);
         assert_eq!(g.len(), before, "no witness needed");
@@ -337,8 +376,14 @@ mod tests {
         let mut o = tbox();
         o.add_axiom(Axiom::DisjointClasses(atomic("Sensor"), atomic("Turbine")));
         let mut g = Graph::new();
-        g.insert(Triple::class_assertion(Term::iri("http://x/z"), iri("Sensor")));
-        g.insert(Triple::class_assertion(Term::iri("http://x/z"), iri("Turbine")));
+        g.insert(Triple::class_assertion(
+            Term::iri("http://x/z"),
+            iri("Sensor"),
+        ));
+        g.insert(Triple::class_assertion(
+            Term::iri("http://x/z"),
+            iri("Turbine"),
+        ));
         let violations = check_constraints(&g, &o);
         assert_eq!(violations.len(), 1);
         assert!(matches!(violations[0], Violation::DisjointConcepts { .. }));
@@ -349,8 +394,16 @@ mod tests {
         let mut o = Ontology::new();
         o.add_axiom(Axiom::Functional(Role::named(iri("inAssembly"))));
         let mut g = Graph::new();
-        g.insert(Triple::new(Term::iri("http://x/s"), iri("inAssembly"), Term::iri("http://x/a1")));
-        g.insert(Triple::new(Term::iri("http://x/s"), iri("inAssembly"), Term::iri("http://x/a2")));
+        g.insert(Triple::new(
+            Term::iri("http://x/s"),
+            iri("inAssembly"),
+            Term::iri("http://x/a1"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://x/s"),
+            iri("inAssembly"),
+            Term::iri("http://x/a2"),
+        ));
         let violations = check_constraints(&g, &o);
         assert_eq!(violations.len(), 1);
         assert!(matches!(violations[0], Violation::Functionality { .. }));
@@ -359,7 +412,11 @@ mod tests {
     #[test]
     fn consistent_graph_passes() {
         let mut g = Graph::new();
-        g.insert(Triple::new(Term::iri("http://x/s"), iri("inAssembly"), Term::iri("http://x/a1")));
+        g.insert(Triple::new(
+            Term::iri("http://x/s"),
+            iri("inAssembly"),
+            Term::iri("http://x/a1"),
+        ));
         materialize(&mut g, &tbox(), 0);
         assert!(check_constraints(&g, &tbox()).is_empty());
     }
@@ -367,7 +424,10 @@ mod tests {
     #[test]
     fn materialize_is_idempotent() {
         let mut g = Graph::new();
-        g.insert(Triple::class_assertion(Term::iri("http://x/s1"), iri("TempSensor")));
+        g.insert(Triple::class_assertion(
+            Term::iri("http://x/s1"),
+            iri("TempSensor"),
+        ));
         materialize(&mut g, &tbox(), 1);
         let len = g.len();
         let added = materialize(&mut g, &tbox(), 1);

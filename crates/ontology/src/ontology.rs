@@ -88,8 +88,14 @@ impl Ontology {
             Axiom::SubClass { sub, sup } => {
                 self.note_concept(sub);
                 self.note_concept(sup);
-                self.subs_of_concept.entry(sup.clone()).or_default().push(sub.clone());
-                self.sups_of_concept.entry(sub.clone()).or_default().push(sup.clone());
+                self.subs_of_concept
+                    .entry(sup.clone())
+                    .or_default()
+                    .push(sub.clone());
+                self.sups_of_concept
+                    .entry(sub.clone())
+                    .or_default()
+                    .push(sup.clone());
             }
             Axiom::SubRole { sub, sup } => {
                 self.note_role(sub);
@@ -97,7 +103,10 @@ impl Ontology {
                 // A role inclusion S ⊑ R entails S⁻ ⊑ R⁻; index both
                 // orientations so closure walks need no special-casing.
                 for (s, r) in [(sub.clone(), sup.clone()), (sub.inverse(), sup.inverse())] {
-                    self.subs_of_role.entry(r.clone()).or_default().push(s.clone());
+                    self.subs_of_role
+                        .entry(r.clone())
+                        .or_default()
+                        .push(s.clone());
                     self.sups_of_role.entry(s).or_default().push(r);
                 }
             }
@@ -138,12 +147,18 @@ impl Ontology {
     /// Direct subsumees of a concept: every `B` with an explicit `B ⊑ concept`
     /// axiom (not including those induced by role inclusions).
     pub fn direct_sub_concepts(&self, concept: &BasicConcept) -> &[BasicConcept] {
-        self.subs_of_concept.get(concept).map(Vec::as_slice).unwrap_or(&[])
+        self.subs_of_concept
+            .get(concept)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Direct subsumees of a role, with inverse orientations already folded in.
     pub fn direct_sub_roles(&self, role: &Role) -> &[Role] {
-        self.subs_of_role.get(role).map(Vec::as_slice).unwrap_or(&[])
+        self.subs_of_role
+            .get(role)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Reflexive-transitive subsumee closure of a concept, accounting for
@@ -181,7 +196,12 @@ impl Ontology {
                 }
                 BasicConcept::Atomic(_) => Vec::new(),
             };
-            for next in concept_edges.into_iter().flatten().cloned().chain(role_neighbours) {
+            for next in concept_edges
+                .into_iter()
+                .flatten()
+                .cloned()
+                .chain(role_neighbours)
+            {
                 if seen.insert(next.clone()) {
                     queue.push_back(next);
                 }
@@ -261,8 +281,12 @@ impl Ontology {
     pub fn is_satisfiable(&self, concept: &BasicConcept) -> bool {
         let sups = self.sup_concepts_closure(concept);
         for (a, b) in &self.disjoint_concepts {
-            let a_hit = sups.iter().any(|s| self.sup_concepts_closure(s).contains(a));
-            let b_hit = sups.iter().any(|s| self.sup_concepts_closure(s).contains(b));
+            let a_hit = sups
+                .iter()
+                .any(|s| self.sup_concepts_closure(s).contains(a));
+            let b_hit = sups
+                .iter()
+                .any(|s| self.sup_concepts_closure(s).contains(b));
             if a_hit && b_hit {
                 return false;
             }
@@ -321,7 +345,10 @@ mod tests {
         o.add_axiom(Axiom::subclass(atomic("Sensor"), atomic("Device")));
         o.add_axiom(Axiom::domain(iri("inAssembly"), atomic("Sensor")));
         o.add_axiom(Axiom::range(iri("inAssembly"), atomic("Assembly")));
-        o.add_axiom(Axiom::subrole(Role::named(iri("partOf")), Role::named(iri("locatedIn"))));
+        o.add_axiom(Axiom::subrole(
+            Role::named(iri("partOf")),
+            Role::named(iri("locatedIn")),
+        ));
         o.add_axiom(Axiom::DisjointClasses(atomic("Turbine"), atomic("Sensor")));
         o.add_axiom(Axiom::Functional(Role::named(iri("inAssembly"))));
         o
@@ -338,8 +365,12 @@ mod tests {
     #[test]
     fn closure_is_reflexive() {
         let o = siemens_like();
-        assert!(o.sup_concepts_closure(&atomic("Sensor")).contains(&atomic("Sensor")));
-        assert!(o.sub_concepts_closure(&atomic("Sensor")).contains(&atomic("Sensor")));
+        assert!(o
+            .sup_concepts_closure(&atomic("Sensor"))
+            .contains(&atomic("Sensor")));
+        assert!(o
+            .sub_concepts_closure(&atomic("Sensor"))
+            .contains(&atomic("Sensor")));
     }
 
     #[test]
@@ -376,7 +407,10 @@ mod tests {
         let temp_sups = &taxonomy[&iri("TempSensor")];
         assert!(temp_sups.contains(&iri("Sensor")));
         assert!(temp_sups.contains(&iri("Device")));
-        assert!(!temp_sups.contains(&iri("TempSensor")), "classification excludes self");
+        assert!(
+            !temp_sups.contains(&iri("TempSensor")),
+            "classification excludes self"
+        );
     }
 
     #[test]

@@ -69,20 +69,27 @@ pub fn parse_ontology(text: &str) -> Result<(Ontology, Namespaces), OntologyPars
             "ObjectPropertyDomain" => {
                 let role = parse_role(&mut tokens, &namespaces)?;
                 let sup = parse_concept(&mut tokens, &namespaces)?;
-                ontology.add_axiom(Axiom::SubClass { sub: BasicConcept::Exists(role), sup });
+                ontology.add_axiom(Axiom::SubClass {
+                    sub: BasicConcept::Exists(role),
+                    sup,
+                });
             }
             "ObjectPropertyRange" => {
                 let role = parse_role(&mut tokens, &namespaces)?;
                 let sup = parse_concept(&mut tokens, &namespaces)?;
-                ontology
-                    .add_axiom(Axiom::SubClass { sub: BasicConcept::Exists(role.inverse()), sup });
+                ontology.add_axiom(Axiom::SubClass {
+                    sub: BasicConcept::Exists(role.inverse()),
+                    sup,
+                });
             }
             "DataPropertyDomain" => {
                 let prop = parse_curie(&mut tokens, &namespaces)?;
                 ontology.declare_data_property(prop.clone());
                 let sup = parse_concept(&mut tokens, &namespaces)?;
-                ontology
-                    .add_axiom(Axiom::SubClass { sub: BasicConcept::Exists(Role::Named(prop)), sup });
+                ontology.add_axiom(Axiom::SubClass {
+                    sub: BasicConcept::Exists(Role::Named(prop)),
+                    sup,
+                });
             }
             "SubObjectPropertyOf" => {
                 let sub = parse_role(&mut tokens, &namespaces)?;
@@ -231,11 +238,17 @@ struct Tokenizer<'a> {
 
 impl<'a> Tokenizer<'a> {
     fn new(text: &'a str) -> Self {
-        Tokenizer { rest: text, line: 1 }
+        Tokenizer {
+            rest: text,
+            line: 1,
+        }
     }
 
     fn error(&self, message: String) -> OntologyParseError {
-        OntologyParseError { line: self.line, message }
+        OntologyParseError {
+            line: self.line,
+            message,
+        }
     }
 
     fn skip_trivia(&mut self) {
@@ -286,7 +299,9 @@ impl<'a> Tokenizer<'a> {
             c if c.is_alphanumeric() || c == '_' => {
                 let end = self
                     .rest
-                    .find(|ch: char| !(ch.is_alphanumeric() || ch == '_' || ch == ':' || ch == '-' || ch == '.'))
+                    .find(|ch: char| {
+                        !(ch.is_alphanumeric() || ch == '_' || ch == ':' || ch == '-' || ch == '.')
+                    })
                     .unwrap_or(self.rest.len());
                 let ident = self.rest[..end].to_string();
                 self.rest = &self.rest[end..];
@@ -378,17 +393,15 @@ mod tests {
 
     #[test]
     fn non_thing_filler_rejected() {
-        let err = parse_ontology(
-            "Prefix(s: <http://x#>)\nSubClassOf(s:A ObjectSomeValuesFrom(s:p s:B))",
-        )
-        .unwrap_err();
+        let err =
+            parse_ontology("Prefix(s: <http://x#>)\nSubClassOf(s:A ObjectSomeValuesFrom(s:p s:B))")
+                .unwrap_err();
         assert!(err.message.contains("owl:Thing"));
     }
 
     #[test]
     fn full_iris_accepted_anywhere() {
-        let (onto, _) =
-            parse_ontology("SubClassOf(<http://a/X> <http://a/Y>)").unwrap();
+        let (onto, _) = parse_ontology("SubClassOf(<http://a/X> <http://a/Y>)").unwrap();
         assert_eq!(onto.axiom_count(), 1);
     }
 }

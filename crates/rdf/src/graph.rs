@@ -136,7 +136,11 @@ impl Graph {
         let Term::Iri(predicate) = self.term(p).clone() else {
             unreachable!("predicate position always interns an IRI");
         };
-        Triple { subject: self.term(s).clone(), predicate, object: self.term(o).clone() }
+        Triple {
+            subject: self.term(s).clone(),
+            predicate,
+            object: self.term(o).clone(),
+        }
     }
 
     /// Iterates over all triples in SPO order.
@@ -147,7 +151,10 @@ impl Graph {
     /// Answers a triple pattern, choosing the best index for its bound prefix.
     pub fn matching(&self, pattern: &TriplePattern) -> Vec<Triple> {
         let s = pattern.subject.as_ref().map(|t| self.lookup(t));
-        let p = pattern.predicate.as_ref().map(|i| self.lookup(&Term::Iri(i.clone())));
+        let p = pattern
+            .predicate
+            .as_ref()
+            .map(|i| self.lookup(&Term::Iri(i.clone())));
         let o = pattern.object.as_ref().map(|t| self.lookup(t));
         // A bound term absent from the graph can never match.
         for slot in [&s, &p, &o] {
@@ -200,7 +207,10 @@ impl Graph {
         index: &'a BTreeSet<(Id, Id, Id)>,
         a: Id,
     ) -> impl Iterator<Item = &'a (Id, Id, Id)> {
-        index.range((Bound::Included((a, 0, 0)), Bound::Included((a, Id::MAX, Id::MAX))))
+        index.range((
+            Bound::Included((a, 0, 0)),
+            Bound::Included((a, Id::MAX, Id::MAX)),
+        ))
     }
 
     fn range2<'a>(
@@ -234,7 +244,12 @@ impl Graph {
 
 impl std::fmt::Debug for Graph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Graph({} triples, {} terms)", self.len(), self.term_count())
+        write!(
+            f,
+            "Graph({} triples, {} terms)",
+            self.len(),
+            self.term_count()
+        )
     }
 }
 
@@ -259,10 +274,25 @@ mod tests {
         let mut g = Graph::new();
         g.insert(Triple::class_assertion(Term::Iri(iri("s1")), iri("Sensor")));
         g.insert(Triple::class_assertion(Term::Iri(iri("s2")), iri("Sensor")));
-        g.insert(Triple::class_assertion(Term::Iri(iri("t1")), iri("Turbine")));
-        g.insert(Triple::new(Term::Iri(iri("s1")), iri("inAssembly"), Term::Iri(iri("a1"))));
-        g.insert(Triple::new(Term::Iri(iri("s1")), iri("hasValue"), Term::Literal(Literal::double(90.0))));
-        g.insert(Triple::new(Term::Iri(iri("s2")), iri("hasValue"), Term::Literal(Literal::double(70.0))));
+        g.insert(Triple::class_assertion(
+            Term::Iri(iri("t1")),
+            iri("Turbine"),
+        ));
+        g.insert(Triple::new(
+            Term::Iri(iri("s1")),
+            iri("inAssembly"),
+            Term::Iri(iri("a1")),
+        ));
+        g.insert(Triple::new(
+            Term::Iri(iri("s1")),
+            iri("hasValue"),
+            Term::Literal(Literal::double(90.0)),
+        ));
+        g.insert(Triple::new(
+            Term::Iri(iri("s2")),
+            iri("hasValue"),
+            Term::Literal(Literal::double(70.0)),
+        ));
         g
     }
 
@@ -277,8 +307,14 @@ mod tests {
     #[test]
     fn contains_finds_inserted() {
         let g = sample_graph();
-        assert!(g.contains(&Triple::class_assertion(Term::Iri(iri("s1")), iri("Sensor"))));
-        assert!(!g.contains(&Triple::class_assertion(Term::Iri(iri("s1")), iri("Turbine"))));
+        assert!(g.contains(&Triple::class_assertion(
+            Term::Iri(iri("s1")),
+            iri("Sensor")
+        )));
+        assert!(!g.contains(&Triple::class_assertion(
+            Term::Iri(iri("s1")),
+            iri("Turbine")
+        )));
     }
 
     #[test]

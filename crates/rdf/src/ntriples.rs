@@ -46,7 +46,10 @@ pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let triple = parse_line(line).map_err(|message| ParseError { line: line_no, message })?;
+        let triple = parse_line(line).map_err(|message| ParseError {
+            line: line_no,
+            message,
+        })?;
         graph.insert(triple);
     }
     Ok(graph)
@@ -69,7 +72,11 @@ fn parse_line(line: &str) -> Result<Triple, String> {
     if !subject.is_resource() {
         return Err("subject must be an IRI or blank node".into());
     }
-    Ok(Triple { subject, predicate, object })
+    Ok(Triple {
+        subject,
+        predicate,
+        object,
+    })
 }
 
 fn parse_term(input: &str) -> Result<(Term, &str), String> {
@@ -80,8 +87,12 @@ fn parse_term(input: &str) -> Result<(Term, &str), String> {
         return Ok((Term::Iri(Iri::new(iri)), &rest[end + 1..]));
     }
     if let Some(rest) = input.strip_prefix("_:b") {
-        let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
-        let id: u64 = rest[..end].parse().map_err(|_| "bad blank node id".to_string())?;
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        let id: u64 = rest[..end]
+            .parse()
+            .map_err(|_| "bad blank node id".to_string())?;
         return Ok((Term::BNode(id), &rest[end..]));
     }
     if let Some(rest) = input.strip_prefix('"') {
@@ -91,7 +102,10 @@ fn parse_term(input: &str) -> Result<(Term, &str), String> {
         if let Some(dt_rest) = after.strip_prefix("^^<") {
             let dt_end = dt_rest.find('>').ok_or("unterminated datatype IRI")?;
             let datatype = datatype_from_iri(&dt_rest[..dt_end])?;
-            return Ok((Term::Literal(Literal::typed(lexical, datatype)), &dt_rest[dt_end + 1..]));
+            return Ok((
+                Term::Literal(Literal::typed(lexical, datatype)),
+                &dt_rest[dt_end + 1..],
+            ));
         }
         return Ok((Term::Literal(Literal::string(lexical)), after));
     }
@@ -130,7 +144,10 @@ mod tests {
 
     fn sample() -> Graph {
         let mut g = Graph::new();
-        g.insert(Triple::class_assertion(Term::iri("http://x/s1"), Iri::new("http://x/Sensor")));
+        g.insert(Triple::class_assertion(
+            Term::iri("http://x/s1"),
+            Iri::new("http://x/Sensor"),
+        ));
         g.insert(Triple::new(
             Term::iri("http://x/s1"),
             Iri::new("http://x/hasValue"),

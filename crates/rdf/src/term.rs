@@ -115,39 +115,60 @@ pub struct Literal {
 impl Literal {
     /// A plain `xsd:string` literal.
     pub fn string(value: impl AsRef<str>) -> Self {
-        Literal { lexical: Arc::from(value.as_ref()), datatype: Datatype::String }
+        Literal {
+            lexical: Arc::from(value.as_ref()),
+            datatype: Datatype::String,
+        }
     }
 
     /// An `xsd:integer` literal in canonical form.
     pub fn integer(value: i64) -> Self {
-        Literal { lexical: Arc::from(value.to_string().as_str()), datatype: Datatype::Integer }
+        Literal {
+            lexical: Arc::from(value.to_string().as_str()),
+            datatype: Datatype::Integer,
+        }
     }
 
     /// An `xsd:double` literal. NaN is permitted (lexical `NaN`).
     pub fn double(value: f64) -> Self {
-        Literal { lexical: Arc::from(value.to_string().as_str()), datatype: Datatype::Double }
+        Literal {
+            lexical: Arc::from(value.to_string().as_str()),
+            datatype: Datatype::Double,
+        }
     }
 
     /// An `xsd:boolean` literal.
     pub fn boolean(value: bool) -> Self {
-        Literal { lexical: Arc::from(if value { "true" } else { "false" }), datatype: Datatype::Boolean }
+        Literal {
+            lexical: Arc::from(if value { "true" } else { "false" }),
+            datatype: Datatype::Boolean,
+        }
     }
 
     /// An `xsd:dateTime` literal from a millisecond Unix timestamp. The
     /// lexical form keeps the raw milliseconds readable (the stream layer
     /// works in integer milliseconds throughout).
     pub fn datetime_millis(millis: i64) -> Self {
-        Literal { lexical: Arc::from(millis.to_string().as_str()), datatype: Datatype::DateTime }
+        Literal {
+            lexical: Arc::from(millis.to_string().as_str()),
+            datatype: Datatype::DateTime,
+        }
     }
 
     /// An `xsd:duration` literal from a lexical form such as `PT10S`.
     pub fn duration(lexical: impl AsRef<str>) -> Self {
-        Literal { lexical: Arc::from(lexical.as_ref()), datatype: Datatype::Duration }
+        Literal {
+            lexical: Arc::from(lexical.as_ref()),
+            datatype: Datatype::Duration,
+        }
     }
 
     /// A literal with an explicit datatype and lexical form.
     pub fn typed(lexical: impl AsRef<str>, datatype: Datatype) -> Self {
-        Literal { lexical: Arc::from(lexical.as_ref()), datatype }
+        Literal {
+            lexical: Arc::from(lexical.as_ref()),
+            datatype,
+        }
     }
 
     /// The lexical form.
@@ -334,7 +355,9 @@ mod tests {
         assert_eq!(Term::iri("http://x/A").to_string(), "<http://x/A>");
         assert_eq!(Term::BNode(3).to_string(), "_:b3");
         assert_eq!(Literal::string("hi").to_string(), "\"hi\"");
-        assert!(Literal::integer(5).to_string().contains("^^<http://www.w3.org/2001/XMLSchema#integer>"));
+        assert!(Literal::integer(5)
+            .to_string()
+            .contains("^^<http://www.w3.org/2001/XMLSchema#integer>"));
     }
 
     #[test]

@@ -23,15 +23,30 @@ impl Triple {
     /// resources. Panics on literal subjects — the construction sites in this
     /// workspace are all code-generated, so a malformed subject is a logic
     /// bug, not input error.
-    pub fn new(subject: impl Into<Term>, predicate: impl Into<Iri>, object: impl Into<Term>) -> Self {
+    pub fn new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Iri>,
+        object: impl Into<Term>,
+    ) -> Self {
         let subject = subject.into();
-        assert!(subject.is_resource(), "triple subject must be an IRI or blank node, got {subject}");
-        Triple { subject, predicate: predicate.into(), object: object.into() }
+        assert!(
+            subject.is_resource(),
+            "triple subject must be an IRI or blank node, got {subject}"
+        );
+        Triple {
+            subject,
+            predicate: predicate.into(),
+            object: object.into(),
+        }
     }
 
     /// Convenience constructor for `s rdf:type C` membership triples.
     pub fn class_assertion(subject: impl Into<Term>, class: impl Into<Iri>) -> Self {
-        Triple::new(subject, Iri::new(crate::vocab::rdf::TYPE), Term::Iri(class.into()))
+        Triple::new(
+            subject,
+            Iri::new(crate::vocab::rdf::TYPE),
+            Term::Iri(class.into()),
+        )
     }
 }
 

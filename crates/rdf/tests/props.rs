@@ -28,7 +28,10 @@ fn arb_term() -> impl Strategy<Value = Term> {
 
 fn arb_triple() -> impl Strategy<Value = Triple> {
     (
-        prop_oneof![arb_iri().prop_map(Term::Iri), (0u64..50).prop_map(Term::BNode)],
+        prop_oneof![
+            arb_iri().prop_map(Term::Iri),
+            (0u64..50).prop_map(Term::BNode)
+        ],
         arb_iri(),
         arb_term(),
     )

@@ -25,7 +25,10 @@ pub enum SqlError {
 impl SqlError {
     /// Shorthand for a parse error.
     pub fn parse(message: impl Into<String>, offset: usize) -> Self {
-        SqlError::Parse { message: message.into(), offset }
+        SqlError::Parse {
+            message: message.into(),
+            offset,
+        }
     }
 }
 

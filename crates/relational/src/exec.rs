@@ -21,7 +21,10 @@ use crate::value::Value;
 /// Executes a bound (optionally optimized) logical plan.
 pub fn execute(plan: &LogicalPlan, db: &Database) -> Result<Table, SqlError> {
     let rows = run(plan, db)?;
-    Ok(Table { schema: plan.schema().clone(), rows })
+    Ok(Table {
+        schema: plan.schema().clone(),
+        rows,
+    })
 }
 
 /// Convenience: parse, plan, optimize, execute.
@@ -34,7 +37,12 @@ pub fn query(sql: &str, db: &Database) -> Result<Table, SqlError> {
 
 fn run(plan: &LogicalPlan, db: &Database) -> Result<Vec<Vec<Value>>, SqlError> {
     match plan {
-        LogicalPlan::Scan { table, filter, projection, .. } => {
+        LogicalPlan::Scan {
+            table,
+            filter,
+            projection,
+            ..
+        } => {
             let t = db.table(table)?;
             let mut out = Vec::new();
             for row in &t.rows {
@@ -73,10 +81,20 @@ fn run(plan: &LogicalPlan, db: &Database) -> Result<Vec<Vec<Value>>, SqlError> {
             }
             Ok(out)
         }
-        LogicalPlan::Join { left, right, join_type, equi, residual, .. } => {
-            exec_join(left, right, *join_type, equi, residual.as_ref(), db)
-        }
-        LogicalPlan::Aggregate { input, group_exprs, aggregates, .. } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi,
+            residual,
+            ..
+        } => exec_join(left, right, *join_type, equi, residual.as_ref(), db),
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            ..
+        } => {
             let rows = run(input, db)?;
             let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
             // Preserve first-seen group order for deterministic output.
@@ -105,8 +123,7 @@ fn run(plan: &LogicalPlan, db: &Database) -> Result<Vec<Vec<Value>>, SqlError> {
             }
             // Global aggregate over empty input still yields one row.
             if groups.is_empty() && group_exprs.is_empty() {
-                let states: Vec<AggState> =
-                    aggregates.iter().map(|(f, _)| f.new_state()).collect();
+                let states: Vec<AggState> = aggregates.iter().map(|(f, _)| f.new_state()).collect();
                 let row: Vec<Value> = states.iter().map(AggState::finish).collect();
                 return Ok(vec![row]);
             }
@@ -266,7 +283,10 @@ fn exec_join(
 /// Builds a one-column table — handy in tests and benches.
 pub fn column_table(name: &str, column: &str, ty: ColumnType, values: Vec<Value>) -> Table {
     let schema = Schema::qualified(name, vec![Column::new(column, ty)]);
-    Table { schema, rows: values.into_iter().map(|v| vec![v]).collect() }
+    Table {
+        schema,
+        rows: values.into_iter().map(|v| vec![v]).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -300,7 +320,11 @@ mod tests {
             "sensors",
             table_of(
                 "sensors",
-                &[("id", ColumnType::Int), ("name", ColumnType::Text), ("assembly", ColumnType::Text)],
+                &[
+                    ("id", ColumnType::Int),
+                    ("name", ColumnType::Text),
+                    ("assembly", ColumnType::Text),
+                ],
                 vec![
                     vec![Value::Int(1), Value::text("inlet"), Value::text("burner")],
                     vec![Value::Int(2), Value::text("outlet"), Value::text("burner")],
@@ -314,14 +338,21 @@ mod tests {
 
     #[test]
     fn select_where() {
-        let t = query("SELECT value FROM m WHERE sensor_id = 1 AND value >= 75", &db()).unwrap();
+        let t = query(
+            "SELECT value FROM m WHERE sensor_id = 1 AND value >= 75",
+            &db(),
+        )
+        .unwrap();
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn projection_expressions() {
-        let t = query("SELECT value * 2 AS double FROM m WHERE sensor_id = 2 ORDER BY double", &db())
-            .unwrap();
+        let t = query(
+            "SELECT value * 2 AS double FROM m WHERE sensor_id = 2 ORDER BY double",
+            &db(),
+        )
+        .unwrap();
         assert_eq!(t.rows[0][0], Value::Float(116.0));
         assert_eq!(t.schema.header(), vec!["double"]);
     }
@@ -333,7 +364,11 @@ mod tests {
             &db(),
         )
         .unwrap();
-        assert_eq!(t.len(), 2, "sensor 3 has no match; sensor 9 has no measurements");
+        assert_eq!(
+            t.len(),
+            2,
+            "sensor 3 has no match; sensor 9 has no measurements"
+        );
     }
 
     #[test]
@@ -353,8 +388,12 @@ mod tests {
         let mut db = db();
         db.put_table(
             "n",
-            table_of("n", &[("k", ColumnType::Int)], vec![vec![Value::Null], vec![Value::Int(1)]])
-                .unwrap(),
+            table_of(
+                "n",
+                &[("k", ColumnType::Int)],
+                vec![vec![Value::Null], vec![Value::Int(1)]],
+            )
+            .unwrap(),
         );
         let t = query("SELECT m.value FROM n JOIN m ON n.k = m.sensor_id", &db).unwrap();
         assert_eq!(t.len(), 3, "only k=1 matches its three measurements");
@@ -368,7 +407,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.len(), 3);
-        assert_eq!(t.rows[0], vec![Value::Int(1), Value::Int(3), Value::Float(75.0)]);
+        assert_eq!(
+            t.rows[0],
+            vec![Value::Int(1), Value::Int(3), Value::Float(75.0)]
+        );
         // Sensor 3's AVG over a single NULL is NULL.
         assert_eq!(t.rows[2][2], Value::Null);
     }
@@ -409,7 +451,9 @@ mod tests {
             &db(),
         )
         .unwrap();
-        let Value::Float(c) = t.rows[0][0] else { panic!("got {:?}", t.rows[0][0]) };
+        let Value::Float(c) = t.rows[0][0] else {
+            panic!("got {:?}", t.rows[0][0])
+        };
         // Sensor1 rises (70,75) while sensor2 falls (60,58): perfect anticorrelation.
         assert!((c + 1.0).abs() < 1e-9);
     }
@@ -432,8 +476,11 @@ mod tests {
 
     #[test]
     fn order_desc_and_limit() {
-        let t = query("SELECT value FROM m WHERE value IS NOT NULL ORDER BY value DESC LIMIT 2", &db())
-            .unwrap();
+        let t = query(
+            "SELECT value FROM m WHERE value IS NOT NULL ORDER BY value DESC LIMIT 2",
+            &db(),
+        )
+        .unwrap();
         assert_eq!(t.rows[0][0], Value::Float(80.0));
         assert_eq!(t.len(), 2);
     }
@@ -456,7 +503,12 @@ mod tests {
             "constant_table",
             std::sync::Arc::new(|args, _db| {
                 let n = args[0].as_i64().unwrap_or(0);
-                Ok(column_table("c", "x", ColumnType::Int, (0..n).map(Value::Int).collect()))
+                Ok(column_table(
+                    "c",
+                    "x",
+                    ColumnType::Int,
+                    (0..n).map(Value::Int).collect(),
+                ))
             }),
         );
         let t = query("SELECT x FROM constant_table(4) AS c WHERE x > 0", &db).unwrap();

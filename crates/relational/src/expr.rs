@@ -157,7 +157,11 @@ impl Expr {
 
     /// Binary-op shorthand.
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Self {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Equality shorthand.
@@ -167,8 +171,16 @@ impl Expr {
 
     /// Conjunction of a non-empty expression list.
     pub fn and_all(mut exprs: Vec<Expr>) -> Option<Expr> {
-        let first = if exprs.is_empty() { return None } else { exprs.remove(0) };
-        Some(exprs.into_iter().fold(first, |acc, e| Expr::binary(BinOp::And, acc, e)))
+        let first = if exprs.is_empty() {
+            return None;
+        } else {
+            exprs.remove(0)
+        };
+        Some(
+            exprs
+                .into_iter()
+                .fold(first, |acc, e| Expr::binary(BinOp::And, acc, e)),
+        )
     }
 
     /// Resolves all column names against `schema`.
@@ -176,7 +188,10 @@ impl Expr {
         self.transform(&mut |e| match e {
             Expr::Column(name) => {
                 let index = schema.resolve(name)?;
-                Ok(Some(Expr::ColumnIdx { index, name: name.clone() }))
+                Ok(Some(Expr::ColumnIdx {
+                    index,
+                    name: name.clone(),
+                }))
             }
             _ => Ok(None),
         })
@@ -190,9 +205,10 @@ impl Expr {
     ) -> Result<Expr, SqlError> {
         let rebuilt = match self {
             Expr::Literal(_) | Expr::Column(_) | Expr::ColumnIdx { .. } => self.clone(),
-            Expr::Unary { op, expr } => {
-                Expr::Unary { op: *op, expr: Box::new(expr.transform(f)?) }
-            }
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.transform(f)?),
+            },
             Expr::Binary { op, left, right } => Expr::Binary {
                 op: *op,
                 left: Box::new(left.transform(f)?),
@@ -200,18 +216,32 @@ impl Expr {
             },
             Expr::Function { name, args } => Expr::Function {
                 name: name.clone(),
-                args: args.iter().map(|a| a.transform(f)).collect::<Result<_, _>>()?,
+                args: args
+                    .iter()
+                    .map(|a| a.transform(f))
+                    .collect::<Result<_, _>>()?,
             },
             Expr::Aggregate { func, args } => Expr::Aggregate {
                 func: *func,
-                args: args.iter().map(|a| a.transform(f)).collect::<Result<_, _>>()?,
+                args: args
+                    .iter()
+                    .map(|a| a.transform(f))
+                    .collect::<Result<_, _>>()?,
             },
-            Expr::IsNull { expr, negated } => {
-                Expr::IsNull { expr: Box::new(expr.transform(f)?), negated: *negated }
-            }
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::IsNull { expr, negated } => Expr::IsNull {
                 expr: Box::new(expr.transform(f)?),
-                list: list.iter().map(|a| a.transform(f)).collect::<Result<_, _>>()?,
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.transform(f)?),
+                list: list
+                    .iter()
+                    .map(|a| a.transform(f))
+                    .collect::<Result<_, _>>()?,
                 negated: *negated,
             },
             Expr::Between { expr, low, high } => Expr::Between {
@@ -281,9 +311,9 @@ impl Expr {
     pub fn eval(&self, row: &[Value]) -> Result<Value, SqlError> {
         match self {
             Expr::Literal(v) => Ok(v.clone()),
-            Expr::Column(name) => {
-                Err(SqlError::Binding(format!("unbound column {name} at evaluation time")))
-            }
+            Expr::Column(name) => Err(SqlError::Binding(format!(
+                "unbound column {name} at evaluation time"
+            ))),
             Expr::ColumnIdx { index, name } => row
                 .get(*index)
                 .cloned()
@@ -318,7 +348,11 @@ impl Expr {
                 let isnull = expr.eval(row)?.is_null();
                 Ok(Value::Bool(isnull != *negated))
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let needle = expr.eval(row)?;
                 if needle.is_null() {
                     return Ok(Value::Null);
@@ -343,9 +377,9 @@ impl Expr {
                 let lo = low.eval(row)?;
                 let hi = high.eval(row)?;
                 match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
-                    (Some(a), Some(b)) => {
-                        Ok(Value::Bool(a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater))
-                    }
+                    (Some(a), Some(b)) => Ok(Value::Bool(
+                        a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater,
+                    )),
                     _ => Ok(Value::Null),
                 }
             }
@@ -409,7 +443,9 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &[Value]) -> Result<Va
         BinOp::Eq => Ok(l.sql_eq(&r).map(Value::Bool).unwrap_or(Value::Null)),
         BinOp::Ne => Ok(l.sql_eq(&r).map(|b| Value::Bool(!b)).unwrap_or(Value::Null)),
         BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            let Some(ord) = l.sql_cmp(&r) else { return Ok(Value::Null) };
+            let Some(ord) = l.sql_cmp(&r) else {
+                return Ok(Value::Null);
+            };
             use std::cmp::Ordering::*;
             let b = match op {
                 BinOp::Lt => ord == Less,
@@ -453,7 +489,9 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
         });
     }
     let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
-        return Err(SqlError::Type(format!("arithmetic on non-numeric values {l} and {r}")));
+        return Err(SqlError::Type(format!(
+            "arithmetic on non-numeric values {l} and {r}"
+        )));
     };
     Ok(match op {
         BinOp::Add => Value::Float(a + b),
@@ -513,7 +551,11 @@ impl fmt::Display for Expr {
             Expr::IsNull { expr, negated } => {
                 write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, a) in list.iter().enumerate() {
                     if i > 0 {
@@ -588,12 +630,16 @@ mod tests {
         let t = Expr::lit(true);
         let fa = Expr::lit(false);
         assert_eq!(
-            Expr::binary(BinOp::And, null.clone(), fa.clone()).eval(&[]).unwrap(),
+            Expr::binary(BinOp::And, null.clone(), fa.clone())
+                .eval(&[])
+                .unwrap(),
             Value::Bool(false),
             "NULL AND FALSE = FALSE"
         );
         assert_eq!(
-            Expr::binary(BinOp::And, null.clone(), t.clone()).eval(&[]).unwrap(),
+            Expr::binary(BinOp::And, null.clone(), t.clone())
+                .eval(&[])
+                .unwrap(),
             Value::Null,
             "NULL AND TRUE = NULL"
         );
@@ -617,9 +663,15 @@ mod tests {
 
     #[test]
     fn is_null_forms() {
-        let e = Expr::IsNull { expr: Box::new(Expr::lit(Value::Null)), negated: false };
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::lit(Value::Null)),
+            negated: false,
+        };
         assert_eq!(e.eval(&[]).unwrap(), Value::Bool(true));
-        let e = Expr::IsNull { expr: Box::new(Expr::lit(1i64)), negated: true };
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::lit(1i64)),
+            negated: true,
+        };
         assert_eq!(e.eval(&[]).unwrap(), Value::Bool(true));
     }
 
@@ -670,7 +722,10 @@ mod tests {
 
     #[test]
     fn aggregate_outside_group_context_errors() {
-        let e = Expr::Aggregate { func: AggFunc::Count, args: vec![] };
+        let e = Expr::Aggregate {
+            func: AggFunc::Count,
+            args: vec![],
+        };
         assert!(matches!(e.eval(&[]), Err(SqlError::Execution(_))));
     }
 }

@@ -14,24 +14,37 @@ use crate::value::Value;
 pub fn call_scalar(name: &str, args: &[Value]) -> Result<Value, SqlError> {
     let lower = name.to_ascii_lowercase();
     match lower.as_str() {
-        "abs" => {
-            one_numeric(&lower, args).map(|x| x.map(|v| Value::Float(v.abs())).unwrap_or(Value::Null))
-        }
+        "abs" => one_numeric(&lower, args)
+            .map(|x| x.map(|v| Value::Float(v.abs())).unwrap_or(Value::Null)),
         "sqrt" => one_numeric(&lower, args)
             .map(|x| x.map(|v| Value::Float(v.sqrt())).unwrap_or(Value::Null)),
-        "floor" => one_numeric(&lower, args)
-            .map(|x| x.map(|v| Value::Int(v.floor() as i64)).unwrap_or(Value::Null)),
-        "ceil" => one_numeric(&lower, args)
-            .map(|x| x.map(|v| Value::Int(v.ceil() as i64)).unwrap_or(Value::Null)),
+        "floor" => one_numeric(&lower, args).map(|x| {
+            x.map(|v| Value::Int(v.floor() as i64))
+                .unwrap_or(Value::Null)
+        }),
+        "ceil" => one_numeric(&lower, args).map(|x| {
+            x.map(|v| Value::Int(v.ceil() as i64))
+                .unwrap_or(Value::Null)
+        }),
         "round" => one_numeric(&lower, args)
             .map(|x| x.map(|v| Value::Float(v.round())).unwrap_or(Value::Null)),
-        "lower" => one_text(&lower, args)
-            .map(|x| x.map(|s| Value::text(s.to_ascii_lowercase())).unwrap_or(Value::Null)),
-        "upper" => one_text(&lower, args)
-            .map(|x| x.map(|s| Value::text(s.to_ascii_uppercase())).unwrap_or(Value::Null)),
-        "length" => one_text(&lower, args)
-            .map(|x| x.map(|s| Value::Int(s.chars().count() as i64)).unwrap_or(Value::Null)),
-        "coalesce" => Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null)),
+        "lower" => one_text(&lower, args).map(|x| {
+            x.map(|s| Value::text(s.to_ascii_lowercase()))
+                .unwrap_or(Value::Null)
+        }),
+        "upper" => one_text(&lower, args).map(|x| {
+            x.map(|s| Value::text(s.to_ascii_uppercase()))
+                .unwrap_or(Value::Null)
+        }),
+        "length" => one_text(&lower, args).map(|x| {
+            x.map(|s| Value::Int(s.chars().count() as i64))
+                .unwrap_or(Value::Null)
+        }),
+        "coalesce" => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
         "nullif" => {
             expect_arity(&lower, args, 2)?;
             match args[0].sql_eq(&args[1]) {
@@ -66,13 +79,18 @@ pub fn call_scalar(name: &str, args: &[Value]) -> Result<Value, SqlError> {
             };
             Ok(Value::text(rendered))
         }
-        other => Err(SqlError::Binding(format!("unknown scalar function {other}"))),
+        other => Err(SqlError::Binding(format!(
+            "unknown scalar function {other}"
+        ))),
     }
 }
 
 fn expect_arity(name: &str, args: &[Value], n: usize) -> Result<(), SqlError> {
     if args.len() != n {
-        return Err(SqlError::Type(format!("{name} expects {n} arguments, got {}", args.len())));
+        return Err(SqlError::Type(format!(
+            "{name} expects {n} arguments, got {}",
+            args.len()
+        )));
     }
     Ok(())
 }
@@ -146,11 +164,20 @@ impl AggFunc {
     pub fn new_state(self) -> AggState {
         match self {
             AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => AggState::Sum { total: 0.0, all_int: true, int_total: 0, seen: false },
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                all_int: true,
+                int_total: 0,
+                seen: false,
+            },
             AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
-            AggFunc::StdDev => AggState::Moments { n: 0, mean: 0.0, m2: 0.0 },
+            AggFunc::StdDev => AggState::Moments {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+            },
             AggFunc::Corr => AggState::Corr(CorrState::default()),
         }
     }
@@ -259,7 +286,12 @@ impl AggState {
                     *n += 1;
                 }
             }
-            AggState::Sum { total, all_int, int_total, seen } => {
+            AggState::Sum {
+                total,
+                all_int,
+                int_total,
+                seen,
+            } => {
                 let v = arg0(args)?;
                 if v.is_null() {
                     return Ok(());
@@ -297,7 +329,11 @@ impl AggState {
                 if v.is_null() {
                     return Ok(());
                 }
-                if slot.as_ref().map(|m| v.total_cmp(m).is_lt()).unwrap_or(true) {
+                if slot
+                    .as_ref()
+                    .map(|m| v.total_cmp(m).is_lt())
+                    .unwrap_or(true)
+                {
                     *slot = Some(v.clone());
                 }
             }
@@ -306,7 +342,11 @@ impl AggState {
                 if v.is_null() {
                     return Ok(());
                 }
-                if slot.as_ref().map(|m| v.total_cmp(m).is_gt()).unwrap_or(true) {
+                if slot
+                    .as_ref()
+                    .map(|m| v.total_cmp(m).is_gt())
+                    .unwrap_or(true)
+                {
                     *slot = Some(v.clone());
                 }
             }
@@ -343,7 +383,12 @@ impl AggState {
     pub fn finish(&self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(*n as i64),
-            AggState::Sum { total, all_int, int_total, seen } => {
+            AggState::Sum {
+                total,
+                all_int,
+                int_total,
+                seen,
+            } => {
                 if !*seen {
                     Value::Null
                 } else if *all_int {
@@ -372,7 +417,7 @@ impl AggState {
     }
 }
 
-fn arg0<'a>(args: &'a [Value]) -> Result<&'a Value, SqlError> {
+fn arg0(args: &[Value]) -> Result<&Value, SqlError> {
     args.first()
         .ok_or_else(|| SqlError::Type("aggregate expects an argument".into()))
 }
@@ -383,9 +428,18 @@ mod tests {
 
     #[test]
     fn scalar_basics() {
-        assert_eq!(call_scalar("ABS", &[Value::Float(-2.5)]).unwrap(), Value::Float(2.5));
-        assert_eq!(call_scalar("lower", &[Value::text("AbC")]).unwrap(), Value::text("abc"));
-        assert_eq!(call_scalar("length", &[Value::text("abc")]).unwrap(), Value::Int(3));
+        assert_eq!(
+            call_scalar("ABS", &[Value::Float(-2.5)]).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            call_scalar("lower", &[Value::text("AbC")]).unwrap(),
+            Value::text("abc")
+        );
+        assert_eq!(
+            call_scalar("length", &[Value::text("abc")]).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(
             call_scalar("coalesce", &[Value::Null, Value::Int(3)]).unwrap(),
             Value::Int(3)
@@ -415,8 +469,14 @@ mod tests {
 
     #[test]
     fn nullif_behaviour() {
-        assert_eq!(call_scalar("nullif", &[Value::Int(1), Value::Int(1)]).unwrap(), Value::Null);
-        assert_eq!(call_scalar("nullif", &[Value::Int(1), Value::Int(2)]).unwrap(), Value::Int(1));
+        assert_eq!(
+            call_scalar("nullif", &[Value::Int(1), Value::Int(1)]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            call_scalar("nullif", &[Value::Int(1), Value::Int(2)]).unwrap(),
+            Value::Int(1)
+        );
     }
 
     fn run(func: AggFunc, rows: &[Vec<Value>]) -> Value {
@@ -429,7 +489,10 @@ mod tests {
 
     #[test]
     fn count_skips_nulls_with_arg() {
-        let v = run(AggFunc::Count, &[vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(2)]]);
+        let v = run(
+            AggFunc::Count,
+            &[vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(2)]],
+        );
         assert_eq!(v, Value::Int(2));
         let star = run(AggFunc::Count, &[vec![], vec![], vec![]]);
         assert_eq!(star, Value::Int(3));
@@ -439,7 +502,10 @@ mod tests {
     fn sum_preserves_integerness() {
         let v = run(AggFunc::Sum, &[vec![Value::Int(1)], vec![Value::Int(2)]]);
         assert_eq!(v, Value::Int(3));
-        let v = run(AggFunc::Sum, &[vec![Value::Int(1)], vec![Value::Float(0.5)]]);
+        let v = run(
+            AggFunc::Sum,
+            &[vec![Value::Int(1)], vec![Value::Float(0.5)]],
+        );
         assert_eq!(v, Value::Float(1.5));
         let v = run(AggFunc::Sum, &[vec![Value::Null]]);
         assert_eq!(v, Value::Null);
@@ -447,37 +513,60 @@ mod tests {
 
     #[test]
     fn avg_min_max() {
-        assert_eq!(run(AggFunc::Avg, &[vec![Value::Int(1)], vec![Value::Int(3)]]), Value::Float(2.0));
-        assert_eq!(run(AggFunc::Min, &[vec![Value::Int(5)], vec![Value::Int(2)]]), Value::Int(2));
-        assert_eq!(run(AggFunc::Max, &[vec![Value::Int(5)], vec![Value::Int(2)]]), Value::Int(5));
+        assert_eq!(
+            run(AggFunc::Avg, &[vec![Value::Int(1)], vec![Value::Int(3)]]),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            run(AggFunc::Min, &[vec![Value::Int(5)], vec![Value::Int(2)]]),
+            Value::Int(2)
+        );
+        assert_eq!(
+            run(AggFunc::Max, &[vec![Value::Int(5)], vec![Value::Int(2)]]),
+            Value::Int(5)
+        );
         assert_eq!(run(AggFunc::Min, &[vec![Value::Null]]), Value::Null);
     }
 
     #[test]
     fn stddev_sample() {
-        let rows: Vec<Vec<Value>> =
-            [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().map(|&x| vec![Value::Float(x)]).collect();
-        let Value::Float(sd) = run(AggFunc::StdDev, &rows) else { panic!() };
+        let rows: Vec<Vec<Value>> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .map(|&x| vec![Value::Float(x)])
+            .collect();
+        let Value::Float(sd) = run(AggFunc::StdDev, &rows) else {
+            panic!()
+        };
         assert!((sd - 2.138_089_935).abs() < 1e-6);
     }
 
     #[test]
     fn corr_perfect_and_inverse() {
-        let pos: Vec<Vec<Value>> =
-            (0..10).map(|i| vec![Value::Float(i as f64), Value::Float(2.0 * i as f64 + 1.0)]).collect();
-        let Value::Float(r) = run(AggFunc::Corr, &pos) else { panic!() };
+        let pos: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Float(i as f64), Value::Float(2.0 * i as f64 + 1.0)])
+            .collect();
+        let Value::Float(r) = run(AggFunc::Corr, &pos) else {
+            panic!()
+        };
         assert!((r - 1.0).abs() < 1e-9);
-        let neg: Vec<Vec<Value>> =
-            (0..10).map(|i| vec![Value::Float(i as f64), Value::Float(-(i as f64))]).collect();
-        let Value::Float(r) = run(AggFunc::Corr, &neg) else { panic!() };
+        let neg: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Float(i as f64), Value::Float(-(i as f64))])
+            .collect();
+        let Value::Float(r) = run(AggFunc::Corr, &neg) else {
+            panic!()
+        };
         assert!((r + 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn corr_degenerate_is_null() {
-        assert_eq!(run(AggFunc::Corr, &[vec![Value::Float(1.0), Value::Float(2.0)]]), Value::Null);
-        let flat: Vec<Vec<Value>> =
-            (0..5).map(|i| vec![Value::Float(1.0), Value::Float(i as f64)]).collect();
+        assert_eq!(
+            run(AggFunc::Corr, &[vec![Value::Float(1.0), Value::Float(2.0)]]),
+            Value::Null
+        );
+        let flat: Vec<Vec<Value>> = (0..5)
+            .map(|i| vec![Value::Float(1.0), Value::Float(i as f64)])
+            .collect();
         assert_eq!(run(AggFunc::Corr, &flat), Value::Null, "zero variance in x");
     }
 

@@ -142,8 +142,15 @@ mod tests {
     #[test]
     fn btree_range_inclusive() {
         let idx = BTreeIndex::build(&rows(), 0);
-        assert_eq!(idx.range(Some(&Value::Int(10)), Some(&Value::Int(15))), vec![0, 2]);
-        assert_eq!(idx.range(Some(&Value::Int(10)), Some(&Value::Int(20))).len(), 3);
+        assert_eq!(
+            idx.range(Some(&Value::Int(10)), Some(&Value::Int(15))),
+            vec![0, 2]
+        );
+        assert_eq!(
+            idx.range(Some(&Value::Int(10)), Some(&Value::Int(20)))
+                .len(),
+            3
+        );
         assert_eq!(idx.range(None, None).len(), 3);
         assert_eq!(idx.range(Some(&Value::Int(21)), None).len(), 0);
     }

@@ -177,7 +177,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                     let b = bytes[end] as char;
                     if b.is_ascii_digit() {
                         end += 1;
-                    } else if b == '.' && !is_float && bytes.get(end + 1).is_some_and(|n| n.is_ascii_digit()) {
+                    } else if b == '.'
+                        && !is_float
+                        && bytes.get(end + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
                         is_float = true;
                         end += 1;
                     } else if (b == 'e' || b == 'E')
@@ -219,9 +222,17 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                 i = end;
                 TokenKind::Ident(ident)
             }
-            other => return Err(SqlError::parse(format!("unexpected character {other:?}"), i)),
+            other => {
+                return Err(SqlError::parse(
+                    format!("unexpected character {other:?}"),
+                    i,
+                ))
+            }
         };
-        tokens.push(Token { kind, offset: start });
+        tokens.push(Token {
+            kind,
+            offset: start,
+        });
     }
     Ok(tokens)
 }
@@ -269,10 +280,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("a -- comment\n b"), vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Ident("b".into())
-        ]);
+        assert_eq!(
+            kinds("a -- comment\n b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into())]
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub struct OptimizerSettings {
 
 impl Default for OptimizerSettings {
     fn default() -> Self {
-        OptimizerSettings { pushdown: true, fold_constants: true, prune_projections: true }
+        OptimizerSettings {
+            pushdown: true,
+            fold_constants: true,
+            prune_projections: true,
+        }
     }
 }
 
@@ -63,7 +67,13 @@ pub fn optimize_with(plan: LogicalPlan, settings: &OptimizerSettings) -> Logical
 /// Applies `f` to every expression in the plan.
 fn map_exprs(plan: LogicalPlan, f: &impl Fn(Expr) -> Expr) -> LogicalPlan {
     match plan {
-        LogicalPlan::Scan { table, alias, schema, filter, projection } => LogicalPlan::Scan {
+        LogicalPlan::Scan {
+            table,
+            alias,
+            schema,
+            filter,
+            projection,
+        } => LogicalPlan::Scan {
             table,
             alias,
             schema,
@@ -75,12 +85,23 @@ fn map_exprs(plan: LogicalPlan, f: &impl Fn(Expr) -> Expr) -> LogicalPlan {
             input: Box::new(map_exprs(*input, f)),
             predicate: f(predicate),
         },
-        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
             input: Box::new(map_exprs(*input, f)),
             exprs: exprs.into_iter().map(|(e, n)| (f(e), n)).collect(),
             schema,
         },
-        LogicalPlan::Join { left, right, join_type, equi, residual, schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi,
+            residual,
+            schema,
+        } => LogicalPlan::Join {
             left: Box::new(map_exprs(*left, f)),
             right: Box::new(map_exprs(*right, f)),
             join_type,
@@ -88,30 +109,34 @@ fn map_exprs(plan: LogicalPlan, f: &impl Fn(Expr) -> Expr) -> LogicalPlan {
             residual: residual.map(f),
             schema,
         },
-        LogicalPlan::Aggregate { input, group_exprs, aggregates, schema } => {
-            LogicalPlan::Aggregate {
-                input: Box::new(map_exprs(*input, f)),
-                group_exprs: group_exprs.into_iter().map(f).collect(),
-                aggregates: aggregates
-                    .into_iter()
-                    .map(|(func, args)| (func, args.into_iter().map(f).collect()))
-                    .collect(),
-                schema,
-            }
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(map_exprs(*input, f)),
+            group_exprs: group_exprs.into_iter().map(f).collect(),
+            aggregates: aggregates
+                .into_iter()
+                .map(|(func, args)| (func, args.into_iter().map(f).collect()))
+                .collect(),
+            schema,
+        },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
             input: Box::new(map_exprs(*input, f)),
             keys: keys.into_iter().map(|(e, d)| (f(e), d)).collect(),
         },
-        LogicalPlan::Limit { input, n } => {
-            LogicalPlan::Limit { input: Box::new(map_exprs(*input, f)), n }
-        }
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(map_exprs(*input, f)),
+            n,
+        },
         LogicalPlan::Union { inputs } => LogicalPlan::Union {
             inputs: inputs.into_iter().map(|p| map_exprs(p, f)).collect(),
         },
-        LogicalPlan::Distinct { input } => {
-            LogicalPlan::Distinct { input: Box::new(map_exprs(*input, f)) }
-        }
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(map_exprs(*input, f)),
+        },
     }
 }
 
@@ -124,7 +149,10 @@ fn fold_expr(expr: Expr) -> Expr {
         let has_refs = {
             let mut found = false;
             e.walk(&mut |n| {
-                if matches!(n, Expr::Column(_) | Expr::ColumnIdx { .. } | Expr::Aggregate { .. }) {
+                if matches!(
+                    n,
+                    Expr::Column(_) | Expr::ColumnIdx { .. } | Expr::Aggregate { .. }
+                ) {
                     found = true;
                 }
             });
@@ -164,13 +192,27 @@ fn flatten_unions(plan: LogicalPlan) -> LogicalPlan {
 fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy) -> LogicalPlan {
     match plan {
         LogicalPlan::Scan { .. } | LogicalPlan::Materialized { .. } => plan,
-        LogicalPlan::Filter { input, predicate } => {
-            LogicalPlan::Filter { input: Box::new(f(*input)), predicate }
-        }
-        LogicalPlan::Project { input, exprs, schema } => {
-            LogicalPlan::Project { input: Box::new(f(*input)), exprs, schema }
-        }
-        LogicalPlan::Join { left, right, join_type, equi, residual, schema } => LogicalPlan::Join {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(f(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi,
+            residual,
+            schema,
+        } => LogicalPlan::Join {
             left: Box::new(f(*left)),
             right: Box::new(f(*right)),
             join_type,
@@ -178,15 +220,31 @@ fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy
             residual,
             schema,
         },
-        LogicalPlan::Aggregate { input, group_exprs, aggregates, schema } => {
-            LogicalPlan::Aggregate { input: Box::new(f(*input)), group_exprs, aggregates, schema }
-        }
-        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort { input: Box::new(f(*input)), keys },
-        LogicalPlan::Limit { input, n } => LogicalPlan::Limit { input: Box::new(f(*input)), n },
-        LogicalPlan::Union { inputs } => {
-            LogicalPlan::Union { inputs: inputs.into_iter().map(f).collect() }
-        }
-        LogicalPlan::Distinct { input } => LogicalPlan::Distinct { input: Box::new(f(*input)) },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(f(*input)),
+            group_exprs,
+            aggregates,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(f(*input)),
+            n,
+        },
+        LogicalPlan::Union { inputs } => LogicalPlan::Union {
+            inputs: inputs.into_iter().map(f).collect(),
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
     }
 }
 
@@ -204,16 +262,31 @@ fn push_filters(plan: LogicalPlan) -> LogicalPlan {
 fn push_predicate(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
     match input {
         // Merge adjacent filters into one conjunction and keep pushing.
-        LogicalPlan::Filter { input: inner, predicate: inner_pred } => {
+        LogicalPlan::Filter {
+            input: inner,
+            predicate: inner_pred,
+        } => {
             let merged = Expr::binary(BinOp::And, inner_pred, predicate);
             push_predicate(*inner, merged)
         }
-        LogicalPlan::Scan { table, alias, schema, filter, projection } => {
+        LogicalPlan::Scan {
+            table,
+            alias,
+            schema,
+            filter,
+            projection,
+        } => {
             let combined = match filter {
                 Some(f) => Expr::binary(BinOp::And, f, predicate),
                 None => predicate,
             };
-            LogicalPlan::Scan { table, alias, schema, filter: Some(combined), projection }
+            LogicalPlan::Scan {
+                table,
+                alias,
+                schema,
+                filter: Some(combined),
+                projection,
+            }
         }
         LogicalPlan::Union { inputs } => {
             // Union branches share positional schemas, so the predicate can
@@ -224,20 +297,39 @@ fn push_predicate(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
                 .collect();
             LogicalPlan::Union { inputs }
         }
-        LogicalPlan::Project { input: inner, exprs, schema } => {
+        LogicalPlan::Project {
+            input: inner,
+            exprs,
+            schema,
+        } => {
             // Push through when every column the predicate references maps
             // to a pure column expression in the projection.
             if let Some(remapped) = remap_through_project(&predicate, &exprs) {
                 let pushed = push_predicate(*inner, remapped);
-                LogicalPlan::Project { input: Box::new(pushed), exprs, schema }
+                LogicalPlan::Project {
+                    input: Box::new(pushed),
+                    exprs,
+                    schema,
+                }
             } else {
                 LogicalPlan::Filter {
-                    input: Box::new(LogicalPlan::Project { input: inner, exprs, schema }),
+                    input: Box::new(LogicalPlan::Project {
+                        input: inner,
+                        exprs,
+                        schema,
+                    }),
                     predicate,
                 }
             }
         }
-        LogicalPlan::Join { left, right, join_type, equi, residual, schema } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi,
+            residual,
+            schema,
+        } => {
             let left_len = left.schema().len();
             let mut to_left = Vec::new();
             let mut to_right = Vec::new();
@@ -265,14 +357,26 @@ fn push_predicate(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
             } else {
                 right
             };
-            let join =
-                LogicalPlan::Join { left, right, join_type, equi, residual, schema };
+            let join = LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                equi,
+                residual,
+                schema,
+            };
             match Expr::and_all(keep) {
-                Some(p) => LogicalPlan::Filter { input: Box::new(join), predicate: p },
+                Some(p) => LogicalPlan::Filter {
+                    input: Box::new(join),
+                    predicate: p,
+                },
                 None => join,
             }
         }
-        other => LogicalPlan::Filter { input: Box::new(other), predicate },
+        other => LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate,
+        },
     }
 }
 
@@ -285,7 +389,10 @@ fn remap_through_project(predicate: &Expr, exprs: &[(Expr, String)]) -> Option<E
             if let Expr::ColumnIdx { index, .. } = e {
                 match exprs.get(*index) {
                     Some((Expr::ColumnIdx { index: src, name }, _)) => {
-                        return Ok(Some(Expr::ColumnIdx { index: *src, name: name.clone() }))
+                        return Ok(Some(Expr::ColumnIdx {
+                            index: *src,
+                            name: name.clone(),
+                        }))
                     }
                     _ => {
                         ok = false;
@@ -302,7 +409,10 @@ fn remap_through_project(predicate: &Expr, exprs: &[(Expr, String)]) -> Option<E
 fn shift_columns(expr: &Expr, offset: usize) -> Expr {
     expr.transform(&mut |e| {
         if let Expr::ColumnIdx { index, name } = e {
-            return Ok(Some(Expr::ColumnIdx { index: index - offset, name: name.clone() }));
+            return Ok(Some(Expr::ColumnIdx {
+                index: index - offset,
+                name: name.clone(),
+            }));
         }
         Ok(None)
     })
@@ -313,18 +423,36 @@ fn shift_columns(expr: &Expr, offset: usize) -> Expr {
 /// the referenced columns and remaps the projection.
 fn prune_scans(plan: LogicalPlan) -> LogicalPlan {
     let plan = map_children(plan, prune_scans);
-    let LogicalPlan::Project { input, exprs, schema } = plan else {
+    let LogicalPlan::Project {
+        input,
+        exprs,
+        schema,
+    } = plan
+    else {
         return plan;
     };
-    let LogicalPlan::Scan { table, alias, schema: scan_schema, filter, projection: None } = *input
+    let LogicalPlan::Scan {
+        table,
+        alias,
+        schema: scan_schema,
+        filter,
+        projection: None,
+    } = *input
     else {
-        return LogicalPlan::Project { input, exprs, schema };
+        return LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        };
     };
     // Columns the projection expressions need. The scan filter runs on the
     // FULL row before projection (executor semantics), so its column
     // references stay in full-row coordinates and do not force
     // materialization.
-    let mut needed: Vec<usize> = exprs.iter().flat_map(|(e, _)| e.referenced_columns()).collect();
+    let mut needed: Vec<usize> = exprs
+        .iter()
+        .flat_map(|(e, _)| e.referenced_columns())
+        .collect();
     needed.sort_unstable();
     needed.dedup();
     if needed.len() == scan_schema.len() {
@@ -345,16 +473,21 @@ fn prune_scans(plan: LogicalPlan) -> LogicalPlan {
         e.transform(&mut |n| {
             if let Expr::ColumnIdx { index, name } = n {
                 let new = needed.binary_search(index).expect("needed column present");
-                return Ok(Some(Expr::ColumnIdx { index: new, name: name.clone() }));
+                return Ok(Some(Expr::ColumnIdx {
+                    index: new,
+                    name: name.clone(),
+                }));
             }
             Ok(None)
         })
         .expect("remap is infallible")
     };
-    let new_exprs: Vec<(Expr, String)> =
-        exprs.iter().map(|(e, n)| (remap(e), n.clone())).collect();
+    let new_exprs: Vec<(Expr, String)> = exprs.iter().map(|(e, n)| (remap(e), n.clone())).collect();
     let pruned_schema = {
-        let cols: Vec<_> = needed.iter().map(|&i| scan_schema.columns()[i].clone()).collect();
+        let cols: Vec<_> = needed
+            .iter()
+            .map(|&i| scan_schema.columns()[i].clone())
+            .collect();
         let mut s = Schema::new(cols);
         if let Some(q) = scan_schema.qualifier(0) {
             s = s.with_qualifier(q);
@@ -419,7 +552,10 @@ mod tests {
         let p = optimized("SELECT value FROM m WHERE sensor_id = 1");
         let ex = p.explain();
         assert!(ex.contains("Scan m AS m [filter:"), "{ex}");
-        assert!(!ex.contains("\nFilter"), "no standalone filter remains: {ex}");
+        assert!(
+            !ex.contains("\nFilter"),
+            "no standalone filter remains: {ex}"
+        );
     }
 
     #[test]
@@ -440,7 +576,10 @@ mod tests {
             "SELECT name FROM m LEFT JOIN sensors s ON m.sensor_id = s.id WHERE s.name = 'inlet'",
         );
         let ex = p.explain();
-        assert!(ex.contains("Filter"), "right-side filter must stay above the left join: {ex}");
+        assert!(
+            ex.contains("Filter"),
+            "right-side filter must stay above the left join: {ex}"
+        );
         assert!(!ex.contains("Scan sensors AS s [filter:"), "{ex}");
     }
 
@@ -464,7 +603,9 @@ mod tests {
 
     #[test]
     fn unions_flatten() {
-        let p = optimized("SELECT value FROM m UNION ALL SELECT value FROM m UNION ALL SELECT value FROM m");
+        let p = optimized(
+            "SELECT value FROM m UNION ALL SELECT value FROM m UNION ALL SELECT value FROM m",
+        );
         let ex = p.explain();
         assert!(ex.contains("UnionAll (3 branches)"), "{ex}");
     }

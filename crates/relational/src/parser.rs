@@ -113,7 +113,10 @@ pub fn parse_select(sql: &str) -> Result<SelectStatement, SqlError> {
     let stmt = p.parse_select()?;
     if p.pos != p.tokens.len() {
         return Err(SqlError::parse(
-            format!("unexpected trailing tokens starting with {:?}", p.tokens[p.pos].kind),
+            format!(
+                "unexpected trailing tokens starting with {:?}",
+                p.tokens[p.pos].kind
+            ),
             p.tokens[p.pos].offset,
         ));
     }
@@ -131,9 +134,10 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens.get(self.pos).map(|t| t.offset).unwrap_or_else(|| {
-            self.tokens.last().map(|t| t.offset + 1).unwrap_or(0)
-        })
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
     }
 
     fn bump(&mut self) -> Option<TokenKind> {
@@ -181,7 +185,10 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, SqlError> {
         match self.bump() {
             Some(TokenKind::Ident(w)) => Ok(w),
-            other => Err(SqlError::parse(format!("expected identifier, got {other:?}"), self.offset())),
+            other => Err(SqlError::parse(
+                format!("expected identifier, got {other:?}"),
+                self.offset(),
+            )),
         }
     }
 
@@ -212,9 +219,17 @@ impl Parser {
             let table = self.parse_table_ref()?;
             self.expect_keyword("ON")?;
             let on = self.parse_expr()?;
-            joins.push(Join { join_type, table, on });
+            joins.push(Join {
+                join_type,
+                table,
+                on,
+            });
         }
-        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -224,7 +239,11 @@ impl Parser {
                 group_by.push(self.parse_expr()?);
             }
         }
-        let having = if self.eat_keyword("HAVING") { Some(self.parse_expr()?) } else { None };
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_keyword("ORDER") {
             self.expect_keyword("BY")?;
@@ -358,7 +377,10 @@ impl Parser {
     fn parse_not(&mut self) -> Result<Expr, SqlError> {
         if self.eat_keyword("NOT") {
             let inner = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.parse_comparison()
     }
@@ -369,7 +391,10 @@ impl Parser {
         if self.eat_keyword("IS") {
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN ( … ) / BETWEEN … AND …
         if self.peek_keyword("NOT") {
@@ -381,7 +406,10 @@ impl Parser {
             }
             if self.eat_keyword("BETWEEN") {
                 let b = self.finish_between(left)?;
-                return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(b) });
+                return Ok(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(b),
+                });
             }
             self.pos = save;
         }
@@ -416,14 +444,22 @@ impl Parser {
             list.push(self.parse_expr()?);
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(Expr::InList { expr: Box::new(left), list, negated })
+        Ok(Expr::InList {
+            expr: Box::new(left),
+            list,
+            negated,
+        })
     }
 
     fn finish_between(&mut self, left: Expr) -> Result<Expr, SqlError> {
         let low = self.parse_additive()?;
         self.expect_keyword("AND")?;
         let high = self.parse_additive()?;
-        Ok(Expr::Between { expr: Box::new(left), low: Box::new(low), high: Box::new(high) })
+        Ok(Expr::Between {
+            expr: Box::new(left),
+            low: Box::new(low),
+            high: Box::new(high),
+        })
     }
 
     fn parse_additive(&mut self) -> Result<Expr, SqlError> {
@@ -461,7 +497,10 @@ impl Parser {
         if matches!(self.peek(), Some(TokenKind::Minus)) {
             self.pos += 1;
             let inner = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         self.parse_primary()
     }
@@ -494,7 +533,10 @@ impl Parser {
                         self.pos += 1;
                         self.expect(&TokenKind::RParen)?;
                         if let Some(AggFunc::Count) = AggFunc::from_name(&word) {
-                            return Ok(Expr::Aggregate { func: AggFunc::Count, args: vec![] });
+                            return Ok(Expr::Aggregate {
+                                func: AggFunc::Count,
+                                args: vec![],
+                            });
                         }
                         return Err(SqlError::parse(
                             format!("only COUNT may take '*', not {word}"),
@@ -513,7 +555,10 @@ impl Parser {
                     if let Some(func) = AggFunc::from_name(&word) {
                         return Ok(Expr::Aggregate { func, args });
                     }
-                    return Ok(Expr::Function { name: word.to_ascii_lowercase(), args });
+                    return Ok(Expr::Function {
+                        name: word.to_ascii_lowercase(),
+                        args,
+                    });
                 }
                 // Qualified column?
                 if matches!(self.peek(), Some(TokenKind::Dot)) {
@@ -523,7 +568,10 @@ impl Parser {
                 }
                 Ok(Expr::Column(word))
             }
-            other => Err(SqlError::parse(format!("unexpected token {other:?}"), self.offset())),
+            other => Err(SqlError::parse(
+                format!("unexpected token {other:?}"),
+                self.offset(),
+            )),
         }
     }
 }
@@ -546,7 +594,10 @@ impl fmt::Display for SelectStatement {
             }
             match p {
                 Projection::Star => write!(f, "*")?,
-                Projection::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}")?,
+                Projection::Expr {
+                    expr,
+                    alias: Some(a),
+                } => write!(f, "{expr} AS {a}")?,
                 Projection::Expr { expr, alias: None } => write!(f, "{expr}")?,
             }
         }
@@ -637,7 +688,9 @@ mod tests {
     fn aliases() {
         let s = parse_select("SELECT m.value AS v FROM measurements m").unwrap();
         assert_eq!(s.from.alias(), "m");
-        let Projection::Expr { alias, .. } = &s.projections[0] else { panic!() };
+        let Projection::Expr { alias, .. } = &s.projections[0] else {
+            panic!()
+        };
         assert_eq!(alias.as_deref(), Some("v"));
     }
 
@@ -668,8 +721,9 @@ mod tests {
 
     #[test]
     fn union_all_chain() {
-        let s = parse_select("SELECT a FROM t1 UNION ALL SELECT a FROM t2 UNION ALL SELECT a FROM t3")
-            .unwrap();
+        let s =
+            parse_select("SELECT a FROM t1 UNION ALL SELECT a FROM t2 UNION ALL SELECT a FROM t3")
+                .unwrap();
         let mut n = 1;
         let mut cur = &s;
         while let Some(next) = &cur.union_all {
@@ -681,14 +735,18 @@ mod tests {
 
     #[test]
     fn subquery_in_from() {
-        let s = parse_select("SELECT v FROM (SELECT value AS v FROM m) AS sub WHERE v > 1").unwrap();
+        let s =
+            parse_select("SELECT v FROM (SELECT value AS v FROM m) AS sub WHERE v > 1").unwrap();
         assert!(matches!(s.from, TableRef::Subquery { .. }));
     }
 
     #[test]
     fn table_function_in_from() {
-        let s = parse_select("SELECT * FROM timeslidingwindow('S_Msmt', 10000, 1000) AS w").unwrap();
-        let TableRef::Function { name, args, alias } = &s.from else { panic!() };
+        let s =
+            parse_select("SELECT * FROM timeslidingwindow('S_Msmt', 10000, 1000) AS w").unwrap();
+        let TableRef::Function { name, args, alias } = &s.from else {
+            panic!()
+        };
         assert_eq!(name, "timeslidingwindow");
         assert_eq!(args.len(), 3);
         assert_eq!(alias, "w");
@@ -697,15 +755,31 @@ mod tests {
     #[test]
     fn count_star() {
         let s = parse_select("SELECT COUNT(*) FROM m").unwrap();
-        let Projection::Expr { expr, .. } = &s.projections[0] else { panic!() };
-        assert_eq!(expr, &Expr::Aggregate { func: AggFunc::Count, args: vec![] });
+        let Projection::Expr { expr, .. } = &s.projections[0] else {
+            panic!()
+        };
+        assert_eq!(
+            expr,
+            &Expr::Aggregate {
+                func: AggFunc::Count,
+                args: vec![]
+            }
+        );
     }
 
     #[test]
     fn corr_two_args() {
         let s = parse_select("SELECT CORR(a, b) FROM m").unwrap();
-        let Projection::Expr { expr, .. } = &s.projections[0] else { panic!() };
-        let Expr::Aggregate { func: AggFunc::Corr, args } = expr else { panic!() };
+        let Projection::Expr { expr, .. } = &s.projections[0] else {
+            panic!()
+        };
+        let Expr::Aggregate {
+            func: AggFunc::Corr,
+            args,
+        } = expr
+        else {
+            panic!()
+        };
         assert_eq!(args.len(), 2);
     }
 
@@ -714,14 +788,17 @@ mod tests {
         let s = parse_select("SELECT a FROM t WHERE a + 2 * 3 = 7 AND (b OR c)").unwrap();
         let w = s.where_clause.unwrap();
         // AND at top.
-        let Expr::Binary { op: BinOp::And, .. } = w else { panic!("expected top-level AND") };
+        let Expr::Binary { op: BinOp::And, .. } = w else {
+            panic!("expected top-level AND")
+        };
     }
 
     #[test]
     fn in_between_not() {
-        let s =
-            parse_select("SELECT a FROM t WHERE a IN (1, 2) AND b BETWEEN 0 AND 9 AND c NOT IN (3)")
-                .unwrap();
+        let s = parse_select(
+            "SELECT a FROM t WHERE a IN (1, 2) AND b BETWEEN 0 AND 9 AND c NOT IN (3)",
+        )
+        .unwrap();
         assert!(s.where_clause.is_some());
     }
 

@@ -152,7 +152,13 @@ impl LogicalPlan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         match self {
-            LogicalPlan::Scan { table, alias, filter, projection, .. } => {
+            LogicalPlan::Scan {
+                table,
+                alias,
+                filter,
+                projection,
+                ..
+            } => {
                 out.push_str(&format!("{pad}Scan {table} AS {alias}"));
                 if let Some(f) = filter {
                     out.push_str(&format!(" [filter: {f}]"));
@@ -163,19 +169,28 @@ impl LogicalPlan {
                 out.push('\n');
             }
             LogicalPlan::Materialized { name, table, .. } => {
-                out.push_str(&format!("{pad}Materialized {name} ({} rows)\n", table.len()));
+                out.push_str(&format!(
+                    "{pad}Materialized {name} ({} rows)\n",
+                    table.len()
+                ));
             }
             LogicalPlan::Filter { input, predicate } => {
                 out.push_str(&format!("{pad}Filter {predicate}\n"));
                 input.explain_into(out, depth + 1);
             }
             LogicalPlan::Project { input, exprs, .. } => {
-                let cols: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 out.push_str(&format!("{pad}Project {}\n", cols.join(", ")));
                 input.explain_into(out, depth + 1);
             }
-            LogicalPlan::Join { left, right, join_type, equi, residual, .. } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                equi,
+                residual,
+                ..
+            } => {
                 let kind = match join_type {
                     JoinType::Inner => "InnerJoin",
                     JoinType::Left => "LeftJoin",
@@ -189,13 +204,20 @@ impl LogicalPlan {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            LogicalPlan::Aggregate { input, group_exprs, aggregates, .. } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs,
+                aggregates,
+                ..
+            } => {
                 let groups: Vec<String> = group_exprs.iter().map(|e| e.to_string()).collect();
-                let aggs: Vec<String> =
-                    aggregates.iter().map(|(f, args)| {
+                let aggs: Vec<String> = aggregates
+                    .iter()
+                    .map(|(f, args)| {
                         let a: Vec<String> = args.iter().map(|e| e.to_string()).collect();
                         format!("{f}({})", a.join(", "))
-                    }).collect();
+                    })
+                    .collect();
                 out.push_str(&format!(
                     "{pad}Aggregate groups=[{}] aggs=[{}]\n",
                     groups.join(", "),
@@ -256,7 +278,12 @@ pub fn plan_select(stmt: &SelectStatement, db: &Database) -> Result<LogicalPlan,
 fn plan_single(stmt: &SelectStatement, db: &Database) -> Result<LogicalPlan, SqlError> {
     // FROM + JOINs.
     let mut plan = plan_table_ref(&stmt.from, db)?;
-    for AstJoin { join_type, table, on } in &stmt.joins {
+    for AstJoin {
+        join_type,
+        table,
+        on,
+    } in &stmt.joins
+    {
         let right = plan_table_ref(table, db)?;
         plan = build_join(plan, right, *join_type, on)?;
     }
@@ -264,10 +291,15 @@ fn plan_single(stmt: &SelectStatement, db: &Database) -> Result<LogicalPlan, Sql
     // WHERE.
     if let Some(w) = &stmt.where_clause {
         if w.contains_aggregate() {
-            return Err(SqlError::Binding("aggregates are not allowed in WHERE".into()));
+            return Err(SqlError::Binding(
+                "aggregates are not allowed in WHERE".into(),
+            ));
         }
         let predicate = w.bind(plan.schema())?;
-        plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate,
+        };
     }
 
     // Aggregation?
@@ -281,7 +313,9 @@ fn plan_single(stmt: &SelectStatement, db: &Database) -> Result<LogicalPlan, Sql
             plan_aggregate(stmt, plan)?
         } else {
             if stmt.having.is_some() {
-                return Err(SqlError::Binding("HAVING requires GROUP BY or aggregates".into()));
+                return Err(SqlError::Binding(
+                    "HAVING requires GROUP BY or aggregates".into(),
+                ));
             }
             let mut out = Vec::new();
             for p in &stmt.projections {
@@ -333,7 +367,10 @@ fn plan_single(stmt: &SelectStatement, db: &Database) -> Result<LogicalPlan, Sql
         }
     }
     if let Some(keys) = sort_below {
-        plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        plan = LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
     }
 
     // Final projection node.
@@ -343,18 +380,30 @@ fn plan_single(stmt: &SelectStatement, db: &Database) -> Result<LogicalPlan, Sql
             .map(|(_, name)| Column::new(name.clone(), ColumnType::Any))
             .collect(),
     );
-    plan = LogicalPlan::Project { input: Box::new(plan), exprs: projections, schema };
+    plan = LogicalPlan::Project {
+        input: Box::new(plan),
+        exprs: projections,
+        schema,
+    };
 
     if stmt.distinct {
-        plan = LogicalPlan::Distinct { input: Box::new(plan) };
+        plan = LogicalPlan::Distinct {
+            input: Box::new(plan),
+        };
     }
 
     if let Some(keys) = sort_above {
-        plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        plan = LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
     }
 
     if let Some(n) = stmt.limit {
-        plan = LogicalPlan::Limit { input: Box::new(plan), n };
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
     }
     Ok(plan)
 }
@@ -382,9 +431,21 @@ fn plan_table_ref(table_ref: &TableRef, db: &Database) -> Result<LogicalPlan, Sq
                 .columns()
                 .iter()
                 .enumerate()
-                .map(|(i, c)| (Expr::ColumnIdx { index: i, name: c.name.clone() }, c.name.clone()))
+                .map(|(i, c)| {
+                    (
+                        Expr::ColumnIdx {
+                            index: i,
+                            name: c.name.clone(),
+                        },
+                        c.name.clone(),
+                    )
+                })
                 .collect();
-            Ok(LogicalPlan::Project { input: Box::new(inner), exprs, schema })
+            Ok(LogicalPlan::Project {
+                input: Box::new(inner),
+                exprs,
+                schema,
+            })
         }
         TableRef::Function { name, args, alias } => {
             let f = db
@@ -395,15 +456,17 @@ fn plan_table_ref(table_ref: &TableRef, db: &Database) -> Result<LogicalPlan, Sq
             for a in args {
                 // Arguments must be constant at planning time.
                 let bound = a.bind(&Schema::new(vec![])).map_err(|_| {
-                    SqlError::Binding(format!(
-                        "table function {name} arguments must be constants"
-                    ))
+                    SqlError::Binding(format!("table function {name} arguments must be constants"))
                 })?;
                 values.push(bound.eval(&[])?);
             }
             let table = f(&values, db)?;
             let schema = table.schema.with_qualifier(alias);
-            Ok(LogicalPlan::Materialized { name: name.clone(), table: Arc::new(table), schema })
+            Ok(LogicalPlan::Materialized {
+                name: name.clone(),
+                table: Arc::new(table),
+                schema,
+            })
         }
     }
 }
@@ -421,7 +484,12 @@ fn build_join(
     let mut equi = Vec::new();
     let mut residual = Vec::new();
     for conjunct in split_conjuncts(on) {
-        if let Expr::Binary { op: crate::expr::BinOp::Eq, left: l, right: r } = &conjunct {
+        if let Expr::Binary {
+            op: crate::expr::BinOp::Eq,
+            left: l,
+            right: r,
+        } = &conjunct
+        {
             // Try binding each side exclusively to one input.
             let ll = l.bind(left.schema());
             let lr = l.bind(right.schema());
@@ -456,7 +524,11 @@ fn build_join(
 /// Flattens nested ANDs into a conjunct list.
 pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
     match expr {
-        Expr::Binary { op: crate::expr::BinOp::And, left, right } => {
+        Expr::Binary {
+            op: crate::expr::BinOp::And,
+            left,
+            right,
+        } => {
             let mut out = split_conjuncts(left);
             out.extend(split_conjuncts(right));
             out
@@ -499,7 +571,9 @@ fn plan_aggregate(
     let aggregates = agg_calls
         .iter()
         .map(|call| {
-            let Expr::Aggregate { func, args } = call else { unreachable!() };
+            let Expr::Aggregate { func, args } = call else {
+                unreachable!()
+            };
             let bound_args = args
                 .iter()
                 .map(|a| a.bind(&input_schema))
@@ -512,7 +586,14 @@ fn plan_aggregate(
     let mut columns = Vec::new();
     for (i, g) in stmt.group_by.iter().enumerate() {
         let name = g.default_name();
-        columns.push(Column::new(if name.is_empty() { format!("g{i}") } else { name }, ColumnType::Any));
+        columns.push(Column::new(
+            if name.is_empty() {
+                format!("g{i}")
+            } else {
+                name
+            },
+            ColumnType::Any,
+        ));
     }
     for (j, call) in agg_calls.iter().enumerate() {
         let _ = call;
@@ -537,10 +618,16 @@ fn plan_aggregate(
         group_len: usize,
     ) -> Result<Expr, SqlError> {
         if let Some(i) = group_by.iter().position(|g| g == e) {
-            return Ok(Expr::ColumnIdx { index: i, name: e.default_name() });
+            return Ok(Expr::ColumnIdx {
+                index: i,
+                name: e.default_name(),
+            });
         }
         if let Some(j) = agg_calls.iter().position(|a| a == e) {
-            return Ok(Expr::ColumnIdx { index: group_len + j, name: format!("agg{j}") });
+            return Ok(Expr::ColumnIdx {
+                index: group_len + j,
+                name: format!("agg{j}"),
+            });
         }
         match e {
             Expr::Column(name) => Err(SqlError::Binding(format!(
@@ -570,7 +657,11 @@ fn plan_aggregate(
                 expr: Box::new(rewrite_post_agg(expr, group_by, agg_calls, group_len)?),
                 negated: *negated,
             }),
-            Expr::InList { expr, list, negated } => Ok(Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Ok(Expr::InList {
                 expr: Box::new(rewrite_post_agg(expr, group_by, agg_calls, group_len)?),
                 list: list
                     .iter()
@@ -589,14 +680,19 @@ fn plan_aggregate(
     let mut plan = plan;
     if let Some(h) = &stmt.having {
         let predicate = rewrite_post_agg(h, &stmt.group_by, &agg_calls, group_len)?;
-        plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate,
+        };
     }
 
     let mut projections = Vec::new();
     for p in &stmt.projections {
         match p {
             Projection::Star => {
-                return Err(SqlError::Binding("SELECT * is not valid with GROUP BY".into()))
+                return Err(SqlError::Binding(
+                    "SELECT * is not valid with GROUP BY".into(),
+                ))
             }
             Projection::Expr { expr, alias } => {
                 let rewritten = rewrite_post_agg(expr, &stmt.group_by, &agg_calls, group_len)?;
@@ -670,12 +766,17 @@ mod tests {
         let p = plan("SELECT name FROM m JOIN sensors s ON m.sensor_id = s.id");
         let ex = p.explain();
         assert!(ex.contains("InnerJoin"), "{ex}");
-        assert!(ex.contains("m.sensor_id=s.id") || ex.contains("sensor_id=id"), "{ex}");
+        assert!(
+            ex.contains("m.sensor_id=s.id") || ex.contains("sensor_id=id"),
+            "{ex}"
+        );
     }
 
     #[test]
     fn aggregate_schema_and_having() {
-        let p = plan("SELECT sensor_id, AVG(value) AS a FROM m GROUP BY sensor_id HAVING AVG(value) > 60");
+        let p = plan(
+            "SELECT sensor_id, AVG(value) AS a FROM m GROUP BY sensor_id HAVING AVG(value) > 60",
+        );
         let ex = p.explain();
         assert!(ex.contains("Aggregate"), "{ex}");
         assert!(ex.contains("Filter"), "having became a filter: {ex}");
@@ -712,7 +813,8 @@ mod tests {
     #[test]
     fn union_arity_checked() {
         let err = plan_select(
-            &parse_select("SELECT sensor_id FROM m UNION ALL SELECT sensor_id, value FROM m").unwrap(),
+            &parse_select("SELECT sensor_id FROM m UNION ALL SELECT sensor_id, value FROM m")
+                .unwrap(),
             &db(),
         )
         .unwrap_err();
@@ -727,8 +829,11 @@ mod tests {
 
     #[test]
     fn unknown_table_function_rejected() {
-        let err =
-            plan_select(&parse_select("SELECT * FROM nosuchfn(1) AS w").unwrap(), &db()).unwrap_err();
+        let err = plan_select(
+            &parse_select("SELECT * FROM nosuchfn(1) AS w").unwrap(),
+            &db(),
+        )
+        .unwrap_err();
         assert!(matches!(err, SqlError::Binding(_)));
     }
 }

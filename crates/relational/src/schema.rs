@@ -25,15 +25,16 @@ pub enum ColumnType {
 impl ColumnType {
     /// True when a value inhabits this type (NULL inhabits every type).
     pub fn admits(&self, value: &Value) -> bool {
-        match (self, value) {
-            (_, Value::Null) | (ColumnType::Any, _) => true,
-            (ColumnType::Int, Value::Int(_)) => true,
-            (ColumnType::Float, Value::Float(_) | Value::Int(_)) => true,
-            (ColumnType::Text, Value::Text(_)) => true,
-            (ColumnType::Bool, Value::Bool(_)) => true,
-            (ColumnType::Timestamp, Value::Timestamp(_) | Value::Int(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Any, _)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_) | Value::Int(_))
+                | (ColumnType::Text, Value::Text(_))
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Timestamp, Value::Timestamp(_) | Value::Int(_))
+        )
     }
 }
 
@@ -63,7 +64,10 @@ pub struct Column {
 impl Column {
     /// Builds a column.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -79,13 +83,19 @@ impl Schema {
     /// Schema from unqualified columns.
     pub fn new(columns: Vec<Column>) -> Self {
         let qualifiers = vec![None; columns.len()];
-        Schema { columns, qualifiers }
+        Schema {
+            columns,
+            qualifiers,
+        }
     }
 
     /// Schema where every column carries the same qualifier.
     pub fn qualified(alias: &str, columns: Vec<Column>) -> Self {
         let qualifiers = vec![Some(alias.to_string()); columns.len()];
-        Schema { columns, qualifiers }
+        Schema {
+            columns,
+            qualifiers,
+        }
     }
 
     /// Number of columns.
@@ -122,7 +132,10 @@ impl Schema {
         columns.extend(other.columns.iter().cloned());
         let mut qualifiers = self.qualifiers.clone();
         qualifiers.extend(other.qualifiers.iter().cloned());
-        Schema { columns, qualifiers }
+        Schema {
+            columns,
+            qualifiers,
+        }
     }
 
     /// Resolves a possibly-qualified name to a column index.
@@ -179,7 +192,10 @@ mod tests {
     fn schema() -> Schema {
         Schema::qualified(
             "s",
-            vec![Column::new("id", ColumnType::Int), Column::new("value", ColumnType::Float)],
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("value", ColumnType::Float),
+            ],
         )
     }
 

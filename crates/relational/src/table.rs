@@ -20,7 +20,10 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Builds a table, validating row arity and column types.
@@ -156,17 +159,20 @@ impl Database {
 
     /// Hash index lookup, if one exists for `table.column`.
     pub fn hash_index(&self, table: &str, column: &str) -> Option<&Arc<HashIndex>> {
-        self.hash_indexes.get(&(table.to_string(), column.to_string()))
+        self.hash_indexes
+            .get(&(table.to_string(), column.to_string()))
     }
 
     /// B-tree index lookup, if one exists for `table.column`.
     pub fn btree_index(&self, table: &str, column: &str) -> Option<&Arc<BTreeIndex>> {
-        self.btree_indexes.get(&(table.to_string(), column.to_string()))
+        self.btree_indexes
+            .get(&(table.to_string(), column.to_string()))
     }
 
     /// Registers a table-valued function under `name` (case-insensitive).
     pub fn register_table_function(&mut self, name: impl Into<String>, f: TableFunction) {
-        self.table_functions.insert(name.into().to_ascii_lowercase(), f);
+        self.table_functions
+            .insert(name.into().to_ascii_lowercase(), f);
     }
 
     /// Fetches a table-valued function.
@@ -227,7 +233,9 @@ mod tests {
     #[test]
     fn type_mismatch_rejected() {
         let mut t = sensors();
-        let err = t.push_row(vec![Value::text("x"), Value::text("y")]).unwrap_err();
+        let err = t
+            .push_row(vec![Value::text("x"), Value::text("y")])
+            .unwrap_err();
         assert!(matches!(err, SqlError::Type(_)));
     }
 
@@ -237,7 +245,10 @@ mod tests {
         db.put_table("sensor", sensors());
         assert!(db.has_table("sensor"));
         assert_eq!(db.table("sensor").unwrap().len(), 2);
-        assert!(matches!(db.table("missing"), Err(SqlError::UnknownTable(_))));
+        assert!(matches!(
+            db.table("missing"),
+            Err(SqlError::UnknownTable(_))
+        ));
     }
 
     #[test]

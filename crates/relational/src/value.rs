@@ -230,8 +230,14 @@ mod tests {
 
     #[test]
     fn cross_numeric_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Timestamp(5).sql_eq(&Value::Int(5)), Some(true));
     }
 
@@ -243,7 +249,12 @@ mod tests {
 
     #[test]
     fn total_order_null_first() {
-        let mut vals = vec![Value::Int(1), Value::Null, Value::text("a"), Value::Float(-2.0)];
+        let mut vals = [
+            Value::Int(1),
+            Value::Null,
+            Value::text("a"),
+            Value::Float(-2.0),
+        ];
         vals.sort();
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Float(-2.0));

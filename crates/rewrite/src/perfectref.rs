@@ -35,7 +35,10 @@ pub struct RewriteSettings {
 
 impl Default for RewriteSettings {
     fn default() -> Self {
-        RewriteSettings { eliminate_subsumed: true, max_disjuncts: 100_000 }
+        RewriteSettings {
+            eliminate_subsumed: true,
+            max_disjuncts: 100_000,
+        }
     }
 }
 
@@ -138,7 +141,12 @@ pub fn rewrite(
         iterations,
         elapsed: start.elapsed(),
     };
-    Ok((UnionQuery { disjuncts: retained_queries }, stats))
+    Ok((
+        UnionQuery {
+            disjuncts: retained_queries,
+        },
+        stats,
+    ))
 }
 
 fn dedup_atoms(mut cq: ConjunctiveQuery) -> ConjunctiveQuery {
@@ -162,17 +170,17 @@ fn applicable_rewritings(
                 out.push(concept_to_atom(sub, arg.clone(), fresh));
             }
         }
-        Atom::Property { property, subject, object } => {
+        Atom::Property {
+            property,
+            subject,
+            object,
+        } => {
             // Role inclusions apply unconditionally.
             let named = Role::Named(property.clone());
             for sub in ontology.direct_sub_roles(&named) {
                 out.push(match sub {
-                    Role::Named(p) => {
-                        Atom::property(p.clone(), subject.clone(), object.clone())
-                    }
-                    Role::Inverse(p) => {
-                        Atom::property(p.clone(), object.clone(), subject.clone())
-                    }
+                    Role::Named(p) => Atom::property(p.clone(), subject.clone(), object.clone()),
+                    Role::Inverse(p) => Atom::property(p.clone(), object.clone(), subject.clone()),
                 });
             }
             // Concept inclusions into ∃P apply when the object is unbound…
@@ -223,8 +231,16 @@ fn unify(a: &Atom, b: &Atom, cq: &ConjunctiveQuery) -> Option<HashMap<String, Qu
             vec![(x1.clone(), x2.clone())]
         }
         (
-            Atom::Property { property: p1, subject: s1, object: o1 },
-            Atom::Property { property: p2, subject: s2, object: o2 },
+            Atom::Property {
+                property: p1,
+                subject: s1,
+                object: o1,
+            },
+            Atom::Property {
+                property: p2,
+                subject: s2,
+                object: o2,
+            },
         ) => {
             if p1 != p2 {
                 return None;
@@ -252,7 +268,8 @@ fn unify(a: &Atom, b: &Atom, cq: &ConjunctiveQuery) -> Option<HashMap<String, Qu
             continue;
         }
         let is_answer = |t: &QueryTerm| {
-            t.as_var().is_some_and(|v| cq.answer_vars.iter().any(|a| a == v))
+            t.as_var()
+                .is_some_and(|v| cq.answer_vars.iter().any(|a| a == v))
         };
         match (&l, &r) {
             (QueryTerm::Const(_), QueryTerm::Const(_)) => return None,
@@ -343,8 +360,16 @@ fn hom_search(
                 vec![(a1, a2)]
             }
             (
-                Atom::Property { property: p1, subject: s1, object: o1 },
-                Atom::Property { property: p2, subject: s2, object: o2 },
+                Atom::Property {
+                    property: p1,
+                    subject: s1,
+                    object: o1,
+                },
+                Atom::Property {
+                    property: p2,
+                    subject: s2,
+                    object: o2,
+                },
             ) if p1 == p2 => vec![(s1, s2), (o1, o2)],
             _ => continue,
         };
@@ -424,9 +449,9 @@ mod tests {
         let (ucq, _) = rewrite(&q, &o, &settings()).unwrap();
         assert_eq!(ucq.len(), 2);
         let has_role = ucq.disjuncts.iter().any(|cq| {
-            cq.atoms
-                .iter()
-                .any(|a| matches!(a, Atom::Property { property, .. } if property == &iri("inAssembly")))
+            cq.atoms.iter().any(
+                |a| matches!(a, Atom::Property { property, .. } if property == &iri("inAssembly")),
+            )
         });
         assert!(has_role);
     }
@@ -435,26 +460,39 @@ mod tests {
     fn mandatory_participation_rewrites_role_to_class() {
         // A ⊑ ∃p: query p(x, y) with y unbound rewrites to A(x).
         let mut o = Ontology::new();
-        o.add_axiom(Axiom::SubClass { sub: atomic("A"), sup: BasicConcept::exists(iri("p")) });
+        o.add_axiom(Axiom::SubClass {
+            sub: atomic("A"),
+            sup: BasicConcept::exists(iri("p")),
+        });
         let q = ConjunctiveQuery::new(
             vec!["x".into()],
-            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("y"))],
+            vec![Atom::property(
+                iri("p"),
+                QueryTerm::var("x"),
+                QueryTerm::var("y"),
+            )],
         );
         let (ucq, _) = rewrite(&q, &o, &settings()).unwrap();
-        assert!(ucq
-            .disjuncts
-            .iter()
-            .any(|cq| cq.atoms.contains(&Atom::class(iri("A"), QueryTerm::var("x")))));
+        assert!(ucq.disjuncts.iter().any(|cq| cq
+            .atoms
+            .contains(&Atom::class(iri("A"), QueryTerm::var("x")))));
     }
 
     #[test]
     fn bound_object_blocks_concept_rewriting() {
         let mut o = Ontology::new();
-        o.add_axiom(Axiom::SubClass { sub: atomic("A"), sup: BasicConcept::exists(iri("p")) });
+        o.add_axiom(Axiom::SubClass {
+            sub: atomic("A"),
+            sup: BasicConcept::exists(iri("p")),
+        });
         // y is distinguished, so p(x, y) may NOT be rewritten to A(x).
         let q = ConjunctiveQuery::new(
             vec!["x".into(), "y".into()],
-            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("y"))],
+            vec![Atom::property(
+                iri("p"),
+                QueryTerm::var("x"),
+                QueryTerm::var("y"),
+            )],
         );
         let (ucq, _) = rewrite(&q, &o, &settings()).unwrap();
         assert_eq!(ucq.len(), 1, "no rewriting applicable");
@@ -463,10 +501,17 @@ mod tests {
     #[test]
     fn role_hierarchy_expands() {
         let mut o = Ontology::new();
-        o.add_axiom(Axiom::subrole(Role::named(iri("partOf")), Role::named(iri("locatedIn"))));
+        o.add_axiom(Axiom::subrole(
+            Role::named(iri("partOf")),
+            Role::named(iri("locatedIn")),
+        ));
         let q = ConjunctiveQuery::new(
             vec!["x".into(), "y".into()],
-            vec![Atom::property(iri("locatedIn"), QueryTerm::var("x"), QueryTerm::var("y"))],
+            vec![Atom::property(
+                iri("locatedIn"),
+                QueryTerm::var("x"),
+                QueryTerm::var("y"),
+            )],
         );
         let (ucq, _) = rewrite(&q, &o, &settings()).unwrap();
         assert_eq!(ucq.len(), 2);
@@ -480,12 +525,21 @@ mod tests {
         }
         let q = ConjunctiveQuery::new(
             vec!["x".into(), "y".into()],
-            vec![Atom::property(iri("hasPart"), QueryTerm::var("x"), QueryTerm::var("y"))],
+            vec![Atom::property(
+                iri("hasPart"),
+                QueryTerm::var("x"),
+                QueryTerm::var("y"),
+            )],
         );
         let (ucq, _) = rewrite(&q, &o, &settings()).unwrap();
-        assert!(ucq.disjuncts.iter().any(|cq| cq
-            .atoms
-            .contains(&Atom::property(iri("partOf"), QueryTerm::var("y"), QueryTerm::var("x")))));
+        assert!(ucq
+            .disjuncts
+            .iter()
+            .any(|cq| cq.atoms.contains(&Atom::property(
+                iri("partOf"),
+                QueryTerm::var("y"),
+                QueryTerm::var("x")
+            ))));
     }
 
     #[test]
@@ -493,7 +547,10 @@ mod tests {
         // Classic PerfectRef example: q(x) ← p(x,y) ∧ p(z,y) — reduce unifies
         // the two atoms (making y unbound), then A ⊑ ∃p applies.
         let mut o = Ontology::new();
-        o.add_axiom(Axiom::SubClass { sub: atomic("A"), sup: BasicConcept::exists(iri("p")) });
+        o.add_axiom(Axiom::SubClass {
+            sub: atomic("A"),
+            sup: BasicConcept::exists(iri("p")),
+        });
         let q = ConjunctiveQuery::new(
             vec!["x".into()],
             vec![
@@ -502,10 +559,9 @@ mod tests {
             ],
         );
         let (ucq, _) = rewrite(&q, &o, &settings()).unwrap();
-        assert!(ucq
-            .disjuncts
-            .iter()
-            .any(|cq| cq.atoms.contains(&Atom::class(iri("A"), QueryTerm::var("x")))));
+        assert!(ucq.disjuncts.iter().any(|cq| cq
+            .atoms
+            .contains(&Atom::class(iri("A"), QueryTerm::var("x")))));
     }
 
     #[test]
@@ -525,7 +581,10 @@ mod tests {
         let (without, _) = rewrite(
             &q,
             &o,
-            &RewriteSettings { eliminate_subsumed: false, ..settings() },
+            &RewriteSettings {
+                eliminate_subsumed: false,
+                ..settings()
+            },
         )
         .unwrap();
         assert!(with.len() < without.len());
@@ -570,7 +629,10 @@ mod tests {
         let err = rewrite(
             &q,
             &o,
-            &RewriteSettings { max_disjuncts: 10, ..settings() },
+            &RewriteSettings {
+                max_disjuncts: 10,
+                ..settings()
+            },
         )
         .unwrap_err();
         assert_eq!(err, RewriteError::TooManyDisjuncts(10));
@@ -586,12 +648,26 @@ mod tests {
         o.add_axiom(Axiom::subclass(atomic("TempSensor"), atomic("Sensor")));
         o.add_axiom(Axiom::domain(iri("inAssembly"), atomic("Sensor")));
         o.add_axiom(Axiom::range(iri("inAssembly"), atomic("Assembly")));
-        o.add_axiom(Axiom::subrole(Role::named(iri("partOf")), Role::named(iri("locatedIn"))));
+        o.add_axiom(Axiom::subrole(
+            Role::named(iri("partOf")),
+            Role::named(iri("locatedIn")),
+        ));
 
         let mut g = Graph::new();
-        g.insert(Triple::class_assertion(Term::iri("http://x/s1"), iri("TempSensor")));
-        g.insert(Triple::new(Term::iri("http://x/s2"), iri("inAssembly"), Term::iri("http://x/a1")));
-        g.insert(Triple::new(Term::iri("http://x/a1"), iri("partOf"), Term::iri("http://x/t1")));
+        g.insert(Triple::class_assertion(
+            Term::iri("http://x/s1"),
+            iri("TempSensor"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://x/s2"),
+            iri("inAssembly"),
+            Term::iri("http://x/a1"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://x/a1"),
+            iri("partOf"),
+            Term::iri("http://x/t1"),
+        ));
 
         let q = ConjunctiveQuery::new(
             vec!["x".into()],

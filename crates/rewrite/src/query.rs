@@ -69,26 +69,42 @@ pub enum Atom {
 impl Atom {
     /// Class-membership atom.
     pub fn class(class: impl Into<Iri>, arg: QueryTerm) -> Self {
-        Atom::Class { class: class.into(), arg }
+        Atom::Class {
+            class: class.into(),
+            arg,
+        }
     }
 
     /// Property atom.
     pub fn property(property: impl Into<Iri>, subject: QueryTerm, object: QueryTerm) -> Self {
-        Atom::Property { property: property.into(), subject, object }
+        Atom::Property {
+            property: property.into(),
+            subject,
+            object,
+        }
     }
 
     /// The terms of the atom, in positional order.
     pub fn terms(&self) -> Vec<&QueryTerm> {
         match self {
             Atom::Class { arg, .. } => vec![arg],
-            Atom::Property { subject, object, .. } => vec![subject, object],
+            Atom::Property {
+                subject, object, ..
+            } => vec![subject, object],
         }
     }
 
     fn map_terms(&self, f: &mut impl FnMut(&QueryTerm) -> QueryTerm) -> Atom {
         match self {
-            Atom::Class { class, arg } => Atom::Class { class: class.clone(), arg: f(arg) },
-            Atom::Property { property, subject, object } => Atom::Property {
+            Atom::Class { class, arg } => Atom::Class {
+                class: class.clone(),
+                arg: f(arg),
+            },
+            Atom::Property {
+                property,
+                subject,
+                object,
+            } => Atom::Property {
                 property: property.clone(),
                 subject: f(subject),
                 object: f(object),
@@ -101,7 +117,11 @@ impl fmt::Display for Atom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Atom::Class { class, arg } => write!(f, "{class}({arg})"),
-            Atom::Property { property, subject, object } => {
+            Atom::Property {
+                property,
+                subject,
+                object,
+            } => {
                 write!(f, "{property}({subject}, {object})")
             }
         }
@@ -164,7 +184,10 @@ impl ConjunctiveQuery {
             .map(|a| a.map_terms(&mut f))
             .filter(|a| seen.insert(a.clone()))
             .collect();
-        ConjunctiveQuery { answer_vars: self.answer_vars.clone(), atoms }
+        ConjunctiveQuery {
+            answer_vars: self.answer_vars.clone(),
+            atoms,
+        }
     }
 
     /// A canonical string key: variables renamed by first occurrence over
@@ -288,7 +311,11 @@ impl ConjunctiveQuery {
                 }
                 (pattern, vec![var])
             }
-            Atom::Property { property, subject, object } => {
+            Atom::Property {
+                property,
+                subject,
+                object,
+            } => {
                 let (s_bound, s_var) = resolve(subject);
                 let (o_bound, o_var) = resolve(object);
                 let mut pattern = TriplePattern::any().with_predicate(property.clone());
@@ -341,7 +368,9 @@ pub struct UnionQuery {
 impl UnionQuery {
     /// Wraps a single CQ.
     pub fn single(cq: ConjunctiveQuery) -> Self {
-        UnionQuery { disjuncts: vec![cq] }
+        UnionQuery {
+            disjuncts: vec![cq],
+        }
     }
 
     /// Number of disjuncts.
@@ -387,11 +416,29 @@ mod tests {
 
     fn graph() -> Graph {
         let mut g = Graph::new();
-        g.insert(Triple::class_assertion(Term::iri("http://x/s1"), iri("Sensor")));
-        g.insert(Triple::class_assertion(Term::iri("http://x/s2"), iri("Sensor")));
-        g.insert(Triple::new(Term::iri("http://x/s1"), iri("inAssembly"), Term::iri("http://x/a1")));
-        g.insert(Triple::new(Term::iri("http://x/s2"), iri("inAssembly"), Term::iri("http://x/a2")));
-        g.insert(Triple::new(Term::iri("http://x/s1"), iri("hasValue"), Term::Literal(Literal::double(91.0))));
+        g.insert(Triple::class_assertion(
+            Term::iri("http://x/s1"),
+            iri("Sensor"),
+        ));
+        g.insert(Triple::class_assertion(
+            Term::iri("http://x/s2"),
+            iri("Sensor"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://x/s1"),
+            iri("inAssembly"),
+            Term::iri("http://x/a1"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://x/s2"),
+            iri("inAssembly"),
+            Term::iri("http://x/a2"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://x/s1"),
+            iri("hasValue"),
+            Term::Literal(Literal::double(91.0)),
+        ));
         g
     }
 
@@ -449,10 +496,17 @@ mod tests {
     fn boundness() {
         let q = ConjunctiveQuery::new(
             vec!["x".into()],
-            vec![Atom::property(iri("inAssembly"), QueryTerm::var("x"), QueryTerm::var("y"))],
+            vec![Atom::property(
+                iri("inAssembly"),
+                QueryTerm::var("x"),
+                QueryTerm::var("y"),
+            )],
         );
         assert!(q.is_bound(&QueryTerm::var("x")), "answer var is bound");
-        assert!(!q.is_bound(&QueryTerm::var("y")), "single-occurrence existential is unbound");
+        assert!(
+            !q.is_bound(&QueryTerm::var("y")),
+            "single-occurrence existential is unbound"
+        );
         assert!(q.is_bound(&QueryTerm::Const(Term::iri("http://x/c"))));
     }
 
@@ -474,11 +528,19 @@ mod tests {
     fn canonical_key_alpha_invariant() {
         let q1 = ConjunctiveQuery::new(
             vec!["x".into()],
-            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("y"))],
+            vec![Atom::property(
+                iri("p"),
+                QueryTerm::var("x"),
+                QueryTerm::var("y"),
+            )],
         );
         let q2 = ConjunctiveQuery::new(
             vec!["x".into()],
-            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("z"))],
+            vec![Atom::property(
+                iri("p"),
+                QueryTerm::var("x"),
+                QueryTerm::var("z"),
+            )],
         );
         assert_eq!(q1.canonical_key(), q2.canonical_key());
     }
@@ -487,11 +549,19 @@ mod tests {
     fn canonical_key_distinguishes_shapes() {
         let q1 = ConjunctiveQuery::new(
             vec!["x".into()],
-            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("y"))],
+            vec![Atom::property(
+                iri("p"),
+                QueryTerm::var("x"),
+                QueryTerm::var("y"),
+            )],
         );
         let q2 = ConjunctiveQuery::new(
             vec!["x".into()],
-            vec![Atom::property(iri("p"), QueryTerm::var("x"), QueryTerm::var("x"))],
+            vec![Atom::property(
+                iri("p"),
+                QueryTerm::var("x"),
+                QueryTerm::var("x"),
+            )],
         );
         assert_ne!(q1.canonical_key(), q2.canonical_key());
     }
@@ -504,9 +574,19 @@ mod tests {
         );
         let q2 = ConjunctiveQuery::new(
             vec!["x".into()],
-            vec![Atom::property(iri("hasValue"), QueryTerm::var("x"), QueryTerm::var("v"))],
+            vec![Atom::property(
+                iri("hasValue"),
+                QueryTerm::var("x"),
+                QueryTerm::var("v"),
+            )],
         );
-        let u = UnionQuery { disjuncts: vec![q1, q2] };
-        assert_eq!(u.evaluate(&graph()).len(), 2, "s1 appears once despite matching twice");
+        let u = UnionQuery {
+            disjuncts: vec![q1, q2],
+        };
+        assert_eq!(
+            u.evaluate(&graph()).len(),
+            2,
+            "s1 appears once despite matching twice"
+        );
     }
 }

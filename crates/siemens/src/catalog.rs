@@ -46,7 +46,13 @@ fn prelude(out: &str) -> String {
     )
 }
 
-fn monotonic_task(out: &str, sensor_class: &str, range: &str, slide: &str, increase: bool) -> String {
+fn monotonic_task(
+    out: &str,
+    sensor_class: &str,
+    range: &str,
+    slide: &str,
+    increase: bool,
+) -> String {
     let op = if increase { "<=" } else { ">=" };
     let marker = if increase { ":MonInc" } else { ":MonDec" };
     format!(
@@ -100,10 +106,16 @@ fn flatline_task(out: &str, sensor_class: &str, range: &str) -> String {
 pub fn diagnostic_tasks() -> Vec<DiagnosticTask> {
     let mut tasks = Vec::with_capacity(20);
     let mut id = 0usize;
-    let mut push = |name: String, description: String, query: TaskQuery, tasks: &mut Vec<DiagnosticTask>| {
-        id += 1;
-        tasks.push(DiagnosticTask { id: format!("T{id:02}"), name, description, query });
-    };
+    let mut push =
+        |name: String, description: String, query: TaskQuery, tasks: &mut Vec<DiagnosticTask>| {
+            id += 1;
+            tasks.push(DiagnosticTask {
+                id: format!("T{id:02}"),
+                name,
+                description,
+                query,
+            });
+        };
 
     // T01–T04: the Figure 1 task over the four sensor kinds.
     for (class, label) in SENSOR_KINDS {
@@ -257,7 +269,9 @@ mod tests {
     fn macro_expansion_works_for_every_monotonic_task() {
         let ns = namespaces();
         for task in diagnostic_tasks() {
-            let TaskQuery::StarQl(text) = &task.query else { continue };
+            let TaskQuery::StarQl(text) = &task.query else {
+                continue;
+            };
             if !text.contains("MONOTONIC") {
                 continue;
             }

@@ -38,8 +38,11 @@ impl SiemensDeployment {
     pub fn build(fleet: FleetConfig, stream_sensors: usize) -> Result<Self, String> {
         let mut db = Database::new();
         let sensor_ids = build_fleet(&mut db, &fleet).map_err(|e| e.to_string())?;
-        let streamed: Vec<i64> =
-            sensor_ids.iter().copied().take(stream_sensors.max(1)).collect();
+        let streamed: Vec<i64> = sensor_ids
+            .iter()
+            .copied()
+            .take(stream_sensors.max(1))
+            .collect();
         let stream_config = StreamConfig::small(streamed);
         let ground_truth = build_stream(&mut db, &stream_config).map_err(|e| e.to_string())?;
         optique_stream::register_stream_functions(&mut db);
@@ -88,7 +91,10 @@ mod tests {
         let d = SiemensDeployment::small();
         // The stream mints sensor IRIs in the same shape the static
         // mappings use — joins between stream and static sides depend on it.
-        let from_stream = d.stream_to_rdf.subject.render(&optique_relational::Value::Int(7));
+        let from_stream = d
+            .stream_to_rdf
+            .subject
+            .render(&optique_relational::Value::Int(7));
         let graph = optique_mapping::materialize_catalog(&d.mappings, &d.db).unwrap();
         assert!(graph
             .instances_of(&sie("Sensor"))

@@ -24,12 +24,22 @@ impl FleetConfig {
     /// The paper's demo scale: 950 turbines × 8 assemblies × 14 sensors
     /// ≈ 106,400 sensors.
     pub fn demo() -> Self {
-        FleetConfig { turbines: 950, assemblies_per_turbine: 8, sensors_per_assembly: 14, seed: 2016 }
+        FleetConfig {
+            turbines: 950,
+            assemblies_per_turbine: 8,
+            sensors_per_assembly: 14,
+            seed: 2016,
+        }
     }
 
     /// A laptop-test scale.
     pub fn small() -> Self {
-        FleetConfig { turbines: 10, assemblies_per_turbine: 2, sensors_per_assembly: 3, seed: 2016 }
+        FleetConfig {
+            turbines: 10,
+            assemblies_per_turbine: 2,
+            sensors_per_assembly: 3,
+            seed: 2016,
+        }
     }
 
     /// Total sensor count.
@@ -56,7 +66,11 @@ pub fn build_fleet(db: &mut Database, config: &FleetConfig) -> Result<Vec<i64>, 
         .collect();
     db.put_table(
         "countries",
-        table_of("countries", &[("id", ColumnType::Int), ("name", ColumnType::Text)], countries)?,
+        table_of(
+            "countries",
+            &[("id", ColumnType::Int), ("name", ColumnType::Text)],
+            countries,
+        )?,
     );
 
     let mut turbines = Vec::with_capacity(config.turbines);
@@ -72,7 +86,11 @@ pub fn build_fleet(db: &mut Database, config: &FleetConfig) -> Result<Vec<i64>, 
         let model = MODELS[rng.random_range(0..MODELS.len())];
         let country = rng.random_range(1..=COUNTRIES.len() as i64);
         let built = rng.random_range(2002..=2011i64);
-        let kind = if model.starts_with("SST") { "steam" } else { "gas" };
+        let kind = if model.starts_with("SST") {
+            "steam"
+        } else {
+            "gas"
+        };
         turbines.push(vec![
             Value::Int(t),
             Value::text(model),
@@ -86,7 +104,7 @@ pub fn build_fleet(db: &mut Database, config: &FleetConfig) -> Result<Vec<i64>, 
                 Value::Int(eid),
                 Value::Int(t),
                 Value::Timestamp(rng.random_range(0..86_400_000i64)),
-                Value::text(["inspection", "repair", "overhaul"][rng.random_range(0..3)]),
+                Value::text(["inspection", "repair", "overhaul"][rng.random_range(0..3usize)]),
             ]);
             eid += 1;
         }
@@ -121,7 +139,11 @@ pub fn build_fleet(db: &mut Database, config: &FleetConfig) -> Result<Vec<i64>, 
         "assemblies",
         table_of(
             "assemblies",
-            &[("aid", ColumnType::Int), ("tid", ColumnType::Int), ("kind", ColumnType::Text)],
+            &[
+                ("aid", ColumnType::Int),
+                ("tid", ColumnType::Int),
+                ("kind", ColumnType::Text),
+            ],
             assemblies,
         )?,
     );
@@ -129,7 +151,11 @@ pub fn build_fleet(db: &mut Database, config: &FleetConfig) -> Result<Vec<i64>, 
         "sensors",
         table_of(
             "sensors",
-            &[("sid", ColumnType::Int), ("aid", ColumnType::Int), ("kind", ColumnType::Text)],
+            &[
+                ("sid", ColumnType::Int),
+                ("aid", ColumnType::Int),
+                ("kind", ColumnType::Text),
+            ],
             sensors.clone(),
         )?,
     );
@@ -141,7 +167,7 @@ pub fn build_fleet(db: &mut Database, config: &FleetConfig) -> Result<Vec<i64>, 
         let rows: Vec<Vec<Value>> = sensors
             .iter()
             .filter(|row| (row[0].as_i64().unwrap() % 3) as usize == region)
-            .map(|row| row.clone())
+            .cloned()
             .collect();
         db.put_table(
             format!("sensors_{table_name}"),
@@ -176,8 +202,11 @@ pub fn build_fleet(db: &mut Database, config: &FleetConfig) -> Result<Vec<i64>, 
 pub fn fleet_schema() -> RelationalSchema {
     RelationalSchema::new()
         .with_table(
-            RelTable::new("countries", vec![("id", ColumnType::Int), ("name", ColumnType::Text)])
-                .with_pk(&["id"]),
+            RelTable::new(
+                "countries",
+                vec![("id", ColumnType::Int), ("name", ColumnType::Text)],
+            )
+            .with_pk(&["id"]),
         )
         .with_table(
             RelTable::new(
@@ -196,7 +225,11 @@ pub fn fleet_schema() -> RelationalSchema {
         .with_table(
             RelTable::new(
                 "assemblies",
-                vec![("aid", ColumnType::Int), ("tid", ColumnType::Int), ("kind", ColumnType::Text)],
+                vec![
+                    ("aid", ColumnType::Int),
+                    ("tid", ColumnType::Int),
+                    ("kind", ColumnType::Text),
+                ],
             )
             .with_pk(&["aid"])
             .with_fk("tid", "turbines", "tid"),
@@ -204,7 +237,11 @@ pub fn fleet_schema() -> RelationalSchema {
         .with_table(
             RelTable::new(
                 "sensors",
-                vec![("sid", ColumnType::Int), ("aid", ColumnType::Int), ("kind", ColumnType::Text)],
+                vec![
+                    ("sid", ColumnType::Int),
+                    ("aid", ColumnType::Int),
+                    ("kind", ColumnType::Text),
+                ],
             )
             .with_pk(&["sid"])
             .with_fk("aid", "assemblies", "aid"),
@@ -245,14 +282,20 @@ mod tests {
         let mut b = Database::new();
         build_fleet(&mut a, &FleetConfig::small()).unwrap();
         build_fleet(&mut b, &FleetConfig::small()).unwrap();
-        assert_eq!(a.table("turbines").unwrap().rows, b.table("turbines").unwrap().rows);
+        assert_eq!(
+            a.table("turbines").unwrap().rows,
+            b.table("turbines").unwrap().rows
+        );
     }
 
     #[test]
     fn demo_scale_matches_paper() {
         let c = FleetConfig::demo();
         assert_eq!(c.turbines, 950);
-        assert!(c.sensor_count() > 100_000, "paper: more than 100,000 sensors");
+        assert!(
+            c.sensor_count() > 100_000,
+            "paper: more than 100,000 sensors"
+        );
     }
 
     #[test]
@@ -276,6 +319,10 @@ mod tests {
             &db,
         )
         .unwrap();
-        assert_eq!(t.rows[0][0], Value::Int(60), "every sensor joins through to a country");
+        assert_eq!(
+            t.rows[0][0],
+            Value::Int(60),
+            "every sensor joins through to a country"
+        );
     }
 }

@@ -32,17 +32,40 @@ pub fn siemens_ontology() -> Ontology {
     let class = BasicConcept::atomic;
 
     // Equipment taxonomy.
-    o.add_axiom(Axiom::subclass(class(sie("GasTurbine")), class(sie("Turbine"))));
-    o.add_axiom(Axiom::subclass(class(sie("SteamTurbine")), class(sie("Turbine"))));
-    o.add_axiom(Axiom::subclass(class(sie("Turbine")), class(sie("PowerGeneratingAppliance"))));
-    o.add_axiom(Axiom::subclass(class(sie("Assembly")), class(sie("EquipmentPart"))));
-    o.add_axiom(Axiom::DisjointClasses(class(sie("Turbine")), class(sie("Sensor"))));
+    o.add_axiom(Axiom::subclass(
+        class(sie("GasTurbine")),
+        class(sie("Turbine")),
+    ));
+    o.add_axiom(Axiom::subclass(
+        class(sie("SteamTurbine")),
+        class(sie("Turbine")),
+    ));
+    o.add_axiom(Axiom::subclass(
+        class(sie("Turbine")),
+        class(sie("PowerGeneratingAppliance")),
+    ));
+    o.add_axiom(Axiom::subclass(
+        class(sie("Assembly")),
+        class(sie("EquipmentPart")),
+    ));
+    o.add_axiom(Axiom::DisjointClasses(
+        class(sie("Turbine")),
+        class(sie("Sensor")),
+    ));
 
     // Sensor taxonomy.
-    for kind in ["TemperatureSensor", "PressureSensor", "RotorSpeedSensor", "VibrationSensor"] {
+    for kind in [
+        "TemperatureSensor",
+        "PressureSensor",
+        "RotorSpeedSensor",
+        "VibrationSensor",
+    ] {
         o.add_axiom(Axiom::subclass(class(sie(kind)), class(sie("Sensor"))));
     }
-    o.add_axiom(Axiom::subclass(class(sie("Sensor")), class(sie("MonitoringDevice"))));
+    o.add_axiom(Axiom::subclass(
+        class(sie("Sensor")),
+        class(sie("MonitoringDevice")),
+    ));
 
     // Part-whole roles. NOTE the paper's Figure 1 reads
     // `?c1 sie:inAssembly ?c2` with ?c1 the assembly and ?c2 the sensor, so
@@ -71,10 +94,22 @@ pub fn siemens_ontology() -> Ontology {
     });
 
     // Event classes raised on streams.
-    o.add_axiom(Axiom::subclass(class(sie("showsFailure")), class(sie("DiagnosticMessage"))));
-    o.add_axiom(Axiom::subclass(class(sie("MonInc")), class(sie("DiagnosticMessage"))));
-    o.add_axiom(Axiom::subclass(class(sie("Overheats")), class(sie("DiagnosticMessage"))));
-    o.add_axiom(Axiom::subclass(class(sie("Flatline")), class(sie("DiagnosticMessage"))));
+    o.add_axiom(Axiom::subclass(
+        class(sie("showsFailure")),
+        class(sie("DiagnosticMessage")),
+    ));
+    o.add_axiom(Axiom::subclass(
+        class(sie("MonInc")),
+        class(sie("DiagnosticMessage")),
+    ));
+    o.add_axiom(Axiom::subclass(
+        class(sie("Overheats")),
+        class(sie("DiagnosticMessage")),
+    ));
+    o.add_axiom(Axiom::subclass(
+        class(sie("Flatline")),
+        class(sie("DiagnosticMessage")),
+    ));
 
     // Mandatory participation: every sensor sits in an assembly.
     o.add_axiom(Axiom::SubClass {
@@ -178,9 +213,7 @@ pub fn siemens_mappings() -> MappingCatalog {
                 MappingAssertion::class(
                     format!("sie:{class_name}/{region}"),
                     sie(class_name),
-                    format!(
-                        "SELECT sensor_no FROM sensors_{region} WHERE sensor_kind = '{kind}'"
-                    ),
+                    format!("SELECT sensor_no FROM sensors_{region} WHERE sensor_kind = '{kind}'"),
                     TermMap::template(&t("sensor", "sensor_no")),
                 )
                 .with_key(vec!["sensor_no".into()]),
@@ -295,7 +328,11 @@ mod tests {
         let mut db = optique_relational::Database::new();
         build_fleet(&mut db, &FleetConfig::small()).unwrap();
         let graph = optique_mapping::materialize_catalog(&siemens_mappings(), &db).unwrap();
-        assert!(graph.len() > 100, "virtual graph has {} triples", graph.len());
+        assert!(
+            graph.len() > 100,
+            "virtual graph has {} triples",
+            graph.len()
+        );
         // Every sensor instance is present.
         assert_eq!(graph.instances_of(&sie("Sensor")).len(), 60);
     }

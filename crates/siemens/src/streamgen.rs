@@ -91,15 +91,18 @@ pub fn build_stream(db: &mut Database, config: &StreamConfig) -> Result<GroundTr
     for p in 0..config.correlated_pairs.min(n / 2) {
         let a = 2 * p;
         let b = 2 * p + 1;
-        let latent: Vec<f64> =
-            (0..steps).map(|k| 50.0 + 10.0 * ((k as f64) * 0.21 + p as f64).sin()).collect();
+        let latent: Vec<f64> = (0..steps)
+            .map(|k| 50.0 + 10.0 * ((k as f64) * 0.21 + p as f64).sin())
+            .collect();
         for k in 0..steps {
             values[a][k] = latent[k] + rng.random_range(-0.5..0.5);
             values[b][k] = latent[k] * 0.8 + 20.0 + rng.random_range(-0.5..0.5);
         }
         used.push(a);
         used.push(b);
-        truth.correlated_pairs.push((config.sensor_ids[a], config.sensor_ids[b]));
+        truth
+            .correlated_pairs
+            .push((config.sensor_ids[a], config.sensor_ids[b]));
     }
 
     // Plant monotonic ramps ending in failures.
@@ -116,9 +119,10 @@ pub fn build_stream(db: &mut Database, config: &StreamConfig) -> Result<GroundTr
             values[s][k] = 60.0 + (j as f64) * 2.5;
         }
         events[s][end] = Some("failure");
-        truth
-            .ramp_failures
-            .push((config.sensor_ids[s], config.start_ms + (end as i64) * config.period_ms));
+        truth.ramp_failures.push((
+            config.sensor_ids[s],
+            config.start_ms + (end as i64) * config.period_ms,
+        ));
         used.push(s);
     }
 
@@ -127,12 +131,13 @@ pub fn build_stream(db: &mut Database, config: &StreamConfig) -> Result<GroundTr
         let Some(s) = next_free(&used, n) else { break };
         let _ = h;
         let begin = steps / 3;
-        for k in begin..(begin + 5).min(steps) {
-            values[s][k] = 96.0 + rng.random_range(0.0..3.0);
+        for value in values[s][begin..(begin + 5).min(steps)].iter_mut() {
+            *value = 96.0 + rng.random_range(0.0..3.0);
         }
-        truth
-            .hot_bursts
-            .push((config.sensor_ids[s], config.start_ms + (begin as i64) * config.period_ms));
+        truth.hot_bursts.push((
+            config.sensor_ids[s],
+            config.start_ms + (begin as i64) * config.period_ms,
+        ));
         used.push(s);
     }
 
@@ -264,6 +269,9 @@ mod tests {
         let config = StreamConfig::small((0..8).collect());
         build_stream(&mut a, &config).unwrap();
         build_stream(&mut b, &config).unwrap();
-        assert_eq!(a.table("S_Msmt").unwrap().rows, b.table("S_Msmt").unwrap().rows);
+        assert_eq!(
+            a.table("S_Msmt").unwrap().rows,
+            b.table("S_Msmt").unwrap().rows
+        );
     }
 }

@@ -1,0 +1,378 @@
+//! The SPARQL algebra (in the style of oxigraph's `spargebra`).
+//!
+//! A parsed query is a [`Query`]: a query form (`SELECT` / `ASK`) over a
+//! [`GroupPattern`] — a sequence of pattern elements (triples blocks,
+//! `OPTIONAL`, `UNION`, nested groups, `FILTER`s) — plus solution
+//! modifiers. Basic graph patterns reuse the conjunctive-query atoms of
+//! `optique_rewrite`, which makes the hand-off to PerfectRef rewriting a
+//! plain move.
+
+use std::fmt;
+
+use optique_rdf::Term;
+use optique_rewrite::{Atom, QueryTerm};
+
+/// A parsed SPARQL query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// `SELECT … WHERE { … }` with modifiers.
+    Select(SelectQuery),
+    /// `ASK { … }`.
+    Ask(AskQuery),
+}
+
+impl Query {
+    /// The query's WHERE pattern.
+    pub fn pattern(&self) -> &GroupPattern {
+        match self {
+            Query::Select(q) => &q.pattern,
+            Query::Ask(q) => &q.pattern,
+        }
+    }
+}
+
+/// A `SELECT` query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectQuery {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection: named items, or `*` (all pattern variables).
+    pub projection: Projection,
+    /// The WHERE group pattern.
+    pub pattern: GroupPattern,
+    /// `GROUP BY` variables (non-empty implies aggregate projection).
+    pub group_by: Vec<String>,
+    /// ORDER / LIMIT / OFFSET.
+    pub modifiers: SolutionModifier,
+}
+
+/// An `ASK` query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AskQuery {
+    /// The pattern whose satisfiability is asked.
+    pub pattern: GroupPattern,
+}
+
+/// The SELECT clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Projection {
+    /// `SELECT *` — every visible pattern variable, in first-seen order.
+    All,
+    /// Explicit items (plain variables and/or aggregates).
+    Items(Vec<SelectItem>),
+}
+
+/// One projected column.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `?v`.
+    Var(String),
+    /// `(AGG(…) AS ?alias)`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggregateFunction,
+        /// `AGG(DISTINCT …)`?
+        distinct: bool,
+        /// The aggregated variable; `None` for `COUNT(*)`.
+        var: Option<String>,
+        /// The output column name.
+        alias: String,
+    },
+}
+
+impl SelectItem {
+    /// The output column name of this item.
+    pub fn name(&self) -> &str {
+        match self {
+            SelectItem::Var(v) => v,
+            SelectItem::Aggregate { alias, .. } => alias,
+        }
+    }
+}
+
+/// Supported aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregateFunction {
+    /// Row / value count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Minimum by term order.
+    Min,
+    /// Maximum by term order.
+    Max,
+}
+
+impl fmt::Display for AggregateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggregateFunction::Count => "COUNT",
+            AggregateFunction::Sum => "SUM",
+            AggregateFunction::Avg => "AVG",
+            AggregateFunction::Min => "MIN",
+            AggregateFunction::Max => "MAX",
+        })
+    }
+}
+
+/// A group graph pattern: the contents of one `{ … }`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GroupPattern {
+    /// Elements in source order. FILTERs apply to the whole group.
+    pub elements: Vec<PatternElement>,
+}
+
+/// One element of a group pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PatternElement {
+    /// A basic graph pattern (consecutive triples).
+    Triples(Vec<Atom>),
+    /// `OPTIONAL { … }` — left-joined against what precedes it.
+    Optional(GroupPattern),
+    /// `{ … } UNION { … } (UNION { … })*`.
+    Union(Vec<GroupPattern>),
+    /// A nested `{ … }` group.
+    SubGroup(GroupPattern),
+    /// `FILTER ( … )` — applied to the group's solutions.
+    Filter(Expression),
+}
+
+impl GroupPattern {
+    /// All variables mentioned anywhere in the pattern, in first-seen order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        fn push(out: &mut Vec<String>, v: &str) {
+            if !out.iter().any(|x| x == v) {
+                out.push(v.to_string());
+            }
+        }
+        for element in &self.elements {
+            match element {
+                PatternElement::Triples(atoms) => {
+                    for atom in atoms {
+                        for term in atom.terms() {
+                            if let QueryTerm::Var(v) = term {
+                                push(out, v);
+                            }
+                        }
+                    }
+                }
+                PatternElement::Optional(g) | PatternElement::SubGroup(g) => g.collect_vars(out),
+                PatternElement::Union(branches) => {
+                    for branch in branches {
+                        branch.collect_vars(out);
+                    }
+                }
+                PatternElement::Filter(e) => {
+                    for v in e.variables() {
+                        push(out, &v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lowers the pattern to a union of plain basic graph patterns, for
+    /// callers (like STARQL's WHERE clause) that need conjunctive queries:
+    /// nested groups flatten, `UNION` distributes, and `OPTIONAL`/`FILTER`
+    /// are rejected with a description of what blocked the lowering.
+    pub fn bgp_disjuncts(&self) -> Result<Vec<Vec<Atom>>, String> {
+        let mut disjuncts: Vec<Vec<Atom>> = vec![Vec::new()];
+        for element in &self.elements {
+            match element {
+                PatternElement::Triples(atoms) => {
+                    for d in &mut disjuncts {
+                        d.extend(atoms.iter().cloned());
+                    }
+                }
+                PatternElement::SubGroup(g) => {
+                    disjuncts = cross(disjuncts, g.bgp_disjuncts()?);
+                }
+                PatternElement::Union(branches) => {
+                    let mut united = Vec::new();
+                    for branch in branches {
+                        united.extend(branch.bgp_disjuncts()?);
+                    }
+                    disjuncts = cross(disjuncts, united);
+                }
+                PatternElement::Optional(_) => {
+                    return Err("OPTIONAL cannot be lowered to a conjunctive query".into())
+                }
+                PatternElement::Filter(_) => {
+                    return Err("FILTER cannot be lowered to a conjunctive query".into())
+                }
+            }
+        }
+        Ok(disjuncts)
+    }
+}
+
+fn cross(left: Vec<Vec<Atom>>, right: Vec<Vec<Atom>>) -> Vec<Vec<Atom>> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in &left {
+        for r in &right {
+            let mut d = l.clone();
+            d.extend(r.iter().cloned());
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// A FILTER / ORDER BY expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expression {
+    /// A variable reference.
+    Var(String),
+    /// A constant term.
+    Const(Term),
+    /// `a || b`.
+    Or(Box<Expression>, Box<Expression>),
+    /// `a && b`.
+    And(Box<Expression>, Box<Expression>),
+    /// `!a`.
+    Not(Box<Expression>),
+    /// Comparison.
+    Compare(ComparisonOperator, Box<Expression>, Box<Expression>),
+    /// Arithmetic.
+    Arithmetic(ArithmeticOperator, Box<Expression>, Box<Expression>),
+    /// `REGEX(expr, "pattern" [, "i"])` — the regex-lite dialect: plain
+    /// substring match with optional `^` / `$` anchors and the `i` flag.
+    Regex {
+        /// The text expression.
+        text: Box<Expression>,
+        /// The pattern.
+        pattern: String,
+        /// Case-insensitive?
+        case_insensitive: bool,
+    },
+    /// `BOUND(?v)`.
+    Bound(String),
+}
+
+impl Expression {
+    /// All variables referenced by the expression.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expression::Var(v) | Expression::Bound(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expression::Const(_) => {}
+            Expression::Or(a, b)
+            | Expression::And(a, b)
+            | Expression::Compare(_, a, b)
+            | Expression::Arithmetic(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expression::Not(a) => a.collect_vars(out),
+            Expression::Regex { text, .. } => text.collect_vars(out),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComparisonOperator {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithmeticOperator {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// ORDER BY / LIMIT / OFFSET.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SolutionModifier {
+    /// Sort keys in priority order; `true` = descending.
+    pub order_by: Vec<(Expression, bool)>,
+    /// Row cap after ordering and OFFSET.
+    pub limit: Option<usize>,
+    /// Rows skipped after ordering.
+    pub offset: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optique_rdf::Iri;
+
+    fn atom(class: &str, var: &str) -> Atom {
+        Atom::class(Iri::new(format!("http://x/{class}")), QueryTerm::var(var))
+    }
+
+    #[test]
+    fn variables_first_seen_order() {
+        let g = GroupPattern {
+            elements: vec![
+                PatternElement::Triples(vec![atom("A", "b"), atom("B", "a")]),
+                PatternElement::Filter(Expression::Var("c".into())),
+            ],
+        };
+        assert_eq!(g.variables(), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn bgp_disjuncts_distribute_union() {
+        let g = GroupPattern {
+            elements: vec![
+                PatternElement::Triples(vec![atom("A", "x")]),
+                PatternElement::Union(vec![
+                    GroupPattern {
+                        elements: vec![PatternElement::Triples(vec![atom("B", "x")])],
+                    },
+                    GroupPattern {
+                        elements: vec![PatternElement::Triples(vec![atom("C", "x")])],
+                    },
+                ]),
+            ],
+        };
+        let ds = g.bgp_disjuncts().unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].len(), 2);
+        assert_eq!(ds[1].len(), 2);
+    }
+
+    #[test]
+    fn optional_blocks_lowering() {
+        let g = GroupPattern {
+            elements: vec![PatternElement::Optional(GroupPattern::default())],
+        };
+        assert!(g.bgp_disjuncts().unwrap_err().contains("OPTIONAL"));
+    }
+}

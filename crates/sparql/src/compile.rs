@@ -1,0 +1,458 @@
+//! The static OBDA pipeline: BGP → PerfectRef rewrite → mapping unfolding →
+//! SQL execution → residual-algebra evaluation.
+//!
+//! Each basic graph pattern becomes one `optique_rewrite::ConjunctiveQuery`
+//! whose answer variables are the BGP's variables. The CQ is enriched
+//! against the deployment TBox (PerfectRef), unfolded through the mapping
+//! catalog into one `UNION ALL` SQL statement, and executed on the
+//! relational engine. Everything the SQL cannot express — joins across
+//! `OPTIONAL`/`UNION` branches, `FILTER`s, modifiers, aggregates — runs
+//! over [`SolutionSet`]s in [`crate::eval`].
+
+use std::time::Instant;
+
+use optique_mapping::{unfold_ucq, MappingCatalog, UnfoldSettings};
+use optique_ontology::Ontology;
+use optique_rdf::{Literal, Term};
+use optique_relational::{Database, Value};
+use optique_rewrite::{rewrite, Atom, ConjunctiveQuery, QueryTerm, RewriteSettings};
+
+use crate::algebra::{GroupPattern, PatternElement, Projection, Query, SelectItem, SelectQuery};
+use crate::error::SparqlError;
+use crate::eval::{aggregate, SolutionSet};
+use crate::results::SparqlResults;
+
+/// Everything query answering needs from a deployment.
+pub struct StaticPipeline<'a> {
+    /// The TBox used for enrichment.
+    pub ontology: &'a Ontology,
+    /// The mapping catalog over the static sources.
+    pub mappings: &'a MappingCatalog,
+    /// The data sources.
+    pub db: &'a Database,
+    /// Enrichment knobs.
+    pub rewrite_settings: RewriteSettings,
+    /// Unfolding knobs.
+    pub unfold_settings: UnfoldSettings,
+}
+
+/// Per-query observability, surfaced on the platform dashboard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Basic graph patterns evaluated.
+    pub bgps: usize,
+    /// Total UCQ disjuncts after enrichment.
+    pub ucq_disjuncts: usize,
+    /// Total SQL disjuncts emitted by unfolding.
+    pub sql_disjuncts: usize,
+    /// Microseconds spent in PerfectRef.
+    pub rewrite_micros: u64,
+    /// Microseconds spent unfolding.
+    pub unfold_micros: u64,
+    /// Microseconds spent executing SQL.
+    pub exec_micros: u64,
+    /// Rows in the final result.
+    pub rows: usize,
+}
+
+impl<'a> StaticPipeline<'a> {
+    /// Answers a parsed query.
+    pub fn answer(&self, query: &Query) -> Result<(SparqlResults, PipelineStats), SparqlError> {
+        let mut stats = PipelineStats::default();
+        match query {
+            Query::Ask(ask) => {
+                let solutions = self.eval_group(&ask.pattern, &mut stats)?;
+                let truth = !solutions.is_empty();
+                stats.rows = usize::from(truth);
+                Ok((SparqlResults::Boolean(truth), stats))
+            }
+            Query::Select(select) => {
+                let solutions = self.eval_group(&select.pattern, &mut stats)?;
+                let result = self.finish_select(select, solutions)?;
+                stats.rows = result.len();
+                Ok((SparqlResults::Solutions(result), stats))
+            }
+        }
+    }
+
+    fn finish_select(
+        &self,
+        select: &SelectQuery,
+        mut solutions: SolutionSet,
+    ) -> Result<SolutionSet, SparqlError> {
+        let has_aggregates = !select.group_by.is_empty()
+            || matches!(&select.projection, Projection::Items(items)
+                if items.iter().any(|i| matches!(i, SelectItem::Aggregate { .. })));
+
+        if has_aggregates {
+            let Projection::Items(items) = &select.projection else {
+                return Err(SparqlError::execution(
+                    "SELECT * cannot be combined with aggregates or GROUP BY",
+                ));
+            };
+            let mut out = aggregate(&solutions, &select.group_by, items)?;
+            out.order_by(&select.modifiers.order_by);
+            if select.distinct {
+                out.distinct();
+            }
+            out.slice(select.modifiers.offset, select.modifiers.limit);
+            return Ok(out);
+        }
+
+        // Order over the full solution (ORDER BY may use unprojected vars),
+        // then project, dedup, slice.
+        solutions.order_by(&select.modifiers.order_by);
+        let names: Vec<String> = match &select.projection {
+            Projection::All => select.pattern.variables(),
+            Projection::Items(items) => items.iter().map(|i| i.name().to_string()).collect(),
+        };
+        let mut out = solutions.project(&names);
+        if select.distinct {
+            out.distinct();
+        }
+        out.slice(select.modifiers.offset, select.modifiers.limit);
+        Ok(out)
+    }
+
+    fn eval_group(
+        &self,
+        group: &GroupPattern,
+        stats: &mut PipelineStats,
+    ) -> Result<SolutionSet, SparqlError> {
+        let mut current = SolutionSet::unit();
+        let mut filters = Vec::new();
+        for element in &group.elements {
+            match element {
+                PatternElement::Triples(atoms) => {
+                    let bgp = self.eval_bgp(atoms, stats)?;
+                    current = current.join(&bgp);
+                }
+                PatternElement::SubGroup(inner) => {
+                    let sub = self.eval_group(inner, stats)?;
+                    current = current.join(&sub);
+                }
+                PatternElement::Optional(inner) => {
+                    let sub = self.eval_group(inner, stats)?;
+                    current = current.left_join(&sub);
+                }
+                PatternElement::Union(branches) => {
+                    let mut united = SolutionSet::empty();
+                    for branch in branches {
+                        united = united.union(self.eval_group(branch, stats)?);
+                    }
+                    current = current.join(&united);
+                }
+                PatternElement::Filter(expr) => filters.push(expr),
+            }
+        }
+        // FILTERs scope over the whole group.
+        for expr in filters {
+            current = current.filter(expr);
+        }
+        Ok(current)
+    }
+
+    /// One BGP through rewrite → unfold → SQL execution.
+    fn eval_bgp(
+        &self,
+        atoms: &[Atom],
+        stats: &mut PipelineStats,
+    ) -> Result<SolutionSet, SparqlError> {
+        stats.bgps += 1;
+        if atoms.is_empty() {
+            return Ok(SolutionSet::unit());
+        }
+        let vars = bgp_variables(atoms);
+        let cq = ConjunctiveQuery::new(vars.clone(), atoms.to_vec());
+
+        let started = Instant::now();
+        let (ucq, _) = rewrite(&cq, self.ontology, &self.rewrite_settings)
+            .map_err(|e| SparqlError::execution(format!("enrichment failed: {e}")))?;
+        stats.rewrite_micros += started.elapsed().as_micros() as u64;
+        stats.ucq_disjuncts += ucq.len();
+
+        let started = Instant::now();
+        let (sql, unfold_stats) = unfold_ucq(&ucq, self.mappings, &self.unfold_settings)
+            .map_err(|e| SparqlError::execution(format!("unfolding failed: {e}")))?;
+        stats.unfold_micros += started.elapsed().as_micros() as u64;
+        stats.sql_disjuncts += unfold_stats.emitted;
+
+        let Some(statement) = sql else {
+            // Some term has no mapping: the BGP is empty over the sources.
+            return Ok(SolutionSet {
+                vars,
+                rows: Vec::new(),
+            });
+        };
+
+        let started = Instant::now();
+        let table = optique_relational::exec::query(&statement.to_string(), self.db)
+            .map_err(|e| SparqlError::execution(format!("SQL execution failed: {e}")))?;
+        stats.exec_micros += started.elapsed().as_micros() as u64;
+
+        if vars.is_empty() {
+            // Constant-only BGP: satisfiable iff any row came back.
+            return Ok(if table.is_empty() {
+                SolutionSet::empty()
+            } else {
+                SolutionSet::unit()
+            });
+        }
+        // Certain-answer semantics: a UCQ's answers are the *set* union of
+        // its disjuncts' answers, so duplicates across `UNION ALL` branches
+        // (one sensor reachable through several mappings) collapse here.
+        let mut solutions = SolutionSet {
+            vars,
+            rows: table
+                .rows
+                .iter()
+                .map(|row| row.iter().map(value_to_term).collect())
+                .collect(),
+        };
+        solutions.distinct();
+        Ok(solutions)
+    }
+}
+
+/// Variables of a BGP in first-seen order — the CQ's answer signature.
+fn bgp_variables(atoms: &[Atom]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for atom in atoms {
+        for term in atom.terms() {
+            if let QueryTerm::Var(v) = term {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lifts a SQL value back into an RDF term. Mapping templates mint IRIs as
+/// text, so text that looks like an IRI becomes one (the same convention
+/// the unfolding oracle tests use); everything else stays a typed literal.
+pub fn value_to_term(value: &Value) -> Option<Term> {
+    match value {
+        Value::Null => None,
+        Value::Int(i) => Some(Term::Literal(Literal::integer(*i))),
+        Value::Float(f) => Some(Term::Literal(Literal::double(*f))),
+        Value::Bool(b) => Some(Term::Literal(Literal::boolean(*b))),
+        Value::Timestamp(t) => Some(Term::Literal(Literal::datetime_millis(*t))),
+        Value::Text(s) => {
+            if s.contains("://") || s.starts_with("urn:") {
+                Some(Term::iri(s.as_ref()))
+            } else {
+                Some(Term::Literal(Literal::string(s.as_ref())))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optique_mapping::{MappingAssertion, TermMap};
+    use optique_ontology::{Axiom, BasicConcept};
+    use optique_rdf::{Datatype, Iri, Namespaces};
+    use optique_relational::{table::table_of, ColumnType};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://x/{s}"))
+    }
+
+    fn ns() -> Namespaces {
+        let mut ns = Namespaces::with_w3c_defaults();
+        ns.bind("x", "http://x/");
+        ns
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.put_table(
+            "turbines",
+            table_of(
+                "turbines",
+                &[
+                    ("tid", ColumnType::Int),
+                    ("model", ColumnType::Text),
+                    ("kind", ColumnType::Text),
+                ],
+                vec![
+                    vec![Value::Int(1), Value::text("SGT-400"), Value::text("gas")],
+                    vec![Value::Int(2), Value::text("SGT-800"), Value::text("gas")],
+                    vec![Value::Int(3), Value::text("SST-600"), Value::text("steam")],
+                ],
+            )
+            .unwrap(),
+        );
+        db.put_table(
+            "sensors",
+            table_of(
+                "sensors",
+                &[("sid", ColumnType::Int), ("tid", ColumnType::Int)],
+                vec![
+                    vec![Value::Int(10), Value::Int(1)],
+                    vec![Value::Int(11), Value::Int(1)],
+                    vec![Value::Int(12), Value::Int(2)],
+                ],
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    fn ontology() -> Ontology {
+        let mut o = Ontology::new();
+        o.add_axiom(Axiom::subclass(
+            BasicConcept::atomic(iri("GasTurbine")),
+            BasicConcept::atomic(iri("Turbine")),
+        ));
+        o.declare_data_property(iri("hasModel"));
+        o
+    }
+
+    fn catalog() -> MappingCatalog {
+        let mut c = MappingCatalog::new();
+        c.add(
+            MappingAssertion::class(
+                "gas",
+                iri("GasTurbine"),
+                "SELECT tid FROM turbines WHERE kind = 'gas'",
+                TermMap::template("http://x/turbine/{tid}"),
+            )
+            .with_key(vec!["tid".into()]),
+        )
+        .unwrap();
+        c.add(
+            MappingAssertion::class(
+                "steam",
+                iri("Turbine"),
+                "SELECT tid FROM turbines WHERE kind = 'steam'",
+                TermMap::template("http://x/turbine/{tid}"),
+            )
+            .with_key(vec!["tid".into()]),
+        )
+        .unwrap();
+        c.add(
+            MappingAssertion::property(
+                "model",
+                iri("hasModel"),
+                "SELECT tid, model FROM turbines",
+                TermMap::template("http://x/turbine/{tid}"),
+                TermMap::column("model", Datatype::String),
+            )
+            .with_key(vec!["tid".into()]),
+        )
+        .unwrap();
+        c.add(
+            MappingAssertion::property(
+                "attached",
+                iri("attachedTo"),
+                "SELECT sid, tid FROM sensors",
+                TermMap::template("http://x/sensor/{sid}"),
+                TermMap::template("http://x/turbine/{tid}"),
+            )
+            .with_key(vec!["sid".into(), "tid".into()]),
+        )
+        .unwrap();
+        c
+    }
+
+    fn answer(text: &str) -> (SparqlResults, PipelineStats) {
+        let db = db();
+        let onto = ontology();
+        let maps = catalog();
+        let pipeline = StaticPipeline {
+            ontology: &onto,
+            mappings: &maps,
+            db: &db,
+            rewrite_settings: RewriteSettings::default(),
+            unfold_settings: UnfoldSettings::default(),
+        };
+        let query = crate::parse_sparql(text, &ns()).unwrap();
+        pipeline.answer(&query).unwrap()
+    }
+
+    #[test]
+    fn rewriting_reaches_subclasses() {
+        // Turbine(x): the direct mapping only covers steam turbines;
+        // PerfectRef adds GasTurbine ⊑ Turbine, reaching all three.
+        let (r, stats) = answer("SELECT ?t WHERE { ?t a x:Turbine }");
+        assert_eq!(r.len(), 3);
+        assert!(stats.ucq_disjuncts >= 2, "enrichment added a disjunct");
+    }
+
+    #[test]
+    fn join_filter_order_limit() {
+        let (r, _) = answer(
+            "SELECT ?t ?m WHERE { ?t a x:Turbine ; x:hasModel ?m . \
+             FILTER(REGEX(?m, \"^SGT\")) } ORDER BY DESC(?m) LIMIT 1",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r.value(0, "m"),
+            Some(Term::Literal(Literal::string("SGT-800")))
+        );
+    }
+
+    #[test]
+    fn optional_binds_where_present() {
+        // Sensors are attached to turbines 1 and 2; turbine 3 has none.
+        let (r, _) = answer(
+            "SELECT ?t ?s WHERE { ?t a x:Turbine . \
+             OPTIONAL { ?s x:attachedTo ?t } } ORDER BY ?t",
+        );
+        assert_eq!(r.len(), 4, "3 attachments + 1 bare turbine");
+        let unbound = r.rows().iter().filter(|row| row[1].is_none()).count();
+        assert_eq!(unbound, 1);
+    }
+
+    #[test]
+    fn union_merges_branches() {
+        let (r, _) =
+            answer("SELECT ?x WHERE { { ?x a x:GasTurbine } UNION { ?s x:attachedTo ?x } }");
+        // 2 gas turbines + 3 attachment targets (turbines 1, 1, 2).
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let (r, _) = answer(
+            "SELECT DISTINCT ?x WHERE { { ?x a x:GasTurbine } UNION { ?s x:attachedTo ?x } }",
+        );
+        assert_eq!(r.len(), 2, "turbines 1 and 2");
+    }
+
+    #[test]
+    fn aggregates_group_and_count() {
+        let (r, _) = answer(
+            "SELECT ?t (COUNT(?s) AS ?n) WHERE { ?s x:attachedTo ?t } \
+             GROUP BY ?t ORDER BY DESC(?n)",
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(0, "n"), Some(Term::Literal(Literal::integer(2))));
+    }
+
+    #[test]
+    fn ask_true_and_false() {
+        let (r, _) = answer("ASK { ?s x:attachedTo <http://x/turbine/1> }");
+        assert_eq!(r.as_bool(), Some(true));
+        let (r, _) = answer("ASK { ?s x:attachedTo <http://x/turbine/3> }");
+        assert_eq!(r.as_bool(), Some(false));
+    }
+
+    #[test]
+    fn unmapped_class_is_empty_not_an_error() {
+        let (r, _) = answer("SELECT ?x WHERE { ?x a x:Unmapped }");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn stats_track_pipeline_stages() {
+        let (_, stats) = answer("SELECT ?t ?m WHERE { ?t a x:Turbine ; x:hasModel ?m }");
+        assert_eq!(stats.bgps, 1);
+        assert!(stats.sql_disjuncts >= 2);
+        assert!(stats.rows > 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Positioned SPARQL errors.
+
+use std::fmt;
+
+/// Where in the query text something went wrong (1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub column: u32,
+}
+
+impl Position {
+    /// The start of the text.
+    pub fn start() -> Self {
+        Position { line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// A SPARQL front-end failure: lexing, parsing, or pipeline execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparqlError {
+    /// Which stage failed.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Source position for lex/parse errors.
+    pub position: Option<Position>,
+}
+
+/// Stages a query can fail in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Tokenization failed.
+    Lex,
+    /// The token stream does not form a query in the supported subset.
+    Parse,
+    /// The query parsed but cannot be lowered (e.g. a variable predicate).
+    Unsupported,
+    /// Rewrite / unfold / execution failed.
+    Execution,
+}
+
+impl SparqlError {
+    /// A lex error at `position`.
+    pub fn lex(message: impl Into<String>, position: Position) -> Self {
+        SparqlError {
+            kind: ErrorKind::Lex,
+            message: message.into(),
+            position: Some(position),
+        }
+    }
+
+    /// A parse error at `position`.
+    pub fn parse(message: impl Into<String>, position: Position) -> Self {
+        SparqlError {
+            kind: ErrorKind::Parse,
+            message: message.into(),
+            position: Some(position),
+        }
+    }
+
+    /// A supported-subset violation at `position`.
+    pub fn unsupported(message: impl Into<String>, position: Position) -> Self {
+        SparqlError {
+            kind: ErrorKind::Unsupported,
+            message: message.into(),
+            position: Some(position),
+        }
+    }
+
+    /// A pipeline failure (no source position).
+    pub fn execution(message: impl Into<String>) -> Self {
+        SparqlError {
+            kind: ErrorKind::Execution,
+            message: message.into(),
+            position: None,
+        }
+    }
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.kind {
+            ErrorKind::Lex => "lex error",
+            ErrorKind::Parse => "parse error",
+            ErrorKind::Unsupported => "unsupported query form",
+            ErrorKind::Execution => "execution error",
+        };
+        match self.position {
+            Some(pos) => write!(f, "{stage} at {pos}: {}", self.message),
+            None => write!(f, "{stage}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}

@@ -1,0 +1,536 @@
+//! SPARQL tokenizer with line/column tracking.
+
+use crate::error::{Position, SparqlError};
+
+/// A token plus where it starts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source position of the first character.
+    pub position: Position,
+}
+
+/// SPARQL token kinds (the subset the parser consumes).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Bare word: keyword (`SELECT`), `a`, or aggregate name.
+    Word(String),
+    /// Prefixed name `prefix:local` (either part may be empty: `:MonInc`).
+    PName(String),
+    /// `?name` / `$name` variable.
+    Var(String),
+    /// `<…>` IRI reference.
+    IriRef(String),
+    /// String literal (datatype arrives as `^^` + PName/IriRef).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal/double literal.
+    Float(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (when not an IRI ref)
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `^^`
+    Carets,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            chars: text.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenizes SPARQL text.
+pub fn lex(text: &str) -> Result<Vec<Token>, SparqlError> {
+    let mut cursor = Cursor::new(text);
+    let mut tokens = Vec::new();
+
+    loop {
+        // Skip whitespace and `# …` comments.
+        loop {
+            match cursor.peek() {
+                Some(c) if c.is_whitespace() => {
+                    cursor.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = cursor.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let position = cursor.position();
+        let Some(c) = cursor.peek() else { break };
+
+        let kind = match c {
+            '{' => {
+                cursor.bump();
+                TokenKind::LBrace
+            }
+            '}' => {
+                cursor.bump();
+                TokenKind::RBrace
+            }
+            '(' => {
+                cursor.bump();
+                TokenKind::LParen
+            }
+            ')' => {
+                cursor.bump();
+                TokenKind::RParen
+            }
+            ',' => {
+                cursor.bump();
+                TokenKind::Comma
+            }
+            ';' => {
+                cursor.bump();
+                TokenKind::Semicolon
+            }
+            '*' => {
+                cursor.bump();
+                TokenKind::Star
+            }
+            '/' => {
+                cursor.bump();
+                TokenKind::Slash
+            }
+            '+' => {
+                cursor.bump();
+                TokenKind::Plus
+            }
+            '=' => {
+                cursor.bump();
+                TokenKind::Eq
+            }
+            '^' => {
+                cursor.bump();
+                if cursor.peek() == Some('^') {
+                    cursor.bump();
+                    TokenKind::Carets
+                } else {
+                    return Err(SparqlError::lex("lone '^' (expected '^^')", position));
+                }
+            }
+            '&' => {
+                cursor.bump();
+                if cursor.peek() == Some('&') {
+                    cursor.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(SparqlError::lex("lone '&' (expected '&&')", position));
+                }
+            }
+            '|' => {
+                cursor.bump();
+                if cursor.peek() == Some('|') {
+                    cursor.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(SparqlError::lex("lone '|' (expected '||')", position));
+                }
+            }
+            '!' => {
+                cursor.bump();
+                if cursor.peek() == Some('=') {
+                    cursor.bump();
+                    TokenKind::Ne
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            '>' => {
+                cursor.bump();
+                if cursor.peek() == Some('=') {
+                    cursor.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '<' => {
+                cursor.bump();
+                // `<…>` IRI vs `<` / `<=` comparison: an IRI ref never
+                // contains whitespace, and comparison operands start with
+                // whitespace, a variable, a number, a negation, or a
+                // parenthesized/quoted expression (`?x<5`, `?x<(…)`).
+                match cursor.peek() {
+                    Some('=') => {
+                        cursor.bump();
+                        TokenKind::Le
+                    }
+                    Some(c2)
+                        if c2.is_whitespace()
+                            || c2.is_ascii_digit()
+                            || matches!(c2, '?' | '$' | '(' | '"' | '\'' | '-' | '+' | '!') =>
+                    {
+                        TokenKind::Lt
+                    }
+                    None => TokenKind::Lt,
+                    _ => {
+                        let mut iri = String::new();
+                        loop {
+                            match cursor.bump() {
+                                Some('>') => break,
+                                Some(c2) if c2.is_whitespace() => {
+                                    return Err(SparqlError::lex(
+                                        "whitespace inside IRI reference",
+                                        position,
+                                    ))
+                                }
+                                Some(c2) => iri.push(c2),
+                                None => {
+                                    return Err(SparqlError::lex(
+                                        "unterminated IRI reference",
+                                        position,
+                                    ))
+                                }
+                            }
+                        }
+                        TokenKind::IriRef(iri)
+                    }
+                }
+            }
+            '?' | '$' => {
+                cursor.bump();
+                let mut name = String::new();
+                while let Some(c2) = cursor.peek() {
+                    if is_name_char(c2) {
+                        name.push(c2);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(SparqlError::lex("empty variable name", position));
+                }
+                TokenKind::Var(name)
+            }
+            '"' | '\'' => {
+                let quote = c;
+                cursor.bump();
+                let mut s = String::new();
+                loop {
+                    match cursor.bump() {
+                        Some('\\') => match cursor.bump() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(other) => s.push(other.to_owned()),
+                            None => return Err(SparqlError::lex("unterminated string", position)),
+                        },
+                        Some(c2) if c2 == quote => break,
+                        Some(c2) => s.push(c2),
+                        None => return Err(SparqlError::lex("unterminated string", position)),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            '-' => {
+                cursor.bump();
+                TokenKind::Minus
+            }
+            c if c.is_ascii_digit() => lex_number(&mut cursor, position)?,
+            '.' => {
+                cursor.bump();
+                TokenKind::Dot
+            }
+            c if c.is_alphabetic() || c == '_' || c == ':' => {
+                let mut word = String::new();
+                while let Some(c2) = cursor.peek() {
+                    if is_name_char(c2) {
+                        word.push(c2);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // `prefix:local` / `:local` become prefixed names; a bare
+                // word stays a word (keyword or `a`).
+                if cursor.peek() == Some(':') {
+                    cursor.bump();
+                    let mut local = String::new();
+                    while let Some(c2) = cursor.peek() {
+                        if is_name_char(c2) || c2 == '/' {
+                            local.push(c2);
+                            cursor.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokenKind::PName(format!("{word}:{local}"))
+                } else if word.is_empty() {
+                    return Err(SparqlError::lex(
+                        format!("unexpected character {c:?}"),
+                        position,
+                    ));
+                } else {
+                    TokenKind::Word(word)
+                }
+            }
+            other => {
+                return Err(SparqlError::lex(
+                    format!("unexpected character {other:?}"),
+                    position,
+                ))
+            }
+        };
+        tokens.push(Token { kind, position });
+    }
+    Ok(tokens)
+}
+
+fn lex_number(cursor: &mut Cursor<'_>, position: Position) -> Result<TokenKind, SparqlError> {
+    let mut text = String::new();
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while let Some(c) = cursor.peek() {
+        match c {
+            d if d.is_ascii_digit() => {
+                text.push(d);
+                cursor.bump();
+            }
+            '.' if !saw_dot && !saw_exp => {
+                // Lookahead: `1.` followed by a non-digit terminates the
+                // triple instead (e.g. `?x :p 1.` inside a BGP).
+                let mut clone = cursor.chars.clone();
+                clone.next();
+                match clone.peek() {
+                    Some(d) if d.is_ascii_digit() => {
+                        saw_dot = true;
+                        text.push('.');
+                        cursor.bump();
+                    }
+                    _ => break,
+                }
+            }
+            'e' | 'E' if !saw_exp => {
+                saw_exp = true;
+                text.push('e');
+                cursor.bump();
+                if matches!(cursor.peek(), Some('+') | Some('-')) {
+                    text.push(cursor.bump().expect("peeked"));
+                }
+            }
+            _ => break,
+        }
+    }
+    if saw_dot || saw_exp {
+        text.parse::<f64>()
+            .map(TokenKind::Float)
+            .map_err(|_| SparqlError::lex(format!("bad numeric literal {text:?}"), position))
+    } else {
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| SparqlError::lex(format!("bad integer literal {text:?}"), position))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<TokenKind> {
+        lex(text).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_query_tokens() {
+        let toks = kinds("SELECT ?x WHERE { ?x a sie:Sensor . }");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Var("x".into()),
+                TokenKind::Word("WHERE".into()),
+                TokenKind::LBrace,
+                TokenKind::Var("x".into()),
+                TokenKind::Word("a".into()),
+                TokenKind::PName("sie:Sensor".into()),
+                TokenKind::Dot,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn iri_vs_comparison() {
+        assert_eq!(
+            kinds("<http://x/p> ?a < ?b ?c <= 4"),
+            vec![
+                TokenKind::IriRef("http://x/p".into()),
+                TokenKind::Var("a".into()),
+                TokenKind::Lt,
+                TokenKind::Var("b".into()),
+                TokenKind::Var("c".into()),
+                TokenKind::Le,
+                TokenKind::Int(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds(r#"42 -7 3.5 1e3 "hi" 'there'"#),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Minus,
+                TokenKind::Int(7),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Str("hi".into()),
+                TokenKind::Str("there".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_dot_after_integer_stays_a_dot() {
+        assert_eq!(
+            kinds("?x sie:hasValue 4 . }"),
+            vec![
+                TokenKind::Var("x".into()),
+                TokenKind::PName("sie:hasValue".into()),
+                TokenKind::Int(4),
+                TokenKind::Dot,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_without_spaces() {
+        assert_eq!(
+            kinds("?x<5 && ?y<(2+1)"),
+            vec![
+                TokenKind::Var("x".into()),
+                TokenKind::Lt,
+                TokenKind::Int(5),
+                TokenKind::AndAnd,
+                TokenKind::Var("y".into()),
+                TokenKind::Lt,
+                TokenKind::LParen,
+                TokenKind::Int(2),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("&& || ! != = >= > ^^"),
+            vec![
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Ne,
+                TokenKind::Eq,
+                TokenKind::Ge,
+                TokenKind::Gt,
+                TokenKind::Carets,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_positions_tracked() {
+        let toks = lex("# header\nSELECT ?x").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Word("SELECT".into()));
+        assert_eq!(toks[0].position, Position { line: 2, column: 1 });
+        assert_eq!(toks[1].position, Position { line: 2, column: 8 });
+    }
+
+    #[test]
+    fn default_prefix_pname() {
+        assert_eq!(kinds(":MonInc"), vec![TokenKind::PName(":MonInc".into())]);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = lex("SELECT @x").unwrap_err();
+        assert_eq!(err.position, Some(Position { line: 1, column: 8 }));
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("<http://x /p>").is_err());
+    }
+}

@@ -1,0 +1,787 @@
+//! Recursive-descent parser for the SPARQL 1.1 subset.
+//!
+//! Supported surface (see the crate docs for the full grammar sketch):
+//! `PREFIX` / `BASE` prologue, `SELECT [DISTINCT]` with plain variables, `*`
+//! or `(AGG(…) AS ?alias)` items, `ASK`, group graph patterns with triples
+//! blocks (`;` and `,` abbreviations, `a`), `OPTIONAL`, `UNION`, `FILTER`
+//! (comparisons, boolean connectives, arithmetic, `REGEX`-lite, `BOUND`),
+//! `GROUP BY`, `ORDER BY [ASC|DESC]`, `LIMIT`, `OFFSET`. Errors carry
+//! line/column positions.
+
+use optique_rdf::{Datatype, Iri, Literal, Namespaces, Term};
+use optique_rewrite::{Atom, QueryTerm};
+
+use crate::algebra::{
+    AggregateFunction, ArithmeticOperator, AskQuery, ComparisonOperator, Expression, GroupPattern,
+    PatternElement, Projection, Query, SelectItem, SelectQuery, SolutionModifier,
+};
+use crate::error::{Position, SparqlError};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses a full SPARQL query. `namespaces` provides ambient prefixes
+/// (e.g. a deployment's); `PREFIX` declarations in the query extend and
+/// shadow them.
+pub fn parse_sparql(text: &str, namespaces: &Namespaces) -> Result<Query, SparqlError> {
+    let tokens = lex(text)?;
+    let mut parser = Parser::new(tokens, namespaces.clone());
+    let query = parser.parse_query()?;
+    parser.expect_end()?;
+    Ok(query)
+}
+
+/// Parses a stand-alone group graph pattern (`{ … }`) — the entry point
+/// STARQL's WHERE clause reuses.
+pub fn parse_group_graph_pattern(
+    text: &str,
+    namespaces: &Namespaces,
+) -> Result<GroupPattern, SparqlError> {
+    let tokens = lex(text)?;
+    let mut parser = Parser::new(tokens, namespaces.clone());
+    let group = parser.parse_group()?;
+    parser.expect_end()?;
+    Ok(group)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    namespaces: Namespaces,
+    base: Option<String>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>, namespaces: Namespaces) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            namespaces,
+            base: None,
+        }
+    }
+
+    // ---- token plumbing -------------------------------------------------
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t.map(|t| t.kind)
+    }
+
+    fn position(&self) -> Position {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.position)
+            .unwrap_or_else(Position::start)
+    }
+
+    fn err(&self, message: impl Into<String>) -> SparqlError {
+        SparqlError::parse(message, self.position())
+    }
+
+    /// True when the next token is the keyword `kw` (case-insensitive).
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SparqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {}", self.describe_next())))
+        }
+    }
+
+    fn expect_token(&mut self, kind: TokenKind, what: &str) -> Result<(), SparqlError> {
+        if self.peek() == Some(&kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {}", self.describe_next())))
+        }
+    }
+
+    fn describe_next(&self) -> String {
+        match self.peek() {
+            None => "end of input".into(),
+            Some(TokenKind::Word(w)) => format!("`{w}`"),
+            Some(TokenKind::PName(p)) => format!("`{p}`"),
+            Some(TokenKind::Var(v)) => format!("`?{v}`"),
+            Some(TokenKind::IriRef(i)) => format!("`<{i}>`"),
+            Some(TokenKind::Str(s)) => format!("string {s:?}"),
+            Some(other) => format!("{other:?}"),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), SparqlError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {}", self.describe_next())))
+        }
+    }
+
+    // ---- prologue + query forms ----------------------------------------
+
+    fn parse_query(&mut self) -> Result<Query, SparqlError> {
+        self.parse_prologue()?;
+        if self.eat_keyword("SELECT") {
+            Ok(Query::Select(self.parse_select()?))
+        } else if self.eat_keyword("ASK") {
+            self.eat_keyword("WHERE");
+            let pattern = self.parse_group()?;
+            Ok(Query::Ask(AskQuery { pattern }))
+        } else {
+            Err(self.err(format!(
+                "expected SELECT or ASK, found {}",
+                self.describe_next()
+            )))
+        }
+    }
+
+    fn parse_prologue(&mut self) -> Result<(), SparqlError> {
+        loop {
+            if self.eat_keyword("PREFIX") {
+                let Some(TokenKind::PName(pname)) = self.bump() else {
+                    return Err(self.err("expected a prefix name after PREFIX"));
+                };
+                let prefix = pname.split(':').next().unwrap_or("").to_string();
+                let Some(TokenKind::IriRef(iri)) = self.bump() else {
+                    return Err(self.err("expected an IRI after the prefix name"));
+                };
+                self.namespaces.bind(prefix, self.resolve_relative(&iri));
+            } else if self.eat_keyword("BASE") {
+                let Some(TokenKind::IriRef(iri)) = self.bump() else {
+                    return Err(self.err("expected an IRI after BASE"));
+                };
+                self.base = Some(iri);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn resolve_relative(&self, iri: &str) -> String {
+        if iri.contains("://") || self.base.is_none() {
+            iri.to_string()
+        } else {
+            format!("{}{}", self.base.as_deref().unwrap_or(""), iri)
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<SelectQuery, SparqlError> {
+        let distinct = self.eat_keyword("DISTINCT");
+        let projection = self.parse_projection()?;
+        self.eat_keyword("WHERE");
+        let pattern = self.parse_group()?;
+
+        let mut group_by = Vec::new();
+        if self.at_keyword("GROUP") {
+            self.bump();
+            self.expect_keyword("BY")?;
+            while let Some(TokenKind::Var(_)) = self.peek() {
+                let Some(TokenKind::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
+                group_by.push(v);
+            }
+            if group_by.is_empty() {
+                return Err(self.err("GROUP BY needs at least one variable"));
+            }
+        }
+        let modifiers = self.parse_modifiers()?;
+        Ok(SelectQuery {
+            distinct,
+            projection,
+            pattern,
+            group_by,
+            modifiers,
+        })
+    }
+
+    fn parse_projection(&mut self) -> Result<Projection, SparqlError> {
+        if self.peek() == Some(&TokenKind::Star) {
+            self.bump();
+            return Ok(Projection::All);
+        }
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::Var(_)) => {
+                    let Some(TokenKind::Var(v)) = self.bump() else {
+                        unreachable!()
+                    };
+                    items.push(SelectItem::Var(v));
+                }
+                Some(TokenKind::LParen) => {
+                    self.bump();
+                    items.push(self.parse_aggregate_item()?);
+                }
+                _ => break,
+            }
+        }
+        if items.is_empty() {
+            return Err(self.err(format!(
+                "SELECT needs `*`, variables, or aggregates; found {}",
+                self.describe_next()
+            )));
+        }
+        Ok(Projection::Items(items))
+    }
+
+    fn parse_aggregate_item(&mut self) -> Result<SelectItem, SparqlError> {
+        let func = match self.bump() {
+            Some(TokenKind::Word(w)) => match w.to_ascii_uppercase().as_str() {
+                "COUNT" => AggregateFunction::Count,
+                "SUM" => AggregateFunction::Sum,
+                "AVG" => AggregateFunction::Avg,
+                "MIN" => AggregateFunction::Min,
+                "MAX" => AggregateFunction::Max,
+                other => return Err(self.err(format!("unknown aggregate function `{other}`"))),
+            },
+            _ => return Err(self.err("expected an aggregate function")),
+        };
+        self.expect_token(TokenKind::LParen, "`(`")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let var = match self.peek() {
+            Some(TokenKind::Star) => {
+                if func != AggregateFunction::Count {
+                    return Err(self.err(format!("{func}(*) is not defined; only COUNT(*)")));
+                }
+                self.bump();
+                None
+            }
+            Some(TokenKind::Var(_)) => {
+                let Some(TokenKind::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
+                Some(v)
+            }
+            _ => {
+                return Err(self.err(format!(
+                    "expected `*` or a variable inside {func}(…), found {}",
+                    self.describe_next()
+                )))
+            }
+        };
+        self.expect_token(TokenKind::RParen, "`)`")?;
+        self.expect_keyword("AS")?;
+        let Some(TokenKind::Var(alias)) = self.bump() else {
+            return Err(self.err("expected an alias variable after AS"));
+        };
+        self.expect_token(TokenKind::RParen, "`)` closing the aggregate item")?;
+        Ok(SelectItem::Aggregate {
+            func,
+            distinct,
+            var,
+            alias,
+        })
+    }
+
+    fn parse_modifiers(&mut self) -> Result<SolutionModifier, SparqlError> {
+        let mut modifiers = SolutionModifier::default();
+        if self.at_keyword("ORDER") {
+            self.bump();
+            self.expect_keyword("BY")?;
+            loop {
+                match self.peek() {
+                    Some(TokenKind::Var(_)) => {
+                        let Some(TokenKind::Var(v)) = self.bump() else {
+                            unreachable!()
+                        };
+                        modifiers.order_by.push((Expression::Var(v), false));
+                    }
+                    Some(TokenKind::Word(w))
+                        if w.eq_ignore_ascii_case("ASC") || w.eq_ignore_ascii_case("DESC") =>
+                    {
+                        let descending = w.eq_ignore_ascii_case("DESC");
+                        self.bump();
+                        self.expect_token(TokenKind::LParen, "`(`")?;
+                        let expr = self.parse_expression()?;
+                        self.expect_token(TokenKind::RParen, "`)`")?;
+                        modifiers.order_by.push((expr, descending));
+                    }
+                    _ => break,
+                }
+            }
+            if modifiers.order_by.is_empty() {
+                return Err(self.err("ORDER BY needs at least one sort key"));
+            }
+        }
+        // LIMIT and OFFSET in either order.
+        for _ in 0..2 {
+            if self.at_keyword("LIMIT") {
+                self.bump();
+                modifiers.limit = Some(self.parse_count("LIMIT")?);
+            } else if self.at_keyword("OFFSET") {
+                self.bump();
+                modifiers.offset = Some(self.parse_count("OFFSET")?);
+            }
+        }
+        Ok(modifiers)
+    }
+
+    fn parse_count(&mut self, what: &str) -> Result<usize, SparqlError> {
+        match self.bump() {
+            Some(TokenKind::Int(n)) if n >= 0 => Ok(n as usize),
+            _ => Err(self.err(format!("expected a non-negative integer after {what}"))),
+        }
+    }
+
+    // ---- group graph patterns ------------------------------------------
+
+    fn parse_group(&mut self) -> Result<GroupPattern, SparqlError> {
+        self.expect_token(TokenKind::LBrace, "`{`")?;
+        let mut elements: Vec<PatternElement> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.bump();
+                    return Ok(GroupPattern { elements });
+                }
+                None => return Err(self.err("unterminated group pattern (missing `}`)")),
+                Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("OPTIONAL") => {
+                    self.bump();
+                    let inner = self.parse_group()?;
+                    elements.push(PatternElement::Optional(inner));
+                }
+                Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("FILTER") => {
+                    self.bump();
+                    let expr = self.parse_constraint()?;
+                    elements.push(PatternElement::Filter(expr));
+                }
+                Some(TokenKind::LBrace) => {
+                    let first = self.parse_group()?;
+                    if self.at_keyword("UNION") {
+                        let mut branches = vec![first];
+                        while self.eat_keyword("UNION") {
+                            branches.push(self.parse_group()?);
+                        }
+                        elements.push(PatternElement::Union(branches));
+                    } else {
+                        elements.push(PatternElement::SubGroup(first));
+                    }
+                }
+                Some(TokenKind::Dot) => {
+                    self.bump();
+                }
+                _ => {
+                    let atoms = self.parse_triples_block()?;
+                    elements.push(PatternElement::Triples(atoms));
+                }
+            }
+        }
+    }
+
+    /// Consecutive `subject predicate object (; p o)* (, o)* .` triples.
+    fn parse_triples_block(&mut self) -> Result<Vec<Atom>, SparqlError> {
+        let mut atoms = Vec::new();
+        loop {
+            let subject = self.parse_term()?;
+            loop {
+                let (is_type, predicate) = self.parse_verb()?;
+                loop {
+                    let object = self.parse_term()?;
+                    atoms.push(self.make_atom(is_type, &predicate, &subject, object)?);
+                    if self.peek() == Some(&TokenKind::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek() == Some(&TokenKind::Semicolon) {
+                    self.bump();
+                    // A dangling `;` before `.`/`}` is legal SPARQL.
+                    if matches!(self.peek(), Some(TokenKind::Dot) | Some(TokenKind::RBrace)) {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if self.peek() == Some(&TokenKind::Dot) {
+                self.bump();
+            } else {
+                break;
+            }
+            // The block ends at `}`, a keyword element, or a nested group.
+            match self.peek() {
+                None | Some(TokenKind::RBrace) | Some(TokenKind::LBrace) => break,
+                Some(TokenKind::Word(w))
+                    if w.eq_ignore_ascii_case("OPTIONAL") || w.eq_ignore_ascii_case("FILTER") =>
+                {
+                    break
+                }
+                _ => {}
+            }
+        }
+        Ok(atoms)
+    }
+
+    fn make_atom(
+        &self,
+        is_type: bool,
+        predicate: &Iri,
+        subject: &QueryTerm,
+        object: QueryTerm,
+    ) -> Result<Atom, SparqlError> {
+        if is_type {
+            match object {
+                QueryTerm::Const(Term::Iri(class)) => Ok(Atom::Class {
+                    class,
+                    arg: subject.clone(),
+                }),
+                other => Err(SparqlError::unsupported(
+                    format!("rdf:type needs a constant class IRI, found {other}"),
+                    self.position(),
+                )),
+            }
+        } else {
+            Ok(Atom::Property {
+                property: predicate.clone(),
+                subject: subject.clone(),
+                object,
+            })
+        }
+    }
+
+    /// Predicate position: `a`, a prefixed name, or an IRI. Variables are a
+    /// deliberate subset exclusion (mappings are indexed by named terms).
+    fn parse_verb(&mut self) -> Result<(bool, Iri), SparqlError> {
+        match self.peek() {
+            Some(TokenKind::Word(w)) if w == "a" => {
+                self.bump();
+                Ok((true, Iri::new(optique_rdf::vocab::rdf::TYPE)))
+            }
+            Some(TokenKind::Var(v)) => Err(SparqlError::unsupported(
+                format!("variable predicate ?{v} is outside the supported subset"),
+                self.position(),
+            )),
+            Some(TokenKind::PName(_)) | Some(TokenKind::IriRef(_)) => {
+                let iri = self.parse_iri()?;
+                Ok((iri.as_str() == optique_rdf::vocab::rdf::TYPE, iri))
+            }
+            _ => Err(self.err(format!(
+                "expected a predicate, found {}",
+                self.describe_next()
+            ))),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Iri, SparqlError> {
+        let position = self.position();
+        match self.bump() {
+            Some(TokenKind::IriRef(iri)) => Ok(Iri::new(self.resolve_relative(&iri))),
+            Some(TokenKind::PName(pname)) => self.namespaces.expand(&pname).ok_or_else(|| {
+                SparqlError::parse(format!("unbound prefix in `{pname}`"), position)
+            }),
+            other => Err(SparqlError::parse(
+                format!("expected an IRI, found {other:?}"),
+                position,
+            )),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<QueryTerm, SparqlError> {
+        let position = self.position();
+        match self.peek() {
+            Some(TokenKind::Var(_)) => {
+                let Some(TokenKind::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(QueryTerm::var(v))
+            }
+            Some(TokenKind::PName(_)) | Some(TokenKind::IriRef(_)) => {
+                Ok(QueryTerm::Const(Term::Iri(self.parse_iri()?)))
+            }
+            Some(TokenKind::Str(_)) => {
+                let Some(TokenKind::Str(s)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(QueryTerm::Const(Term::Literal(self.typed_literal(s)?)))
+            }
+            Some(TokenKind::Int(_)) => {
+                let Some(TokenKind::Int(i)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(QueryTerm::Const(Term::Literal(Literal::integer(i))))
+            }
+            Some(TokenKind::Float(_)) => {
+                let Some(TokenKind::Float(f)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(QueryTerm::Const(Term::Literal(Literal::double(f))))
+            }
+            Some(TokenKind::Minus) => {
+                self.bump();
+                match self.bump() {
+                    Some(TokenKind::Int(i)) => {
+                        Ok(QueryTerm::Const(Term::Literal(Literal::integer(-i))))
+                    }
+                    Some(TokenKind::Float(f)) => {
+                        Ok(QueryTerm::Const(Term::Literal(Literal::double(-f))))
+                    }
+                    _ => Err(SparqlError::parse("expected a number after `-`", position)),
+                }
+            }
+            Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("true") => {
+                self.bump();
+                Ok(QueryTerm::Const(Term::Literal(Literal::boolean(true))))
+            }
+            Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("false") => {
+                self.bump();
+                Ok(QueryTerm::Const(Term::Literal(Literal::boolean(false))))
+            }
+            _ => Err(SparqlError::parse(
+                format!("expected a term, found {}", self.describe_next()),
+                position,
+            )),
+        }
+    }
+
+    /// A string literal with an optional `^^datatype` tag.
+    fn typed_literal(&mut self, lexical: String) -> Result<Literal, SparqlError> {
+        if self.peek() != Some(&TokenKind::Carets) {
+            return Ok(Literal::string(lexical));
+        }
+        self.bump();
+        let datatype_iri = self.parse_iri()?;
+        let datatype = [
+            Datatype::String,
+            Datatype::Integer,
+            Datatype::Double,
+            Datatype::Boolean,
+            Datatype::DateTime,
+            Datatype::Duration,
+        ]
+        .into_iter()
+        .find(|d| d.iri() == datatype_iri)
+        .unwrap_or(Datatype::String);
+        Ok(Literal::typed(lexical, datatype))
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn parse_constraint(&mut self) -> Result<Expression, SparqlError> {
+        match self.peek() {
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let e = self.parse_expression()?;
+                self.expect_token(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(TokenKind::Word(w))
+                if w.eq_ignore_ascii_case("REGEX") || w.eq_ignore_ascii_case("BOUND") =>
+            {
+                self.parse_primary_expression()
+            }
+            _ => Err(self.err(format!(
+                "expected `(` or a builtin call after FILTER, found {}",
+                self.describe_next()
+            ))),
+        }
+    }
+
+    fn parse_expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.parse_and_expression()?;
+        while self.peek() == Some(&TokenKind::OrOr) {
+            self.bump();
+            let right = self.parse_and_expression()?;
+            left = Expression::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and_expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.parse_relational_expression()?;
+        while self.peek() == Some(&TokenKind::AndAnd) {
+            self.bump();
+            let right = self.parse_relational_expression()?;
+            left = Expression::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational_expression(&mut self) -> Result<Expression, SparqlError> {
+        let left = self.parse_additive_expression()?;
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => ComparisonOperator::Eq,
+            Some(TokenKind::Ne) => ComparisonOperator::Ne,
+            Some(TokenKind::Lt) => ComparisonOperator::Lt,
+            Some(TokenKind::Le) => ComparisonOperator::Le,
+            Some(TokenKind::Gt) => ComparisonOperator::Gt,
+            Some(TokenKind::Ge) => ComparisonOperator::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_additive_expression()?;
+        Ok(Expression::Compare(op, Box::new(left), Box::new(right)))
+    }
+
+    fn parse_additive_expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.parse_multiplicative_expression()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => ArithmeticOperator::Add,
+                Some(TokenKind::Minus) => ArithmeticOperator::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_multiplicative_expression()?;
+            left = Expression::Arithmetic(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_multiplicative_expression(&mut self) -> Result<Expression, SparqlError> {
+        let mut left = self.parse_unary_expression()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => ArithmeticOperator::Mul,
+                Some(TokenKind::Slash) => ArithmeticOperator::Div,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary_expression()?;
+            left = Expression::Arithmetic(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_unary_expression(&mut self) -> Result<Expression, SparqlError> {
+        match self.peek() {
+            Some(TokenKind::Bang) => {
+                self.bump();
+                let inner = self.parse_unary_expression()?;
+                Ok(Expression::Not(Box::new(inner)))
+            }
+            Some(TokenKind::Minus) => {
+                self.bump();
+                match self.peek() {
+                    Some(TokenKind::Int(_)) => {
+                        let Some(TokenKind::Int(i)) = self.bump() else {
+                            unreachable!()
+                        };
+                        Ok(Expression::Const(Term::Literal(Literal::integer(-i))))
+                    }
+                    Some(TokenKind::Float(_)) => {
+                        let Some(TokenKind::Float(f)) = self.bump() else {
+                            unreachable!()
+                        };
+                        Ok(Expression::Const(Term::Literal(Literal::double(-f))))
+                    }
+                    _ => {
+                        let inner = self.parse_primary_expression()?;
+                        Ok(Expression::Arithmetic(
+                            ArithmeticOperator::Sub,
+                            Box::new(Expression::Const(Term::Literal(Literal::integer(0)))),
+                            Box::new(inner),
+                        ))
+                    }
+                }
+            }
+            _ => self.parse_primary_expression(),
+        }
+    }
+
+    fn parse_primary_expression(&mut self) -> Result<Expression, SparqlError> {
+        let position = self.position();
+        match self.peek() {
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let e = self.parse_expression()?;
+                self.expect_token(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(TokenKind::Var(_)) => {
+                let Some(TokenKind::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expression::Var(v))
+            }
+            Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("REGEX") => {
+                self.bump();
+                self.expect_token(TokenKind::LParen, "`(` after REGEX")?;
+                let text = self.parse_expression()?;
+                self.expect_token(TokenKind::Comma, "`,` between REGEX arguments")?;
+                let Some(TokenKind::Str(pattern)) = self.bump() else {
+                    return Err(SparqlError::parse(
+                        "REGEX pattern must be a string literal",
+                        position,
+                    ));
+                };
+                let mut case_insensitive = false;
+                if self.peek() == Some(&TokenKind::Comma) {
+                    self.bump();
+                    let Some(TokenKind::Str(flags)) = self.bump() else {
+                        return Err(SparqlError::parse(
+                            "REGEX flags must be a string literal",
+                            position,
+                        ));
+                    };
+                    case_insensitive = flags.contains('i');
+                }
+                self.expect_token(TokenKind::RParen, "`)` closing REGEX")?;
+                Ok(Expression::Regex {
+                    text: Box::new(text),
+                    pattern,
+                    case_insensitive,
+                })
+            }
+            Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("BOUND") => {
+                self.bump();
+                self.expect_token(TokenKind::LParen, "`(` after BOUND")?;
+                let Some(TokenKind::Var(v)) = self.bump() else {
+                    return Err(SparqlError::parse("BOUND takes a variable", position));
+                };
+                self.expect_token(TokenKind::RParen, "`)` closing BOUND")?;
+                Ok(Expression::Bound(v))
+            }
+            Some(TokenKind::Word(w))
+                if w.eq_ignore_ascii_case("true") || w.eq_ignore_ascii_case("false") =>
+            {
+                let b = w.eq_ignore_ascii_case("true");
+                self.bump();
+                Ok(Expression::Const(Term::Literal(Literal::boolean(b))))
+            }
+            Some(TokenKind::Str(_)) => {
+                let Some(TokenKind::Str(s)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expression::Const(Term::Literal(self.typed_literal(s)?)))
+            }
+            Some(TokenKind::Int(_)) => {
+                let Some(TokenKind::Int(i)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expression::Const(Term::Literal(Literal::integer(i))))
+            }
+            Some(TokenKind::Float(_)) => {
+                let Some(TokenKind::Float(f)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expression::Const(Term::Literal(Literal::double(f))))
+            }
+            Some(TokenKind::PName(_)) | Some(TokenKind::IriRef(_)) => {
+                Ok(Expression::Const(Term::Iri(self.parse_iri()?)))
+            }
+            _ => Err(self.err(format!(
+                "expected an expression, found {}",
+                self.describe_next()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Query results: solution tables and booleans, with an ASCII rendering
+//! for examples and the dashboard.
+
+use optique_rdf::Term;
+
+use crate::eval::SolutionSet;
+
+/// The answer to a SPARQL query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SparqlResults {
+    /// `SELECT` solutions.
+    Solutions(SolutionSet),
+    /// An `ASK` verdict.
+    Boolean(bool),
+}
+
+impl SparqlResults {
+    /// Number of solutions (0 or 1 for ASK).
+    pub fn len(&self) -> usize {
+        match self {
+            SparqlResults::Solutions(s) => s.len(),
+            SparqlResults::Boolean(b) => usize::from(*b),
+        }
+    }
+
+    /// True when there are no solutions (or the ASK answer is false).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The projected variable names (empty for ASK).
+    pub fn vars(&self) -> &[String] {
+        match self {
+            SparqlResults::Solutions(s) => &s.vars,
+            SparqlResults::Boolean(_) => &[],
+        }
+    }
+
+    /// The solution rows (empty for ASK).
+    pub fn rows(&self) -> &[Vec<Option<Term>>] {
+        match self {
+            SparqlResults::Solutions(s) => &s.rows,
+            SparqlResults::Boolean(_) => &[],
+        }
+    }
+
+    /// The ASK verdict, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            SparqlResults::Boolean(b) => Some(*b),
+            SparqlResults::Solutions(_) => None,
+        }
+    }
+
+    /// The bound value of `var` in row `row`.
+    pub fn value(&self, row: usize, var: &str) -> Option<Term> {
+        match self {
+            SparqlResults::Solutions(s) => s.rows.get(row).and_then(|r| s.value(r, var)),
+            SparqlResults::Boolean(_) => None,
+        }
+    }
+
+    /// Renders up to `limit` rows as an ASCII table (or the ASK verdict).
+    pub fn render(&self, limit: usize) -> String {
+        match self {
+            SparqlResults::Boolean(b) => format!("ASK → {b}\n"),
+            SparqlResults::Solutions(s) => {
+                let mut out = String::new();
+                out.push_str(
+                    &s.vars
+                        .iter()
+                        .map(|v| format!("?{v}"))
+                        .collect::<Vec<_>>()
+                        .join(" | "),
+                );
+                out.push('\n');
+                for row in s.rows.iter().take(limit) {
+                    let cells: Vec<String> = row
+                        .iter()
+                        .map(|t| match t {
+                            Some(term) => term.to_string(),
+                            None => "—".to_string(),
+                        })
+                        .collect();
+                    out.push_str(&cells.join(" | "));
+                    out.push('\n');
+                }
+                if s.rows.len() > limit {
+                    out.push_str(&format!("… {} more rows\n", s.rows.len() - limit));
+                }
+                out
+            }
+        }
+    }
+}

@@ -21,8 +21,15 @@ pub struct StarQlQuery {
     /// `USING PULSE WITH START = …, FREQUENCY = …`.
     pub pulse: Option<PulseClause>,
     /// The WHERE basic graph pattern (a conjunctive query over the
-    /// ontology's vocabulary).
+    /// ontology's vocabulary). When the clause uses `UNION`, this is the
+    /// first disjunct; see [`StarQlQuery::where_disjuncts`].
     pub where_bgp: Vec<Atom>,
+    /// The full WHERE clause as a union of basic graph patterns. STARQL
+    /// WHERE clauses are parsed with the SPARQL group-graph-pattern parser
+    /// (`optique-sparql`), so nested groups flatten and `UNION` distributes
+    /// into disjuncts; each disjunct is enriched and unfolded separately and
+    /// the results are unioned. Invariant: `where_disjuncts[0] == where_bgp`.
+    pub where_disjuncts: Vec<Vec<Atom>>,
     /// `SEQUENCE BY` method.
     pub sequence: SequenceMethod,
     /// The HAVING condition, pre-macro-expansion.
@@ -103,7 +110,11 @@ mod tests {
 
     #[test]
     fn stream_clause_displays_durations() {
-        let c = StreamClause { name: "S_Msmt".into(), range_ms: 10_000, slide_ms: 1_000 };
+        let c = StreamClause {
+            name: "S_Msmt".into(),
+            range_ms: 10_000,
+            slide_ms: 1_000,
+        };
         assert_eq!(
             c.to_string(),
             "S_Msmt [NOW-\"PT10S\"^^xsd:duration, NOW]->\"PT1S\"^^xsd:duration"
@@ -112,7 +123,9 @@ mod tests {
 
     #[test]
     fn sequence_alias() {
-        let s = SequenceMethod::StdSeq { alias: "seq".into() };
+        let s = SequenceMethod::StdSeq {
+            alias: "seq".into(),
+        };
         assert_eq!(s.alias(), "seq");
     }
 }

@@ -36,10 +36,7 @@ pub fn parse_duration_ms(text: &str) -> Result<i64, String> {
         Ok(())
     };
     parse_components(date_part, &[('D', 86_400_000)])?;
-    parse_components(
-        time_part,
-        &[('H', 3_600_000), ('M', 60_000), ('S', 1_000)],
-    )?;
+    parse_components(time_part, &[('H', 3_600_000), ('M', 60_000), ('S', 1_000)])?;
     if total_ms == 0 && date_part.is_empty() && time_part.is_empty() {
         return Err(format!("empty duration {text:?}"));
     }
@@ -58,9 +55,15 @@ pub fn parse_clock_ms(text: &str) -> Result<i64, String> {
     if parts.len() != 3 {
         return Err(format!("clock literal {text:?} must be HH:MM:SS"));
     }
-    let h: i64 = parts[0].parse().map_err(|_| format!("bad hours in {text:?}"))?;
-    let m: i64 = parts[1].parse().map_err(|_| format!("bad minutes in {text:?}"))?;
-    let s: i64 = parts[2].parse().map_err(|_| format!("bad seconds in {text:?}"))?;
+    let h: i64 = parts[0]
+        .parse()
+        .map_err(|_| format!("bad hours in {text:?}"))?;
+    let m: i64 = parts[1]
+        .parse()
+        .map_err(|_| format!("bad minutes in {text:?}"))?;
+    let s: i64 = parts[2]
+        .parse()
+        .map_err(|_| format!("bad seconds in {text:?}"))?;
     if !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..60).contains(&s) {
         return Err(format!("clock literal {text:?} out of range"));
     }
@@ -97,7 +100,10 @@ mod tests {
 
     #[test]
     fn compound_durations() {
-        assert_eq!(parse_duration_ms("P1DT2H30M").unwrap(), 86_400_000 + 9_000_000);
+        assert_eq!(
+            parse_duration_ms("P1DT2H30M").unwrap(),
+            86_400_000 + 9_000_000
+        );
         assert_eq!(parse_duration_ms("PT1M30S").unwrap(), 90_000);
     }
 

@@ -70,7 +70,12 @@ impl ContinuousQuery {
             translated.query.stream.slide_ms,
         )
         .map_err(|e| e.to_string())?;
-        let window_start = translated.query.pulse.as_ref().map(|p| p.start_ms).unwrap_or(0);
+        let window_start = translated
+            .query
+            .pulse
+            .as_ref()
+            .map(|p| p.start_ms)
+            .unwrap_or(0);
 
         let mut bindings = Vec::new();
         if let Some(sql) = &translated.static_sql {
@@ -115,12 +120,7 @@ impl ContinuousQuery {
 
     /// Evaluates one pulse tick at `tick_ms` over the stream table in `db`,
     /// sharing window materializations through `wcache`.
-    pub fn tick(
-        &self,
-        db: &Database,
-        wcache: &WCache,
-        tick_ms: i64,
-    ) -> Result<TickOutput, String> {
+    pub fn tick(&self, db: &Database, wcache: &WCache, tick_ms: i64) -> Result<TickOutput, String> {
         let stream_name = &self.translated.query.stream.name;
         let Some(window_id) = self.window.last_closed(self.window_start, tick_ms) else {
             return Ok(TickOutput {
@@ -139,7 +139,12 @@ impl ContinuousQuery {
         let schema = table.schema.clone();
         let ts_col = schema
             .index_of(&self.stream_to_rdf.timestamp_col)
-            .ok_or_else(|| format!("stream {stream_name} lacks column {}", self.stream_to_rdf.timestamp_col))?;
+            .ok_or_else(|| {
+                format!(
+                    "stream {stream_name} lacks column {}",
+                    self.stream_to_rdf.timestamp_col
+                )
+            })?;
 
         let (open, close) = self.window.bounds(self.window_start, window_id);
         let rows: Arc<Vec<Vec<Value>>> = wcache.get_or_build(stream_name, window_id, || {
@@ -221,8 +226,16 @@ fn instantiate_construct(
             Atom::Class { class, arg } => {
                 out.push(Triple::class_assertion(resolve(arg)?, class.clone()));
             }
-            Atom::Property { property, subject, object } => {
-                out.push(Triple::new(resolve(subject)?, property.clone(), resolve(object)?));
+            Atom::Property {
+                property,
+                subject,
+                object,
+            } => {
+                out.push(Triple::new(
+                    resolve(subject)?,
+                    property.clone(),
+                    resolve(object)?,
+                ));
             }
         }
     }
@@ -251,14 +264,22 @@ mod tests {
         let mut db = Database::new();
         db.put_table(
             "assemblies",
-            table_of("assemblies", &[("aid", ColumnType::Int)], vec![vec![Value::Int(1)]]).unwrap(),
+            table_of(
+                "assemblies",
+                &[("aid", ColumnType::Int)],
+                vec![vec![Value::Int(1)]],
+            )
+            .unwrap(),
         );
         db.put_table(
             "sensors",
             table_of(
                 "sensors",
                 &[("sid", ColumnType::Int), ("aid", ColumnType::Int)],
-                vec![vec![Value::Int(10), Value::Int(1)], vec![Value::Int(11), Value::Int(1)]],
+                vec![
+                    vec![Value::Int(10), Value::Int(1)],
+                    vec![Value::Int(11), Value::Int(1)],
+                ],
             )
             .unwrap(),
         );
@@ -271,7 +292,11 @@ mod tests {
                 Value::Timestamp(t),
                 Value::Int(10),
                 Value::Float(70.0 + i as f64),
-                if i == 9 { Value::text("failure") } else { Value::Null },
+                if i == 9 {
+                    Value::text("failure")
+                } else {
+                    Value::Null
+                },
             ]);
             rows.push(vec![
                 Value::Timestamp(t),
@@ -296,8 +321,14 @@ mod tests {
         );
 
         let mut onto = Ontology::new();
-        onto.add_axiom(Axiom::domain(iri("inAssembly"), BasicConcept::atomic(iri("Assembly"))));
-        onto.add_axiom(Axiom::range(iri("inAssembly"), BasicConcept::atomic(iri("Sensor"))));
+        onto.add_axiom(Axiom::domain(
+            iri("inAssembly"),
+            BasicConcept::atomic(iri("Assembly")),
+        ));
+        onto.add_axiom(Axiom::range(
+            iri("inAssembly"),
+            BasicConcept::atomic(iri("Sensor")),
+        ));
 
         let mut maps = MappingCatalog::new();
         maps.add(
@@ -377,10 +408,16 @@ mod tests {
         // (599s, 609s] = the whole ramp.
         let out = cq.tick(&db, &wcache, 609_000).unwrap();
         assert_eq!(out.bindings_checked, 2);
-        assert_eq!(out.satisfied, 1, "only the rising sensor with a failure fires");
+        assert_eq!(
+            out.satisfied, 1,
+            "only the rising sensor with a failure fires"
+        );
         assert_eq!(out.triples.len(), 1);
         let t = &out.triples[0];
-        assert_eq!(t.subject, Term::iri("http://siemens.example/data/sensor/10"));
+        assert_eq!(
+            t.subject,
+            Term::iri("http://siemens.example/data/sensor/10")
+        );
         assert_eq!(t.object, Term::Iri(iri("MonInc")));
     }
 

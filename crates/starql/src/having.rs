@@ -191,9 +191,9 @@ fn expand_with(
             ProtoPred::Iri(iri) => Ok(iri.clone()),
             ProtoPred::Param(name) => match params.get(name) {
                 Some(ProtoTerm::Const(Term::Iri(iri))) => Ok(iri.clone()),
-                Some(other) => {
-                    Err(format!("parameter ${name} used as predicate but bound to {other:?}"))
-                }
+                Some(other) => Err(format!(
+                    "parameter ${name} used as predicate but bound to {other:?}"
+                )),
                 None => Err(format!("unbound macro parameter ${name}")),
             },
         }
@@ -205,7 +205,11 @@ fn expand_with(
             state_vars: state_vars.clone(),
             body: Box::new(expand_with(body, macros, params, depth)?),
         },
-        ProtoFormula::Forall { state_vars, value_vars, body } => HavingFormula::Forall {
+        ProtoFormula::Forall {
+            state_vars,
+            value_vars,
+            body,
+        } => HavingFormula::Forall {
             state_vars: state_vars.clone(),
             value_vars: value_vars.clone(),
             body: Box::new(expand_with(body, macros, params, depth)?),
@@ -225,9 +229,10 @@ fn expand_with(
         ProtoFormula::Not(a) => {
             HavingFormula::Not(Box::new(expand_with(a, macros, params, depth)?))
         }
-        ProtoFormula::StateLess { left, right } => {
-            HavingFormula::StateLess { left: left.clone(), right: right.clone() }
-        }
+        ProtoFormula::StateLess { left, right } => HavingFormula::StateLess {
+            left: left.clone(),
+            right: right.clone(),
+        },
         ProtoFormula::Graph { state, atoms } => {
             let mut out = Vec::with_capacity(atoms.len());
             for atom in atoms {
@@ -244,21 +249,33 @@ fn expand_with(
                     None => {
                         // Unary pattern `{ ?x C }`: class membership.
                         let class = resolve_pred(&atom.predicate)?;
-                        out.push(Atom::Class { class, arg: subject });
+                        out.push(Atom::Class {
+                            class,
+                            arg: subject,
+                        });
                     }
                 }
             }
-            HavingFormula::Graph { state: state.clone(), atoms: out }
+            HavingFormula::Graph {
+                state: state.clone(),
+                atoms: out,
+            }
         }
         ProtoFormula::Cmp { left, op, right } => HavingFormula::Cmp {
             left: resolve_term(left)?,
             op: *op,
             right: resolve_term(right)?,
         },
-        ProtoFormula::MacroCall { namespace, name, args } => {
+        ProtoFormula::MacroCall {
+            namespace,
+            name,
+            args,
+        } => {
             let def = macros
                 .iter()
-                .find(|d| d.namespace.eq_ignore_ascii_case(namespace) && d.name.eq_ignore_ascii_case(name))
+                .find(|d| {
+                    d.namespace.eq_ignore_ascii_case(namespace) && d.name.eq_ignore_ascii_case(name)
+                })
                 .ok_or_else(|| format!("unknown aggregate macro {namespace}.{name}"))?;
             if def.params.len() != args.len() {
                 return Err(format!(
@@ -365,7 +382,11 @@ impl HavingFormula {
                 let mut env = env.clone();
                 exists_rec(state_vars, 0, n, &mut env, |e| body.eval(seq, e))
             }
-            HavingFormula::Forall { state_vars, value_vars: _, body } => {
+            HavingFormula::Forall {
+                state_vars,
+                value_vars: _,
+                body,
+            } => {
                 // Enumerate all state assignments; the body (typically an
                 // IF) handles value-variable range restriction.
                 let n = seq.states.len();
@@ -547,8 +568,15 @@ fn pattern_query(atoms: &[Atom], env: &Env, answer_vars: &[String]) -> Conjuncti
     let atoms = atoms
         .iter()
         .map(|a| match a {
-            Atom::Class { class, arg } => Atom::Class { class: class.clone(), arg: substitute(arg) },
-            Atom::Property { property, subject, object } => Atom::Property {
+            Atom::Class { class, arg } => Atom::Class {
+                class: class.clone(),
+                arg: substitute(arg),
+            },
+            Atom::Property {
+                property,
+                subject,
+                object,
+            } => Atom::Property {
                 property: property.clone(),
                 subject: substitute(subject),
                 object: substitute(object),
@@ -592,15 +620,32 @@ mod tests {
     /// failure; sensor 2 falls.
     fn rising_sequence() -> StateSequence {
         let mut states = Vec::new();
-        for (t, (v1, v2)) in [(70.0, 90.0), (75.0, 85.0), (80.0, 80.0)].iter().enumerate() {
+        for (t, (v1, v2)) in [(70.0, 90.0), (75.0, 85.0), (80.0, 80.0)]
+            .iter()
+            .enumerate()
+        {
             let mut g = Graph::new();
-            g.insert(Triple::new(sensor(1), iri("hasValue"), Term::Literal(Literal::double(*v1))));
-            g.insert(Triple::new(sensor(2), iri("hasValue"), Term::Literal(Literal::double(*v2))));
-            states.push(State { timestamp: t as i64 * 1000, graph: g });
+            g.insert(Triple::new(
+                sensor(1),
+                iri("hasValue"),
+                Term::Literal(Literal::double(*v1)),
+            ));
+            g.insert(Triple::new(
+                sensor(2),
+                iri("hasValue"),
+                Term::Literal(Literal::double(*v2)),
+            ));
+            states.push(State {
+                timestamp: t as i64 * 1000,
+                graph: g,
+            });
         }
         let mut g = Graph::new();
         g.insert(Triple::class_assertion(sensor(1), iri("showsFailure")));
-        states.push(State { timestamp: 3000, graph: g });
+        states.push(State {
+            timestamp: 3000,
+            graph: g,
+        });
         StateSequence { states }
     }
 
@@ -611,7 +656,10 @@ mod tests {
             atoms: vec![Atom::class(iri("showsFailure"), QueryTerm::var(sensor_var))],
         };
         let cond = HavingFormula::And(
-            Box::new(HavingFormula::StateLess { left: vec!["i".into(), "j".into()], right: "k".into() }),
+            Box::new(HavingFormula::StateLess {
+                left: vec!["i".into(), "j".into()],
+                right: "k".into(),
+            }),
             Box::new(HavingFormula::And(
                 Box::new(HavingFormula::Graph {
                     state: "i".into(),
@@ -643,7 +691,10 @@ mod tests {
         // together with i,j < k; the original formula's `?i < ?j` is added:
         let ordered = HavingFormula::If {
             cond: Box::new(HavingFormula::And(
-                Box::new(HavingFormula::StateLess { left: vec!["i".into()], right: "j".into() }),
+                Box::new(HavingFormula::StateLess {
+                    left: vec!["i".into()],
+                    right: "j".into(),
+                }),
                 match implication.clone() {
                     HavingFormula::If { cond, .. } => cond,
                     _ => unreachable!(),
@@ -781,8 +832,12 @@ mod tests {
             ],
         };
         let expanded = expand(&call, &[def]).unwrap();
-        let HavingFormula::Exists { body, .. } = expanded else { panic!() };
-        let HavingFormula::Graph { atoms, .. } = *body else { panic!() };
+        let HavingFormula::Exists { body, .. } = expanded else {
+            panic!()
+        };
+        let HavingFormula::Graph { atoms, .. } = *body else {
+            panic!()
+        };
         assert_eq!(
             atoms[0],
             Atom::property(iri("hasValue"), QueryTerm::var("c"), QueryTerm::var("x"))
@@ -791,7 +846,11 @@ mod tests {
 
     #[test]
     fn unknown_macro_is_an_error() {
-        let call = ProtoFormula::MacroCall { namespace: "NO".into(), name: "PE".into(), args: vec![] };
+        let call = ProtoFormula::MacroCall {
+            namespace: "NO".into(),
+            name: "PE".into(),
+            args: vec![],
+        };
         assert!(expand(&call, &[]).is_err());
     }
 
@@ -805,7 +864,9 @@ mod tests {
                 object: None,
             }],
         };
-        let HavingFormula::Graph { atoms, .. } = expand(&proto, &[]).unwrap() else { panic!() };
+        let HavingFormula::Graph { atoms, .. } = expand(&proto, &[]).unwrap() else {
+            panic!()
+        };
         assert!(matches!(&atoms[0], Atom::Class { .. }));
     }
 }

@@ -67,6 +67,13 @@ pub enum TokenKind {
     Minus,
     /// `+`
     Plus,
+    /// `!` (only inside WHERE clauses, whose tokens the SPARQL parser
+    /// consumes from the raw source)
+    Bang,
+    /// `&` (see [`TokenKind::Bang`])
+    Amp,
+    /// `|` (see [`TokenKind::Bang`])
+    Pipe,
 }
 
 /// Lexing failure.
@@ -167,15 +174,30 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 2;
                     TokenKind::Ne
                 } else {
-                    return Err(LexError { offset, message: "stray '!'".into() });
+                    // Bare `!` only occurs inside SPARQL WHERE clauses; the
+                    // STARQL parser skips those tokens and re-parses the raw
+                    // source, so it just needs to lex.
+                    i += 1;
+                    TokenKind::Bang
                 }
+            }
+            '&' => {
+                i += 1;
+                TokenKind::Amp
+            }
+            '|' => {
+                i += 1;
+                TokenKind::Pipe
             }
             '^' => {
                 if chars.get(i + 1) == Some(&'^') {
                     i += 2;
                     TokenKind::Carets
                 } else {
-                    return Err(LexError { offset, message: "stray '^'".into() });
+                    return Err(LexError {
+                        offset,
+                        message: "stray '^'".into(),
+                    });
                 }
             }
             '-' => {
@@ -192,7 +214,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 if chars.get(i + 1) == Some(&'=') {
                     i += 2;
                     TokenKind::Le
-                } else if chars.get(i + 1).is_some_and(|n| n.is_alphabetic() || *n == '_') {
+                } else if chars
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_alphabetic() || *n == '_')
+                {
                     // Heuristic: `<` directly followed by a letter starts an
                     // IRI reference (comparisons are written with spaces).
                     let mut j = i + 1;
@@ -200,7 +225,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         j += 1;
                     }
                     if j == chars.len() {
-                        return Err(LexError { offset, message: "unterminated <IRI>".into() });
+                        return Err(LexError {
+                            offset,
+                            message: "unterminated <IRI>".into(),
+                        });
                     }
                     let iri: String = chars[i + 1..j].iter().collect();
                     i = j + 1;
@@ -244,7 +272,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                             j += 1;
                         }
                         None => {
-                            return Err(LexError { offset, message: "unterminated string".into() })
+                            return Err(LexError {
+                                offset,
+                                message: "unterminated string".into(),
+                            })
                         }
                     }
                 }
@@ -257,7 +288,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == i + 1 {
-                    return Err(LexError { offset, message: "empty variable name".into() });
+                    return Err(LexError {
+                        offset,
+                        message: "empty variable name".into(),
+                    });
                 }
                 let name: String = chars[i + 1..j].iter().collect();
                 i = j;
@@ -269,7 +303,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == i + 1 {
-                    return Err(LexError { offset, message: "empty parameter name".into() });
+                    return Err(LexError {
+                        offset,
+                        message: "empty parameter name".into(),
+                    });
                 }
                 let name: String = chars[i + 1..j].iter().collect();
                 i = j;
@@ -315,7 +352,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                     if !chars.get(j).is_some_and(|n| is_ident_char(*n)) {
                         i += 1;
-                        tokens.push(Token { kind: TokenKind::Colon, offset });
+                        tokens.push(Token {
+                            kind: TokenKind::Colon,
+                            offset,
+                        });
                         continue;
                     }
                 }
@@ -334,7 +374,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 TokenKind::Ident(word)
             }
             other => {
-                return Err(LexError { offset, message: format!("unexpected character {other:?}") })
+                return Err(LexError {
+                    offset,
+                    message: format!("unexpected character {other:?}"),
+                })
             }
         };
         tokens.push(Token { kind, offset });
@@ -444,17 +487,21 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("a # rest\n b"), vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Ident("b".into())
-        ]);
+        assert_eq!(
+            kinds("a # rest\n b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into())]
+        );
     }
 
     #[test]
     fn no_le_inside_compact_comparison() {
         assert_eq!(
             kinds("?x<=?y"),
-            vec![TokenKind::Var("x".into()), TokenKind::Le, TokenKind::Var("y".into())]
+            vec![
+                TokenKind::Var("x".into()),
+                TokenKind::Le,
+                TokenKind::Var("y".into())
+            ]
         );
     }
 

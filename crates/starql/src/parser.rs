@@ -19,7 +19,11 @@ pub struct StarQlError {
 
 impl std::fmt::Display for StarQlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "STARQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "STARQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -28,12 +32,16 @@ impl std::error::Error for StarQlError {}
 /// Parses a STARQL query. `namespaces` supplies prefix bindings used by
 /// CURIEs; `PREFIX` declarations in the text extend them.
 pub fn parse_starql(text: &str, namespaces: &Namespaces) -> Result<StarQlQuery, StarQlError> {
-    let tokens = lex(text).map_err(|e| StarQlError { offset: e.offset, message: e.message })?;
+    let tokens = lex(text).map_err(|e| StarQlError {
+        offset: e.offset,
+        message: e.message,
+    })?;
     let mut p = Parser {
         tokens,
         pos: 0,
         ns: namespaces.clone(),
         state_scope: Vec::new(),
+        source: text.to_string(),
     };
     let q = p.parse_query()?;
     if p.pos != p.tokens.len() {
@@ -49,6 +57,9 @@ struct Parser {
     /// Stack of state-variable scopes (quantifier nesting) — used to tell
     /// `?i < ?j` (state order) apart from value comparisons.
     state_scope: Vec<Vec<String>>,
+    /// The raw query text; the WHERE clause is re-sliced from it and handed
+    /// to the SPARQL group-pattern parser.
+    source: String,
 }
 
 impl Parser {
@@ -68,7 +79,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> StarQlError {
-        StarQlError { offset: self.offset(), message }
+        StarQlError {
+            offset: self.offset(),
+            message,
+        }
     }
 
     fn bump(&mut self) -> Option<TokenKind> {
@@ -132,7 +146,9 @@ impl Parser {
     }
 
     fn in_state_scope(&self, var: &str) -> bool {
-        self.state_scope.iter().any(|scope| scope.iter().any(|v| v == var))
+        self.state_scope
+            .iter()
+            .any(|scope| scope.iter().any(|v| v == var))
     }
 
     // ---- top level ----------------------------------------------------
@@ -173,7 +189,11 @@ impl Parser {
         self.expect_kw("STREAM")?;
         let stream_name = self.expect_ident()?;
         let (range_ms, slide_ms) = self.parse_window()?;
-        let stream = StreamClause { name: stream_name, range_ms, slide_ms };
+        let stream = StreamClause {
+            name: stream_name,
+            range_ms,
+            slide_ms,
+        };
 
         let mut static_data = None;
         let mut ontology_ref = None;
@@ -215,15 +235,17 @@ impl Parser {
                 .or_else(|_| parse_duration_ms(&start))
                 .map_err(|m| self.err(m))?;
             let frequency_ms = parse_lenient_duration(&freq).map_err(|m| self.err(m))?;
-            Some(PulseClause { start_ms, frequency_ms })
+            Some(PulseClause {
+                start_ms,
+                frequency_ms,
+            })
         } else {
             None
         };
 
         self.expect_kw("WHERE")?;
-        self.expect(&TokenKind::LBrace)?;
-        let where_bgp = self.parse_bgp()?;
-        self.expect(&TokenKind::RBrace)?;
+        let where_disjuncts = self.parse_where_group()?;
+        let where_bgp = where_disjuncts.first().cloned().unwrap_or_default();
 
         self.expect_kw("SEQUENCE")?;
         self.expect_kw("BY")?;
@@ -251,10 +273,61 @@ impl Parser {
             ontology_ref,
             pulse,
             where_bgp,
+            where_disjuncts,
             sequence,
             having,
             aggregates,
         })
+    }
+
+    /// Parses the WHERE clause by re-slicing its `{ … }` source text and
+    /// delegating to the SPARQL group-graph-pattern parser, then lowering
+    /// the pattern to a union of BGPs. Full SPARQL pattern *syntax* is
+    /// accepted; pattern forms without continuous-query semantics
+    /// (`OPTIONAL`, `FILTER`) are rejected with a positioned explanation.
+    fn parse_where_group(&mut self) -> Result<Vec<Vec<Atom>>, StarQlError> {
+        let open = self.pos;
+        let Some(Token {
+            kind: TokenKind::LBrace,
+            offset: start,
+        }) = self.tokens.get(open).cloned()
+        else {
+            return Err(self.err(format!("expected {{ after WHERE, got {:?}", self.peek())));
+        };
+        // Find the matching close brace at this nesting level.
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, token) in self.tokens.iter().enumerate().skip(open) {
+            match token.kind {
+                TokenKind::LBrace => depth += 1,
+                TokenKind::RBrace => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            return Err(self.err("unterminated WHERE clause (missing })".into()));
+        };
+        let end = self.tokens[close].offset + 1;
+        let slice = &self.source[start..end];
+
+        let group = optique_sparql::parse_group_graph_pattern(slice, &self.ns).map_err(|e| {
+            StarQlError {
+                offset: start,
+                message: format!("in WHERE clause: {e}"),
+            }
+        })?;
+        let disjuncts = group.bgp_disjuncts().map_err(|m| StarQlError {
+            offset: start,
+            message: format!("in WHERE clause: {m} in a continuous query"),
+        })?;
+        self.pos = close + 1;
+        Ok(disjuncts)
     }
 
     fn skip_datatype_tag(&mut self) {
@@ -299,9 +372,16 @@ impl Parser {
                 let QueryTerm::Const(Term::Iri(class)) = object else {
                     return Err(self.err("rdf:type object must be a class IRI".into()));
                 };
-                atoms.push(Atom::Class { class, arg: subject });
+                atoms.push(Atom::Class {
+                    class,
+                    arg: subject,
+                });
             } else {
-                atoms.push(Atom::Property { property: predicate, subject, object });
+                atoms.push(Atom::Property {
+                    property: predicate,
+                    subject,
+                    object,
+                });
             }
             if matches!(self.peek(), Some(TokenKind::Dot)) {
                 self.pos += 1;
@@ -370,7 +450,10 @@ impl Parser {
         self.state_scope.push(vars.clone());
         let body = self.parse_formula()?;
         self.state_scope.pop();
-        Ok(ProtoFormula::Exists { state_vars: vars, body: Box::new(body) })
+        Ok(ProtoFormula::Exists {
+            state_vars: vars,
+            body: Box::new(body),
+        })
     }
 
     fn parse_forall(&mut self) -> Result<ProtoFormula, StarQlError> {
@@ -402,7 +485,10 @@ impl Parser {
         } else {
             let mut order: Option<ProtoFormula> = None;
             for (l, r) in order_pairs {
-                let c = ProtoFormula::StateLess { left: vec![l], right: r };
+                let c = ProtoFormula::StateLess {
+                    left: vec![l],
+                    right: r,
+                };
                 order = Some(match order {
                     None => c,
                     Some(prev) => ProtoFormula::And(Box::new(prev), Box::new(c)),
@@ -414,10 +500,17 @@ impl Parser {
                     cond: Box::new(ProtoFormula::And(Box::new(order), cond)),
                     then,
                 },
-                other => ProtoFormula::If { cond: Box::new(order), then: Box::new(other) },
+                other => ProtoFormula::If {
+                    cond: Box::new(order),
+                    then: Box::new(other),
+                },
             }
         };
-        Ok(ProtoFormula::Forall { state_vars, value_vars, body: Box::new(body) })
+        Ok(ProtoFormula::Forall {
+            state_vars,
+            value_vars,
+            body: Box::new(body),
+        })
     }
 
     fn parse_or(&mut self) -> Result<ProtoFormula, StarQlError> {
@@ -461,7 +554,10 @@ impl Parser {
             self.expect(&TokenKind::RParen)?;
             self.expect_kw("THEN")?;
             let then = self.parse_atomic_formula()?;
-            return Ok(ProtoFormula::If { cond: Box::new(cond), then: Box::new(then) });
+            return Ok(ProtoFormula::If {
+                cond: Box::new(cond),
+                then: Box::new(then),
+            });
         }
         if self.peek_kw("GRAPH") {
             return self.parse_graph_formula();
@@ -497,7 +593,11 @@ impl Parser {
             } else {
                 Some(self.parse_proto_term()?)
             };
-            atoms.push(ProtoAtom { subject, predicate, object });
+            atoms.push(ProtoAtom {
+                subject,
+                predicate,
+                object,
+            });
             if matches!(self.peek(), Some(TokenKind::Dot)) {
                 self.pos += 1;
             }
@@ -557,7 +657,11 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(ProtoFormula::MacroCall { namespace, name, args })
+        Ok(ProtoFormula::MacroCall {
+            namespace,
+            name,
+            args,
+        })
     }
 
     /// `?i, ?j < ?k` (state order) or `?x <= ?y` (value comparison).
@@ -596,13 +700,22 @@ impl Parser {
                     _ => unreachable!(),
                 })
                 .collect();
-            let ProtoTerm::Var(right_name) = right else { unreachable!() };
-            return Ok(ProtoFormula::StateLess { left: left_names, right: right_name });
+            let ProtoTerm::Var(right_name) = right else {
+                unreachable!()
+            };
+            return Ok(ProtoFormula::StateLess {
+                left: left_names,
+                right: right_name,
+            });
         }
         if list.len() != 1 {
             return Err(self.err("comma-separated operands only valid in state comparisons".into()));
         }
-        Ok(ProtoFormula::Cmp { left: list.remove(0), op, right })
+        Ok(ProtoFormula::Cmp {
+            left: list.remove(0),
+            op,
+            right,
+        })
     }
 
     fn parse_aggregate_def(&mut self) -> Result<AggregateDef, StarQlError> {
@@ -636,7 +749,12 @@ impl Parser {
         self.expect_kw("AS")?;
         self.expect_kw("HAVING")?;
         let body = self.parse_formula()?;
-        Ok(AggregateDef { namespace, name, params, body })
+        Ok(AggregateDef {
+            namespace,
+            name,
+            params,
+            body,
+        })
     }
 }
 
@@ -688,7 +806,10 @@ mod tests {
         let pulse = q.pulse.unwrap();
         assert_eq!(pulse.start_ms, 600_000);
         assert_eq!(pulse.frequency_ms, 1_000);
-        assert_eq!(q.static_data.as_deref(), Some("http://www.optique-project.eu/siemens/ABoxstatic"));
+        assert_eq!(
+            q.static_data.as_deref(),
+            Some("http://www.optique-project.eu/siemens/ABoxstatic")
+        );
         assert_eq!(q.sequence.alias(), "seq");
     }
 
@@ -704,8 +825,14 @@ mod tests {
         let crate::having::HavingFormula::And(first, second) = body.as_ref() else {
             panic!("expected AND inside EXISTS")
         };
-        assert!(matches!(first.as_ref(), crate::having::HavingFormula::Graph { .. }));
-        assert!(matches!(second.as_ref(), crate::having::HavingFormula::Forall { .. }));
+        assert!(matches!(
+            first.as_ref(),
+            crate::having::HavingFormula::Graph { .. }
+        ));
+        assert!(matches!(
+            second.as_ref(),
+            crate::having::HavingFormula::Forall { .. }
+        ));
     }
 
     #[test]
@@ -722,7 +849,9 @@ mod tests {
     #[test]
     fn construct_uses_rdf_type() {
         let q = parse_starql(FIGURE1, &ns()).unwrap();
-        let Atom::Class { class, arg } = &q.construct[0] else { panic!() };
+        let Atom::Class { class, arg } = &q.construct[0] else {
+            panic!()
+        };
         assert_eq!(class.local_name(), "MonInc");
         assert_eq!(arg, &QueryTerm::var("c2"));
     }
@@ -755,8 +884,10 @@ mod tests {
         fn find_stateless(f: &crate::having::HavingFormula) -> bool {
             use crate::having::HavingFormula as H;
             match f {
-                H::StateLess { left, right } => left.contains(&"j".to_string()) && right == "k"
-                    || left.contains(&"i".to_string()),
+                H::StateLess { left, right } => {
+                    left.contains(&"j".to_string()) && right == "k"
+                        || left.contains(&"i".to_string())
+                }
                 H::Exists { body, .. } | H::Forall { body, .. } | H::Not(body) => {
                     find_stateless(body)
                 }
@@ -772,6 +903,83 @@ mod tests {
     fn bare_frequency_accepted() {
         assert_eq!(parse_lenient_duration("1S").unwrap(), 1_000);
         assert_eq!(parse_lenient_duration("PT2S").unwrap(), 2_000);
+    }
+
+    fn skeleton(where_clause: &str) -> String {
+        format!(
+            r#"
+            PREFIX sie: <http://siemens.example/ontology#>
+            CREATE STREAM s AS
+            CONSTRUCT GRAPH NOW {{ ?x a sie:Alert }}
+            FROM STREAM S [NOW-"PT1S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE {where_clause}
+            SEQUENCE BY StdSeq AS seq
+            HAVING EXISTS ?k IN seq: GRAPH ?k {{ ?x sie:hasValue ?v }}
+            "#
+        )
+    }
+
+    #[test]
+    fn where_clause_accepts_sparql_union() {
+        let q = parse_starql(
+            &skeleton("{ { ?x a sie:TemperatureSensor } UNION { ?x a sie:PressureSensor } }"),
+            &ns(),
+        )
+        .unwrap();
+        assert_eq!(q.where_disjuncts.len(), 2);
+        assert_eq!(q.where_bgp, q.where_disjuncts[0]);
+        assert!(matches!(&q.where_disjuncts[1][0], Atom::Class { class, .. }
+            if class.local_name() == "PressureSensor"));
+    }
+
+    #[test]
+    fn where_clause_accepts_predicate_object_lists() {
+        let q = parse_starql(
+            &skeleton("{ ?x a sie:Sensor ; sie:inAssembly ?a . }"),
+            &ns(),
+        )
+        .unwrap();
+        assert_eq!(q.where_bgp.len(), 2);
+        assert_eq!(q.where_disjuncts.len(), 1);
+    }
+
+    #[test]
+    fn where_clause_rejects_optional_with_explanation() {
+        let err = parse_starql(
+            &skeleton("{ ?x a sie:Sensor . OPTIONAL { ?x sie:inAssembly ?a } }"),
+            &ns(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("OPTIONAL"), "{}", err.message);
+        assert!(err.message.contains("continuous query"), "{}", err.message);
+    }
+
+    #[test]
+    fn where_clause_rejects_filter_with_explanation() {
+        let err =
+            parse_starql(&skeleton("{ ?x sie:hasValue ?v . FILTER(?v > 5) }"), &ns()).unwrap_err();
+        assert!(err.message.contains("FILTER"), "{}", err.message);
+    }
+
+    #[test]
+    fn where_clause_filter_with_connectives_still_rejected_cleanly() {
+        // `&&`, `||` and `!` are not STARQL tokens elsewhere, but the WHERE
+        // clause must still lex so the user sees the FILTER explanation
+        // rather than a stray-character lex error.
+        let err = parse_starql(
+            &skeleton("{ ?x sie:hasValue ?v . FILTER(?v > 5 && !(?v = 7)) }"),
+            &ns(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("FILTER"), "{}", err.message);
+        assert!(err.message.contains("continuous query"), "{}", err.message);
+    }
+
+    #[test]
+    fn where_clause_syntax_errors_are_positioned() {
+        let err = parse_starql(&skeleton("{ ?x a }"), &ns()).unwrap_err();
+        assert!(err.message.contains("in WHERE clause"), "{}", err.message);
+        assert!(err.message.contains("line"), "{}", err.message);
     }
 
     #[test]

@@ -136,7 +136,10 @@ pub enum SequenceError {
 impl std::fmt::Display for SequenceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SequenceError::IntegrityViolation { timestamp, violations } => write!(
+            SequenceError::IntegrityViolation {
+                timestamp,
+                violations,
+            } => write!(
                 f,
                 "state at {timestamp} violates {} integrity constraint(s)",
                 violations.len()
@@ -181,7 +184,10 @@ pub fn build_stdseq(
             if !violations.is_empty() {
                 match policy {
                     IcPolicy::Strict => {
-                        return Err(SequenceError::IntegrityViolation { timestamp, violations })
+                        return Err(SequenceError::IntegrityViolation {
+                            timestamp,
+                            violations,
+                        })
                     }
                     IcPolicy::DropViolating => {
                         dropped += 1;
@@ -250,7 +256,11 @@ mod tests {
         assert_eq!(seq.len(), 2);
         assert_eq!(dropped, 0);
         assert_eq!(seq.states[0].timestamp, 1000);
-        assert_eq!(seq.states[0].graph.len(), 2, "two sensors' values at t=1000");
+        assert_eq!(
+            seq.states[0].graph.len(),
+            2,
+            "two sensors' values at t=1000"
+        );
     }
 
     #[test]
@@ -270,7 +280,13 @@ mod tests {
         let rows = vec![row(1000, 1, 70.0, None), row(1000, 1, 71.0, None)];
         let err =
             build_stdseq(&rows, &schema(), &mapping(), Some(&onto), IcPolicy::Strict).unwrap_err();
-        assert!(matches!(err, SequenceError::IntegrityViolation { timestamp: 1000, .. }));
+        assert!(matches!(
+            err,
+            SequenceError::IntegrityViolation {
+                timestamp: 1000,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -282,9 +298,14 @@ mod tests {
             row(1000, 1, 71.0, None),
             row(2000, 1, 75.0, None),
         ];
-        let (seq, dropped) =
-            build_stdseq(&rows, &schema(), &mapping(), Some(&onto), IcPolicy::DropViolating)
-                .unwrap();
+        let (seq, dropped) = build_stdseq(
+            &rows,
+            &schema(),
+            &mapping(),
+            Some(&onto),
+            IcPolicy::DropViolating,
+        )
+        .unwrap();
         assert_eq!(dropped, 1);
         assert_eq!(seq.len(), 1);
         assert_eq!(seq.states[0].timestamp, 2000);
@@ -292,7 +313,12 @@ mod tests {
 
     #[test]
     fn null_values_emit_no_value_triple() {
-        let rows = vec![vec![Value::Timestamp(1000), Value::Int(1), Value::Null, Value::Null]];
+        let rows = vec![vec![
+            Value::Timestamp(1000),
+            Value::Int(1),
+            Value::Null,
+            Value::Null,
+        ]];
         let (seq, _) = build_stdseq(&rows, &schema(), &mapping(), None, IcPolicy::Strict).unwrap();
         assert_eq!(seq.len(), 1);
         assert!(seq.states[0].graph.is_empty());

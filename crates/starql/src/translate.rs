@@ -101,28 +101,74 @@ pub fn translate(
     // Expand aggregate macros first: HAVING decides the answer variables.
     let having = expand(&query.having, &query.aggregates).map_err(TranslateError)?;
 
-    // Answer variables: WHERE variables used by CONSTRUCT or HAVING.
-    let where_vars = atom_vars(&query.where_bgp);
+    // Answer variables: WHERE variables (across all UNION disjuncts) used
+    // by CONSTRUCT or HAVING.
+    let disjuncts: &[Vec<Atom>] = if query.where_disjuncts.is_empty() {
+        std::slice::from_ref(&query.where_bgp)
+    } else {
+        &query.where_disjuncts
+    };
+    let mut where_vars: BTreeSet<String> = BTreeSet::new();
+    for d in disjuncts {
+        where_vars.extend(atom_vars(d));
+    }
     let mut used: BTreeSet<String> = atom_vars(&query.construct);
     collect_having_vars(&having, &mut used);
-    let where_answer_vars: Vec<String> =
-        where_vars.iter().filter(|v| used.contains(*v)).cloned().collect();
+    let where_answer_vars: Vec<String> = where_vars
+        .iter()
+        .filter(|v| used.contains(*v))
+        .cloned()
+        .collect();
     if where_answer_vars.is_empty() {
         return Err(TranslateError(
             "no WHERE variable is used by CONSTRUCT or HAVING — the query is degenerate".into(),
         ));
     }
+    // Continuous-query bindings are total: every answer variable must bind
+    // in every UNION branch (the engine has no notion of a partially bound
+    // sensor). Reject asymmetric branches with a pointed message instead of
+    // letting unfolding fail on a missing projection.
+    for (i, disjunct) in disjuncts.iter().enumerate() {
+        let branch_vars = atom_vars(disjunct);
+        if let Some(missing) = where_answer_vars.iter().find(|v| !branch_vars.contains(*v)) {
+            return Err(TranslateError(format!(
+                "variable ?{missing} is used by CONSTRUCT or HAVING but not bound in WHERE \
+                 UNION branch {} — every branch must bind every used variable",
+                i + 1
+            )));
+        }
+    }
 
-    // Stage (i): enrichment.
-    let where_cq = ConjunctiveQuery::new(where_answer_vars.clone(), query.where_bgp.clone());
-    let (enriched_where, rewrite_stats) =
-        rewrite(&where_cq, ctx.ontology, &ctx.rewrite_settings)
+    // Stage (i): enrichment — each UNION disjunct rewrites on its own; the
+    // enriched UCQs union, deduplicated up to variable renaming.
+    let mut enriched_where = UnionQuery {
+        disjuncts: Vec::new(),
+    };
+    let mut rewrite_stats = RewriteStats {
+        generated: 0,
+        retained: 0,
+        iterations: 0,
+        elapsed: std::time::Duration::ZERO,
+    };
+    let mut seen_keys: BTreeSet<String> = BTreeSet::new();
+    for disjunct in disjuncts {
+        let where_cq = ConjunctiveQuery::new(where_answer_vars.clone(), disjunct.clone());
+        let (ucq, stats) = rewrite(&where_cq, ctx.ontology, &ctx.rewrite_settings)
             .map_err(|e| TranslateError(e.to_string()))?;
+        rewrite_stats.generated += stats.generated;
+        rewrite_stats.retained += stats.retained;
+        rewrite_stats.iterations += stats.iterations;
+        rewrite_stats.elapsed += stats.elapsed;
+        for cq in ucq.disjuncts {
+            if seen_keys.insert(cq.canonical_key()) {
+                enriched_where.disjuncts.push(cq);
+            }
+        }
+    }
 
     // Stage (ii): unfolding.
     let (static_sql, unfold_stats) =
-        unfold_ucq(&enriched_where, ctx.mappings, &ctx.unfold_settings)
-            .map_err(TranslateError)?;
+        unfold_ucq(&enriched_where, ctx.mappings, &ctx.unfold_settings).map_err(TranslateError)?;
 
     // The fleet: each unfolded disjunct is one low-level static query; each
     // stream-attribute mapping adds one windowed stream query.
@@ -253,8 +299,14 @@ mod tests {
             BasicConcept::atomic(iri("TemperatureSensor")),
             BasicConcept::atomic(iri("Sensor")),
         ));
-        o.add_axiom(Axiom::range(iri("inAssembly"), BasicConcept::atomic(iri("Sensor"))));
-        o.add_axiom(Axiom::domain(iri("inAssembly"), BasicConcept::atomic(iri("Assembly"))));
+        o.add_axiom(Axiom::range(
+            iri("inAssembly"),
+            BasicConcept::atomic(iri("Sensor")),
+        ));
+        o.add_axiom(Axiom::domain(
+            iri("inAssembly"),
+            BasicConcept::atomic(iri("Assembly")),
+        ));
         o
     }
 
@@ -331,14 +383,20 @@ mod tests {
         // domain/range axioms; reduction then collapses the union to the
         // most general disjunct {inAssembly(c1, c2)} — several candidates
         // are generated, subsumption keeps the minimal set.
-        assert!(t.rewrite_stats.generated >= 3, "generated {}", t.rewrite_stats.generated);
-        assert!(t.enriched_where.len() >= 1);
+        assert!(
+            t.rewrite_stats.generated >= 3,
+            "generated {}",
+            t.rewrite_stats.generated
+        );
+        assert!(!t.enriched_where.is_empty());
         assert!(t.rewrite_stats.retained <= t.rewrite_stats.generated);
         // The surviving disjunct must still reach the data through the
         // role atom (that is what makes all sensor variants reachable).
         let has_role = t.enriched_where.disjuncts.iter().any(|cq| {
-            cq.atoms.iter().any(|a| matches!(a, Atom::Property { property, .. }
-                if property.local_name() == "inAssembly"))
+            cq.atoms.iter().any(|a| {
+                matches!(a, Atom::Property { property, .. }
+                if property.local_name() == "inAssembly")
+            })
         });
         assert!(has_role);
     }
@@ -364,6 +422,67 @@ mod tests {
         let t = translate_figure1();
         let sql = t.window_sql(0, 600_000, 5, 7);
         assert!(sql.contains("timeslidingwindow('S_Msmt', 0, 10000, 1000, 600000, 5, 7)"));
+    }
+
+    #[test]
+    fn union_where_unions_enrichments() {
+        let ns = Namespaces::with_w3c_defaults();
+        let text = r#"
+            PREFIX sie: <http://siemens.example/ontology#>
+            CREATE STREAM s AS
+            CONSTRUCT GRAPH NOW { ?c2 a sie:Alert }
+            FROM STREAM S [NOW-"PT1S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE { { ?c2 a sie:TemperatureSensor } UNION { ?c1 sie:inAssembly ?c2 } }
+            SEQUENCE BY StdSeq AS seq
+            HAVING EXISTS ?k IN seq: GRAPH ?k { ?c2 sie:hasValue ?v }
+        "#;
+        let q = parse_starql(text, &ns).unwrap();
+        assert_eq!(q.where_disjuncts.len(), 2);
+        let onto = ontology();
+        let maps = mappings();
+        let ctx = TranslationContext {
+            ontology: &onto,
+            mappings: &maps,
+            rewrite_settings: RewriteSettings::default(),
+            unfold_settings: UnfoldSettings::default(),
+        };
+        let t = translate(&q, &ctx).unwrap();
+        // Both branches reach the data: the temperature-sensor class and the
+        // role atom each contribute at least one disjunct.
+        assert!(
+            t.enriched_where.len() >= 2,
+            "enriched: {}",
+            t.enriched_where
+        );
+        let sql = t.static_sql.expect("both branches are mapped").to_string();
+        assert!(sql.contains("UNION ALL"), "{sql}");
+    }
+
+    #[test]
+    fn asymmetric_union_branch_rejected_with_explanation() {
+        let ns = Namespaces::with_w3c_defaults();
+        // ?c1 is used by CONSTRUCT but only bound in the second branch.
+        let text = r#"
+            PREFIX sie: <http://siemens.example/ontology#>
+            CREATE STREAM s AS
+            CONSTRUCT GRAPH NOW { ?c1 a sie:Alert }
+            FROM STREAM S [NOW-"PT1S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE { { ?c2 a sie:TemperatureSensor } UNION { ?c1 sie:inAssembly ?c2 } }
+            SEQUENCE BY StdSeq AS seq
+            HAVING EXISTS ?k IN seq: GRAPH ?k { ?c2 sie:hasValue ?v }
+        "#;
+        let q = parse_starql(text, &ns).unwrap();
+        let onto = ontology();
+        let maps = mappings();
+        let ctx = TranslationContext {
+            ontology: &onto,
+            mappings: &maps,
+            rewrite_settings: RewriteSettings::default(),
+            unfold_settings: UnfoldSettings::default(),
+        };
+        let err = translate(&q, &ctx).unwrap_err();
+        assert!(err.0.contains("?c1"), "{}", err.0);
+        assert!(err.0.contains("UNION branch 1"), "{}", err.0);
     }
 
     #[test]

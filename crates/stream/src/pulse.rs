@@ -24,7 +24,10 @@ impl Pulse {
                 "pulse frequency must be positive, got {frequency_ms}"
             )));
         }
-        Ok(Pulse { start_ms, frequency_ms })
+        Ok(Pulse {
+            start_ms,
+            frequency_ms,
+        })
     }
 
     /// The instant of tick `i`.

@@ -21,7 +21,11 @@ pub struct Stream {
 impl Stream {
     /// Wraps a table as a stream, sorting by the time column and validating
     /// that every timestamp is a non-NULL instant/integer.
-    pub fn new(name: impl Into<String>, mut table: Table, timestamp_col: usize) -> Result<Self, SqlError> {
+    pub fn new(
+        name: impl Into<String>,
+        mut table: Table,
+        timestamp_col: usize,
+    ) -> Result<Self, SqlError> {
         if timestamp_col >= table.schema.len() {
             return Err(SqlError::Binding(format!(
                 "timestamp column {timestamp_col} out of range for stream schema"
@@ -35,13 +39,21 @@ impl Stream {
                 )));
             }
         }
-        table.rows.sort_by(|a, b| a[timestamp_col].total_cmp(&b[timestamp_col]));
-        Ok(Stream { name: name.into(), table, timestamp_col })
+        table
+            .rows
+            .sort_by(|a, b| a[timestamp_col].total_cmp(&b[timestamp_col]));
+        Ok(Stream {
+            name: name.into(),
+            table,
+            timestamp_col,
+        })
     }
 
     /// Timestamp of a row.
     pub fn ts(&self, row: &[Value]) -> i64 {
-        row[self.timestamp_col].as_i64().expect("validated at construction")
+        row[self.timestamp_col]
+            .as_i64()
+            .expect("validated at construction")
     }
 
     /// Number of tuples.
@@ -121,7 +133,8 @@ mod tests {
     #[test]
     fn null_timestamp_rejected() {
         let mut t = measurements();
-        t.rows.push(vec![Value::Null, Value::Int(2), Value::Float(1.0)]);
+        t.rows
+            .push(vec![Value::Null, Value::Int(2), Value::Float(1.0)]);
         assert!(Stream::new("s", t, 0).is_err());
     }
 
@@ -139,10 +152,18 @@ mod tests {
     #[test]
     fn append_enforces_watermark() {
         let mut s = Stream::new("S_Msmt", measurements(), 0).unwrap();
-        s.append(vec![Value::Timestamp(3000), Value::Int(2), Value::Float(1.0)])
-            .expect("equal to watermark is fine");
+        s.append(vec![
+            Value::Timestamp(3000),
+            Value::Int(2),
+            Value::Float(1.0),
+        ])
+        .expect("equal to watermark is fine");
         let err = s
-            .append(vec![Value::Timestamp(100), Value::Int(2), Value::Float(1.0)])
+            .append(vec![
+                Value::Timestamp(100),
+                Value::Int(2),
+                Value::Float(1.0),
+            ])
             .unwrap_err();
         assert!(matches!(err, SqlError::Execution(_)));
     }

@@ -49,7 +49,10 @@ impl WCache {
         window_id: u64,
         build: impl FnOnce() -> Vec<Vec<Value>>,
     ) -> Arc<Vec<Vec<Value>>> {
-        let key = WindowKey { stream: stream.to_string(), window_id };
+        let key = WindowKey {
+            stream: stream.to_string(),
+            window_id,
+        };
         if let Some(hit) = self.entries.read().expect("wcache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
@@ -90,7 +93,13 @@ impl WCache {
 
 impl std::fmt::Debug for WCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "WCache({} windows, {} hits, {} misses)", self.len(), self.hits(), self.misses())
+        write!(
+            f,
+            "WCache({} windows, {} hits, {} misses)",
+            self.len(),
+            self.hits(),
+            self.misses()
+        )
     }
 }
 

@@ -47,7 +47,11 @@ impl WindowSpec {
         // Need close_k ∈ [ts, ts + range): k ≥ (ts − start)/slide and
         // close_k < ts + range.
         let lo_num = ts - start;
-        let k_min = if lo_num <= 0 { 0 } else { div_ceil(lo_num, self.slide_ms) };
+        let k_min = if lo_num <= 0 {
+            0
+        } else {
+            div_ceil(lo_num, self.slide_ms)
+        };
         let hi_num = ts + self.range_ms - start; // close_k < hi_num
         if hi_num <= 0 {
             return None;
@@ -118,7 +122,10 @@ mod tests {
     fn stream_with_times(times: &[i64]) -> Stream {
         let schema = Schema::qualified(
             "s",
-            vec![Column::new("ts", ColumnType::Timestamp), Column::new("v", ColumnType::Int)],
+            vec![
+                Column::new("ts", ColumnType::Timestamp),
+                Column::new("v", ColumnType::Int),
+            ],
         );
         let rows = times
             .iter()
@@ -179,7 +186,10 @@ mod tests {
             let wid = row[0].as_i64().unwrap() as u64;
             let ts = row[1].as_i64().unwrap();
             let (lo, hi) = w.windows_containing(0, ts).unwrap();
-            assert!(wid >= lo && wid <= hi, "tuple at {ts} misplaced in window {wid}");
+            assert!(
+                wid >= lo && wid <= hi,
+                "tuple at {ts} misplaced in window {wid}"
+            );
         }
         // And conversely: count matches the sum over windows of slice sizes.
         let mut expected = 0;

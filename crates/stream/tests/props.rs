@@ -41,7 +41,6 @@ proptest! {
         let mut expected = 0usize;
         for &ts in &times {
             if let Some((lo, hi)) = spec.windows_containing(start, ts) {
-                let lo = lo.max(0);
                 let hi = hi.min(last_window);
                 if hi >= lo {
                     expected += (hi - lo + 1) as usize;

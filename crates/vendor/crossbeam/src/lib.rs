@@ -1,0 +1,41 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`
+//! (whose `Sender` has been `Sync + Clone` since Rust 1.72, covering the
+//! sharing patterns this workspace uses).
+
+pub mod channel {
+    //! Unbounded MPSC channels with crossbeam's constructor name.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn roundtrip_across_threads() {
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        handle.join().unwrap();
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropped_receiver_fails_send() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the declarative surface this workspace's property tests use —
+//! the [`proptest!`] macro, range / regex-string / tuple / `prop_oneof!` /
+//! collection strategies, `any::<T>()`, [`sample::Index`] and the
+//! `prop_assert*` macros — over a deterministic per-case RNG (no shrinking:
+//! a failing case reports its case number and message instead of a
+//! minimized input, which is enough signal for this repo's suites).
+
+pub mod collection;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( config = ($cfg:expr);
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for_case(case);
+                    $( let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    runner.record(case, outcome);
+                }
+            }
+        )*
+    };
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![ $( $crate::strategy::boxed($strategy) ),+ ])
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not the
+/// process) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality with `{:?}` diagnostics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    }};
+}
+
+/// Asserts inequality with `{:?}` diagnostics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..9, f in -1.0f64..1.0, n in 0usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(n < 4);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            xs in crate::collection::vec(0i64..10, 2..6),
+            pair in (0u64..5, 10u64..15),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert!(pair.0 < 5 && pair.1 >= 10);
+        }
+
+        #[test]
+        fn oneof_map_and_strings(
+            s in "[a-z]{1,8}",
+            grouped in "[a-z]{1,3}(/[a-z0-9]{1,2}){0,2}",
+            v in prop_oneof![Just(1i64), (5i64..7).prop_map(|x| x * 10)],
+        ) {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(!grouped.is_empty());
+            prop_assert!(v == 1 || v == 50 || v == 60);
+        }
+
+        #[test]
+        fn index_samples_in_range(
+            ix in any::<crate::sample::Index>(),
+            flag in any::<bool>(),
+            w in any::<u64>(),
+        ) {
+            prop_assert!(ix.index(7) < 7);
+            let _ = (flag, w);
+        }
+
+        #[test]
+        fn early_return_ok_is_a_pass(x in 0i64..10) {
+            if x % 2 == 0 {
+                return Ok(());
+            }
+            prop_assert!(x % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4), "det");
+        let a: Vec<i64> = (0..4)
+            .map(|c| (0i64..100).generate(&mut runner.rng_for_case(c)))
+            .collect();
+        let b: Vec<i64> = (0..4)
+            .map(|c| (0i64..100).generate(&mut runner.rng_for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0")]
+    fn failing_case_reports_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0i64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

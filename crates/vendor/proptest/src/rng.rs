@@ -1,0 +1,38 @@
+//! The deterministic per-case generator.
+
+/// A splitmix64-based RNG; cheap, seedable, good enough for test-case
+/// generation (not for statistics).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next pseudorandom 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be ≥ 1.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound >= 1);
+        // Modulo bias is ≤ bound/2^64 — irrelevant at test-suite scale.
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of mantissa.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,17 @@
+//! Collection-index sampling (`any::<sample::Index>()`).
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Projects onto `[0, len)`. Panics when `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}

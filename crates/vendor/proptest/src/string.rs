@@ -1,0 +1,229 @@
+//! Regex-lite string generation.
+//!
+//! Supports the pattern subset the workspace's strategies use: literal
+//! characters, character classes `[a-z0-9_]` (ranges and singletons, no
+//! negation), groups `( … )`, and the quantifiers `{m}`, `{m,n}`, `?`, `*`,
+//! `+` (star/plus bounded at 8 repetitions).
+
+use crate::rng::TestRng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(Node, Repeat)>),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+const ONCE: Repeat = Repeat { min: 1, max: 1 };
+
+/// Generates a string matching `pattern`, or an error describing why the
+/// pattern is outside the supported subset.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> Result<String, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (nodes, consumed) = parse_sequence(&chars, 0)?;
+    if consumed != chars.len() {
+        return Err(format!("unexpected character at position {consumed}"));
+    }
+    let mut out = String::new();
+    for (node, repeat) in &nodes {
+        emit(node, *repeat, rng, &mut out);
+    }
+    Ok(out)
+}
+
+fn parse_sequence(chars: &[char], mut pos: usize) -> Result<(Vec<(Node, Repeat)>, usize), String> {
+    let mut nodes = Vec::new();
+    while pos < chars.len() {
+        let node = match chars[pos] {
+            ')' => break,
+            '[' => {
+                let (class, next) = parse_class(chars, pos + 1)?;
+                pos = next;
+                class
+            }
+            '(' => {
+                let (inner, next) = parse_sequence(chars, pos + 1)?;
+                if next >= chars.len() || chars[next] != ')' {
+                    return Err("unclosed group".into());
+                }
+                pos = next + 1;
+                Node::Group(inner)
+            }
+            '\\' => {
+                pos += 1;
+                let c = *chars.get(pos).ok_or("dangling escape")?;
+                pos += 1;
+                Node::Literal(c)
+            }
+            c => {
+                pos += 1;
+                Node::Literal(c)
+            }
+        };
+        let repeat = if pos < chars.len() {
+            match chars[pos] {
+                '{' => {
+                    let (r, next) = parse_braces(chars, pos + 1)?;
+                    pos = next;
+                    r
+                }
+                '?' => {
+                    pos += 1;
+                    Repeat { min: 0, max: 1 }
+                }
+                '*' => {
+                    pos += 1;
+                    Repeat {
+                        min: 0,
+                        max: UNBOUNDED_CAP,
+                    }
+                }
+                '+' => {
+                    pos += 1;
+                    Repeat {
+                        min: 1,
+                        max: UNBOUNDED_CAP,
+                    }
+                }
+                _ => ONCE,
+            }
+        } else {
+            ONCE
+        };
+        nodes.push((node, repeat));
+    }
+    Ok((nodes, pos))
+}
+
+fn parse_class(chars: &[char], mut pos: usize) -> Result<(Node, usize), String> {
+    let mut ranges = Vec::new();
+    while pos < chars.len() && chars[pos] != ']' {
+        let lo = chars[pos];
+        if pos + 2 < chars.len() && chars[pos + 1] == '-' && chars[pos + 2] != ']' {
+            let hi = chars[pos + 2];
+            if hi < lo {
+                return Err(format!("inverted class range {lo}-{hi}"));
+            }
+            ranges.push((lo, hi));
+            pos += 3;
+        } else {
+            ranges.push((lo, lo));
+            pos += 1;
+        }
+    }
+    if pos >= chars.len() {
+        return Err("unclosed character class".into());
+    }
+    if ranges.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok((Node::Class(ranges), pos + 1))
+}
+
+fn parse_braces(chars: &[char], mut pos: usize) -> Result<(Repeat, usize), String> {
+    let mut min = String::new();
+    while pos < chars.len() && chars[pos].is_ascii_digit() {
+        min.push(chars[pos]);
+        pos += 1;
+    }
+    let min: usize = min.parse().map_err(|_| "bad repetition count")?;
+    let max = if pos < chars.len() && chars[pos] == ',' {
+        pos += 1;
+        let mut max = String::new();
+        while pos < chars.len() && chars[pos].is_ascii_digit() {
+            max.push(chars[pos]);
+            pos += 1;
+        }
+        max.parse().map_err(|_| "bad repetition bound")?
+    } else {
+        min
+    };
+    if pos >= chars.len() || chars[pos] != '}' {
+        return Err("unclosed repetition".into());
+    }
+    if max < min {
+        return Err("inverted repetition bounds".into());
+    }
+    Ok((Repeat { min, max }, pos + 1))
+}
+
+fn emit(node: &Node, repeat: Repeat, rng: &mut TestRng, out: &mut String) {
+    let count = repeat.min + rng.below((repeat.max - repeat.min + 1) as u64) as usize;
+    for _ in 0..count {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let pick = rng.below(ranges.len() as u64) as usize;
+                let (lo, hi) = ranges[pick];
+                let span = hi as u32 - lo as u32 + 1;
+                let c = char::from_u32(lo as u32 + rng.below(span as u64) as u32)
+                    .expect("class ranges stay inside valid scalar values");
+                out.push(c);
+            }
+            Node::Group(inner) => {
+                for (n, r) in inner {
+                    emit(n, *r, rng, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        generate_matching(pattern, &mut TestRng::new(seed)).unwrap()
+    }
+
+    #[test]
+    fn class_with_counts() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{1,8}", seed);
+            assert!(!s.is_empty() && s.len() <= 8, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        for seed in 0..50 {
+            let s = gen("[ -~]{0,24}", seed);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_with_repetition() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{1,8}(/[a-z0-9]{1,6}){0,2}", seed);
+            let segments: Vec<&str> = s.split('/').collect();
+            assert!((1..=3).contains(&segments.len()), "{s:?}");
+            assert!(!segments[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        assert_eq!(gen("abc", 1), "abc");
+        assert_eq!(gen("[a]{3}", 1), "aaa");
+    }
+
+    #[test]
+    fn rejects_bad_patterns() {
+        let mut rng = TestRng::new(0);
+        assert!(generate_matching("[a-z", &mut rng).is_err());
+        assert!(generate_matching("(ab", &mut rng).is_err());
+        assert!(generate_matching("a{2,1}", &mut rng).is_err());
+    }
+}

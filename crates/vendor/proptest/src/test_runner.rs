@@ -1,0 +1,99 @@
+//! Case scheduling and failure reporting for [`proptest!`](crate::proptest).
+
+use crate::rng::TestRng;
+
+/// Per-block configuration (`#![proptest_config(…)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suites quick while
+        // still exploring a useful slice of each input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The input was rejected (counts as neither pass nor fail).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Shorthand for proptest bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs the cases of one property test deterministically.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed_base: u64,
+}
+
+impl TestRunner {
+    /// A runner whose case RNGs derive from the test name, so every test
+    /// explores a distinct but reproducible input stream.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            seed_base: seed,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for case `case`.
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng::new(
+            self.seed_base
+                .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9)),
+        )
+    }
+
+    /// Records one case outcome; failures panic with the case number so the
+    /// deterministic seed can be replayed.
+    pub fn record(&self, case: u32, outcome: TestCaseResult) {
+        match outcome {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property failed at case {case}/{}: {msg}",
+                    self.config.cases
+                )
+            }
+        }
+    }
+}

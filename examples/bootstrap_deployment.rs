@@ -42,7 +42,10 @@ fn main() {
         table.foreign_keys.clear();
     }
     for (table, fk) in discover_foreign_keys(&bare, &deployment.db, &Default::default()) {
-        println!("  {table}.{} → {}.{}", fk.columns[0], fk.ref_table, fk.ref_columns[0]);
+        println!(
+            "  {table}.{} → {}.{}",
+            fk.columns[0], fk.ref_table, fk.ref_columns[0]
+        );
     }
 
     println!("\n== 3. keyword-driven mapping discovery ({{SGT, gas, germany}}) ==");
@@ -72,13 +75,22 @@ fn main() {
     println!("\n== 5. querying the bootstrapped deployment ==");
     let q = ConjunctiveQuery::new(
         vec!["t".into()],
-        vec![Atom::class(Iri::new("http://boot.example/vocab#Turbine"), QueryTerm::var("t"))],
+        vec![Atom::class(
+            Iri::new("http://boot.example/vocab#Turbine"),
+            QueryTerm::var("t"),
+        )],
     );
     let (sql, stats) =
         optique_mapping::unfold_cq(&q, &out.mappings, &Default::default()).expect("unfolds");
     let sql = sql.expect("Turbine is mapped");
     println!("  unfolded SQL: {sql}");
-    println!("  ({} combination(s), {} emitted)", stats.combinations, stats.emitted);
+    println!(
+        "  ({} combination(s), {} emitted)",
+        stats.combinations, stats.emitted
+    );
     let table = optique_relational::exec::query(&sql.to_string(), &deployment.db).expect("runs");
-    println!("  {} turbines via the bootstrapped semantic layer", table.len());
+    println!(
+        "  {} turbines via the bootstrapped semantic layer",
+        table.len()
+    );
 }

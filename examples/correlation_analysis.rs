@@ -14,7 +14,10 @@ use optique_relational::Database;
 use optique_siemens::{streamgen::sensor_series, StreamConfig};
 
 fn main() {
-    let n_sensors: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    let n_sensors: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
 
     // A stream with several planted correlated pairs.
     let mut db = Database::new();
@@ -61,7 +64,10 @@ fn main() {
     let approx = index.correlated_pairs(0.8);
     let lsh_time = start.elapsed();
     println!("\n== LSH (16 bands × 8 bits) ==");
-    println!("  {} candidate pairs verified in {lsh_time:?}", approx.len());
+    println!(
+        "  {} candidate pairs verified in {lsh_time:?}",
+        approx.len()
+    );
     for pair in approx.iter().take(6) {
         println!(
             "  sensors {} & {}: estimate {:+.3}, exact {:+.3}",
@@ -72,8 +78,7 @@ fn main() {
     // Recall against the exact baseline.
     let exact_set: std::collections::BTreeSet<(u64, u64)> =
         exact.iter().map(|(a, b, _)| (*a, *b)).collect();
-    let found: std::collections::BTreeSet<(u64, u64)> =
-        approx.iter().map(|p| (p.a, p.b)).collect();
+    let found: std::collections::BTreeSet<(u64, u64)> = approx.iter().map(|p| (p.a, p.b)).collect();
     let recalled = exact_set.intersection(&found).count();
     println!(
         "\nrecall {recalled}/{} — speedup ×{:.1}",

@@ -19,7 +19,12 @@ fn build_source() -> (Database, usize) {
     let mut db = Database::new();
     let sensors = optique_siemens::fleet::build_fleet(
         &mut db,
-        &FleetConfig { turbines: 50, assemblies_per_turbine: 4, sensors_per_assembly: 5, seed: 9 },
+        &FleetConfig {
+            turbines: 50,
+            assemblies_per_turbine: 4,
+            sensors_per_assembly: 5,
+            seed: 9,
+        },
     )
     .unwrap();
     let config = StreamConfig {
@@ -48,13 +53,18 @@ fn cluster_for(db: &Database, workers: usize) -> Arc<Cluster> {
     }))
 }
 
-const QUERY: &str =
-    "SELECT sensor_id, COUNT(*) AS n, AVG(value) AS mean, MAX(value) AS mx \
+const QUERY: &str = "SELECT sensor_id, COUNT(*) AS n, AVG(value) AS mean, MAX(value) AS mx \
      FROM S_Msmt GROUP BY sensor_id";
 
 fn main() {
-    let max_nodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
-    let max_queries: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(1024);
+    let max_nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(128);
+    let max_queries: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1024);
 
     let (db, tuples) = build_source();
     println!("source stream: {tuples} tuples\n");
@@ -77,7 +87,9 @@ fn main() {
     }
 
     // E2: concurrent-task sweep on a fixed cluster.
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     println!("\n== E2: aggregate throughput vs concurrent tasks ({workers} workers) ==");
     println!("{:>8} {:>14} {:>16}", "queries", "elapsed", "throughput");
     let cluster = cluster_for(&db, workers);
@@ -87,7 +99,10 @@ fn main() {
         for i in 0..q {
             gateway
                 .register(
-                    format!("SELECT COUNT(*) AS n FROM S_Msmt WHERE sensor_id % 16 = {}", i % 16),
+                    format!(
+                        "SELECT COUNT(*) AS n FROM S_Msmt WHERE sensor_id % 16 = {}",
+                        i % 16
+                    ),
                     1.0,
                 )
                 .unwrap();

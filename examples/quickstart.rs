@@ -25,7 +25,9 @@ fn main() {
 
     // 2. The platform compiles STARQL through enrichment and unfolding.
     let platform = OptiquePlatform::from_siemens(deployment);
-    let id = platform.register_starql(FIGURE1).expect("figure 1 registers");
+    let id = platform
+        .register_starql(FIGURE1)
+        .expect("figure 1 registers");
     let report = platform.fleet_report(id, FIGURE1).expect("registered");
     println!(
         "one STARQL query ({} chars) replaces a fleet of {} low-level queries ({} chars)",

@@ -1,0 +1,52 @@
+//! Static SPARQL queries over the Siemens deployment.
+//!
+//! Demonstrates the paper's one-time-query half: `Platform::query_static`
+//! answers SPARQL against the relational sources via PerfectRef rewriting
+//! and mapping unfolding — no RDF materialization, no triple store.
+//!
+//! ```sh
+//! cargo run --example static_sparql
+//! ```
+
+use optique::OptiquePlatform;
+use optique_siemens::SiemensDeployment;
+
+fn main() {
+    let platform = OptiquePlatform::from_siemens(SiemensDeployment::small());
+
+    println!("== gas turbines with models, located anywhere ==");
+    let turbines = platform
+        .query_static(
+            "SELECT ?t ?m ?c WHERE { \
+               ?t a sie:GasTurbine ; sie:hasModel ?m . \
+               OPTIONAL { ?t sie:locatedIn ?c } \
+               FILTER(REGEX(?m, \"^SGT\")) \
+             } ORDER BY ?m LIMIT 8",
+        )
+        .expect("valid query");
+    print!("{}", turbines.render(8));
+
+    println!("\n== sensors per assembly (top 5) ==");
+    let per_assembly = platform
+        .query_static(
+            "SELECT ?a (COUNT(DISTINCT ?s) AS ?n) WHERE { ?a sie:inAssembly ?s } \
+             GROUP BY ?a ORDER BY DESC(?n) LIMIT 5",
+        )
+        .expect("valid query");
+    print!("{}", per_assembly.render(5));
+
+    println!("\n== reachability through the taxonomy (no direct mapping) ==");
+    let appliances = platform
+        .query_static("SELECT DISTINCT ?x WHERE { ?x a sie:PowerGeneratingAppliance }")
+        .expect("valid query");
+    println!("PowerGeneratingAppliance instances: {}", appliances.len());
+
+    println!("\n== ASK ==");
+    let ask = platform
+        .query_static("ASK { ?s a sie:TemperatureSensor }")
+        .expect("valid query");
+    print!("{}", ask.render(1));
+
+    println!("\n== dashboard with per-query pipeline counters ==");
+    print!("{}", platform.dashboard().render());
+}

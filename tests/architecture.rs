@@ -38,7 +38,9 @@ fn siemens_cluster(workers: usize) -> (Arc<Cluster>, usize) {
 #[test]
 fn partitioned_execution_covers_every_tuple() {
     let (cluster, total) = siemens_cluster(4);
-    let results = cluster.parallel_query("SELECT COUNT(*) AS n FROM S_Msmt").unwrap();
+    let results = cluster
+        .parallel_query("SELECT COUNT(*) AS n FROM S_Msmt")
+        .unwrap();
     let sum: i64 = results.iter().map(|t| t.rows[0][0].as_i64().unwrap()).sum();
     assert_eq!(sum as usize, total);
 }
@@ -49,35 +51,60 @@ fn gateway_places_queries_by_load() {
     let gateway = Gateway::new(Arc::clone(&cluster));
     for _ in 0..64 {
         gateway
-            .register("SELECT sensor_id, MAX(value) FROM S_Msmt GROUP BY sensor_id", 1.0)
+            .register(
+                "SELECT sensor_id, MAX(value) FROM S_Msmt GROUP BY sensor_id",
+                1.0,
+            )
             .unwrap();
     }
     let loads = gateway.worker_loads();
     assert_eq!(loads.len(), 4);
-    let (min, max) = loads
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &l| (lo.min(l), hi.max(l)));
-    assert!((max - min).abs() < 1e-9, "uniform queries balance exactly: {loads:?}");
+    let (min, max) = loads.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &l| {
+        (lo.min(l), hi.max(l))
+    });
+    assert!(
+        (max - min).abs() < 1e-9,
+        "uniform queries balance exactly: {loads:?}"
+    );
 }
 
 #[test]
 fn run_all_returns_per_query_answers() {
     let (cluster, _) = siemens_cluster(2);
     let gateway = Gateway::new(Arc::clone(&cluster));
-    let q1 = gateway.register("SELECT COUNT(*) AS n FROM S_Msmt", 1.0).unwrap();
+    let q1 = gateway
+        .register("SELECT COUNT(*) AS n FROM S_Msmt", 1.0)
+        .unwrap();
     let q2 = gateway
         .register("SELECT COUNT(*) AS n FROM S_Msmt WHERE value >= 95", 1.0)
         .unwrap();
     let results = gateway.run_all();
     assert_eq!(results.len(), 2);
-    let n1 = results.iter().find(|(id, _)| *id == q1).unwrap().1.as_ref().unwrap().rows[0][0]
+    let n1 = results
+        .iter()
+        .find(|(id, _)| *id == q1)
+        .unwrap()
+        .1
+        .as_ref()
+        .unwrap()
+        .rows[0][0]
         .as_i64()
         .unwrap();
-    let n2 = results.iter().find(|(id, _)| *id == q2).unwrap().1.as_ref().unwrap().rows[0][0]
+    let n2 = results
+        .iter()
+        .find(|(id, _)| *id == q2)
+        .unwrap()
+        .1
+        .as_ref()
+        .unwrap()
+        .rows[0][0]
         .as_i64()
         .unwrap();
     assert!(n1 > 0);
-    assert!(n2 < n1, "hot readings are a strict subset (shard-local counts)");
+    assert!(
+        n2 < n1,
+        "hot readings are a strict subset (shard-local counts)"
+    );
 }
 
 #[test]
@@ -120,7 +147,9 @@ fn windowed_queries_run_on_workers() {
 fn deregistration_frees_capacity() {
     let (cluster, _) = siemens_cluster(2);
     let gateway = Gateway::new(Arc::clone(&cluster));
-    let id = gateway.register("SELECT COUNT(*) FROM S_Msmt", 7.5).unwrap();
+    let id = gateway
+        .register("SELECT COUNT(*) FROM S_Msmt", 7.5)
+        .unwrap();
     assert!(gateway.worker_loads().iter().any(|&l| l > 0.0));
     assert!(gateway.deregister(id));
     assert!(gateway.worker_loads().iter().all(|&l| l == 0.0));

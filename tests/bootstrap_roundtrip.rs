@@ -25,11 +25,13 @@ fn bootstrap_then_query_roundtrip() {
     // Query the bootstrapped class for turbines.
     let q = ConjunctiveQuery::new(
         vec!["t".into()],
-        vec![Atom::class(Iri::new("http://boot.example/vocab#Turbine"), QueryTerm::var("t"))],
+        vec![Atom::class(
+            Iri::new("http://boot.example/vocab#Turbine"),
+            QueryTerm::var("t"),
+        )],
     );
     let (sql, _) = optique_mapping::unfold_cq(&q, &out.mappings, &Default::default()).unwrap();
-    let table =
-        optique_relational::exec::query(&sql.unwrap().to_string(), &deployment.db).unwrap();
+    let table = optique_relational::exec::query(&sql.unwrap().to_string(), &deployment.db).unwrap();
     assert_eq!(table.len(), FleetConfig::small().turbines);
 }
 
@@ -48,11 +50,14 @@ fn bootstrapped_fk_property_joins() {
         .clone();
     let q = ConjunctiveQuery::new(
         vec!["s".into(), "a".into()],
-        vec![Atom::property(prop, QueryTerm::var("s"), QueryTerm::var("a"))],
+        vec![Atom::property(
+            prop,
+            QueryTerm::var("s"),
+            QueryTerm::var("a"),
+        )],
     );
     let (sql, _) = optique_mapping::unfold_cq(&q, &out.mappings, &Default::default()).unwrap();
-    let table =
-        optique_relational::exec::query(&sql.unwrap().to_string(), &deployment.db).unwrap();
+    let table = optique_relational::exec::query(&sql.unwrap().to_string(), &deployment.db).unwrap();
     assert_eq!(table.len(), deployment.sensor_ids.len());
 }
 
@@ -66,9 +71,9 @@ fn implicit_fks_rediscovered_from_data() {
     }
     let proposals = discover_foreign_keys(&schema, &deployment.db, &Default::default());
     let has = |src: &str, col: &str, dst: &str| {
-        proposals.iter().any(|(t, fk)| {
-            t == src && fk.columns == vec![col.to_string()] && fk.ref_table == dst
-        })
+        proposals
+            .iter()
+            .any(|(t, fk)| t == src && fk.columns == vec![col.to_string()] && fk.ref_table == dst)
     };
     assert!(has("sensors", "aid", "assemblies"), "{proposals:?}");
     assert!(has("assemblies", "tid", "turbines"), "{proposals:?}");
@@ -101,9 +106,8 @@ fn alignment_bridges_bootstrapped_to_curated() {
     );
     assert!(!result.accepted.is_empty());
     // Merged ontology entails: bootstrapped Turbine ⊑ curated PowerGeneratingAppliance.
-    let boot_turbine = optique_ontology::BasicConcept::atomic(Iri::new(
-        "http://boot.example/vocab#Turbine",
-    ));
+    let boot_turbine =
+        optique_ontology::BasicConcept::atomic(Iri::new("http://boot.example/vocab#Turbine"));
     let sups = result.merged.sup_concepts_closure(&boot_turbine);
     assert!(
         sups.iter().any(|c| c

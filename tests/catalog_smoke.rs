@@ -10,15 +10,21 @@ fn all_tasks_register_and_tick() {
     let deployment = SiemensDeployment::small();
     let start = deployment.stream_config.start_ms;
     let end = start + deployment.stream_config.duration_ms;
-    let hot_sensors: Vec<i64> =
-        deployment.ground_truth.hot_bursts.iter().map(|(s, _)| *s).collect();
+    let hot_sensors: Vec<i64> = deployment
+        .ground_truth
+        .hot_bursts
+        .iter()
+        .map(|(s, _)| *s)
+        .collect();
     let platform = OptiquePlatform::from_siemens(deployment);
 
     let mut starql_count = 0;
     for task in diagnostic_tasks() {
         match &task.query {
             TaskQuery::StarQl(_) => {
-                platform.register_task(&task).unwrap_or_else(|e| panic!("{}: {e}", task.id));
+                platform
+                    .register_task(&task)
+                    .unwrap_or_else(|e| panic!("{}: {e}", task.id));
                 starql_count += 1;
             }
             TaskQuery::SqlPlus(sql) => {
@@ -73,7 +79,9 @@ fn pearson_task_finds_planted_pair() {
         .into_iter()
         .find(|t| t.name == "pearson-correlation")
         .expect("task T19 exists");
-    let TaskQuery::SqlPlus(sql) = &task.query else { panic!("T19 is SQL(+)") };
+    let TaskQuery::SqlPlus(sql) = &task.query else {
+        panic!("T19 is SQL(+)")
+    };
     let table = optique_relational::exec::query(sql, &deployment.db).unwrap();
     let hit = table.rows.iter().any(|row| {
         let (s1, s2) = (row[0].as_i64().unwrap(), row[1].as_i64().unwrap());
@@ -89,7 +97,9 @@ fn window_statistics_task_reports_each_window() {
         .into_iter()
         .find(|t| t.name == "window-statistics")
         .expect("task T20 exists");
-    let TaskQuery::SqlPlus(sql) = &task.query else { panic!("T20 is SQL(+)") };
+    let TaskQuery::SqlPlus(sql) = &task.query else {
+        panic!("T20 is SQL(+)")
+    };
     let table = optique_relational::exec::query(sql, &deployment.db).unwrap();
     assert_eq!(table.len(), 6, "windows 0..=5");
     for row in &table.rows {

@@ -36,8 +36,7 @@ fn per_sensor_aggregates_match() {
     for workers in [2usize, 4, 8] {
         let cluster = cluster_of(&db, workers);
         let partials = cluster.parallel_query(sql).unwrap();
-        let merged =
-            merge_partial_aggregates(partials, 1, &[MergeOp::Sum, MergeOp::Max]).unwrap();
+        let merged = merge_partial_aggregates(partials, 1, &[MergeOp::Sum, MergeOp::Max]).unwrap();
 
         let canon = |t: &optique_relational::Table| {
             let mut rows = t.rows.clone();

@@ -21,7 +21,9 @@ fn run_figure1() -> (DeploymentInfo, Vec<(i64, String)>) {
         duration_ms: deployment.stream_config.duration_ms,
     };
     let platform = OptiquePlatform::from_siemens(deployment);
-    platform.register_starql(FIGURE1).expect("figure 1 registers");
+    platform
+        .register_starql(FIGURE1)
+        .expect("figure 1 registers");
 
     let mut alarms = Vec::new();
     let end = info.start_ms + info.duration_ms;
@@ -40,7 +42,10 @@ fn run_figure1() -> (DeploymentInfo, Vec<(i64, String)>) {
 #[test]
 fn planted_ramps_raise_alarms() {
     let (info, alarms) = run_figure1();
-    assert!(!info.ramp_failures.is_empty(), "generator must plant failures");
+    assert!(
+        !info.ramp_failures.is_empty(),
+        "generator must plant failures"
+    );
     for (sensor, _fail_ts) in &info.ramp_failures {
         let iri = format!("http://siemens.example/data/sensor/{sensor}");
         assert!(
@@ -101,7 +106,10 @@ fn translation_artifacts_are_well_formed() {
     };
     let translated = optique_starql::translate(&parsed, &ctx).expect("translates");
     // The static SQL must execute over the deployment.
-    let sql = translated.static_sql.clone().expect("WHERE terms are mapped");
+    let sql = translated
+        .static_sql
+        .clone()
+        .expect("WHERE terms are mapped");
     let table = optique_relational::exec::query(&sql.to_string(), &deployment.db).unwrap();
     // Disjuncts of the enriched union overlap; the distinct answers are
     // exactly the sensors (every sensor sits in an assembly).
