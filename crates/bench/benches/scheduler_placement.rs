@@ -12,10 +12,7 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for (workers, tasks) in [(8usize, 128usize), (32, 1_024), (128, 4_096)] {
         let batch: Vec<OperatorTask> = (0..tasks as u64)
-            .map(|id| OperatorTask {
-                id,
-                cost: 1.0 + (id % 7) as f64,
-            })
+            .map(|id| OperatorTask::continuous(id, 1.0 + (id % 7) as f64))
             .collect();
         group.bench_with_input(
             BenchmarkId::new(format!("{workers}w"), tasks),

@@ -6,15 +6,22 @@
 //! synthetic catalog with one mapping per property (one unfolding
 //! combination per disjunct — growth isolates per-atom pipeline cost, not
 //! mapping fan-out).
+//!
+//! The `sparql_distributed` group measures the federated backend: one
+//! property mapped through 10 / 100 sources unfolds to that many `UNION
+//! ALL` disjuncts, which ship as plan fragments to 1 vs 4 ExaStream
+//! workers (`StaticFederation`) — the single-worker run prices the wire
+//! format and gateway overhead, the 4-worker run the speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 
-use optique_mapping::{MappingAssertion, MappingCatalog, TermMap, UnfoldSettings};
+use optique::StaticFederation;
+use optique_mapping::{MappingAssertion, MappingCatalog, TermMap};
 use optique_ontology::Ontology;
 use optique_rdf::{Iri, Namespaces};
 use optique_relational::{table::table_of, ColumnType, Database, Value};
-use optique_rewrite::RewriteSettings;
 use optique_sparql::{parse_sparql, StaticPipeline};
 
 const ROWS_PER_TABLE: i64 = 8;
@@ -85,13 +92,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| parse_sparql(&text, &ns).expect("parses"))
         });
 
-        let pipeline = StaticPipeline {
-            ontology: &ontology,
-            mappings: &catalog,
-            db: &db,
-            rewrite_settings: RewriteSettings::default(),
-            unfold_settings: UnfoldSettings::default(),
-        };
+        let pipeline = StaticPipeline::new(&ontology, &catalog, &db);
         let parsed = parse_sparql(&text, &ns).expect("parses");
         group.bench_with_input(
             BenchmarkId::new("rewrite_unfold_execute", atoms),
@@ -115,5 +116,74 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// One property mapped through `sources` distinct tables: the single-atom
+/// BGP `?a x:p ?b` unfolds to `sources` disjuncts — the federation's unit
+/// of distribution.
+fn fanout_fixtures(sources: usize) -> (Database, MappingCatalog) {
+    let mut db = Database::new();
+    let mut catalog = MappingCatalog::new();
+    for i in 0..sources {
+        let rows = (0..ROWS_PER_TABLE)
+            .map(|k| vec![Value::Int(i as i64 * ROWS_PER_TABLE + k), Value::Int(k)])
+            .collect();
+        db.put_table(
+            format!("t{i}"),
+            table_of(
+                &format!("t{i}"),
+                &[("a", ColumnType::Int), ("b", ColumnType::Int)],
+                rows,
+            )
+            .expect("valid table"),
+        );
+        catalog
+            .add(
+                MappingAssertion::property(
+                    format!("p-src{i}"),
+                    Iri::new("http://x/p"),
+                    format!("SELECT a, b FROM t{i}"),
+                    TermMap::template("http://x/obj/{a}"),
+                    TermMap::template("http://x/obj/{b}"),
+                )
+                .with_key(vec!["a".into(), "b".into()]),
+            )
+            .expect("valid mapping");
+    }
+    (db, catalog)
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let ns = namespaces();
+    let ontology = Ontology::new();
+    let mut group = c.benchmark_group("sparql_distributed");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for disjuncts in [10usize, 100] {
+        let (db, catalog) = fanout_fixtures(disjuncts);
+        let db = Arc::new(db);
+        let parsed = parse_sparql("SELECT ?a ?b WHERE { ?a x:p ?b }", &ns).expect("parses");
+        let expected = disjuncts * ROWS_PER_TABLE as usize;
+
+        for workers in [1usize, 4] {
+            let federation = StaticFederation::replicated(Arc::clone(&db), workers);
+            let pipeline = StaticPipeline::new(&ontology, &catalog, &db).with_executor(&federation);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{workers}w"), disjuncts),
+                &disjuncts,
+                |b, _| {
+                    b.iter(|| {
+                        let (results, stats) = pipeline.answer(&parsed).expect("answers");
+                        assert_eq!(results.len(), expected);
+                        assert_eq!(stats.fragments, disjuncts);
+                        results
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_distributed);
 criterion_main!(benches);

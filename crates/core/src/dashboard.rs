@@ -46,6 +46,14 @@ pub struct StaticQueryPanel {
     pub unfold_micros: u64,
     /// Microseconds: SQL execution.
     pub exec_micros: u64,
+    /// BGPs answered from the per-BGP cache.
+    pub cache_hits: usize,
+    /// BGPs that ran the full rewrite → unfold → execute pipeline.
+    pub cache_misses: usize,
+    /// Plan fragments shipped to ExaStream workers (0 = single-node).
+    pub fragments: usize,
+    /// Workers that executed this query (1 = single-node).
+    pub workers: usize,
 }
 
 impl StaticQueryPanel {
@@ -66,6 +74,12 @@ pub struct Dashboard {
     pub wcache_hits: u64,
     /// Shared window-cache misses.
     pub wcache_misses: u64,
+    /// Per-BGP solution-set cache hits (static pipeline).
+    pub bgp_cache_hits: u64,
+    /// Per-BGP solution-set cache misses.
+    pub bgp_cache_misses: u64,
+    /// Times the per-BGP cache was invalidated by a relational write.
+    pub bgp_cache_invalidations: u64,
 }
 
 impl Dashboard {
@@ -86,6 +100,16 @@ impl Dashboard {
             None
         } else {
             Some(self.wcache_hits as f64 / total as f64)
+        }
+    }
+
+    /// Per-BGP cache hit rate in `[0, 1]` (`None` before any lookup).
+    pub fn bgp_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.bgp_cache_hits + self.bgp_cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.bgp_cache_hits as f64 / total as f64)
         }
     }
 
@@ -118,21 +142,32 @@ impl Dashboard {
         }
         if !self.static_queries.is_empty() {
             out.push_str(&format!(
-                "├─ static SPARQL ─ {} queries\n",
-                self.static_queries.len()
+                "├─ static SPARQL ─ {} queries ─ BGP cache {}\n",
+                self.static_queries.len(),
+                match self.bgp_cache_hit_rate() {
+                    Some(rate) => format!(
+                        "{:.0}% hit ({} inval)",
+                        rate * 100.0,
+                        self.bgp_cache_invalidations
+                    ),
+                    None => "idle".to_string(),
+                }
             ));
             out.push_str(
-                "│ id   query                                     rows  bgps  ucq  sql     µs\n",
+                "│ id   query                              rows  bgps  ucq  sql  hit  frag  wrk     µs\n",
             );
             for q in &self.static_queries {
                 out.push_str(&format!(
-                    "│ {:<4} {:<40} {:>5} {:>5} {:>4} {:>4} {:>6}\n",
+                    "│ {:<4} {:<33} {:>5} {:>5} {:>4} {:>4} {:>4} {:>5} {:>4} {:>6}\n",
                     q.id,
-                    truncate(&q.query, 40),
+                    truncate(&q.query, 33),
                     q.rows,
                     q.bgps,
                     q.ucq_disjuncts,
                     q.sql_disjuncts,
+                    q.cache_hits,
+                    q.fragments,
+                    q.workers,
                     q.total_micros()
                 ));
             }
@@ -188,9 +223,16 @@ mod tests {
                 rewrite_micros: 120,
                 unfold_micros: 300,
                 exec_micros: 2000,
+                cache_hits: 0,
+                cache_misses: 1,
+                fragments: 8,
+                workers: 4,
             }],
             wcache_hits: 9,
             wcache_misses: 1,
+            bgp_cache_hits: 3,
+            bgp_cache_misses: 1,
+            bgp_cache_invalidations: 1,
         }
     }
 
@@ -205,6 +247,16 @@ mod tests {
     #[test]
     fn empty_dashboard_has_no_hit_rate() {
         assert_eq!(Dashboard::default().wcache_hit_rate(), None);
+        assert_eq!(Dashboard::default().bgp_cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn bgp_cache_rate_and_render() {
+        let d = dash();
+        assert_eq!(d.bgp_cache_hit_rate(), Some(0.75));
+        let r = d.render();
+        assert!(r.contains("BGP cache 75% hit"), "{r}");
+        assert!(r.contains("(1 inval)"), "{r}");
     }
 
     #[test]

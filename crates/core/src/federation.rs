@@ -1,0 +1,440 @@
+//! ExaStream-backed federation of the static SPARQL pipeline.
+//!
+//! The static pipeline ([`optique_sparql::StaticPipeline`]) splits each
+//! unfolded `UNION ALL` into per-disjunct [`PlanFragment`]s; this module is
+//! the [`FragmentExecutor`] that ships those fragments to an ExaStream
+//! worker pool through the gateway/scheduler/exchange machinery the stream
+//! side already uses. Two catalog layouts:
+//!
+//! * **replicated** — every worker shares the full relational catalog;
+//!   fragments are placed one-per-worker, LPT by cost.
+//! * **partitioned** — named tables are hash-partitioned across workers
+//!   (each worker holds one shard), everything else replicated. Fragments
+//!   scanning exactly one partitioned source become **scatter** fragments
+//!   (every worker scans its shard; partials concatenate on gather);
+//!   fragments joining several partitioned occurrences — where shard-local
+//!   joins would miss cross-shard pairs — fall back to the coordinator's
+//!   full catalog, which is always correct.
+
+use std::sync::Arc;
+
+use optique_exastream::cluster::hash_partition;
+use optique_exastream::{Cluster, Gateway, StaticFragment};
+use optique_relational::parser::{Projection, TableRef};
+use optique_relational::{Database, PlanFragment, SelectStatement, Table};
+use optique_sparql::FragmentExecutor;
+
+/// A static-query worker pool over the deployment's relational sources.
+pub struct StaticFederation {
+    gateway: Arc<Gateway>,
+    /// The full (unpartitioned) catalog, for fragments that cannot run
+    /// shard-locally.
+    coordinator: Arc<Database>,
+    workers: usize,
+    /// Tables hash-partitioned across the workers.
+    partitioned: Vec<String>,
+}
+
+impl StaticFederation {
+    /// A federation whose workers all share the full catalog.
+    pub fn replicated(db: Arc<Database>, workers: usize) -> Self {
+        let cluster = Arc::new(Cluster::replicated(workers, Arc::clone(&db)));
+        StaticFederation {
+            gateway: Gateway::new(cluster),
+            coordinator: db,
+            workers,
+            partitioned: Vec::new(),
+        }
+    }
+
+    /// A federation that hash-partitions each `(table, key_column)` in
+    /// `partition` across the workers and replicates every other table.
+    pub fn partitioned(
+        db: Arc<Database>,
+        workers: usize,
+        partition: &[(String, String)],
+    ) -> Result<Self, String> {
+        // Shard each partitioned table by its key column.
+        let mut shard_sets: Vec<(String, Vec<Table>)> = Vec::with_capacity(partition.len());
+        for (table, key) in partition {
+            let t = db.table(table).map_err(|e| e.to_string())?;
+            let col = t
+                .schema
+                .index_of(key)
+                .ok_or_else(|| format!("no column {key} on partitioned table {table}"))?;
+            shard_sets.push((table.clone(), hash_partition(t, col, workers)));
+        }
+        let cluster = Arc::new(Cluster::provision(workers, |id| {
+            let mut worker_db = (*db).clone();
+            for (table, shards) in &shard_sets {
+                worker_db.put_table(table.clone(), shards[id].clone());
+            }
+            worker_db
+        }));
+        Ok(StaticFederation {
+            gateway: Gateway::new(cluster),
+            coordinator: db,
+            workers,
+            partitioned: partition.iter().map(|(t, _)| t.clone()).collect(),
+        })
+    }
+
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The tables partitioned across the workers.
+    pub fn partitioned_tables(&self) -> &[String] {
+        &self.partitioned
+    }
+
+    /// Decides how a fragment may execute against this federation's layout.
+    fn classify(&self, sql: &str) -> Classification {
+        if self.partitioned.is_empty() {
+            return Classification::Placed;
+        }
+        // Unparseable SQL cannot be classified; the coordinator needs no
+        // classification and will surface the real error.
+        let Ok(statement) = optique_relational::parse_select(sql) else {
+            return Classification::Coordinator;
+        };
+        let mut count = 0usize;
+        count_partitioned_refs(&statement, &self.partitioned, &mut count);
+        match count {
+            0 => Classification::Placed,
+            // Exactly one partitioned scan *and* a concat-decomposable
+            // statement shape: per-shard results union to the global
+            // result. Aggregates / GROUP BY / LIMIT / ORDER BY are not
+            // decomposable by concatenation; DISTINCT is, up to cross-shard
+            // duplicates, which the gather dedups.
+            1 if scatter_decomposable(&statement) => Classification::Scatter {
+                dedup: statement.distinct,
+            },
+            _ => Classification::Coordinator,
+        }
+    }
+}
+
+/// How one fragment executes: on a single worker's replica, scattered
+/// across every shard, or on the coordinator's full catalog.
+enum Classification {
+    Placed,
+    Scatter {
+        /// The statement is DISTINCT: shard-local dedup cannot see
+        /// cross-shard duplicates, so the gathered concat is deduped.
+        dedup: bool,
+    },
+    Coordinator,
+}
+
+/// True when concatenating per-shard results of `statement` yields the
+/// global result (modulo DISTINCT, handled by the caller): plain
+/// select-project-join with no aggregation, grouping, ordering or slicing.
+/// Exactly the shape mapping unfolding emits.
+fn scatter_decomposable(statement: &SelectStatement) -> bool {
+    statement.group_by.is_empty()
+        && statement.having.is_none()
+        && statement.order_by.is_empty()
+        && statement.limit.is_none()
+        && statement.union_all.is_none()
+        && !statement.projections.iter().any(|p| match p {
+            Projection::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+}
+
+/// Walks a statement's FROM/JOIN tree (including subqueries and the
+/// `UNION ALL` chain) counting base-table references to `partitioned`.
+fn count_partitioned_refs(statement: &SelectStatement, partitioned: &[String], count: &mut usize) {
+    let mut visit = |table: &TableRef| match table {
+        TableRef::Named { name, .. } => {
+            if partitioned.iter().any(|t| t == name) {
+                *count += 1;
+            }
+        }
+        TableRef::Subquery { query, .. } => count_partitioned_refs(query, partitioned, count),
+        TableRef::Function { .. } => {}
+    };
+    visit(&statement.from);
+    for join in &statement.joins {
+        visit(&join.table);
+    }
+    if let Some(next) = &statement.union_all {
+        count_partitioned_refs(next, partitioned, count);
+    }
+}
+
+/// Removes duplicate rows in place, keeping first occurrences.
+fn dedup_rows(table: &mut Table) {
+    let mut seen: std::collections::HashSet<Vec<optique_relational::Value>> = Default::default();
+    table.rows.retain(|row| seen.insert(row.clone()));
+}
+
+impl FragmentExecutor for StaticFederation {
+    fn execute(&self, fragments: Vec<PlanFragment>) -> Result<Vec<Table>, String> {
+        // Classify fragments: shippable (placed or scatter) vs coordinator
+        // fallback (several partitioned occurrences — a shard-local join
+        // would be incomplete — or a non-decomposable statement shape).
+        let mut shipped: Vec<StaticFragment> = Vec::new();
+        // Slot of each shipped fragment, plus whether its gathered concat
+        // needs a cross-shard dedup (scattered DISTINCT statements).
+        let mut shipped_slots: Vec<(usize, bool)> = Vec::new();
+        let mut results: Vec<Option<Result<Table, String>>> =
+            fragments.iter().map(|_| None).collect();
+        for (slot, fragment) in fragments.into_iter().enumerate() {
+            match self.classify(&fragment.sql) {
+                Classification::Placed => {
+                    shipped.push(StaticFragment::placed(fragment));
+                    shipped_slots.push((slot, false));
+                }
+                Classification::Scatter { dedup } => {
+                    shipped.push(StaticFragment::scattered(fragment));
+                    shipped_slots.push((slot, dedup));
+                }
+                Classification::Coordinator => {
+                    results[slot] = Some(
+                        optique_relational::exec::query(&fragment.sql, &self.coordinator)
+                            .map_err(|e| e.to_string()),
+                    );
+                }
+            }
+        }
+        for ((slot, dedup), outcome) in shipped_slots
+            .into_iter()
+            .zip(self.gateway.run_static_fragments(&shipped))
+        {
+            let mut outcome = outcome.map_err(|e| e.to_string());
+            if dedup {
+                if let Ok(table) = &mut outcome {
+                    dedup_rows(table);
+                }
+            }
+            results[slot] = Some(outcome);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every fragment executed"))
+            .collect()
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl std::fmt::Debug for StaticFederation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "StaticFederation({} workers, {} partitioned tables)",
+            self.workers,
+            self.partitioned.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optique_relational::{table::table_of, ColumnType, Value};
+
+    fn db() -> Arc<Database> {
+        let mut db = Database::new();
+        db.put_table(
+            "sensors",
+            table_of(
+                "sensors",
+                &[("sid", ColumnType::Int), ("tid", ColumnType::Int)],
+                (0..100)
+                    .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        db.put_table(
+            "turbines",
+            table_of(
+                "turbines",
+                &[("tid", ColumnType::Int)],
+                (0..7).map(|i| vec![Value::Int(i)]).collect(),
+            )
+            .unwrap(),
+        );
+        Arc::new(db)
+    }
+
+    fn canon(t: &Table) -> Vec<Vec<Value>> {
+        let mut rows = t.rows.clone();
+        rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        rows
+    }
+
+    #[test]
+    fn replicated_execution_matches_local() {
+        let db = db();
+        let federation = StaticFederation::replicated(Arc::clone(&db), 4);
+        let sql = "SELECT sid FROM sensors WHERE tid = 3";
+        let local = optique_relational::exec::query(sql, &db).unwrap();
+        let results = federation
+            .execute(vec![PlanFragment::new(0, sql, 1.0)])
+            .unwrap();
+        assert_eq!(canon(&results[0]), canon(&local));
+    }
+
+    #[test]
+    fn partitioned_scan_covers_all_shards() {
+        let db = db();
+        let federation = StaticFederation::partitioned(
+            Arc::clone(&db),
+            4,
+            &[("sensors".to_string(), "sid".to_string())],
+        )
+        .unwrap();
+        let sql = "SELECT sid FROM sensors";
+        let local = optique_relational::exec::query(sql, &db).unwrap();
+        let results = federation
+            .execute(vec![PlanFragment::new(0, sql, 1.0)])
+            .unwrap();
+        assert_eq!(results[0].len(), 100);
+        assert_eq!(canon(&results[0]), canon(&local));
+    }
+
+    #[test]
+    fn partitioned_join_with_replica_is_complete() {
+        let db = db();
+        let federation = StaticFederation::partitioned(
+            Arc::clone(&db),
+            4,
+            &[("sensors".to_string(), "sid".to_string())],
+        )
+        .unwrap();
+        // One partitioned occurrence + one replica: scatter is sound.
+        let sql = "SELECT s.sid FROM sensors AS s JOIN turbines AS t ON s.tid = t.tid";
+        let local = optique_relational::exec::query(sql, &db).unwrap();
+        let results = federation
+            .execute(vec![PlanFragment::new(0, sql, 2.0)])
+            .unwrap();
+        assert_eq!(canon(&results[0]), canon(&local));
+    }
+
+    #[test]
+    fn partitioned_self_join_falls_back_to_coordinator() {
+        let db = db();
+        let federation = StaticFederation::partitioned(
+            Arc::clone(&db),
+            4,
+            &[("sensors".to_string(), "sid".to_string())],
+        )
+        .unwrap();
+        // Two partitioned occurrences joined on a non-partition key: a
+        // shard-local join would miss cross-shard pairs; the coordinator
+        // path must keep it complete.
+        let sql = "SELECT a.sid FROM sensors AS a JOIN sensors AS b ON a.tid = b.tid";
+        let local = optique_relational::exec::query(sql, &db).unwrap();
+        let results = federation
+            .execute(vec![PlanFragment::new(0, sql, 4.0)])
+            .unwrap();
+        assert_eq!(canon(&results[0]), canon(&local));
+    }
+
+    #[test]
+    fn classification_counts_table_refs_not_text() {
+        let db = db();
+        let federation = StaticFederation::partitioned(
+            Arc::clone(&db),
+            2,
+            &[("sensors".to_string(), "sid".to_string())],
+        )
+        .unwrap();
+        assert!(matches!(
+            federation.classify("SELECT sid FROM sensors"),
+            Classification::Scatter { dedup: false }
+        ));
+        assert!(matches!(
+            federation.classify("SELECT DISTINCT sid FROM sensors"),
+            Classification::Scatter { dedup: true }
+        ));
+        // Two partitioned references: shard-local joins would be incomplete.
+        assert!(matches!(
+            federation
+                .classify("SELECT a.sid FROM sensors AS a JOIN sensors AS b ON a.sid = b.sid"),
+            Classification::Coordinator
+        ));
+        // A partitioned-table name inside a string literal is data, not a
+        // scan: this fragment reads only the replicated `turbines` table.
+        assert!(matches!(
+            federation.classify("SELECT tid FROM turbines WHERE 'sensors' = 'sensors'"),
+            Classification::Placed
+        ));
+        // Aggregates / GROUP BY / LIMIT are not concat-decomposable.
+        for sql in [
+            "SELECT COUNT(*) AS n FROM sensors",
+            "SELECT tid, COUNT(*) AS n FROM sensors GROUP BY tid",
+            "SELECT sid FROM sensors LIMIT 3",
+            "SELECT sid FROM sensors ORDER BY sid",
+            "SELECT sid FROM (SELECT sid FROM sensors) AS s \
+             UNION ALL SELECT sid FROM sensors",
+        ] {
+            assert!(
+                matches!(federation.classify(sql), Classification::Coordinator),
+                "{sql} must fall back to the coordinator"
+            );
+        }
+        // Unparseable SQL → coordinator fallback (surfaces the real error).
+        assert!(matches!(
+            federation.classify("SELECT FROM"),
+            Classification::Coordinator
+        ));
+    }
+
+    /// Non-decomposable fragments over a partitioned table must return the
+    /// *global* result, not per-shard partials.
+    #[test]
+    fn aggregates_over_partitioned_tables_stay_global() {
+        let db = db();
+        let federation = StaticFederation::partitioned(
+            Arc::clone(&db),
+            4,
+            &[("sensors".to_string(), "sid".to_string())],
+        )
+        .unwrap();
+        let results = federation
+            .execute(vec![
+                PlanFragment::new(0, "SELECT COUNT(*) AS n FROM sensors", 1.0),
+                PlanFragment::new(1, "SELECT sid FROM sensors LIMIT 3", 1.0),
+                PlanFragment::new(2, "SELECT DISTINCT tid FROM sensors", 1.0),
+            ])
+            .unwrap();
+        assert_eq!(
+            results[0].rows,
+            vec![vec![Value::Int(100)]],
+            "one global count"
+        );
+        assert_eq!(results[1].len(), 3, "global LIMIT, not 4×3");
+        assert_eq!(results[2].len(), 7, "DISTINCT deduped across shards");
+    }
+
+    /// A literal containing a partitioned table's name must not force
+    /// scatter execution (which would duplicate replicated rows per worker).
+    #[test]
+    fn literal_mentions_do_not_scatter() {
+        let db = db();
+        let federation = StaticFederation::partitioned(
+            Arc::clone(&db),
+            4,
+            &[("sensors".to_string(), "sid".to_string())],
+        )
+        .unwrap();
+        let sql = "SELECT tid FROM turbines WHERE 'sensors' = 'sensors'";
+        let local = optique_relational::exec::query(sql, &db).unwrap();
+        let results = federation
+            .execute(vec![PlanFragment::new(0, sql, 1.0)])
+            .unwrap();
+        assert_eq!(
+            results[0].len(),
+            local.len(),
+            "scatter would return 4x the rows"
+        );
+    }
+}

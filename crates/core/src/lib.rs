@@ -21,8 +21,10 @@
 //! ```
 
 pub mod dashboard;
+pub mod federation;
 pub mod platform;
 
 pub use dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
+pub use federation::StaticFederation;
 pub use optique_sparql::SparqlResults;
 pub use platform::{FleetReport, OptiquePlatform, RegisteredStarQl};

@@ -1,23 +1,24 @@
 //! The OPTIQUE platform: deployment + continuous-query lifecycle.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use optique_bootstrap::{bootstrap_direct, BootstrapSettings, RelationalSchema};
 use optique_mapping::MappingCatalog;
 use optique_ontology::Ontology;
 use optique_rdf::Namespaces;
-use optique_relational::Database;
+use optique_relational::{Database, Value};
 use optique_rewrite::RewriteSettings;
 use optique_siemens::{DiagnosticTask, SiemensDeployment};
-use optique_sparql::{parse_sparql, PipelineStats, SparqlResults, StaticPipeline};
+use optique_sparql::{parse_sparql, BgpCache, PipelineStats, SparqlResults, StaticPipeline};
 use optique_starql::{
     parse_starql, translate, ContinuousQuery, StreamToRdf, TickOutput, TranslationContext,
 };
 use optique_stream::WCache;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
+use crate::federation::StaticFederation;
 
 /// A registered STARQL query with its accumulated monitoring counters.
 pub struct RegisteredStarQl {
@@ -51,8 +52,9 @@ pub struct FleetReport {
 
 /// The deployed integration platform.
 pub struct OptiquePlatform {
-    /// The data sources (static tables + stream tables).
-    pub db: Arc<Database>,
+    /// The data sources (static tables + stream tables); swapped wholesale
+    /// on relational writes, so readers always see a consistent snapshot.
+    db: RwLock<Arc<Database>>,
     /// The deployment TBox.
     pub ontology: Ontology,
     /// Prefixes for query text.
@@ -66,6 +68,13 @@ pub struct OptiquePlatform {
     next_id: std::sync::atomic::AtomicU64,
     static_log: Mutex<Vec<StaticQueryPanel>>,
     static_next_id: std::sync::atomic::AtomicU64,
+    /// Per-BGP solution-set cache shared by every static query (single-node
+    /// and distributed); invalidated on relational writes.
+    static_cache: BgpCache,
+    /// Static-query worker pools, one per requested worker count, dropped
+    /// on relational writes (workers snapshot the catalog they were built
+    /// over).
+    federations: Mutex<HashMap<usize, Arc<StaticFederation>>>,
 }
 
 /// How many executed static queries the dashboard remembers.
@@ -81,7 +90,7 @@ impl OptiquePlatform {
         stream_to_rdf: StreamToRdf,
     ) -> Self {
         OptiquePlatform {
-            db: Arc::new(db),
+            db: RwLock::new(Arc::new(db)),
             ontology,
             namespaces,
             mappings,
@@ -91,7 +100,14 @@ impl OptiquePlatform {
             next_id: std::sync::atomic::AtomicU64::new(1),
             static_log: Mutex::new(Vec::new()),
             static_next_id: std::sync::atomic::AtomicU64::new(1),
+            static_cache: BgpCache::new(),
+            federations: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The current relational snapshot (static tables + stream tables).
+    pub fn db(&self) -> Arc<Database> {
+        Arc::clone(&self.db.read())
     }
 
     /// Deploys straight from a generated Siemens scenario.
@@ -166,7 +182,7 @@ impl OptiquePlatform {
             unfold_settings: Default::default(),
         };
         let translated = translate(&parsed, &ctx).map_err(|e| e.to_string())?;
-        let query = ContinuousQuery::register(translated, self.stream_to_rdf.clone(), &self.db)?;
+        let query = ContinuousQuery::register(translated, self.stream_to_rdf.clone(), &self.db())?;
         let id = self
             .next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -205,17 +221,72 @@ impl OptiquePlatform {
         &self,
         text: &str,
     ) -> Result<(SparqlResults, PipelineStats), String> {
+        self.run_static(text, None)
+    }
+
+    /// Answers a static SPARQL query **federated over ExaStream workers**:
+    /// the unfolded `UNION ALL` of every BGP splits into per-disjunct plan
+    /// fragments, the gateway places them LPT-style across `workers` worker
+    /// threads (sharing the platform catalog as broadcast replicas), and
+    /// the per-fragment solution sets merge back before the residual
+    /// algebra. Answers are always the same *set* as
+    /// [`query_static`](Self::query_static) — the federation equivalence
+    /// suite pins that down.
+    ///
+    /// The worker pool for each count is built once and reused; relational
+    /// writes ([`insert_static`](Self::insert_static)) drop the pools along
+    /// with the BGP cache.
+    pub fn query_static_distributed(
+        &self,
+        text: &str,
+        workers: usize,
+    ) -> Result<SparqlResults, String> {
+        self.query_static_distributed_with_stats(text, workers)
+            .map(|(results, _)| results)
+    }
+
+    /// [`query_static_distributed`](Self::query_static_distributed), also
+    /// returning the pipeline stats recorded on the dashboard.
+    pub fn query_static_distributed_with_stats(
+        &self,
+        text: &str,
+        workers: usize,
+    ) -> Result<(SparqlResults, PipelineStats), String> {
+        if workers == 0 {
+            return Err("a federated query needs at least one worker".into());
+        }
+        let federation = {
+            let mut pools = self.federations.lock();
+            Arc::clone(
+                pools
+                    .entry(workers)
+                    .or_insert_with(|| Arc::new(StaticFederation::replicated(self.db(), workers))),
+            )
+        };
+        self.run_static(text, Some(federation))
+    }
+
+    /// Shared static-query driver: parse, answer (single-node or federated),
+    /// log the dashboard panel.
+    fn run_static(
+        &self,
+        text: &str,
+        federation: Option<Arc<StaticFederation>>,
+    ) -> Result<(SparqlResults, PipelineStats), String> {
         let parse_started = std::time::Instant::now();
         let query = parse_sparql(text, &self.namespaces).map_err(|e| e.to_string())?;
         let parse_micros = parse_started.elapsed().as_micros() as u64;
 
-        let pipeline = StaticPipeline {
-            ontology: &self.ontology,
-            mappings: &self.mappings,
-            db: &self.db,
-            rewrite_settings: RewriteSettings::default(),
-            unfold_settings: Default::default(),
-        };
+        // Generation before snapshot: if an insert lands in between, either
+        // the snapshot already includes it (stores are fine) or the store's
+        // generation is stale (dropped) — never a stale cache fill.
+        let generation = self.static_cache.generation();
+        let db = self.db();
+        let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &db)
+            .with_cache_at(&self.static_cache, generation);
+        if let Some(federation) = federation.as_deref() {
+            pipeline = pipeline.with_executor(federation);
+        }
         let (results, stats) = pipeline.answer(&query).map_err(|e| e.to_string())?;
 
         let id = self
@@ -236,8 +307,40 @@ impl OptiquePlatform {
             rewrite_micros: stats.rewrite_micros,
             unfold_micros: stats.unfold_micros,
             exec_micros: stats.exec_micros,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            fragments: stats.fragments,
+            workers: federation.map_or(1, |f| f.workers()),
         });
         Ok((results, stats))
+    }
+
+    /// Appends rows to a static table, swapping in a new catalog snapshot.
+    /// Every derived static-query structure is invalidated: the per-BGP
+    /// cache clears (its hit counters survive) and the federated worker
+    /// pools are dropped, so the next query — cached or distributed — sees
+    /// the new rows. Returns the number of inserted rows.
+    pub fn insert_static(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, String> {
+        let inserted = rows.len();
+        {
+            let mut guard = self.db.write();
+            let mut new_db = (**guard).clone();
+            let mut new_table = (**new_db.table(table).map_err(|e| e.to_string())?).clone();
+            for row in rows {
+                new_table.push_row(row).map_err(|e| e.to_string())?;
+            }
+            new_db.put_table(table, new_table);
+            *guard = Arc::new(new_db);
+        }
+        self.static_cache.invalidate();
+        self.federations.lock().clear();
+        Ok(inserted)
+    }
+
+    /// The shared per-BGP solution-set cache (hit/miss counters feed the
+    /// dashboard).
+    pub fn bgp_cache(&self) -> &BgpCache {
+        &self.static_cache
     }
 
     /// Deregisters a query; returns whether it existed.
@@ -254,9 +357,10 @@ impl OptiquePlatform {
     /// Outputs come back in registration order.
     pub fn tick_all(&self, tick_ms: i64) -> Result<Vec<(u64, TickOutput)>, String> {
         let mut out = Vec::new();
+        let db = self.db();
         let mut queries = self.queries.lock();
         for (id, reg) in queries.iter_mut() {
-            let result = reg.query.tick(&self.db, &self.wcache, tick_ms)?;
+            let result = reg.query.tick(&db, &self.wcache, tick_ms)?;
             reg.ticks += 1;
             reg.alarms += result.satisfied as u64;
             reg.tuples += result.tuples_in_window as u64;
@@ -303,6 +407,9 @@ impl OptiquePlatform {
             static_queries: self.static_log.lock().clone(),
             wcache_hits: self.wcache.hits(),
             wcache_misses: self.wcache.misses(),
+            bgp_cache_hits: self.static_cache.hits(),
+            bgp_cache_misses: self.static_cache.misses(),
+            bgp_cache_invalidations: self.static_cache.invalidations(),
         }
     }
 }
@@ -356,7 +463,7 @@ mod tests {
                     registered += 1;
                 }
                 TaskQuery::SqlPlus(sql) => {
-                    optique_relational::exec::query(sql, &p.db).unwrap();
+                    optique_relational::exec::query(sql, &p.db()).unwrap();
                 }
             }
         }
@@ -424,6 +531,47 @@ mod tests {
         );
         let err = p.query_static("SELECT ?x WHERE { ?x a }").unwrap_err();
         assert!(err.contains("line"), "positioned error: {err}");
+    }
+
+    #[test]
+    fn query_static_distributed_matches_single_node() {
+        let p = platform();
+        let text = "SELECT DISTINCT ?s WHERE { ?s a sie:MonitoringDevice }";
+        let single = p.query_static(text).unwrap();
+        for workers in [1usize, 2, 4] {
+            let distributed = p.query_static_distributed(text, workers).unwrap();
+            let canon = |r: &SparqlResults| {
+                let mut rows: Vec<String> = r.rows().iter().map(|row| format!("{row:?}")).collect();
+                rows.sort();
+                rows
+            };
+            assert_eq!(canon(&single), canon(&distributed), "workers={workers}");
+        }
+        assert!(p
+            .query_static_distributed("ASK { ?s a sie:Sensor }", 0)
+            .is_err());
+    }
+
+    #[test]
+    fn bgp_cache_hits_and_insert_invalidation() {
+        let p = platform();
+        let text = "SELECT ?t WHERE { ?t a sie:Turbine }";
+        let first = p.query_static(text).unwrap();
+        let (_, stats) = p.query_static_with_stats(text).unwrap();
+        assert!(stats.cache_hits >= 1, "second run hits: {stats:?}");
+        let hits_before = p.dashboard().bgp_cache_hits;
+        assert!(hits_before >= 1);
+
+        // A relational INSERT invalidates: a new turbine row appears in the
+        // next answer instead of the stale cached set.
+        let turbines = p.db().table("turbines").unwrap().clone();
+        let mut row: Vec<Value> = turbines.rows[0].clone();
+        let id_col = turbines.schema.index_of("tid").expect("turbines.tid");
+        row[id_col] = Value::Int(99_999);
+        p.insert_static("turbines", vec![row]).unwrap();
+        let after = p.query_static(text).unwrap();
+        assert_eq!(after.len(), first.len() + 1, "inserted turbine is visible");
+        assert_eq!(p.dashboard().bgp_cache_invalidations, 1);
     }
 
     #[test]

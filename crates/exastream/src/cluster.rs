@@ -40,6 +40,20 @@ impl Cluster {
         Cluster { workers }
     }
 
+    /// A cluster of `n` workers all sharing one catalog (broadcast
+    /// replication — the static-source pattern: every worker can answer any
+    /// fragment, and the federation layer spreads fragments across them).
+    pub fn replicated(n: usize, db: Arc<Database>) -> Self {
+        assert!(n > 0, "cluster needs at least one worker");
+        let workers = (0..n)
+            .map(|id| Worker {
+                id,
+                db: Arc::clone(&db),
+            })
+            .collect();
+        Cluster { workers }
+    }
+
     /// Number of workers.
     pub fn size(&self) -> usize {
         self.workers.len()

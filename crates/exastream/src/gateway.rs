@@ -12,10 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use optique_relational::{SqlError, Table};
+use optique_relational::{PlanFragment, SqlError, Table};
 use parking_lot::Mutex;
 
 use crate::cluster::Cluster;
+use crate::exchange;
 use crate::scheduler::{OperatorTask, Scheduler};
 
 /// Opaque continuous-query id.
@@ -64,7 +65,7 @@ impl Gateway {
         let worker = self
             .scheduler
             .lock()
-            .place_one(&OperatorTask { id: id.0, cost });
+            .place_one(&OperatorTask::continuous(id.0, cost));
         self.registry.lock().insert(
             id,
             RegisteredQuery {
@@ -131,6 +132,116 @@ impl Gateway {
             outputs.into_iter().flatten().collect();
         all.sort_by_key(|(id, _)| *id);
         all
+    }
+    /// Executes a round of federated static-query fragments and gathers the
+    /// per-fragment results, in input order.
+    ///
+    /// Fragments cross the worker boundary through the
+    /// [`PlanFragment`]/[`ResultBatch`] wire format (see
+    /// [`optique_relational::fragment`]). Placement:
+    ///
+    /// * **placed** fragments (`scatter == false`) go to one worker each,
+    ///   LPT-style by cost through the live [`Scheduler`] — so a heavy
+    ///   static round routes around heavily-loaded stream workers — and are
+    ///   released again once the round completes (they are transient, unlike
+    ///   registered continuous queries);
+    /// * **scatter** fragments (`scatter == true`) run on *every* worker
+    ///   (the per-partition scan pattern over hash-partitioned tables) and
+    ///   their per-worker partial results are concatenated on gather.
+    pub fn run_static_fragments(
+        &self,
+        fragments: &[StaticFragment],
+    ) -> Vec<Result<Table, SqlError>> {
+        // Coordinator side: encode every fragment for the wire up front.
+        let wires: Vec<String> = fragments.iter().map(|f| f.fragment.encode()).collect();
+
+        // Place the non-scatter fragments as transient StaticFragment tasks.
+        let tasks: Vec<OperatorTask> = fragments
+            .iter()
+            .filter(|f| !f.scatter)
+            .map(|f| OperatorTask::static_fragment(f.fragment.id, f.fragment.cost))
+            .collect();
+        let placement = self.scheduler.lock().place_batch(&tasks);
+
+        // Per-worker execution queues of fragment indexes.
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.cluster.size()];
+        for (idx, f) in fragments.iter().enumerate() {
+            if f.scatter {
+                for queue in &mut queues {
+                    queue.push(idx);
+                }
+            } else {
+                queues[placement.assignment[&f.fragment.id]].push(idx);
+            }
+        }
+
+        // Worker side: decode each fragment, execute on the local shard,
+        // ship the result batch back over the wire.
+        let outputs: Vec<Vec<(usize, Result<String, SqlError>)>> =
+            self.cluster.parallel_map(|worker| {
+                queues[worker.id]
+                    .iter()
+                    .map(|&idx| {
+                        let result = PlanFragment::decode(&wires[idx])
+                            .and_then(|frag| optique_relational::exec::query(&frag.sql, &worker.db))
+                            .map(|t| exchange::ship(&t));
+                        (idx, result)
+                    })
+                    .collect()
+            });
+
+        // The round is over: transient (StaticFragment-kind) tasks release
+        // their load; continuous operators are untouched.
+        self.scheduler.lock().release_transient(&tasks, &placement);
+
+        // Gather: receive batches, concatenating scatter partials.
+        let mut gathered: Vec<Option<Result<Table, SqlError>>> =
+            fragments.iter().map(|_| None).collect();
+        for per_worker in outputs {
+            for (idx, wire_result) in per_worker {
+                let table = wire_result.and_then(|wire| exchange::receive(&wire));
+                match (&mut gathered[idx], table) {
+                    (slot @ None, incoming) => *slot = Some(incoming),
+                    (Some(Ok(acc)), Ok(part)) => acc.rows.extend(part.rows),
+                    (Some(Ok(_)), Err(e)) => gathered[idx] = Some(Err(e)),
+                    (Some(Err(_)), _) => {}
+                }
+            }
+        }
+        gathered
+            .into_iter()
+            .map(|slot| slot.expect("every fragment was queued on some worker"))
+            .collect()
+    }
+}
+
+/// One unit of a federated static query, as submitted to
+/// [`Gateway::run_static_fragments`].
+#[derive(Clone, Debug)]
+pub struct StaticFragment {
+    /// The serializable fragment (id, SQL, cost).
+    pub fragment: PlanFragment,
+    /// When true, the fragment scans a hash-partitioned table: it runs on
+    /// every worker's shard and the partial results are concatenated.
+    /// When false, any single worker's replica can answer it.
+    pub scatter: bool,
+}
+
+impl StaticFragment {
+    /// A fragment answered by one worker's replica.
+    pub fn placed(fragment: PlanFragment) -> Self {
+        StaticFragment {
+            fragment,
+            scatter: false,
+        }
+    }
+
+    /// A fragment scanning every worker's partition.
+    pub fn scattered(fragment: PlanFragment) -> Self {
+        StaticFragment {
+            fragment,
+            scatter: true,
+        }
     }
 }
 
@@ -277,6 +388,60 @@ mod tests {
             rx.recv().unwrap().unwrap();
         }
         assert_eq!(g.registered(), 32);
+    }
+
+    #[test]
+    fn static_fragments_execute_and_gather_in_order() {
+        let g = Gateway::new(cluster(4));
+        let fragments: Vec<StaticFragment> = (0..8)
+            .map(|i| {
+                StaticFragment::placed(PlanFragment::new(
+                    i,
+                    format!("SELECT COUNT(*) AS n FROM m WHERE value >= {i}"),
+                    1.0,
+                ))
+            })
+            .collect();
+        let results = g.run_static_fragments(&fragments);
+        assert_eq!(results.len(), 8);
+        for (i, result) in results.iter().enumerate() {
+            let t = result.as_ref().unwrap();
+            assert_eq!(
+                t.rows[0][0],
+                Value::Int(100 - i as i64),
+                "fragment {i} gathered out of order"
+            );
+        }
+        // Transient fragments release their load after the round.
+        assert!(g.worker_loads().iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn scatter_fragments_concatenate_partitions() {
+        // Each of 4 workers holds 100 distinct sensor rows; a scatter scan
+        // must see all 400.
+        let g = Gateway::new(cluster(4));
+        let results = g.run_static_fragments(&[StaticFragment::scattered(PlanFragment::new(
+            0,
+            "SELECT sensor_id FROM m",
+            1.0,
+        ))]);
+        let t = results[0].as_ref().unwrap();
+        assert_eq!(t.len(), 400);
+        let distinct: std::collections::HashSet<i64> =
+            t.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(distinct.len(), 400, "per-partition scans are disjoint");
+    }
+
+    #[test]
+    fn static_fragment_errors_are_per_fragment() {
+        let g = Gateway::new(cluster(2));
+        let results = g.run_static_fragments(&[
+            StaticFragment::placed(PlanFragment::new(0, "SELECT value FROM m", 1.0)),
+            StaticFragment::placed(PlanFragment::new(1, "SELECT value FROM nope", 1.0)),
+        ]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err(), "bad fragment fails alone");
     }
 
     #[test]

@@ -7,6 +7,19 @@
 
 use std::collections::HashMap;
 
+/// What kind of work a scheduled operator represents. Continuous operators
+/// hold their worker's load until deregistration; static fragments are
+/// transient — placed for one execution round and released when it ends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A standing stream operator (registered continuous query).
+    #[default]
+    Continuous,
+    /// One disjunct of a federated static query (see
+    /// [`crate::gateway::StaticFragment`]).
+    StaticFragment,
+}
+
 /// A schedulable operator: an id and an estimated cost (e.g. expected tuples
 /// per tick).
 #[derive(Clone, Debug, PartialEq)]
@@ -15,6 +28,28 @@ pub struct OperatorTask {
     pub id: u64,
     /// Cost estimate in abstract work units.
     pub cost: f64,
+    /// Lifetime class of the operator.
+    pub kind: TaskKind,
+}
+
+impl OperatorTask {
+    /// A standing continuous-query operator.
+    pub fn continuous(id: u64, cost: f64) -> Self {
+        OperatorTask {
+            id,
+            cost,
+            kind: TaskKind::Continuous,
+        }
+    }
+
+    /// A transient static-query fragment.
+    pub fn static_fragment(id: u64, cost: f64) -> Self {
+        OperatorTask {
+            id,
+            cost,
+            kind: TaskKind::StaticFragment,
+        }
+    }
 }
 
 /// The result of placing a set of operators.
@@ -106,6 +141,20 @@ impl Scheduler {
     pub fn release(&mut self, worker: usize, cost: f64) {
         self.loads[worker] = (self.loads[worker] - cost).max(0.0);
     }
+
+    /// Releases the load of every [`TaskKind::StaticFragment`] task in a
+    /// completed placement round. Continuous operators keep their load
+    /// until explicit deregistration — this is the behavioral split the
+    /// task kind encodes.
+    pub fn release_transient(&mut self, tasks: &[OperatorTask], placement: &Placement) {
+        for task in tasks {
+            if task.kind == TaskKind::StaticFragment {
+                if let Some(&worker) = placement.assignment.get(&task.id) {
+                    self.release(worker, task.cost);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -116,10 +165,7 @@ mod tests {
         costs
             .iter()
             .enumerate()
-            .map(|(i, &c)| OperatorTask {
-                id: i as u64,
-                cost: c,
-            })
+            .map(|(i, &c)| OperatorTask::continuous(i as u64, c))
             .collect()
     }
 
@@ -127,7 +173,7 @@ mod tests {
     fn single_placement_targets_least_loaded() {
         let mut s = Scheduler::new(3);
         s.loads = vec![5.0, 1.0, 3.0];
-        let w = s.place_one(&OperatorTask { id: 9, cost: 2.0 });
+        let w = s.place_one(&OperatorTask::continuous(9, 2.0));
         assert_eq!(w, 1);
         assert_eq!(s.loads()[1], 3.0);
     }
@@ -167,12 +213,32 @@ mod tests {
     #[test]
     fn release_reduces_load() {
         let mut s = Scheduler::new(2);
-        let w = s.place_one(&OperatorTask { id: 0, cost: 4.0 });
+        let w = s.place_one(&OperatorTask::static_fragment(0, 4.0));
         s.release(w, 4.0);
         assert_eq!(s.loads()[w], 0.0);
         // Releasing more than present clamps at zero.
         s.release(w, 10.0);
         assert_eq!(s.loads()[w], 0.0);
+    }
+
+    #[test]
+    fn release_transient_spares_continuous_load() {
+        let mut s = Scheduler::new(2);
+        let mixed = vec![
+            OperatorTask::continuous(0, 3.0),
+            OperatorTask::static_fragment(1, 2.0),
+            OperatorTask::static_fragment(2, 2.0),
+        ];
+        let p = s.place_batch(&mixed);
+        let total_before: f64 = s.loads().iter().sum();
+        assert!((total_before - 7.0).abs() < 1e-9);
+        s.release_transient(&mixed, &p);
+        let total_after: f64 = s.loads().iter().sum();
+        assert!(
+            (total_after - 3.0).abs() < 1e-9,
+            "only the continuous operator keeps its load: {:?}",
+            s.loads()
+        );
     }
 
     #[test]

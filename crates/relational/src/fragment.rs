@@ -1,0 +1,330 @@
+//! Serializable plan fragments and result batches — the wire format of the
+//! federated static pipeline.
+//!
+//! A coordinator splits an unfolded `UNION ALL` statement into per-disjunct
+//! [`PlanFragment`]s and ships them to ExaStream workers; each worker ships
+//! a [`ResultBatch`] back. Workers in this repo are threads, so "shipping"
+//! is an encode/decode round trip through the textual wire format below —
+//! the same discipline a socket would impose, which keeps every fragment
+//! and batch genuinely self-contained (no shared pointers smuggled across
+//! the worker boundary).
+//!
+//! The wire format is line-oriented: a header line, then one line per row,
+//! with `\`-escaping for newlines, tabs and backslashes inside text values.
+
+use std::fmt::Write as _;
+
+use crate::error::SqlError;
+use crate::schema::{Column, ColumnType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// One executable unit of a federated static query: a self-contained SQL
+/// statement (typically one disjunct of an unfolded `UNION ALL`) plus the
+/// cost estimate the scheduler places it by.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanFragment {
+    /// Coordinator-assigned id; results are gathered back in id order.
+    pub id: u64,
+    /// The fragment's SQL(+) text.
+    pub sql: String,
+    /// Placement cost estimate in abstract work units (e.g. join count).
+    pub cost: f64,
+}
+
+impl PlanFragment {
+    /// A fragment with the given id, SQL and cost.
+    pub fn new(id: u64, sql: impl Into<String>, cost: f64) -> Self {
+        PlanFragment {
+            id,
+            sql: sql.into(),
+            cost,
+        }
+    }
+
+    /// Encodes the fragment for the wire.
+    pub fn encode(&self) -> String {
+        format!("frag\t{}\t{}\t{}", self.id, self.cost, escape(&self.sql))
+    }
+
+    /// Decodes a fragment off the wire.
+    pub fn decode(wire: &str) -> Result<Self, SqlError> {
+        let mut parts = wire.splitn(4, '\t');
+        let tag = parts.next().unwrap_or_default();
+        if tag != "frag" {
+            return Err(SqlError::Execution(format!(
+                "not a plan fragment: tag {tag:?}"
+            )));
+        }
+        let id = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SqlError::Execution("fragment id missing".into()))?;
+        let cost = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SqlError::Execution("fragment cost missing".into()))?;
+        let sql = unescape(
+            parts
+                .next()
+                .ok_or_else(|| SqlError::Execution("fragment SQL missing".into()))?,
+        )?;
+        Ok(PlanFragment { id, sql, cost })
+    }
+}
+
+/// A self-contained result relation: column names and types plus rows, with
+/// no schema qualifiers or index handles attached — exactly what survives a
+/// trip over the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultBatch {
+    /// Output columns in order.
+    pub columns: Vec<(String, ColumnType)>,
+    /// Row-major values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultBatch {
+    /// Captures a table as a batch.
+    pub fn from_table(table: &Table) -> Self {
+        ResultBatch {
+            columns: table
+                .schema
+                .columns()
+                .iter()
+                .map(|c| (c.name.clone(), c.ty))
+                .collect(),
+            rows: table.rows.clone(),
+        }
+    }
+
+    /// Rebuilds a table from the batch.
+    pub fn into_table(self) -> Result<Table, SqlError> {
+        let schema = Schema::new(
+            self.columns
+                .into_iter()
+                .map(|(name, ty)| Column::new(name, ty))
+                .collect(),
+        );
+        Table::new(schema, self.rows)
+    }
+
+    /// Encodes the batch for the wire.
+    pub fn encode(&self) -> String {
+        let mut out = String::from("batch");
+        for (name, ty) in &self.columns {
+            let _ = write!(out, "\t{}:{ty}", escape(name));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(encode_value).collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decodes a batch off the wire.
+    pub fn decode(wire: &str) -> Result<Self, SqlError> {
+        let mut lines = wire.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| SqlError::Execution("empty result batch".into()))?;
+        let mut fields = header.split('\t');
+        if fields.next() != Some("batch") {
+            return Err(SqlError::Execution("not a result batch".into()));
+        }
+        let mut columns = Vec::new();
+        for field in fields {
+            let (name, ty) = field
+                .rsplit_once(':')
+                .ok_or_else(|| SqlError::Execution(format!("bad column field {field:?}")))?;
+            columns.push((unescape(name)?, decode_type(ty)?));
+        }
+        let mut rows = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let row: Vec<Value> = line
+                .split('\t')
+                .map(decode_value)
+                .collect::<Result<_, _>>()?;
+            if row.len() != columns.len() {
+                return Err(SqlError::Execution(format!(
+                    "batch row arity {} does not match {} columns",
+                    row.len(),
+                    columns.len()
+                )));
+            }
+            rows.push(row);
+        }
+        Ok(ResultBatch { columns, rows })
+    }
+}
+
+fn decode_type(ty: &str) -> Result<ColumnType, SqlError> {
+    Ok(match ty {
+        "INT" => ColumnType::Int,
+        "FLOAT" => ColumnType::Float,
+        "TEXT" => ColumnType::Text,
+        "BOOL" => ColumnType::Bool,
+        "TIMESTAMP" => ColumnType::Timestamp,
+        "ANY" => ColumnType::Any,
+        other => {
+            return Err(SqlError::Execution(format!(
+                "unknown column type {other:?}"
+            )))
+        }
+    })
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "n".to_string(),
+        Value::Int(i) => format!("i{i}"),
+        // `{:?}` keeps full f64 precision (shortest round-trippable form).
+        Value::Float(f) => format!("f{f:?}"),
+        Value::Text(s) => format!("t{}", escape(s)),
+        Value::Bool(b) => format!("b{}", u8::from(*b)),
+        Value::Timestamp(t) => format!("s{t}"),
+    }
+}
+
+fn decode_value(cell: &str) -> Result<Value, SqlError> {
+    let bad = || SqlError::Execution(format!("bad wire value {cell:?}"));
+    let rest = cell.get(1..).ok_or_else(bad)?;
+    Ok(match cell.as_bytes()[0] {
+        b'n' => Value::Null,
+        b'i' => Value::Int(rest.parse().map_err(|_| bad())?),
+        b'f' => Value::Float(rest.parse().map_err(|_| bad())?),
+        b't' => Value::text(unescape(rest)?),
+        b'b' => Value::Bool(rest == "1"),
+        b's' => Value::Timestamp(rest.parse().map_err(|_| bad())?),
+        _ => return Err(bad()),
+    })
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, SqlError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            other => {
+                return Err(SqlError::Execution(format!(
+                    "bad escape \\{} on the wire",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::table_of;
+
+    #[test]
+    fn fragment_round_trip() {
+        let f = PlanFragment::new(
+            7,
+            "SELECT a FROM t WHERE name = 'x\ty'\n  AND a > 1 -- back\\slash",
+            3.5,
+        );
+        let decoded = PlanFragment::decode(&f.encode()).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn fragment_rejects_garbage() {
+        assert!(PlanFragment::decode("nonsense").is_err());
+        assert!(PlanFragment::decode("frag\txyz\t1.0\tSELECT 1").is_err());
+    }
+
+    #[test]
+    fn batch_round_trip_all_types() {
+        let t = table_of(
+            "t",
+            &[
+                ("i", ColumnType::Int),
+                ("f", ColumnType::Float),
+                ("s", ColumnType::Text),
+                ("b", ColumnType::Bool),
+                ("ts", ColumnType::Timestamp),
+            ],
+            vec![
+                vec![
+                    Value::Int(-4),
+                    Value::Float(0.1),
+                    Value::text("tab\there\nand \\ there"),
+                    Value::Bool(true),
+                    Value::Timestamp(600_000),
+                ],
+                vec![
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ],
+            ],
+        )
+        .unwrap();
+        let batch = ResultBatch::from_table(&t);
+        let decoded = ResultBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded, batch);
+        let back = decoded.into_table().unwrap();
+        assert_eq!(back.rows, t.rows);
+        // Qualifiers are a binder-local concern and do not cross the wire;
+        // the column names and types themselves must.
+        assert_eq!(back.schema.header(), vec!["i", "f", "s", "b", "ts"]);
+    }
+
+    #[test]
+    fn float_precision_survives_the_wire() {
+        let batch = ResultBatch {
+            columns: vec![("x".into(), ColumnType::Float)],
+            rows: vec![vec![Value::Float(1.0 / 3.0)], vec![Value::Float(1e300)]],
+        };
+        let decoded = ResultBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded.rows, batch.rows);
+    }
+
+    #[test]
+    fn empty_batch_round_trip() {
+        let batch = ResultBatch {
+            columns: vec![("only".into(), ColumnType::Int)],
+            rows: vec![],
+        };
+        assert_eq!(ResultBatch::decode(&batch.encode()).unwrap(), batch);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(ResultBatch::decode("batch\ta:INT\ti1\ti2").is_err());
+        let wire = "batch\ta:INT\tb:INT\ni1\n";
+        assert!(ResultBatch::decode(wire).is_err());
+    }
+}

@@ -18,11 +18,14 @@
 //! * [`exec`] — a materializing executor with hash joins, grouped
 //!   aggregation and an extensible scalar/aggregate function registry
 //!   (including `CORR`, the Pearson-correlation aggregate the Siemens
-//!   catalog uses).
+//!   catalog uses),
+//! * [`fragment`] — serializable [`PlanFragment`]s / [`ResultBatch`]es, the
+//!   wire format the federated static pipeline ships between workers.
 
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fragment;
 pub mod functions;
 pub mod index;
 pub mod lexer;
@@ -36,6 +39,7 @@ pub mod value;
 pub use error::SqlError;
 pub use exec::execute;
 pub use expr::Expr;
+pub use fragment::{PlanFragment, ResultBatch};
 pub use parser::{parse_select, SelectStatement};
 pub use plan::LogicalPlan;
 pub use schema::{Column, ColumnType, Schema};

@@ -180,33 +180,49 @@ impl GroupPattern {
     }
 
     /// Lowers the pattern to a union of plain basic graph patterns, for
-    /// callers (like STARQL's WHERE clause) that need conjunctive queries:
-    /// nested groups flatten, `UNION` distributes, and `OPTIONAL`/`FILTER`
-    /// are rejected with a description of what blocked the lowering.
+    /// callers that need *pure* conjunctive queries: nested groups flatten,
+    /// `UNION` distributes, and `OPTIONAL`/`FILTER` are rejected with a
+    /// description of what blocked the lowering.
     pub fn bgp_disjuncts(&self) -> Result<Vec<Vec<Atom>>, String> {
-        let mut disjuncts: Vec<Vec<Atom>> = vec![Vec::new()];
+        let lowered = self.bgp_disjuncts_with_filters()?;
+        if lowered.iter().any(|(_, filters)| !filters.is_empty()) {
+            return Err("FILTER cannot be lowered to a conjunctive query".into());
+        }
+        Ok(lowered.into_iter().map(|(atoms, _)| atoms).collect())
+    }
+
+    /// Lowers the pattern to a union of `(BGP, filters)` pairs — the form
+    /// STARQL's WHERE clause consumes: nested groups flatten and `UNION`
+    /// distributes as in [`Self::bgp_disjuncts`], while `FILTER`s attach to
+    /// the disjuncts they scope over (a filter inside a `UNION` branch
+    /// constrains only that branch's disjuncts). `OPTIONAL` still blocks
+    /// the lowering.
+    pub fn bgp_disjuncts_with_filters(&self) -> Result<Vec<FilteredDisjunct>, String> {
+        let mut disjuncts: Vec<FilteredDisjunct> = vec![(Vec::new(), Vec::new())];
         for element in &self.elements {
             match element {
                 PatternElement::Triples(atoms) => {
-                    for d in &mut disjuncts {
+                    for (d, _) in &mut disjuncts {
                         d.extend(atoms.iter().cloned());
                     }
                 }
                 PatternElement::SubGroup(g) => {
-                    disjuncts = cross(disjuncts, g.bgp_disjuncts()?);
+                    disjuncts = cross(disjuncts, g.bgp_disjuncts_with_filters()?);
                 }
                 PatternElement::Union(branches) => {
                     let mut united = Vec::new();
                     for branch in branches {
-                        united.extend(branch.bgp_disjuncts()?);
+                        united.extend(branch.bgp_disjuncts_with_filters()?);
                     }
                     disjuncts = cross(disjuncts, united);
                 }
                 PatternElement::Optional(_) => {
                     return Err("OPTIONAL cannot be lowered to a conjunctive query".into())
                 }
-                PatternElement::Filter(_) => {
-                    return Err("FILTER cannot be lowered to a conjunctive query".into())
+                PatternElement::Filter(e) => {
+                    for (_, filters) in &mut disjuncts {
+                        filters.push(e.clone());
+                    }
                 }
             }
         }
@@ -214,13 +230,19 @@ impl GroupPattern {
     }
 }
 
-fn cross(left: Vec<Vec<Atom>>, right: Vec<Vec<Atom>>) -> Vec<Vec<Atom>> {
+/// One disjunct of a lowered group pattern: a basic graph pattern plus the
+/// `FILTER` expressions scoping over it.
+pub type FilteredDisjunct = (Vec<Atom>, Vec<Expression>);
+
+fn cross(left: Vec<FilteredDisjunct>, right: Vec<FilteredDisjunct>) -> Vec<FilteredDisjunct> {
     let mut out = Vec::with_capacity(left.len() * right.len());
-    for l in &left {
-        for r in &right {
-            let mut d = l.clone();
-            d.extend(r.iter().cloned());
-            out.push(d);
+    for (la, lf) in &left {
+        for (ra, rf) in &right {
+            let mut atoms = la.clone();
+            atoms.extend(ra.iter().cloned());
+            let mut filters = lf.clone();
+            filters.extend(rf.iter().cloned());
+            out.push((atoms, filters));
         }
     }
     out

@@ -1,0 +1,236 @@
+//! Per-BGP result caching for the static pipeline.
+//!
+//! Unfolding is the expensive half of static query answering: one basic
+//! graph pattern fans out into a `UNION ALL` over every mapping combination
+//! (Hovland et al.'s OBDA-constraints work measures exactly this
+//! redundancy). The *same* BGP routinely recurs — across `OPTIONAL`/`UNION`
+//! branches of one query, and across queries, since dashboards re-ask the
+//! same patterns. The [`BgpCache`] memoizes the *solution set* of a BGP
+//! (post-rewrite, post-unfold, post-execution, post-dedup), so a repeat
+//! skips the whole rewrite → unfold → SQL pipeline.
+//!
+//! Invalidation is whole-cache on any relational write: cached solutions
+//! are certain answers over a database state, and the platform bumps/clears
+//! the cache when that state changes (`OptiquePlatform::insert_static`).
+//! Hit/miss/invalidation counters feed the platform dashboard.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use optique_rewrite::Atom;
+
+use crate::eval::SolutionSet;
+
+/// How many BGP solution sets the cache retains (FIFO eviction).
+const CAPACITY: usize = 256;
+
+/// A shared, thread-safe cache of BGP solution sets.
+#[derive(Default)]
+pub struct BgpCache {
+    inner: Mutex<Entries>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    /// Bumped by [`Self::invalidate`]; stores stamped with an older
+    /// generation are rejected, so a computation that began before a
+    /// relational write cannot repopulate the cache with stale answers.
+    generation: AtomicU64,
+}
+
+#[derive(Default)]
+struct Entries {
+    map: HashMap<String, SolutionSet>,
+    order: VecDeque<String>,
+}
+
+impl BgpCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        BgpCache::default()
+    }
+
+    /// The canonical cache key of a BGP: its exact atom sequence. (Atom
+    /// order determines the solution set's variable order, so two textual
+    /// permutations of one BGP cache separately — a correctness choice, not
+    /// a limitation.)
+    pub fn key(atoms: &[Atom]) -> String {
+        format!("{atoms:?}")
+    }
+
+    /// Looks up a BGP's cached solutions, counting a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<SolutionSet> {
+        let inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(key) {
+            Some(solutions) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(solutions.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The current invalidation generation. Capture it *before* computing a
+    /// solution set and pass it to [`Self::store`]; an invalidation in
+    /// between makes the store a no-op.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Stores a BGP's solutions computed at `generation`, evicting the
+    /// oldest entry when full. Rejected (dropped) when the cache has been
+    /// invalidated since `generation` was captured — the solutions describe
+    /// a superseded database snapshot.
+    pub fn store(&self, key: String, solutions: SolutionSet, generation: u64) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        // Checked under the lock so no invalidation can interleave between
+        // the check and the insert.
+        if self.generation.load(Ordering::Acquire) != generation {
+            return;
+        }
+        if let Some(existing) = inner.map.get_mut(&key) {
+            *existing = solutions;
+            return;
+        }
+        if inner.map.len() >= CAPACITY {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, solutions);
+    }
+
+    /// Drops every entry (relational write), returning how many were
+    /// evicted.
+    pub fn invalidate(&self) -> usize {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let evicted = inner.map.len();
+        inner.map.clear();
+        inner.order.clear();
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Cumulative cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Times the cache has been invalidated.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit rate in `[0, 1]`, `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+}
+
+impl std::fmt::Debug for BgpCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BgpCache({} entries, {} hits, {} misses)",
+            self.len(),
+            self.hits(),
+            self.misses()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optique_rdf::Term;
+
+    fn solutions(n: i64) -> SolutionSet {
+        SolutionSet {
+            vars: vec!["x".into()],
+            rows: (0..n)
+                .map(|i| vec![Some(Term::iri(format!("http://x/{i}")))])
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = BgpCache::new();
+        assert!(cache.lookup("k").is_none());
+        cache.store("k".into(), solutions(3), cache.generation());
+        assert_eq!(cache.lookup("k").unwrap().len(), 3);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn invalidate_clears_and_counts() {
+        let cache = BgpCache::new();
+        cache.store("a".into(), solutions(1), cache.generation());
+        cache.store("b".into(), solutions(2), cache.generation());
+        assert_eq!(cache.invalidate(), 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.invalidations(), 1);
+        assert!(cache.lookup("a").is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = BgpCache::new();
+        for i in 0..CAPACITY + 1 {
+            cache.store(format!("k{i}"), solutions(1), cache.generation());
+        }
+        assert_eq!(cache.len(), CAPACITY);
+        assert!(cache.lookup("k0").is_none(), "oldest entry evicted");
+        assert!(cache.lookup("k1").is_some());
+        assert!(cache.lookup(&format!("k{CAPACITY}")).is_some());
+    }
+
+    #[test]
+    fn restore_overwrites_in_place() {
+        let cache = BgpCache::new();
+        cache.store("k".into(), solutions(1), cache.generation());
+        cache.store("k".into(), solutions(5), cache.generation());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup("k").unwrap().len(), 5);
+    }
+
+    /// A computation that began before an invalidation must not repopulate
+    /// the cache with its (stale) result.
+    #[test]
+    fn stale_generation_store_is_rejected() {
+        let cache = BgpCache::new();
+        let before = cache.generation();
+        cache.invalidate();
+        cache.store("k".into(), solutions(3), before);
+        assert!(cache.is_empty(), "stale store dropped");
+        cache.store("k".into(), solutions(3), cache.generation());
+        assert_eq!(cache.len(), 1, "fresh store lands");
+    }
+}

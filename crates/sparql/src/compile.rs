@@ -8,19 +8,52 @@
 //! relational engine. Everything the SQL cannot express — joins across
 //! `OPTIONAL`/`UNION` branches, `FILTER`s, modifiers, aggregates — runs
 //! over [`SolutionSet`]s in [`crate::eval`].
+//!
+//! Execution of the unfolded SQL has two backends:
+//!
+//! * **single-node** (the default): the whole `UNION ALL` chain runs on the
+//!   pipeline's [`Database`];
+//! * **federated**: a [`FragmentExecutor`] receives one [`PlanFragment`]
+//!   per unfolded disjunct ([`split_union_chain`]) and executes them on a
+//!   worker pool (ExaStream, in `optique`'s wiring); the per-fragment
+//!   tables merge back into one solution set in
+//!   [`crate::eval::solutions_from_tables`]. Both backends produce the same
+//!   certain-answer *set*, which the federation equivalence suite asserts.
+//!
+//! A [`BgpCache`] can be attached to memoize whole-BGP solution sets across
+//! `OPTIONAL`/`UNION` branches and across queries.
 
 use std::time::Instant;
 
 use optique_mapping::{unfold_ucq, MappingCatalog, UnfoldSettings};
 use optique_ontology::Ontology;
 use optique_rdf::{Literal, Term};
-use optique_relational::{Database, Value};
+use optique_relational::parser::SelectStatement;
+use optique_relational::{expr::BinOp, expr::UnaryOp, Database, Expr, PlanFragment, Table, Value};
 use optique_rewrite::{rewrite, Atom, ConjunctiveQuery, QueryTerm, RewriteSettings};
 
-use crate::algebra::{GroupPattern, PatternElement, Projection, Query, SelectItem, SelectQuery};
+use crate::algebra::{
+    ArithmeticOperator, ComparisonOperator, Expression, GroupPattern, PatternElement, Projection,
+    Query, SelectItem, SelectQuery,
+};
+use crate::cache::BgpCache;
 use crate::error::SparqlError;
-use crate::eval::{aggregate, SolutionSet};
+use crate::eval::{aggregate, solutions_from_tables, SolutionSet};
 use crate::results::SparqlResults;
+
+/// A distributed backend for unfolded-SQL execution: takes one
+/// [`PlanFragment`] per disjunct, returns one result table per fragment, in
+/// order. Implementations ship fragments to workers however they like (the
+/// platform's implementation rides ExaStream's gateway/scheduler/exchange).
+pub trait FragmentExecutor: Sync {
+    /// Executes the fragments of one BGP round.
+    fn execute(&self, fragments: Vec<PlanFragment>) -> Result<Vec<Table>, String>;
+
+    /// How many workers back this executor (observability only).
+    fn workers(&self) -> usize {
+        1
+    }
+}
 
 /// Everything query answering needs from a deployment.
 pub struct StaticPipeline<'a> {
@@ -34,6 +67,15 @@ pub struct StaticPipeline<'a> {
     pub rewrite_settings: RewriteSettings,
     /// Unfolding knobs.
     pub unfold_settings: UnfoldSettings,
+    /// Distributed execution backend; `None` runs single-node on [`Self::db`].
+    pub executor: Option<&'a dyn FragmentExecutor>,
+    /// Per-BGP solution-set cache; `None` disables caching.
+    pub cache: Option<&'a BgpCache>,
+    /// Cache generation this pipeline's database snapshot belongs to;
+    /// stores are dropped if the cache has been invalidated since. Callers
+    /// that snapshot a mutable database must capture this **before** the
+    /// snapshot (see [`Self::with_cache_at`]).
+    pub cache_generation: u64,
 }
 
 /// Per-query observability, surfaced on the platform dashboard.
@@ -53,9 +95,55 @@ pub struct PipelineStats {
     pub exec_micros: u64,
     /// Rows in the final result.
     pub rows: usize,
+    /// BGPs answered from the [`BgpCache`].
+    pub cache_hits: usize,
+    /// BGPs that went through the full pipeline (cache attached but cold).
+    pub cache_misses: usize,
+    /// Plan fragments shipped to the distributed executor.
+    pub fragments: usize,
 }
 
 impl<'a> StaticPipeline<'a> {
+    /// A single-node, cache-less pipeline with default settings.
+    pub fn new(ontology: &'a Ontology, mappings: &'a MappingCatalog, db: &'a Database) -> Self {
+        StaticPipeline {
+            ontology,
+            mappings,
+            db,
+            rewrite_settings: RewriteSettings::default(),
+            unfold_settings: UnfoldSettings::default(),
+            executor: None,
+            cache: None,
+            cache_generation: 0,
+        }
+    }
+
+    /// Routes unfolded SQL through a distributed executor.
+    pub fn with_executor(mut self, executor: &'a dyn FragmentExecutor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Attaches a per-BGP solution-set cache, capturing its current
+    /// generation. Correct when the pipeline's database cannot change
+    /// underneath it; if the database is a snapshot of mutable state, use
+    /// [`Self::with_cache_at`] with a generation captured before the
+    /// snapshot was taken.
+    pub fn with_cache(self, cache: &'a BgpCache) -> Self {
+        let generation = cache.generation();
+        self.with_cache_at(cache, generation)
+    }
+
+    /// Attaches a per-BGP cache with an explicitly captured generation.
+    /// Capturing the generation *before* snapshotting the database closes
+    /// the race where a write lands between the two: either the snapshot is
+    /// fresh (stores fine) or the store's generation is stale (dropped).
+    pub fn with_cache_at(mut self, cache: &'a BgpCache, generation: u64) -> Self {
+        self.cache = Some(cache);
+        self.cache_generation = generation;
+        self
+    }
+
     /// Answers a parsed query.
     pub fn answer(&self, query: &Query) -> Result<(SparqlResults, PipelineStats), SparqlError> {
         let mut stats = PipelineStats::default();
@@ -152,7 +240,8 @@ impl<'a> StaticPipeline<'a> {
         Ok(current)
     }
 
-    /// One BGP through rewrite → unfold → SQL execution.
+    /// One BGP through cache lookup → rewrite → unfold → SQL execution
+    /// (single-node or federated).
     fn eval_bgp(
         &self,
         atoms: &[Atom],
@@ -162,6 +251,15 @@ impl<'a> StaticPipeline<'a> {
         if atoms.is_empty() {
             return Ok(SolutionSet::unit());
         }
+        let key = self.cache.map(|_| BgpCache::key(atoms));
+        if let (Some(cache), Some(key)) = (self.cache, key.as_deref()) {
+            if let Some(cached) = cache.lookup(key) {
+                stats.cache_hits += 1;
+                return Ok(cached);
+            }
+            stats.cache_misses += 1;
+        }
+
         let vars = bgp_variables(atoms);
         let cq = ConjunctiveQuery::new(vars.clone(), atoms.to_vec());
 
@@ -177,40 +275,169 @@ impl<'a> StaticPipeline<'a> {
         stats.unfold_micros += started.elapsed().as_micros() as u64;
         stats.sql_disjuncts += unfold_stats.emitted;
 
-        let Some(statement) = sql else {
+        let solutions = match sql {
             // Some term has no mapping: the BGP is empty over the sources.
-            return Ok(SolutionSet {
+            None => SolutionSet {
                 vars,
                 rows: Vec::new(),
-            });
+            },
+            Some(statement) => {
+                let started = Instant::now();
+                let tables = self.execute_statement(statement, stats)?;
+                stats.exec_micros += started.elapsed().as_micros() as u64;
+
+                if vars.is_empty() {
+                    // Constant-only BGP: satisfiable iff any row came back.
+                    if tables.iter().any(|t| !t.is_empty()) {
+                        SolutionSet::unit()
+                    } else {
+                        SolutionSet::empty()
+                    }
+                } else {
+                    // Certain-answer semantics: a UCQ's answers are the *set*
+                    // union of its disjuncts' answers, so duplicates across
+                    // `UNION ALL` branches / fragments (one sensor reachable
+                    // through several mappings) collapse in the merge.
+                    solutions_from_tables(vars, tables)
+                }
+            }
         };
 
-        let started = Instant::now();
-        let table = optique_relational::exec::query(&statement.to_string(), self.db)
-            .map_err(|e| SparqlError::execution(format!("SQL execution failed: {e}")))?;
-        stats.exec_micros += started.elapsed().as_micros() as u64;
-
-        if vars.is_empty() {
-            // Constant-only BGP: satisfiable iff any row came back.
-            return Ok(if table.is_empty() {
-                SolutionSet::empty()
-            } else {
-                SolutionSet::unit()
-            });
+        if let (Some(cache), Some(key)) = (self.cache, key) {
+            // `cache_generation` was captured before the database snapshot:
+            // a write that landed since then makes this store a no-op
+            // instead of repopulating the cache with stale answers.
+            cache.store(key, solutions.clone(), self.cache_generation);
         }
-        // Certain-answer semantics: a UCQ's answers are the *set* union of
-        // its disjuncts' answers, so duplicates across `UNION ALL` branches
-        // (one sensor reachable through several mappings) collapse here.
-        let mut solutions = SolutionSet {
-            vars,
-            rows: table
-                .rows
-                .iter()
-                .map(|row| row.iter().map(value_to_term).collect())
-                .collect(),
-        };
-        solutions.distinct();
         Ok(solutions)
+    }
+
+    /// Runs one unfolded `UNION ALL` statement: on the distributed executor
+    /// as per-disjunct fragments when one is attached, on the local engine
+    /// otherwise. Returns the result tables to merge.
+    fn execute_statement(
+        &self,
+        statement: SelectStatement,
+        stats: &mut PipelineStats,
+    ) -> Result<Vec<Table>, SparqlError> {
+        match self.executor {
+            Some(executor) => {
+                let fragments: Vec<PlanFragment> = split_union_chain(statement)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, stmt)| {
+                        // Cost estimate: FROM item count (join width drives
+                        // disjunct cost far more than anything else we can
+                        // see statically).
+                        let cost = (stmt.joins.len() + 1) as f64;
+                        PlanFragment::new(i as u64, stmt.to_string(), cost)
+                    })
+                    .collect();
+                stats.fragments += fragments.len();
+                executor
+                    .execute(fragments)
+                    .map_err(|e| SparqlError::execution(format!("federated execution failed: {e}")))
+            }
+            None => {
+                let table = optique_relational::exec::query(&statement.to_string(), self.db)
+                    .map_err(|e| SparqlError::execution(format!("SQL execution failed: {e}")))?;
+                Ok(vec![table])
+            }
+        }
+    }
+}
+
+/// Splits an unfolded `UNION ALL` chain into its disjunct statements — the
+/// inverse of the unfolder's chaining, and the unit of federated execution.
+pub fn split_union_chain(statement: SelectStatement) -> Vec<SelectStatement> {
+    let mut out = Vec::new();
+    let mut cursor = Some(statement);
+    while let Some(mut stmt) = cursor {
+        cursor = stmt.union_all.take().map(|next| *next);
+        out.push(stmt);
+    }
+    out
+}
+
+/// Translates a SPARQL `FILTER` expression into a relational [`Expr`] over
+/// SQL columns. `lookup` maps a SPARQL variable to the SQL expression that
+/// produces it (typically a projection of the unfolded statement). Only the
+/// SQL-expressible fragment translates: comparisons, `&&`/`||`/`!`,
+/// arithmetic, variables and constants. `REGEX`/`BOUND` (and anything else
+/// engine-specific) is rejected — those stay in the residual algebra.
+pub fn expression_to_sql(
+    expr: &Expression,
+    lookup: &dyn Fn(&str) -> Option<Expr>,
+) -> Result<Expr, String> {
+    match expr {
+        Expression::Var(v) => {
+            lookup(v).ok_or_else(|| format!("?{v} has no SQL column in this statement"))
+        }
+        Expression::Const(term) => Ok(Expr::Literal(term_to_value(term))),
+        Expression::And(a, b) => Ok(Expr::binary(
+            BinOp::And,
+            expression_to_sql(a, lookup)?,
+            expression_to_sql(b, lookup)?,
+        )),
+        Expression::Or(a, b) => Ok(Expr::binary(
+            BinOp::Or,
+            expression_to_sql(a, lookup)?,
+            expression_to_sql(b, lookup)?,
+        )),
+        Expression::Not(a) => Ok(Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(expression_to_sql(a, lookup)?),
+        }),
+        Expression::Compare(op, a, b) => {
+            let op = match op {
+                ComparisonOperator::Eq => BinOp::Eq,
+                ComparisonOperator::Ne => BinOp::Ne,
+                ComparisonOperator::Lt => BinOp::Lt,
+                ComparisonOperator::Le => BinOp::Le,
+                ComparisonOperator::Gt => BinOp::Gt,
+                ComparisonOperator::Ge => BinOp::Ge,
+            };
+            Ok(Expr::binary(
+                op,
+                expression_to_sql(a, lookup)?,
+                expression_to_sql(b, lookup)?,
+            ))
+        }
+        Expression::Arithmetic(op, a, b) => {
+            let op = match op {
+                ArithmeticOperator::Add => BinOp::Add,
+                ArithmeticOperator::Sub => BinOp::Sub,
+                ArithmeticOperator::Mul => BinOp::Mul,
+                ArithmeticOperator::Div => BinOp::Div,
+            };
+            Ok(Expr::binary(
+                op,
+                expression_to_sql(a, lookup)?,
+                expression_to_sql(b, lookup)?,
+            ))
+        }
+        Expression::Regex { .. } => Err("FILTER REGEX has no SQL translation".into()),
+        Expression::Bound(_) => Err("FILTER BOUND has no SQL translation".into()),
+    }
+}
+
+/// Lowers a constant RDF term to a SQL value (IRIs travel as their text,
+/// matching how mapping templates mint them).
+fn term_to_value(term: &Term) -> Value {
+    match term {
+        Term::Iri(iri) => Value::text(iri.as_str()),
+        Term::BNode(id) => Value::text(format!("_:b{id}")),
+        Term::Literal(lit) => {
+            if let Some(b) = lit.as_bool() {
+                Value::Bool(b)
+            } else if let Some(i) = lit.as_i64() {
+                Value::Int(i)
+            } else if let Some(f) = lit.as_f64() {
+                Value::Float(f)
+            } else {
+                Value::text(lit.lexical())
+            }
+        }
     }
 }
 
@@ -363,15 +590,29 @@ mod tests {
         let db = db();
         let onto = ontology();
         let maps = catalog();
-        let pipeline = StaticPipeline {
-            ontology: &onto,
-            mappings: &maps,
-            db: &db,
-            rewrite_settings: RewriteSettings::default(),
-            unfold_settings: UnfoldSettings::default(),
-        };
+        let pipeline = StaticPipeline::new(&onto, &maps, &db);
         let query = crate::parse_sparql(text, &ns()).unwrap();
         pipeline.answer(&query).unwrap()
+    }
+
+    /// A loopback fragment executor: runs every fragment on the local
+    /// database, after a full wire round trip of the fragment text —
+    /// exactly what a worker pool does, minus the threads.
+    struct Loopback {
+        db: Database,
+    }
+
+    impl FragmentExecutor for Loopback {
+        fn execute(&self, fragments: Vec<PlanFragment>) -> Result<Vec<Table>, String> {
+            fragments
+                .into_iter()
+                .map(|f| {
+                    let decoded = PlanFragment::decode(&f.encode()).map_err(|e| e.to_string())?;
+                    optique_relational::exec::query(&decoded.sql, &self.db)
+                        .map_err(|e| e.to_string())
+                })
+                .collect()
+        }
     }
 
     #[test]
@@ -454,5 +695,125 @@ mod tests {
         assert_eq!(stats.bgps, 1);
         assert!(stats.sql_disjuncts >= 2);
         assert!(stats.rows > 0);
+    }
+
+    fn answer_with(
+        text: &str,
+        executor: Option<&dyn FragmentExecutor>,
+        cache: Option<&BgpCache>,
+    ) -> (SparqlResults, PipelineStats) {
+        let db = db();
+        let onto = ontology();
+        let maps = catalog();
+        let mut pipeline = StaticPipeline::new(&onto, &maps, &db);
+        pipeline.executor = executor;
+        pipeline.cache = cache;
+        let query = crate::parse_sparql(text, &ns()).unwrap();
+        pipeline.answer(&query).unwrap()
+    }
+
+    fn canonical(r: &SparqlResults) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = r
+            .rows()
+            .iter()
+            .map(|row| row.iter().map(|t| format!("{t:?}")).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn fragmented_execution_matches_single_node() {
+        let queries = [
+            "SELECT ?t WHERE { ?t a x:Turbine }",
+            "SELECT ?t ?m WHERE { ?t a x:Turbine ; x:hasModel ?m . \
+             FILTER(REGEX(?m, \"^SGT\")) } ORDER BY ?m",
+            "SELECT ?t ?s WHERE { ?t a x:Turbine . OPTIONAL { ?s x:attachedTo ?t } }",
+            "SELECT DISTINCT ?x WHERE { { ?x a x:GasTurbine } UNION { ?s x:attachedTo ?x } }",
+            "ASK { ?s x:attachedTo <http://x/turbine/1> }",
+        ];
+        let loopback = Loopback { db: db() };
+        for text in queries {
+            let (single, _) = answer_with(text, None, None);
+            let (fragmented, stats) = answer_with(text, Some(&loopback), None);
+            assert_eq!(canonical(&single), canonical(&fragmented), "{text}");
+            assert!(stats.fragments >= 1, "{text} shipped no fragments");
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_bgp() {
+        let db = db();
+        let onto = ontology();
+        let maps = catalog();
+        let cache = BgpCache::new();
+        let pipeline = StaticPipeline::new(&onto, &maps, &db).with_cache(&cache);
+        // The same BGP appears in both UNION branches: first is a miss, the
+        // second hits within the very same query.
+        let text = "SELECT ?x WHERE { { ?x a x:Turbine } UNION { ?x a x:Turbine } }";
+        let query = crate::parse_sparql(text, &ns()).unwrap();
+        let (_, stats) = pipeline.answer(&query).unwrap();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        // Re-running the whole query now hits for every BGP.
+        let (_, stats) = pipeline.answer(&query).unwrap();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn cached_results_stay_correct() {
+        let db = db();
+        let onto = ontology();
+        let maps = catalog();
+        let cache = BgpCache::new();
+        let pipeline = StaticPipeline::new(&onto, &maps, &db).with_cache(&cache);
+        let query = crate::parse_sparql("SELECT ?t WHERE { ?t a x:Turbine }", &ns()).unwrap();
+        let (cold, _) = pipeline.answer(&query).unwrap();
+        let (warm, _) = pipeline.answer(&query).unwrap();
+        assert_eq!(canonical(&cold), canonical(&warm));
+        assert_eq!(warm.len(), 3);
+    }
+
+    #[test]
+    fn split_union_chain_round_trips() {
+        let sql = "SELECT a FROM t UNION ALL SELECT b FROM u UNION ALL SELECT c FROM v";
+        let statement = optique_relational::parse_select(sql).unwrap();
+        let parts = split_union_chain(statement);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.union_all.is_none()));
+        assert!(parts[1].to_string().contains("FROM u"));
+    }
+
+    #[test]
+    fn filter_expressions_translate_to_sql() {
+        let lookup = |v: &str| -> Option<Expr> { (v == "v").then(|| Expr::col("u0.value")) };
+        // ?v > 5 && !(?v = 9)
+        let expr = Expression::And(
+            Box::new(Expression::Compare(
+                ComparisonOperator::Gt,
+                Box::new(Expression::Var("v".into())),
+                Box::new(Expression::Const(Term::Literal(Literal::integer(5)))),
+            )),
+            Box::new(Expression::Not(Box::new(Expression::Compare(
+                ComparisonOperator::Eq,
+                Box::new(Expression::Var("v".into())),
+                Box::new(Expression::Const(Term::Literal(Literal::integer(9)))),
+            )))),
+        );
+        let sql = expression_to_sql(&expr, &lookup).unwrap();
+        assert_eq!(sql.to_string(), "((u0.value > 5) AND NOT ((u0.value = 9)))");
+        // Unprojected variables and REGEX are rejected.
+        assert!(expression_to_sql(&Expression::Var("w".into()), &lookup).is_err());
+        assert!(expression_to_sql(
+            &Expression::Regex {
+                text: Box::new(Expression::Var("v".into())),
+                pattern: "^x".into(),
+                case_insensitive: false,
+            },
+            &lookup
+        )
+        .is_err());
     }
 }

@@ -251,6 +251,29 @@ impl SolutionSet {
     }
 }
 
+/// Merges the per-fragment result tables of a federated BGP round back into
+/// one solution set. Each table holds one unfolded disjunct's answers (or
+/// one partition's concatenated scan); a UCQ's certain answers are the
+/// *set* union of its disjuncts' answers, so rows deduplicate here — the
+/// same collapse the single-node `UNION ALL` path performs.
+pub fn solutions_from_tables(
+    vars: Vec<String>,
+    tables: Vec<optique_relational::Table>,
+) -> SolutionSet {
+    let mut out = SolutionSet {
+        vars,
+        rows: Vec::new(),
+    };
+    for table in &tables {
+        for row in &table.rows {
+            out.rows
+                .push(row.iter().map(crate::compile::value_to_term).collect());
+        }
+    }
+    out.distinct();
+    out
+}
+
 fn compatible(l: &[Option<Term>], r: &[Option<Term>], shared: &[(usize, usize)]) -> bool {
     shared.iter().all(|&(i, j)| match (&l[i], &r[j]) {
         (Some(a), Some(b)) => a == b,

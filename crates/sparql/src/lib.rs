@@ -22,7 +22,10 @@
 //!   unfolded through the mapping catalog into `UNION ALL` SQL, and run on
 //!   the relational engine; [`PipelineStats`] reports per-stage timings.
 //! * [`eval`] — the residual algebra over [`SolutionSet`]s: joins across
-//!   `OPTIONAL`/`UNION` branches, filters, modifiers, aggregation.
+//!   `OPTIONAL`/`UNION` branches, filters, modifiers, aggregation — and the
+//!   merge of federated per-fragment results.
+//! * [`cache`] — [`BgpCache`]: per-BGP solution-set memoization with
+//!   hit/miss counters and whole-cache invalidation on relational writes.
 //! * [`results`] — [`SparqlResults`]: solution tables / ASK booleans.
 //!
 //! ```
@@ -37,6 +40,7 @@
 //! ```
 
 pub mod algebra;
+pub mod cache;
 pub mod compile;
 pub mod error;
 pub mod eval;
@@ -48,8 +52,11 @@ pub use algebra::{
     AggregateFunction, ArithmeticOperator, AskQuery, ComparisonOperator, Expression, GroupPattern,
     PatternElement, Projection, Query, SelectItem, SelectQuery, SolutionModifier,
 };
-pub use compile::{PipelineStats, StaticPipeline};
+pub use cache::BgpCache;
+pub use compile::{
+    expression_to_sql, split_union_chain, FragmentExecutor, PipelineStats, StaticPipeline,
+};
 pub use error::{ErrorKind, Position, SparqlError};
-pub use eval::SolutionSet;
+pub use eval::{solutions_from_tables, SolutionSet};
 pub use parser::{parse_group_graph_pattern, parse_sparql};
 pub use results::SparqlResults;

@@ -1,6 +1,7 @@
 //! The STARQL abstract syntax tree.
 
 use optique_rewrite::Atom;
+use optique_sparql::Expression;
 
 use crate::having::ProtoFormula;
 
@@ -30,6 +31,13 @@ pub struct StarQlQuery {
     /// into disjuncts; each disjunct is enriched and unfolded separately and
     /// the results are unioned. Invariant: `where_disjuncts[0] == where_bgp`.
     pub where_disjuncts: Vec<Vec<Atom>>,
+    /// Per-disjunct `FILTER` expressions (parallel to
+    /// [`StarQlQuery::where_disjuncts`]). Only the SQL-expressible fragment
+    /// is accepted — comparisons, `&&`/`||`/`!`, arithmetic — and the
+    /// translator pushes each filter into the unfolded SQL `WHERE` clause,
+    /// so filtered continuous queries monitor exactly the bindings that
+    /// pass. Invariant: `where_filters.len() == where_disjuncts.len()`.
+    pub where_filters: Vec<Vec<Expression>>,
     /// `SEQUENCE BY` method.
     pub sequence: SequenceMethod,
     /// The HAVING condition, pre-macro-expansion.

@@ -398,6 +398,48 @@ mod tests {
         assert_eq!(cq.binding_count(), 2, "two sensors bound via WHERE");
     }
 
+    /// A WHERE FILTER, pushed into the unfolded static SQL, narrows the set
+    /// of monitored bindings before any tick runs.
+    #[test]
+    fn where_filter_narrows_bindings() {
+        let (db, onto, mut maps) = deployment();
+        maps.add(
+            MappingAssertion::property(
+                "serial",
+                iri("hasSerial"),
+                "SELECT sid FROM sensors",
+                TermMap::template("http://siemens.example/data/sensor/{sid}"),
+                TermMap::column("sid", Datatype::Integer),
+            )
+            .with_key(vec!["sid".into()]),
+        )
+        .unwrap();
+        let text = r#"
+            PREFIX sie: <http://siemens.example/ontology#>
+            CREATE STREAM S_out AS
+            CONSTRUCT GRAPH NOW { ?c2 a sie:MonInc }
+            FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE { ?c1 sie:inAssembly ?c2 . ?c2 sie:hasSerial ?n . FILTER(?n > 10) }
+            SEQUENCE BY StdSeq AS seq
+            HAVING EXISTS ?k IN seq: GRAPH ?k { ?c2 sie:hasValue ?v }
+        "#;
+        let ns = Namespaces::with_w3c_defaults();
+        let q = parse_starql(text, &ns).unwrap();
+        let ctx = TranslationContext {
+            ontology: &onto,
+            mappings: &maps,
+            rewrite_settings: Default::default(),
+            unfold_settings: Default::default(),
+        };
+        let translated = translate(&q, &ctx).unwrap();
+        let cq = ContinuousQuery::register(translated, stream_mapping(), &db).unwrap();
+        assert_eq!(
+            cq.binding_count(),
+            1,
+            "sensors 10 and 11 exist; FILTER(?n > 10) keeps only 11"
+        );
+    }
+
     /// The end-to-end Figure 1 behaviour: at the tick after sensor 10's
     /// failure, the monotonic-increase alarm fires for sensor 10 only.
     #[test]

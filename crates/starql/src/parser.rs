@@ -244,7 +244,7 @@ impl Parser {
         };
 
         self.expect_kw("WHERE")?;
-        let where_disjuncts = self.parse_where_group()?;
+        let (where_disjuncts, where_filters) = self.parse_where_group()?;
         let where_bgp = where_disjuncts.first().cloned().unwrap_or_default();
 
         self.expect_kw("SEQUENCE")?;
@@ -274,6 +274,7 @@ impl Parser {
             pulse,
             where_bgp,
             where_disjuncts,
+            where_filters,
             sequence,
             having,
             aggregates,
@@ -282,10 +283,15 @@ impl Parser {
 
     /// Parses the WHERE clause by re-slicing its `{ … }` source text and
     /// delegating to the SPARQL group-graph-pattern parser, then lowering
-    /// the pattern to a union of BGPs. Full SPARQL pattern *syntax* is
-    /// accepted; pattern forms without continuous-query semantics
-    /// (`OPTIONAL`, `FILTER`) are rejected with a positioned explanation.
-    fn parse_where_group(&mut self) -> Result<Vec<Vec<Atom>>, StarQlError> {
+    /// the pattern to a union of BGPs with per-disjunct FILTERs. Full SPARQL
+    /// pattern *syntax* is accepted; `OPTIONAL` (no continuous-query
+    /// semantics) and FILTER forms with no SQL translation (`REGEX`,
+    /// `BOUND`) are rejected with a positioned explanation. Accepted
+    /// filters are pushed into the unfolded SQL by the translator.
+    #[allow(clippy::type_complexity)]
+    fn parse_where_group(
+        &mut self,
+    ) -> Result<(Vec<Vec<Atom>>, Vec<Vec<optique_sparql::Expression>>), StarQlError> {
         let open = self.pos;
         let Some(Token {
             kind: TokenKind::LBrace,
@@ -322,12 +328,29 @@ impl Parser {
                 message: format!("in WHERE clause: {e}"),
             }
         })?;
-        let disjuncts = group.bgp_disjuncts().map_err(|m| StarQlError {
-            offset: start,
-            message: format!("in WHERE clause: {m} in a continuous query"),
-        })?;
+        let lowered = group
+            .bgp_disjuncts_with_filters()
+            .map_err(|m| StarQlError {
+                offset: start,
+                message: format!("in WHERE clause: {m} in a continuous query"),
+            })?;
+        // Accept only FILTERs the translator can push into SQL; the rest
+        // (REGEX, BOUND) have no continuous-query execution path.
+        for (_, filters) in &lowered {
+            for filter in filters {
+                if let Some(blocked) = unsupported_filter_form(filter) {
+                    return Err(StarQlError {
+                        offset: start,
+                        message: format!(
+                            "in WHERE clause: FILTER {blocked} cannot be pushed into SQL \
+                             in a continuous query (use comparisons and &&/||/!)"
+                        ),
+                    });
+                }
+            }
+        }
         self.pos = close + 1;
-        Ok(disjuncts)
+        Ok(lowered.into_iter().unzip())
     }
 
     fn skip_datatype_tag(&mut self) {
@@ -759,6 +782,22 @@ impl Parser {
 }
 
 /// Durations accept full ISO form (`PT1S`) and the paper's shorthand (`1S`).
+/// Returns the name of the first filter form with no SQL translation
+/// (`REGEX`, `BOUND`), or `None` when the whole expression can be pushed
+/// into the unfolded static SQL.
+fn unsupported_filter_form(expr: &optique_sparql::Expression) -> Option<&'static str> {
+    use optique_sparql::Expression as E;
+    match expr {
+        E::Var(_) | E::Const(_) => None,
+        E::Regex { .. } => Some("REGEX"),
+        E::Bound(_) => Some("BOUND"),
+        E::Not(a) => unsupported_filter_form(a),
+        E::Or(a, b) | E::And(a, b) | E::Compare(_, a, b) | E::Arithmetic(_, a, b) => {
+            unsupported_filter_form(a).or_else(|| unsupported_filter_form(b))
+        }
+    }
+}
+
 fn parse_lenient_duration(text: &str) -> Result<i64, String> {
     parse_duration_ms(text).or_else(|_| parse_duration_ms(&format!("PT{text}")))
 }
@@ -955,24 +994,57 @@ mod tests {
     }
 
     #[test]
-    fn where_clause_rejects_filter_with_explanation() {
-        let err =
-            parse_starql(&skeleton("{ ?x sie:hasValue ?v . FILTER(?v > 5) }"), &ns()).unwrap_err();
-        assert!(err.message.contains("FILTER"), "{}", err.message);
+    fn where_clause_accepts_comparison_filter() {
+        let q = parse_starql(&skeleton("{ ?x sie:hasValue ?v . FILTER(?v > 5) }"), &ns()).unwrap();
+        assert_eq!(q.where_disjuncts.len(), 1);
+        assert_eq!(q.where_filters.len(), 1);
+        assert_eq!(q.where_filters[0].len(), 1);
     }
 
     #[test]
-    fn where_clause_filter_with_connectives_still_rejected_cleanly() {
+    fn where_clause_accepts_connective_filter() {
         // `&&`, `||` and `!` are not STARQL tokens elsewhere, but the WHERE
-        // clause must still lex so the user sees the FILTER explanation
-        // rather than a stray-character lex error.
-        let err = parse_starql(
+        // clause lexes through the SPARQL parser, so connective filters
+        // parse and attach to their disjunct.
+        let q = parse_starql(
             &skeleton("{ ?x sie:hasValue ?v . FILTER(?v > 5 && !(?v = 7)) }"),
             &ns(),
         )
+        .unwrap();
+        assert_eq!(q.where_filters[0].len(), 1);
+    }
+
+    #[test]
+    fn where_clause_filter_scopes_to_its_union_branch() {
+        let q = parse_starql(
+            &skeleton("{ { ?x sie:hasValue ?v . FILTER(?v > 5) } UNION { ?x a sie:Sensor } }"),
+            &ns(),
+        )
+        .unwrap();
+        assert_eq!(q.where_disjuncts.len(), 2);
+        assert_eq!(
+            q.where_filters[0].len(),
+            1,
+            "first branch carries the filter"
+        );
+        assert!(q.where_filters[1].is_empty(), "second branch is unfiltered");
+    }
+
+    #[test]
+    fn where_clause_rejects_untranslatable_filters_with_explanation() {
+        let err = parse_starql(
+            &skeleton("{ ?x sie:hasModel ?m . FILTER(REGEX(?m, \"^SGT\")) }"),
+            &ns(),
+        )
         .unwrap_err();
-        assert!(err.message.contains("FILTER"), "{}", err.message);
+        assert!(err.message.contains("REGEX"), "{}", err.message);
         assert!(err.message.contains("continuous query"), "{}", err.message);
+        let err = parse_starql(
+            &skeleton("{ ?x sie:hasValue ?v . FILTER(BOUND(?v)) }"),
+            &ns(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("BOUND"), "{}", err.message);
     }
 
     #[test]

@@ -9,14 +9,16 @@
 //! replaces — which is the paper's headline conciseness argument (§1: a
 //! fleet of hundreds of queries, up to 80 % of diagnostic time).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use optique_mapping::{unfold_ucq, MappingCatalog, UnfoldSettings, UnfoldStats};
 use optique_ontology::Ontology;
-use optique_relational::parser::SelectStatement;
+use optique_relational::parser::{Projection, SelectStatement};
+use optique_relational::Expr;
 use optique_rewrite::{
     rewrite, Atom, ConjunctiveQuery, QueryTerm, RewriteSettings, RewriteStats, UnionQuery,
 };
+use optique_sparql::{expression_to_sql, split_union_chain, Expression};
 
 use crate::ast::StarQlQuery;
 use crate::having::{expand, HavingFormula};
@@ -139,8 +141,39 @@ pub fn translate(
         }
     }
 
-    // Stage (i): enrichment — each UNION disjunct rewrites on its own; the
-    // enriched UCQs union, deduplicated up to variable renaming.
+    // Per-disjunct FILTERs (parallel to `disjuncts`; pad for hand-built
+    // queries that did not fill the field).
+    let empty_filters: Vec<Expression> = Vec::new();
+    let filters_of = |i: usize| -> &[Expression] {
+        query
+            .where_filters
+            .get(i)
+            .map(Vec::as_slice)
+            .unwrap_or(&empty_filters)
+    };
+    // A filter constrains its own branch, so its variables must be bound
+    // there (they need not be answer variables — pushdown projects them
+    // internally and drops them again).
+    for (i, disjunct) in disjuncts.iter().enumerate() {
+        let branch_vars = atom_vars(disjunct);
+        for filter in filters_of(i) {
+            if let Some(v) = filter
+                .variables()
+                .into_iter()
+                .find(|v| !branch_vars.contains(v))
+            {
+                return Err(TranslateError(format!(
+                    "FILTER variable ?{v} is not bound in its WHERE branch {}",
+                    i + 1
+                )));
+            }
+        }
+    }
+
+    // Stages (i) + (ii) per source disjunct: enrichment (PerfectRef) on the
+    // disjunct's own CQ, unfolding of the enriched UCQ, then FILTER pushdown
+    // into each emitted SQL branch's WHERE clause. Disjuncts sharing a
+    // filter set deduplicate up to variable renaming, exactly as before.
     let mut enriched_where = UnionQuery {
         disjuncts: Vec::new(),
     };
@@ -150,37 +183,63 @@ pub fn translate(
         iterations: 0,
         elapsed: std::time::Duration::ZERO,
     };
+    let mut unfold_stats = UnfoldStats::default();
     let mut seen_keys: BTreeSet<String> = BTreeSet::new();
-    for disjunct in disjuncts {
-        let where_cq = ConjunctiveQuery::new(where_answer_vars.clone(), disjunct.clone());
+    let mut statements: Vec<SelectStatement> = Vec::new();
+    for (i, disjunct) in disjuncts.iter().enumerate() {
+        let filters = filters_of(i);
+        // Filter variables ride along as internal answer variables so each
+        // unfolded branch exposes a SQL expression for them.
+        let mut ext_vars = where_answer_vars.clone();
+        for filter in filters {
+            for v in filter.variables() {
+                if !ext_vars.contains(&v) {
+                    ext_vars.push(v);
+                }
+            }
+        }
+        let where_cq = ConjunctiveQuery::new(ext_vars, disjunct.clone());
         let (ucq, stats) = rewrite(&where_cq, ctx.ontology, &ctx.rewrite_settings)
             .map_err(|e| TranslateError(e.to_string()))?;
         rewrite_stats.generated += stats.generated;
         rewrite_stats.retained += stats.retained;
         rewrite_stats.iterations += stats.iterations;
         rewrite_stats.elapsed += stats.elapsed;
+
+        let filter_key = format!("{filters:?}");
+        let mut branch_ucq = UnionQuery {
+            disjuncts: Vec::new(),
+        };
         for cq in ucq.disjuncts {
-            if seen_keys.insert(cq.canonical_key()) {
+            if seen_keys.insert(format!("{filter_key}|{}", cq.canonical_key())) {
+                branch_ucq.disjuncts.push(cq.clone());
                 enriched_where.disjuncts.push(cq);
             }
         }
-    }
+        if branch_ucq.disjuncts.is_empty() {
+            continue;
+        }
 
-    // Stage (ii): unfolding.
-    let (static_sql, unfold_stats) =
-        unfold_ucq(&enriched_where, ctx.mappings, &ctx.unfold_settings).map_err(TranslateError)?;
-
-    // The fleet: each unfolded disjunct is one low-level static query; each
-    // stream-attribute mapping adds one windowed stream query.
-    let mut fleet = Vec::new();
-    if let Some(sql) = &static_sql {
-        let mut cur = Some(sql.clone());
-        while let Some(mut stmt) = cur {
-            let next = stmt.union_all.take().map(|b| *b);
-            fleet.push(stmt.to_string());
-            cur = next;
+        let (sql, stats) =
+            unfold_ucq(&branch_ucq, ctx.mappings, &ctx.unfold_settings).map_err(TranslateError)?;
+        unfold_stats.combinations += stats.combinations;
+        unfold_stats.emitted += stats.emitted;
+        unfold_stats.pruned += stats.pruned;
+        unfold_stats.self_joins_eliminated += stats.self_joins_eliminated;
+        let Some(chain) = sql else { continue };
+        for mut statement in split_union_chain(chain) {
+            if !filters.is_empty() {
+                push_filters(&mut statement, filters, &where_answer_vars)
+                    .map_err(TranslateError)?;
+            }
+            statements.push(statement);
         }
     }
+    // The fleet: each unfolded disjunct is one low-level static query; each
+    // stream-attribute mapping adds one windowed stream query. Rendered
+    // from the per-disjunct statements before they are chained.
+    let mut fleet: Vec<String> = statements.iter().map(|s| s.to_string()).collect();
+    let static_sql = chain_statements(statements);
     for property in having_properties(&having) {
         let stream_assertions = ctx.mappings.for_property(&property);
         let n = stream_assertions.len().max(1);
@@ -206,6 +265,56 @@ pub fn translate(
         unfold_stats,
         ontology: ctx.ontology.clone(),
     })
+}
+
+/// Pushes a branch's FILTERs into one unfolded SQL statement: each filter
+/// translates over the statement's projection expressions
+/// (`optique_sparql::expression_to_sql`) and lands in the `WHERE` clause;
+/// the internal filter-variable projections are then dropped so every UNION
+/// branch keeps the common answer signature.
+fn push_filters(
+    statement: &mut SelectStatement,
+    filters: &[Expression],
+    answer_vars: &[String],
+) -> Result<(), String> {
+    let by_var: HashMap<String, Expr> = statement
+        .projections
+        .iter()
+        .filter_map(|p| match p {
+            Projection::Expr {
+                expr,
+                alias: Some(alias),
+            } => Some((alias.clone(), expr.clone())),
+            _ => None,
+        })
+        .collect();
+    let lookup = |v: &str| by_var.get(v).cloned();
+    let mut conds: Vec<Expr> = statement.where_clause.take().into_iter().collect();
+    for filter in filters {
+        conds.push(expression_to_sql(filter, &lookup)?);
+    }
+    statement.where_clause = Expr::and_all(conds);
+    statement.projections.retain(|p| {
+        matches!(p, Projection::Expr { alias: Some(alias), .. }
+            if answer_vars.iter().any(|v| v == alias))
+    });
+    Ok(())
+}
+
+/// Chains unfolded disjunct statements back into one `UNION ALL` statement.
+/// Built back-to-front so each statement is linked exactly once (O(n), not
+/// O(n²) tail re-walks).
+fn chain_statements(statements: Vec<SelectStatement>) -> Option<SelectStatement> {
+    let mut chain: Option<SelectStatement> = None;
+    for mut statement in statements.into_iter().rev() {
+        debug_assert!(
+            statement.union_all.is_none(),
+            "split_union_chain yields single statements"
+        );
+        statement.union_all = chain.take().map(Box::new);
+        chain = Some(statement);
+    }
+    chain
 }
 
 fn atom_vars(atoms: &[Atom]) -> BTreeSet<String> {
@@ -285,7 +394,7 @@ mod tests {
     use crate::parser::{parse_starql, FIGURE1};
     use optique_mapping::{MappingAssertion, TermMap};
     use optique_ontology::{Axiom, BasicConcept};
-    use optique_rdf::{Iri, Namespaces};
+    use optique_rdf::{Datatype, Iri, Namespaces};
 
     const SIE: &str = "http://siemens.example/ontology#";
 
@@ -456,6 +565,82 @@ mod tests {
         );
         let sql = t.static_sql.expect("both branches are mapped").to_string();
         assert!(sql.contains("UNION ALL"), "{sql}");
+    }
+
+    fn mappings_with_serial() -> MappingCatalog {
+        let mut maps = mappings();
+        maps.add(
+            MappingAssertion::property(
+                "serial",
+                iri("hasSerial"),
+                "SELECT sid FROM sensors",
+                TermMap::template("http://siemens.example/data/sensor/{sid}"),
+                TermMap::column("sid", Datatype::Integer),
+            )
+            .with_key(vec!["sid".into()]),
+        )
+        .unwrap();
+        maps
+    }
+
+    #[test]
+    fn filter_pushes_into_static_sql_where_clause() {
+        let ns = Namespaces::with_w3c_defaults();
+        let text = r#"
+            PREFIX sie: <http://siemens.example/ontology#>
+            CREATE STREAM s AS
+            CONSTRUCT GRAPH NOW { ?c2 a sie:Alert }
+            FROM STREAM S [NOW-"PT1S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE { ?c1 sie:inAssembly ?c2 . ?c2 sie:hasSerial ?n . FILTER(?n > 10) }
+            SEQUENCE BY StdSeq AS seq
+            HAVING EXISTS ?k IN seq: GRAPH ?k { ?c2 sie:hasValue ?v }
+        "#;
+        let q = parse_starql(text, &ns).unwrap();
+        assert_eq!(q.where_filters[0].len(), 1);
+        let onto = ontology();
+        let maps = mappings_with_serial();
+        let ctx = TranslationContext {
+            ontology: &onto,
+            mappings: &maps,
+            rewrite_settings: RewriteSettings::default(),
+            unfold_settings: UnfoldSettings::default(),
+        };
+        let t = translate(&q, &ctx).unwrap();
+        // The filter variable rides along internally but is not an answer
+        // variable.
+        assert_eq!(t.where_answer_vars, vec!["c2".to_string()]);
+        let sql = t.static_sql.expect("mapped terms").to_string();
+        // The comparison landed in the SQL WHERE clause…
+        assert!(sql.contains("> 10"), "{sql}");
+        // …and the filter variable's projection was dropped again.
+        assert!(!sql.contains(" AS n"), "{sql}");
+        // The filtered statement still re-parses cleanly.
+        optique_relational::parse_select(&sql).unwrap();
+    }
+
+    #[test]
+    fn filter_on_unbound_variable_rejected() {
+        let ns = Namespaces::with_w3c_defaults();
+        let text = r#"
+            PREFIX sie: <http://siemens.example/ontology#>
+            CREATE STREAM s AS
+            CONSTRUCT GRAPH NOW { ?c2 a sie:Alert }
+            FROM STREAM S [NOW-"PT1S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE { ?c1 sie:inAssembly ?c2 . FILTER(?nope > 10) }
+            SEQUENCE BY StdSeq AS seq
+            HAVING EXISTS ?k IN seq: GRAPH ?k { ?c2 sie:hasValue ?v }
+        "#;
+        let q = parse_starql(text, &ns).unwrap();
+        let onto = ontology();
+        let maps = mappings();
+        let ctx = TranslationContext {
+            ontology: &onto,
+            mappings: &maps,
+            rewrite_settings: RewriteSettings::default(),
+            unfold_settings: UnfoldSettings::default(),
+        };
+        let err = translate(&q, &ctx).unwrap_err();
+        assert!(err.0.contains("?nope"), "{}", err.0);
     }
 
     #[test]

@@ -47,6 +47,26 @@ fn main() {
         .expect("valid query");
     print!("{}", ask.render(1));
 
+    println!("\n== federated over 4 ExaStream workers (same answers) ==");
+    let distributed = platform
+        .query_static_distributed("SELECT DISTINCT ?s WHERE { ?s a sie:MonitoringDevice }", 4)
+        .expect("valid query");
+    println!(
+        "MonitoringDevice instances (4 workers): {}",
+        distributed.len()
+    );
+
+    println!("\n== repeated query → per-BGP cache hit ==");
+    let _ = platform
+        .query_static("SELECT DISTINCT ?s WHERE { ?s a sie:MonitoringDevice }")
+        .expect("valid query");
+    let cache = platform.bgp_cache();
+    println!(
+        "BGP cache: {} hits / {} misses",
+        cache.hits(),
+        cache.misses()
+    );
+
     println!("\n== dashboard with per-query pipeline counters ==");
     print!("{}", platform.dashboard().render());
 }

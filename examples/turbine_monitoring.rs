@@ -36,7 +36,7 @@ fn main() {
             }
             TaskQuery::SqlPlus(sql) => {
                 println!("  {} [{}] runs as a SQL(+) dataflow:", task.id, task.name);
-                let t = optique_relational::exec::query(sql, &platform.db).expect("runs");
+                let t = optique_relational::exec::query(sql, &platform.db()).expect("runs");
                 print!("{}", t.render(4));
             }
         }

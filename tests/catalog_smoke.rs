@@ -29,7 +29,7 @@ fn all_tasks_register_and_tick() {
             }
             TaskQuery::SqlPlus(sql) => {
                 // UDF-style tasks run directly on the engine.
-                optique_relational::exec::query(sql, &platform.db)
+                optique_relational::exec::query(sql, &platform.db())
                     .unwrap_or_else(|e| panic!("{}: {e}", task.id));
             }
         }

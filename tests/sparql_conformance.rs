@@ -420,6 +420,67 @@ fn ask_and_empty_results() {
     );
 }
 
+// ---- 4. per-BGP cache behaviour ---------------------------------------
+
+/// A query whose UNION branches repeat the same BGP hits the cache within a
+/// single execution, and re-running a query hits for every BGP; the
+/// counters surface on the dashboard.
+#[test]
+fn repeated_bgps_raise_hit_counters() {
+    let p = platform();
+    let text = "SELECT ?s WHERE { { ?s a sie:Sensor } UNION { ?s a sie:Sensor } }";
+    let (_, stats) = p.query_static_with_stats(text).unwrap();
+    assert_eq!(stats.cache_misses, 1, "first branch fills: {stats:?}");
+    assert_eq!(stats.cache_hits, 1, "second branch hits: {stats:?}");
+    let (_, stats) = p.query_static_with_stats(text).unwrap();
+    assert_eq!(stats.cache_hits, 2, "warm re-run hits everywhere");
+    assert_eq!(stats.cache_misses, 0);
+    let dash = p.dashboard();
+    assert_eq!(dash.bgp_cache_hits, 3);
+    assert_eq!(dash.bgp_cache_misses, 1);
+    assert_eq!(dash.bgp_cache_hit_rate(), Some(0.75));
+    assert!(
+        dash.render().contains("BGP cache 75% hit"),
+        "{}",
+        dash.render()
+    );
+}
+
+/// A relational INSERT invalidates the cache; answers after the write are
+/// correct (they include the new row) on both the single-node and the
+/// federated path, and caching resumes on the new snapshot.
+#[test]
+fn insert_invalidates_and_results_stay_correct() {
+    let p = platform();
+    let text = "SELECT DISTINCT ?t WHERE { ?t a sie:Turbine }";
+    let before = p.query_static(text).unwrap();
+    // Warm the cache over the old snapshot.
+    let (_, stats) = p.query_static_with_stats(text).unwrap();
+    assert!(stats.cache_hits >= 1);
+
+    // Append one turbine row (gas → reachable through GasTurbine ⊑ Turbine).
+    let turbines = p.db().table("turbines").unwrap().clone();
+    let mut row = turbines.rows[0].clone();
+    row[0] = optique_relational::Value::Int(424_242);
+    p.insert_static("turbines", vec![row]).unwrap();
+
+    let after = p.query_static(text).unwrap();
+    assert_eq!(
+        after.len(),
+        before.len() + 1,
+        "stale cached answers would miss the inserted turbine"
+    );
+    let distributed = p.query_static_distributed(text, 4).unwrap();
+    assert_eq!(distributed.len(), after.len(), "federation re-provisioned");
+    // Caching resumed on the new snapshot.
+    let (warm, stats) = p.query_static_with_stats(text).unwrap();
+    assert!(stats.cache_hits >= 1);
+    assert_eq!(warm.len(), after.len());
+    assert_eq!(p.dashboard().bgp_cache_invalidations, 1);
+    // Inserting into a missing table is a positioned failure, not a panic.
+    assert!(p.insert_static("no_such_table", vec![]).is_err());
+}
+
 #[test]
 fn results_render_for_the_dashboard() {
     let p = platform();
