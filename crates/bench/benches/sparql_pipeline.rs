@@ -12,6 +12,12 @@
 //! ALL` disjuncts, which ship as plan fragments to 1 vs 4 ExaStream
 //! workers (`StaticFederation`) — the single-worker run prices the wire
 //! format and gateway overhead, the 4-worker run the speedup.
+//!
+//! The `sparql_semijoin` group joins a selective class against the fan-out
+//! property, naive vs planned: the planner scans the selective side first
+//! and pushes its bindings into every fragment as an `IN`-list, and the
+//! benchmark asserts the pushdown happened and shrank the rows fragments
+//! returned.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
@@ -22,7 +28,7 @@ use optique_mapping::{MappingAssertion, MappingCatalog, TermMap};
 use optique_ontology::Ontology;
 use optique_rdf::{Iri, Namespaces};
 use optique_relational::{table::table_of, ColumnType, Database, Value};
-use optique_sparql::{parse_sparql, StaticPipeline};
+use optique_sparql::{parse_sparql, PlannerSettings, StaticPipeline};
 
 const ROWS_PER_TABLE: i64 = 8;
 
@@ -151,6 +157,99 @@ fn fanout_fixtures(sources: usize) -> (Database, MappingCatalog) {
     (db, catalog)
 }
 
+/// A selective `tagged` table whose `a` values hit only a handful of the
+/// fan-out sources: the planner should scan it first and push its four
+/// subject IRIs into every `x:p` fragment as an `IN`-list.
+fn semijoin_fixtures(sources: usize) -> (Database, MappingCatalog) {
+    let (mut db, mut catalog) = fanout_fixtures(sources);
+    let rows = (0..4)
+        .map(|k| vec![Value::Int(k * ROWS_PER_TABLE * (sources as i64) / 4)])
+        .collect();
+    db.put_table(
+        "tagged",
+        table_of("tagged", &[("a", ColumnType::Int)], rows).expect("valid table"),
+    );
+    catalog
+        .add(
+            MappingAssertion::class(
+                "tagged",
+                Iri::new("http://x/Tagged"),
+                "SELECT a FROM tagged",
+                TermMap::template("http://x/obj/{a}"),
+            )
+            .with_key(vec!["a".into()]),
+        )
+        .expect("valid mapping");
+    (db, catalog)
+}
+
+/// The semi-join workload: a selective class joined against the
+/// `sources`-way fan-out property. `naive` runs textual order without
+/// pushdown; `planned` lets the statistics-driven planner reorder and push
+/// — the asserts pin down that pushdown actually happened and shrank what
+/// the fragments returned.
+fn bench_semijoin(c: &mut Criterion) {
+    let ns = namespaces();
+    let ontology = Ontology::new();
+    let mut group = c.benchmark_group("sparql_semijoin");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for disjuncts in [10usize, 100] {
+        let (db, catalog) = semijoin_fixtures(disjuncts);
+        let stats = optique_relational::StatsCatalog::analyze(&db);
+        let db = Arc::new(db);
+        let parsed = parse_sparql(
+            "SELECT ?a ?b WHERE { { ?a a x:Tagged } { ?a x:p ?b } }",
+            &ns,
+        )
+        .expect("parses");
+
+        for workers in [1usize, 4] {
+            let federation = StaticFederation::replicated(Arc::clone(&db), workers);
+
+            let naive = StaticPipeline::new(&ontology, &catalog, &db)
+                .with_executor(&federation)
+                .with_planner(PlannerSettings::disabled());
+            let naive_rows = naive.answer(&parsed).expect("answers").1.fragment_rows;
+
+            let planned = StaticPipeline::new(&ontology, &catalog, &db)
+                .with_executor(&federation)
+                .with_table_stats(&stats);
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive/{workers}w"), disjuncts),
+                &disjuncts,
+                |b, _| {
+                    b.iter(|| {
+                        let (results, stats) = naive.answer(&parsed).expect("answers");
+                        assert_eq!(stats.semi_joins_pushed, 0);
+                        results
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("planned/{workers}w"), disjuncts),
+                &disjuncts,
+                |b, _| {
+                    b.iter(|| {
+                        let (results, stats) = planned.answer(&parsed).expect("answers");
+                        assert!(stats.semi_joins_pushed >= 1, "no pushdown: {stats:?}");
+                        assert!(
+                            stats.fragment_rows < naive_rows,
+                            "pushdown did not shrink fragment rows: {} !< {naive_rows}",
+                            stats.fragment_rows
+                        );
+                        results
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_distributed(c: &mut Criterion) {
     let ns = namespaces();
     let ontology = Ontology::new();
@@ -185,5 +284,5 @@ fn bench_distributed(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench, bench_distributed);
+criterion_group!(benches, bench, bench_distributed, bench_semijoin);
 criterion_main!(benches);

@@ -54,6 +54,21 @@ pub struct StaticQueryPanel {
     pub fragments: usize,
     /// Workers that executed this query (1 = single-node).
     pub workers: usize,
+    /// Fragments answered on the coordinator instead of a worker — a
+    /// nonzero count exposes a "distributed" run that silently fell back.
+    pub coordinator_fallbacks: usize,
+    /// Join batches the planner executed in a non-textual order.
+    pub join_reorders: usize,
+    /// Semi-join value lists pushed into BGP executions.
+    pub semi_joins_pushed: usize,
+    /// Planner-estimated BGP cardinalities, summed (0 = planner off).
+    pub estimated_rows: u64,
+    /// Actual BGP solution rows, summed — against
+    /// [`Self::estimated_rows`], judges the cardinality model.
+    pub actual_rows: u64,
+    /// Rows returned by SQL execution before the residual merge (semi-join
+    /// pushdown shrinks this).
+    pub fragment_rows: usize,
 }
 
 impl StaticQueryPanel {
@@ -101,6 +116,28 @@ impl Dashboard {
         } else {
             Some(self.wcache_hits as f64 / total as f64)
         }
+    }
+
+    /// Total join-batch reorders across the remembered static queries.
+    pub fn total_join_reorders(&self) -> usize {
+        self.static_queries.iter().map(|q| q.join_reorders).sum()
+    }
+
+    /// Total semi-join pushdowns across the remembered static queries.
+    pub fn total_semi_joins_pushed(&self) -> usize {
+        self.static_queries
+            .iter()
+            .map(|q| q.semi_joins_pushed)
+            .sum()
+    }
+
+    /// Total coordinator fallbacks across the remembered static queries —
+    /// 0 proves every "distributed" answer genuinely shipped to workers.
+    pub fn total_coordinator_fallbacks(&self) -> usize {
+        self.static_queries
+            .iter()
+            .map(|q| q.coordinator_fallbacks)
+            .sum()
     }
 
     /// Per-BGP cache hit rate in `[0, 1]` (`None` before any lookup).
@@ -154,11 +191,11 @@ impl Dashboard {
                 }
             ));
             out.push_str(
-                "│ id   query                              rows  bgps  ucq  sql  hit  frag  wrk     µs\n",
+                "│ id   query                              rows  bgps  ucq  sql  hit  frag  wrk  fall  reord  semi  est/act  fetched     µs\n",
             );
             for q in &self.static_queries {
                 out.push_str(&format!(
-                    "│ {:<4} {:<33} {:>5} {:>5} {:>4} {:>4} {:>4} {:>5} {:>4} {:>6}\n",
+                    "│ {:<4} {:<33} {:>5} {:>5} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>6} {:>5} {:>8} {:>8} {:>6}\n",
                     q.id,
                     truncate(&q.query, 33),
                     q.rows,
@@ -168,6 +205,11 @@ impl Dashboard {
                     q.cache_hits,
                     q.fragments,
                     q.workers,
+                    q.coordinator_fallbacks,
+                    q.join_reorders,
+                    q.semi_joins_pushed,
+                    format!("{}/{}", q.estimated_rows, q.actual_rows),
+                    q.fragment_rows,
                     q.total_micros()
                 ));
             }
@@ -227,6 +269,12 @@ mod tests {
                 cache_misses: 1,
                 fragments: 8,
                 workers: 4,
+                coordinator_fallbacks: 1,
+                join_reorders: 1,
+                semi_joins_pushed: 2,
+                estimated_rows: 70,
+                actual_rows: 60,
+                fragment_rows: 95,
             }],
             wcache_hits: 9,
             wcache_misses: 1,
@@ -273,6 +321,17 @@ mod tests {
         assert!(r.contains("static SPARQL"));
         assert!(r.contains("SELECT ?s WHERE"));
         assert!(r.contains("2460"), "total µs column: {r}");
+        assert!(r.contains("70/60"), "est/act column: {r}");
+        assert!(r.contains("reord"), "planner columns present: {r}");
+    }
+
+    #[test]
+    fn planner_totals_sum_across_queries() {
+        let d = dash();
+        assert_eq!(d.total_join_reorders(), 1);
+        assert_eq!(d.total_semi_joins_pushed(), 2);
+        assert_eq!(d.total_coordinator_fallbacks(), 1);
+        assert_eq!(Dashboard::default().total_semi_joins_pushed(), 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use optique_exastream::cluster::hash_partition;
 use optique_exastream::{Cluster, Gateway, StaticFragment};
 use optique_relational::parser::{Projection, TableRef};
 use optique_relational::{Database, PlanFragment, SelectStatement, Table};
-use optique_sparql::FragmentExecutor;
+use optique_sparql::{FragmentExecutor, FragmentRound};
 
 /// A static-query worker pool over the deployment's relational sources.
 pub struct StaticFederation {
@@ -172,7 +172,7 @@ fn dedup_rows(table: &mut Table) {
 }
 
 impl FragmentExecutor for StaticFederation {
-    fn execute(&self, fragments: Vec<PlanFragment>) -> Result<Vec<Table>, String> {
+    fn execute(&self, fragments: Vec<PlanFragment>) -> Result<FragmentRound, String> {
         // Classify fragments: shippable (placed or scatter) vs coordinator
         // fallback (several partitioned occurrences — a shard-local join
         // would be incomplete — or a non-decomposable statement shape).
@@ -182,6 +182,7 @@ impl FragmentExecutor for StaticFederation {
         let mut shipped_slots: Vec<(usize, bool)> = Vec::new();
         let mut results: Vec<Option<Result<Table, String>>> =
             fragments.iter().map(|_| None).collect();
+        let mut coordinator_fallbacks = 0usize;
         for (slot, fragment) in fragments.into_iter().enumerate() {
             match self.classify(&fragment.sql) {
                 Classification::Placed => {
@@ -193,8 +194,12 @@ impl FragmentExecutor for StaticFederation {
                     shipped_slots.push((slot, dedup));
                 }
                 Classification::Coordinator => {
+                    coordinator_fallbacks += 1;
+                    // `PlanFragment::execute` honors semi-join restrictions
+                    // on the fallback path too.
                     results[slot] = Some(
-                        optique_relational::exec::query(&fragment.sql, &self.coordinator)
+                        fragment
+                            .execute(&self.coordinator)
                             .map_err(|e| e.to_string()),
                     );
                 }
@@ -212,10 +217,14 @@ impl FragmentExecutor for StaticFederation {
             }
             results[slot] = Some(outcome);
         }
-        results
+        let tables = results
             .into_iter()
             .map(|slot| slot.expect("every fragment executed"))
-            .collect()
+            .collect::<Result<Vec<Table>, String>>()?;
+        Ok(FragmentRound {
+            tables,
+            coordinator_fallbacks,
+        })
     }
 
     fn workers(&self) -> usize {
@@ -278,7 +287,8 @@ mod tests {
         let local = optique_relational::exec::query(sql, &db).unwrap();
         let results = federation
             .execute(vec![PlanFragment::new(0, sql, 1.0)])
-            .unwrap();
+            .unwrap()
+            .tables;
         assert_eq!(canon(&results[0]), canon(&local));
     }
 
@@ -295,7 +305,8 @@ mod tests {
         let local = optique_relational::exec::query(sql, &db).unwrap();
         let results = federation
             .execute(vec![PlanFragment::new(0, sql, 1.0)])
-            .unwrap();
+            .unwrap()
+            .tables;
         assert_eq!(results[0].len(), 100);
         assert_eq!(canon(&results[0]), canon(&local));
     }
@@ -314,7 +325,8 @@ mod tests {
         let local = optique_relational::exec::query(sql, &db).unwrap();
         let results = federation
             .execute(vec![PlanFragment::new(0, sql, 2.0)])
-            .unwrap();
+            .unwrap()
+            .tables;
         assert_eq!(canon(&results[0]), canon(&local));
     }
 
@@ -332,9 +344,11 @@ mod tests {
         // path must keep it complete.
         let sql = "SELECT a.sid FROM sensors AS a JOIN sensors AS b ON a.tid = b.tid";
         let local = optique_relational::exec::query(sql, &db).unwrap();
-        let results = federation
+        let round = federation
             .execute(vec![PlanFragment::new(0, sql, 4.0)])
             .unwrap();
+        assert_eq!(round.coordinator_fallbacks, 1, "self-join must fall back");
+        let results = round.tables;
         assert_eq!(canon(&results[0]), canon(&local));
     }
 
@@ -399,13 +413,16 @@ mod tests {
             &[("sensors".to_string(), "sid".to_string())],
         )
         .unwrap();
-        let results = federation
+        let round = federation
             .execute(vec![
                 PlanFragment::new(0, "SELECT COUNT(*) AS n FROM sensors", 1.0),
                 PlanFragment::new(1, "SELECT sid FROM sensors LIMIT 3", 1.0),
                 PlanFragment::new(2, "SELECT DISTINCT tid FROM sensors", 1.0),
             ])
             .unwrap();
+        // COUNT(*) and LIMIT fall back; DISTINCT scatters with gather-dedup.
+        assert_eq!(round.coordinator_fallbacks, 2);
+        let results = round.tables;
         assert_eq!(
             results[0].rows,
             vec![vec![Value::Int(100)]],
@@ -430,7 +447,8 @@ mod tests {
         let local = optique_relational::exec::query(sql, &db).unwrap();
         let results = federation
             .execute(vec![PlanFragment::new(0, sql, 1.0)])
-            .unwrap();
+            .unwrap()
+            .tables;
         assert_eq!(
             results[0].len(),
             local.len(),

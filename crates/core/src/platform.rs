@@ -7,10 +7,12 @@ use optique_bootstrap::{bootstrap_direct, BootstrapSettings, RelationalSchema};
 use optique_mapping::MappingCatalog;
 use optique_ontology::Ontology;
 use optique_rdf::Namespaces;
-use optique_relational::{Database, Value};
+use optique_relational::{Database, StatsCatalog, Value};
 use optique_rewrite::RewriteSettings;
 use optique_siemens::{DiagnosticTask, SiemensDeployment};
-use optique_sparql::{parse_sparql, BgpCache, PipelineStats, SparqlResults, StaticPipeline};
+use optique_sparql::{
+    parse_sparql, BgpCache, PipelineStats, PlannerSettings, SparqlResults, StaticPipeline,
+};
 use optique_starql::{
     parse_starql, translate, ContinuousQuery, StreamToRdf, TickOutput, TranslationContext,
 };
@@ -75,6 +77,13 @@ pub struct OptiquePlatform {
     /// on relational writes (workers snapshot the catalog they were built
     /// over).
     federations: Mutex<HashMap<usize, Arc<StaticFederation>>>,
+    /// Per-table row/distinct statistics over the current snapshot, feeding
+    /// the static planner's cardinality model; refreshed on relational
+    /// writes alongside the cache invalidation.
+    table_stats: RwLock<Arc<StatsCatalog>>,
+    /// Join-order / semi-join planner knobs for static queries (defaults
+    /// on; [`PlannerSettings::disabled`] reproduces the naive pipeline).
+    planner: RwLock<PlannerSettings>,
 }
 
 /// How many executed static queries the dashboard remembers.
@@ -89,6 +98,7 @@ impl OptiquePlatform {
         mappings: MappingCatalog,
         stream_to_rdf: StreamToRdf,
     ) -> Self {
+        let table_stats = RwLock::new(Arc::new(StatsCatalog::analyze(&db)));
         OptiquePlatform {
             db: RwLock::new(Arc::new(db)),
             ontology,
@@ -102,6 +112,8 @@ impl OptiquePlatform {
             static_next_id: std::sync::atomic::AtomicU64::new(1),
             static_cache: BgpCache::new(),
             federations: Mutex::new(HashMap::new()),
+            table_stats,
+            planner: RwLock::new(PlannerSettings::default()),
         }
     }
 
@@ -282,8 +294,11 @@ impl OptiquePlatform {
         // generation is stale (dropped) — never a stale cache fill.
         let generation = self.static_cache.generation();
         let db = self.db();
+        let stats_snapshot = Arc::clone(&self.table_stats.read());
         let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &db)
-            .with_cache_at(&self.static_cache, generation);
+            .with_cache_at(&self.static_cache, generation)
+            .with_planner(*self.planner.read())
+            .with_table_stats(&stats_snapshot);
         if let Some(federation) = federation.as_deref() {
             pipeline = pipeline.with_executor(federation);
         }
@@ -311,15 +326,23 @@ impl OptiquePlatform {
             cache_misses: stats.cache_misses,
             fragments: stats.fragments,
             workers: federation.map_or(1, |f| f.workers()),
+            coordinator_fallbacks: stats.coordinator_fallbacks,
+            join_reorders: stats.join_reorders,
+            semi_joins_pushed: stats.semi_joins_pushed,
+            estimated_rows: stats.estimated_rows,
+            actual_rows: stats.actual_rows,
+            fragment_rows: stats.fragment_rows,
         });
         Ok((results, stats))
     }
 
     /// Appends rows to a static table, swapping in a new catalog snapshot.
-    /// Every derived static-query structure is invalidated: the per-BGP
-    /// cache clears (its hit counters survive) and the federated worker
-    /// pools are dropped, so the next query — cached or distributed — sees
-    /// the new rows. Returns the number of inserted rows.
+    /// Every derived static-query structure is invalidated or refreshed:
+    /// the per-BGP cache clears (its hit counters survive), the federated
+    /// worker pools are dropped, and the planner's [`StatsCatalog`] is
+    /// re-analyzed — so the next query — cached, distributed or planned —
+    /// sees the new rows and the new cardinalities. Returns the number of
+    /// inserted rows.
     pub fn insert_static(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, String> {
         let inserted = rows.len();
         {
@@ -331,6 +354,16 @@ impl OptiquePlatform {
             }
             new_db.put_table(table, new_table);
             *guard = Arc::new(new_db);
+            // Stats refresh stays inside the db critical section so
+            // concurrent writers serialize: the stats snapshot always
+            // describes the db snapshot just installed. Only the changed
+            // table is re-analyzed.
+            let changed = Arc::clone(guard.table(table).expect("table was just inserted"));
+            let refreshed = self
+                .table_stats
+                .read()
+                .with_refreshed_table(table, &changed);
+            *self.table_stats.write() = Arc::new(refreshed);
         }
         self.static_cache.invalidate();
         self.federations.lock().clear();
@@ -341,6 +374,24 @@ impl OptiquePlatform {
     /// dashboard).
     pub fn bgp_cache(&self) -> &BgpCache {
         &self.static_cache
+    }
+
+    /// The planner's statistics snapshot over the current relational state.
+    pub fn table_stats(&self) -> Arc<StatsCatalog> {
+        Arc::clone(&self.table_stats.read())
+    }
+
+    /// The static-query planner knobs currently in force.
+    pub fn planner_settings(&self) -> PlannerSettings {
+        *self.planner.read()
+    }
+
+    /// Replaces the static-query planner knobs. Passing
+    /// [`PlannerSettings::disabled`] runs every subsequent static query on
+    /// the naive textual-order pipeline — the differential plan-equivalence
+    /// suite flips this to compare optimized and naive answers.
+    pub fn set_planner_settings(&self, settings: PlannerSettings) {
+        *self.planner.write() = settings;
     }
 
     /// Deregisters a query; returns whether it existed.

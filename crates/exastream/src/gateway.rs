@@ -175,15 +175,16 @@ impl Gateway {
             }
         }
 
-        // Worker side: decode each fragment, execute on the local shard,
-        // ship the result batch back over the wire.
+        // Worker side: decode each fragment, execute on the local shard
+        // (applying any pushed-down semi-join restriction before the result
+        // leaves the worker), ship the result batch back over the wire.
         let outputs: Vec<Vec<(usize, Result<String, SqlError>)>> =
             self.cluster.parallel_map(|worker| {
                 queues[worker.id]
                     .iter()
                     .map(|&idx| {
                         let result = PlanFragment::decode(&wires[idx])
-                            .and_then(|frag| optique_relational::exec::query(&frag.sql, &worker.db))
+                            .and_then(|frag| frag.execute(&worker.db))
                             .map(|t| exchange::ship(&t));
                         (idx, result)
                     })

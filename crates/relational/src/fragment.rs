@@ -10,18 +10,51 @@
 //! the worker boundary).
 //!
 //! The wire format is line-oriented: a header line, then one line per row,
-//! with `\`-escaping for newlines, tabs and backslashes inside text values.
+//! with `\`-escaping for newlines, carriage returns, tabs and backslashes
+//! inside text values.
+//!
+//! Fragments may carry **semi-join restrictions** ([`SemiJoin`]): value
+//! lists a coordinator learned from an already-materialized sibling of the
+//! join, shipped alongside the SQL so each worker filters its disjunct down
+//! to join-compatible rows *before* shipping the result batch back. The
+//! restriction is applied structurally ([`restrict_statement`]), never by
+//! splicing values into SQL text, so text values need no quoting rules
+//! beyond the wire escaping.
 
 use std::fmt::Write as _;
 
 use crate::error::SqlError;
+use crate::expr::Expr;
+use crate::parser::{Projection, SelectStatement, TableRef};
 use crate::schema::{Column, ColumnType, Schema};
-use crate::table::Table;
+use crate::table::{Database, Table};
 use crate::value::Value;
+
+/// One pushed-down semi-join: the named output column of a fragment must
+/// take one of `values` (or be NULL — an unbound SPARQL position joins with
+/// anything, so NULL rows must survive the filter).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SemiJoin {
+    /// The fragment output column (the projection alias) being restricted.
+    pub column: String,
+    /// The admissible values, as learned from the materialized side.
+    pub values: Vec<Value>,
+}
+
+impl SemiJoin {
+    /// A restriction of `column` to `values`.
+    pub fn new(column: impl Into<String>, values: Vec<Value>) -> Self {
+        SemiJoin {
+            column: column.into(),
+            values,
+        }
+    }
+}
 
 /// One executable unit of a federated static query: a self-contained SQL
 /// statement (typically one disjunct of an unfolded `UNION ALL`) plus the
-/// cost estimate the scheduler places it by.
+/// cost estimate the scheduler places it by and any semi-join restrictions
+/// the planner pushed down.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PlanFragment {
     /// Coordinator-assigned id; results are gathered back in id order.
@@ -30,26 +63,63 @@ pub struct PlanFragment {
     pub sql: String,
     /// Placement cost estimate in abstract work units (e.g. join count).
     pub cost: f64,
+    /// Semi-join restrictions applied on top of [`Self::sql`] at execution.
+    pub semi_joins: Vec<SemiJoin>,
 }
 
 impl PlanFragment {
-    /// A fragment with the given id, SQL and cost.
+    /// A fragment with the given id, SQL and cost (no restrictions).
     pub fn new(id: u64, sql: impl Into<String>, cost: f64) -> Self {
         PlanFragment {
             id,
             sql: sql.into(),
             cost,
+            semi_joins: Vec::new(),
         }
     }
 
-    /// Encodes the fragment for the wire.
+    /// Attaches semi-join restrictions (builder style).
+    pub fn with_semi_joins(mut self, semi_joins: Vec<SemiJoin>) -> Self {
+        self.semi_joins = semi_joins;
+        self
+    }
+
+    /// The fragment's executable statement: the parsed SQL with any
+    /// semi-join restrictions applied around it.
+    pub fn statement(&self) -> Result<SelectStatement, SqlError> {
+        let statement = crate::parser::parse_select(&self.sql)?;
+        Ok(restrict_statement(statement, &self.semi_joins))
+    }
+
+    /// Parses, restricts and executes the fragment against `db` — the one
+    /// entry point workers and coordinators share, so a restriction is never
+    /// silently dropped on any execution path.
+    pub fn execute(&self, db: &Database) -> Result<Table, SqlError> {
+        let statement = self.statement()?;
+        let plan = crate::optimizer::optimize(crate::plan::plan_select(&statement, db)?);
+        crate::exec::execute(&plan, db)
+    }
+
+    /// Encodes the fragment for the wire: the header line, then one line
+    /// per semi-join restriction.
     pub fn encode(&self) -> String {
-        format!("frag\t{}\t{}\t{}", self.id, self.cost, escape(&self.sql))
+        let mut out = format!("frag\t{}\t{}\t{}", self.id, self.cost, escape(&self.sql));
+        for semi in &self.semi_joins {
+            let _ = write!(out, "\nsemi\t{}", escape(&semi.column));
+            for value in &semi.values {
+                let _ = write!(out, "\t{}", encode_value(value));
+            }
+        }
+        out
     }
 
     /// Decodes a fragment off the wire.
     pub fn decode(wire: &str) -> Result<Self, SqlError> {
-        let mut parts = wire.splitn(4, '\t');
+        let mut lines = wire.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| SqlError::Execution("empty plan fragment".into()))?;
+        let mut parts = header.splitn(4, '\t');
         let tag = parts.next().unwrap_or_default();
         if tag != "frag" {
             return Err(SqlError::Execution(format!(
@@ -69,7 +139,101 @@ impl PlanFragment {
                 .next()
                 .ok_or_else(|| SqlError::Execution("fragment SQL missing".into()))?,
         )?;
-        Ok(PlanFragment { id, sql, cost })
+        let mut semi_joins = Vec::new();
+        for line in lines {
+            let mut fields = line.split('\t');
+            if fields.next() != Some("semi") {
+                return Err(SqlError::Execution(format!(
+                    "bad fragment section {line:?}"
+                )));
+            }
+            let column = unescape(
+                fields
+                    .next()
+                    .ok_or_else(|| SqlError::Execution("semi-join column missing".into()))?,
+            )?;
+            let values: Vec<Value> = fields.map(decode_value).collect::<Result<_, _>>()?;
+            semi_joins.push(SemiJoin { column, values });
+        }
+        Ok(PlanFragment {
+            id,
+            sql,
+            cost,
+            semi_joins,
+        })
+    }
+}
+
+/// Applies semi-join restrictions around a statement: each disjunct of its
+/// `UNION ALL` chain is wrapped in `SELECT * FROM (disjunct) WHERE col IN
+/// (values) OR col IS NULL` for every restriction. NULL output positions
+/// survive — an unbound SPARQL variable is join-compatible with anything —
+/// so restricting can only drop rows that cannot contribute to the join.
+pub fn restrict_statement(statement: SelectStatement, semi_joins: &[SemiJoin]) -> SelectStatement {
+    if semi_joins.is_empty() {
+        return statement;
+    }
+    // Restrict each disjunct independently, then re-chain.
+    let mut disjuncts: Vec<SelectStatement> = Vec::new();
+    let mut cursor = Some(statement);
+    while let Some(mut stmt) = cursor {
+        cursor = stmt.union_all.take().map(|next| *next);
+        disjuncts.push(restrict_one(stmt, semi_joins));
+    }
+    let mut chain = disjuncts.pop().expect("at least one disjunct");
+    while let Some(mut prev) = disjuncts.pop() {
+        prev.union_all = Some(Box::new(chain));
+        chain = prev;
+    }
+    chain
+}
+
+fn restrict_one(statement: SelectStatement, semi_joins: &[SemiJoin]) -> SelectStatement {
+    let predicate = Expr::and_all(
+        semi_joins
+            .iter()
+            .map(|semi| {
+                let column = || Box::new(Expr::Column(semi.column.clone()));
+                let is_null = Expr::IsNull {
+                    expr: column(),
+                    negated: false,
+                };
+                if semi.values.is_empty() {
+                    // No admissible bound value: only NULL rows can join.
+                    is_null
+                } else {
+                    Expr::binary(
+                        crate::expr::BinOp::Or,
+                        Expr::InList {
+                            expr: column(),
+                            list: semi
+                                .values
+                                .iter()
+                                .map(|v| Expr::Literal(v.clone()))
+                                .collect(),
+                            negated: false,
+                        },
+                        is_null,
+                    )
+                }
+            })
+            .collect(),
+    )
+    .expect("semi_joins is non-empty");
+    SelectStatement {
+        distinct: false,
+        projections: vec![Projection::Star],
+        from: TableRef::Subquery {
+            query: Box::new(statement),
+            alias: "__semi".into(),
+        },
+        joins: Vec::new(),
+        where_clause: Some(predicate),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+        union_all: None,
     }
 }
 
@@ -212,6 +376,9 @@ fn escape(s: &str) -> String {
             '\\' => out.push_str("\\\\"),
             '\t' => out.push_str("\\t"),
             '\n' => out.push_str("\\n"),
+            // `decode` splits the wire with `lines()`, which consumes a
+            // `\r` before each `\n`; a literal one must not look like that.
+            '\r' => out.push_str("\\r"),
             other => out.push(other),
         }
     }
@@ -230,6 +397,7 @@ fn unescape(s: &str) -> Result<String, SqlError> {
             Some('\\') => out.push('\\'),
             Some('t') => out.push('\t'),
             Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
             other => {
                 return Err(SqlError::Execution(format!(
                     "bad escape \\{} on the wire",
@@ -261,6 +429,97 @@ mod tests {
     fn fragment_rejects_garbage() {
         assert!(PlanFragment::decode("nonsense").is_err());
         assert!(PlanFragment::decode("frag\txyz\t1.0\tSELECT 1").is_err());
+        assert!(PlanFragment::decode("frag\t1\t1.0\tSELECT a FROM t\nbogus\tx").is_err());
+    }
+
+    #[test]
+    fn carriage_returns_survive_the_wire() {
+        // `decode` splits on `lines()`, which would eat a trailing literal
+        // `\r` before the next section line if it were not escaped.
+        let f = PlanFragment::new(1, "SELECT a AS v FROM t", 1.0).with_semi_joins(vec![
+            SemiJoin::new("v", vec![Value::text("abc\r")]),
+            SemiJoin::new("w\r\n", vec![]),
+        ]);
+        assert_eq!(PlanFragment::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn semi_joins_round_trip_the_wire() {
+        let f = PlanFragment::new(3, "SELECT a AS v FROM t", 1.0).with_semi_joins(vec![
+            SemiJoin::new(
+                "v",
+                vec![
+                    Value::text("http://x/tab\there"),
+                    Value::Int(-7),
+                    Value::Null,
+                ],
+            ),
+            SemiJoin::new("w", vec![]),
+        ]);
+        let decoded = PlanFragment::decode(&f.encode()).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    fn restricted_db() -> Database {
+        let mut db = Database::new();
+        db.put_table(
+            "t",
+            table_of(
+                "t",
+                &[("a", ColumnType::Int), ("b", ColumnType::Text)],
+                vec![
+                    vec![Value::Int(1), Value::text("x")],
+                    vec![Value::Int(2), Value::text("y")],
+                    vec![Value::Int(3), Value::Null],
+                    vec![Value::Null, Value::text("z")],
+                ],
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn execute_applies_semi_join_and_keeps_nulls() {
+        let db = restricted_db();
+        let unrestricted = PlanFragment::new(0, "SELECT a AS v, b AS w FROM t", 1.0);
+        assert_eq!(unrestricted.execute(&db).unwrap().len(), 4);
+
+        let restricted = unrestricted
+            .clone()
+            .with_semi_joins(vec![SemiJoin::new("v", vec![Value::Int(1)])]);
+        let out = restricted.execute(&db).unwrap();
+        // Row with v=1 matches; the v=NULL row survives (unbound positions
+        // join with anything); v=2 and v=3 are filtered out.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema.header(), vec!["v", "w"]);
+
+        // A round trip over the wire preserves the restriction's effect.
+        let shipped = PlanFragment::decode(&restricted.encode()).unwrap();
+        assert_eq!(shipped.execute(&db).unwrap().rows, out.rows);
+    }
+
+    #[test]
+    fn empty_value_list_keeps_only_nulls() {
+        let db = restricted_db();
+        let f = PlanFragment::new(0, "SELECT a AS v FROM t", 1.0)
+            .with_semi_joins(vec![SemiJoin::new("v", vec![])]);
+        let out = f.execute(&db).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn restriction_applies_to_every_union_disjunct() {
+        let db = restricted_db();
+        let f = PlanFragment::new(
+            0,
+            "SELECT a AS v FROM t UNION ALL SELECT a AS v FROM t",
+            1.0,
+        )
+        .with_semi_joins(vec![SemiJoin::new("v", vec![Value::Int(2)])]);
+        let out = f.execute(&db).unwrap();
+        // Each disjunct contributes its v=2 row and its v=NULL row.
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //!   aggregation and an extensible scalar/aggregate function registry
 //!   (including `CORR`, the Pearson-correlation aggregate the Siemens
 //!   catalog uses),
-//! * [`fragment`] — serializable [`PlanFragment`]s / [`ResultBatch`]es, the
-//!   wire format the federated static pipeline ships between workers.
+//! * [`fragment`] — serializable [`PlanFragment`]s / [`ResultBatch`]es (with
+//!   pushed-down [`SemiJoin`] restrictions), the wire format the federated
+//!   static pipeline ships between workers,
+//! * [`stats`] — the [`StatsCatalog`] of per-table row counts and distinct
+//!   estimates that feeds the OBDA planner's join ordering.
 
 pub mod error;
 pub mod exec;
@@ -33,15 +36,17 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 pub mod schema;
+pub mod stats;
 pub mod table;
 pub mod value;
 
 pub use error::SqlError;
 pub use exec::execute;
 pub use expr::Expr;
-pub use fragment::{PlanFragment, ResultBatch};
+pub use fragment::{PlanFragment, ResultBatch, SemiJoin};
 pub use parser::{parse_select, SelectStatement};
 pub use plan::LogicalPlan;
 pub use schema::{Column, ColumnType, Schema};
+pub use stats::{StatsCatalog, TableStats};
 pub use table::{Database, Table};
 pub use value::Value;

@@ -1,0 +1,200 @@
+//! Table statistics — the cardinality catalog behind cost-based planning.
+//!
+//! The OBDA planner (join-order selection and semi-join pushdown in
+//! `optique-sparql`) needs per-source cardinalities to order the residual
+//! joins of an unfolded query: Hovland et al.'s OBDA-constraints work shows
+//! that exactly this kind of backend statistic is what makes unfolded
+//! queries tractable. A [`StatsCatalog`] snapshots row counts and
+//! per-column distinct-value estimates for every table of a [`Database`];
+//! the platform refreshes it whenever the relational state changes
+//! (`insert_static`), alongside the BGP-cache invalidation.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::table::{Database, Table};
+use crate::value::Value;
+
+/// Rows sampled per table when estimating distinct counts; tables larger
+/// than this extrapolate from the sample (distinct estimation is advisory —
+/// it steers plan choice, never correctness).
+const DISTINCT_SAMPLE_CAP: usize = 65_536;
+
+/// Statistics for one table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableStats {
+    /// Exact row count at analysis time.
+    pub rows: usize,
+    /// `(column name, estimated distinct values)` in schema order.
+    pub distinct: Vec<(String, usize)>,
+}
+
+impl TableStats {
+    /// Estimated distinct values of `column`, if the column exists.
+    pub fn distinct_of(&self, column: &str) -> Option<usize> {
+        self.distinct
+            .iter()
+            .find(|(name, _)| name == column)
+            .map(|&(_, n)| n)
+    }
+
+    /// Estimated selectivity of an equality predicate on `column`:
+    /// `1 / distinct`, defaulting to `0.1` when the column is unknown.
+    pub fn eq_selectivity(&self, column: &str) -> f64 {
+        match self.distinct_of(column) {
+            Some(0) | None => 0.1,
+            Some(n) => 1.0 / n as f64,
+        }
+    }
+}
+
+/// Per-table statistics for a whole database snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsCatalog {
+    tables: HashMap<String, TableStats>,
+}
+
+impl StatsCatalog {
+    /// An empty catalog (planners fall back to defaults for every table).
+    pub fn new() -> Self {
+        StatsCatalog::default()
+    }
+
+    /// Analyzes every table of `db`: exact row counts, sampled distinct
+    /// estimates per column.
+    pub fn analyze(db: &Database) -> Self {
+        let mut tables = HashMap::new();
+        for name in db.table_names() {
+            let table = db.table(name).expect("listed table exists");
+            tables.insert(name.to_string(), Self::analyze_table(table));
+        }
+        StatsCatalog { tables }
+    }
+
+    /// A copy of this catalog with `name`'s statistics re-analyzed from
+    /// `table` — the incremental path for single-table writes, so appending
+    /// to one table never re-scans the whole database.
+    pub fn with_refreshed_table(&self, name: &str, table: &Table) -> StatsCatalog {
+        let mut tables = self.tables.clone();
+        tables.insert(name.to_string(), Self::analyze_table(table));
+        StatsCatalog { tables }
+    }
+
+    fn analyze_table(table: &Table) -> TableStats {
+        let rows = table.len();
+        let sample = rows.min(DISTINCT_SAMPLE_CAP);
+        let mut distinct = Vec::with_capacity(table.schema.columns().len());
+        for (idx, column) in table.schema.columns().iter().enumerate() {
+            let mut seen: HashSet<&Value> = HashSet::with_capacity(sample.min(1024));
+            for row in table.rows.iter().take(sample) {
+                seen.insert(&row[idx]);
+            }
+            let estimate = if sample < rows && sample > 0 {
+                // Linear extrapolation, capped by the row count.
+                (seen.len() * rows / sample).min(rows)
+            } else {
+                seen.len()
+            };
+            distinct.push((column.name.clone(), estimate));
+        }
+        TableStats { rows, distinct }
+    }
+
+    /// Statistics for `table`, if analyzed.
+    pub fn table(&self, table: &str) -> Option<&TableStats> {
+        self.tables.get(table)
+    }
+
+    /// Exact row count of `table` at analysis time.
+    pub fn row_count(&self, table: &str) -> Option<usize> {
+        self.tables.get(table).map(|t| t.rows)
+    }
+
+    /// Estimated distinct values of `table.column`.
+    pub fn distinct(&self, table: &str, column: &str) -> Option<usize> {
+        self.tables.get(table).and_then(|t| t.distinct_of(column))
+    }
+
+    /// Number of analyzed tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when nothing has been analyzed.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total rows across all analyzed tables (a cheap fingerprint tests use
+    /// to assert a refresh happened).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.rows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::table::table_of;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.put_table(
+            "sensors",
+            table_of(
+                "sensors",
+                &[("sid", ColumnType::Int), ("tid", ColumnType::Int)],
+                (0..100)
+                    .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        db.put_table(
+            "empty",
+            table_of("empty", &[("x", ColumnType::Int)], vec![]).unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn analyze_counts_rows_and_distincts() {
+        let stats = StatsCatalog::analyze(&db());
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats.row_count("sensors"), Some(100));
+        assert_eq!(stats.distinct("sensors", "sid"), Some(100));
+        assert_eq!(stats.distinct("sensors", "tid"), Some(7));
+        assert_eq!(stats.row_count("empty"), Some(0));
+        assert_eq!(stats.row_count("nope"), None);
+        assert_eq!(stats.total_rows(), 100);
+    }
+
+    #[test]
+    fn eq_selectivity_uses_distincts() {
+        let stats = StatsCatalog::analyze(&db());
+        let sensors = stats.table("sensors").unwrap();
+        assert!((sensors.eq_selectivity("tid") - 1.0 / 7.0).abs() < 1e-9);
+        assert!((sensors.eq_selectivity("sid") - 0.01).abs() < 1e-9);
+        // Unknown column: conservative default.
+        assert!((sensors.eq_selectivity("nope") - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresh_reflects_new_rows() {
+        let mut database = db();
+        let before = StatsCatalog::analyze(&database);
+        let mut sensors = (**database.table("sensors").unwrap()).clone();
+        sensors
+            .push_row(vec![Value::Int(1000), Value::Int(99)])
+            .unwrap();
+        database.put_table("sensors", sensors);
+        let after = StatsCatalog::analyze(&database);
+        assert_eq!(after.row_count("sensors"), Some(101));
+        assert_eq!(after.distinct("sensors", "tid"), Some(8));
+        assert_ne!(before, after);
+        // The incremental single-table refresh agrees with a full analyze.
+        let incremental =
+            before.with_refreshed_table("sensors", database.table("sensors").unwrap());
+        assert_eq!(incremental, after);
+    }
+}

@@ -179,6 +179,20 @@ impl GroupPattern {
         }
     }
 
+    /// True when the pattern contains an `OPTIONAL` anywhere (transitively
+    /// through nested groups and `UNION` branches). The planner must not
+    /// push semi-join restrictions into such a subtree: pruning rows below
+    /// a left join can flip a match into a non-match, leaving variables
+    /// unbound that then join with anything upstream — *adding* answers.
+    pub fn contains_optional(&self) -> bool {
+        self.elements.iter().any(|element| match element {
+            PatternElement::Optional(_) => true,
+            PatternElement::SubGroup(g) => g.contains_optional(),
+            PatternElement::Union(branches) => branches.iter().any(|b| b.contains_optional()),
+            PatternElement::Triples(_) | PatternElement::Filter(_) => false,
+        })
+    }
+
     /// Lowers the pattern to a union of plain basic graph patterns, for
     /// callers that need *pure* conjunctive queries: nested groups flatten,
     /// `UNION` distributes, and `OPTIONAL`/`FILTER` are rejected with a

@@ -58,19 +58,34 @@ impl BgpCache {
         format!("{atoms:?}")
     }
 
+    /// The cache key of a BGP executed under a semi-join restriction: the
+    /// restricted solution set is a *subset* of the plain BGP's, so it must
+    /// never serve a plain lookup — the restriction fingerprint keeps the
+    /// entries apart.
+    pub fn restricted_key(atoms: &[Atom], fingerprint: &str) -> String {
+        format!("{atoms:?}⋉{fingerprint}")
+    }
+
     /// Looks up a BGP's cached solutions, counting a hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<SolutionSet> {
+        self.lookup_any(&[key])
+    }
+
+    /// Looks up the first of `keys` that is cached — one *logical* lookup:
+    /// exactly one hit (any key present) or one miss (none) is counted,
+    /// however many keys are probed. The pipeline uses this to prefer a
+    /// restriction-exact entry while still accepting the unrestricted
+    /// superset, without double-counting.
+    pub fn lookup_any(&self, keys: &[&str]) -> Option<SolutionSet> {
         let inner = self.inner.lock().expect("cache lock");
-        match inner.map.get(key) {
-            Some(solutions) => {
+        for key in keys {
+            if let Some(solutions) = inner.map.get(*key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(solutions.clone())
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                return Some(solutions.clone());
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// The current invalidation generation. Capture it *before* computing a
@@ -219,6 +234,29 @@ mod tests {
         cache.store("k".into(), solutions(5), cache.generation());
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.lookup("k").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn lookup_any_counts_once() {
+        let cache = BgpCache::new();
+        cache.store("plain".into(), solutions(3), cache.generation());
+        // Fallback hit: restricted key absent, plain present → one hit.
+        assert_eq!(cache.lookup_any(&["restricted", "plain"]).unwrap().len(), 3);
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+        // Full miss over two keys still counts one miss.
+        assert!(cache.lookup_any(&["a", "b"]).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn restricted_keys_never_collide_with_plain() {
+        let plain = BgpCache::key(&[]);
+        let restricted = BgpCache::restricted_key(&[], "fp");
+        assert_ne!(plain, restricted);
+        assert_ne!(
+            BgpCache::restricted_key(&[], "a"),
+            BgpCache::restricted_key(&[], "b")
+        );
     }
 
     /// A computation that began before an invalidation must not repopulate

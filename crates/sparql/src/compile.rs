@@ -22,6 +22,15 @@
 //!
 //! A [`BgpCache`] can be attached to memoize whole-BGP solution sets across
 //! `OPTIONAL`/`UNION` branches and across queries.
+//!
+//! A statistics-driven **planner** (see [`crate::planner`]) sits between
+//! the algebra and the BGP executions: consecutive inner-joinable group
+//! elements are reordered smallest-estimated-cardinality-first (connected
+//! operands preferred), and the bound-variable values of already-joined
+//! solutions are pushed into sibling BGP executions as semi-join `IN`-list
+//! restrictions. Both levers are advisory — [`PlannerSettings::disabled`]
+//! reproduces the naive pipeline bit-for-bit, and the differential
+//! plan-equivalence suite asserts both modes return identical answers.
 
 use std::time::Instant;
 
@@ -29,7 +38,9 @@ use optique_mapping::{unfold_ucq, MappingCatalog, UnfoldSettings};
 use optique_ontology::Ontology;
 use optique_rdf::{Literal, Term};
 use optique_relational::parser::SelectStatement;
-use optique_relational::{expr::BinOp, expr::UnaryOp, Database, Expr, PlanFragment, Table, Value};
+use optique_relational::{
+    expr::BinOp, expr::UnaryOp, Database, Expr, PlanFragment, SemiJoin, StatsCatalog, Table, Value,
+};
 use optique_rewrite::{rewrite, Atom, ConjunctiveQuery, QueryTerm, RewriteSettings};
 
 use crate::algebra::{
@@ -39,15 +50,30 @@ use crate::algebra::{
 use crate::cache::BgpCache;
 use crate::error::SparqlError;
 use crate::eval::{aggregate, solutions_from_tables, SolutionSet};
+use crate::planner::{greedy_order, CardinalityModel, JoinOperand, PlannerSettings, Restriction};
 use crate::results::SparqlResults;
+
+/// The gathered results of one fragment round, with enough provenance for
+/// the pipeline's planner counters.
+#[derive(Clone, Debug, Default)]
+pub struct FragmentRound {
+    /// One result table per fragment, in fragment order.
+    pub tables: Vec<Table>,
+    /// Fragments the executor could not ship and answered on the
+    /// coordinator instead (0 for fully-shipped rounds).
+    pub coordinator_fallbacks: usize,
+}
 
 /// A distributed backend for unfolded-SQL execution: takes one
 /// [`PlanFragment`] per disjunct, returns one result table per fragment, in
 /// order. Implementations ship fragments to workers however they like (the
-/// platform's implementation rides ExaStream's gateway/scheduler/exchange).
+/// platform's implementation rides ExaStream's gateway/scheduler/exchange)
+/// but **must honor each fragment's semi-join restrictions** — executing
+/// through [`PlanFragment::execute`] does so; executing the raw
+/// [`PlanFragment::sql`] silently widens the answer a worker returns.
 pub trait FragmentExecutor: Sync {
     /// Executes the fragments of one BGP round.
-    fn execute(&self, fragments: Vec<PlanFragment>) -> Result<Vec<Table>, String>;
+    fn execute(&self, fragments: Vec<PlanFragment>) -> Result<FragmentRound, String>;
 
     /// How many workers back this executor (observability only).
     fn workers(&self) -> usize {
@@ -76,6 +102,11 @@ pub struct StaticPipeline<'a> {
     /// that snapshot a mutable database must capture this **before** the
     /// snapshot (see [`Self::with_cache_at`]).
     pub cache_generation: u64,
+    /// Join-order / semi-join planner knobs.
+    pub planner: PlannerSettings,
+    /// Source statistics feeding the planner's cardinality model; `None`
+    /// degrades estimates to mapping fan-out counts.
+    pub table_stats: Option<&'a StatsCatalog>,
 }
 
 /// Per-query observability, surfaced on the platform dashboard.
@@ -101,6 +132,23 @@ pub struct PipelineStats {
     pub cache_misses: usize,
     /// Plan fragments shipped to the distributed executor.
     pub fragments: usize,
+    /// Fragments the executor answered on the coordinator instead of a
+    /// worker (a silent-fallback "distributed" run shows up here).
+    pub coordinator_fallbacks: usize,
+    /// Join batches the planner executed in a non-textual order.
+    pub join_reorders: usize,
+    /// Bound-variable value lists pushed into BGP executions as semi-join
+    /// `IN` restrictions (one count per restricted variable per BGP).
+    pub semi_joins_pushed: usize,
+    /// Planner-estimated BGP cardinalities, summed (0 with the planner
+    /// disabled).
+    pub estimated_rows: u64,
+    /// Actual BGP solution rows, summed — compare with
+    /// [`Self::estimated_rows`] to judge the cardinality model.
+    pub actual_rows: u64,
+    /// Rows returned by SQL execution (summed over fragments / statements)
+    /// before the residual merge — semi-join pushdown shrinks this.
+    pub fragment_rows: usize,
 }
 
 impl<'a> StaticPipeline<'a> {
@@ -115,12 +163,27 @@ impl<'a> StaticPipeline<'a> {
             executor: None,
             cache: None,
             cache_generation: 0,
+            planner: PlannerSettings::default(),
+            table_stats: None,
         }
     }
 
     /// Routes unfolded SQL through a distributed executor.
     pub fn with_executor(mut self, executor: &'a dyn FragmentExecutor) -> Self {
         self.executor = Some(executor);
+        self
+    }
+
+    /// Sets the planner knobs ([`PlannerSettings::disabled`] reproduces the
+    /// naive textual-order pipeline).
+    pub fn with_planner(mut self, planner: PlannerSettings) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Attaches a statistics snapshot for the planner's cardinality model.
+    pub fn with_table_stats(mut self, stats: &'a StatsCatalog) -> Self {
+        self.table_stats = Some(stats);
         self
     }
 
@@ -147,15 +210,20 @@ impl<'a> StaticPipeline<'a> {
     /// Answers a parsed query.
     pub fn answer(&self, query: &Query) -> Result<(SparqlResults, PipelineStats), SparqlError> {
         let mut stats = PipelineStats::default();
+        let unrestricted = Restriction::empty();
+        // One memoizing cardinality model per query: atom estimates and
+        // source-SQL parses are shared across every batch and BGP.
+        let model = CardinalityModel::new(self.ontology, self.mappings, self.table_stats);
         match query {
             Query::Ask(ask) => {
-                let solutions = self.eval_group(&ask.pattern, &mut stats)?;
+                let solutions = self.eval_group(&ask.pattern, &unrestricted, &model, &mut stats)?;
                 let truth = !solutions.is_empty();
                 stats.rows = usize::from(truth);
                 Ok((SparqlResults::Boolean(truth), stats))
             }
             Query::Select(select) => {
-                let solutions = self.eval_group(&select.pattern, &mut stats)?;
+                let solutions =
+                    self.eval_group(&select.pattern, &unrestricted, &model, &mut stats)?;
                 let result = self.finish_select(select, solutions)?;
                 stats.rows = result.len();
                 Ok((SparqlResults::Solutions(result), stats))
@@ -202,37 +270,49 @@ impl<'a> StaticPipeline<'a> {
         Ok(out)
     }
 
+    /// Evaluates a group pattern: consecutive inner-joinable elements
+    /// (triples blocks, nested groups, `UNION`s) form a **batch** the
+    /// planner may reorder; `OPTIONAL` is a batch barrier (a left join is
+    /// not commutative with what precedes it); `FILTER`s scope over the
+    /// whole group and run last. `restriction` carries the outer context's
+    /// bound-variable values for semi-join pushdown.
     fn eval_group(
         &self,
         group: &GroupPattern,
+        restriction: &Restriction,
+        model: &CardinalityModel,
         stats: &mut PipelineStats,
     ) -> Result<SolutionSet, SparqlError> {
         let mut current = SolutionSet::unit();
         let mut filters = Vec::new();
+        let mut batch: Vec<&PatternElement> = Vec::new();
         for element in &group.elements {
             match element {
-                PatternElement::Triples(atoms) => {
-                    let bgp = self.eval_bgp(atoms, stats)?;
-                    current = current.join(&bgp);
-                }
-                PatternElement::SubGroup(inner) => {
-                    let sub = self.eval_group(inner, stats)?;
-                    current = current.join(&sub);
-                }
+                PatternElement::Triples(_)
+                | PatternElement::SubGroup(_)
+                | PatternElement::Union(_) => batch.push(element),
                 PatternElement::Optional(inner) => {
-                    let sub = self.eval_group(inner, stats)?;
+                    current = self.flush_batch(current, &mut batch, restriction, model, stats)?;
+                    // The OPTIONAL's right side may only be restricted by
+                    // the values of its own left side (`current`): an
+                    // outer-context entry could prune a row that matches a
+                    // left row on a variable `current` leaves unbound,
+                    // flipping a match into an unbound survivor that joins
+                    // anything upstream. And no restriction at all may
+                    // enter a subtree with further OPTIONALs inside — see
+                    // [`GroupPattern::contains_optional`].
+                    let context = if self.planner.semi_join_pushdown && !inner.contains_optional() {
+                        Restriction::from_solutions(&current, self.planner.max_in_list)
+                    } else {
+                        Restriction::empty()
+                    };
+                    let sub = self.eval_group(inner, &context, model, stats)?;
                     current = current.left_join(&sub);
-                }
-                PatternElement::Union(branches) => {
-                    let mut united = SolutionSet::empty();
-                    for branch in branches {
-                        united = united.union(self.eval_group(branch, stats)?);
-                    }
-                    current = current.join(&united);
                 }
                 PatternElement::Filter(expr) => filters.push(expr),
             }
         }
+        current = self.flush_batch(current, &mut batch, restriction, model, stats)?;
         // FILTERs scope over the whole group.
         for expr in filters {
             current = current.filter(expr);
@@ -240,27 +320,126 @@ impl<'a> StaticPipeline<'a> {
         Ok(current)
     }
 
+    /// Joins the batched operands into `current`, in planner order when
+    /// reordering is enabled (smallest estimate first, connected-subgraph
+    /// preference, `current`'s variables as the seed), textual order
+    /// otherwise.
+    fn flush_batch(
+        &self,
+        mut current: SolutionSet,
+        batch: &mut Vec<&PatternElement>,
+        restriction: &Restriction,
+        model: &CardinalityModel,
+        stats: &mut PipelineStats,
+    ) -> Result<SolutionSet, SparqlError> {
+        if batch.is_empty() {
+            return Ok(current);
+        }
+        let operands = std::mem::take(batch);
+        let order: Vec<usize> = if self.planner.reorder_joins && operands.len() > 1 {
+            let infos: Vec<JoinOperand> = operands
+                .iter()
+                .map(|element| JoinOperand {
+                    vars: element_vars(element),
+                    estimate: model.estimate_element(element),
+                })
+                .collect();
+            let order = greedy_order(&current.vars, &infos);
+            if order.iter().enumerate().any(|(pos, &idx)| pos != idx) {
+                stats.join_reorders += 1;
+            }
+            order
+        } else {
+            (0..operands.len()).collect()
+        };
+        for idx in order {
+            if self.planner.reorder_joins && current.is_empty() {
+                // Inner joins against an empty set stay empty; skip the
+                // remaining operands (pure optimization — never taken in
+                // naive mode, so the oracle compares against full
+                // evaluation).
+                break;
+            }
+            // Restrictions may only enter OPTIONAL-free operands: below a
+            // left join, pruning flips matches into unbound survivors that
+            // join anything upstream (adding answers). A plain BGP has no
+            // left joins; groups/unions are checked transitively.
+            let context = if element_is_optional_free(operands[idx]) {
+                self.context_restriction(restriction, &current)
+            } else {
+                Restriction::empty()
+            };
+            let solutions = match operands[idx] {
+                PatternElement::Triples(atoms) => self.eval_bgp(atoms, &context, model, stats)?,
+                PatternElement::SubGroup(inner) => {
+                    self.eval_group(inner, &context, model, stats)?
+                }
+                PatternElement::Union(branches) => {
+                    let mut united = SolutionSet::empty();
+                    for branch in branches {
+                        united = united.union(self.eval_group(branch, &context, model, stats)?);
+                    }
+                    united
+                }
+                _ => unreachable!("only joinable elements are batched"),
+            };
+            current = current.join(&solutions);
+        }
+        Ok(current)
+    }
+
+    /// The semi-join context for an operand evaluated after `current` has
+    /// materialized: the outer restriction merged with `current`'s
+    /// bound-value lists. Empty whenever pushdown is disabled.
+    fn context_restriction(&self, outer: &Restriction, current: &SolutionSet) -> Restriction {
+        if !self.planner.semi_join_pushdown {
+            return Restriction::empty();
+        }
+        outer.merged(Restriction::from_solutions(
+            current,
+            self.planner.max_in_list,
+        ))
+    }
+
     /// One BGP through cache lookup → rewrite → unfold → SQL execution
-    /// (single-node or federated).
+    /// (single-node or federated), under an optional semi-join restriction
+    /// from the already-materialized join context.
     fn eval_bgp(
         &self,
         atoms: &[Atom],
+        restriction: &Restriction,
+        model: &CardinalityModel,
         stats: &mut PipelineStats,
     ) -> Result<SolutionSet, SparqlError> {
         stats.bgps += 1;
         if atoms.is_empty() {
             return Ok(SolutionSet::unit());
         }
-        let key = self.cache.map(|_| BgpCache::key(atoms));
-        if let (Some(cache), Some(key)) = (self.cache, key.as_deref()) {
-            if let Some(cached) = cache.lookup(key) {
+        let vars = bgp_variables(atoms);
+        let restriction = restriction.restrict_to(&vars);
+        if self.planner.reorder_joins {
+            stats.estimated_rows += model.estimate_bgp(atoms).round() as u64;
+        }
+
+        let plain_key = self.cache.map(|_| BgpCache::key(atoms));
+        let restricted_key = (!restriction.is_empty())
+            .then(|| BgpCache::restricted_key(atoms, &restriction.fingerprint()));
+        if let (Some(cache), Some(plain)) = (self.cache, plain_key.as_deref()) {
+            // One logical lookup: the restriction-exact entry is preferred,
+            // the unrestricted superset also answers (the join filters it);
+            // the cache counts one hit or one miss either way.
+            let keys: Vec<&str> = match restricted_key.as_deref() {
+                Some(restricted) => vec![restricted, plain],
+                None => vec![plain],
+            };
+            if let Some(cached) = cache.lookup_any(&keys) {
                 stats.cache_hits += 1;
+                stats.actual_rows += cached.len() as u64;
                 return Ok(cached);
             }
             stats.cache_misses += 1;
         }
 
-        let vars = bgp_variables(atoms);
         let cq = ConjunctiveQuery::new(vars.clone(), atoms.to_vec());
 
         let started = Instant::now();
@@ -275,6 +454,14 @@ impl<'a> StaticPipeline<'a> {
         stats.unfold_micros += started.elapsed().as_micros() as u64;
         stats.sql_disjuncts += unfold_stats.emitted;
 
+        let semi_joins: Vec<SemiJoin> = restriction
+            .entries()
+            .iter()
+            .map(|(var, terms)| {
+                SemiJoin::new(var.clone(), terms.iter().map(term_to_value).collect())
+            })
+            .collect();
+
         let solutions = match sql {
             // Some term has no mapping: the BGP is empty over the sources.
             None => SolutionSet {
@@ -282,8 +469,9 @@ impl<'a> StaticPipeline<'a> {
                 rows: Vec::new(),
             },
             Some(statement) => {
+                stats.semi_joins_pushed += semi_joins.len();
                 let started = Instant::now();
-                let tables = self.execute_statement(statement, stats)?;
+                let tables = self.execute_statement(statement, &semi_joins, stats)?;
                 stats.exec_micros += started.elapsed().as_micros() as u64;
 
                 if vars.is_empty() {
@@ -302,22 +490,31 @@ impl<'a> StaticPipeline<'a> {
                 }
             }
         };
+        stats.actual_rows += solutions.len() as u64;
 
-        if let (Some(cache), Some(key)) = (self.cache, key) {
-            // `cache_generation` was captured before the database snapshot:
-            // a write that landed since then makes this store a no-op
-            // instead of repopulating the cache with stale answers.
-            cache.store(key, solutions.clone(), self.cache_generation);
+        if let Some(cache) = self.cache {
+            // A restricted execution materializes a *subset* of the BGP's
+            // solutions: it caches under the restriction-fingerprinted key,
+            // never the plain one. `cache_generation` was captured before
+            // the database snapshot: a write that landed since then makes
+            // this store a no-op instead of repopulating the cache with
+            // stale answers.
+            if let Some(key) = restricted_key.or(plain_key) {
+                cache.store(key, solutions.clone(), self.cache_generation);
+            }
         }
         Ok(solutions)
     }
 
     /// Runs one unfolded `UNION ALL` statement: on the distributed executor
     /// as per-disjunct fragments when one is attached, on the local engine
-    /// otherwise. Returns the result tables to merge.
+    /// otherwise. Semi-join restrictions ride on each fragment (federated)
+    /// or wrap the statement structurally (single-node) — value lists are
+    /// never spliced into SQL text. Returns the result tables to merge.
     fn execute_statement(
         &self,
         statement: SelectStatement,
+        semi_joins: &[SemiJoin],
         stats: &mut PipelineStats,
     ) -> Result<Vec<Table>, SparqlError> {
         match self.executor {
@@ -331,19 +528,59 @@ impl<'a> StaticPipeline<'a> {
                         // see statically).
                         let cost = (stmt.joins.len() + 1) as f64;
                         PlanFragment::new(i as u64, stmt.to_string(), cost)
+                            .with_semi_joins(semi_joins.to_vec())
                     })
                     .collect();
                 stats.fragments += fragments.len();
-                executor
-                    .execute(fragments)
-                    .map_err(|e| SparqlError::execution(format!("federated execution failed: {e}")))
+                let round = executor.execute(fragments).map_err(|e| {
+                    SparqlError::execution(format!("federated execution failed: {e}"))
+                })?;
+                stats.coordinator_fallbacks += round.coordinator_fallbacks;
+                stats.fragment_rows += round.tables.iter().map(Table::len).sum::<usize>();
+                Ok(round.tables)
             }
             None => {
-                let table = optique_relational::exec::query(&statement.to_string(), self.db)
+                let restricted =
+                    optique_relational::fragment::restrict_statement(statement, semi_joins);
+                let table = optique_relational::plan::plan_select(&restricted, self.db)
+                    .map(optique_relational::optimizer::optimize)
+                    .and_then(|plan| optique_relational::exec::execute(&plan, self.db))
                     .map_err(|e| SparqlError::execution(format!("SQL execution failed: {e}")))?;
+                stats.fragment_rows += table.len();
                 Ok(vec![table])
             }
         }
+    }
+}
+
+/// True when a batched operand contains no `OPTIONAL` anywhere — the
+/// precondition for pushing a semi-join restriction into it.
+fn element_is_optional_free(element: &PatternElement) -> bool {
+    match element {
+        PatternElement::Triples(_) => true,
+        PatternElement::SubGroup(inner) => !inner.contains_optional(),
+        PatternElement::Union(branches) => branches.iter().all(|b| !b.contains_optional()),
+        _ => false,
+    }
+}
+
+/// The variables one inner-joinable element can bind.
+fn element_vars(element: &PatternElement) -> Vec<String> {
+    match element {
+        PatternElement::Triples(atoms) => bgp_variables(atoms),
+        PatternElement::SubGroup(inner) => inner.variables(),
+        PatternElement::Union(branches) => {
+            let mut out: Vec<String> = Vec::new();
+            for branch in branches {
+                for v in branch.variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
     }
 }
 
@@ -603,15 +840,18 @@ mod tests {
     }
 
     impl FragmentExecutor for Loopback {
-        fn execute(&self, fragments: Vec<PlanFragment>) -> Result<Vec<Table>, String> {
-            fragments
+        fn execute(&self, fragments: Vec<PlanFragment>) -> Result<FragmentRound, String> {
+            let tables = fragments
                 .into_iter()
                 .map(|f| {
                     let decoded = PlanFragment::decode(&f.encode()).map_err(|e| e.to_string())?;
-                    optique_relational::exec::query(&decoded.sql, &self.db)
-                        .map_err(|e| e.to_string())
+                    decoded.execute(&self.db).map_err(|e| e.to_string())
                 })
-                .collect()
+                .collect::<Result<Vec<Table>, String>>()?;
+            Ok(FragmentRound {
+                tables,
+                coordinator_fallbacks: 0,
+            })
         }
     }
 
@@ -774,6 +1014,137 @@ mod tests {
         let (warm, _) = pipeline.answer(&query).unwrap();
         assert_eq!(canonical(&cold), canonical(&warm));
         assert_eq!(warm.len(), 3);
+    }
+
+    /// Two adjacent groups force a residual join; with the planner on, the
+    /// selective class scan runs first and its bindings restrict the
+    /// sibling BGP's fragments.
+    #[test]
+    fn semi_join_pushdown_shrinks_fragment_rows() {
+        let text = "SELECT ?t ?m WHERE { { ?t x:hasModel ?m } { ?t a x:GasTurbine } }";
+        let loopback = Loopback { db: db() };
+
+        let naive = {
+            let db = db();
+            let onto = ontology();
+            let maps = catalog();
+            let pipeline = StaticPipeline::new(&onto, &maps, &db)
+                .with_executor(&loopback)
+                .with_planner(PlannerSettings::disabled());
+            let query = crate::parse_sparql(text, &ns()).unwrap();
+            pipeline.answer(&query).unwrap()
+        };
+        let optimized = {
+            let db = db();
+            let onto = ontology();
+            let maps = catalog();
+            let stats = optique_relational::StatsCatalog::analyze(&db);
+            let pipeline = StaticPipeline::new(&onto, &maps, &db)
+                .with_executor(&loopback)
+                .with_table_stats(&stats);
+            let query = crate::parse_sparql(text, &ns()).unwrap();
+            pipeline.answer(&query).unwrap()
+        };
+
+        assert_eq!(canonical(&naive.0), canonical(&optimized.0));
+        assert_eq!(naive.1.semi_joins_pushed, 0);
+        assert_eq!(naive.1.join_reorders, 0);
+        assert_eq!(naive.1.estimated_rows, 0, "naive mode never estimates");
+        assert!(
+            optimized.1.join_reorders >= 1,
+            "hasModel (3 rows) must yield to GasTurbine (2 rows): {:?}",
+            optimized.1
+        );
+        assert!(
+            optimized.1.semi_joins_pushed >= 1,
+            "gas-turbine bindings must restrict the hasModel BGP: {:?}",
+            optimized.1
+        );
+        assert!(
+            optimized.1.fragment_rows < naive.1.fragment_rows,
+            "pushdown must shrink what fragments return: {} !< {}",
+            optimized.1.fragment_rows,
+            naive.1.fragment_rows
+        );
+        assert!(optimized.1.estimated_rows > 0);
+        assert!(optimized.1.actual_rows > 0);
+    }
+
+    /// Restricted executions cache under restriction-fingerprinted keys —
+    /// a restricted subset must never answer an unrestricted lookup.
+    #[test]
+    fn restricted_results_do_not_poison_the_cache() {
+        let db = db();
+        let onto = ontology();
+        let maps = catalog();
+        let cache = BgpCache::new();
+        let pipeline = StaticPipeline::new(&onto, &maps, &db).with_cache(&cache);
+        // The join pushes the 2 gas-turbine bindings into `?t x:hasModel ?m`.
+        let joined = crate::parse_sparql(
+            "SELECT ?t ?m WHERE { { ?t a x:GasTurbine } { ?t x:hasModel ?m } }",
+            &ns(),
+        )
+        .unwrap();
+        let (_, s) = pipeline.answer(&joined).unwrap();
+        assert!(s.semi_joins_pushed >= 1);
+        // Alone, the same BGP must still return all 3 models, not the
+        // cached restricted pair.
+        let alone = crate::parse_sparql("SELECT ?t ?m WHERE { ?t x:hasModel ?m }", &ns()).unwrap();
+        let (r, _) = pipeline.answer(&alone).unwrap();
+        assert_eq!(r.len(), 3, "restricted cache entry leaked into plain use");
+        // Re-running the join hits the restricted entry.
+        let (_, warm) = pipeline.answer(&joined).unwrap();
+        assert!(warm.cache_hits >= 2, "{warm:?}");
+    }
+
+    /// Regression: a restriction must never cross into a subtree holding an
+    /// OPTIONAL. Pruning the nested OPTIONAL's BGP (t = turbine/3, outside
+    /// the gas-turbine set) would flip its match into an unbound survivor
+    /// that joins every gas turbine — 6 spurious rows where the naive plan
+    /// returns 0.
+    #[test]
+    fn restriction_never_crosses_into_optional_subtrees() {
+        let text = "SELECT ?t ?u ?m WHERE { { ?t a x:GasTurbine } \
+                    { { ?u x:hasModel ?m } OPTIONAL { ?t x:hasModel \"SST-600\" } } }";
+        let (naive, _) = {
+            let db = db();
+            let onto = ontology();
+            let maps = catalog();
+            let pipeline =
+                StaticPipeline::new(&onto, &maps, &db).with_planner(PlannerSettings::disabled());
+            let query = crate::parse_sparql(text, &ns()).unwrap();
+            pipeline.answer(&query).unwrap()
+        };
+        let (planned, _) = answer(text);
+        assert_eq!(
+            canonical(&naive),
+            canonical(&planned),
+            "pushdown through an OPTIONAL subtree changed the answer"
+        );
+    }
+
+    /// An empty operand short-circuits the rest of the batch when the
+    /// planner is on — and both modes agree on the (empty) answer.
+    #[test]
+    fn empty_join_input_short_circuits() {
+        let text = "SELECT ?t ?m WHERE { { ?t a x:Unmapped } { ?t x:hasModel ?m } }";
+        let (naive, ns_stats) = {
+            let db = db();
+            let onto = ontology();
+            let maps = catalog();
+            let pipeline =
+                StaticPipeline::new(&onto, &maps, &db).with_planner(PlannerSettings::disabled());
+            let query = crate::parse_sparql(text, &ns()).unwrap();
+            pipeline.answer(&query).unwrap()
+        };
+        let (optimized, opt_stats) = answer(text);
+        assert!(naive.is_empty());
+        assert!(optimized.is_empty());
+        assert_eq!(ns_stats.bgps, 2, "naive evaluates both operands");
+        assert!(
+            opt_stats.bgps <= ns_stats.bgps,
+            "planner may prune after the empty input"
+        );
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! * [`eval`] — the residual algebra over [`SolutionSet`]s: joins across
 //!   `OPTIONAL`/`UNION` branches, filters, modifiers, aggregation — and the
 //!   merge of federated per-fragment results.
+//! * [`planner`] — statistics-driven join ordering (smallest estimate
+//!   first, connected-subgraph preference) and semi-join pushdown
+//!   ([`Restriction`]s become `IN`-list predicates on plan fragments);
+//!   [`PlannerSettings::disabled`] reproduces the naive pipeline for the
+//!   differential plan-equivalence oracle.
 //! * [`cache`] — [`BgpCache`]: per-BGP solution-set memoization with
 //!   hit/miss counters and whole-cache invalidation on relational writes.
 //! * [`results`] — [`SparqlResults`]: solution tables / ASK booleans.
@@ -46,6 +51,7 @@ pub mod error;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod planner;
 pub mod results;
 
 pub use algebra::{
@@ -54,9 +60,11 @@ pub use algebra::{
 };
 pub use cache::BgpCache;
 pub use compile::{
-    expression_to_sql, split_union_chain, FragmentExecutor, PipelineStats, StaticPipeline,
+    expression_to_sql, split_union_chain, FragmentExecutor, FragmentRound, PipelineStats,
+    StaticPipeline,
 };
 pub use error::{ErrorKind, Position, SparqlError};
 pub use eval::{solutions_from_tables, SolutionSet};
 pub use parser::{parse_group_graph_pattern, parse_sparql};
+pub use planner::{CardinalityModel, PlannerSettings, Restriction};
 pub use results::SparqlResults;

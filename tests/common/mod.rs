@@ -1,0 +1,128 @@
+//! Shared helpers for the repo-level integration suites.
+//!
+//! The federation- and planner-equivalence suites check the same invariant
+//! from two angles — every execution strategy must return the same answer
+//! *set* — so they share one canonical form, one fixed query corpus and one
+//! property-based query generator instead of forking them per suite.
+//!
+//! The generative suites read the `PROPTEST_CASES` environment variable
+//! ([`proptest_cases`]), so CI can dial coverage up (or a quick local run
+//! down) without editing test code.
+
+#![allow(dead_code)] // each test binary uses the subset it needs
+
+use optique::SparqlResults;
+use proptest::prelude::*;
+
+/// Canonical form for answer-set comparison: the variable header plus
+/// sorted debug-rendered rows.
+pub fn canon(results: &SparqlResults) -> (Vec<String>, Vec<String>) {
+    let vars = results.vars().to_vec();
+    let mut rows: Vec<String> = results
+        .rows()
+        .iter()
+        .map(|row| format!("{row:?}"))
+        .collect();
+    rows.sort();
+    (vars, rows)
+}
+
+/// Number of generated cases for a property suite: the `PROPTEST_CASES`
+/// environment variable when set (CI dials coverage up without code
+/// edits), `default` otherwise.
+pub fn proptest_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Handwritten queries mirroring the conformance suite's end-to-end
+/// section: taxonomy rewriting, joins, OPTIONAL, UNION, FILTER, aggregates,
+/// modifiers and ASK, all over the Siemens deployment.
+pub const FIXED_QUERIES: &[&str] = &[
+    "SELECT ?s WHERE { ?s a sie:Sensor }",
+    "SELECT DISTINCT ?s WHERE { ?s a sie:MonitoringDevice }",
+    "SELECT ?t WHERE { ?t a sie:PowerGeneratingAppliance }",
+    "SELECT ?t ?m WHERE { ?t a sie:Turbine ; sie:hasModel ?m }",
+    "SELECT ?t ?m ?c WHERE { ?t a sie:Turbine ; sie:hasModel ?m . \
+     OPTIONAL { ?t sie:locatedIn ?c } FILTER(REGEX(?m, \"^SGT\")) } ORDER BY ?m LIMIT 7",
+    "SELECT DISTINCT ?s WHERE { \
+     { ?s a sie:TemperatureSensor } UNION { ?s a sie:PressureSensor } }",
+    "SELECT ?a (COUNT(DISTINCT ?s) AS ?n) WHERE { ?a sie:inAssembly ?s } \
+     GROUP BY ?a ORDER BY DESC(?n) LIMIT 5",
+    "SELECT ?a ?s WHERE { ?a sie:inAssembly ?s . ?s a sie:TemperatureSensor }",
+    // Adjacent groups create residual joins the planner may reorder and
+    // semi-join; textual order puts the wide scan first on purpose.
+    "SELECT ?a ?s WHERE { { ?a sie:inAssembly ?s } { ?s a sie:TemperatureSensor } }",
+    "SELECT ?t ?m WHERE { { ?t sie:hasModel ?m } { ?t a sie:GasTurbine } }",
+    // A nested OPTIONAL inside a restricted sibling: pushdown below a left
+    // join would flip matches into unbound survivors — the planner must
+    // leave this subtree unrestricted (regression for exactly that bug).
+    "SELECT ?s ?a ?m WHERE { { ?s a sie:TemperatureSensor } \
+     { { ?a sie:inAssembly ?s } OPTIONAL { ?s sie:hasModel ?m } } }",
+    "SELECT ?x WHERE { ?x a sie:Sensor } ORDER BY ?x LIMIT 10 OFFSET 5",
+    "ASK { ?s a sie:RotorSpeedSensor }",
+    "ASK { ?s a sie:VibrationSensor }",
+    "SELECT ?x WHERE { ?x a sie:DiagnosticMessage }",
+];
+
+/// Classes the generator draws from (all mapped, with deliberately varied
+/// cardinalities so the planner sees real ordering choices).
+pub const CLASSES: [&str; 7] = [
+    "Sensor",
+    "TemperatureSensor",
+    "PressureSensor",
+    "Turbine",
+    "GasTurbine",
+    "MonitoringDevice",
+    "Assembly",
+];
+
+/// A generator of query texts over the Siemens vocabulary: single BGPs,
+/// two-branch UNIONs, OPTIONAL extensions, FILTERed joins, and adjacent
+/// subgroups (residual joins the planner reorders / semi-joins).
+/// Type-mismatch combinations (e.g. `hasModel` on a sensor class) are
+/// deliberately kept — they exercise the empty-result paths, where
+/// equivalence must also hold.
+pub fn query_strategy() -> impl Strategy<Value = String> {
+    (0usize..7, 0usize..7, 0usize..8, 0usize..3).prop_map(|(c1, c2, shape, filter)| {
+        let a = CLASSES[c1];
+        let b = CLASSES[c2];
+        let filter = match filter {
+            0 => "",
+            1 => "FILTER(REGEX(?m, \"^SGT\")) ",
+            _ => "FILTER(?m > \"S\") ",
+        };
+        match shape {
+            0 => format!("SELECT ?x WHERE {{ ?x a sie:{a} }}"),
+            1 => format!(
+                "SELECT DISTINCT ?x WHERE {{ {{ ?x a sie:{a} }} UNION {{ ?x a sie:{b} }} }}"
+            ),
+            2 => format!(
+                "SELECT ?x ?m WHERE {{ ?x a sie:{a} . \
+                 OPTIONAL {{ ?x sie:hasModel ?m }} {filter}}}"
+            ),
+            3 => format!(
+                "SELECT ?x ?s WHERE {{ ?x a sie:{a} . OPTIONAL {{ ?x sie:inAssembly ?s }} }}"
+            ),
+            4 => format!(
+                "SELECT ?x ?m WHERE {{ \
+                 {{ ?x a sie:{a} . ?x sie:hasModel ?m }} UNION {{ ?x a sie:{b} }} {filter}}}"
+            ),
+            // Adjacent groups: a residual join between separately-unfolded
+            // BGPs — the planner's reorder/semi-join unit.
+            5 => format!("SELECT ?x ?s WHERE {{ {{ ?x sie:inAssembly ?s }} {{ ?s a sie:{a} }} }}"),
+            6 => format!(
+                "SELECT ?x ?s ?m WHERE {{ {{ ?x sie:inAssembly ?s }} {{ ?s a sie:{a} }} \
+                 OPTIONAL {{ ?x sie:hasModel ?m }} {filter}}}"
+            ),
+            // OPTIONAL nested inside a restricted sibling subgroup: the
+            // planner must not push the class bindings below the left join.
+            _ => format!(
+                "SELECT ?x ?s ?m WHERE {{ {{ ?s a sie:{a} }} \
+                 {{ {{ ?x sie:inAssembly ?s }} OPTIONAL {{ ?s sie:hasModel ?m }} }} }}"
+            ),
+        }
+    })
+}

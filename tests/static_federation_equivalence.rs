@@ -1,16 +1,20 @@
 //! Federation equivalence: distributed `query_static` must return exactly
-//! the single-node answer *set* — over a fixed suite of handwritten
-//! queries and a property-based generator of BGP/UNION/OPTIONAL/FILTER
-//! shapes — at 1, 2, 4 and 8 workers.
+//! the single-node answer *set* — over the shared fixed suite of
+//! handwritten queries and the shared property-based generator of
+//! BGP/UNION/OPTIONAL/FILTER shapes (`tests/common`) — at 1, 2, 4 and 8
+//! workers.
 //!
 //! The platform's per-BGP cache is invalidated between runs so every
 //! execution genuinely exercises its own backend (otherwise the second run
 //! would answer from the first run's cache and the comparison would be
 //! vacuous).
 
+mod common;
+
 use std::sync::OnceLock;
 
-use optique::{OptiquePlatform, SparqlResults};
+use common::{canon, proptest_cases, query_strategy, FIXED_QUERIES};
+use optique::OptiquePlatform;
 use optique_siemens::SiemensDeployment;
 use proptest::prelude::*;
 
@@ -19,18 +23,6 @@ const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 fn platform() -> &'static OptiquePlatform {
     static PLATFORM: OnceLock<OptiquePlatform> = OnceLock::new();
     PLATFORM.get_or_init(|| OptiquePlatform::from_siemens(SiemensDeployment::small()))
-}
-
-/// Canonical form for set comparison: sorted debug-rendered rows.
-fn canon(results: &SparqlResults) -> (Vec<String>, Vec<String>) {
-    let vars = results.vars().to_vec();
-    let mut rows: Vec<String> = results
-        .rows()
-        .iter()
-        .map(|row| format!("{row:?}"))
-        .collect();
-    rows.sort();
-    (vars, rows)
 }
 
 /// Runs `text` single-node and at every worker count, asserting identical
@@ -55,35 +47,19 @@ fn assert_equivalent(text: &str) {
             stats.fragments >= stats.sql_disjuncts.min(1),
             "no fragments shipped at {workers} workers for {text}: {stats:?}"
         );
+        assert_eq!(
+            stats.coordinator_fallbacks, 0,
+            "replicated pools must never fall back for {text}: {stats:?}"
+        );
     }
     p.bgp_cache().invalidate();
 }
 
 // ---- fixed suite -------------------------------------------------------
 
-/// Handwritten queries mirroring the conformance suite's end-to-end
-/// section: taxonomy rewriting, joins, OPTIONAL, UNION, FILTER, aggregates,
-/// modifiers and ASK, all over the Siemens deployment.
 #[test]
 fn fixed_suite_is_equivalent_across_worker_counts() {
-    let queries = [
-        "SELECT ?s WHERE { ?s a sie:Sensor }",
-        "SELECT DISTINCT ?s WHERE { ?s a sie:MonitoringDevice }",
-        "SELECT ?t WHERE { ?t a sie:PowerGeneratingAppliance }",
-        "SELECT ?t ?m WHERE { ?t a sie:Turbine ; sie:hasModel ?m }",
-        "SELECT ?t ?m ?c WHERE { ?t a sie:Turbine ; sie:hasModel ?m . \
-         OPTIONAL { ?t sie:locatedIn ?c } FILTER(REGEX(?m, \"^SGT\")) } ORDER BY ?m LIMIT 7",
-        "SELECT DISTINCT ?s WHERE { \
-         { ?s a sie:TemperatureSensor } UNION { ?s a sie:PressureSensor } }",
-        "SELECT ?a (COUNT(DISTINCT ?s) AS ?n) WHERE { ?a sie:inAssembly ?s } \
-         GROUP BY ?a ORDER BY DESC(?n) LIMIT 5",
-        "SELECT ?a ?s WHERE { ?a sie:inAssembly ?s . ?s a sie:TemperatureSensor }",
-        "SELECT ?x WHERE { ?x a sie:Sensor } ORDER BY ?x LIMIT 10 OFFSET 5",
-        "ASK { ?s a sie:RotorSpeedSensor }",
-        "ASK { ?s a sie:VibrationSensor }",
-        "SELECT ?x WHERE { ?x a sie:DiagnosticMessage }",
-    ];
-    for text in queries {
+    for text in FIXED_QUERIES {
         assert_equivalent(text);
     }
 }
@@ -107,51 +83,8 @@ fn federated_runs_share_the_bgp_cache() {
 
 // ---- property-based suite ----------------------------------------------
 
-const CLASSES: [&str; 7] = [
-    "Sensor",
-    "TemperatureSensor",
-    "PressureSensor",
-    "Turbine",
-    "GasTurbine",
-    "MonitoringDevice",
-    "Assembly",
-];
-
-/// A generator of query texts over the Siemens vocabulary: single BGPs,
-/// two-branch UNIONs, OPTIONAL extensions and FILTERed joins. Type-mismatch
-/// combinations (e.g. `hasModel` on a sensor class) are deliberately kept —
-/// they exercise the empty-result paths, where equivalence must also hold.
-fn query_strategy() -> impl Strategy<Value = String> {
-    (0usize..7, 0usize..7, 0usize..5, 0usize..3).prop_map(|(c1, c2, shape, filter)| {
-        let a = CLASSES[c1];
-        let b = CLASSES[c2];
-        let filter = match filter {
-            0 => "",
-            1 => "FILTER(REGEX(?m, \"^SGT\")) ",
-            _ => "FILTER(?m > \"S\") ",
-        };
-        match shape {
-            0 => format!("SELECT ?x WHERE {{ ?x a sie:{a} }}"),
-            1 => format!(
-                "SELECT DISTINCT ?x WHERE {{ {{ ?x a sie:{a} }} UNION {{ ?x a sie:{b} }} }}"
-            ),
-            2 => format!(
-                "SELECT ?x ?m WHERE {{ ?x a sie:{a} . \
-                 OPTIONAL {{ ?x sie:hasModel ?m }} {filter}}}"
-            ),
-            3 => format!(
-                "SELECT ?x ?s WHERE {{ ?x a sie:{a} . OPTIONAL {{ ?x sie:inAssembly ?s }} }}"
-            ),
-            _ => format!(
-                "SELECT ?x ?m WHERE {{ \
-                 {{ ?x a sie:{a} . ?x sie:hasModel ?m }} UNION {{ ?x a sie:{b} }} {filter}}}"
-            ),
-        }
-    })
-}
-
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(32)))]
     #[test]
     fn generated_queries_are_equivalent(text in query_strategy()) {
         let p = platform();
