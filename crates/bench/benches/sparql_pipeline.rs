@@ -18,6 +18,15 @@
 //! and pushes its bindings into every fragment as an `IN`-list, and the
 //! benchmark asserts the pushdown happened and shrank the rows fragments
 //! returned.
+//!
+//! The `sparql_partitioned` group prices the partition-routed federation:
+//! the same join-heavy workload on replicated vs auto-partitioned pools
+//! (advisor-picked keys). The tagged binding list (320 values) exceeds the
+//! replicated pushdown budget (256), so replicated fragments return every
+//! row — while the partitioned pool slices the list per shard, prunes the
+//! scatter, and ships only matching rows. The benchmark asserts
+//! auto-partitioned execution returns strictly fewer `fragment_rows` on
+//! the 100-disjunct join workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
@@ -250,6 +259,137 @@ fn bench_semijoin(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fixtures for the partitioned-federation workload: `sources` tables of
+/// 64 rows each (above the advisor's partition floor), one `x:p` mapping
+/// per table, and a `tagged` class of 320 subjects striding the whole key
+/// range — a binding list bigger than the flat pushdown budget (256) but
+/// within the partitioned budget at 4 workers (1024).
+fn partitioned_fixtures(sources: usize) -> (Database, MappingCatalog) {
+    const ROWS: i64 = 64;
+    const TAGGED: i64 = 320;
+    let mut db = Database::new();
+    let mut catalog = MappingCatalog::new();
+    for i in 0..sources {
+        let rows = (0..ROWS)
+            .map(|k| vec![Value::Int(i as i64 * ROWS + k), Value::Int(k)])
+            .collect();
+        db.put_table(
+            format!("t{i}"),
+            table_of(
+                &format!("t{i}"),
+                &[("a", ColumnType::Int), ("b", ColumnType::Int)],
+                rows,
+            )
+            .expect("valid table"),
+        );
+        catalog
+            .add(
+                MappingAssertion::property(
+                    format!("p-src{i}"),
+                    Iri::new("http://x/p"),
+                    format!("SELECT a, b FROM t{i}"),
+                    TermMap::template("http://x/obj/{a}"),
+                    TermMap::template("http://x/val/{b}"),
+                )
+                .with_key(vec!["a".into()]),
+            )
+            .expect("valid mapping");
+    }
+    let total = sources as i64 * ROWS;
+    let rows = (0..TAGGED.min(total))
+        .map(|k| vec![Value::Int(k * total / TAGGED.min(total))])
+        .collect();
+    db.put_table(
+        "tagged",
+        table_of("tagged", &[("a", ColumnType::Int)], rows).expect("valid table"),
+    );
+    catalog
+        .add(
+            MappingAssertion::class(
+                "tagged",
+                Iri::new("http://x/Tagged"),
+                "SELECT a FROM tagged",
+                TermMap::template("http://x/obj/{a}"),
+            )
+            .with_key(vec!["a".into()]),
+        )
+        .expect("valid mapping");
+    (db, catalog)
+}
+
+/// Replicated vs auto-partitioned pools on the join-heavy workload. The
+/// two backends must return the same answer set (the equivalence suites
+/// pin this down across the whole corpus); here the asserts pin the row
+/// traffic — on the 100-disjunct workload at 4 workers, partition routing
+/// must ship strictly fewer fragment rows than replication.
+fn bench_partitioned(c: &mut Criterion) {
+    let ns = namespaces();
+    let ontology = Ontology::new();
+    let mut group = c.benchmark_group("sparql_partitioned");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for disjuncts in [10usize, 100] {
+        let (db, catalog) = partitioned_fixtures(disjuncts);
+        let stats = optique_relational::StatsCatalog::analyze(&db);
+        let db = Arc::new(db);
+        let parsed = parse_sparql(
+            "SELECT ?a ?b WHERE { { ?a a x:Tagged } { ?a x:p ?b } }",
+            &ns,
+        )
+        .expect("parses");
+
+        for workers in [1usize, 4] {
+            let replicated = StaticFederation::replicated(Arc::clone(&db), workers);
+            let over_replicas = StaticPipeline::new(&ontology, &catalog, &db)
+                .with_executor(&replicated)
+                .with_table_stats(&stats);
+            let replicated_rows = over_replicas
+                .answer(&parsed)
+                .expect("answers")
+                .1
+                .fragment_rows;
+
+            let auto =
+                StaticFederation::auto_partitioned(Arc::clone(&db), workers, &stats, &catalog);
+            let over_shards = StaticPipeline::new(&ontology, &catalog, &db)
+                .with_executor(&auto)
+                .with_table_stats(&stats);
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("replicated/{workers}w"), disjuncts),
+                &disjuncts,
+                |b, _| b.iter(|| over_replicas.answer(&parsed).expect("answers")),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("partitioned/{workers}w"), disjuncts),
+                &disjuncts,
+                |b, _| {
+                    b.iter(|| {
+                        let (results, stats) = over_shards.answer(&parsed).expect("answers");
+                        if workers > 1 {
+                            assert!(
+                                stats.partitioned_fragments >= 1,
+                                "the advisor must shard this workload: {stats:?}"
+                            );
+                        }
+                        if workers == 4 && disjuncts == 100 {
+                            assert!(
+                                stats.fragment_rows < replicated_rows,
+                                "partition routing must shrink fragment traffic: {} !< {replicated_rows}",
+                                stats.fragment_rows
+                            );
+                        }
+                        results
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_distributed(c: &mut Criterion) {
     let ns = namespaces();
     let ontology = Ontology::new();
@@ -284,5 +424,11 @@ fn bench_distributed(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench, bench_distributed, bench_semijoin);
+criterion_group!(
+    benches,
+    bench,
+    bench_distributed,
+    bench_semijoin,
+    bench_partitioned
+);
 criterion_main!(benches);

@@ -69,6 +69,14 @@ pub struct StaticQueryPanel {
     /// Rows returned by SQL execution before the residual merge (semi-join
     /// pushdown shrinks this).
     pub fragment_rows: usize,
+    /// Fragments executed sharded over a hash-partitioned table.
+    pub partitioned_fragments: usize,
+    /// Fragments answered by a single worker's replicas while the pool had
+    /// partitioned tables — the middle rung of the sharded → replicated →
+    /// coordinator ladder.
+    pub replicated_fallbacks: usize,
+    /// Scatter executions skipped by partition-key routing.
+    pub shards_pruned: usize,
 }
 
 impl StaticQueryPanel {
@@ -76,6 +84,24 @@ impl StaticQueryPanel {
     pub fn total_micros(&self) -> u64 {
         self.parse_micros + self.rewrite_micros + self.unfold_micros + self.exec_micros
     }
+
+    /// The planner's `estimated ÷ actual` cardinality accuracy, clamped to
+    /// a renderable range. `None` when there is no estimate (planner off —
+    /// the pipeline floors live estimates to ≥ 1 per BGP, so 0 is
+    /// unambiguous); when a round returns no rows the denominator is
+    /// treated as 1 — a correctly-predicted empty result renders ≈ 1.0,
+    /// an over-estimate renders as its magnitude — and the whole ratio
+    /// caps at [`Self::ACCURACY_CAP`], never `inf`/`NaN`.
+    pub fn estimate_accuracy(&self) -> Option<f64> {
+        if self.estimated_rows == 0 {
+            return None;
+        }
+        let denominator = self.actual_rows.max(1) as f64;
+        Some((self.estimated_rows as f64 / denominator).min(Self::ACCURACY_CAP))
+    }
+
+    /// Upper clamp for [`Self::estimate_accuracy`].
+    pub const ACCURACY_CAP: f64 = 999.0;
 }
 
 /// A point-in-time monitoring snapshot.
@@ -140,6 +166,30 @@ impl Dashboard {
             .sum()
     }
 
+    /// Total sharded fragment executions across the remembered static
+    /// queries — 0 on a partitioned deployment means the advisor's keys
+    /// never matched a scan.
+    pub fn total_partitioned_fragments(&self) -> usize {
+        self.static_queries
+            .iter()
+            .map(|q| q.partitioned_fragments)
+            .sum()
+    }
+
+    /// Total single-replica fallbacks across the remembered static queries
+    /// (partitioned pools only).
+    pub fn total_replicated_fallbacks(&self) -> usize {
+        self.static_queries
+            .iter()
+            .map(|q| q.replicated_fallbacks)
+            .sum()
+    }
+
+    /// Total scatter executions skipped by partition-key routing.
+    pub fn total_shards_pruned(&self) -> usize {
+        self.static_queries.iter().map(|q| q.shards_pruned).sum()
+    }
+
     /// Per-BGP cache hit rate in `[0, 1]` (`None` before any lookup).
     pub fn bgp_cache_hit_rate(&self) -> Option<f64> {
         let total = self.bgp_cache_hits + self.bgp_cache_misses;
@@ -191,11 +241,11 @@ impl Dashboard {
                 }
             ));
             out.push_str(
-                "│ id   query                              rows  bgps  ucq  sql  hit  frag  wrk  fall  reord  semi  est/act  fetched     µs\n",
+                "│ id   query                              rows  bgps  ucq  sql  hit  frag  wrk  part  repl  fall  prune  reord  semi  est/act   acc  fetched     µs\n",
             );
             for q in &self.static_queries {
                 out.push_str(&format!(
-                    "│ {:<4} {:<33} {:>5} {:>5} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>6} {:>5} {:>8} {:>8} {:>6}\n",
+                    "│ {:<4} {:<33} {:>5} {:>5} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>5} {:>5} {:>6} {:>6} {:>5} {:>8} {:>5} {:>8} {:>6}\n",
                     q.id,
                     truncate(&q.query, 33),
                     q.rows,
@@ -205,10 +255,17 @@ impl Dashboard {
                     q.cache_hits,
                     q.fragments,
                     q.workers,
+                    q.partitioned_fragments,
+                    q.replicated_fallbacks,
                     q.coordinator_fallbacks,
+                    q.shards_pruned,
                     q.join_reorders,
                     q.semi_joins_pushed,
                     format!("{}/{}", q.estimated_rows, q.actual_rows),
+                    match q.estimate_accuracy() {
+                        Some(acc) => format!("{acc:.1}"),
+                        None => "—".to_string(),
+                    },
                     q.fragment_rows,
                     q.total_micros()
                 ));
@@ -275,6 +332,9 @@ mod tests {
                 estimated_rows: 70,
                 actual_rows: 60,
                 fragment_rows: 95,
+                partitioned_fragments: 6,
+                replicated_fallbacks: 1,
+                shards_pruned: 9,
             }],
             wcache_hits: 9,
             wcache_misses: 1,
@@ -332,6 +392,63 @@ mod tests {
         assert_eq!(d.total_semi_joins_pushed(), 2);
         assert_eq!(d.total_coordinator_fallbacks(), 1);
         assert_eq!(Dashboard::default().total_semi_joins_pushed(), 0);
+    }
+
+    #[test]
+    fn partition_totals_sum_across_queries() {
+        let d = dash();
+        assert_eq!(d.total_partitioned_fragments(), 6);
+        assert_eq!(d.total_replicated_fallbacks(), 1);
+        assert_eq!(d.total_shards_pruned(), 9);
+        assert_eq!(Dashboard::default().total_shards_pruned(), 0);
+    }
+
+    /// Regression: a fragment round returning no rows (actual = 0) used to
+    /// make the estimated÷actual column divide by zero — the accuracy must
+    /// clamp, and the rendered frame must never contain `inf`/`NaN`.
+    #[test]
+    fn estimate_accuracy_clamps_zero_denominators() {
+        let mut panel = dash().static_queries[0].clone();
+        assert!((panel.estimate_accuracy().unwrap() - 70.0 / 60.0).abs() < 1e-9);
+
+        panel.actual_rows = 0;
+        assert_eq!(
+            panel.estimate_accuracy(),
+            Some(70.0),
+            "zero actual rows divide by a floor of 1, never by zero"
+        );
+        // A correctly-predicted empty result is accurate, not maximally
+        // wrong (the pipeline floors live estimates to 1).
+        panel.estimated_rows = 1;
+        assert_eq!(panel.estimate_accuracy(), Some(1.0));
+        // A wildly-over-estimated empty result clamps.
+        panel.estimated_rows = 1_000_000;
+        assert_eq!(
+            panel.estimate_accuracy(),
+            Some(StaticQueryPanel::ACCURACY_CAP)
+        );
+        panel.estimated_rows = 70;
+        let mut d = dash();
+        d.static_queries[0].actual_rows = 0;
+        let r = d.render();
+        assert!(!r.contains("inf"), "{r}");
+        assert!(!r.contains("NaN"), "{r}");
+        assert!(r.contains("70.0"), "floored-denominator accuracy: {r}");
+
+        // No estimate at all (planner off): no accuracy, not 0/0 noise.
+        panel.estimated_rows = 0;
+        assert_eq!(panel.estimate_accuracy(), None);
+        d.static_queries[0].estimated_rows = 0;
+        d.static_queries[0].actual_rows = 0;
+        assert!(!d.render().contains("NaN"));
+    }
+
+    #[test]
+    fn render_contains_partition_columns() {
+        let r = dash().render();
+        assert!(r.contains("part"), "{r}");
+        assert!(r.contains("prune"), "{r}");
+        assert!(r.contains("acc"), "{r}");
     }
 
     #[test]

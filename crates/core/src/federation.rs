@@ -10,19 +10,55 @@
 //!   fragments are placed one-per-worker, LPT by cost.
 //! * **partitioned** — named tables are hash-partitioned across workers
 //!   (each worker holds one shard), everything else replicated. Fragments
-//!   scanning exactly one partitioned source become **scatter** fragments
-//!   (every worker scans its shard; partials concatenate on gather);
-//!   fragments joining several partitioned occurrences — where shard-local
-//!   joins would miss cross-shard pairs — fall back to the coordinator's
-//!   full catalog, which is always correct.
+//!   execute down a per-fragment fallback ladder — **sharded → replicated
+//!   → coordinator**:
+//!
+//!   1. fragments whose partitioned scans are shard-sound (one occurrence,
+//!      or several **co-partitioned** on their keys) become **scatter**
+//!      fragments: every worker scans its shard and the partials
+//!      concatenate on gather. Semi-join `IN`-lists over key-derived
+//!      columns additionally prune the scatter to the shards that can hold
+//!      matching keys ([`PlanFragment::shard_plan`]);
+//!   2. fragments reading only replicated tables run on one worker's
+//!      replicas (placed LPT by cost);
+//!   3. everything else (non-co-partitioned multi-shard joins,
+//!      non-decomposable shapes) falls back to the coordinator's full
+//!      catalog, which is always correct.
+//!
+//! [`StaticFederation::auto_partitioned`] makes the partitioned layout the
+//! smart default: a partition-key advisor scores every term-map column of
+//! the mapping catalog (join frequency × distinctness × evenness, from the
+//! [`StatsCatalog`]'s sampled statistics) and shards each qualifying table
+//! on its best key, falling back to full replication when nothing
+//! qualifies.
 
 use std::sync::Arc;
 
 use optique_exastream::cluster::hash_partition;
 use optique_exastream::{Cluster, Gateway, StaticFragment};
-use optique_relational::parser::{Projection, TableRef};
-use optique_relational::{Database, PlanFragment, SelectStatement, Table};
+use optique_mapping::MappingCatalog;
+use optique_relational::{
+    shard_compatibility, Database, PartitionSpec, PlanFragment, ShardCompatibility, StatsCatalog,
+    Table,
+};
 use optique_sparql::{FragmentExecutor, FragmentRound};
+
+/// Tables smaller than this never partition under
+/// [`StaticFederation::auto_partitioned`]: sharding a tiny table buys no
+/// parallelism and costs every scan a scatter round.
+pub const MIN_PARTITION_ROWS: usize = 48;
+
+/// Which worker-pool layout the platform builds for distributed static
+/// queries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FederationTopology {
+    /// Advisor-picked hash partitioning ([`StaticFederation::auto_partitioned`]);
+    /// falls back to full replication when no table qualifies.
+    #[default]
+    AutoPartitioned,
+    /// Full replication: every worker holds the whole catalog.
+    Replicated,
+}
 
 /// A static-query worker pool over the deployment's relational sources.
 pub struct StaticFederation {
@@ -31,8 +67,8 @@ pub struct StaticFederation {
     /// shard-locally.
     coordinator: Arc<Database>,
     workers: usize,
-    /// Tables hash-partitioned across the workers.
-    partitioned: Vec<String>,
+    /// `(table, key_column)` pairs hash-partitioned across the workers.
+    partition: Vec<(String, String)>,
 }
 
 impl StaticFederation {
@@ -43,7 +79,7 @@ impl StaticFederation {
             gateway: Gateway::new(cluster),
             coordinator: db,
             workers,
-            partitioned: Vec::new(),
+            partition: Vec::new(),
         }
     }
 
@@ -75,8 +111,34 @@ impl StaticFederation {
             gateway: Gateway::new(cluster),
             coordinator: db,
             workers,
-            partitioned: partition.iter().map(|(t, _)| t.clone()).collect(),
+            partition: partition.to_vec(),
         })
+    }
+
+    /// The smart default: asks the partition-key advisor
+    /// ([`optique_relational::advise_partition_keys`]) to score every
+    /// term-map column the mapping catalog joins through and shards each
+    /// qualifying table on its best key. Falls back to full replication
+    /// when nothing qualifies (tiny tables, skewed keys) or only one
+    /// worker exists (one shard is the whole table anyway).
+    pub fn auto_partitioned(
+        db: Arc<Database>,
+        workers: usize,
+        stats: &StatsCatalog,
+        mappings: &MappingCatalog,
+    ) -> Self {
+        if workers > 1 {
+            let usage = mappings.term_column_usage();
+            let keys = optique_relational::advise_partition_keys(stats, &usage, MIN_PARTITION_ROWS);
+            if !keys.is_empty() {
+                if let Ok(federation) =
+                    StaticFederation::partitioned(Arc::clone(&db), workers, &keys)
+                {
+                    return federation;
+                }
+            }
+        }
+        StaticFederation::replicated(db, workers)
     }
 
     /// Number of workers in the pool.
@@ -84,14 +146,15 @@ impl StaticFederation {
         self.workers
     }
 
-    /// The tables partitioned across the workers.
-    pub fn partitioned_tables(&self) -> &[String] {
-        &self.partitioned
+    /// The `(table, key_column)` pairs partitioned across the workers
+    /// (empty for replicated pools).
+    pub fn partition(&self) -> &[(String, String)] {
+        &self.partition
     }
 
     /// Decides how a fragment may execute against this federation's layout.
     fn classify(&self, sql: &str) -> Classification {
-        if self.partitioned.is_empty() {
+        if self.partition.is_empty() {
             return Classification::Placed;
         }
         // Unparseable SQL cannot be classified; the coordinator needs no
@@ -99,19 +162,35 @@ impl StaticFederation {
         let Ok(statement) = optique_relational::parse_select(sql) else {
             return Classification::Coordinator;
         };
-        let mut count = 0usize;
-        count_partitioned_refs(&statement, &self.partitioned, &mut count);
-        match count {
-            0 => Classification::Placed,
-            // Exactly one partitioned scan *and* a concat-decomposable
-            // statement shape: per-shard results union to the global
-            // result. Aggregates / GROUP BY / LIMIT / ORDER BY are not
-            // decomposable by concatenation; DISTINCT is, up to cross-shard
-            // duplicates, which the gather dedups.
-            1 if scatter_decomposable(&statement) => Classification::Scatter {
-                dedup: statement.distinct,
-            },
-            _ => Classification::Coordinator,
+        match shard_compatibility(&statement, &self.partition) {
+            ShardCompatibility::Unpartitioned => Classification::Placed,
+            ShardCompatibility::Scatter {
+                dedup,
+                table,
+                column,
+            } => {
+                let column_type = self
+                    .coordinator
+                    .table(&table)
+                    .ok()
+                    .and_then(|t| {
+                        let idx = t.schema.index_of(&column)?;
+                        Some(t.schema.columns()[idx].ty)
+                    })
+                    .unwrap_or(optique_relational::ColumnType::Any);
+                Classification::Scatter {
+                    dedup,
+                    spec: PartitionSpec {
+                        table,
+                        column,
+                        column_type,
+                    },
+                    // The parse rides along so shard routing in the gateway
+                    // reuses it instead of re-parsing the same text.
+                    statement: Box::new(statement),
+                }
+            }
+            ShardCompatibility::Incompatible => Classification::Coordinator,
         }
     }
 }
@@ -124,45 +203,12 @@ enum Classification {
         /// The statement is DISTINCT: shard-local dedup cannot see
         /// cross-shard duplicates, so the gathered concat is deduped.
         dedup: bool,
+        /// Routing metadata for shard-pruned scatter.
+        spec: PartitionSpec,
+        /// The fragment's SQL, parsed once during classification.
+        statement: Box<optique_relational::SelectStatement>,
     },
     Coordinator,
-}
-
-/// True when concatenating per-shard results of `statement` yields the
-/// global result (modulo DISTINCT, handled by the caller): plain
-/// select-project-join with no aggregation, grouping, ordering or slicing.
-/// Exactly the shape mapping unfolding emits.
-fn scatter_decomposable(statement: &SelectStatement) -> bool {
-    statement.group_by.is_empty()
-        && statement.having.is_none()
-        && statement.order_by.is_empty()
-        && statement.limit.is_none()
-        && statement.union_all.is_none()
-        && !statement.projections.iter().any(|p| match p {
-            Projection::Expr { expr, .. } => expr.contains_aggregate(),
-            _ => false,
-        })
-}
-
-/// Walks a statement's FROM/JOIN tree (including subqueries and the
-/// `UNION ALL` chain) counting base-table references to `partitioned`.
-fn count_partitioned_refs(statement: &SelectStatement, partitioned: &[String], count: &mut usize) {
-    let mut visit = |table: &TableRef| match table {
-        TableRef::Named { name, .. } => {
-            if partitioned.iter().any(|t| t == name) {
-                *count += 1;
-            }
-        }
-        TableRef::Subquery { query, .. } => count_partitioned_refs(query, partitioned, count),
-        TableRef::Function { .. } => {}
-    };
-    visit(&statement.from);
-    for join in &statement.joins {
-        visit(&join.table);
-    }
-    if let Some(next) = &statement.union_all {
-        count_partitioned_refs(next, partitioned, count);
-    }
 }
 
 /// Removes duplicate rows in place, keeping first occurrences.
@@ -173,9 +219,10 @@ fn dedup_rows(table: &mut Table) {
 
 impl FragmentExecutor for StaticFederation {
     fn execute(&self, fragments: Vec<PlanFragment>) -> Result<FragmentRound, String> {
-        // Classify fragments: shippable (placed or scatter) vs coordinator
-        // fallback (several partitioned occurrences — a shard-local join
-        // would be incomplete — or a non-decomposable statement shape).
+        // Classify fragments down the ladder: sharded scatter, placed on a
+        // replica, or coordinator fallback (several non-co-partitioned
+        // occurrences — a shard-local join would be incomplete — or a
+        // non-decomposable statement shape).
         let mut shipped: Vec<StaticFragment> = Vec::new();
         // Slot of each shipped fragment, plus whether its gathered concat
         // needs a cross-shard dedup (scattered DISTINCT statements).
@@ -183,14 +230,27 @@ impl FragmentExecutor for StaticFederation {
         let mut results: Vec<Option<Result<Table, String>>> =
             fragments.iter().map(|_| None).collect();
         let mut coordinator_fallbacks = 0usize;
+        let mut partitioned_fragments = 0usize;
+        let mut replicated_fallbacks = 0usize;
         for (slot, fragment) in fragments.into_iter().enumerate() {
             match self.classify(&fragment.sql) {
                 Classification::Placed => {
+                    if !self.partition.is_empty() {
+                        replicated_fallbacks += 1;
+                    }
                     shipped.push(StaticFragment::placed(fragment));
                     shipped_slots.push((slot, false));
                 }
-                Classification::Scatter { dedup } => {
-                    shipped.push(StaticFragment::scattered(fragment));
+                Classification::Scatter {
+                    dedup,
+                    spec,
+                    statement,
+                } => {
+                    partitioned_fragments += 1;
+                    shipped.push(
+                        StaticFragment::scattered(fragment.with_partition(spec))
+                            .with_statement(*statement),
+                    );
                     shipped_slots.push((slot, dedup));
                 }
                 Classification::Coordinator => {
@@ -205,10 +265,8 @@ impl FragmentExecutor for StaticFederation {
                 }
             }
         }
-        for ((slot, dedup), outcome) in shipped_slots
-            .into_iter()
-            .zip(self.gateway.run_static_fragments(&shipped))
-        {
+        let round = self.gateway.run_static_round(&shipped);
+        for ((slot, dedup), outcome) in shipped_slots.into_iter().zip(round.tables) {
             let mut outcome = outcome.map_err(|e| e.to_string());
             if dedup {
                 if let Ok(table) = &mut outcome {
@@ -224,11 +282,30 @@ impl FragmentExecutor for StaticFederation {
         Ok(FragmentRound {
             tables,
             coordinator_fallbacks,
+            partitioned_fragments,
+            replicated_fallbacks,
+            shards_pruned: round.shards_pruned,
         })
     }
 
     fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// A partitioned federation slices key-derived `IN`-lists per shard
+    /// (`PlanFragment::shard_plan`), so it accepts lists up to
+    /// `base × workers`: in the common case — a scatter fragment restricted
+    /// through its partition key — each worker sees only its ~`base`-value
+    /// slice. Fragments on the other rungs (or restricted on non-key
+    /// columns) still ship the whole list; that costs wire bytes, never
+    /// answers. Replicated pools ship every list whole and keep the base
+    /// budget.
+    fn max_restriction_values(&self, base: usize) -> usize {
+        if self.partition.is_empty() {
+            base
+        } else {
+            base.saturating_mul(self.workers)
+        }
     }
 }
 
@@ -238,7 +315,7 @@ impl std::fmt::Debug for StaticFederation {
             f,
             "StaticFederation({} workers, {} partitioned tables)",
             self.workers,
-            self.partitioned.len()
+            self.partition.len()
         )
     }
 }
@@ -279,47 +356,45 @@ mod tests {
         rows
     }
 
+    fn sensors_by_sid(db: Arc<Database>, workers: usize) -> StaticFederation {
+        StaticFederation::partitioned(db, workers, &[("sensors".to_string(), "sid".to_string())])
+            .unwrap()
+    }
+
     #[test]
     fn replicated_execution_matches_local() {
         let db = db();
         let federation = StaticFederation::replicated(Arc::clone(&db), 4);
         let sql = "SELECT sid FROM sensors WHERE tid = 3";
         let local = optique_relational::exec::query(sql, &db).unwrap();
-        let results = federation
+        let round = federation
             .execute(vec![PlanFragment::new(0, sql, 1.0)])
-            .unwrap()
-            .tables;
-        assert_eq!(canon(&results[0]), canon(&local));
+            .unwrap();
+        assert_eq!(canon(&round.tables[0]), canon(&local));
+        // Placed execution on a replicated pool is the design, not a
+        // fallback rung.
+        assert_eq!(round.replicated_fallbacks, 0);
+        assert_eq!(round.partitioned_fragments, 0);
     }
 
     #[test]
     fn partitioned_scan_covers_all_shards() {
         let db = db();
-        let federation = StaticFederation::partitioned(
-            Arc::clone(&db),
-            4,
-            &[("sensors".to_string(), "sid".to_string())],
-        )
-        .unwrap();
+        let federation = sensors_by_sid(Arc::clone(&db), 4);
         let sql = "SELECT sid FROM sensors";
         let local = optique_relational::exec::query(sql, &db).unwrap();
-        let results = federation
+        let round = federation
             .execute(vec![PlanFragment::new(0, sql, 1.0)])
-            .unwrap()
-            .tables;
-        assert_eq!(results[0].len(), 100);
-        assert_eq!(canon(&results[0]), canon(&local));
+            .unwrap();
+        assert_eq!(round.tables[0].len(), 100);
+        assert_eq!(canon(&round.tables[0]), canon(&local));
+        assert_eq!(round.partitioned_fragments, 1);
     }
 
     #[test]
     fn partitioned_join_with_replica_is_complete() {
         let db = db();
-        let federation = StaticFederation::partitioned(
-            Arc::clone(&db),
-            4,
-            &[("sensors".to_string(), "sid".to_string())],
-        )
-        .unwrap();
+        let federation = sensors_by_sid(Arc::clone(&db), 4);
         // One partitioned occurrence + one replica: scatter is sound.
         let sql = "SELECT s.sid FROM sensors AS s JOIN turbines AS t ON s.tid = t.tid";
         let local = optique_relational::exec::query(sql, &db).unwrap();
@@ -331,14 +406,25 @@ mod tests {
     }
 
     #[test]
+    fn co_partitioned_self_join_scatters() {
+        let db = db();
+        let federation = sensors_by_sid(Arc::clone(&db), 4);
+        // Joined on the partition key: matching rows share a shard, so the
+        // scatter is complete — no coordinator fallback needed.
+        let sql = "SELECT a.sid FROM sensors AS a JOIN sensors AS b ON a.sid = b.sid";
+        let local = optique_relational::exec::query(sql, &db).unwrap();
+        let round = federation
+            .execute(vec![PlanFragment::new(0, sql, 4.0)])
+            .unwrap();
+        assert_eq!(round.coordinator_fallbacks, 0, "key join scatters");
+        assert_eq!(round.partitioned_fragments, 1);
+        assert_eq!(canon(&round.tables[0]), canon(&local));
+    }
+
+    #[test]
     fn partitioned_self_join_falls_back_to_coordinator() {
         let db = db();
-        let federation = StaticFederation::partitioned(
-            Arc::clone(&db),
-            4,
-            &[("sensors".to_string(), "sid".to_string())],
-        )
-        .unwrap();
+        let federation = sensors_by_sid(Arc::clone(&db), 4);
         // Two partitioned occurrences joined on a non-partition key: a
         // shard-local join would miss cross-shard pairs; the coordinator
         // path must keep it complete.
@@ -347,7 +433,7 @@ mod tests {
         let round = federation
             .execute(vec![PlanFragment::new(0, sql, 4.0)])
             .unwrap();
-        assert_eq!(round.coordinator_fallbacks, 1, "self-join must fall back");
+        assert_eq!(round.coordinator_fallbacks, 1, "non-key join falls back");
         let results = round.tables;
         assert_eq!(canon(&results[0]), canon(&local));
     }
@@ -355,24 +441,20 @@ mod tests {
     #[test]
     fn classification_counts_table_refs_not_text() {
         let db = db();
-        let federation = StaticFederation::partitioned(
-            Arc::clone(&db),
-            2,
-            &[("sensors".to_string(), "sid".to_string())],
-        )
-        .unwrap();
+        let federation = sensors_by_sid(db, 2);
         assert!(matches!(
             federation.classify("SELECT sid FROM sensors"),
-            Classification::Scatter { dedup: false }
+            Classification::Scatter { dedup: false, .. }
         ));
         assert!(matches!(
             federation.classify("SELECT DISTINCT sid FROM sensors"),
-            Classification::Scatter { dedup: true }
+            Classification::Scatter { dedup: true, .. }
         ));
-        // Two partitioned references: shard-local joins would be incomplete.
+        // Two partitioned references joined off-key: shard-local joins
+        // would be incomplete.
         assert!(matches!(
             federation
-                .classify("SELECT a.sid FROM sensors AS a JOIN sensors AS b ON a.sid = b.sid"),
+                .classify("SELECT a.sid FROM sensors AS a JOIN sensors AS b ON a.tid = b.tid"),
             Classification::Coordinator
         ));
         // A partitioned-table name inside a string literal is data, not a
@@ -400,6 +482,15 @@ mod tests {
             federation.classify("SELECT FROM"),
             Classification::Coordinator
         ));
+        // The scatter spec carries the key column and its type.
+        if let Classification::Scatter { spec, .. } = federation.classify("SELECT sid FROM sensors")
+        {
+            assert_eq!(spec.table, "sensors");
+            assert_eq!(spec.column, "sid");
+            assert_eq!(spec.column_type, ColumnType::Int);
+        } else {
+            panic!("expected scatter");
+        }
     }
 
     /// Non-decomposable fragments over a partitioned table must return the
@@ -407,12 +498,7 @@ mod tests {
     #[test]
     fn aggregates_over_partitioned_tables_stay_global() {
         let db = db();
-        let federation = StaticFederation::partitioned(
-            Arc::clone(&db),
-            4,
-            &[("sensors".to_string(), "sid".to_string())],
-        )
-        .unwrap();
+        let federation = sensors_by_sid(db, 4);
         let round = federation
             .execute(vec![
                 PlanFragment::new(0, "SELECT COUNT(*) AS n FROM sensors", 1.0),
@@ -437,22 +523,93 @@ mod tests {
     #[test]
     fn literal_mentions_do_not_scatter() {
         let db = db();
-        let federation = StaticFederation::partitioned(
-            Arc::clone(&db),
-            4,
-            &[("sensors".to_string(), "sid".to_string())],
-        )
-        .unwrap();
+        let federation = sensors_by_sid(Arc::clone(&db), 4);
         let sql = "SELECT tid FROM turbines WHERE 'sensors' = 'sensors'";
         let local = optique_relational::exec::query(sql, &db).unwrap();
-        let results = federation
+        let round = federation
             .execute(vec![PlanFragment::new(0, sql, 1.0)])
-            .unwrap()
-            .tables;
+            .unwrap();
         assert_eq!(
-            results[0].len(),
+            round.tables[0].len(),
             local.len(),
             "scatter would return 4x the rows"
         );
+        // In a partitioned pool, a placed fragment is the ladder's middle
+        // rung.
+        assert_eq!(round.replicated_fallbacks, 1);
+    }
+
+    /// Semi-join `IN`-lists over the partition key prune the scatter to the
+    /// shards that can hold matching rows — without changing the answer.
+    #[test]
+    fn keyed_semi_join_prunes_shards() {
+        use optique_relational::SemiJoin;
+        let db = db();
+        let federation = sensors_by_sid(Arc::clone(&db), 8);
+        let fragment = PlanFragment::new(0, "SELECT sid FROM sensors", 1.0)
+            .with_semi_joins(vec![SemiJoin::new("sid", vec![Value::Int(5)])]);
+        let round = federation.execute(vec![fragment]).unwrap();
+        assert!(round.shards_pruned >= 6, "8 shards, ≤ 2 targets: {round:?}");
+        assert_eq!(round.tables[0].rows, vec![vec![Value::Int(5)]]);
+    }
+
+    /// The advisor partitions the 100-row sensors table on `sid` (unique,
+    /// even, most-joined) and leaves the 7-row turbines table replicated.
+    #[test]
+    fn auto_partitioned_picks_keys_from_stats_and_mappings() {
+        use optique_mapping::{MappingAssertion, TermMap};
+        let db = db();
+        let stats = StatsCatalog::analyze(&db);
+        let mut mappings = MappingCatalog::new();
+        mappings
+            .add(MappingAssertion::class(
+                "sensor",
+                optique_rdf::Iri::new("http://x/Sensor"),
+                "SELECT sid FROM sensors",
+                TermMap::template("http://x/sensor/{sid}"),
+            ))
+            .unwrap();
+        mappings
+            .add(MappingAssertion::property(
+                "at",
+                optique_rdf::Iri::new("http://x/at"),
+                "SELECT sid, tid FROM sensors",
+                TermMap::template("http://x/sensor/{sid}"),
+                TermMap::template("http://x/turbine/{tid}"),
+            ))
+            .unwrap();
+        mappings
+            .add(MappingAssertion::class(
+                "turbine",
+                optique_rdf::Iri::new("http://x/Turbine"),
+                "SELECT tid FROM turbines",
+                TermMap::template("http://x/turbine/{tid}"),
+            ))
+            .unwrap();
+
+        let federation = StaticFederation::auto_partitioned(Arc::clone(&db), 4, &stats, &mappings);
+        assert_eq!(
+            federation.partition(),
+            &[("sensors".to_string(), "sid".to_string())],
+            "sensors shard on sid; turbines (7 rows) stay replicated"
+        );
+
+        // One worker, or no qualifying table: plain replication.
+        let single = StaticFederation::auto_partitioned(Arc::clone(&db), 1, &stats, &mappings);
+        assert!(single.partition().is_empty());
+        let no_stats =
+            StaticFederation::auto_partitioned(Arc::clone(&db), 4, &StatsCatalog::new(), &mappings);
+        assert!(no_stats.partition().is_empty());
+    }
+
+    /// The restriction budget widens only for pools that can slice lists
+    /// per shard.
+    #[test]
+    fn restriction_budget_scales_with_partitioning() {
+        let db = db();
+        let replicated = StaticFederation::replicated(Arc::clone(&db), 4);
+        assert_eq!(replicated.max_restriction_values(256), 256);
+        let partitioned = sensors_by_sid(db, 4);
+        assert_eq!(partitioned.max_restriction_values(256), 1024);
     }
 }

@@ -25,6 +25,6 @@ pub mod federation;
 pub mod platform;
 
 pub use dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
-pub use federation::StaticFederation;
+pub use federation::{FederationTopology, StaticFederation};
 pub use optique_sparql::SparqlResults;
 pub use platform::{FleetReport, OptiquePlatform, RegisteredStarQl};

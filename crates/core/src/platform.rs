@@ -20,7 +20,7 @@ use optique_stream::WCache;
 use parking_lot::{Mutex, RwLock};
 
 use crate::dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
-use crate::federation::StaticFederation;
+use crate::federation::{FederationTopology, StaticFederation};
 
 /// A registered STARQL query with its accumulated monitoring counters.
 pub struct RegisteredStarQl {
@@ -73,10 +73,15 @@ pub struct OptiquePlatform {
     /// Per-BGP solution-set cache shared by every static query (single-node
     /// and distributed); invalidated on relational writes.
     static_cache: BgpCache,
-    /// Static-query worker pools, one per requested worker count, dropped
-    /// on relational writes (workers snapshot the catalog they were built
-    /// over).
-    federations: Mutex<HashMap<usize, Arc<StaticFederation>>>,
+    /// Static-query worker pools, one per requested `(worker count,
+    /// topology)`, dropped on relational writes (workers snapshot the
+    /// catalog they were built over — and a write may change the advisor's
+    /// partition keys).
+    federations: Mutex<HashMap<(usize, FederationTopology), Arc<StaticFederation>>>,
+    /// Which pool layout distributed static queries build
+    /// ([`FederationTopology::AutoPartitioned`] by default — the advisor
+    /// shards what the statistics say is worth sharding).
+    topology: RwLock<FederationTopology>,
     /// Per-table row/distinct statistics over the current snapshot, feeding
     /// the static planner's cardinality model; refreshed on relational
     /// writes alongside the cache invalidation.
@@ -112,6 +117,7 @@ impl OptiquePlatform {
             static_next_id: std::sync::atomic::AtomicU64::new(1),
             static_cache: BgpCache::new(),
             federations: Mutex::new(HashMap::new()),
+            topology: RwLock::new(FederationTopology::default()),
             table_stats,
             planner: RwLock::new(PlannerSettings::default()),
         }
@@ -238,16 +244,25 @@ impl OptiquePlatform {
 
     /// Answers a static SPARQL query **federated over ExaStream workers**:
     /// the unfolded `UNION ALL` of every BGP splits into per-disjunct plan
-    /// fragments, the gateway places them LPT-style across `workers` worker
-    /// threads (sharing the platform catalog as broadcast replicas), and
-    /// the per-fragment solution sets merge back before the residual
+    /// fragments, the gateway routes them across `workers` worker threads,
+    /// and the per-fragment solution sets merge back before the residual
     /// algebra. Answers are always the same *set* as
-    /// [`query_static`](Self::query_static) — the federation equivalence
-    /// suite pins that down.
+    /// [`query_static`](Self::query_static) — the federation and
+    /// partitioned equivalence suites pin that down.
     ///
-    /// The worker pool for each count is built once and reused; relational
-    /// writes ([`insert_static`](Self::insert_static)) drop the pools along
-    /// with the BGP cache.
+    /// By default the pool is **auto-partitioned**: the partition-key
+    /// advisor shards each qualifying table on its best key (join
+    /// frequency × distinctness × evenness over the live [`StatsCatalog`])
+    /// and fragments fall down a per-fragment ladder — sharded scatter,
+    /// single-replica placement, coordinator — so one awkward fragment
+    /// never forces a whole query off the shards.
+    /// [`set_federation_topology`](Self::set_federation_topology) pins the
+    /// layout back to full replication.
+    ///
+    /// The worker pool for each `(count, topology)` is built once and
+    /// reused; relational writes ([`insert_static`](Self::insert_static))
+    /// drop the pools along with the BGP cache — a write may change the
+    /// advisor's keys, so pools re-partition on next use.
     pub fn query_static_distributed(
         &self,
         text: &str,
@@ -267,15 +282,38 @@ impl OptiquePlatform {
         if workers == 0 {
             return Err("a federated query needs at least one worker".into());
         }
+        let topology = *self.topology.read();
         let federation = {
             let mut pools = self.federations.lock();
-            Arc::clone(
-                pools
-                    .entry(workers)
-                    .or_insert_with(|| Arc::new(StaticFederation::replicated(self.db(), workers))),
-            )
+            Arc::clone(pools.entry((workers, topology)).or_insert_with(|| {
+                Arc::new(match topology {
+                    FederationTopology::Replicated => {
+                        StaticFederation::replicated(self.db(), workers)
+                    }
+                    FederationTopology::AutoPartitioned => StaticFederation::auto_partitioned(
+                        self.db(),
+                        workers,
+                        &self.table_stats.read(),
+                        &self.mappings,
+                    ),
+                })
+            }))
         };
         self.run_static(text, Some(federation))
+    }
+
+    /// The pool layout distributed static queries currently build.
+    pub fn federation_topology(&self) -> FederationTopology {
+        *self.topology.read()
+    }
+
+    /// Switches the pool layout for subsequent distributed static queries.
+    /// Pools of both layouts are cached side by side (keyed by `(workers,
+    /// topology)`), so the partitioned-equivalence oracle can flip between
+    /// them without rebuild churn — and without ever sharing a pool built
+    /// over the wrong layout.
+    pub fn set_federation_topology(&self, topology: FederationTopology) {
+        *self.topology.write() = topology;
     }
 
     /// Shared static-query driver: parse, answer (single-node or federated),
@@ -332,6 +370,9 @@ impl OptiquePlatform {
             estimated_rows: stats.estimated_rows,
             actual_rows: stats.actual_rows,
             fragment_rows: stats.fragment_rows,
+            partitioned_fragments: stats.partitioned_fragments,
+            replicated_fallbacks: stats.replicated_fallbacks,
+            shards_pruned: stats.shards_pruned,
         });
         Ok((results, stats))
     }

@@ -1,10 +1,12 @@
 //! Worker nodes and data sharding.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use optique_relational::{Database, SqlError, Table, Value};
+use optique_relational::{Database, SqlError, Table};
+
+/// The shard a key value routes to — re-exported from the fragment layer so
+/// table sharding and fragment routing share one hash, bit-for-bit.
+pub use optique_relational::fragment::shard_of;
 
 /// One simulated worker node: an id plus its private catalog shard.
 ///
@@ -130,20 +132,10 @@ pub fn hash_partition(table: &Table, key_col: usize, n: usize) -> Vec<Table> {
     shards
 }
 
-/// The shard a key value routes to.
-pub fn shard_of(key: &Value, n: usize) -> usize {
-    if key.is_null() {
-        return 0;
-    }
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % n as u64) as usize
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use optique_relational::{Column, ColumnType, Schema};
+    use optique_relational::{Column, ColumnType, Schema, Value};
 
     fn measurements(n: i64) -> Table {
         let schema = Schema::qualified(

@@ -133,8 +133,17 @@ impl Gateway {
         all.sort_by_key(|(id, _)| *id);
         all
     }
+    /// [`Gateway::run_static_round`], returning only the gathered tables —
+    /// the original interface, kept for callers that need no accounting.
+    pub fn run_static_fragments(
+        &self,
+        fragments: &[StaticFragment],
+    ) -> Vec<Result<Table, SqlError>> {
+        self.run_static_round(fragments).tables
+    }
+
     /// Executes a round of federated static-query fragments and gathers the
-    /// per-fragment results, in input order.
+    /// per-fragment results, in input order, plus the round's accounting.
     ///
     /// Fragments cross the worker boundary through the
     /// [`PlanFragment`]/[`ResultBatch`] wire format (see
@@ -145,15 +154,15 @@ impl Gateway {
     ///   static round routes around heavily-loaded stream workers — and are
     ///   released again once the round completes (they are transient, unlike
     ///   registered continuous queries);
-    /// * **scatter** fragments (`scatter == true`) run on *every* worker
-    ///   (the per-partition scan pattern over hash-partitioned tables) and
-    ///   their per-worker partial results are concatenated on gather.
-    pub fn run_static_fragments(
-        &self,
-        fragments: &[StaticFragment],
-    ) -> Vec<Result<Table, SqlError>> {
-        // Coordinator side: encode every fragment for the wire up front.
-        let wires: Vec<String> = fragments.iter().map(|f| f.fragment.encode()).collect();
+    /// * **scatter** fragments (`scatter == true`) run on every worker's
+    ///   shard of a hash-partitioned table and their per-worker partial
+    ///   results are concatenated on gather — unless the fragment's
+    ///   partition metadata plus a key-derived semi-join let
+    ///   [`PlanFragment::shard_plan`] prune the round, in which case only
+    ///   the shards that can hold matching keys execute, each receiving
+    ///   just its slice of the `IN`-list.
+    pub fn run_static_round(&self, fragments: &[StaticFragment]) -> StaticRound {
+        let size = self.cluster.size();
 
         // Place the non-scatter fragments as transient StaticFragment tasks.
         let tasks: Vec<OperatorTask> = fragments
@@ -163,15 +172,35 @@ impl Gateway {
             .collect();
         let placement = self.scheduler.lock().place_batch(&tasks);
 
-        // Per-worker execution queues of fragment indexes.
-        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.cluster.size()];
+        // Coordinator side: per-worker queues of (fragment slot, wire text).
+        // Shard-pruned scatter fragments encode one wire per target shard
+        // (each carrying that shard's `IN`-list slice); everything else
+        // encodes once.
+        let mut queues: Vec<Vec<(usize, Arc<String>)>> = vec![Vec::new(); size];
+        let mut shards_pruned = 0usize;
         for (idx, f) in fragments.iter().enumerate() {
             if f.scatter {
-                for queue in &mut queues {
-                    queue.push(idx);
+                let plan = match &f.statement {
+                    Some(statement) => f.fragment.shard_plan_with(statement, size),
+                    None => f.fragment.shard_plan(size),
+                };
+                match plan {
+                    Some(plan) => {
+                        shards_pruned += size - plan.len();
+                        for (shard, fragment) in plan {
+                            queues[shard].push((idx, Arc::new(fragment.encode())));
+                        }
+                    }
+                    None => {
+                        let wire = Arc::new(f.fragment.encode());
+                        for queue in queues.iter_mut() {
+                            queue.push((idx, Arc::clone(&wire)));
+                        }
+                    }
                 }
             } else {
-                queues[placement.assignment[&f.fragment.id]].push(idx);
+                queues[placement.assignment[&f.fragment.id]]
+                    .push((idx, Arc::new(f.fragment.encode())));
             }
         }
 
@@ -182,11 +211,11 @@ impl Gateway {
             self.cluster.parallel_map(|worker| {
                 queues[worker.id]
                     .iter()
-                    .map(|&idx| {
-                        let result = PlanFragment::decode(&wires[idx])
+                    .map(|(idx, wire)| {
+                        let result = PlanFragment::decode(wire)
                             .and_then(|frag| frag.execute(&worker.db))
                             .map(|t| exchange::ship(&t));
-                        (idx, result)
+                        (*idx, result)
                     })
                     .collect()
             });
@@ -195,12 +224,17 @@ impl Gateway {
         // their load; continuous operators are untouched.
         self.scheduler.lock().release_transient(&tasks, &placement);
 
-        // Gather: receive batches, concatenating scatter partials.
+        // Gather: receive batches, concatenating scatter partials and
+        // accounting the rows each worker shipped.
+        let mut worker_rows = vec![0usize; size];
         let mut gathered: Vec<Option<Result<Table, SqlError>>> =
             fragments.iter().map(|_| None).collect();
-        for per_worker in outputs {
+        for (worker, per_worker) in outputs.into_iter().enumerate() {
             for (idx, wire_result) in per_worker {
                 let table = wire_result.and_then(|wire| exchange::receive(&wire));
+                if let Ok(t) = &table {
+                    worker_rows[worker] += t.len();
+                }
                 match (&mut gathered[idx], table) {
                     (slot @ None, incoming) => *slot = Some(incoming),
                     (Some(Ok(acc)), Ok(part)) => acc.rows.extend(part.rows),
@@ -209,11 +243,30 @@ impl Gateway {
                 }
             }
         }
-        gathered
-            .into_iter()
-            .map(|slot| slot.expect("every fragment was queued on some worker"))
-            .collect()
+        StaticRound {
+            tables: gathered
+                .into_iter()
+                .map(|slot| slot.expect("every fragment was queued on some worker"))
+                .collect(),
+            worker_rows,
+            shards_pruned,
+        }
     }
+}
+
+/// The gathered outcome of one federated static round.
+#[derive(Debug)]
+pub struct StaticRound {
+    /// One result per submitted fragment, in input order.
+    pub tables: Vec<Result<Table, SqlError>>,
+    /// Rows each worker shipped back this round — per-shard observability
+    /// (skew here means one shard did most of the work). The dashboard's
+    /// `fragment_rows` totals are summed from the gathered tables instead;
+    /// this vector is the per-worker breakdown for callers that want it.
+    pub worker_rows: Vec<usize>,
+    /// Scatter executions skipped because key routing proved the shard
+    /// could hold no matching row.
+    pub shards_pruned: usize,
 }
 
 /// One unit of a federated static query, as submitted to
@@ -226,6 +279,10 @@ pub struct StaticFragment {
     /// every worker's shard and the partial results are concatenated.
     /// When false, any single worker's replica can answer it.
     pub scatter: bool,
+    /// The fragment's SQL, already parsed — coordinators that classified
+    /// the fragment keep the parse here so shard routing need not re-parse
+    /// the identical text.
+    pub statement: Option<optique_relational::SelectStatement>,
 }
 
 impl StaticFragment {
@@ -234,6 +291,7 @@ impl StaticFragment {
         StaticFragment {
             fragment,
             scatter: false,
+            statement: None,
         }
     }
 
@@ -242,7 +300,14 @@ impl StaticFragment {
         StaticFragment {
             fragment,
             scatter: true,
+            statement: None,
         }
+    }
+
+    /// Attaches the already-parsed statement (builder style).
+    pub fn with_statement(mut self, statement: optique_relational::SelectStatement) -> Self {
+        self.statement = Some(statement);
+        self
     }
 }
 
@@ -432,6 +497,77 @@ mod tests {
         let distinct: std::collections::HashSet<i64> =
             t.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
         assert_eq!(distinct.len(), 400, "per-partition scans are disjoint");
+    }
+
+    /// A scatter fragment whose semi-join restricts a key-derived column
+    /// runs only on the shards its values hash to (plus the NULL home
+    /// shard 0) — and still gathers the exact matching rows.
+    #[test]
+    fn keyed_scatter_prunes_shards() {
+        use optique_relational::{PartitionSpec, SemiJoin};
+
+        let shards = 8;
+        // Partition a 400-row table by sensor_id across 8 workers, the same
+        // hash the fragment router uses.
+        let full: Vec<Vec<Value>> = (0..400)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64)])
+            .collect();
+        let g = Gateway::new(Arc::new(Cluster::provision(shards, |id| {
+            let schema = Schema::qualified(
+                "m",
+                vec![
+                    Column::new("sensor_id", ColumnType::Int),
+                    Column::new("value", ColumnType::Float),
+                ],
+            );
+            let rows = full
+                .iter()
+                .filter(|row| crate::cluster::shard_of(&row[0], shards) == id)
+                .cloned()
+                .collect();
+            let mut db = Database::new();
+            db.put_table("m", Table::new(schema, rows).unwrap());
+            db
+        })));
+
+        let wanted = vec![Value::Int(3), Value::Int(77)];
+        let fragment = PlanFragment::new(0, "SELECT sensor_id FROM m", 1.0)
+            .with_partition(PartitionSpec {
+                table: "m".into(),
+                column: "sensor_id".into(),
+                column_type: ColumnType::Int,
+            })
+            .with_semi_joins(vec![SemiJoin::new("sensor_id", wanted.clone())]);
+        let round = g.run_static_round(&[StaticFragment::scattered(fragment)]);
+
+        // ≤ 3 target shards (two keys + the NULL home) out of 8.
+        assert!(round.shards_pruned >= shards - 3, "{round:?}");
+        let t = round.tables[0].as_ref().unwrap();
+        let mut got: Vec<i64> = t.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 77]);
+        // Row accounting: only the target shards shipped anything.
+        assert_eq!(round.worker_rows.iter().sum::<usize>(), 2);
+        assert!(
+            round.worker_rows.iter().filter(|&&n| n > 0).count() <= 2,
+            "{:?}",
+            round.worker_rows
+        );
+    }
+
+    /// Per-shard row accounting sums to the gathered total on an unpruned
+    /// scatter.
+    #[test]
+    fn static_round_accounts_rows_per_worker() {
+        let g = Gateway::new(cluster(4));
+        let round = g.run_static_round(&[StaticFragment::scattered(PlanFragment::new(
+            0,
+            "SELECT sensor_id FROM m",
+            1.0,
+        ))]);
+        assert_eq!(round.shards_pruned, 0);
+        assert_eq!(round.worker_rows, vec![100; 4]);
+        assert_eq!(round.tables[0].as_ref().unwrap().len(), 400);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The mapping catalog, indexed by ontological term.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use optique_rdf::Iri;
+use optique_relational::parser::TableRef;
 
-use crate::assertion::{MappingAssertion, MappingHead};
+use crate::assertion::{MappingAssertion, MappingHead, TermMap};
 
 /// A set of mapping assertions with term-indexed lookup — the deployment
 /// artifact BootOX produces and the unfolder consumes.
@@ -82,6 +83,47 @@ impl MappingCatalog {
         }
         Ok(())
     }
+
+    /// How often each `(base table, column)` pair appears as a **term-map
+    /// column** across the catalog, sorted by table then column.
+    ///
+    /// Term-map columns (an IRI template's slot, a literal map's column)
+    /// are exactly the positions unfolded disjuncts join and filter
+    /// through: two atoms sharing a variable become an equality between the
+    /// term-map columns of their picked sources. The counts therefore
+    /// estimate join frequency per column — the weight the partition-key
+    /// advisor (`optique_relational::advise_partition_keys`) scores
+    /// candidates by. Assertions whose source is not a simple single-table
+    /// select are skipped (column-to-table attribution would be ambiguous).
+    pub fn term_column_usage(&self) -> Vec<(String, String, usize)> {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for assertion in &self.assertions {
+            let Ok(statement) = optique_relational::parse_select(&assertion.source_sql) else {
+                continue;
+            };
+            let TableRef::Named { name, .. } = &statement.from else {
+                continue;
+            };
+            if !statement.joins.is_empty() || statement.union_all.is_some() {
+                continue;
+            }
+            let maps = [Some(&assertion.subject), assertion.object.as_ref()];
+            for map in maps.into_iter().flatten() {
+                let column = match map {
+                    TermMap::Template(t) => Some(t.column().to_string()),
+                    TermMap::Column { column, .. } => Some(column.clone()),
+                    TermMap::Constant(_) => None,
+                };
+                if let Some(column) = column {
+                    *counts.entry((name.clone(), column)).or_default() += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|((table, column), n)| (table, column, n))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +189,33 @@ mod tests {
         let c = catalog();
         let terms = c.mapped_terms();
         assert_eq!(terms.len(), 2);
+    }
+
+    #[test]
+    fn term_column_usage_counts_join_positions() {
+        let usage = catalog().term_column_usage();
+        // turbines.tid: subject of m1; legacy_turbines.tid: subject of m2;
+        // msmt.sid + msmt.val: subject/object of m3.
+        assert_eq!(
+            usage,
+            vec![
+                ("legacy_turbines".to_string(), "tid".to_string(), 1),
+                ("msmt".to_string(), "sid".to_string(), 1),
+                ("msmt".to_string(), "val".to_string(), 1),
+                ("turbines".to_string(), "tid".to_string(), 1),
+            ]
+        );
+        // Duplicate references accumulate.
+        let mut c = catalog();
+        c.add(MappingAssertion::class(
+            "m4",
+            iri("Generator"),
+            "SELECT tid FROM turbines WHERE tid > 3",
+            TermMap::template("http://x/turbine/{tid}"),
+        ))
+        .unwrap();
+        let usage = c.term_column_usage();
+        assert!(usage.contains(&("turbines".to_string(), "tid".to_string(), 2)));
     }
 
     #[test]

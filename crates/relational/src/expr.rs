@@ -133,6 +133,16 @@ pub enum Expr {
         /// True for `NOT IN`.
         negated: bool,
     },
+    /// Hash-set membership over non-NULL literal values — the O(1)-probe
+    /// form of a non-negated [`Expr::InList`], built for the large
+    /// `IN`-lists semi-join pushdown ships (a linear probe per row turns
+    /// restricted scans quadratic). `NULL IN {…}` is `NULL`, as in SQL.
+    InSet {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The admissible values (none NULL).
+        set: std::sync::Arc<std::collections::HashSet<Value>>,
+    },
     /// `expr BETWEEN low AND high` (inclusive).
     Between {
         /// Tested expression.
@@ -244,6 +254,10 @@ impl Expr {
                     .collect::<Result<_, _>>()?,
                 negated: *negated,
             },
+            Expr::InSet { expr, set } => Expr::InSet {
+                expr: Box::new(expr.transform(f)?),
+                set: std::sync::Arc::clone(set),
+            },
             Expr::Between { expr, low, high } => Expr::Between {
                 expr: Box::new(expr.transform(f)?),
                 low: Box::new(low.transform(f)?),
@@ -258,7 +272,9 @@ impl Expr {
         f(self);
         match self {
             Expr::Literal(_) | Expr::Column(_) | Expr::ColumnIdx { .. } => {}
-            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::InSet { expr, .. } => {
+                expr.walk(f)
+            }
             Expr::Binary { left, right, .. } => {
                 left.walk(f);
                 right.walk(f);
@@ -371,6 +387,16 @@ impl Expr {
                 } else {
                     Ok(Value::Bool(*negated))
                 }
+            }
+            Expr::InSet { expr, set } => {
+                let needle = expr.eval(row)?;
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                // `Value`'s Eq/Hash agree with `sql_eq` on non-NULL values
+                // (numerics hash through their f64 bits), so one probe
+                // equals the `InList` linear scan.
+                Ok(Value::Bool(set.contains(&needle)))
             }
             Expr::Between { expr, low, high } => {
                 let v = expr.eval(row)?;
@@ -562,6 +588,20 @@ impl fmt::Display for Expr {
                         write!(f, ", ")?;
                     }
                     write!(f, "{a}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::InSet { expr, set } => {
+                // Render as a plain sorted IN list so the text stays valid,
+                // deterministic SQL.
+                let mut values: Vec<&Value> = set.iter().collect();
+                values.sort();
+                write!(f, "({expr} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", Expr::Literal((*v).clone()))?;
                 }
                 write!(f, "))")
             }

@@ -20,15 +20,45 @@
 //! restriction is applied structurally ([`restrict_statement`]), never by
 //! splicing values into SQL text, so text values need no quoting rules
 //! beyond the wire escaping.
+//!
+//! Fragments may additionally carry **partition metadata**
+//! ([`PartitionSpec`]): when the coordinator's catalog hash-partitions a
+//! table the fragment scans, the spec names the partition-key column so the
+//! shipping layer can route the fragment. Two analyses build on it:
+//!
+//! * [`shard_compatibility`] decides whether a statement may run
+//!   shard-locally at all — one partitioned scan always may; several may
+//!   only when they are **co-partitioned** (their partition keys are
+//!   equated by the join conditions, so joining rows share a shard);
+//! * [`PlanFragment::shard_plan`] prunes a scatter round: when a semi-join
+//!   restricts an output column derived 1:1 from the partition key (a bare
+//!   column or an `iri_template` minting over it), each restriction value
+//!   can only match rows on the shard it hashes to — the fragment ships
+//!   only to those shards, each carrying just its shard's slice of the
+//!   `IN`-list.
 
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
 
 use crate::error::SqlError;
-use crate::expr::Expr;
+use crate::expr::{BinOp, Expr};
 use crate::parser::{Projection, SelectStatement, TableRef};
 use crate::schema::{Column, ColumnType, Schema};
 use crate::table::{Database, Table};
 use crate::value::Value;
+
+/// The shard a key value routes to under hash partitioning (NULL keys live
+/// on shard 0). The single source of truth: table sharding
+/// (`optique-exastream`) and fragment routing must agree bit-for-bit.
+pub fn shard_of(key: &Value, n: usize) -> usize {
+    if key.is_null() {
+        return 0;
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % n as u64) as usize
+}
 
 /// One pushed-down semi-join: the named output column of a fragment must
 /// take one of `values` (or be NULL — an unbound SPARQL position joins with
@@ -51,6 +81,21 @@ impl SemiJoin {
     }
 }
 
+/// Partition-layout metadata a coordinator attaches to a scatter fragment:
+/// the fragment scans `table`, hash-partitioned across the workers on
+/// `column` (of `column_type`). Pure routing metadata — execution ignores
+/// it — but [`PlanFragment::shard_plan`] uses it to prune the scatter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionSpec {
+    /// The hash-partitioned base table the fragment scans.
+    pub table: String,
+    /// Its partition-key column.
+    pub column: String,
+    /// The key column's declared type (drives `IN`-list value coercion when
+    /// inverting minted IRIs back to raw keys).
+    pub column_type: ColumnType,
+}
+
 /// One executable unit of a federated static query: a self-contained SQL
 /// statement (typically one disjunct of an unfolded `UNION ALL`) plus the
 /// cost estimate the scheduler places it by and any semi-join restrictions
@@ -65,6 +110,9 @@ pub struct PlanFragment {
     pub cost: f64,
     /// Semi-join restrictions applied on top of [`Self::sql`] at execution.
     pub semi_joins: Vec<SemiJoin>,
+    /// Partition layout of the scanned table, when the coordinator shards
+    /// it — enables shard-pruned scatter ([`Self::shard_plan`]).
+    pub partition: Option<PartitionSpec>,
 }
 
 impl PlanFragment {
@@ -75,12 +123,19 @@ impl PlanFragment {
             sql: sql.into(),
             cost,
             semi_joins: Vec::new(),
+            partition: None,
         }
     }
 
     /// Attaches semi-join restrictions (builder style).
     pub fn with_semi_joins(mut self, semi_joins: Vec<SemiJoin>) -> Self {
         self.semi_joins = semi_joins;
+        self
+    }
+
+    /// Attaches partition metadata (builder style).
+    pub fn with_partition(mut self, partition: PartitionSpec) -> Self {
+        self.partition = Some(partition);
         self
     }
 
@@ -100,10 +155,19 @@ impl PlanFragment {
         crate::exec::execute(&plan, db)
     }
 
-    /// Encodes the fragment for the wire: the header line, then one line
-    /// per semi-join restriction.
+    /// Encodes the fragment for the wire: the header line, an optional
+    /// partition-metadata line, then one line per semi-join restriction.
     pub fn encode(&self) -> String {
         let mut out = format!("frag\t{}\t{}\t{}", self.id, self.cost, escape(&self.sql));
+        if let Some(part) = &self.partition {
+            let _ = write!(
+                out,
+                "\npart\t{}\t{}\t{}",
+                escape(&part.table),
+                escape(&part.column),
+                part.column_type
+            );
+        }
         for semi in &self.semi_joins {
             let _ = write!(out, "\nsemi\t{}", escape(&semi.column));
             for value in &semi.values {
@@ -140,26 +204,46 @@ impl PlanFragment {
                 .ok_or_else(|| SqlError::Execution("fragment SQL missing".into()))?,
         )?;
         let mut semi_joins = Vec::new();
+        let mut partition = None;
         for line in lines {
             let mut fields = line.split('\t');
-            if fields.next() != Some("semi") {
-                return Err(SqlError::Execution(format!(
-                    "bad fragment section {line:?}"
-                )));
+            match fields.next() {
+                Some("semi") => {
+                    let column =
+                        unescape(fields.next().ok_or_else(|| {
+                            SqlError::Execution("semi-join column missing".into())
+                        })?)?;
+                    let values: Vec<Value> = fields.map(decode_value).collect::<Result<_, _>>()?;
+                    semi_joins.push(SemiJoin { column, values });
+                }
+                Some("part") => {
+                    let mut field = || {
+                        fields
+                            .next()
+                            .ok_or_else(|| SqlError::Execution("partition field missing".into()))
+                    };
+                    let table = unescape(field()?)?;
+                    let column = unescape(field()?)?;
+                    let column_type = decode_type(field()?)?;
+                    partition = Some(PartitionSpec {
+                        table,
+                        column,
+                        column_type,
+                    });
+                }
+                _ => {
+                    return Err(SqlError::Execution(format!(
+                        "bad fragment section {line:?}"
+                    )))
+                }
             }
-            let column = unescape(
-                fields
-                    .next()
-                    .ok_or_else(|| SqlError::Execution("semi-join column missing".into()))?,
-            )?;
-            let values: Vec<Value> = fields.map(decode_value).collect::<Result<_, _>>()?;
-            semi_joins.push(SemiJoin { column, values });
         }
         Ok(PlanFragment {
             id,
             sql,
             cost,
             semi_joins,
+            partition,
         })
     }
 }
@@ -188,6 +272,12 @@ pub fn restrict_statement(statement: SelectStatement, semi_joins: &[SemiJoin]) -
     chain
 }
 
+/// Lists longer than this restrict through a hash-set probe
+/// ([`Expr::InSet`]) instead of a linear `IN` scan — pushdown can ship
+/// hundreds of values per fragment, and a per-row linear probe would make
+/// restricted scans quadratic.
+const IN_SET_THRESHOLD: usize = 8;
+
 fn restrict_one(statement: SelectStatement, semi_joins: &[SemiJoin]) -> SelectStatement {
     let predicate = Expr::and_all(
         semi_joins
@@ -202,8 +292,14 @@ fn restrict_one(statement: SelectStatement, semi_joins: &[SemiJoin]) -> SelectSt
                     // No admissible bound value: only NULL rows can join.
                     is_null
                 } else {
-                    Expr::binary(
-                        crate::expr::BinOp::Or,
+                    let membership = if semi.values.len() > IN_SET_THRESHOLD
+                        && semi.values.iter().all(|v| !v.is_null())
+                    {
+                        Expr::InSet {
+                            expr: column(),
+                            set: std::sync::Arc::new(semi.values.iter().cloned().collect()),
+                        }
+                    } else {
                         Expr::InList {
                             expr: column(),
                             list: semi
@@ -212,9 +308,9 @@ fn restrict_one(statement: SelectStatement, semi_joins: &[SemiJoin]) -> SelectSt
                                 .map(|v| Expr::Literal(v.clone()))
                                 .collect(),
                             negated: false,
-                        },
-                        is_null,
-                    )
+                        }
+                    };
+                    Expr::binary(crate::expr::BinOp::Or, membership, is_null)
                 }
             })
             .collect(),
@@ -234,6 +330,509 @@ fn restrict_one(statement: SelectStatement, semi_joins: &[SemiJoin]) -> SelectSt
         order_by: Vec::new(),
         limit: None,
         union_all: None,
+    }
+}
+
+// ---- shard compatibility & pruning -------------------------------------
+
+/// How one statement may execute over a catalog whose tables in `partition`
+/// are hash-partitioned (each worker holding one shard, everything else
+/// replicated).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardCompatibility {
+    /// The statement scans no partitioned table: any single worker's
+    /// replicas answer it.
+    Unpartitioned,
+    /// The statement may scatter: every worker runs it over its shard and
+    /// the partial results concatenate to the global answer. Either exactly
+    /// one partitioned scan, or several whose partition keys the join
+    /// conditions equate (**co-partitioned** — joining rows share a shard).
+    Scatter {
+        /// The statement is DISTINCT: shard-local dedup cannot see
+        /// cross-shard duplicates, so the gathered concat must be deduped.
+        dedup: bool,
+        /// A partitioned table the statement scans (the first occurrence) —
+        /// the routing spec shard pruning keys on.
+        table: String,
+        /// That table's partition-key column.
+        column: String,
+    },
+    /// Shard-local execution would be incomplete (a non-co-partitioned
+    /// multi-shard join, a non-decomposable shape, or a partitioned scan
+    /// buried where the analysis cannot see it): only a catalog holding the
+    /// full tables answers correctly.
+    Incompatible,
+}
+
+/// One resolved occurrence of a partitioned table among a statement's
+/// top-level FROM/JOIN relations.
+struct PartitionedOccurrence {
+    table: String,
+    key: String,
+    /// Outer column names that read the partition key (`u0.sid`), empty
+    /// when the occurrence does not project it.
+    key_names: Vec<String>,
+}
+
+enum RefOutcome {
+    /// Reads only replicated tables.
+    Replicated,
+    /// A partitioned scan the analysis fully resolved.
+    Partitioned(PartitionedOccurrence),
+    /// Touches a partitioned table in a shape the analysis cannot decompose
+    /// (nested subqueries, subquery-local joins / modifiers / aggregates).
+    Opaque,
+}
+
+/// Walks a statement tree (including subqueries and `UNION ALL`) checking
+/// whether any base-table reference is partitioned.
+fn references_partitioned(statement: &SelectStatement, partitioned: &[&str]) -> bool {
+    let mut refs = vec![&statement.from];
+    refs.extend(statement.joins.iter().map(|j| &j.table));
+    for table_ref in refs {
+        match table_ref {
+            TableRef::Named { name, .. } => {
+                if partitioned.iter().any(|t| t == name) {
+                    return true;
+                }
+            }
+            TableRef::Subquery { query, .. } => {
+                if references_partitioned(query, partitioned) {
+                    return true;
+                }
+            }
+            TableRef::Function { .. } => {}
+        }
+    }
+    statement
+        .union_all
+        .as_deref()
+        .is_some_and(|next| references_partitioned(next, partitioned))
+}
+
+/// True when concatenating per-shard results of `statement` yields the
+/// global result (modulo DISTINCT, handled by the caller): plain
+/// select-project-join with no aggregation, grouping, ordering or slicing —
+/// exactly the shape mapping unfolding emits.
+fn concat_decomposable(statement: &SelectStatement) -> bool {
+    statement.group_by.is_empty()
+        && statement.having.is_none()
+        && statement.order_by.is_empty()
+        && statement.limit.is_none()
+        && statement.union_all.is_none()
+        && !statement.projections.iter().any(|p| match p {
+            Projection::Expr { expr, .. } => expr.contains_aggregate(),
+            Projection::Star => false,
+        })
+}
+
+/// Resolves one top-level relation against the partition map.
+fn analyze_ref(table_ref: &TableRef, partition: &[(String, String)], sole_ref: bool) -> RefOutcome {
+    let names: Vec<&str> = partition.iter().map(|(t, _)| t.as_str()).collect();
+    let key_of = |table: &str| {
+        partition
+            .iter()
+            .find(|(t, _)| t == table)
+            .map(|(_, k)| k.as_str())
+    };
+    match table_ref {
+        TableRef::Named { name, alias } => match key_of(name) {
+            None => RefOutcome::Replicated,
+            Some(key) => {
+                let mut key_names = vec![format!("{alias}.{key}")];
+                if sole_ref {
+                    key_names.push(key.to_string());
+                }
+                RefOutcome::Partitioned(PartitionedOccurrence {
+                    table: name.clone(),
+                    key: key.to_string(),
+                    key_names,
+                })
+            }
+        },
+        TableRef::Subquery { query, alias } => {
+            if !references_partitioned(query, &names) {
+                return RefOutcome::Replicated;
+            }
+            // The scan must be a simple, concat-decomposable select over
+            // the partitioned base table itself — a subquery-local join,
+            // modifier or deeper nesting hides rows the shard analysis
+            // cannot account for.
+            let TableRef::Named { name, .. } = &query.from else {
+                return RefOutcome::Opaque;
+            };
+            let Some(key) = key_of(name) else {
+                // The partitioned reference sits in a join arm or deeper.
+                return RefOutcome::Opaque;
+            };
+            // A subquery-level DISTINCT is also out: per-shard dedup misses
+            // cross-shard duplicates, and the top-level dedup flag cannot
+            // repair a nested one (the outer projection may widen it).
+            if !query.joins.is_empty() || query.distinct || !concat_decomposable(query) {
+                return RefOutcome::Opaque;
+            }
+            let mut key_names = Vec::new();
+            for projection in &query.projections {
+                match projection {
+                    Projection::Star => key_names.push(format!("{alias}.{key}")),
+                    Projection::Expr {
+                        expr: Expr::Column(c),
+                        alias: out,
+                    } if last_segment(c) == key => {
+                        let out = out.as_deref().unwrap_or_else(|| last_segment(c));
+                        key_names.push(format!("{alias}.{out}"));
+                    }
+                    _ => {}
+                }
+            }
+            RefOutcome::Partitioned(PartitionedOccurrence {
+                table: name.clone(),
+                key: key.to_string(),
+                key_names,
+            })
+        }
+        // Table-valued functions take literal arguments, never tables.
+        TableRef::Function { .. } => RefOutcome::Replicated,
+    }
+}
+
+fn last_segment(column: &str) -> &str {
+    column.rsplit('.').next().unwrap_or(column)
+}
+
+/// Column-equality edges (`a.x = b.y`) from every JOIN `ON` and the WHERE
+/// clause — the join graph co-partitioning is checked against.
+fn equality_edges(statement: &SelectStatement) -> Vec<(String, String)> {
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    for join in &statement.joins {
+        conjuncts.extend(crate::plan::split_conjuncts(&join.on));
+    }
+    if let Some(where_clause) = &statement.where_clause {
+        conjuncts.extend(crate::plan::split_conjuncts(where_clause));
+    }
+    conjuncts
+        .into_iter()
+        .filter_map(|conjunct| match conjunct {
+            Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => match (*left, *right) {
+                (Expr::Column(l), Expr::Column(r)) => Some((l, r)),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect()
+}
+
+/// Union-find over column names.
+struct ColumnClasses {
+    parent: HashMap<String, String>,
+}
+
+impl ColumnClasses {
+    fn new() -> Self {
+        ColumnClasses {
+            parent: HashMap::new(),
+        }
+    }
+
+    fn find(&mut self, name: &str) -> String {
+        let up = match self.parent.get(name) {
+            None => {
+                self.parent.insert(name.to_string(), name.to_string());
+                return name.to_string();
+            }
+            Some(up) => up.clone(),
+        };
+        if up == name {
+            return up;
+        }
+        let root = self.find(&up);
+        self.parent.insert(name.to_string(), root.clone());
+        root
+    }
+
+    fn union(&mut self, a: &str, b: &str) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Decides how `statement` may execute when the tables in `partition`
+/// (`(table, key_column)` pairs) are hash-partitioned across workers. See
+/// [`ShardCompatibility`] for the verdicts.
+pub fn shard_compatibility(
+    statement: &SelectStatement,
+    partition: &[(String, String)],
+) -> ShardCompatibility {
+    let names: Vec<&str> = partition.iter().map(|(t, _)| t.as_str()).collect();
+    if partition.is_empty() || !references_partitioned(statement, &names) {
+        return ShardCompatibility::Unpartitioned;
+    }
+    if !concat_decomposable(statement) {
+        return ShardCompatibility::Incompatible;
+    }
+    // Outer joins are not scatter-sound once a shard is involved: a LEFT
+    // JOIN preserving a replicated side would NULL-pad every replicated row
+    // lacking a *shard-local* match, on every worker — spurious rows the
+    // global join does not contain.
+    if statement
+        .joins
+        .iter()
+        .any(|join| join.join_type != crate::parser::JoinType::Inner)
+    {
+        return ShardCompatibility::Incompatible;
+    }
+    let sole_ref = statement.joins.is_empty();
+    let mut occurrences: Vec<PartitionedOccurrence> = Vec::new();
+    let mut refs = vec![&statement.from];
+    refs.extend(statement.joins.iter().map(|j| &j.table));
+    for table_ref in refs {
+        match analyze_ref(table_ref, partition, sole_ref) {
+            RefOutcome::Replicated => {}
+            RefOutcome::Partitioned(occurrence) => occurrences.push(occurrence),
+            RefOutcome::Opaque => return ShardCompatibility::Incompatible,
+        }
+    }
+    let scatter = |first: &PartitionedOccurrence| ShardCompatibility::Scatter {
+        dedup: statement.distinct,
+        table: first.table.clone(),
+        column: first.key.clone(),
+    };
+    match occurrences.as_slice() {
+        [] => ShardCompatibility::Unpartitioned,
+        [single] => scatter(single),
+        several => {
+            // Several partitioned scans join soundly shard-locally only
+            // when co-partitioned: every occurrence's partition key sits in
+            // one equality class, so joining rows hash to the same shard.
+            let mut classes = ColumnClasses::new();
+            for (a, b) in equality_edges(statement) {
+                classes.union(&a, &b);
+            }
+            for occurrence in several {
+                // An occurrence's aliases for its own key are one thing.
+                for pair in occurrence.key_names.windows(2) {
+                    classes.union(&pair[0], &pair[1]);
+                }
+            }
+            let mut roots = several
+                .iter()
+                .map(|occurrence| occurrence.key_names.first().map(|name| classes.find(name)));
+            let Some(Some(first_root)) = roots.next() else {
+                return ShardCompatibility::Incompatible;
+            };
+            if roots.all(|root| root.as_deref() == Some(first_root.as_str())) {
+                scatter(&several[0])
+            } else {
+                ShardCompatibility::Incompatible
+            }
+        }
+    }
+}
+
+/// How a restricted output column derives from the partition key.
+enum KeyDerivation {
+    /// The projection is the key column itself.
+    Direct,
+    /// The projection mints an IRI over the key: `iri_template(pattern, key)`.
+    Template(String),
+}
+
+impl PlanFragment {
+    /// Shard-pruned scatter plan: when this fragment carries partition
+    /// metadata and a semi-join restricts an output column derived 1:1 from
+    /// the partition key, each restriction value can only match rows on the
+    /// shard it hashes to. Returns the per-shard fragments to run — each
+    /// carrying only its shard's slice of the key-derived `IN`-lists — for
+    /// exactly the shards that can hold matching rows (shard 0 always
+    /// included: NULL keys live there and NULL outputs survive every
+    /// restriction). When a large list targets every shard the plan still
+    /// pays off: each worker receives only its slice of the values. `None`
+    /// means no key derivation applies and the fragment must scatter to
+    /// all `shards` unchanged.
+    pub fn shard_plan(&self, shards: usize) -> Option<Vec<(usize, PlanFragment)>> {
+        let statement = crate::parser::parse_select(&self.sql).ok()?;
+        self.shard_plan_with(&statement, shards)
+    }
+
+    /// [`Self::shard_plan`] over an already-parsed statement — the
+    /// coordinator classifies fragments from the same text, so callers that
+    /// kept the parse avoid a second one per fragment per round.
+    pub fn shard_plan_with(
+        &self,
+        statement: &SelectStatement,
+        shards: usize,
+    ) -> Option<Vec<(usize, PlanFragment)>> {
+        let spec = self.partition.as_ref()?;
+        // Bool/Any keys cannot be routed: a minted IRI's text does not pin
+        // down which variant the stored value has, and `Value`'s hash is
+        // variant-sensitive for non-numerics.
+        if shards <= 1
+            || self.semi_joins.is_empty()
+            || matches!(spec.column_type, ColumnType::Bool | ColumnType::Any)
+        {
+            return None;
+        }
+        if statement.union_all.is_some() {
+            return None;
+        }
+        // Outer names of the partition key (co-partitioned occurrences all
+        // qualify — their keys are equated, so any of them routes).
+        let mut key_names: BTreeSet<String> = BTreeSet::new();
+        let sole_ref = statement.joins.is_empty();
+        let partition_pair = [(spec.table.clone(), spec.column.clone())];
+        let mut refs = vec![&statement.from];
+        refs.extend(statement.joins.iter().map(|j| &j.table));
+        for table_ref in refs {
+            if let RefOutcome::Partitioned(occurrence) =
+                analyze_ref(table_ref, &partition_pair, sole_ref)
+            {
+                key_names.extend(occurrence.key_names);
+            }
+        }
+        if key_names.is_empty() {
+            return None;
+        }
+
+        // Which semi-joins restrict a key-derived output column?
+        let mut derivations: Vec<(usize, KeyDerivation)> = Vec::new();
+        for (idx, semi) in self.semi_joins.iter().enumerate() {
+            if let Some(derivation) = key_derivation(statement, &semi.column, &key_names) {
+                derivations.push((idx, derivation));
+            }
+        }
+        if derivations.is_empty() {
+            return None;
+        }
+
+        // Slice each key-derived list by target shard; intersect targets.
+        let mut targets: Option<BTreeSet<usize>> = None;
+        let mut slices: Vec<(usize, BTreeMap<usize, Vec<Value>>)> = Vec::new();
+        for (idx, derivation) in derivations {
+            let mut by_shard: BTreeMap<usize, Vec<Value>> = BTreeMap::new();
+            for value in &self.semi_joins[idx].values {
+                // A value the derivation cannot map to a raw key cannot be
+                // minted by this fragment's scan — it matches no row on any
+                // shard and is dropped from every slice.
+                let Some(raw) = invert_restriction_value(value, &derivation, spec.column_type)
+                else {
+                    continue;
+                };
+                by_shard
+                    .entry(shard_of(&raw, shards))
+                    .or_default()
+                    .push(value.clone());
+            }
+            let mut mine: BTreeSet<usize> = by_shard.keys().copied().collect();
+            // NULL partition keys live on shard 0 and NULL outputs survive
+            // every restriction.
+            mine.insert(0);
+            targets = Some(match targets {
+                None => mine,
+                Some(prev) => prev.intersection(&mine).copied().collect(),
+            });
+            slices.push((idx, by_shard));
+        }
+        let targets = targets.expect("at least one derivation");
+        // Even when every shard is targeted (a large list hashing
+        // everywhere), the per-shard slices still matter: each worker
+        // receives ~1/shards of the values instead of the whole list —
+        // exactly the promise behind the widened restriction budget.
+        Some(
+            targets
+                .into_iter()
+                .map(|shard| {
+                    let mut fragment = self.clone();
+                    for (idx, by_shard) in &slices {
+                        fragment.semi_joins[*idx].values =
+                            by_shard.get(&shard).cloned().unwrap_or_default();
+                    }
+                    (shard, fragment)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Finds the projection producing output column `column` and decides
+/// whether it derives 1:1 from a partition-key column in `key_names`.
+fn key_derivation(
+    statement: &SelectStatement,
+    column: &str,
+    key_names: &BTreeSet<String>,
+) -> Option<KeyDerivation> {
+    let is_key = |c: &str| key_names.contains(c);
+    for projection in &statement.projections {
+        let Projection::Expr { expr, alias } = projection else {
+            continue;
+        };
+        let output = match (alias, expr) {
+            (Some(alias), _) => alias.as_str(),
+            (None, Expr::Column(c)) => last_segment(c),
+            _ => continue,
+        };
+        if output != column {
+            continue;
+        }
+        return match expr {
+            Expr::Column(c) if is_key(c) => Some(KeyDerivation::Direct),
+            Expr::Function { name, args } if name == "iri_template" => match args.as_slice() {
+                [Expr::Literal(Value::Text(pattern)), Expr::Column(c)] if is_key(c) => {
+                    Some(KeyDerivation::Template(pattern.to_string()))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+    }
+    None
+}
+
+/// Maps one restriction value back to the raw partition-key value it must
+/// have been minted from, or `None` when no row can produce it.
+fn invert_restriction_value(
+    value: &Value,
+    derivation: &KeyDerivation,
+    key_type: ColumnType,
+) -> Option<Value> {
+    match derivation {
+        KeyDerivation::Direct => {
+            // NULL in an IN-list matches nothing (the NULL-row case is the
+            // separate IS NULL branch, handled by always targeting shard 0).
+            (!value.is_null()).then(|| value.clone())
+        }
+        KeyDerivation::Template(pattern) => {
+            let text = value.as_str()?;
+            let (prefix, suffix) = pattern.split_once("{}")?;
+            // An empty middle is still producible: `iri_template` renders a
+            // Text key of "" as the bare prefix+suffix, so it must invert —
+            // only keys whose type cannot parse the middle are unproducible.
+            let middle = text.strip_prefix(prefix)?.strip_suffix(suffix)?;
+            match key_type {
+                ColumnType::Int => middle.parse().ok().map(Value::Int),
+                ColumnType::Float => middle.parse().ok().map(Value::Float),
+                // `iri_template` renders values through Display, which
+                // writes timestamps as `@{t}` — inversion must accept
+                // exactly that form (a bare number cannot be minted from a
+                // Timestamp key and is correctly unproducible).
+                ColumnType::Timestamp => middle
+                    .strip_prefix('@')
+                    .and_then(|t| t.parse().ok())
+                    .map(Value::Timestamp),
+                ColumnType::Text => Some(Value::text(middle)),
+                // Bool and Any keys never reach this point: `shard_plan`
+                // declines up front, because the minted text does not pin
+                // down the stored value's variant — Text("123") and
+                // Int(123) render identically but hash to different shards.
+                ColumnType::Any | ColumnType::Bool => None,
+            }
+        }
     }
 }
 
@@ -520,6 +1119,343 @@ mod tests {
         let out = f.execute(&db).unwrap();
         // Each disjunct contributes its v=2 row and its v=NULL row.
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn partition_spec_round_trips_the_wire() {
+        let f = PlanFragment::new(4, "SELECT sid FROM sensors", 1.0)
+            .with_partition(PartitionSpec {
+                table: "sensors".into(),
+                column: "sid".into(),
+                column_type: ColumnType::Int,
+            })
+            .with_semi_joins(vec![SemiJoin::new("sid", vec![Value::Int(3)])]);
+        assert_eq!(PlanFragment::decode(&f.encode()).unwrap(), f);
+    }
+
+    // ---- shard compatibility --------------------------------------------
+
+    fn partition() -> Vec<(String, String)> {
+        vec![("sensors".to_string(), "sid".to_string())]
+    }
+
+    fn compat(sql: &str) -> ShardCompatibility {
+        shard_compatibility(&crate::parser::parse_select(sql).unwrap(), &partition())
+    }
+
+    #[test]
+    fn unpartitioned_statements_are_free() {
+        assert_eq!(
+            compat("SELECT tid FROM turbines"),
+            ShardCompatibility::Unpartitioned
+        );
+        assert_eq!(
+            compat("SELECT COUNT(*) AS n FROM turbines"),
+            ShardCompatibility::Unpartitioned,
+            "shape only matters once a partitioned table is scanned"
+        );
+    }
+
+    #[test]
+    fn single_partitioned_scan_scatters() {
+        assert!(matches!(
+            compat("SELECT sid FROM sensors"),
+            ShardCompatibility::Scatter { dedup: false, .. }
+        ));
+        assert!(matches!(
+            compat("SELECT DISTINCT sid FROM sensors"),
+            ShardCompatibility::Scatter { dedup: true, .. }
+        ));
+        assert!(matches!(
+            compat("SELECT s.sid FROM (SELECT sid FROM sensors WHERE sid > 3) AS s"),
+            ShardCompatibility::Scatter { .. }
+        ));
+    }
+
+    #[test]
+    fn non_decomposable_shapes_are_incompatible() {
+        for sql in [
+            "SELECT COUNT(*) AS n FROM sensors",
+            "SELECT sid FROM sensors LIMIT 3",
+            "SELECT sid FROM sensors ORDER BY sid",
+            "SELECT sid FROM sensors UNION ALL SELECT sid FROM sensors",
+            // A modifier hidden inside the subquery is just as unsound.
+            "SELECT sid FROM (SELECT sid FROM sensors LIMIT 3) AS s",
+            // A nested DISTINCT dedups per shard only; the global result
+            // dedups across shards, and the outer statement carries no
+            // DISTINCT to repair it at gather.
+            "SELECT aid FROM (SELECT DISTINCT aid FROM sensors) AS s",
+        ] {
+            assert_eq!(compat(sql), ShardCompatibility::Incompatible, "{sql}");
+        }
+    }
+
+    #[test]
+    fn co_partitioned_joins_scatter() {
+        // Joined on the partition key (directly or via subquery aliases):
+        // matching rows share a shard.
+        assert!(matches!(
+            compat("SELECT a.sid FROM sensors AS a JOIN sensors AS b ON a.sid = b.sid"),
+            ShardCompatibility::Scatter { .. }
+        ));
+        assert!(matches!(
+            compat(
+                "SELECT u0.sid FROM (SELECT aid, sid FROM sensors) AS u0 \
+                 JOIN (SELECT sid FROM sensors WHERE aid = 1) AS u1 ON u0.sid = u1.sid"
+            ),
+            ShardCompatibility::Scatter { .. }
+        ));
+        // Transitive equating through a replicated middle table.
+        assert!(matches!(
+            compat(
+                "SELECT a.sid FROM sensors AS a JOIN turbines AS t ON a.sid = t.tid \
+                 JOIN sensors AS b ON t.tid = b.sid"
+            ),
+            ShardCompatibility::Scatter { .. }
+        ));
+    }
+
+    /// A LEFT JOIN preserving a replicated side would NULL-pad per shard:
+    /// scatter must refuse any outer join that touches a partitioned table.
+    #[test]
+    fn outer_joins_are_incompatible() {
+        assert_eq!(
+            compat("SELECT t.tid FROM turbines AS t LEFT JOIN sensors AS s ON t.tid = s.sid"),
+            ShardCompatibility::Incompatible
+        );
+        assert_eq!(
+            compat("SELECT s.sid FROM sensors AS s LEFT JOIN turbines AS t ON s.tid = t.tid"),
+            ShardCompatibility::Incompatible
+        );
+        // Outer joins among replicated tables only are still free.
+        assert_eq!(
+            compat("SELECT a.tid FROM turbines AS a LEFT JOIN turbines AS b ON a.tid = b.tid"),
+            ShardCompatibility::Unpartitioned
+        );
+    }
+
+    #[test]
+    fn non_key_joins_are_incompatible() {
+        // Joined on a non-key column: cross-shard pairs would be missed.
+        assert_eq!(
+            compat("SELECT a.sid FROM sensors AS a JOIN sensors AS b ON a.aid = b.aid"),
+            ShardCompatibility::Incompatible
+        );
+        // A key that one side does not even project cannot be checked.
+        assert_eq!(
+            compat(
+                "SELECT u0.sid FROM (SELECT sid FROM sensors) AS u0 \
+                 JOIN (SELECT aid FROM sensors) AS u1 ON u0.sid = u1.aid"
+            ),
+            ShardCompatibility::Incompatible
+        );
+    }
+
+    // ---- shard pruning --------------------------------------------------
+
+    fn pruned_fragment(values: Vec<Value>) -> PlanFragment {
+        PlanFragment::new(
+            0,
+            "SELECT iri_template('http://x/sensor/{}', u0.sid) AS s, u0.aid AS a \
+             FROM (SELECT sid, aid FROM sensors) AS u0",
+            1.0,
+        )
+        .with_partition(PartitionSpec {
+            table: "sensors".into(),
+            column: "sid".into(),
+            column_type: ColumnType::Int,
+        })
+        .with_semi_joins(vec![SemiJoin::new("s", values)])
+    }
+
+    #[test]
+    fn shard_plan_routes_template_minted_keys() {
+        let shards = 8;
+        let f = pruned_fragment(vec![
+            Value::text("http://x/sensor/1"),
+            Value::text("http://x/sensor/2"),
+        ]);
+        let plan = f.shard_plan(shards).expect("prunable");
+        // At most shard(1), shard(2) and the NULL home shard 0.
+        assert!(plan.len() <= 3, "{plan:?}");
+        let mut shipped: Vec<Value> = Vec::new();
+        for (shard, fragment) in &plan {
+            assert!(*shard < shards);
+            for v in &fragment.semi_joins[0].values {
+                // Each value rides exactly the shard its raw key hashes to.
+                assert_eq!(
+                    shard_of(
+                        &Value::Int(v.as_str().unwrap()[16..].parse().unwrap()),
+                        shards
+                    ),
+                    *shard
+                );
+                shipped.push(v.clone());
+            }
+        }
+        assert_eq!(shipped.len(), 2, "every value ships exactly once");
+        // Shard 0 is always targeted (NULL keys live there).
+        assert!(plan.iter().any(|(s, _)| *s == 0));
+    }
+
+    #[test]
+    fn shard_plan_declines_when_not_applicable() {
+        // No semi-join, single shard, or a non-key-derived restriction.
+        assert!(pruned_fragment(vec![]).shard_plan(1).is_none());
+        let no_semi =
+            PlanFragment::new(0, "SELECT sid FROM sensors", 1.0).with_partition(PartitionSpec {
+                table: "sensors".into(),
+                column: "sid".into(),
+                column_type: ColumnType::Int,
+            });
+        assert!(no_semi.shard_plan(4).is_none());
+        let non_key =
+            pruned_fragment(vec![]).with_semi_joins(vec![SemiJoin::new("a", vec![Value::Int(1)])]);
+        assert!(non_key.shard_plan(4).is_none());
+    }
+
+    /// Regression: a Text partition key holding `""` mints the bare
+    /// prefix IRI — such a restriction value must target that row's shard,
+    /// not be dropped as unproducible.
+    #[test]
+    fn shard_plan_routes_empty_text_keys() {
+        let shards = 8;
+        let f = PlanFragment::new(
+            0,
+            "SELECT iri_template('http://x/sensor/{}', u0.sid) AS s \
+             FROM (SELECT sid FROM sensors) AS u0",
+            1.0,
+        )
+        .with_partition(PartitionSpec {
+            table: "sensors".into(),
+            column: "sid".into(),
+            column_type: ColumnType::Text,
+        })
+        .with_semi_joins(vec![SemiJoin::new(
+            "s",
+            vec![Value::text("http://x/sensor/")],
+        )]);
+        let plan = f.shard_plan(shards).expect("prunable");
+        let home = shard_of(&Value::text(""), shards);
+        assert!(
+            plan.iter().any(|(shard, fragment)| *shard == home
+                && fragment.semi_joins[0].values == vec![Value::text("http://x/sensor/")]),
+            "the empty-key shard must execute with the value: {plan:?}"
+        );
+    }
+
+    /// Regression: Timestamp keys mint through Display as `@{t}` — the
+    /// inversion must route `…/@5` to Timestamp(5)'s shard, never drop it
+    /// as unparseable.
+    #[test]
+    fn shard_plan_routes_timestamp_keys() {
+        let shards = 8;
+        let f = PlanFragment::new(
+            0,
+            "SELECT iri_template('http://x/e/{}', u0.ts) AS e \
+             FROM (SELECT ts FROM events) AS u0",
+            1.0,
+        )
+        .with_partition(PartitionSpec {
+            table: "events".into(),
+            column: "ts".into(),
+            column_type: ColumnType::Timestamp,
+        })
+        .with_semi_joins(vec![SemiJoin::new("e", vec![Value::text("http://x/e/@5")])]);
+        let plan = f.shard_plan(shards).expect("prunable");
+        let home = shard_of(&Value::Timestamp(5), shards);
+        assert!(
+            plan.iter().any(|(shard, fragment)| *shard == home
+                && fragment.semi_joins[0].values == vec![Value::text("http://x/e/@5")]),
+            "the timestamp's home shard must execute with the value: {plan:?}"
+        );
+        // A bare number cannot be minted from a Timestamp key: it is
+        // unproducible and pins the plan to the NULL home only.
+        let bare = f.with_semi_joins(vec![SemiJoin::new("e", vec![Value::text("http://x/e/5")])]);
+        let plan = bare.shard_plan(shards).expect("prunable");
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].0, 0);
+    }
+
+    /// Bool/Any partition keys decline pruning entirely: minted text does
+    /// not pin down the stored variant, and Text("1") hashes differently
+    /// from Int(1).
+    #[test]
+    fn shard_plan_declines_untyped_keys() {
+        for ty in [ColumnType::Any, ColumnType::Bool] {
+            let f = pruned_fragment(vec![Value::text("http://x/sensor/1")]);
+            let f = PlanFragment {
+                partition: Some(PartitionSpec {
+                    column_type: ty,
+                    ..f.partition.clone().unwrap()
+                }),
+                ..f
+            };
+            assert!(f.shard_plan(8).is_none(), "{ty:?} keys must not route");
+        }
+    }
+
+    #[test]
+    fn shard_plan_drops_foreign_template_values() {
+        // A value from an incompatible template cannot be minted by this
+        // scan: it targets no shard (only the NULL home remains).
+        let f = pruned_fragment(vec![Value::text("http://x/turbine/1")]);
+        let plan = f.shard_plan(8).expect("prunable");
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].0, 0);
+        assert!(plan[0].1.semi_joins[0].values.is_empty());
+    }
+
+    #[test]
+    fn shard_plan_execution_matches_unpruned_union() {
+        // Differential check: executing the per-shard fragments over the
+        // matching shards returns exactly what the unpruned fragment
+        // returns over the whole table.
+        let mut db = Database::new();
+        db.put_table(
+            "sensors",
+            table_of(
+                "sensors",
+                &[("sid", ColumnType::Int), ("aid", ColumnType::Int)],
+                (0..64)
+                    .map(|i| vec![Value::Int(i), Value::Int(i % 5)])
+                    .chain(std::iter::once(vec![Value::Null, Value::Int(99)]))
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let shards = 8;
+        let shard_tables: Vec<Table> = {
+            let t = db.table("sensors").unwrap();
+            let col = t.schema.index_of("sid").unwrap();
+            let mut out: Vec<Table> = (0..shards)
+                .map(|_| Table::empty(t.schema.clone()))
+                .collect();
+            for row in &t.rows {
+                out[shard_of(&row[col], shards)].rows.push(row.clone());
+            }
+            out
+        };
+        let values: Vec<Value> = (0..3)
+            .map(|i| Value::text(format!("http://x/sensor/{}", i * 7)))
+            .collect();
+        let fragment = pruned_fragment(values);
+
+        let unpruned = fragment.execute(&db).unwrap();
+        let plan = fragment.shard_plan(shards).expect("prunable");
+        assert!(plan.len() < shards || shards == 1);
+
+        let mut gathered: Vec<Vec<Value>> = Vec::new();
+        for (shard, shard_fragment) in plan {
+            let mut shard_db = Database::new();
+            shard_db.put_table("sensors", shard_tables[shard].clone());
+            gathered.extend(shard_fragment.execute(&shard_db).unwrap().rows);
+        }
+        let canon = |mut rows: Vec<Vec<Value>>| {
+            rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            rows
+        };
+        assert_eq!(canon(gathered), canon(unpruned.rows));
     }
 
     #[test]

@@ -43,10 +43,13 @@ pub mod value;
 pub use error::SqlError;
 pub use exec::execute;
 pub use expr::Expr;
-pub use fragment::{PlanFragment, ResultBatch, SemiJoin};
+pub use fragment::{
+    shard_compatibility, shard_of, PartitionSpec, PlanFragment, ResultBatch, SemiJoin,
+    ShardCompatibility,
+};
 pub use parser::{parse_select, SelectStatement};
 pub use plan::LogicalPlan;
 pub use schema::{Column, ColumnType, Schema};
-pub use stats::{StatsCatalog, TableStats};
+pub use stats::{advise_partition_keys, StatsCatalog, TableStats};
 pub use table::{Database, Table};
 pub use value::Value;

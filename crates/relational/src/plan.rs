@@ -657,6 +657,10 @@ fn plan_aggregate(
                 expr: Box::new(rewrite_post_agg(expr, group_by, agg_calls, group_len)?),
                 negated: *negated,
             }),
+            Expr::InSet { expr, set } => Ok(Expr::InSet {
+                expr: Box::new(rewrite_post_agg(expr, group_by, agg_calls, group_len)?),
+                set: std::sync::Arc::clone(set),
+            }),
             Expr::InList {
                 expr,
                 list,

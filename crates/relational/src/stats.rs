@@ -9,7 +9,7 @@
 //! the platform refreshes it whenever the relational state changes
 //! (`insert_static`), alongside the BGP-cache invalidation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 use crate::table::{Database, Table};
 use crate::value::Value;
@@ -26,6 +26,11 @@ pub struct TableStats {
     pub rows: usize,
     /// `(column name, estimated distinct values)` in schema order.
     pub distinct: Vec<(String, usize)>,
+    /// `(column name, share of sampled rows holding the most common
+    /// value)` in schema order — the skew signal hash-partitioning keys are
+    /// vetted against (a column where one value dominates makes one shard
+    /// hold most of the table).
+    pub skew: Vec<(String, f64)>,
 }
 
 impl TableStats {
@@ -35,6 +40,15 @@ impl TableStats {
             .iter()
             .find(|(name, _)| name == column)
             .map(|&(_, n)| n)
+    }
+
+    /// Share of sampled rows holding `column`'s most common value, in
+    /// `[0, 1]` (`0` for empty tables), if the column exists.
+    pub fn max_share_of(&self, column: &str) -> Option<f64> {
+        self.skew
+            .iter()
+            .find(|(name, _)| name == column)
+            .map(|&(_, share)| share)
     }
 
     /// Estimated selectivity of an equality predicate on `column`:
@@ -83,10 +97,11 @@ impl StatsCatalog {
         let rows = table.len();
         let sample = rows.min(DISTINCT_SAMPLE_CAP);
         let mut distinct = Vec::with_capacity(table.schema.columns().len());
+        let mut skew = Vec::with_capacity(table.schema.columns().len());
         for (idx, column) in table.schema.columns().iter().enumerate() {
-            let mut seen: HashSet<&Value> = HashSet::with_capacity(sample.min(1024));
+            let mut seen: HashMap<&Value, usize> = HashMap::with_capacity(sample.min(1024));
             for row in table.rows.iter().take(sample) {
-                seen.insert(&row[idx]);
+                *seen.entry(&row[idx]).or_default() += 1;
             }
             let estimate = if sample < rows && sample > 0 {
                 // Linear extrapolation, capped by the row count.
@@ -94,9 +109,20 @@ impl StatsCatalog {
             } else {
                 seen.len()
             };
+            let top = seen.values().copied().max().unwrap_or(0);
+            let share = if sample == 0 {
+                0.0
+            } else {
+                top as f64 / sample as f64
+            };
             distinct.push((column.name.clone(), estimate));
+            skew.push((column.name.clone(), share));
         }
-        TableStats { rows, distinct }
+        TableStats {
+            rows,
+            distinct,
+            skew,
+        }
     }
 
     /// Statistics for `table`, if analyzed.
@@ -129,6 +155,65 @@ impl StatsCatalog {
     pub fn total_rows(&self) -> usize {
         self.tables.values().map(|t| t.rows).sum()
     }
+}
+
+// ---- partition-key advisor ---------------------------------------------
+
+/// Columns whose most common value covers more than this share of the
+/// sample are rejected as partition keys: one shard would hold most of the
+/// table and scatter would degenerate to a hot worker.
+const MAX_KEY_SKEW: f64 = 0.5;
+
+/// Picks one hash-partition key per table from `candidates` — `(table,
+/// column, weight)` triples, typically the term-map column usage of a
+/// mapping catalog, where the weight counts how often unfolded disjuncts
+/// join through the column. Scoring per candidate:
+///
+/// ```text
+/// weight × (distinct / rows) × (1 − max_value_share)
+/// ```
+///
+/// join frequency × key-likeness × evenness — the column unfolded queries
+/// route through most, provided hashing it spreads rows. Tables below
+/// `min_rows` are skipped entirely (sharding a tiny table buys nothing and
+/// costs every scan a scatter), as are columns with fewer than two distinct
+/// values or past [`MAX_KEY_SKEW`]. Returns `(table, key_column)` pairs
+/// sorted by table name — the exact shape
+/// `StaticFederation::partitioned`-style constructors take.
+pub fn advise_partition_keys(
+    stats: &StatsCatalog,
+    candidates: &[(String, String, usize)],
+    min_rows: usize,
+) -> Vec<(String, String)> {
+    let mut best: BTreeMap<&str, (f64, &str)> = BTreeMap::new();
+    for (table, column, weight) in candidates {
+        let Some(table_stats) = stats.table(table) else {
+            continue;
+        };
+        if table_stats.rows < min_rows {
+            continue;
+        }
+        let Some(distinct) = table_stats.distinct_of(column) else {
+            continue;
+        };
+        if distinct < 2 {
+            continue;
+        }
+        let share = table_stats.max_share_of(column).unwrap_or(1.0);
+        if share > MAX_KEY_SKEW {
+            continue;
+        }
+        let score = *weight as f64 * (distinct as f64 / table_stats.rows as f64) * (1.0 - share);
+        let entry = best.entry(table).or_insert((f64::MIN, column));
+        // Ties break toward the lexicographically smaller column so advice
+        // is deterministic across runs.
+        if score > entry.0 || (score == entry.0 && column.as_str() < entry.1) {
+            *entry = (score, column);
+        }
+    }
+    best.into_iter()
+        .map(|(table, (_, column))| (table.to_string(), column.to_string()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -177,6 +262,60 @@ mod tests {
         assert!((sensors.eq_selectivity("sid") - 0.01).abs() < 1e-9);
         // Unknown column: conservative default.
         assert!((sensors.eq_selectivity("nope") - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_tracks_dominant_values() {
+        let stats = StatsCatalog::analyze(&db());
+        let sensors = stats.table("sensors").unwrap();
+        // sid is unique (share 1/100); tid cycles over 7 values evenly.
+        assert!((sensors.max_share_of("sid").unwrap() - 0.01).abs() < 1e-9);
+        assert!((sensors.max_share_of("tid").unwrap() - 15.0 / 100.0).abs() < 1e-9);
+        assert_eq!(sensors.max_share_of("nope"), None);
+        assert_eq!(stats.table("empty").unwrap().max_share_of("x"), Some(0.0));
+    }
+
+    #[test]
+    fn advisor_scores_frequency_distinctness_and_skew() {
+        let mut database = db();
+        // A skewed column: one value covers 90% of the rows.
+        database.put_table(
+            "events",
+            table_of(
+                "events",
+                &[("eid", ColumnType::Int), ("kind", ColumnType::Int)],
+                (0..100)
+                    .map(|i| vec![Value::Int(i), Value::Int(if i < 90 { 0 } else { i })])
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let stats = StatsCatalog::analyze(&database);
+        let candidates = vec![
+            // tid is referenced more often than sid, but sid is the key
+            // (100 distinct vs 7): key-likeness dominates here.
+            ("sensors".to_string(), "sid".to_string(), 3),
+            ("sensors".to_string(), "tid".to_string(), 5),
+            // events.kind is hopelessly skewed; eid is clean.
+            ("events".to_string(), "kind".to_string(), 9),
+            ("events".to_string(), "eid".to_string(), 1),
+            // Unknown table / column candidates are ignored.
+            ("nope".to_string(), "x".to_string(), 99),
+            ("sensors".to_string(), "nope".to_string(), 99),
+        ];
+        let keys = advise_partition_keys(&stats, &candidates, 10);
+        assert_eq!(
+            keys,
+            vec![
+                ("events".to_string(), "eid".to_string()),
+                ("sensors".to_string(), "sid".to_string()),
+            ]
+        );
+        // A row floor above every table yields no advice.
+        assert!(advise_partition_keys(&stats, &candidates, 1_000).is_empty());
+        // The empty table never qualifies (0 rows, 0 distinct).
+        let with_empty = vec![("empty".to_string(), "x".to_string(), 50)];
+        assert!(advise_partition_keys(&stats, &with_empty, 0).is_empty());
     }
 
     #[test]

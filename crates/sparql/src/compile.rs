@@ -62,6 +62,17 @@ pub struct FragmentRound {
     /// Fragments the executor could not ship and answered on the
     /// coordinator instead (0 for fully-shipped rounds).
     pub coordinator_fallbacks: usize,
+    /// Fragments that executed sharded (scattered over a hash-partitioned
+    /// table's per-worker shards).
+    pub partitioned_fragments: usize,
+    /// Fragments that fell back one rung on the ladder — answered by a
+    /// single worker's replicas while the executor's catalog had
+    /// partitioned tables (0 for fully-replicated executors, where placed
+    /// execution is the design, not a fallback).
+    pub replicated_fallbacks: usize,
+    /// Scatter executions skipped because key routing proved the shard
+    /// could hold no matching row.
+    pub shards_pruned: usize,
 }
 
 /// A distributed backend for unfolded-SQL execution: takes one
@@ -78,6 +89,15 @@ pub trait FragmentExecutor: Sync {
     /// How many workers back this executor (observability only).
     fn workers(&self) -> usize {
         1
+    }
+
+    /// How many values a pushed semi-join list may carry, given the
+    /// planner's per-executor budget `base`. Executors that can split a
+    /// list across shards (partition-routed federations) may raise it —
+    /// each shard then receives only its slice, so the per-worker list
+    /// stays within `base` even though the whole list exceeds it.
+    fn max_restriction_values(&self, base: usize) -> usize {
+        base
     }
 }
 
@@ -149,6 +169,15 @@ pub struct PipelineStats {
     /// Rows returned by SQL execution (summed over fragments / statements)
     /// before the residual merge — semi-join pushdown shrinks this.
     pub fragment_rows: usize,
+    /// Fragments executed sharded over a hash-partitioned table.
+    pub partitioned_fragments: usize,
+    /// Fragments answered by a single worker's replicas while the executor
+    /// held partitioned tables (the middle rung of the sharded → replicated
+    /// → coordinator ladder).
+    pub replicated_fallbacks: usize,
+    /// Scatter executions skipped by partition-key routing (shards that
+    /// provably held no matching row).
+    pub shards_pruned: usize,
 }
 
 impl<'a> StaticPipeline<'a> {
@@ -302,7 +331,7 @@ impl<'a> StaticPipeline<'a> {
                     // enter a subtree with further OPTIONALs inside — see
                     // [`GroupPattern::contains_optional`].
                     let context = if self.planner.semi_join_pushdown && !inner.contains_optional() {
-                        Restriction::from_solutions(&current, self.planner.max_in_list)
+                        Restriction::from_solutions(&current, self.restriction_cap())
                     } else {
                         Restriction::empty()
                     };
@@ -395,10 +424,17 @@ impl<'a> StaticPipeline<'a> {
         if !self.planner.semi_join_pushdown {
             return Restriction::empty();
         }
-        outer.merged(Restriction::from_solutions(
-            current,
-            self.planner.max_in_list,
-        ))
+        outer.merged(Restriction::from_solutions(current, self.restriction_cap()))
+    }
+
+    /// The per-variable cap on pushed restriction values: the planner's
+    /// `max_in_list`, raised when the attached executor can slice a list
+    /// across shards ([`FragmentExecutor::max_restriction_values`]).
+    fn restriction_cap(&self) -> usize {
+        match self.executor {
+            Some(executor) => executor.max_restriction_values(self.planner.max_in_list),
+            None => self.planner.max_in_list,
+        }
     }
 
     /// One BGP through cache lookup → rewrite → unfold → SQL execution
@@ -418,7 +454,11 @@ impl<'a> StaticPipeline<'a> {
         let vars = bgp_variables(atoms);
         let restriction = restriction.restrict_to(&vars);
         if self.planner.reorder_joins {
-            stats.estimated_rows += model.estimate_bgp(atoms).round() as u64;
+            // At least 1 per estimated BGP: `estimated_rows == 0` then
+            // means exactly "planner off", which the dashboard's accuracy
+            // column relies on (a genuine rounds-to-zero estimate renders
+            // as a maximally-wrong ratio instead of "no estimate").
+            stats.estimated_rows += (model.estimate_bgp(atoms).round() as u64).max(1);
         }
 
         let plain_key = self.cache.map(|_| BgpCache::key(atoms));
@@ -536,6 +576,9 @@ impl<'a> StaticPipeline<'a> {
                     SparqlError::execution(format!("federated execution failed: {e}"))
                 })?;
                 stats.coordinator_fallbacks += round.coordinator_fallbacks;
+                stats.partitioned_fragments += round.partitioned_fragments;
+                stats.replicated_fallbacks += round.replicated_fallbacks;
+                stats.shards_pruned += round.shards_pruned;
                 stats.fragment_rows += round.tables.iter().map(Table::len).sum::<usize>();
                 Ok(round.tables)
             }
@@ -850,7 +893,7 @@ mod tests {
                 .collect::<Result<Vec<Table>, String>>()?;
             Ok(FragmentRound {
                 tables,
-                coordinator_fallbacks: 0,
+                ..FragmentRound::default()
             })
         }
     }

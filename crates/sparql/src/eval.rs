@@ -180,7 +180,11 @@ impl SolutionSet {
         self
     }
 
-    /// Sorts rows by the given `(expression, descending)` keys.
+    /// Sorts rows by the given `(expression, descending)` keys. Ties break
+    /// on the full row, so the order — and anything sliced off it by
+    /// `LIMIT` — is a function of the solution *set* alone, never of the
+    /// arrival order an execution backend happens to produce (single-node,
+    /// replicated and shard-scattered runs all agree).
     pub fn order_by(&mut self, keys: &[(Expression, bool)]) {
         if keys.is_empty() {
             return;
@@ -193,6 +197,12 @@ impl SolutionSet {
                 let ord = term_order(&va, &vb);
                 if ord != Ordering::Equal {
                     return if *descending { ord.reverse() } else { ord };
+                }
+            }
+            for (ta, tb) in a.iter().zip(b) {
+                let ord = term_order(ta, tb);
+                if ord != Ordering::Equal {
+                    return ord;
                 }
             }
             Ordering::Equal

@@ -79,50 +79,88 @@ pub const CLASSES: [&str; 7] = [
     "Assembly",
 ];
 
+/// The instance-data namespace the Siemens deployment mints IRIs in —
+/// constant-anchored shapes below name individuals directly, which inverts
+/// to a filter on the anchored table's key column.
+pub const DATA_NS: &str = "http://siemens.example/data/";
+
 /// A generator of query texts over the Siemens vocabulary: single BGPs,
-/// two-branch UNIONs, OPTIONAL extensions, FILTERed joins, and adjacent
-/// subgroups (residual joins the planner reorders / semi-joins).
-/// Type-mismatch combinations (e.g. `hasModel` on a sensor class) are
-/// deliberately kept — they exercise the empty-result paths, where
-/// equivalence must also hold.
+/// two-branch UNIONs, OPTIONAL extensions, FILTERed joins, adjacent
+/// subgroups (residual joins the planner reorders / semi-joins),
+/// multi-atom and multi-table join chains (joins *inside* one unfolded
+/// fragment — the co-partitioning unit), skewed joins through the turbine
+/// taxonomy, and partition-key-anchored constants whose tiny binding sets
+/// drive shard routing and pruning. Type-mismatch combinations (e.g.
+/// `hasModel` on a sensor class) are deliberately kept — they exercise the
+/// empty-result paths, where equivalence must also hold.
 pub fn query_strategy() -> impl Strategy<Value = String> {
-    (0usize..7, 0usize..7, 0usize..8, 0usize..3).prop_map(|(c1, c2, shape, filter)| {
-        let a = CLASSES[c1];
-        let b = CLASSES[c2];
-        let filter = match filter {
-            0 => "",
-            1 => "FILTER(REGEX(?m, \"^SGT\")) ",
-            _ => "FILTER(?m > \"S\") ",
-        };
-        match shape {
-            0 => format!("SELECT ?x WHERE {{ ?x a sie:{a} }}"),
-            1 => format!(
-                "SELECT DISTINCT ?x WHERE {{ {{ ?x a sie:{a} }} UNION {{ ?x a sie:{b} }} }}"
-            ),
-            2 => format!(
-                "SELECT ?x ?m WHERE {{ ?x a sie:{a} . \
-                 OPTIONAL {{ ?x sie:hasModel ?m }} {filter}}}"
-            ),
-            3 => format!(
-                "SELECT ?x ?s WHERE {{ ?x a sie:{a} . OPTIONAL {{ ?x sie:inAssembly ?s }} }}"
-            ),
-            4 => format!(
-                "SELECT ?x ?m WHERE {{ \
-                 {{ ?x a sie:{a} . ?x sie:hasModel ?m }} UNION {{ ?x a sie:{b} }} {filter}}}"
-            ),
-            // Adjacent groups: a residual join between separately-unfolded
-            // BGPs — the planner's reorder/semi-join unit.
-            5 => format!("SELECT ?x ?s WHERE {{ {{ ?x sie:inAssembly ?s }} {{ ?s a sie:{a} }} }}"),
-            6 => format!(
-                "SELECT ?x ?s ?m WHERE {{ {{ ?x sie:inAssembly ?s }} {{ ?s a sie:{a} }} \
-                 OPTIONAL {{ ?x sie:hasModel ?m }} {filter}}}"
-            ),
-            // OPTIONAL nested inside a restricted sibling subgroup: the
-            // planner must not push the class bindings below the left join.
-            _ => format!(
-                "SELECT ?x ?s ?m WHERE {{ {{ ?s a sie:{a} }} \
-                 {{ {{ ?x sie:inAssembly ?s }} OPTIONAL {{ ?s sie:hasModel ?m }} }} }}"
-            ),
-        }
-    })
+    (0usize..7, 0usize..7, 0usize..12, 0usize..3, 0usize..20).prop_map(
+        |(c1, c2, shape, filter, anchor)| {
+            let a = CLASSES[c1];
+            let b = CLASSES[c2];
+            let filter = match filter {
+                0 => "",
+                1 => "FILTER(REGEX(?m, \"^SGT\")) ",
+                _ => "FILTER(?m > \"S\") ",
+            };
+            match shape {
+                0 => format!("SELECT ?x WHERE {{ ?x a sie:{a} }}"),
+                1 => format!(
+                    "SELECT DISTINCT ?x WHERE {{ {{ ?x a sie:{a} }} UNION {{ ?x a sie:{b} }} }}"
+                ),
+                2 => format!(
+                    "SELECT ?x ?m WHERE {{ ?x a sie:{a} . \
+                     OPTIONAL {{ ?x sie:hasModel ?m }} {filter}}}"
+                ),
+                3 => format!(
+                    "SELECT ?x ?s WHERE {{ ?x a sie:{a} . OPTIONAL {{ ?x sie:inAssembly ?s }} }}"
+                ),
+                4 => format!(
+                    "SELECT ?x ?m WHERE {{ \
+                     {{ ?x a sie:{a} . ?x sie:hasModel ?m }} UNION {{ ?x a sie:{b} }} {filter}}}"
+                ),
+                // Adjacent groups: a residual join between separately-unfolded
+                // BGPs — the planner's reorder/semi-join unit.
+                5 => {
+                    format!(
+                        "SELECT ?x ?s WHERE {{ {{ ?x sie:inAssembly ?s }} {{ ?s a sie:{a} }} }}"
+                    )
+                }
+                6 => format!(
+                    "SELECT ?x ?s ?m WHERE {{ {{ ?x sie:inAssembly ?s }} {{ ?s a sie:{a} }} \
+                     OPTIONAL {{ ?x sie:hasModel ?m }} {filter}}}"
+                ),
+                // OPTIONAL nested inside a restricted sibling subgroup: the
+                // planner must not push the class bindings below the left join.
+                7 => format!(
+                    "SELECT ?x ?s ?m WHERE {{ {{ ?s a sie:{a} }} \
+                     {{ {{ ?x sie:inAssembly ?s }} OPTIONAL {{ ?s sie:hasModel ?m }} }} }}"
+                ),
+                // Multi-atom BGP: the join lands *inside* each unfolded
+                // fragment (sensors ⋈ sensors on the sensor key) — the
+                // co-partitioning case shard routing must keep complete.
+                8 => format!("SELECT ?x ?s WHERE {{ ?x sie:inAssembly ?s . ?s a sie:{a} }}"),
+                // Multi-table chain through the part-whole hierarchy:
+                // assemblies ⋈ sensors in one fragment, replicated ⋈
+                // partitioned.
+                9 => format!(
+                    "SELECT ?x ?t ?s WHERE {{ ?x sie:partOf ?t . ?x sie:inAssembly ?s . \
+                     ?s a sie:{a} }}"
+                ),
+                // Skewed join: turbine models/kinds concentrate on a few
+                // values, so the restriction lists repeat heavily.
+                10 => format!(
+                    "SELECT ?x ?t ?m WHERE {{ {{ ?x sie:partOf ?t }} {{ ?t a sie:{b} }} \
+                     {{ ?t sie:hasModel ?m }} {filter}}}"
+                ),
+                // Partition-key anchor: a constant assembly pins the sensor
+                // set to at most a handful of keys — the selective binding
+                // list that makes shard routing actually prune.
+                _ => format!(
+                    "SELECT ?s WHERE {{ {{ <{DATA_NS}assembly/{anchor}> sie:inAssembly ?s }} \
+                     {{ ?s a sie:{a} }} }}"
+                ),
+            }
+        },
+    )
 }
