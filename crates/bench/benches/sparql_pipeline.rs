@@ -10,7 +10,7 @@
 //! The `sparql_distributed` group measures the federated backend: one
 //! property mapped through 10 / 100 sources unfolds to that many `UNION
 //! ALL` disjuncts, which ship as plan fragments to 1 vs 4 ExaStream
-//! workers (`StaticFederation`) — the single-worker run prices the wire
+//! workers (`Federation`) — the single-worker run prices the wire
 //! format and gateway overhead, the 4-worker run the speedup.
 //!
 //! The `sparql_semijoin` group joins a selective class against the fan-out
@@ -32,7 +32,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use std::time::Duration;
 
-use optique::StaticFederation;
+use optique::Federation;
 use optique_mapping::{MappingAssertion, MappingCatalog, TermMap};
 use optique_ontology::Ontology;
 use optique_rdf::{Iri, Namespaces};
@@ -216,7 +216,7 @@ fn bench_semijoin(c: &mut Criterion) {
         .expect("parses");
 
         for workers in [1usize, 4] {
-            let federation = StaticFederation::replicated(Arc::clone(&db), workers);
+            let federation = Federation::replicated(Arc::clone(&db), workers);
 
             let naive = StaticPipeline::new(&ontology, &catalog, &db)
                 .with_executor(&federation)
@@ -341,7 +341,7 @@ fn bench_partitioned(c: &mut Criterion) {
         .expect("parses");
 
         for workers in [1usize, 4] {
-            let replicated = StaticFederation::replicated(Arc::clone(&db), workers);
+            let replicated = Federation::replicated(Arc::clone(&db), workers);
             let over_replicas = StaticPipeline::new(&ontology, &catalog, &db)
                 .with_executor(&replicated)
                 .with_table_stats(&stats);
@@ -351,8 +351,7 @@ fn bench_partitioned(c: &mut Criterion) {
                 .1
                 .fragment_rows;
 
-            let auto =
-                StaticFederation::auto_partitioned(Arc::clone(&db), workers, &stats, &catalog);
+            let auto = Federation::auto_partitioned(Arc::clone(&db), workers, &stats, &catalog);
             let over_shards = StaticPipeline::new(&ontology, &catalog, &db)
                 .with_executor(&auto)
                 .with_table_stats(&stats);
@@ -405,7 +404,7 @@ fn bench_distributed(c: &mut Criterion) {
         let expected = disjuncts * ROWS_PER_TABLE as usize;
 
         for workers in [1usize, 4] {
-            let federation = StaticFederation::replicated(Arc::clone(&db), workers);
+            let federation = Federation::replicated(Arc::clone(&db), workers);
             let pipeline = StaticPipeline::new(&ontology, &catalog, &db).with_executor(&federation);
             group.bench_with_input(
                 BenchmarkId::new(format!("{workers}w"), disjuncts),

@@ -1,0 +1,193 @@
+//! Distributed STARQL ticks: windows compiled to plan fragments and
+//! scattered over a stream-partitioned federation, vs single-node window
+//! slicing — 1/4 workers × small/large windows.
+//!
+//! Beyond wall-clock, the setup asserts the structural claim the bench
+//! group exists for: the stream side **scatters rather than replicates** —
+//! a distributed tick ships each window row exactly once in total (each
+//! worker contributes its shard's slice), never once per worker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use optique::OptiquePlatform;
+use optique_mapping::{IriTemplate, MappingAssertion, MappingCatalog, TermMap};
+use optique_ontology::{Axiom, BasicConcept, Ontology};
+use optique_rdf::{Datatype, Iri, Namespaces};
+use optique_relational::{table::table_of, ColumnType, Database, Value};
+use optique_starql::StreamToRdf;
+
+const SIE: &str = "http://siemens.example/ontology#";
+const DATA: &str = "http://siemens.example/data/";
+const SENSORS: i64 = 64;
+
+fn iri(s: &str) -> Iri {
+    Iri::new(format!("{SIE}{s}"))
+}
+
+/// 64 sensors reporting each second over 60 s of stream time.
+fn platform() -> OptiquePlatform {
+    let mut db = Database::new();
+    db.put_table(
+        "sensors",
+        table_of(
+            "sensors",
+            &[("sid", ColumnType::Int), ("aid", ColumnType::Int)],
+            (0..SENSORS)
+                .map(|s| vec![Value::Int(s), Value::Int(s % 8)])
+                .collect(),
+        )
+        .unwrap(),
+    );
+    let mut rows = Vec::new();
+    for i in 0..60i64 {
+        let ts = 600_000 + i * 1_000;
+        for sensor in 0..SENSORS {
+            rows.push(vec![
+                Value::Timestamp(ts),
+                Value::Int(sensor),
+                Value::Float(60.0 + ((i + sensor) % 30) as f64),
+                Value::Null,
+            ]);
+        }
+    }
+    db.put_table(
+        "S_Msmt",
+        table_of(
+            "S_Msmt",
+            &[
+                ("ts", ColumnType::Timestamp),
+                ("sensor_id", ColumnType::Int),
+                ("value", ColumnType::Float),
+                ("event", ColumnType::Text),
+            ],
+            rows,
+        )
+        .unwrap(),
+    );
+
+    let mut onto = Ontology::new();
+    onto.add_axiom(Axiom::domain(
+        iri("inAssembly"),
+        BasicConcept::atomic(iri("Assembly")),
+    ));
+    onto.add_axiom(Axiom::range(
+        iri("inAssembly"),
+        BasicConcept::atomic(iri("Sensor")),
+    ));
+
+    let mut maps = MappingCatalog::new();
+    maps.add(
+        MappingAssertion::property(
+            "in_assembly",
+            iri("inAssembly"),
+            "SELECT aid, sid FROM sensors",
+            TermMap::template(&format!("{DATA}assembly/{{aid}}")),
+            TermMap::template(&format!("{DATA}sensor/{{sid}}")),
+        )
+        .with_key(vec!["aid".into(), "sid".into()]),
+    )
+    .unwrap();
+
+    let stream_to_rdf = StreamToRdf {
+        timestamp_col: "ts".into(),
+        subject: IriTemplate::parse(&format!("{DATA}sensor/{{sensor_id}}")).unwrap(),
+        value_property: iri("hasValue"),
+        value_col: "value".into(),
+        value_datatype: Datatype::Double,
+        event_col: Some("event".into()),
+        event_classes: vec![("failure".into(), iri("showsFailure"))],
+    };
+    OptiquePlatform::deploy(
+        db,
+        onto,
+        Namespaces::with_w3c_defaults(),
+        maps,
+        stream_to_rdf,
+    )
+}
+
+fn query(range_s: i64) -> String {
+    format!(
+        "PREFIX sie: <{SIE}>\nPREFIX : <{SIE}>\nCREATE STREAM S_out AS\n\
+         CONSTRUCT GRAPH NOW {{ ?c2 a :Active }}\n\
+         FROM STREAM S_Msmt [NOW-\"PT{range_s}S\"^^xsd:duration, NOW]->\"PT1S\"^^xsd:duration\n\
+         USING PULSE WITH START = \"00:10:00CET\", FREQUENCY = \"PT1S\"\n\
+         WHERE {{ ?c1 sie:inAssembly ?c2 }}\n\
+         SEQUENCE BY StdSeq AS seq\n\
+         HAVING EXISTS ?k IN seq: GRAPH ?k {{ ?c2 sie:hasValue ?v }} AND ?v >= 75"
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("starql_distributed");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    // Tick instants cycle through the stream so window-cache hits do not
+    // trivialize the measurement.
+    let instants: Vec<i64> = (0..16).map(|i| 610_000 + i * 1_000).collect();
+
+    for range_s in [2i64, 20] {
+        let text = query(range_s);
+
+        // Single-node reference.
+        let single = platform();
+        single.register_starql(&text).expect("registers");
+        // One alignment tick, then assert the structural claims once.
+        let reference = single.tick_all(615_000).expect("ticks")[0].1.clone();
+        assert!(reference.tuples_in_window > 0);
+        group.bench_with_input(
+            BenchmarkId::new("single-node", format!("{range_s}s")),
+            &range_s,
+            |b, _| {
+                b.iter(|| {
+                    let mut satisfied = 0usize;
+                    for &t in &instants {
+                        satisfied += single.tick_all(t).expect("ticks")[0].1.satisfied;
+                    }
+                    satisfied
+                })
+            },
+        );
+
+        for workers in [1usize, 4] {
+            let distributed = platform();
+            distributed
+                .register_starql_distributed(&text, workers)
+                .expect("registers");
+            let tick = distributed.tick_all(615_000).expect("ticks")[0].1.clone();
+            // Scatter, not replicate: the gathered window is one copy of
+            // the rows, never `workers` copies.
+            assert_eq!(
+                tick.stream_rows_shipped, reference.tuples_in_window,
+                "a scattered window ships each row exactly once at {workers} workers"
+            );
+            if workers > 1 {
+                assert_eq!(
+                    tick.partitioned_fragments, 1,
+                    "the stream must hash-partition so the window scatters: {tick:?}"
+                );
+            }
+            assert_eq!(tick.satisfied, reference.satisfied);
+            group.bench_with_input(
+                BenchmarkId::new(format!("distributed/{workers}w"), format!("{range_s}s")),
+                &range_s,
+                |b, _| {
+                    b.iter(|| {
+                        let mut satisfied = 0usize;
+                        for &t in &instants {
+                            satisfied += distributed.tick_all(t).expect("ticks")[0].1.satisfied;
+                        }
+                        satisfied
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

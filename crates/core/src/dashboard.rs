@@ -21,6 +21,17 @@ pub struct QueryPanel {
     pub tuples: u64,
     /// Size of the low-level query fleet this query replaces.
     pub fleet_size: usize,
+    /// Workers evaluating this query's ticks (1 = single-node).
+    pub workers: usize,
+    /// Cumulative window fragments shipped to the federation (0 =
+    /// single-node, or every window came from the shared cache).
+    pub window_fragments: u64,
+    /// Cumulative stream rows the federation shipped back.
+    pub stream_rows: u64,
+    /// Cumulative stream shards skipped by key routing.
+    pub shards_pruned: u64,
+    /// Cumulative stream-key semi-joins pushed into window fragments.
+    pub semi_joins_pushed: u64,
 }
 
 /// One executed static (SPARQL) query's panel.
@@ -77,6 +88,10 @@ pub struct StaticQueryPanel {
     pub replicated_fallbacks: usize,
     /// Scatter executions skipped by partition-key routing.
     pub shards_pruned: usize,
+    /// Fragment executions answered from a worker's prepared-plan cache.
+    pub plan_cache_hits: u64,
+    /// Fragment executions that parsed their statement.
+    pub plan_cache_misses: u64,
 }
 
 impl StaticQueryPanel {
@@ -121,6 +136,11 @@ pub struct Dashboard {
     pub bgp_cache_misses: u64,
     /// Times the per-BGP cache was invalidated by a relational write.
     pub bgp_cache_invalidations: u64,
+    /// Worker plan-cache hits summed over the live federation pools
+    /// (counters of dropped pools are gone with them).
+    pub plan_cache_hits: u64,
+    /// Worker plan-cache misses summed over the live federation pools.
+    pub plan_cache_misses: u64,
 }
 
 impl Dashboard {
@@ -200,6 +220,31 @@ impl Dashboard {
         }
     }
 
+    /// Worker plan-cache hit rate in `[0, 1]` (`None` before any round).
+    pub fn plan_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.plan_cache_hits as f64 / total as f64)
+        }
+    }
+
+    /// Total window fragments shipped across the continuous-query panels.
+    pub fn total_window_fragments(&self) -> u64 {
+        self.panels.iter().map(|p| p.window_fragments).sum()
+    }
+
+    /// Total stream rows the federations shipped for window fragments.
+    pub fn total_stream_rows(&self) -> u64 {
+        self.panels.iter().map(|p| p.stream_rows).sum()
+    }
+
+    /// Total stream shards skipped by key routing across the panels.
+    pub fn total_stream_shards_pruned(&self) -> u64 {
+        self.panels.iter().map(|p| p.shards_pruned).sum()
+    }
+
     /// Renders an ASCII dashboard frame.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -213,23 +258,28 @@ impl Dashboard {
             }
         ));
         out.push_str(
-            "│ id   name                                bindings  ticks  alarms    tuples  fleet\n",
+            "│ id   name                                bindings  ticks  alarms    tuples  fleet  wrk  wfrag   srows  prune  semi\n",
         );
         for p in &self.panels {
             out.push_str(&format!(
-                "│ {:<4} {:<36} {:>8} {:>6} {:>7} {:>9} {:>6}\n",
+                "│ {:<4} {:<36} {:>8} {:>6} {:>7} {:>9} {:>6} {:>4} {:>6} {:>7} {:>6} {:>5}\n",
                 p.id,
                 truncate(&p.name, 36),
                 p.bindings,
                 p.ticks,
                 p.alarms,
                 p.tuples,
-                p.fleet_size
+                p.fleet_size,
+                p.workers,
+                p.window_fragments,
+                p.stream_rows,
+                p.shards_pruned,
+                p.semi_joins_pushed
             ));
         }
         if !self.static_queries.is_empty() {
             out.push_str(&format!(
-                "├─ static SPARQL ─ {} queries ─ BGP cache {}\n",
+                "├─ static SPARQL ─ {} queries ─ BGP cache {} ─ plan cache {}\n",
                 self.static_queries.len(),
                 match self.bgp_cache_hit_rate() {
                     Some(rate) => format!(
@@ -237,6 +287,10 @@ impl Dashboard {
                         rate * 100.0,
                         self.bgp_cache_invalidations
                     ),
+                    None => "idle".to_string(),
+                },
+                match self.plan_cache_hit_rate() {
+                    Some(rate) => format!("{:.0}% hit", rate * 100.0),
                     None => "idle".to_string(),
                 }
             ));
@@ -300,6 +354,11 @@ mod tests {
                     alarms: 2,
                     tuples: 1200,
                     fleet_size: 5,
+                    workers: 4,
+                    window_fragments: 10,
+                    stream_rows: 1100,
+                    shards_pruned: 12,
+                    semi_joins_pushed: 10,
                 },
                 QueryPanel {
                     id: 2,
@@ -309,6 +368,11 @@ mod tests {
                     alarms: 1,
                     tuples: 300,
                     fleet_size: 3,
+                    workers: 1,
+                    window_fragments: 0,
+                    stream_rows: 0,
+                    shards_pruned: 0,
+                    semi_joins_pushed: 0,
                 },
             ],
             static_queries: vec![StaticQueryPanel {
@@ -335,12 +399,16 @@ mod tests {
                 partitioned_fragments: 6,
                 replicated_fallbacks: 1,
                 shards_pruned: 9,
+                plan_cache_hits: 6,
+                plan_cache_misses: 2,
             }],
             wcache_hits: 9,
             wcache_misses: 1,
             bgp_cache_hits: 3,
             bgp_cache_misses: 1,
             bgp_cache_invalidations: 1,
+            plan_cache_hits: 6,
+            plan_cache_misses: 2,
         }
     }
 
@@ -356,6 +424,20 @@ mod tests {
     fn empty_dashboard_has_no_hit_rate() {
         assert_eq!(Dashboard::default().wcache_hit_rate(), None);
         assert_eq!(Dashboard::default().bgp_cache_hit_rate(), None);
+        assert_eq!(Dashboard::default().plan_cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn streaming_totals_and_plan_cache_rate() {
+        let d = dash();
+        assert_eq!(d.total_window_fragments(), 10);
+        assert_eq!(d.total_stream_rows(), 1100);
+        assert_eq!(d.total_stream_shards_pruned(), 12);
+        assert_eq!(d.plan_cache_hit_rate(), Some(0.75));
+        let r = d.render();
+        assert!(r.contains("plan cache 75% hit"), "{r}");
+        assert!(r.contains("wfrag"), "{r}");
+        assert!(r.contains("srows"), "{r}");
     }
 
     #[test]

@@ -1,10 +1,15 @@
-//! ExaStream-backed federation of the static SPARQL pipeline.
+//! ExaStream-backed federation — **one** fragment pipeline for static
+//! queries *and* continuous-query windows.
 //!
 //! The static pipeline ([`optique_sparql::StaticPipeline`]) splits each
-//! unfolded `UNION ALL` into per-disjunct [`PlanFragment`]s; this module is
-//! the [`FragmentExecutor`] that ships those fragments to an ExaStream
-//! worker pool through the gateway/scheduler/exchange machinery the stream
-//! side already uses. Two catalog layouts:
+//! unfolded `UNION ALL` into per-disjunct [`PlanFragment`]s, and the
+//! STARQL engine compiles each tick's window to a window-sliced fragment
+//! (`ContinuousQuery::tick_via`); this module is the [`FragmentExecutor`]
+//! that ships both through the same gateway/scheduler/exchange machinery.
+//! Stream tables always hash-partition on their stream key
+//! ([`Federation::for_deployment`]) so window fragments **scatter** —
+//! every worker slices its shard of the window — instead of replicating
+//! the stream onto one node. Two catalog layouts for the static tables:
 //!
 //! * **replicated** — every worker shares the full relational catalog;
 //!   fragments are placed one-per-worker, LPT by cost.
@@ -25,7 +30,7 @@
 //!      non-decomposable shapes) falls back to the coordinator's full
 //!      catalog, which is always correct.
 //!
-//! [`StaticFederation::auto_partitioned`] makes the partitioned layout the
+//! [`Federation::auto_partitioned`] makes the partitioned layout the
 //! smart default: a partition-key advisor scores every term-map column of
 //! the mapping catalog (join frequency × distinctness × evenness, from the
 //! [`StatsCatalog`]'s sampled statistics) and shards each qualifying table
@@ -44,7 +49,7 @@ use optique_relational::{
 use optique_sparql::{FragmentExecutor, FragmentRound};
 
 /// Tables smaller than this never partition under
-/// [`StaticFederation::auto_partitioned`]: sharding a tiny table buys no
+/// [`Federation::auto_partitioned`]: sharding a tiny table buys no
 /// parallelism and costs every scan a scatter round.
 pub const MIN_PARTITION_ROWS: usize = 48;
 
@@ -52,7 +57,7 @@ pub const MIN_PARTITION_ROWS: usize = 48;
 /// queries.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum FederationTopology {
-    /// Advisor-picked hash partitioning ([`StaticFederation::auto_partitioned`]);
+    /// Advisor-picked hash partitioning ([`Federation::auto_partitioned`]);
     /// falls back to full replication when no table qualifies.
     #[default]
     AutoPartitioned,
@@ -61,7 +66,7 @@ pub enum FederationTopology {
 }
 
 /// A static-query worker pool over the deployment's relational sources.
-pub struct StaticFederation {
+pub struct Federation {
     gateway: Arc<Gateway>,
     /// The full (unpartitioned) catalog, for fragments that cannot run
     /// shard-locally.
@@ -71,11 +76,11 @@ pub struct StaticFederation {
     partition: Vec<(String, String)>,
 }
 
-impl StaticFederation {
+impl Federation {
     /// A federation whose workers all share the full catalog.
     pub fn replicated(db: Arc<Database>, workers: usize) -> Self {
         let cluster = Arc::new(Cluster::replicated(workers, Arc::clone(&db)));
-        StaticFederation {
+        Federation {
             gateway: Gateway::new(cluster),
             coordinator: db,
             workers,
@@ -107,7 +112,7 @@ impl StaticFederation {
             }
             worker_db
         }));
-        Ok(StaticFederation {
+        Ok(Federation {
             gateway: Gateway::new(cluster),
             coordinator: db,
             workers,
@@ -127,18 +132,64 @@ impl StaticFederation {
         stats: &StatsCatalog,
         mappings: &MappingCatalog,
     ) -> Self {
+        Federation::for_deployment(
+            db,
+            workers,
+            FederationTopology::AutoPartitioned,
+            stats,
+            mappings,
+            &[],
+        )
+    }
+
+    /// The deployment-wide constructor the platform uses: static tables
+    /// partition per `topology` (advisor-picked keys, or none under
+    /// [`FederationTopology::Replicated`]), while the `(stream table,
+    /// stream key)` pairs in `streams` **always** hash-partition — window
+    /// fragments must scatter, not replicate, whatever the static layout.
+    /// Streams unknown to the catalog (or with a missing key column) are
+    /// skipped rather than failing pool construction; their window
+    /// fragments then run placed on a replica, which stays correct.
+    pub fn for_deployment(
+        db: Arc<Database>,
+        workers: usize,
+        topology: FederationTopology,
+        stats: &StatsCatalog,
+        mappings: &MappingCatalog,
+        streams: &[(String, String)],
+    ) -> Self {
+        let mut keys: Vec<(String, String)> = Vec::new();
         if workers > 1 {
-            let usage = mappings.term_column_usage();
-            let keys = optique_relational::advise_partition_keys(stats, &usage, MIN_PARTITION_ROWS);
-            if !keys.is_empty() {
-                if let Ok(federation) =
-                    StaticFederation::partitioned(Arc::clone(&db), workers, &keys)
-                {
-                    return federation;
+            if topology == FederationTopology::AutoPartitioned {
+                let usage = mappings.term_column_usage();
+                keys = optique_relational::advise_partition_keys(stats, &usage, MIN_PARTITION_ROWS);
+            }
+            for (stream, key) in streams {
+                let resolvable = db
+                    .table(stream)
+                    .is_ok_and(|t| t.schema.index_of(key).is_some());
+                if resolvable {
+                    // The stream key wins over an advisor pick for the
+                    // same table: window fragments restrict and route on
+                    // the stream key, so partitioning on anything else
+                    // would silently disable stream-shard pruning.
+                    keys.retain(|(t, _)| t != stream);
+                    keys.push((stream.clone(), key.clone()));
                 }
             }
         }
-        StaticFederation::replicated(db, workers)
+        if !keys.is_empty() {
+            if let Ok(federation) = Federation::partitioned(Arc::clone(&db), workers, &keys) {
+                return federation;
+            }
+        }
+        Federation::replicated(db, workers)
+    }
+
+    /// Summed prepared-plan cache hits and misses across the pool's
+    /// workers (dashboard observability).
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.gateway.plan_cache_stats()
     }
 
     /// Number of workers in the pool.
@@ -217,7 +268,7 @@ fn dedup_rows(table: &mut Table) {
     table.rows.retain(|row| seen.insert(row.clone()));
 }
 
-impl FragmentExecutor for StaticFederation {
+impl FragmentExecutor for Federation {
     fn execute(&self, fragments: Vec<PlanFragment>) -> Result<FragmentRound, String> {
         // Classify fragments down the ladder: sharded scatter, placed on a
         // replica, or coordinator fallback (several non-co-partitioned
@@ -285,6 +336,8 @@ impl FragmentExecutor for StaticFederation {
             partitioned_fragments,
             replicated_fallbacks,
             shards_pruned: round.shards_pruned,
+            plan_cache_hits: round.plan_cache_hits,
+            plan_cache_misses: round.plan_cache_misses,
         })
     }
 
@@ -309,11 +362,11 @@ impl FragmentExecutor for StaticFederation {
     }
 }
 
-impl std::fmt::Debug for StaticFederation {
+impl std::fmt::Debug for Federation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "StaticFederation({} workers, {} partitioned tables)",
+            "Federation({} workers, {} partitioned tables)",
             self.workers,
             self.partition.len()
         )
@@ -356,15 +409,14 @@ mod tests {
         rows
     }
 
-    fn sensors_by_sid(db: Arc<Database>, workers: usize) -> StaticFederation {
-        StaticFederation::partitioned(db, workers, &[("sensors".to_string(), "sid".to_string())])
-            .unwrap()
+    fn sensors_by_sid(db: Arc<Database>, workers: usize) -> Federation {
+        Federation::partitioned(db, workers, &[("sensors".to_string(), "sid".to_string())]).unwrap()
     }
 
     #[test]
     fn replicated_execution_matches_local() {
         let db = db();
-        let federation = StaticFederation::replicated(Arc::clone(&db), 4);
+        let federation = Federation::replicated(Arc::clone(&db), 4);
         let sql = "SELECT sid FROM sensors WHERE tid = 3";
         let local = optique_relational::exec::query(sql, &db).unwrap();
         let round = federation
@@ -587,7 +639,7 @@ mod tests {
             ))
             .unwrap();
 
-        let federation = StaticFederation::auto_partitioned(Arc::clone(&db), 4, &stats, &mappings);
+        let federation = Federation::auto_partitioned(Arc::clone(&db), 4, &stats, &mappings);
         assert_eq!(
             federation.partition(),
             &[("sensors".to_string(), "sid".to_string())],
@@ -595,11 +647,181 @@ mod tests {
         );
 
         // One worker, or no qualifying table: plain replication.
-        let single = StaticFederation::auto_partitioned(Arc::clone(&db), 1, &stats, &mappings);
+        let single = Federation::auto_partitioned(Arc::clone(&db), 1, &stats, &mappings);
         assert!(single.partition().is_empty());
         let no_stats =
-            StaticFederation::auto_partitioned(Arc::clone(&db), 4, &StatsCatalog::new(), &mappings);
+            Federation::auto_partitioned(Arc::clone(&db), 4, &StatsCatalog::new(), &mappings);
         assert!(no_stats.partition().is_empty());
+    }
+
+    /// Stream tables partition unconditionally under `for_deployment`:
+    /// window fragments scatter even when the advisor shards nothing.
+    #[test]
+    fn for_deployment_always_partitions_streams() {
+        use optique_relational::WindowSlice;
+        let mut db = Database::new();
+        db.put_table(
+            "S_M",
+            table_of(
+                "S_M",
+                &[("ts", ColumnType::Timestamp), ("sid", ColumnType::Int)],
+                (0..40)
+                    .map(|i| vec![Value::Timestamp(i * 100), Value::Int(i % 8)])
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let db = Arc::new(db);
+        let streams = [("S_M".to_string(), "sid".to_string())];
+        let federation = Federation::for_deployment(
+            Arc::clone(&db),
+            4,
+            FederationTopology::Replicated,
+            &StatsCatalog::new(),
+            &MappingCatalog::new(),
+            &streams,
+        );
+        assert_eq!(federation.partition(), &streams);
+
+        // A window fragment over the partitioned stream scatters, and the
+        // gathered rows are exactly the local slice.
+        let fragment =
+            PlanFragment::new(0, "SELECT ts, sid FROM S_M", 1.0).with_window(WindowSlice {
+                column: "ts".into(),
+                open_ms: 900,
+                close_ms: 1900,
+            });
+        let local = fragment.execute(&db).unwrap();
+        let round = federation.execute(vec![fragment]).unwrap();
+        assert_eq!(round.partitioned_fragments, 1, "the window scattered");
+        assert_eq!(canon(&round.tables[0]), canon(&local));
+        assert_eq!(local.len(), 10);
+
+        // Unknown streams are skipped, not fatal.
+        let lenient = Federation::for_deployment(
+            Arc::clone(&db),
+            4,
+            FederationTopology::Replicated,
+            &StatsCatalog::new(),
+            &MappingCatalog::new(),
+            &[("nope".to_string(), "sid".to_string())],
+        );
+        assert!(lenient.partition().is_empty());
+        // One worker: a single shard is the whole stream anyway.
+        let single = Federation::for_deployment(
+            db,
+            1,
+            FederationTopology::Replicated,
+            &StatsCatalog::new(),
+            &MappingCatalog::new(),
+            &streams,
+        );
+        assert!(single.partition().is_empty());
+    }
+
+    /// When the advisor picks a key for a table that is also a registered
+    /// stream, the stream key wins: window routing restricts on it, so
+    /// partitioning on the advisor's column would silently disable
+    /// stream-shard pruning.
+    #[test]
+    fn stream_key_overrides_advisor_pick() {
+        use optique_mapping::{MappingAssertion, TermMap};
+        let mut db = Database::new();
+        db.put_table(
+            "S_M",
+            table_of(
+                "S_M",
+                &[
+                    ("ts", ColumnType::Timestamp),
+                    ("sid", ColumnType::Int),
+                    ("other", ColumnType::Int),
+                ],
+                (0..64)
+                    .map(|i| vec![Value::Timestamp(i * 100), Value::Int(i % 16), Value::Int(i)])
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let db = Arc::new(db);
+        let stats = StatsCatalog::analyze(&db);
+        // The mapping joins through `other`, so the advisor would shard
+        // S_M on it.
+        let mut mappings = MappingCatalog::new();
+        mappings
+            .add(MappingAssertion::class(
+                "event",
+                optique_rdf::Iri::new("http://x/Event"),
+                "SELECT other FROM S_M",
+                TermMap::template("http://x/event/{other}"),
+            ))
+            .unwrap();
+        let advisor_only = Federation::for_deployment(
+            Arc::clone(&db),
+            4,
+            FederationTopology::AutoPartitioned,
+            &stats,
+            &mappings,
+            &[],
+        );
+        assert_eq!(
+            advisor_only.partition(),
+            &[("S_M".to_string(), "other".to_string())],
+            "precondition: the advisor picks `other`"
+        );
+        let with_stream = Federation::for_deployment(
+            db,
+            4,
+            FederationTopology::AutoPartitioned,
+            &stats,
+            &mappings,
+            &[("S_M".to_string(), "sid".to_string())],
+        );
+        assert_eq!(
+            with_stream.partition(),
+            &[("S_M".to_string(), "sid".to_string())],
+            "the stream key replaces the advisor pick"
+        );
+    }
+
+    /// A stream-key semi-join on a scattered window fragment prunes the
+    /// shards that hold no admissible key — the stream side of the
+    /// stream-static join pushdown.
+    #[test]
+    fn restricted_window_fragment_prunes_stream_shards() {
+        use optique_relational::{SemiJoin, WindowSlice};
+        let mut db = Database::new();
+        db.put_table(
+            "S_M",
+            table_of(
+                "S_M",
+                &[("ts", ColumnType::Timestamp), ("sid", ColumnType::Int)],
+                (0..80)
+                    .map(|i| vec![Value::Timestamp(i * 10), Value::Int(i % 16)])
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let db = Arc::new(db);
+        let federation = Federation::for_deployment(
+            Arc::clone(&db),
+            8,
+            FederationTopology::Replicated,
+            &StatsCatalog::new(),
+            &MappingCatalog::new(),
+            &[("S_M".to_string(), "sid".to_string())],
+        );
+        let fragment = PlanFragment::new(0, "SELECT ts, sid FROM S_M", 1.0)
+            .with_window(WindowSlice {
+                column: "ts".into(),
+                open_ms: -1,
+                close_ms: 1000,
+            })
+            .with_semi_joins(vec![SemiJoin::new("sid", vec![Value::Int(3)])]);
+        let local = fragment.execute(&db).unwrap();
+        let round = federation.execute(vec![fragment]).unwrap();
+        assert!(round.shards_pruned >= 6, "8 shards, ≤ 2 targets: {round:?}");
+        assert_eq!(canon(&round.tables[0]), canon(&local));
+        assert!(!round.tables[0].rows.is_empty());
     }
 
     /// The restriction budget widens only for pools that can slice lists
@@ -607,7 +829,7 @@ mod tests {
     #[test]
     fn restriction_budget_scales_with_partitioning() {
         let db = db();
-        let replicated = StaticFederation::replicated(Arc::clone(&db), 4);
+        let replicated = Federation::replicated(Arc::clone(&db), 4);
         assert_eq!(replicated.max_restriction_values(256), 256);
         let partitioned = sensors_by_sid(db, 4);
         assert_eq!(partitioned.max_restriction_values(256), 1024);

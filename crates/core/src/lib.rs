@@ -25,6 +25,9 @@ pub mod federation;
 pub mod platform;
 
 pub use dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
-pub use federation::{FederationTopology, StaticFederation};
+pub use federation::{Federation, FederationTopology};
+
+/// The federation's pre-unification name, kept for downstream callers.
+pub type StaticFederation = Federation;
 pub use optique_sparql::SparqlResults;
-pub use platform::{FleetReport, OptiquePlatform, RegisteredStarQl};
+pub use platform::{CacheInvalidation, FleetReport, OptiquePlatform, RegisteredStarQl};

@@ -11,7 +11,8 @@ use optique_relational::{Database, StatsCatalog, Value};
 use optique_rewrite::RewriteSettings;
 use optique_siemens::{DiagnosticTask, SiemensDeployment};
 use optique_sparql::{
-    parse_sparql, BgpCache, PipelineStats, PlannerSettings, SparqlResults, StaticPipeline,
+    parse_sparql, BgpCache, GroupPattern, PatternElement, PipelineStats, PlannerSettings,
+    Projection, Query, SelectItem, SelectQuery, SolutionModifier, SparqlResults, StaticPipeline,
 };
 use optique_starql::{
     parse_starql, translate, ContinuousQuery, StreamToRdf, TickOutput, TranslationContext,
@@ -20,7 +21,7 @@ use optique_stream::WCache;
 use parking_lot::{Mutex, RwLock};
 
 use crate::dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
-use crate::federation::{FederationTopology, StaticFederation};
+use crate::federation::{Federation, FederationTopology};
 
 /// A registered STARQL query with its accumulated monitoring counters.
 pub struct RegisteredStarQl {
@@ -30,12 +31,35 @@ pub struct RegisteredStarQl {
     pub name: String,
     /// The compiled continuous query.
     pub query: ContinuousQuery,
+    /// Worker count whose federation pool evaluates this query's ticks
+    /// (`None` = single-node, the reference path).
+    pub workers: Option<usize>,
     /// Cumulative alarms raised.
     pub alarms: u64,
     /// Ticks executed.
     pub ticks: u64,
     /// Cumulative tuples inspected.
     pub tuples: u64,
+    /// Cumulative window fragments shipped to the federation.
+    pub window_fragments: u64,
+    /// Cumulative stream rows the federation shipped back (window-cache
+    /// hits ship nothing).
+    pub stream_rows: u64,
+    /// Cumulative stream shards skipped by key routing.
+    pub shards_pruned: u64,
+    /// Cumulative stream-key semi-joins pushed into window fragments.
+    pub semi_joins_pushed: u64,
+}
+
+/// How `insert_static` invalidates the per-BGP cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CacheInvalidation {
+    /// Evict only the entries whose unfolded SQL read the written table
+    /// (entries with unknown provenance always go) — the default.
+    #[default]
+    Dependent,
+    /// Clear the whole cache on every write — the conservative fallback.
+    FullClear,
 }
 
 /// The conciseness report behind experiment E3: one STARQL text versus the
@@ -77,7 +101,7 @@ pub struct OptiquePlatform {
     /// topology)`, dropped on relational writes (workers snapshot the
     /// catalog they were built over — and a write may change the advisor's
     /// partition keys).
-    federations: Mutex<HashMap<(usize, FederationTopology), Arc<StaticFederation>>>,
+    federations: Mutex<HashMap<(usize, FederationTopology), Arc<Federation>>>,
     /// Which pool layout distributed static queries build
     /// ([`FederationTopology::AutoPartitioned`] by default — the advisor
     /// shards what the statistics say is worth sharding).
@@ -89,6 +113,9 @@ pub struct OptiquePlatform {
     /// Join-order / semi-join planner knobs for static queries (defaults
     /// on; [`PlannerSettings::disabled`] reproduces the naive pipeline).
     planner: RwLock<PlannerSettings>,
+    /// How relational writes invalidate the per-BGP cache
+    /// ([`CacheInvalidation::Dependent`] by default).
+    invalidation: RwLock<CacheInvalidation>,
 }
 
 /// How many executed static queries the dashboard remembers.
@@ -120,6 +147,7 @@ impl OptiquePlatform {
             topology: RwLock::new(FederationTopology::default()),
             table_stats,
             planner: RwLock::new(PlannerSettings::default()),
+            invalidation: RwLock::new(CacheInvalidation::default()),
         }
     }
 
@@ -174,15 +202,34 @@ impl OptiquePlatform {
     }
 
     /// Parses, translates (enrich + unfold) and registers a STARQL query.
+    /// Ticks evaluate single-node; the static WHERE bindings are computed
+    /// through the full static pipeline (per-BGP cache, planner).
     pub fn register_starql(&self, text: &str) -> Result<u64, String> {
-        self.register_named(None, text)
+        self.register_named(None, text, None)
+    }
+
+    /// [`register_starql`](Self::register_starql), with ticks evaluated
+    /// **distributed over `workers` ExaStream workers** — mirroring
+    /// [`query_static_distributed`](Self::query_static_distributed). The
+    /// query's stream hash-partitions across the pool on its stream key,
+    /// so every tick's window compiles to a plan fragment that *scatters*:
+    /// each worker slices its shard of the window and the partials gather.
+    /// The static WHERE bindings run through the same federation (BGP
+    /// cache, planner pushdown, partitioned shards). Output streams are
+    /// identical to single-node registration — the streaming equivalence
+    /// oracle pins this down.
+    pub fn register_starql_distributed(&self, text: &str, workers: usize) -> Result<u64, String> {
+        if workers == 0 {
+            return Err("a distributed continuous query needs at least one worker".into());
+        }
+        self.register_named(None, text, Some(workers))
     }
 
     /// Registers a catalog task.
     pub fn register_task(&self, task: &DiagnosticTask) -> Result<u64, String> {
         match &task.query {
             optique_siemens::catalog::TaskQuery::StarQl(text) => {
-                self.register_named(Some(format!("{}:{}", task.id, task.name)), text)
+                self.register_named(Some(format!("{}:{}", task.id, task.name)), text, None)
             }
             optique_siemens::catalog::TaskQuery::SqlPlus(_) => Err(format!(
                 "task {} is a SQL(+) dataflow; run it on the relational engine directly",
@@ -191,7 +238,12 @@ impl OptiquePlatform {
         }
     }
 
-    fn register_named(&self, name: Option<String>, text: &str) -> Result<u64, String> {
+    fn register_named(
+        &self,
+        name: Option<String>,
+        text: &str,
+        workers: Option<usize>,
+    ) -> Result<u64, String> {
         let parsed = parse_starql(text, &self.namespaces).map_err(|e| e.to_string())?;
         let ctx = TranslationContext {
             ontology: &self.ontology,
@@ -199,8 +251,18 @@ impl OptiquePlatform {
             rewrite_settings: RewriteSettings::default(),
             unfold_settings: Default::default(),
         };
+        // Translation stays the validator (answer-variable totality,
+        // filter scoping, HAVING expansion) and still carries the fleet /
+        // window machinery; the *bindings* are answered by the static
+        // pipeline below instead of the raw unfolded SQL.
         let translated = translate(&parsed, &ctx).map_err(|e| e.to_string())?;
-        let query = ContinuousQuery::register(translated, self.stream_to_rdf.clone(), &self.db())?;
+        let bindings = self.starql_bindings(&translated, workers)?;
+        let query = ContinuousQuery::register_with_bindings(
+            translated,
+            self.stream_to_rdf.clone(),
+            &self.db(),
+            bindings,
+        )?;
         let id = self
             .next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -211,12 +273,132 @@ impl OptiquePlatform {
                 id,
                 name,
                 query,
+                workers,
                 alarms: 0,
                 ticks: 0,
                 tuples: 0,
+                window_fragments: 0,
+                stream_rows: 0,
+                shards_pruned: 0,
+                semi_joins_pushed: 0,
             },
         );
+        // A distributed registration may introduce a stream the existing
+        // pools do not partition; drop them so the next tick's pool
+        // re-shards over the full stream set.
+        if workers.is_some() {
+            self.federations.lock().clear();
+        }
         Ok(id)
+    }
+
+    /// Answers a translated STARQL query's static WHERE clause through the
+    /// static pipeline — `SELECT DISTINCT <answer vars> WHERE { … }` over
+    /// the query's (already-validated) disjuncts and filters — so
+    /// continuous queries ride the per-BGP cache, the planner, and (when
+    /// `workers` is set) the federated fragment executor.
+    fn starql_bindings(
+        &self,
+        translated: &optique_starql::TranslatedQuery,
+        workers: Option<usize>,
+    ) -> Result<Vec<HashMap<String, optique_rdf::Term>>, String> {
+        let fallback = [translated.query.where_bgp.clone()];
+        let disjuncts: &[Vec<optique_rewrite::Atom>] =
+            if translated.query.where_disjuncts.is_empty() {
+                &fallback
+            } else {
+                &translated.query.where_disjuncts
+            };
+        let branch = |i: usize| -> GroupPattern {
+            let mut elements = vec![PatternElement::Triples(disjuncts[i].clone())];
+            if let Some(filters) = translated.query.where_filters.get(i) {
+                elements.extend(filters.iter().cloned().map(PatternElement::Filter));
+            }
+            GroupPattern { elements }
+        };
+        let pattern = if disjuncts.len() <= 1 {
+            branch(0)
+        } else {
+            GroupPattern {
+                elements: vec![PatternElement::Union(
+                    (0..disjuncts.len()).map(branch).collect(),
+                )],
+            }
+        };
+        let select = SelectQuery {
+            distinct: true,
+            projection: Projection::Items(
+                translated
+                    .where_answer_vars
+                    .iter()
+                    .map(|v| SelectItem::Var(v.clone()))
+                    .collect(),
+            ),
+            pattern,
+            group_by: Vec::new(),
+            modifiers: SolutionModifier::default(),
+        };
+        let federation = workers.map(|w| self.federation_for(w));
+        let generation = self.static_cache.generation();
+        let db = self.db();
+        let stats_snapshot = Arc::clone(&self.table_stats.read());
+        let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &db)
+            .with_cache_at(&self.static_cache, generation)
+            .with_planner(*self.planner.read())
+            .with_table_stats(&stats_snapshot);
+        if let Some(federation) = federation.as_deref() {
+            pipeline = pipeline.with_executor(federation);
+        }
+        let (results, _) = pipeline
+            .answer(&Query::Select(select))
+            .map_err(|e| format!("static bindings query failed: {e}"))?;
+        let vars = results.vars().to_vec();
+        let mut bindings = Vec::new();
+        for row in results.rows() {
+            let mut env = HashMap::with_capacity(vars.len());
+            for (var, term) in vars.iter().zip(row) {
+                if let Some(term) = term {
+                    env.insert(var.clone(), term.clone());
+                }
+            }
+            bindings.push(env);
+        }
+        Ok(bindings)
+    }
+
+    /// The `(stream table, stream key)` pairs of every registered
+    /// continuous query — what federation pools hash-partition the stream
+    /// side on.
+    fn stream_partition_pairs(&self) -> Vec<(String, String)> {
+        let queries = self.queries.lock();
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for reg in queries.values() {
+            let stream = reg.query.translated.query.stream.name.clone();
+            let key = reg.query.stream_to_rdf.subject.column().to_string();
+            if !pairs.iter().any(|(s, _)| *s == stream) {
+                pairs.push((stream, key));
+            }
+        }
+        pairs
+    }
+
+    /// The cached federation pool for `workers` under the current
+    /// topology, building it (static tables per topology, registered
+    /// streams always hash-partitioned) on first use.
+    fn federation_for(&self, workers: usize) -> Arc<Federation> {
+        let topology = *self.topology.read();
+        let streams = self.stream_partition_pairs();
+        let mut pools = self.federations.lock();
+        Arc::clone(pools.entry((workers, topology)).or_insert_with(|| {
+            Arc::new(Federation::for_deployment(
+                self.db(),
+                workers,
+                topology,
+                &self.table_stats.read(),
+                &self.mappings,
+                &streams,
+            ))
+        }))
     }
 
     /// Answers a **static** SPARQL query over the deployment's relational
@@ -282,24 +464,7 @@ impl OptiquePlatform {
         if workers == 0 {
             return Err("a federated query needs at least one worker".into());
         }
-        let topology = *self.topology.read();
-        let federation = {
-            let mut pools = self.federations.lock();
-            Arc::clone(pools.entry((workers, topology)).or_insert_with(|| {
-                Arc::new(match topology {
-                    FederationTopology::Replicated => {
-                        StaticFederation::replicated(self.db(), workers)
-                    }
-                    FederationTopology::AutoPartitioned => StaticFederation::auto_partitioned(
-                        self.db(),
-                        workers,
-                        &self.table_stats.read(),
-                        &self.mappings,
-                    ),
-                })
-            }))
-        };
-        self.run_static(text, Some(federation))
+        self.run_static(text, Some(self.federation_for(workers)))
     }
 
     /// The pool layout distributed static queries currently build.
@@ -321,7 +486,7 @@ impl OptiquePlatform {
     fn run_static(
         &self,
         text: &str,
-        federation: Option<Arc<StaticFederation>>,
+        federation: Option<Arc<Federation>>,
     ) -> Result<(SparqlResults, PipelineStats), String> {
         let parse_started = std::time::Instant::now();
         let query = parse_sparql(text, &self.namespaces).map_err(|e| e.to_string())?;
@@ -373,6 +538,8 @@ impl OptiquePlatform {
             partitioned_fragments: stats.partitioned_fragments,
             replicated_fallbacks: stats.replicated_fallbacks,
             shards_pruned: stats.shards_pruned,
+            plan_cache_hits: stats.plan_cache_hits,
+            plan_cache_misses: stats.plan_cache_misses,
         });
         Ok((results, stats))
     }
@@ -406,9 +573,28 @@ impl OptiquePlatform {
                 .with_refreshed_table(table, &changed);
             *self.table_stats.write() = Arc::new(refreshed);
         }
-        self.static_cache.invalidate();
+        match *self.invalidation.read() {
+            CacheInvalidation::Dependent => {
+                self.static_cache.invalidate_table(table);
+            }
+            CacheInvalidation::FullClear => {
+                self.static_cache.invalidate();
+            }
+        }
         self.federations.lock().clear();
         Ok(inserted)
+    }
+
+    /// How relational writes invalidate the per-BGP cache.
+    pub fn cache_invalidation(&self) -> CacheInvalidation {
+        *self.invalidation.read()
+    }
+
+    /// Switches between dependency-tracked eviction (the default: a write
+    /// evicts only the entries whose unfolded SQL read the written table)
+    /// and the conservative whole-cache clear.
+    pub fn set_cache_invalidation(&self, mode: CacheInvalidation) {
+        *self.invalidation.write() = mode;
     }
 
     /// The shared per-BGP solution-set cache (hit/miss counters feed the
@@ -446,16 +632,48 @@ impl OptiquePlatform {
     }
 
     /// Runs one pulse tick for every registered query, updating counters.
-    /// Outputs come back in registration order.
+    /// Outputs come back in registration order. Queries registered through
+    /// [`register_starql_distributed`](Self::register_starql_distributed)
+    /// materialize their windows as plan fragments over their federation
+    /// pool; the rest slice locally.
     pub fn tick_all(&self, tick_ms: i64) -> Result<Vec<(u64, TickOutput)>, String> {
+        // Pools build outside the query lock (pool construction calls
+        // back into `stream_partition_pairs`, which takes it).
+        let worker_counts: Vec<usize> = {
+            let queries = self.queries.lock();
+            let mut counts: Vec<usize> = queries.values().filter_map(|r| r.workers).collect();
+            counts.sort_unstable();
+            counts.dedup();
+            counts
+        };
+        let pools: HashMap<usize, Arc<Federation>> = worker_counts
+            .into_iter()
+            .map(|w| (w, self.federation_for(w)))
+            .collect();
+
         let mut out = Vec::new();
         let db = self.db();
         let mut queries = self.queries.lock();
         for (id, reg) in queries.iter_mut() {
-            let result = reg.query.tick(&db, &self.wcache, tick_ms)?;
+            // A query whose worker count registered *between* the snapshot
+            // above and this lock has no pool yet: it ticks single-node
+            // this once (identical output stream — the oracle's contract)
+            // and gets its pool next tick. Building here would deadlock on
+            // the queries lock (pool construction reads the stream pairs).
+            let executor = reg.workers.and_then(|w| pools.get(&w));
+            let result = reg.query.tick_via(
+                &db,
+                &self.wcache,
+                tick_ms,
+                executor.map(|f| f.as_ref() as _),
+            )?;
             reg.ticks += 1;
             reg.alarms += result.satisfied as u64;
             reg.tuples += result.tuples_in_window as u64;
+            reg.window_fragments += result.window_fragments as u64;
+            reg.stream_rows += result.stream_rows_shipped as u64;
+            reg.shards_pruned += result.shards_pruned as u64;
+            reg.semi_joins_pushed += result.semi_joins_pushed as u64;
             out.push((*id, result));
         }
         Ok(out)
@@ -492,8 +710,20 @@ impl OptiquePlatform {
                 alarms: reg.alarms,
                 tuples: reg.tuples,
                 fleet_size: reg.query.translated.fleet.len(),
+                workers: reg.workers.unwrap_or(1),
+                window_fragments: reg.window_fragments,
+                stream_rows: reg.stream_rows,
+                shards_pruned: reg.shards_pruned,
+                semi_joins_pushed: reg.semi_joins_pushed,
             })
             .collect();
+        drop(queries);
+        let (plan_cache_hits, plan_cache_misses) = self
+            .federations
+            .lock()
+            .values()
+            .map(|f| f.plan_cache_stats())
+            .fold((0, 0), |(h, m), (fh, fm)| (h + fh, m + fm));
         Dashboard {
             panels,
             static_queries: self.static_log.lock().clone(),
@@ -502,6 +732,8 @@ impl OptiquePlatform {
             bgp_cache_hits: self.static_cache.hits(),
             bgp_cache_misses: self.static_cache.misses(),
             bgp_cache_invalidations: self.static_cache.invalidations(),
+            plan_cache_hits,
+            plan_cache_misses,
         }
     }
 }
@@ -561,6 +793,75 @@ mod tests {
         }
         assert_eq!(registered, 18);
         assert_eq!(p.registered(), 18);
+    }
+
+    /// Distributed registration evaluates ticks through window fragments
+    /// over a stream-partitioned pool and raises the same alarms.
+    #[test]
+    fn distributed_starql_ticks_match_single_node() {
+        let single = platform();
+        let distributed = platform();
+        single.register_starql(optique_starql::FIGURE1).unwrap();
+        distributed
+            .register_starql_distributed(optique_starql::FIGURE1, 4)
+            .unwrap();
+        let mut single_alarms = 0usize;
+        let mut distributed_alarms = 0usize;
+        for tick in (600_000..=660_000).step_by(1_000) {
+            let s = single.tick_all(tick).unwrap();
+            let d = distributed.tick_all(tick).unwrap();
+            single_alarms += s[0].1.satisfied;
+            distributed_alarms += d[0].1.satisfied;
+            let mut st = s[0].1.triples.clone();
+            let mut dt = d[0].1.triples.clone();
+            st.sort_by_key(|t| format!("{t:?}"));
+            dt.sort_by_key(|t| format!("{t:?}"));
+            assert_eq!(st, dt, "tick {tick}");
+        }
+        assert!(single_alarms >= 1);
+        assert_eq!(single_alarms, distributed_alarms);
+        // The distributed panel shows windows genuinely shipped.
+        let dash = distributed.dashboard();
+        assert_eq!(dash.panels[0].workers, 4);
+        assert!(dash.panels[0].window_fragments > 0, "{:?}", dash.panels[0]);
+        assert!(dash.panels[0].stream_rows > 0);
+        assert!(dash.render().contains("wfrag"));
+        // Repeated rounds of the same window wire hit the worker plan
+        // caches.
+        assert!(dash.plan_cache_hits + dash.plan_cache_misses > 0);
+    }
+
+    /// Dependent invalidation keeps entries over unwritten tables warm;
+    /// the full-clear knob restores the conservative behavior.
+    #[test]
+    fn dependent_invalidation_keeps_unrelated_entries() {
+        let p = platform();
+        assert_eq!(p.cache_invalidation(), CacheInvalidation::Dependent);
+        let sensors = "SELECT ?s WHERE { ?s a sie:Sensor }";
+        let turbines = "SELECT ?t WHERE { ?t a sie:Turbine }";
+        p.query_static(sensors).unwrap();
+        p.query_static(turbines).unwrap();
+
+        // Insert into turbines: the sensor entry must survive…
+        let t = p.db().table("turbines").unwrap().clone();
+        let mut row: Vec<Value> = t.rows[0].clone();
+        let id_col = t.schema.index_of("tid").unwrap();
+        row[id_col] = Value::Int(77_001);
+        p.insert_static("turbines", vec![row.clone()]).unwrap();
+        let (_, stats) = p.query_static_with_stats(sensors).unwrap();
+        assert!(stats.cache_hits >= 1, "sensor entry stayed warm: {stats:?}");
+        // …while the turbine entry was evicted and sees the new row.
+        let (fresh, stats) = p.query_static_with_stats(turbines).unwrap();
+        assert_eq!(stats.cache_hits, 0, "turbine entry evicted: {stats:?}");
+        assert!(!fresh.is_empty());
+
+        // Full-clear fallback: the same write now clears everything.
+        p.set_cache_invalidation(CacheInvalidation::FullClear);
+        p.query_static(sensors).unwrap();
+        row[id_col] = Value::Int(77_002);
+        p.insert_static("turbines", vec![row]).unwrap();
+        let (_, stats) = p.query_static_with_stats(sensors).unwrap();
+        assert_eq!(stats.cache_hits, 0, "full clear evicted sensors too");
     }
 
     #[test]

@@ -7,17 +7,89 @@
 //! interface. An [`AsyncFrontend`] accepts submissions from any thread over
 //! a channel, mirroring the paper's "Asynchronous Gateway Server".
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use optique_relational::{PlanFragment, SqlError, Table};
+use optique_relational::{PlanFragment, SelectStatement, SqlError, Table};
 use parking_lot::Mutex;
 
 use crate::cluster::Cluster;
 use crate::exchange;
 use crate::scheduler::{OperatorTask, Scheduler};
+
+/// How many prepared statements each worker's plan cache retains.
+const PLAN_CACHE_CAPACITY: usize = 256;
+
+/// A worker-local cache of prepared fragment statements, keyed by the
+/// fragment's wire text (which fully determines the parsed, sliced,
+/// restricted statement). Scatter rounds ship the *same* wire to a worker
+/// tick after tick — window fragments of a recurring continuous query, the
+/// per-disjunct fragments of a repeated static query — and without the
+/// cache every execution re-pays the parse. FIFO eviction; hit/miss
+/// counters feed the dashboard.
+#[derive(Default)]
+pub struct PlanCache {
+    inner: Mutex<PlanEntries>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct PlanEntries {
+    map: HashMap<String, Arc<SelectStatement>>,
+    order: VecDeque<String>,
+}
+
+impl PlanCache {
+    /// The prepared statement for `wire`, parsing (and memoizing) on first
+    /// sight. The flag reports whether this call hit the cache — callers
+    /// that account per *round* sum these flags instead of diffing the
+    /// cumulative counters, which concurrent rounds would cross-pollute.
+    pub fn get_or_prepare(&self, wire: &str) -> Result<(Arc<SelectStatement>, bool), SqlError> {
+        if let Some(hit) = self.inner.lock().map.get(wire) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let statement = Arc::new(PlanFragment::decode(wire)?.statement()?);
+        let mut inner = self.inner.lock();
+        if let Some(existing) = inner.map.get(wire) {
+            // A racing worker thread prepared it first; share that one
+            // (this call still parsed, so it counts as the miss it was).
+            return Ok((Arc::clone(existing), false));
+        }
+        if inner.map.len() >= PLAN_CACHE_CAPACITY {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.order.push_back(wire.to_string());
+        inner.map.insert(wire.to_string(), Arc::clone(&statement));
+        Ok((statement, false))
+    }
+
+    /// Cumulative cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative cache misses (= parses).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Prepared statements currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Opaque continuous-query id.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -42,18 +114,30 @@ pub struct Gateway {
     scheduler: Mutex<Scheduler>,
     registry: Mutex<HashMap<QueryId, RegisteredQuery>>,
     next_id: AtomicU64,
+    /// One plan cache per worker (a real cluster's cache lives with the
+    /// worker process, so the simulation keeps them worker-local too).
+    plan_caches: Vec<PlanCache>,
 }
 
 impl Gateway {
     /// A gateway over `cluster`.
     pub fn new(cluster: Arc<Cluster>) -> Arc<Self> {
         let scheduler = Scheduler::new(cluster.size());
+        let plan_caches = (0..cluster.size()).map(|_| PlanCache::default()).collect();
         Arc::new(Gateway {
             cluster,
             scheduler: Mutex::new(scheduler),
             registry: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            plan_caches,
         })
+    }
+
+    /// Summed plan-cache hits and misses across the workers.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.plan_caches
+            .iter()
+            .fold((0, 0), |(h, m), c| (h + c.hits(), m + c.misses()))
     }
 
     /// Registers a continuous query: validates it parses, places it on the
@@ -204,21 +288,42 @@ impl Gateway {
             }
         }
 
-        // Worker side: decode each fragment, execute on the local shard
-        // (applying any pushed-down semi-join restriction before the result
-        // leaves the worker), ship the result batch back over the wire.
-        let outputs: Vec<Vec<(usize, Result<String, SqlError>)>> =
-            self.cluster.parallel_map(|worker| {
-                queues[worker.id]
-                    .iter()
-                    .map(|(idx, wire)| {
-                        let result = PlanFragment::decode(wire)
-                            .and_then(|frag| frag.execute(&worker.db))
-                            .map(|t| exchange::ship(&t));
-                        (*idx, result)
-                    })
-                    .collect()
-            });
+        // Worker side: prepare each fragment through the worker's plan
+        // cache (decode + parse + slice + restrict, memoized by wire text —
+        // scatter rounds repeat identical wires across ticks), execute on
+        // the local shard, ship the result batch back over the wire.
+        // Each worker counts its own hits/misses for *this* round (the
+        // cumulative cache counters are shared across concurrent rounds
+        // and would cross-attribute).
+        type WorkerOutput = (Vec<(usize, Result<String, SqlError>)>, u64, u64);
+        let outputs: Vec<WorkerOutput> = self.cluster.parallel_map(|worker| {
+            let cache = &self.plan_caches[worker.id];
+            let (mut hits, mut misses) = (0u64, 0u64);
+            let results = queues[worker.id]
+                .iter()
+                .map(|(idx, wire)| {
+                    let result = cache
+                        .get_or_prepare(wire)
+                        .map(|(statement, hit)| {
+                            if hit {
+                                hits += 1;
+                            } else {
+                                misses += 1;
+                            }
+                            statement
+                        })
+                        .and_then(|statement| {
+                            optique_relational::execute_prepared(&statement, &worker.db)
+                        })
+                        .map(|t| exchange::ship(&t));
+                    (*idx, result)
+                })
+                .collect();
+            (results, hits, misses)
+        });
+        let (plan_cache_hits, plan_cache_misses) = outputs
+            .iter()
+            .fold((0, 0), |(h, m), (_, wh, wm)| (h + wh, m + wm));
 
         // The round is over: transient (StaticFragment-kind) tasks release
         // their load; continuous operators are untouched.
@@ -229,7 +334,7 @@ impl Gateway {
         let mut worker_rows = vec![0usize; size];
         let mut gathered: Vec<Option<Result<Table, SqlError>>> =
             fragments.iter().map(|_| None).collect();
-        for (worker, per_worker) in outputs.into_iter().enumerate() {
+        for (worker, (per_worker, _, _)) in outputs.into_iter().enumerate() {
             for (idx, wire_result) in per_worker {
                 let table = wire_result.and_then(|wire| exchange::receive(&wire));
                 if let Ok(t) = &table {
@@ -250,6 +355,8 @@ impl Gateway {
                 .collect(),
             worker_rows,
             shards_pruned,
+            plan_cache_hits,
+            plan_cache_misses,
         }
     }
 }
@@ -267,6 +374,11 @@ pub struct StaticRound {
     /// Scatter executions skipped because key routing proved the shard
     /// could hold no matching row.
     pub shards_pruned: usize,
+    /// Fragment executions whose prepared statement came from a worker's
+    /// plan cache this round (the parse was skipped).
+    pub plan_cache_hits: u64,
+    /// Fragment executions that had to parse this round.
+    pub plan_cache_misses: u64,
 }
 
 /// One unit of a federated static query, as submitted to
@@ -568,6 +680,57 @@ mod tests {
         assert_eq!(round.shards_pruned, 0);
         assert_eq!(round.worker_rows, vec![100; 4]);
         assert_eq!(round.tables[0].as_ref().unwrap().len(), 400);
+    }
+
+    /// A repeated scatter round re-uses each worker's prepared statement:
+    /// the first round parses once per worker, later identical rounds
+    /// parse nothing.
+    #[test]
+    fn plan_cache_amortizes_repeated_scatter_rounds() {
+        let g = Gateway::new(cluster(4));
+        let scatter = || {
+            vec![StaticFragment::scattered(PlanFragment::new(
+                0,
+                "SELECT sensor_id FROM m",
+                1.0,
+            ))]
+        };
+        let first = g.run_static_round(&scatter());
+        assert_eq!(first.plan_cache_misses, 4, "one parse per worker");
+        assert_eq!(first.plan_cache_hits, 0);
+        let second = g.run_static_round(&scatter());
+        assert_eq!(second.plan_cache_misses, 0, "wire text repeats verbatim");
+        assert_eq!(second.plan_cache_hits, 4);
+        assert_eq!(
+            second.tables[0].as_ref().unwrap().len(),
+            400,
+            "cached plans return the same rows"
+        );
+        assert_eq!(g.plan_cache_stats(), (4, 4));
+    }
+
+    /// A changed wire (different window slice or IN-list) is a different
+    /// plan: the cache must not serve a stale statement.
+    #[test]
+    fn plan_cache_distinguishes_wires() {
+        use optique_relational::WindowSlice;
+        let g = Gateway::new(cluster(1));
+        let windowed = |close: i64| {
+            vec![StaticFragment::placed(
+                PlanFragment::new(0, "SELECT sensor_id, value FROM m", 1.0).with_window(
+                    WindowSlice {
+                        column: "value".into(),
+                        open_ms: -1,
+                        close_ms: close,
+                    },
+                ),
+            )]
+        };
+        let narrow = g.run_static_round(&windowed(4));
+        let wide = g.run_static_round(&windowed(49));
+        assert_eq!(narrow.tables[0].as_ref().unwrap().len(), 5);
+        assert_eq!(wide.tables[0].as_ref().unwrap().len(), 50);
+        assert_eq!(g.plan_cache_stats(), (0, 2), "two distinct wires parse");
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod udf;
 
 pub use adaptive::AdaptiveIndexer;
 pub use cluster::{Cluster, Worker};
-pub use gateway::{Gateway, QueryId, RegisteredQuery, StaticFragment, StaticRound};
+pub use gateway::{Gateway, PlanCache, QueryId, RegisteredQuery, StaticFragment, StaticRound};
 pub use metrics::ThroughputMeter;
 pub use scheduler::{Placement, Scheduler, TaskKind};

@@ -81,6 +81,24 @@ impl SemiJoin {
     }
 }
 
+/// A time-slice a coordinator attaches to a **window fragment**: the
+/// fragment's output keeps only rows whose `column` lies in
+/// `(open_ms, close_ms]` — the CQL snapshot convention of one sliding
+/// window. This is how continuous (STARQL) ticks ride the same wire format
+/// as static queries: a tick ships one scan-shaped fragment per window,
+/// sliced worker-side, instead of evaluating privately on the coordinator.
+/// Applied structurally around the statement ([`PlanFragment::statement`]),
+/// like semi-joins — never by splicing values into SQL text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowSlice {
+    /// The timestamp column (by output name) the slice filters on.
+    pub column: String,
+    /// Exclusive lower bound (window open), in milliseconds.
+    pub open_ms: i64,
+    /// Inclusive upper bound (window close), in milliseconds.
+    pub close_ms: i64,
+}
+
 /// Partition-layout metadata a coordinator attaches to a scatter fragment:
 /// the fragment scans `table`, hash-partitioned across the workers on
 /// `column` (of `column_type`). Pure routing metadata — execution ignores
@@ -113,6 +131,9 @@ pub struct PlanFragment {
     /// Partition layout of the scanned table, when the coordinator shards
     /// it — enables shard-pruned scatter ([`Self::shard_plan`]).
     pub partition: Option<PartitionSpec>,
+    /// Time-slice of one sliding window, for fragments a continuous query
+    /// ships per tick ([`WindowSlice`]).
+    pub window: Option<WindowSlice>,
 }
 
 impl PlanFragment {
@@ -124,6 +145,7 @@ impl PlanFragment {
             cost,
             semi_joins: Vec::new(),
             partition: None,
+            window: None,
         }
     }
 
@@ -139,26 +161,45 @@ impl PlanFragment {
         self
     }
 
-    /// The fragment's executable statement: the parsed SQL with any
-    /// semi-join restrictions applied around it.
+    /// Attaches a window time-slice (builder style).
+    pub fn with_window(mut self, window: WindowSlice) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// The fragment's executable statement: the parsed SQL with the window
+    /// time-slice (when present) and any semi-join restrictions applied
+    /// around it, in that order.
     pub fn statement(&self) -> Result<SelectStatement, SqlError> {
-        let statement = crate::parser::parse_select(&self.sql)?;
+        let mut statement = crate::parser::parse_select(&self.sql)?;
+        if let Some(window) = &self.window {
+            statement = slice_statement(statement, window);
+        }
         Ok(restrict_statement(statement, &self.semi_joins))
     }
 
-    /// Parses, restricts and executes the fragment against `db` — the one
-    /// entry point workers and coordinators share, so a restriction is never
-    /// silently dropped on any execution path.
+    /// Parses, slices, restricts and executes the fragment against `db` —
+    /// the one entry point workers and coordinators share, so a window
+    /// slice or restriction is never silently dropped on any execution
+    /// path.
     pub fn execute(&self, db: &Database) -> Result<Table, SqlError> {
-        let statement = self.statement()?;
-        let plan = crate::optimizer::optimize(crate::plan::plan_select(&statement, db)?);
-        crate::exec::execute(&plan, db)
+        execute_prepared(&self.statement()?, db)
     }
 
     /// Encodes the fragment for the wire: the header line, an optional
-    /// partition-metadata line, then one line per semi-join restriction.
+    /// partition-metadata line, an optional window-slice line, then one
+    /// line per semi-join restriction.
     pub fn encode(&self) -> String {
         let mut out = format!("frag\t{}\t{}\t{}", self.id, self.cost, escape(&self.sql));
+        if let Some(win) = &self.window {
+            let _ = write!(
+                out,
+                "\nwin\t{}\t{}\t{}",
+                escape(&win.column),
+                win.open_ms,
+                win.close_ms
+            );
+        }
         if let Some(part) = &self.partition {
             let _ = write!(
                 out,
@@ -205,9 +246,29 @@ impl PlanFragment {
         )?;
         let mut semi_joins = Vec::new();
         let mut partition = None;
+        let mut window = None;
         for line in lines {
             let mut fields = line.split('\t');
             match fields.next() {
+                Some("win") => {
+                    let mut field = || {
+                        fields
+                            .next()
+                            .ok_or_else(|| SqlError::Execution("window field missing".into()))
+                    };
+                    let column = unescape(field()?)?;
+                    let parse = |s: &str| {
+                        s.parse::<i64>()
+                            .map_err(|_| SqlError::Execution(format!("bad window bound {s:?}")))
+                    };
+                    let open_ms = parse(field()?)?;
+                    let close_ms = parse(field()?)?;
+                    window = Some(WindowSlice {
+                        column,
+                        open_ms,
+                        close_ms,
+                    });
+                }
                 Some("semi") => {
                     let column =
                         unescape(fields.next().ok_or_else(|| {
@@ -244,7 +305,99 @@ impl PlanFragment {
             cost,
             semi_joins,
             partition,
+            window,
         })
+    }
+}
+
+/// Plans and executes an already-built statement against `db` — the
+/// execution half of [`PlanFragment::execute`], split out so a worker-side
+/// plan cache can reuse a parsed statement across shards and rounds
+/// without re-paying the parse.
+pub fn execute_prepared(statement: &SelectStatement, db: &Database) -> Result<Table, SqlError> {
+    let plan = crate::optimizer::optimize(crate::plan::plan_select(statement, db)?);
+    crate::exec::execute(&plan, db)
+}
+
+/// The base tables a statement reads, across joins, subqueries and
+/// `UNION ALL` arms — what a cached result of the statement *depends on*.
+/// `None` when the statement reads through a table-valued function, whose
+/// data provenance the analysis cannot see (callers must treat the
+/// dependency set as "anything").
+pub fn referenced_tables(statement: &SelectStatement) -> Option<BTreeSet<String>> {
+    fn walk(statement: &SelectStatement, out: &mut BTreeSet<String>) -> bool {
+        let mut refs = vec![&statement.from];
+        refs.extend(statement.joins.iter().map(|j| &j.table));
+        for table_ref in refs {
+            match table_ref {
+                TableRef::Named { name, .. } => {
+                    out.insert(name.clone());
+                }
+                TableRef::Subquery { query, .. } => {
+                    if !walk(query, out) {
+                        return false;
+                    }
+                }
+                TableRef::Function { .. } => return false,
+            }
+        }
+        match statement.union_all.as_deref() {
+            Some(next) => walk(next, out),
+            None => true,
+        }
+    }
+    let mut out = BTreeSet::new();
+    walk(statement, &mut out).then_some(out)
+}
+
+/// Applies a window time-slice around a statement: each disjunct of its
+/// `UNION ALL` chain is wrapped in `SELECT * FROM (disjunct) WHERE col >
+/// open AND col <= close` — the `(open, close]` half-open convention the
+/// stream layer's `timeSlidingWindow` uses.
+fn slice_statement(statement: SelectStatement, window: &WindowSlice) -> SelectStatement {
+    let mut disjuncts: Vec<SelectStatement> = Vec::new();
+    let mut cursor = Some(statement);
+    while let Some(mut stmt) = cursor {
+        cursor = stmt.union_all.take().map(|next| *next);
+        disjuncts.push(slice_one(stmt, window));
+    }
+    let mut chain = disjuncts.pop().expect("at least one disjunct");
+    while let Some(mut prev) = disjuncts.pop() {
+        prev.union_all = Some(Box::new(chain));
+        chain = prev;
+    }
+    chain
+}
+
+fn slice_one(statement: SelectStatement, window: &WindowSlice) -> SelectStatement {
+    let column = || Box::new(Expr::Column(window.column.clone()));
+    let predicate = Expr::binary(
+        BinOp::And,
+        Expr::binary(
+            BinOp::Gt,
+            *column(),
+            Expr::Literal(Value::Timestamp(window.open_ms)),
+        ),
+        Expr::binary(
+            BinOp::Le,
+            *column(),
+            Expr::Literal(Value::Timestamp(window.close_ms)),
+        ),
+    );
+    SelectStatement {
+        distinct: false,
+        projections: vec![Projection::Star],
+        from: TableRef::Subquery {
+            query: Box::new(statement),
+            alias: "__win".into(),
+        },
+        joins: Vec::new(),
+        where_clause: Some(predicate),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+        union_all: None,
     }
 }
 
@@ -1119,6 +1272,90 @@ mod tests {
         let out = f.execute(&db).unwrap();
         // Each disjunct contributes its v=2 row and its v=NULL row.
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn window_slice_round_trips_and_filters() {
+        let mut db = Database::new();
+        db.put_table(
+            "s",
+            table_of(
+                "s",
+                &[("ts", ColumnType::Timestamp), ("v", ColumnType::Int)],
+                (0..10)
+                    .map(|i| vec![Value::Timestamp(i * 1000), Value::Int(i)])
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        let f = PlanFragment::new(0, "SELECT ts, v FROM s", 1.0).with_window(WindowSlice {
+            column: "ts".into(),
+            open_ms: 2000,
+            close_ms: 5000,
+        });
+        // Wire round trip preserves the slice.
+        let decoded = PlanFragment::decode(&f.encode()).unwrap();
+        assert_eq!(decoded, f);
+        // (2000, 5000] keeps ts = 3000, 4000, 5000.
+        let out = decoded.execute(&db).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out
+            .rows
+            .iter()
+            .all(|r| r[0].as_i64().unwrap() > 2000 && r[0].as_i64().unwrap() <= 5000));
+        // A window combined with a semi-join applies both.
+        let both = f.with_semi_joins(vec![SemiJoin::new("v", vec![Value::Int(4)])]);
+        let out = PlanFragment::decode(&both.encode())
+            .unwrap()
+            .execute(&db)
+            .unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Timestamp(4000), Value::Int(4)]]);
+    }
+
+    /// An integer timestamp column still slices: numeric comparison spans
+    /// Int/Timestamp variants.
+    #[test]
+    fn window_slice_accepts_integer_time_columns() {
+        let mut db = Database::new();
+        db.put_table(
+            "s",
+            table_of(
+                "s",
+                &[("ts", ColumnType::Int)],
+                (0..5).map(|i| vec![Value::Int(i * 10)]).collect(),
+            )
+            .unwrap(),
+        );
+        let f = PlanFragment::new(0, "SELECT ts FROM s", 1.0).with_window(WindowSlice {
+            column: "ts".into(),
+            open_ms: 10,
+            close_ms: 30,
+        });
+        assert_eq!(f.execute(&db).unwrap().len(), 2, "ts = 20 and 30");
+    }
+
+    #[test]
+    fn referenced_tables_walks_the_statement() {
+        let deps = |sql: &str| referenced_tables(&crate::parser::parse_select(sql).unwrap());
+        let named: BTreeSet<String> = ["sensors".to_string(), "turbines".to_string()]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            deps("SELECT s.sid FROM sensors AS s JOIN turbines AS t ON s.tid = t.tid"),
+            Some(named.clone())
+        );
+        assert_eq!(
+            deps(
+                "SELECT sid FROM (SELECT sid FROM sensors) AS u \
+                 UNION ALL SELECT tid FROM turbines"
+            ),
+            Some(named)
+        );
+        // A table-valued function hides its provenance.
+        assert_eq!(
+            deps("SELECT * FROM timeslidingwindow('S', 0, 10, 1, 0, 0, 0) AS w"),
+            None
+        );
     }
 
     #[test]

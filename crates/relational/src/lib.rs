@@ -44,8 +44,8 @@ pub use error::SqlError;
 pub use exec::execute;
 pub use expr::Expr;
 pub use fragment::{
-    shard_compatibility, shard_of, PartitionSpec, PlanFragment, ResultBatch, SemiJoin,
-    ShardCompatibility,
+    execute_prepared, referenced_tables, shard_compatibility, shard_of, PartitionSpec,
+    PlanFragment, ResultBatch, SemiJoin, ShardCompatibility, WindowSlice,
 };
 pub use parser::{parse_select, SelectStatement};
 pub use plan::LogicalPlan;

@@ -179,7 +179,7 @@ const MAX_KEY_SKEW: f64 = 0.5;
 /// costs every scan a scatter), as are columns with fewer than two distinct
 /// values or past [`MAX_KEY_SKEW`]. Returns `(table, key_column)` pairs
 /// sorted by table name — the exact shape
-/// `StaticFederation::partitioned`-style constructors take.
+/// `Federation::partitioned`-style constructors take.
 pub fn advise_partition_keys(
     stats: &StatsCatalog,
     candidates: &[(String, String, usize)],

@@ -137,6 +137,20 @@ pub enum PatternElement {
     SubGroup(GroupPattern),
     /// `FILTER ( … )` — applied to the group's solutions.
     Filter(Expression),
+    /// `VALUES (?v …) { (…) … }` — inline bindings, joined like any other
+    /// operand.
+    Values(ValuesBlock),
+}
+
+/// An inline `VALUES` data block: a small literal solution set. `UNDEF`
+/// positions are unbound (they join with anything, like `OPTIONAL`-produced
+/// unbound positions).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValuesBlock {
+    /// The block's variables, in declaration order.
+    pub vars: Vec<String>,
+    /// One row per data tuple; `None` is `UNDEF`.
+    pub rows: Vec<Vec<Option<Term>>>,
 }
 
 impl GroupPattern {
@@ -175,6 +189,11 @@ impl GroupPattern {
                         push(out, &v);
                     }
                 }
+                PatternElement::Values(block) => {
+                    for v in &block.vars {
+                        push(out, v);
+                    }
+                }
             }
         }
     }
@@ -189,7 +208,9 @@ impl GroupPattern {
             PatternElement::Optional(_) => true,
             PatternElement::SubGroup(g) => g.contains_optional(),
             PatternElement::Union(branches) => branches.iter().any(|b| b.contains_optional()),
-            PatternElement::Triples(_) | PatternElement::Filter(_) => false,
+            PatternElement::Triples(_) | PatternElement::Filter(_) | PatternElement::Values(_) => {
+                false
+            }
         })
     }
 
@@ -232,6 +253,9 @@ impl GroupPattern {
                 }
                 PatternElement::Optional(_) => {
                     return Err("OPTIONAL cannot be lowered to a conjunctive query".into())
+                }
+                PatternElement::Values(_) => {
+                    return Err("VALUES cannot be lowered to a conjunctive query".into())
                 }
                 PatternElement::Filter(e) => {
                     for (_, filters) in &mut disjuncts {

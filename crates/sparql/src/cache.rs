@@ -9,12 +9,17 @@
 //! (post-rewrite, post-unfold, post-execution, post-dedup), so a repeat
 //! skips the whole rewrite → unfold → SQL pipeline.
 //!
-//! Invalidation is whole-cache on any relational write: cached solutions
-//! are certain answers over a database state, and the platform bumps/clears
-//! the cache when that state changes (`OptiquePlatform::insert_static`).
+//! Invalidation on a relational write is **dependency-tracked**: every
+//! entry records the base tables its unfolded SQL read
+//! ([`BgpCache::store_with_tables`]), and [`BgpCache::invalidate_table`]
+//! evicts only the entries that depend on the written table — a write to
+//! `turbines` leaves cached sensor BGPs warm. Entries stored with unknown
+//! provenance (no table set) are evicted by every write, and
+//! [`BgpCache::invalidate`] keeps the whole-cache clear as the
+//! conservative fallback (`OptiquePlatform` exposes a knob for it).
 //! Hit/miss/invalidation counters feed the platform dashboard.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -32,15 +37,25 @@ pub struct BgpCache {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
-    /// Bumped by [`Self::invalidate`]; stores stamped with an older
+    /// Bumped by every invalidation; stores stamped with an older
     /// generation are rejected, so a computation that began before a
     /// relational write cannot repopulate the cache with stale answers.
+    /// (Deliberately one global counter even for per-table eviction: an
+    /// in-flight store cannot prove which snapshot it read, so any write
+    /// since its capture drops it — conservative, never stale.)
     generation: AtomicU64,
+}
+
+struct Entry {
+    solutions: SolutionSet,
+    /// Base tables the entry's unfolded SQL read; `None` = unknown
+    /// provenance, evicted by any write.
+    tables: Option<BTreeSet<String>>,
 }
 
 #[derive(Default)]
 struct Entries {
-    map: HashMap<String, SolutionSet>,
+    map: HashMap<String, Entry>,
     order: VecDeque<String>,
 }
 
@@ -79,9 +94,9 @@ impl BgpCache {
     pub fn lookup_any(&self, keys: &[&str]) -> Option<SolutionSet> {
         let inner = self.inner.lock().expect("cache lock");
         for key in keys {
-            if let Some(solutions) = inner.map.get(*key) {
+            if let Some(entry) = inner.map.get(*key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(solutions.clone());
+                return Some(entry.solutions.clone());
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -95,19 +110,36 @@ impl BgpCache {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// Stores a BGP's solutions computed at `generation`, evicting the
+    /// Stores a BGP's solutions computed at `generation` with unknown
+    /// table provenance — such entries are evicted by *every* relational
+    /// write. Prefer [`Self::store_with_tables`] when the tables the
+    /// solutions were read from are known.
+    pub fn store(&self, key: String, solutions: SolutionSet, generation: u64) {
+        self.store_with_tables(key, solutions, generation, None);
+    }
+
+    /// Stores a BGP's solutions computed at `generation`, recording the
+    /// base tables the unfolded SQL read (`tables`) so a later
+    /// [`Self::invalidate_table`] evicts only dependent entries. Evicts the
     /// oldest entry when full. Rejected (dropped) when the cache has been
     /// invalidated since `generation` was captured — the solutions describe
     /// a superseded database snapshot.
-    pub fn store(&self, key: String, solutions: SolutionSet, generation: u64) {
+    pub fn store_with_tables(
+        &self,
+        key: String,
+        solutions: SolutionSet,
+        generation: u64,
+        tables: Option<BTreeSet<String>>,
+    ) {
         let mut inner = self.inner.lock().expect("cache lock");
         // Checked under the lock so no invalidation can interleave between
         // the check and the insert.
         if self.generation.load(Ordering::Acquire) != generation {
             return;
         }
+        let entry = Entry { solutions, tables };
         if let Some(existing) = inner.map.get_mut(&key) {
-            *existing = solutions;
+            *existing = entry;
             return;
         }
         if inner.map.len() >= CAPACITY {
@@ -116,11 +148,11 @@ impl BgpCache {
             }
         }
         inner.order.push_back(key.clone());
-        inner.map.insert(key, solutions);
+        inner.map.insert(key, entry);
     }
 
-    /// Drops every entry (relational write), returning how many were
-    /// evicted.
+    /// Drops every entry (the conservative whole-cache invalidation),
+    /// returning how many were evicted.
     pub fn invalidate(&self) -> usize {
         let mut inner = self.inner.lock().expect("cache lock");
         let evicted = inner.map.len();
@@ -129,6 +161,29 @@ impl BgpCache {
         self.generation.fetch_add(1, Ordering::AcqRel);
         self.invalidations.fetch_add(1, Ordering::Relaxed);
         evicted
+    }
+
+    /// Evicts only the entries that depend on `table` (read it in their
+    /// unfolded SQL) or whose provenance is unknown; independent entries
+    /// stay warm. Counts one invalidation and bumps the store generation —
+    /// an in-flight computation cannot prove it read the pre-write
+    /// snapshot, so its store is dropped regardless of which table it
+    /// touched. Returns how many entries were evicted.
+    pub fn invalidate_table(&self, table: &str) -> usize {
+        let mut guard = self.inner.lock().expect("cache lock");
+        let inner = &mut *guard;
+        let before = inner.map.len();
+        inner.map.retain(|_, entry| {
+            entry
+                .tables
+                .as_ref()
+                .is_some_and(|tables| !tables.contains(table))
+        });
+        let map = &inner.map;
+        inner.order.retain(|k| map.contains_key(k));
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        before - inner.map.len()
     }
 
     /// Cumulative cache hits.
@@ -257,6 +312,76 @@ mod tests {
             BgpCache::restricted_key(&[], "a"),
             BgpCache::restricted_key(&[], "b")
         );
+    }
+
+    fn deps(tables: &[&str]) -> Option<std::collections::BTreeSet<String>> {
+        Some(tables.iter().map(|t| t.to_string()).collect())
+    }
+
+    /// A write to one table evicts only the entries that read it; entries
+    /// over other tables stay warm, and unknown-provenance entries always
+    /// go.
+    #[test]
+    fn table_invalidation_evicts_only_dependents() {
+        let cache = BgpCache::new();
+        let generation = cache.generation();
+        cache.store_with_tables(
+            "sensors".into(),
+            solutions(1),
+            generation,
+            deps(&["sensors"]),
+        );
+        cache.store_with_tables(
+            "joined".into(),
+            solutions(2),
+            generation,
+            deps(&["sensors", "turbines"]),
+        );
+        cache.store_with_tables(
+            "turbines".into(),
+            solutions(3),
+            generation,
+            deps(&["turbines"]),
+        );
+        cache.store("opaque".into(), solutions(4), generation);
+
+        let evicted = cache.invalidate_table("sensors");
+        assert_eq!(evicted, 3, "sensors, joined, and the unknown entry go");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup("turbines").is_some(), "independent entry warm");
+        assert!(cache.lookup("sensors").is_none());
+        assert!(cache.lookup("joined").is_none());
+        assert_eq!(cache.invalidations(), 1);
+    }
+
+    /// Per-table eviction still bumps the generation: an in-flight store
+    /// captured before the write is dropped even for an unrelated table.
+    #[test]
+    fn table_invalidation_rejects_in_flight_stores() {
+        let cache = BgpCache::new();
+        let before = cache.generation();
+        cache.invalidate_table("sensors");
+        cache.store_with_tables("turbines".into(), solutions(1), before, deps(&["turbines"]));
+        assert!(cache.is_empty(), "pre-write store dropped");
+    }
+
+    /// Eviction keeps the FIFO order coherent: surviving entries still
+    /// evict oldest-first once capacity refills.
+    #[test]
+    fn table_invalidation_preserves_fifo_order() {
+        let cache = BgpCache::new();
+        let generation = cache.generation();
+        cache.store_with_tables("a".into(), solutions(1), generation, deps(&["t_a"]));
+        cache.store_with_tables("b".into(), solutions(1), generation, deps(&["t_b"]));
+        cache.invalidate_table("t_a");
+        let generation = cache.generation();
+        for i in 0..CAPACITY - 1 {
+            cache.store_with_tables(format!("k{i}"), solutions(1), generation, deps(&["t"]));
+        }
+        assert_eq!(cache.len(), CAPACITY);
+        cache.store_with_tables("one-more".into(), solutions(1), generation, deps(&["t"]));
+        assert!(cache.lookup("b").is_none(), "oldest survivor evicts first");
+        assert!(cache.lookup("k0").is_some());
     }
 
     /// A computation that began before an invalidation must not repopulate

@@ -73,6 +73,11 @@ pub struct FragmentRound {
     /// Scatter executions skipped because key routing proved the shard
     /// could hold no matching row.
     pub shards_pruned: usize,
+    /// Fragment executions answered from a worker's prepared-plan cache
+    /// (the parse was skipped).
+    pub plan_cache_hits: u64,
+    /// Fragment executions that parsed their statement this round.
+    pub plan_cache_misses: u64,
 }
 
 /// A distributed backend for unfolded-SQL execution: takes one
@@ -178,6 +183,10 @@ pub struct PipelineStats {
     /// Scatter executions skipped by partition-key routing (shards that
     /// provably held no matching row).
     pub shards_pruned: usize,
+    /// Fragment executions answered from a worker's prepared-plan cache.
+    pub plan_cache_hits: u64,
+    /// Fragment executions that parsed their statement.
+    pub plan_cache_misses: u64,
 }
 
 impl<'a> StaticPipeline<'a> {
@@ -319,7 +328,8 @@ impl<'a> StaticPipeline<'a> {
             match element {
                 PatternElement::Triples(_)
                 | PatternElement::SubGroup(_)
-                | PatternElement::Union(_) => batch.push(element),
+                | PatternElement::Union(_)
+                | PatternElement::Values(_) => batch.push(element),
                 PatternElement::Optional(inner) => {
                     current = self.flush_batch(current, &mut batch, restriction, model, stats)?;
                     // The OPTIONAL's right side may only be restricted by
@@ -410,6 +420,14 @@ impl<'a> StaticPipeline<'a> {
                     }
                     united
                 }
+                // Inline bindings are already materialized: they join like
+                // any operand (and, reordered first by their tiny
+                // estimate, their values push into sibling BGPs as
+                // semi-join restrictions).
+                PatternElement::Values(block) => SolutionSet {
+                    vars: block.vars.clone(),
+                    rows: block.rows.clone(),
+                },
                 _ => unreachable!("only joinable elements are batched"),
             };
             current = current.join(&solutions);
@@ -502,6 +520,11 @@ impl<'a> StaticPipeline<'a> {
             })
             .collect();
 
+        // What a cached result depends on: the base tables the unfolded SQL
+        // reads. An unmapped BGP reads nothing (row inserts cannot make it
+        // non-empty — mappings are immutable), so its dependency set is
+        // empty, not unknown.
+        let mut tables_read = Some(std::collections::BTreeSet::new());
         let solutions = match sql {
             // Some term has no mapping: the BGP is empty over the sources.
             None => SolutionSet {
@@ -509,6 +532,7 @@ impl<'a> StaticPipeline<'a> {
                 rows: Vec::new(),
             },
             Some(statement) => {
+                tables_read = optique_relational::referenced_tables(&statement);
                 stats.semi_joins_pushed += semi_joins.len();
                 let started = Instant::now();
                 let tables = self.execute_statement(statement, &semi_joins, stats)?;
@@ -540,7 +564,7 @@ impl<'a> StaticPipeline<'a> {
             // this store a no-op instead of repopulating the cache with
             // stale answers.
             if let Some(key) = restricted_key.or(plain_key) {
-                cache.store(key, solutions.clone(), self.cache_generation);
+                cache.store_with_tables(key, solutions.clone(), self.cache_generation, tables_read);
             }
         }
         Ok(solutions)
@@ -579,6 +603,8 @@ impl<'a> StaticPipeline<'a> {
                 stats.partitioned_fragments += round.partitioned_fragments;
                 stats.replicated_fallbacks += round.replicated_fallbacks;
                 stats.shards_pruned += round.shards_pruned;
+                stats.plan_cache_hits += round.plan_cache_hits;
+                stats.plan_cache_misses += round.plan_cache_misses;
                 stats.fragment_rows += round.tables.iter().map(Table::len).sum::<usize>();
                 Ok(round.tables)
             }
@@ -600,7 +626,7 @@ impl<'a> StaticPipeline<'a> {
 /// precondition for pushing a semi-join restriction into it.
 fn element_is_optional_free(element: &PatternElement) -> bool {
     match element {
-        PatternElement::Triples(_) => true,
+        PatternElement::Triples(_) | PatternElement::Values(_) => true,
         PatternElement::SubGroup(inner) => !inner.contains_optional(),
         PatternElement::Union(branches) => branches.iter().all(|b| !b.contains_optional()),
         _ => false,
@@ -623,6 +649,7 @@ fn element_vars(element: &PatternElement) -> Vec<String> {
             }
             out
         }
+        PatternElement::Values(block) => block.vars.clone(),
         _ => Vec::new(),
     }
 }
@@ -1188,6 +1215,65 @@ mod tests {
             opt_stats.bgps <= ns_stats.bgps,
             "planner may prune after the empty input"
         );
+    }
+
+    #[test]
+    fn values_joins_inline_bindings() {
+        // Full form with a two-variable block.
+        let (r, _) = answer(
+            "SELECT ?t ?m WHERE { ?t x:hasModel ?m . \
+             VALUES (?t) { (<http://x/turbine/1>) (<http://x/turbine/3>) } }",
+        );
+        assert_eq!(r.len(), 2, "two anchored turbines keep their models");
+        // Single-variable short form.
+        let (r, _) =
+            answer("SELECT ?t ?m WHERE { VALUES ?t { <http://x/turbine/2> } ?t x:hasModel ?m }");
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r.value(0, "m"),
+            Some(Term::Literal(Literal::string("SGT-800")))
+        );
+        // UNDEF joins with anything.
+        let (r, _) = answer(
+            "SELECT ?t ?m WHERE { ?t x:hasModel ?m . \
+             VALUES (?t ?m) { (<http://x/turbine/1> UNDEF) } }",
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    /// A VALUES block is an exact-cardinality operand: the planner orders
+    /// it first and pushes its bindings into the sibling BGP as a
+    /// semi-join restriction — the anchor the streaming oracle's generator
+    /// uses for window joins.
+    #[test]
+    fn values_anchor_drives_semi_join_pushdown() {
+        let db = db();
+        let onto = ontology();
+        let maps = catalog();
+        let stats = optique_relational::StatsCatalog::analyze(&db);
+        let pipeline = StaticPipeline::new(&onto, &maps, &db).with_table_stats(&stats);
+        let query = crate::parse_sparql(
+            "SELECT ?t ?m WHERE { { ?t x:hasModel ?m } \
+             VALUES ?t { <http://x/turbine/1> } }",
+            &ns(),
+        )
+        .unwrap();
+        let (r, s) = pipeline.answer(&query).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(s.join_reorders >= 1, "VALUES (1 row) runs first: {s:?}");
+        assert!(s.semi_joins_pushed >= 1, "anchor restricts the BGP: {s:?}");
+    }
+
+    #[test]
+    fn values_parse_errors_are_positioned() {
+        for bad in [
+            "SELECT ?x WHERE { VALUES { 1 } }",
+            "SELECT ?x WHERE { VALUES (?x) { (1 2) } }",
+            "SELECT ?x WHERE { VALUES (?x) { (?y) } }",
+            "SELECT ?x WHERE { VALUES () { } }",
+        ] {
+            assert!(crate::parse_sparql(bad, &ns()).is_err(), "{bad}");
+        }
     }
 
     #[test]

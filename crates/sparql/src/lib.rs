@@ -56,7 +56,7 @@ pub mod results;
 
 pub use algebra::{
     AggregateFunction, ArithmeticOperator, AskQuery, ComparisonOperator, Expression, GroupPattern,
-    PatternElement, Projection, Query, SelectItem, SelectQuery, SolutionModifier,
+    PatternElement, Projection, Query, SelectItem, SelectQuery, SolutionModifier, ValuesBlock,
 };
 pub use cache::BgpCache;
 pub use compile::{

@@ -13,7 +13,7 @@ use optique_rewrite::{Atom, QueryTerm};
 
 use crate::algebra::{
     AggregateFunction, ArithmeticOperator, AskQuery, ComparisonOperator, Expression, GroupPattern,
-    PatternElement, Projection, Query, SelectItem, SelectQuery, SolutionModifier,
+    PatternElement, Projection, Query, SelectItem, SelectQuery, SolutionModifier, ValuesBlock,
 };
 use crate::error::{Position, SparqlError};
 use crate::lexer::{lex, Token, TokenKind};
@@ -365,6 +365,10 @@ impl Parser {
                     let expr = self.parse_constraint()?;
                     elements.push(PatternElement::Filter(expr));
                 }
+                Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("VALUES") => {
+                    self.bump();
+                    elements.push(PatternElement::Values(self.parse_values_block()?));
+                }
                 Some(TokenKind::LBrace) => {
                     let first = self.parse_group()?;
                     if self.at_keyword("UNION") {
@@ -423,7 +427,9 @@ impl Parser {
             match self.peek() {
                 None | Some(TokenKind::RBrace) | Some(TokenKind::LBrace) => break,
                 Some(TokenKind::Word(w))
-                    if w.eq_ignore_ascii_case("OPTIONAL") || w.eq_ignore_ascii_case("FILTER") =>
+                    if w.eq_ignore_ascii_case("OPTIONAL")
+                        || w.eq_ignore_ascii_case("FILTER")
+                        || w.eq_ignore_ascii_case("VALUES") =>
                 {
                     break
                 }
@@ -431,6 +437,93 @@ impl Parser {
             }
         }
         Ok(atoms)
+    }
+
+    /// `VALUES ?v { term … }` (single variable, bare terms) or
+    /// `VALUES (?a ?b …) { (t1 t2 …) … }` (full form). `UNDEF` marks an
+    /// unbound position.
+    fn parse_values_block(&mut self) -> Result<ValuesBlock, SparqlError> {
+        let mut vars = Vec::new();
+        let single = match self.peek() {
+            Some(TokenKind::Var(_)) => {
+                let Some(TokenKind::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
+                vars.push(v);
+                true
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                while let Some(TokenKind::Var(_)) = self.peek() {
+                    let Some(TokenKind::Var(v)) = self.bump() else {
+                        unreachable!()
+                    };
+                    vars.push(v);
+                }
+                self.expect_token(TokenKind::RParen, "`)` closing the VALUES variables")?;
+                if vars.is_empty() {
+                    return Err(self.err("VALUES needs at least one variable"));
+                }
+                false
+            }
+            _ => {
+                return Err(self.err(format!(
+                    "expected a variable or `(` after VALUES, found {}",
+                    self.describe_next()
+                )))
+            }
+        };
+        self.expect_token(TokenKind::LBrace, "`{` opening the VALUES data block")?;
+        let mut rows = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.bump();
+                    return Ok(ValuesBlock { vars, rows });
+                }
+                None => return Err(self.err("unterminated VALUES data block (missing `}`)")),
+                Some(TokenKind::LParen) if !single => {
+                    self.bump();
+                    let mut row = Vec::with_capacity(vars.len());
+                    while self.peek() != Some(&TokenKind::RParen) {
+                        row.push(self.parse_data_value()?);
+                    }
+                    self.expect_token(TokenKind::RParen, "`)` closing a VALUES row")?;
+                    if row.len() != vars.len() {
+                        return Err(self.err(format!(
+                            "VALUES row has {} terms for {} variables",
+                            row.len(),
+                            vars.len()
+                        )));
+                    }
+                    rows.push(row);
+                }
+                _ if single => {
+                    rows.push(vec![self.parse_data_value()?]);
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected `(` or `}}` in the VALUES data block, found {}",
+                        self.describe_next()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// One VALUES data term: a constant (never a variable) or `UNDEF`.
+    fn parse_data_value(&mut self) -> Result<Option<Term>, SparqlError> {
+        if self.eat_keyword("UNDEF") {
+            return Ok(None);
+        }
+        let position = self.position();
+        match self.parse_term()? {
+            QueryTerm::Const(term) => Ok(Some(term)),
+            QueryTerm::Var(v) => Err(SparqlError::parse(
+                format!("VALUES data must be constants or UNDEF, found ?{v}"),
+                position,
+            )),
+        }
     }
 
     fn make_atom(

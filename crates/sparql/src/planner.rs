@@ -380,6 +380,8 @@ impl<'a> CardinalityModel<'a> {
                 }
                 PatternElement::Optional(_) => {}
                 PatternElement::Filter(_) => estimate *= 0.5,
+                // Inline bindings are exact: their cardinality is known.
+                PatternElement::Values(block) => estimate *= block.rows.len() as f64,
             }
         }
         estimate
@@ -393,6 +395,7 @@ impl<'a> CardinalityModel<'a> {
             PatternElement::Union(branches) => {
                 branches.iter().map(|b| self.estimate_group(b)).sum::<f64>()
             }
+            PatternElement::Values(block) => block.rows.len() as f64,
             // OPTIONAL / FILTER are never batch operands.
             _ => DEFAULT_ROWS,
         }

@@ -5,19 +5,41 @@
 //! sequence, and evaluates the HAVING condition once per static WHERE
 //! binding; satisfied bindings instantiate the CONSTRUCT template onto the
 //! output stream.
+//!
+//! **Window materialization has two backends**, mirroring the static
+//! pipeline: single-node (slice the stream table locally, the reference
+//! semantics) and **distributed** — each tick compiles its window to a
+//! [`PlanFragment`] carrying a [`WindowSlice`] time-slice section, shipped
+//! through the same [`FragmentExecutor`] the static side uses. Over a
+//! federation whose stream tables hash-partition on the stream key, the
+//! window fragment *scatters*: every worker slices its shard and the
+//! partials concatenate — windows spread across the cluster instead of
+//! replicating onto one node. When the static bindings admit it (see
+//! `HavingFormula::restriction_safe`), the fragment additionally carries a
+//! semi-join on the stream-key column restricted to the bound subjects'
+//! raw keys — the stream-static join pushdown — which also lets the
+//! gateway's shard routing skip shards that can hold no admissible key.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use optique_ontology::materialize::materialize;
 use optique_rdf::{Term, Triple};
-use optique_relational::{Database, Value};
+use optique_relational::{
+    ColumnType, Database, PlanFragment, Schema, SemiJoin, Value, WindowSlice,
+};
 use optique_rewrite::{Atom, QueryTerm};
+use optique_sparql::FragmentExecutor;
 use optique_stream::{Stream, WCache, WindowSpec};
 
 use crate::having::Env;
 use crate::sequence::{build_stdseq, IcPolicy, StreamToRdf};
 use crate::translate::TranslatedQuery;
+
+/// Per-variable cap on stream-key restriction values: binding sets past
+/// this ship the window unrestricted (a longer `IN` list costs more than
+/// it prunes — the same economics as the static planner's `max_in_list`).
+pub const MAX_STREAM_KEYS: usize = 256;
 
 /// A registered continuous query, ready to tick.
 pub struct ContinuousQuery {
@@ -33,10 +55,14 @@ pub struct ContinuousQuery {
     bindings: Vec<HashMap<String, Term>>,
     window: WindowSpec,
     window_start: i64,
+    /// Raw stream-key values the static bindings admit (`None` =
+    /// restriction not provably sound, or too many keys): distributed
+    /// ticks push these into the window fragment as a semi-join.
+    stream_keys: Option<Vec<Value>>,
 }
 
 /// One tick's output and accounting.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct TickOutput {
     /// The tick instant.
     pub tick_ms: i64,
@@ -48,12 +74,26 @@ pub struct TickOutput {
     pub satisfied: usize,
     /// Bindings evaluated.
     pub bindings_checked: usize,
-    /// Tuples in the window.
+    /// Tuples in the (possibly key-restricted) window the tick evaluated.
     pub tuples_in_window: usize,
     /// States in the sequence.
     pub states: usize,
     /// States dropped for integrity violations.
     pub dropped_states: usize,
+    /// Window fragments shipped to the distributed executor this tick
+    /// (0 = single-node, or the window came from the shared cache).
+    pub window_fragments: usize,
+    /// Stream rows the executor shipped back for this tick's window
+    /// (0 on a window-cache hit — sharing, not shipping).
+    pub stream_rows_shipped: usize,
+    /// Stream-key semi-joins pushed into the window fragment.
+    pub semi_joins_pushed: usize,
+    /// Scatter executions skipped because stream-key routing proved the
+    /// shard held no admissible key.
+    pub shards_pruned: usize,
+    /// Window fragments that executed sharded over a hash-partitioned
+    /// stream (scatter) rather than on a single replica.
+    pub partitioned_fragments: usize,
 }
 
 impl ContinuousQuery {
@@ -65,18 +105,6 @@ impl ContinuousQuery {
         stream_to_rdf: StreamToRdf,
         db: &Database,
     ) -> Result<Self, String> {
-        let window = WindowSpec::new(
-            translated.query.stream.range_ms,
-            translated.query.stream.slide_ms,
-        )
-        .map_err(|e| e.to_string())?;
-        let window_start = translated
-            .query
-            .pulse
-            .as_ref()
-            .map(|p| p.start_ms)
-            .unwrap_or(0);
-
         let mut bindings = Vec::new();
         if let Some(sql) = &translated.static_sql {
             let table = optique_relational::exec::query(&sql.to_string(), db)
@@ -97,6 +125,31 @@ impl ContinuousQuery {
                 bindings.push(env);
             }
         }
+        Self::register_with_bindings(translated, stream_to_rdf, db, bindings)
+    }
+
+    /// Registers the query with externally-computed WHERE bindings — the
+    /// platform's entry point, which answers the static side through the
+    /// full OBDA pipeline (per-BGP cache, planner, federated fragments)
+    /// instead of the raw unfolded SQL.
+    pub fn register_with_bindings(
+        translated: TranslatedQuery,
+        stream_to_rdf: StreamToRdf,
+        db: &Database,
+        bindings: Vec<HashMap<String, Term>>,
+    ) -> Result<Self, String> {
+        let window = WindowSpec::new(
+            translated.query.stream.range_ms,
+            translated.query.stream.slide_ms,
+        )
+        .map_err(|e| e.to_string())?;
+        let window_start = translated
+            .query
+            .pulse
+            .as_ref()
+            .map(|p| p.start_ms)
+            .unwrap_or(0);
+        let stream_keys = admissible_stream_keys(&translated, &stream_to_rdf, db, &bindings);
         Ok(ContinuousQuery {
             translated,
             stream_to_rdf,
@@ -105,6 +158,7 @@ impl ContinuousQuery {
             bindings,
             window,
             window_start,
+            stream_keys,
         })
     }
 
@@ -118,20 +172,39 @@ impl ContinuousQuery {
         self.window
     }
 
+    /// The raw stream-key values the static bindings admit, when the
+    /// HAVING formula is restriction-safe (observability / tests).
+    pub fn stream_keys(&self) -> Option<&[Value]> {
+        self.stream_keys.as_deref()
+    }
+
     /// Evaluates one pulse tick at `tick_ms` over the stream table in `db`,
-    /// sharing window materializations through `wcache`.
+    /// sharing window materializations through `wcache` — single-node: the
+    /// window is sliced locally, the reference semantics.
     pub fn tick(&self, db: &Database, wcache: &WCache, tick_ms: i64) -> Result<TickOutput, String> {
+        self.tick_via(db, wcache, tick_ms, None)
+    }
+
+    /// [`Self::tick`], with the window materialized through an optional
+    /// [`FragmentExecutor`]: the tick compiles its window slice to a
+    /// [`PlanFragment`] (window time-slice + stream-key semi-join) and the
+    /// executor runs it exactly as it runs static-query fragments — over a
+    /// stream-partitioned federation the window scatters across shards.
+    /// Output streams are identical across backends (the streaming
+    /// equivalence oracle pins this down); only the shipping accounting
+    /// differs.
+    pub fn tick_via(
+        &self,
+        db: &Database,
+        wcache: &WCache,
+        tick_ms: i64,
+        executor: Option<&dyn FragmentExecutor>,
+    ) -> Result<TickOutput, String> {
         let stream_name = &self.translated.query.stream.name;
         let Some(window_id) = self.window.last_closed(self.window_start, tick_ms) else {
             return Ok(TickOutput {
                 tick_ms,
-                window_id: 0,
-                triples: vec![],
-                satisfied: 0,
-                bindings_checked: 0,
-                tuples_in_window: 0,
-                states: 0,
-                dropped_states: 0,
+                ..TickOutput::default()
             });
         };
 
@@ -147,11 +220,49 @@ impl ContinuousQuery {
             })?;
 
         let (open, close) = self.window.bounds(self.window_start, window_id);
-        let rows: Arc<Vec<Vec<Value>>> = wcache.get_or_build(stream_name, window_id, || {
-            let stream = Stream::new(stream_name.clone(), (**table).clone(), ts_col)
-                .expect("stream table validated at registration");
-            stream.slice(open, close).to_vec()
-        });
+        let mut window_fragments = 0usize;
+        let mut stream_rows_shipped = 0usize;
+        let mut semi_joins_pushed = 0usize;
+        let mut shards_pruned = 0usize;
+        let mut partitioned_fragments = 0usize;
+        let rows: Arc<Vec<Vec<Value>>> = match executor {
+            None => wcache.get_or_build(stream_name, window_id, || {
+                let stream = Stream::new(stream_name.clone(), (**table).clone(), ts_col)
+                    .expect("stream table validated at registration");
+                stream.slice(open, close).to_vec()
+            }),
+            Some(executor) => {
+                // Restricted windows are a *subset* of the full window, so
+                // they cache under their own variant; the unrestricted
+                // distributed window is the same multiset as the local
+                // slice and shares the plain entry.
+                let variant = match &self.stream_keys {
+                    Some(keys) => format!("⋉{keys:?}"),
+                    None => String::new(),
+                };
+                match wcache.lookup(stream_name, window_id, &variant) {
+                    Some(hit) => hit,
+                    None => {
+                        let fragment = self.window_fragment(&schema, stream_name, open, close);
+                        window_fragments += 1;
+                        semi_joins_pushed += fragment.semi_joins.len();
+                        let round = executor
+                            .execute(vec![fragment])
+                            .map_err(|e| format!("window fragment round failed: {e}"))?;
+                        shards_pruned += round.shards_pruned;
+                        partitioned_fragments += round.partitioned_fragments;
+                        let built: Vec<Vec<Value>> = round
+                            .tables
+                            .into_iter()
+                            .next()
+                            .map(|t| t.rows)
+                            .unwrap_or_default();
+                        stream_rows_shipped += built.len();
+                        wcache.insert(stream_name, window_id, &variant, built)
+                    }
+                }
+            }
+        };
 
         let (mut seq, dropped_states) = build_stdseq(
             &rows,
@@ -190,7 +301,147 @@ impl ContinuousQuery {
             tuples_in_window: rows.len(),
             states: seq.len(),
             dropped_states,
+            window_fragments,
+            stream_rows_shipped,
+            semi_joins_pushed,
+            shards_pruned,
+            partitioned_fragments,
         })
+    }
+
+    /// Compiles one window into its plan fragment: a plain scan of the
+    /// stream's columns, the `(open, close]` time-slice riding the wire as
+    /// the fragment's window section, and — when the static bindings admit
+    /// it — a semi-join restricting the stream-key column to the bound
+    /// subjects' raw keys.
+    fn window_fragment(
+        &self,
+        schema: &Schema,
+        stream_name: &str,
+        open: i64,
+        close: i64,
+    ) -> PlanFragment {
+        let columns = schema.header().join(", ");
+        let mut fragment =
+            PlanFragment::new(0, format!("SELECT {columns} FROM {stream_name}"), 1.0).with_window(
+                WindowSlice {
+                    column: self.stream_to_rdf.timestamp_col.clone(),
+                    open_ms: open,
+                    close_ms: close,
+                },
+            );
+        if let Some(keys) = &self.stream_keys {
+            let subject_col = self.stream_to_rdf.subject.column();
+            if schema.index_of(subject_col).is_some() {
+                fragment = fragment
+                    .with_semi_joins(vec![SemiJoin::new(subject_col.to_string(), keys.clone())]);
+            }
+        }
+        fragment
+    }
+}
+
+/// The raw stream-key values the static bindings admit, or `None` when
+/// restricting the shipped window could change tick semantics. Sound
+/// exactly when:
+///
+/// * the HAVING formula is restriction-safe (`restriction_safe`: no
+///   negation, guarded quantifiers — dropping all-foreign states is
+///   invisible),
+/// * every graph-atom subject is a WHERE-bound variable or an IRI
+///   constant, and every such subject value **inverts** through the
+///   stream's subject template to a raw key of the key column's type
+///   (subject IRIs the template cannot mint match no state triple and are
+///   skipped; non-IRI subjects disable the restriction — enrichment can
+///   in principle derive literal-subject assertions from foreign rows),
+/// * the TBox carries no integrity constraints (a foreign row can flip a
+///   whole state's `IcPolicy` verdict), and
+/// * the key set stays within [`MAX_STREAM_KEYS`].
+fn admissible_stream_keys(
+    translated: &TranslatedQuery,
+    stream_to_rdf: &StreamToRdf,
+    db: &Database,
+    bindings: &[HashMap<String, Term>],
+) -> Option<Vec<Value>> {
+    if !translated.having.restriction_safe() {
+        return None;
+    }
+    // Any integrity constraint makes state dropping depend on *all* tuples
+    // of the state, foreign ones included.
+    if !translated.ontology.disjoint_concepts().is_empty()
+        || translated.ontology.functional_roles().next().is_some()
+    {
+        return None;
+    }
+    let schema = &db.table(&translated.query.stream.name).ok()?.schema;
+    let key_idx = schema.index_of(stream_to_rdf.subject.column())?;
+    let key_type = schema.columns()[key_idx].ty;
+    // Bool/Any keys cannot be inverted unambiguously (Text("1") and
+    // Int(1) render identically) — same refusal as shard routing's.
+    if matches!(key_type, ColumnType::Bool | ColumnType::Any) {
+        return None;
+    }
+    let pattern = stream_to_rdf.subject.sql_pattern();
+    let (prefix, suffix) = pattern.split_once("{}")?;
+
+    let mut keys: BTreeSet<Value> = BTreeSet::new();
+    fn admit(
+        keys: &mut BTreeSet<Value>,
+        term: &Term,
+        prefix: &str,
+        suffix: &str,
+        key_type: ColumnType,
+    ) -> Option<()> {
+        match term {
+            Term::Iri(iri) => {
+                // A subject the template cannot mint is never a state
+                // subject: it constrains nothing and adds no key.
+                if let Some(key) = invert_stream_key(iri.as_str(), prefix, suffix, key_type) {
+                    keys.insert(key);
+                }
+                Some(())
+            }
+            // Literal / blank subjects could match enrichment-derived
+            // assertions whose provenance includes foreign rows.
+            _ => None,
+        }
+    }
+    for subject in translated.having.graph_subjects() {
+        match subject {
+            QueryTerm::Const(term) => admit(&mut keys, term, prefix, suffix, key_type)?,
+            QueryTerm::Var(v) => {
+                if !translated.where_answer_vars.iter().any(|w| w == v) {
+                    // A HAVING-local subject variable ranges over the whole
+                    // window; restricting would hide its witnesses.
+                    return None;
+                }
+                for binding in bindings {
+                    admit(&mut keys, binding.get(v)?, prefix, suffix, key_type)?;
+                }
+            }
+        }
+        if keys.len() > MAX_STREAM_KEYS {
+            return None;
+        }
+    }
+    Some(keys.into_iter().collect())
+}
+
+/// Maps a subject IRI back to the raw key value of the declared column
+/// type, or `None` when the template cannot have minted it — the same
+/// inversion discipline shard routing applies to `iri_template` columns.
+fn invert_stream_key(iri: &str, prefix: &str, suffix: &str, key_type: ColumnType) -> Option<Value> {
+    let middle = iri.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    match key_type {
+        ColumnType::Int => middle.parse().ok().map(Value::Int),
+        ColumnType::Float => middle.parse().ok().map(Value::Float),
+        // `IriTemplate::render` writes timestamps through Display (`@{t}`).
+        ColumnType::Timestamp => middle
+            .strip_prefix('@')
+            .and_then(|t| t.parse().ok())
+            .map(Value::Timestamp),
+        ColumnType::Text => Some(Value::text(middle)),
+        ColumnType::Bool | ColumnType::Any => None,
     }
 }
 
@@ -396,6 +647,110 @@ mod tests {
     fn registration_computes_bindings() {
         let (cq, _db) = registered();
         assert_eq!(cq.binding_count(), 2, "two sensors bound via WHERE");
+    }
+
+    /// Figure 1's MONOTONIC formula is restriction-safe and all its graph
+    /// subjects are WHERE-bound: registration inverts the two sensor IRIs
+    /// to raw keys for window-fragment pushdown.
+    #[test]
+    fn stream_keys_invert_bound_subjects() {
+        let (cq, _db) = registered();
+        assert_eq!(
+            cq.stream_keys(),
+            Some(&[Value::Int(10), Value::Int(11)][..]),
+            "both monitored sensors admit"
+        );
+    }
+
+    /// Any integrity constraint disables window restriction: a foreign
+    /// tuple can flip a whole state's IC verdict.
+    #[test]
+    fn stream_keys_disabled_under_constraints() {
+        use optique_ontology::Role;
+        let (db, mut onto, maps) = deployment();
+        onto.add_axiom(Axiom::Functional(Role::named(iri("hasValue"))));
+        let ns = Namespaces::with_w3c_defaults();
+        let q = parse_starql(FIGURE1, &ns).unwrap();
+        let ctx = TranslationContext {
+            ontology: &onto,
+            mappings: &maps,
+            rewrite_settings: Default::default(),
+            unfold_settings: Default::default(),
+        };
+        let translated = translate(&q, &ctx).unwrap();
+        let cq = ContinuousQuery::register(translated, stream_mapping(), &db).unwrap();
+        assert_eq!(cq.stream_keys(), None);
+    }
+
+    /// A loopback fragment executor: runs every window fragment on the
+    /// local database after a full wire round trip — exactly what a
+    /// worker pool does, minus the threads.
+    struct Loopback {
+        db: Database,
+    }
+
+    impl optique_sparql::FragmentExecutor for Loopback {
+        fn execute(
+            &self,
+            fragments: Vec<PlanFragment>,
+        ) -> Result<optique_sparql::FragmentRound, String> {
+            let tables = fragments
+                .into_iter()
+                .map(|f| {
+                    let decoded = PlanFragment::decode(&f.encode()).map_err(|e| e.to_string())?;
+                    decoded.execute(&self.db).map_err(|e| e.to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(optique_sparql::FragmentRound {
+                tables,
+                ..Default::default()
+            })
+        }
+    }
+
+    /// Ticks through the fragment pipeline produce the same output stream
+    /// as local slicing — including the restricted-window path.
+    #[test]
+    fn fragment_ticks_match_local_ticks() {
+        let (cq, db) = registered();
+        assert!(cq.stream_keys().is_some(), "restriction engages");
+        let loopback = Loopback { db: db.clone() };
+        for tick_ms in [1_000, 604_000, 605_000, 609_000, 700_000] {
+            let local = cq.tick(&db, &WCache::new(), tick_ms).unwrap();
+            let shipped = cq
+                .tick_via(&db, &WCache::new(), tick_ms, Some(&loopback))
+                .unwrap();
+            assert_eq!(local.window_id, shipped.window_id);
+            assert_eq!(local.satisfied, shipped.satisfied, "tick {tick_ms}");
+            assert_eq!(local.triples, shipped.triples, "tick {tick_ms}");
+            assert_eq!(local.states, shipped.states);
+            if shipped.window_id > 0 || shipped.tuples_in_window > 0 {
+                assert_eq!(shipped.window_fragments, 1, "window shipped as a fragment");
+                assert_eq!(
+                    shipped.semi_joins_pushed, 1,
+                    "stream-key restriction rode along"
+                );
+            }
+        }
+    }
+
+    /// The shared window cache keeps restricted and full windows apart,
+    /// and a second distributed tick reuses the shipped window.
+    #[test]
+    fn distributed_windows_cache_by_variant() {
+        let (cq, db) = registered();
+        let loopback = Loopback { db: db.clone() };
+        let wcache = WCache::new();
+        let first = cq.tick_via(&db, &wcache, 609_000, Some(&loopback)).unwrap();
+        assert!(first.stream_rows_shipped > 0);
+        let second = cq.tick_via(&db, &wcache, 609_000, Some(&loopback)).unwrap();
+        assert_eq!(second.window_fragments, 0, "cache hit ships nothing");
+        assert_eq!(second.stream_rows_shipped, 0);
+        assert_eq!(first.triples, second.triples);
+        // A local tick of the same window builds the *full* variant —
+        // the restricted entry must not answer it.
+        let local = cq.tick(&db, &wcache, 609_000).unwrap();
+        assert_eq!(local.tuples_in_window, 20, "full window, not the subset");
     }
 
     /// A WHERE FILTER, pushed into the unfolded static SQL, narrows the set

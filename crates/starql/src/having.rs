@@ -586,6 +586,123 @@ fn pattern_query(atoms: &[Atom], env: &Env, answer_vars: &[String]) -> Conjuncti
     ConjunctiveQuery::new(answer_vars.to_vec(), atoms)
 }
 
+// ---- stream-restriction safety -----------------------------------------
+//
+// The distributed tick path may ship each window *restricted* to the rows
+// whose subject key belongs to some statically-bound subject (a semi-join
+// pushed from the static side of the stream-static join). Restriction
+// drops rows that are **foreign** to every binding — and with them it may
+// drop whole states (timestamps whose every tuple was foreign). The
+// analysis below decides, purely syntactically, when that can never change
+// the formula's outcome for any binding:
+//
+// * every `GRAPH` atom's subject must be a WHERE-bound variable or a
+//   constant (checked by the caller, which also inverts the subjects to
+//   raw keys) — then a foreign state satisfies *no* graph atom;
+// * no `NOT` anywhere — negation can turn a foreign state into a witness;
+// * every `EXISTS`-quantified state variable is **guarded**: any witness
+//   must satisfy a graph atom at it, so a foreign state is never a
+//   witness and removing it removes nothing;
+// * every `FORALL`-quantified state variable is **vacuously satisfied at
+//   foreign states**: the body is an `IF` whose condition guards the
+//   variable (false at foreign ⇒ implication true), so removing the state
+//   removes only trivially-met obligations — the classical safe-formula
+//   shape the parser already enforces for value variables.
+
+impl HavingFormula {
+    /// The subject terms of every `GRAPH` atom in the formula.
+    pub fn graph_subjects(&self) -> Vec<&QueryTerm> {
+        fn walk<'a>(f: &'a HavingFormula, out: &mut Vec<&'a QueryTerm>) {
+            match f {
+                HavingFormula::Graph { atoms, .. } => {
+                    for atom in atoms {
+                        match atom {
+                            Atom::Class { arg, .. } => out.push(arg),
+                            Atom::Property { subject, .. } => out.push(subject),
+                        }
+                    }
+                }
+                HavingFormula::Exists { body, .. } | HavingFormula::Forall { body, .. } => {
+                    walk(body, out)
+                }
+                HavingFormula::If { cond, then } => {
+                    walk(cond, out);
+                    walk(then, out);
+                }
+                HavingFormula::And(a, b) | HavingFormula::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                HavingFormula::Not(a) => walk(a, out),
+                HavingFormula::True
+                | HavingFormula::StateLess { .. }
+                | HavingFormula::Cmp { .. } => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// True when dropping stream tuples foreign to every statically-bound
+    /// subject provably cannot change this formula's outcome (see the
+    /// module-level discussion above). The caller must separately ensure
+    /// every graph-atom subject is bound or constant and inverts to a
+    /// stream key.
+    pub fn restriction_safe(&self) -> bool {
+        match self {
+            HavingFormula::True
+            | HavingFormula::StateLess { .. }
+            | HavingFormula::Graph { .. }
+            | HavingFormula::Cmp { .. } => true,
+            HavingFormula::Not(_) => false,
+            HavingFormula::And(a, b) | HavingFormula::Or(a, b) => {
+                a.restriction_safe() && b.restriction_safe()
+            }
+            HavingFormula::If { cond, then } => cond.restriction_safe() && then.restriction_safe(),
+            HavingFormula::Exists { state_vars, body } => {
+                body.restriction_safe() && state_vars.iter().all(|v| body.guards(v))
+            }
+            HavingFormula::Forall {
+                state_vars, body, ..
+            } => body.restriction_safe() && state_vars.iter().all(|v| body.vacuous_at_foreign(v)),
+        }
+    }
+
+    /// True when any satisfying assignment must match a graph atom at
+    /// state variable `var` — so a state with no bound-subject triples can
+    /// never participate in a witness.
+    fn guards(&self, var: &str) -> bool {
+        match self {
+            HavingFormula::Graph { state, atoms } => state == var && !atoms.is_empty(),
+            HavingFormula::And(a, b) => a.guards(var) || b.guards(var),
+            HavingFormula::Or(a, b) => a.guards(var) && b.guards(var),
+            // An EXISTS holds only through some satisfying body
+            // assignment, which must itself guard the outer variable.
+            HavingFormula::Exists { body, .. } => body.guards(var),
+            // FORALL over an empty candidate set is vacuously true without
+            // any graph match; IF escapes through ¬cond; the rest never
+            // force a match.
+            _ => false,
+        }
+    }
+
+    /// True when the formula is satisfied by *any* assignment placing
+    /// `var` on a foreign state — so removing that state removes only
+    /// vacuously-met obligations of an enclosing FORALL.
+    fn vacuous_at_foreign(&self, var: &str) -> bool {
+        match self {
+            HavingFormula::True => true,
+            // ¬cond ∨ then: cond guarding `var` is false at a foreign
+            // state, so the implication holds there.
+            HavingFormula::If { cond, then } => cond.guards(var) || then.vacuous_at_foreign(var),
+            HavingFormula::And(a, b) => a.vacuous_at_foreign(var) && b.vacuous_at_foreign(var),
+            HavingFormula::Or(a, b) => a.vacuous_at_foreign(var) || b.vacuous_at_foreign(var),
+            _ => false,
+        }
+    }
+}
+
 /// Variables of the pattern not bound in the environment, in first-seen
 /// order.
 fn free_value_vars(atoms: &[Atom], env: &Env) -> Vec<String> {
@@ -600,6 +717,150 @@ fn free_value_vars(atoms: &[Atom], env: &Env) -> Vec<String> {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod restriction_safety_tests {
+    use super::*;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://x/{s}"))
+    }
+
+    fn graph(state: &str, subject: &str) -> HavingFormula {
+        HavingFormula::Graph {
+            state: state.into(),
+            atoms: vec![Atom::Property {
+                property: iri("hasValue"),
+                subject: QueryTerm::var(subject),
+                object: QueryTerm::var("x"),
+            }],
+        }
+    }
+
+    #[test]
+    fn guarded_exists_is_safe() {
+        let f = HavingFormula::Exists {
+            state_vars: vec!["k".into()],
+            body: Box::new(HavingFormula::And(
+                Box::new(graph("k", "c")),
+                Box::new(HavingFormula::Cmp {
+                    left: QueryTerm::var("x"),
+                    op: CmpOp::Ge,
+                    right: QueryTerm::Const(Term::Literal(optique_rdf::Literal::integer(90))),
+                }),
+            )),
+        };
+        assert!(f.restriction_safe());
+    }
+
+    #[test]
+    fn unguarded_exists_is_unsafe() {
+        // A witness state need not match any graph pattern: a foreign
+        // state could be the witness.
+        let f = HavingFormula::Exists {
+            state_vars: vec!["k".into()],
+            body: Box::new(HavingFormula::True),
+        };
+        assert!(!f.restriction_safe());
+        // An IF body escapes through ¬cond: also no guard.
+        let via_if = HavingFormula::Exists {
+            state_vars: vec!["k".into()],
+            body: Box::new(HavingFormula::If {
+                cond: Box::new(graph("k", "c")),
+                then: Box::new(HavingFormula::True),
+            }),
+        };
+        assert!(!via_if.restriction_safe());
+    }
+
+    #[test]
+    fn negation_is_unsafe_anywhere() {
+        let f = HavingFormula::Exists {
+            state_vars: vec!["k".into()],
+            body: Box::new(HavingFormula::And(
+                Box::new(graph("k", "c")),
+                Box::new(HavingFormula::Not(Box::new(graph("k", "c")))),
+            )),
+        };
+        assert!(!f.restriction_safe());
+    }
+
+    #[test]
+    fn forall_needs_a_guarding_condition() {
+        // The classical safe shape: IF cond guards every quantified state
+        // var → vacuous at foreign states.
+        let safe = HavingFormula::Forall {
+            state_vars: vec!["i".into(), "j".into()],
+            value_vars: vec!["x".into()],
+            body: Box::new(HavingFormula::If {
+                cond: Box::new(HavingFormula::And(
+                    Box::new(graph("i", "c")),
+                    Box::new(graph("j", "c")),
+                )),
+                then: Box::new(HavingFormula::True),
+            }),
+        };
+        assert!(safe.restriction_safe());
+        // A condition guarding only one var leaves real obligations at
+        // foreign assignments of the other (a trivially-true consequent
+        // would still be vacuous — so use a comparison).
+        let unsafe_forall = HavingFormula::Forall {
+            state_vars: vec!["i".into(), "j".into()],
+            value_vars: vec![],
+            body: Box::new(HavingFormula::If {
+                cond: Box::new(graph("i", "c")),
+                then: Box::new(HavingFormula::Graph {
+                    state: "j".into(),
+                    atoms: vec![Atom::Class {
+                        class: iri("Ok"),
+                        arg: QueryTerm::var("c"),
+                    }],
+                }),
+            }),
+        };
+        assert!(!unsafe_forall.restriction_safe());
+    }
+
+    #[test]
+    fn or_guards_only_when_both_branches_guard() {
+        let both = HavingFormula::Exists {
+            state_vars: vec!["k".into()],
+            body: Box::new(HavingFormula::Or(
+                Box::new(graph("k", "c")),
+                Box::new(graph("k", "d")),
+            )),
+        };
+        assert!(both.restriction_safe());
+        let one = HavingFormula::Exists {
+            state_vars: vec!["k".into()],
+            body: Box::new(HavingFormula::Or(
+                Box::new(graph("k", "c")),
+                Box::new(HavingFormula::True),
+            )),
+        };
+        assert!(!one.restriction_safe());
+    }
+
+    #[test]
+    fn graph_subjects_collects_all_positions() {
+        let f = HavingFormula::And(
+            Box::new(graph("k", "c")),
+            Box::new(HavingFormula::Graph {
+                state: "k".into(),
+                atoms: vec![Atom::Class {
+                    class: iri("Failure"),
+                    arg: QueryTerm::Const(Term::iri("http://x/sensor/7")),
+                }],
+            }),
+        );
+        let subjects = f.graph_subjects();
+        assert_eq!(subjects.len(), 2);
+        assert!(subjects
+            .iter()
+            .any(|s| matches!(s, QueryTerm::Var(v) if v == "c")));
+        assert!(subjects.iter().any(|s| matches!(s, QueryTerm::Const(_))));
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,11 @@ pub struct WindowKey {
     pub stream: String,
     /// Window id under that stream's registered window spec.
     pub window_id: u64,
+    /// Content variant: `""` for the full window; a restriction
+    /// fingerprint for windows materialized under a subject-key semi-join
+    /// (a restricted window is a *subset* of the full one, so it must never
+    /// answer a full-window lookup).
+    pub variant: String,
 }
 
 /// A shared, thread-safe window cache with hit/miss accounting.
@@ -40,25 +45,65 @@ impl WCache {
         WCache::default()
     }
 
-    /// Fetches the rows of `(stream, window_id)`, materializing them with
-    /// `build` on first access. Concurrent callers may race to build; the
-    /// first insert wins and later builds are discarded (builds are pure).
+    /// Fetches the rows of `(stream, window_id)` (the full-window variant),
+    /// materializing them with `build` on first access. Concurrent callers
+    /// may race to build; the first insert wins and later builds are
+    /// discarded (builds are pure).
     pub fn get_or_build(
         &self,
         stream: &str,
         window_id: u64,
         build: impl FnOnce() -> Vec<Vec<Value>>,
     ) -> Arc<Vec<Vec<Value>>> {
+        if let Some(hit) = self.lookup(stream, window_id, "") {
+            return hit;
+        }
+        self.insert(stream, window_id, "", build())
+    }
+
+    /// Looks up a cached window variant, counting a hit or a miss. The
+    /// two-step `lookup` / [`Self::insert`] form exists for builders that
+    /// can fail (a fragment round over a federation): a closure-based
+    /// `get_or_build` cannot return the build error.
+    pub fn lookup(
+        &self,
+        stream: &str,
+        window_id: u64,
+        variant: &str,
+    ) -> Option<Arc<Vec<Vec<Value>>>> {
         let key = WindowKey {
             stream: stream.to_string(),
             window_id,
+            variant: variant.to_string(),
         };
-        if let Some(hit) = self.entries.read().expect("wcache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        match self.entries.read().expect("wcache poisoned").get(&key) {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(hit))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(build());
+    }
+
+    /// Inserts a materialized window variant, returning the shared batch
+    /// (the first insert wins a race; later inserts are discarded — builds
+    /// are pure, so every racer built the same rows).
+    pub fn insert(
+        &self,
+        stream: &str,
+        window_id: u64,
+        variant: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Arc<Vec<Vec<Value>>> {
+        let key = WindowKey {
+            stream: stream.to_string(),
+            window_id,
+            variant: variant.to_string(),
+        };
+        let built = Arc::new(rows);
         let mut map = self.entries.write().expect("wcache poisoned");
         Arc::clone(map.entry(key).or_insert(built))
     }

@@ -1,0 +1,174 @@
+//! Boundary behavior of the stream substrate: empty windows, slides wider
+//! than the range (gap windows), out-of-order pulses, window-cache
+//! variants, and relation-to-stream diffs over degenerate inputs.
+
+use std::sync::Arc;
+
+use optique_relational::{Column, ColumnType, Schema, Table, Value};
+use optique_stream::r2s::StreamDiffer;
+use optique_stream::wcache::WCache;
+use optique_stream::{time_sliding_window, Pulse, Stream, WindowSpec};
+
+fn stream_with_times(times: &[i64]) -> Stream {
+    let schema = Schema::qualified(
+        "s",
+        vec![
+            Column::new("ts", ColumnType::Timestamp),
+            Column::new("v", ColumnType::Int),
+        ],
+    );
+    let rows = times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| vec![Value::Timestamp(t), Value::Int(i as i64)])
+        .collect();
+    Stream::new("s", Table::new(schema, rows).unwrap(), 0).unwrap()
+}
+
+// ---- empty windows ------------------------------------------------------
+
+#[test]
+fn empty_stream_yields_empty_windows() {
+    let s = stream_with_times(&[]);
+    let w = WindowSpec::new(5_000, 1_000).unwrap();
+    let table = time_sliding_window(&s, w, 0, 0, 10).unwrap();
+    assert!(table.is_empty());
+    assert_eq!(s.time_bounds(), None);
+    assert!(s.slice(i64::MIN + 1, i64::MAX).is_empty());
+}
+
+#[test]
+fn window_past_the_data_is_empty() {
+    let s = stream_with_times(&[1_000, 2_000]);
+    let w = WindowSpec::new(1_000, 1_000).unwrap();
+    // Window 10 covers (9000, 10000]: nothing there.
+    let table = time_sliding_window(&s, w, 0, 10, 10).unwrap();
+    assert!(table.is_empty());
+    // A window entirely before the data is just as empty.
+    assert!(s.slice(-10_000, -5_000).is_empty());
+}
+
+#[test]
+fn window_boundaries_are_half_open() {
+    let s = stream_with_times(&[1_000, 2_000, 3_000]);
+    // (1000, 2000]: exactly the middle tuple.
+    assert_eq!(s.slice(1_000, 2_000).len(), 1);
+    // (2000, 2000]: degenerate interval, empty.
+    assert!(s.slice(2_000, 2_000).is_empty());
+}
+
+// ---- slide > range (gap windows) ----------------------------------------
+
+#[test]
+fn slide_wider_than_range_leaves_gaps() {
+    // Range 1 s, slide 3 s: windows cover (2s,3s], (5s,6s], … — tuples in
+    // the gaps belong to no window at all.
+    let w = WindowSpec::new(1_000, 3_000).unwrap();
+    assert_eq!(w.windows_containing(0, 2_500), Some((1, 1)));
+    assert_eq!(
+        w.windows_containing(0, 4_000),
+        None,
+        "a tuple in the gap is in no window"
+    );
+    let s = stream_with_times(&[500, 2_500, 4_000, 5_500]);
+    let table = time_sliding_window(&s, w, 0, 0, 4).unwrap();
+    // Only the tuples at 2500 (window 1) and 5500 (window 2) materialize.
+    assert_eq!(table.len(), 2);
+    let wids: Vec<i64> = table.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(wids, vec![1, 2]);
+    // Per-tuple membership count is 1 for covered tuples (ceil(1/3) = 1).
+    assert_eq!(w.windows_per_tuple(), 1);
+}
+
+// ---- out-of-order pulses ------------------------------------------------
+
+#[test]
+fn ticks_before_the_pulse_grid_close_nothing() {
+    let w = WindowSpec::new(2_000, 1_000).unwrap();
+    assert_eq!(w.last_closed(600_000, 599_999), None);
+    assert_eq!(w.last_closed(600_000, 600_000), Some(0));
+}
+
+#[test]
+fn out_of_order_ticks_are_idempotent_over_the_cache() {
+    // A monitoring loop may re-tick an earlier instant (replay, retry):
+    // the same window id resolves and the cache serves the same rows.
+    let w = WindowSpec::new(2_000, 1_000).unwrap();
+    let s = stream_with_times(&[600_500, 601_500, 602_500]);
+    let cache = WCache::new();
+    let materialize = |tick: i64| -> Arc<Vec<Vec<Value>>> {
+        let id = w.last_closed(600_000, tick).unwrap();
+        let (open, close) = w.bounds(600_000, id);
+        cache.get_or_build("s", id, || s.slice(open, close).to_vec())
+    };
+    let forward = materialize(602_000);
+    let _ = materialize(603_000);
+    let replay = materialize(602_000); // out-of-order: earlier tick again
+    assert!(Arc::ptr_eq(&forward, &replay), "replay hits the cache");
+    assert_eq!(cache.misses(), 2, "two distinct windows built");
+    assert!(cache.hits() >= 1);
+}
+
+#[test]
+fn pulse_grid_clamps_and_orders_ticks() {
+    let p = Pulse::new(600_000, 1_000).unwrap();
+    // Asking for ticks over an inverted range yields nothing.
+    assert_eq!(p.tick_count(610_000, 605_000), 0);
+    // Ticks between bounds stay on the grid and ascend.
+    let ticks: Vec<i64> = p.ticks_between(599_500, 602_200).collect();
+    assert_eq!(ticks, vec![600_000, 601_000, 602_000]);
+}
+
+#[test]
+fn out_of_order_append_is_rejected_but_equal_is_fine() {
+    let mut s = stream_with_times(&[1_000, 2_000]);
+    assert!(s
+        .append(vec![Value::Timestamp(2_000), Value::Int(9)])
+        .is_ok());
+    assert!(s
+        .append(vec![Value::Timestamp(1_500), Value::Int(9)])
+        .is_err());
+}
+
+// ---- window-cache variants ----------------------------------------------
+
+#[test]
+fn wcache_variants_keep_restricted_windows_apart() {
+    let cache = WCache::new();
+    let full = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+    let restricted = vec![vec![Value::Int(1)]];
+    cache.insert("s", 7, "", full.clone());
+    cache.insert("s", 7, "⋉[Int(1)]", restricted.clone());
+    assert_eq!(cache.len(), 2, "variants are distinct entries");
+    assert_eq!(*cache.lookup("s", 7, "").unwrap(), full);
+    assert_eq!(*cache.lookup("s", 7, "⋉[Int(1)]").unwrap(), restricted);
+    assert!(cache.lookup("s", 7, "⋉[Int(2)]").is_none());
+    // Eviction by watermark drops every variant of the window.
+    cache.evict_below("s", 8);
+    assert!(cache.is_empty());
+}
+
+#[test]
+fn wcache_insert_race_keeps_first() {
+    let cache = WCache::new();
+    let first = cache.insert("s", 1, "", vec![vec![Value::Int(1)]]);
+    let second = cache.insert("s", 1, "", vec![vec![Value::Int(1)]]);
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "first insert wins, later share"
+    );
+}
+
+// ---- r2s over degenerate inputs -----------------------------------------
+
+#[test]
+fn differ_handles_empty_and_identical_ticks() {
+    let mut d = StreamDiffer::new();
+    let (ins, del) = d.tick(vec![]);
+    assert!(ins.is_empty() && del.is_empty());
+    let row = vec![vec![Value::Int(1)]];
+    let _ = d.tick(row.clone());
+    let (ins, del) = d.tick(row);
+    assert!(ins.is_empty(), "identical relation inserts nothing");
+    assert!(del.is_empty());
+}

@@ -84,6 +84,336 @@ pub const CLASSES: [&str; 7] = [
 /// to a filter on the anchored table's key column.
 pub const DATA_NS: &str = "http://siemens.example/data/";
 
+/// Fixtures for the **streaming** differential oracle: a deployment whose
+/// static side is big enough to partition, whose stream hash-partitions on
+/// the sensor key, and whose TBox carries no integrity constraints — so
+/// window-restriction pushdown is admissible and the oracle exercises both
+/// the restricted and the unrestricted distributed paths.
+pub mod streaming {
+    use optique::OptiquePlatform;
+    use optique_mapping::{IriTemplate, MappingAssertion, MappingCatalog, TermMap};
+    use optique_ontology::{Axiom, BasicConcept, Ontology};
+    use optique_rdf::{Datatype, Iri, Namespaces};
+    use optique_relational::{table::table_of, ColumnType, Database, Value};
+    use optique_starql::StreamToRdf;
+    use proptest::prelude::*;
+
+    /// Ontology namespace.
+    pub const SIE: &str = "http://siemens.example/ontology#";
+    /// Instance namespace.
+    pub const DATA: &str = "http://siemens.example/data/";
+    /// Sensors in the deployment (enough rows that the partition advisor
+    /// may shard the static side too).
+    pub const SENSORS: i64 = 64;
+    /// Sensor ids the stream generator draws from (a subset, so windows
+    /// overlap heavily across cases).
+    pub const STREAM_SENSORS: i64 = 16;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("{SIE}{s}"))
+    }
+
+    /// One measurement row: `(ts, sensor_id, value, event)`.
+    pub fn msmt(ts: i64, sensor: i64, value: f64, failure: bool) -> Vec<Value> {
+        vec![
+            Value::Timestamp(ts),
+            Value::Int(sensor),
+            Value::Float(value),
+            if failure {
+                Value::text("failure")
+            } else {
+                Value::Null
+            },
+        ]
+    }
+
+    /// A deterministic ramp stream: every sensor reports each second over
+    /// `600s..=612s`; even sensors rise (and fail at 609 s), odd sensors
+    /// fall.
+    pub fn ramp_stream() -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for i in 0..13i64 {
+            let ts = 600_000 + i * 1_000;
+            for sensor in 0..STREAM_SENSORS {
+                let rising = sensor % 2 == 0;
+                let value = if rising {
+                    60.0 + i as f64
+                } else {
+                    90.0 - i as f64
+                };
+                rows.push(msmt(ts, sensor, value, rising && i == 9));
+            }
+        }
+        rows
+    }
+
+    /// Builds the deployment platform over the given stream rows.
+    pub fn deployment(stream_rows: Vec<Vec<Value>>) -> OptiquePlatform {
+        let mut db = Database::new();
+        db.put_table(
+            "assemblies",
+            table_of(
+                "assemblies",
+                &[("aid", ColumnType::Int)],
+                (0..8).map(|a| vec![Value::Int(a)]).collect(),
+            )
+            .unwrap(),
+        );
+        db.put_table(
+            "sensors",
+            table_of(
+                "sensors",
+                &[
+                    ("sid", ColumnType::Int),
+                    ("aid", ColumnType::Int),
+                    ("kind", ColumnType::Text),
+                ],
+                (0..SENSORS)
+                    .map(|s| {
+                        vec![
+                            Value::Int(s),
+                            Value::Int(s % 8),
+                            Value::text(if s % 2 == 0 {
+                                "temperature"
+                            } else {
+                                "pressure"
+                            }),
+                        ]
+                    })
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        db.put_table(
+            "S_Msmt",
+            table_of(
+                "S_Msmt",
+                &[
+                    ("ts", ColumnType::Timestamp),
+                    ("sensor_id", ColumnType::Int),
+                    ("value", ColumnType::Float),
+                    ("event", ColumnType::Text),
+                ],
+                stream_rows,
+            )
+            .unwrap(),
+        );
+
+        // Subclass + domain/range only: no functional/disjointness
+        // constraints, so window restriction stays admissible.
+        let mut onto = Ontology::new();
+        onto.add_axiom(Axiom::subclass(
+            BasicConcept::atomic(iri("TemperatureSensor")),
+            BasicConcept::atomic(iri("Sensor")),
+        ));
+        onto.add_axiom(Axiom::subclass(
+            BasicConcept::atomic(iri("PressureSensor")),
+            BasicConcept::atomic(iri("Sensor")),
+        ));
+        onto.add_axiom(Axiom::domain(
+            iri("inAssembly"),
+            BasicConcept::atomic(iri("Assembly")),
+        ));
+        onto.add_axiom(Axiom::range(
+            iri("inAssembly"),
+            BasicConcept::atomic(iri("Sensor")),
+        ));
+
+        let mut maps = MappingCatalog::new();
+        maps.add(
+            MappingAssertion::class(
+                "assembly",
+                iri("Assembly"),
+                "SELECT aid FROM assemblies",
+                TermMap::template(&format!("{DATA}assembly/{{aid}}")),
+            )
+            .with_key(vec!["aid".into()]),
+        )
+        .unwrap();
+        maps.add(
+            MappingAssertion::class(
+                "sensor",
+                iri("Sensor"),
+                "SELECT sid FROM sensors",
+                TermMap::template(&format!("{DATA}sensor/{{sid}}")),
+            )
+            .with_key(vec!["sid".into()]),
+        )
+        .unwrap();
+        maps.add(
+            MappingAssertion::class(
+                "temp_sensor",
+                iri("TemperatureSensor"),
+                "SELECT sid FROM sensors WHERE kind = 'temperature'",
+                TermMap::template(&format!("{DATA}sensor/{{sid}}")),
+            )
+            .with_key(vec!["sid".into()]),
+        )
+        .unwrap();
+        maps.add(
+            MappingAssertion::class(
+                "pressure_sensor",
+                iri("PressureSensor"),
+                "SELECT sid FROM sensors WHERE kind = 'pressure'",
+                TermMap::template(&format!("{DATA}sensor/{{sid}}")),
+            )
+            .with_key(vec!["sid".into()]),
+        )
+        .unwrap();
+        maps.add(
+            MappingAssertion::property(
+                "in_assembly",
+                iri("inAssembly"),
+                "SELECT aid, sid FROM sensors",
+                TermMap::template(&format!("{DATA}assembly/{{aid}}")),
+                TermMap::template(&format!("{DATA}sensor/{{sid}}")),
+            )
+            .with_key(vec!["aid".into(), "sid".into()]),
+        )
+        .unwrap();
+        maps.add(
+            MappingAssertion::property(
+                "serial",
+                iri("hasSerial"),
+                "SELECT sid FROM sensors",
+                TermMap::template(&format!("{DATA}sensor/{{sid}}")),
+                TermMap::column("sid", Datatype::Integer),
+            )
+            .with_key(vec!["sid".into()]),
+        )
+        .unwrap();
+
+        let stream_to_rdf = StreamToRdf {
+            timestamp_col: "ts".into(),
+            subject: IriTemplate::parse(&format!("{DATA}sensor/{{sensor_id}}")).unwrap(),
+            value_property: iri("hasValue"),
+            value_col: "value".into(),
+            value_datatype: Datatype::Double,
+            event_col: Some("event".into()),
+            event_classes: vec![("failure".into(), iri("showsFailure"))],
+        };
+        OptiquePlatform::deploy(
+            db,
+            onto,
+            Namespaces::with_w3c_defaults(),
+            maps,
+            stream_to_rdf,
+        )
+    }
+
+    /// One generated oracle case: a STARQL program plus the stream it runs
+    /// over.
+    #[derive(Clone, Debug)]
+    pub struct StreamingCase {
+        /// The STARQL text.
+        pub text: String,
+        /// Measurement rows for `S_Msmt`.
+        pub rows: Vec<Vec<Value>>,
+    }
+
+    /// Renders a STARQL program from shape parameters. Shapes cover: the
+    /// Figure 1 monotonic macro, threshold and failure-event EXISTS
+    /// conditions, FILTER-narrowed stream-static joins (tiny binding sets
+    /// → shard pruning), UNION WHERE clauses, a negated HAVING (restriction
+    /// provably unsafe → unrestricted scatter), and a HAVING-local subject
+    /// variable (likewise unrestricted).
+    pub fn program(shape: usize, range_s: i64, slide_s: i64, pulse: bool, knob: i64) -> String {
+        let header = format!("PREFIX sie: <{SIE}>\nPREFIX : <{SIE}>\nCREATE STREAM S_out AS\n");
+        let window = format!(
+            "FROM STREAM S_Msmt [NOW-\"PT{range_s}S\"^^xsd:duration, NOW]->\"PT{slide_s}S\"^^xsd:duration\n"
+        );
+        let pulse = if pulse {
+            "USING PULSE WITH START = \"00:10:00CET\", FREQUENCY = \"PT1S\"\n"
+        } else {
+            ""
+        };
+        let threshold = 60 + (knob % 30);
+        let serial_cap = 1 + (knob % 5);
+        let (construct, where_clause, having) = match shape % 7 {
+            0 => (
+                "CONSTRUCT GRAPH NOW { ?c2 a :MonInc }",
+                "WHERE { ?c1 sie:inAssembly ?c2 }".to_string(),
+                "HAVING MONOTONIC.HAVING(?c2, sie:hasValue)\n\
+                 CREATE AGGREGATE MONOTONIC:HAVING ($var, $attr) AS\n\
+                 HAVING EXISTS ?k IN seq: GRAPH ?k { $var sie:showsFailure } AND\n\
+                 FORALL ?i < ?j IN seq, ?x, ?y:\n\
+                 IF ( ?i, ?j < ?k AND GRAPH ?i {$var $attr ?x} AND GRAPH ?j {$var $attr ?y}) THEN ?x<=?y"
+                    .to_string(),
+            ),
+            1 => (
+                "CONSTRUCT GRAPH NOW { ?c2 a :Hot }",
+                "WHERE { ?c2 a sie:TemperatureSensor }".to_string(),
+                format!(
+                    "HAVING EXISTS ?k IN seq: GRAPH ?k {{ ?c2 sie:hasValue ?v }} AND ?v >= {threshold}"
+                ),
+            ),
+            2 => (
+                "CONSTRUCT GRAPH NOW { ?c2 a :Failed }",
+                "WHERE { ?c1 sie:inAssembly ?c2 }".to_string(),
+                "HAVING EXISTS ?k IN seq: GRAPH ?k { ?c2 sie:showsFailure }".to_string(),
+            ),
+            3 => (
+                "CONSTRUCT GRAPH NOW { ?c2 a :Watched }",
+                format!(
+                    "WHERE {{ ?c1 sie:inAssembly ?c2 . ?c2 sie:hasSerial ?n . FILTER(?n < {serial_cap}) }}"
+                ),
+                format!(
+                    "HAVING EXISTS ?k IN seq: GRAPH ?k {{ ?c2 sie:hasValue ?v }} AND ?v >= {threshold}"
+                ),
+            ),
+            4 => (
+                "CONSTRUCT GRAPH NOW { ?c2 a :Active }",
+                "WHERE { { ?c2 a sie:TemperatureSensor } UNION { ?c1 sie:inAssembly ?c2 } }"
+                    .to_string(),
+                format!(
+                    "HAVING EXISTS ?k IN seq: GRAPH ?k {{ ?c2 sie:hasValue ?v }} AND ?v >= {threshold}"
+                ),
+            ),
+            5 => (
+                "CONSTRUCT GRAPH NOW { ?c2 a :Quiet }",
+                "WHERE { ?c1 sie:inAssembly ?c2 }".to_string(),
+                // Negation: restriction-unsafe — distributed ticks must
+                // ship the full window and still agree.
+                "HAVING NOT EXISTS ?k IN seq: GRAPH ?k { ?c2 sie:showsFailure }".to_string(),
+            ),
+            _ => (
+                "CONSTRUCT GRAPH NOW { ?c2 a :NearActivity }",
+                "WHERE { ?c1 sie:inAssembly ?c2 }".to_string(),
+                // HAVING-local subject ?c3 ranges over the whole window:
+                // restriction-unsafe, unrestricted scatter.
+                format!(
+                    "HAVING EXISTS ?k IN seq: GRAPH ?k {{ ?c3 sie:hasValue ?v }} AND ?v >= {threshold}"
+                ),
+            ),
+        };
+        format!("{header}{construct}\n{window}{pulse}{where_clause}\nSEQUENCE BY StdSeq AS seq\n{having}")
+    }
+
+    /// Property-based generator of oracle cases: program shape × window
+    /// geometry × pulse × a generated measurement stream.
+    pub fn case_strategy() -> impl Strategy<Value = StreamingCase> {
+        let row = (0..STREAM_SENSORS, 0i64..12_000, 0u32..1000, 0u32..12).prop_map(
+            |(sensor, dt, centivalue, failure)| {
+                msmt(600_000 + dt, sensor, centivalue as f64 / 10.0, failure == 0)
+            },
+        );
+        (
+            (
+                0usize..7,
+                prop_oneof![Just(2i64), Just(5i64), Just(10i64)],
+                prop_oneof![Just(1i64), Just(2i64)],
+            ),
+            (0u32..2, 0i64..100, proptest::collection::vec(row, 0..100)),
+        )
+            .prop_map(
+                |((shape, range_s, slide_s), (pulse, knob, rows))| StreamingCase {
+                    text: program(shape, range_s, slide_s, pulse == 0, knob),
+                    rows,
+                },
+            )
+    }
+}
+
 /// A generator of query texts over the Siemens vocabulary: single BGPs,
 /// two-branch UNIONs, OPTIONAL extensions, FILTERed joins, adjacent
 /// subgroups (residual joins the planner reorders / semi-joins),
