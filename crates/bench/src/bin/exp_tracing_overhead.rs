@@ -1,0 +1,123 @@
+//! Tracing-overhead smoke check: the span recorder must be cheap enough
+//! to leave on. Runs the 100-disjunct fan-out workload (one property
+//! mapped through 100 tables, the federation's unit of distribution)
+//! through the full platform pipeline — traced and untraced — and fails
+//! (nonzero exit) if the traced median is more than 10 % slower.
+//!
+//! CI runs this after the test suites; locally:
+//! `cargo run --release -p optique-bench --bin exp_tracing_overhead`.
+
+use std::time::Instant;
+
+use optique::OptiquePlatform;
+use optique_mapping::{MappingAssertion, MappingCatalog, TermMap};
+use optique_ontology::Ontology;
+use optique_rdf::Iri;
+use optique_relational::{table::table_of, ColumnType, Database, Value};
+use optique_siemens::SiemensDeployment;
+
+/// Fan-out width: disjuncts per query (the paper-scale UNION ALL).
+const SOURCES: usize = 100;
+/// Rows per source table.
+const ROWS_PER_TABLE: i64 = 64;
+/// Timed samples per arm.
+const SAMPLES: usize = 40;
+/// Workers the federated runs ship to.
+const WORKERS: usize = 4;
+/// Largest tolerated traced ÷ untraced median ratio.
+const MAX_RATIO: f64 = 1.10;
+
+/// One property mapped through `SOURCES` distinct tables: the single-atom
+/// BGP unfolds to `SOURCES` disjuncts (same shape as the sparql_pipeline
+/// bench's fan-out fixture).
+fn fanout_platform() -> OptiquePlatform {
+    let mut db = Database::new();
+    let mut catalog = MappingCatalog::new();
+    for i in 0..SOURCES {
+        let rows = (0..ROWS_PER_TABLE)
+            .map(|k| vec![Value::Int(i as i64 * ROWS_PER_TABLE + k), Value::Int(k)])
+            .collect();
+        db.put_table(
+            format!("t{i}"),
+            table_of(
+                &format!("t{i}"),
+                &[("a", ColumnType::Int), ("b", ColumnType::Int)],
+                rows,
+            )
+            .expect("valid table"),
+        );
+        catalog
+            .add(
+                MappingAssertion::property(
+                    format!("p-src{i}"),
+                    Iri::new("http://x/p"),
+                    format!("SELECT a, b FROM t{i}"),
+                    TermMap::template("http://x/obj/{a}"),
+                    TermMap::template("http://x/obj/{b}"),
+                )
+                .with_key(vec!["a".into(), "b".into()]),
+            )
+            .expect("valid mapping");
+    }
+    // The stream-side assets are unused by static queries; borrow the
+    // Siemens ones rather than hand-rolling a mapping.
+    let siemens = SiemensDeployment::small();
+    OptiquePlatform::deploy(
+        db,
+        Ontology::new(),
+        siemens.namespaces,
+        catalog,
+        siemens.stream_to_rdf,
+    )
+}
+
+const QUERY: &str = "SELECT ?a ?b WHERE { ?a <http://x/p> ?b }";
+
+/// Median end-to-end latency of `SAMPLES` cold-cache runs, in µs. The BGP
+/// cache is invalidated per run so every sample pays the full rewrite →
+/// unfold → execute pipeline; worker plan caches stay warm in both arms.
+fn median_us(platform: &OptiquePlatform) -> u64 {
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        platform.bgp_cache().invalidate();
+        let started = Instant::now();
+        let results = platform
+            .query_static_distributed(QUERY, WORKERS)
+            .expect("workload runs");
+        samples.push(started.elapsed().as_micros() as u64);
+        assert_eq!(results.len(), (SOURCES as i64 * ROWS_PER_TABLE) as usize);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let traced = fanout_platform();
+    let untraced = fanout_platform();
+    untraced.set_tracing(false);
+
+    // Warm both pools (federation build + worker plan caches) outside the
+    // timed region, then interleave the arms so drift hits both equally.
+    for p in [&traced, &untraced] {
+        p.query_static_distributed(QUERY, WORKERS).expect("warmup");
+    }
+    let untraced_us = median_us(&untraced);
+    let traced_us = median_us(&traced);
+
+    let ratio = traced_us as f64 / untraced_us.max(1) as f64;
+    println!("# tracing overhead — {SOURCES}-disjunct fan-out, {WORKERS} workers");
+    println!("| arm | median µs |");
+    println!("|-----|----------:|");
+    println!("| untraced | {untraced_us} |");
+    println!("| traced   | {traced_us} |");
+    println!("\ntraced/untraced ratio: {ratio:.3} (limit {MAX_RATIO})");
+
+    if ratio > MAX_RATIO {
+        eprintln!(
+            "FAIL: tracing costs more than {:.0} %",
+            (MAX_RATIO - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("OK: tracing overhead within budget");
+}

@@ -32,9 +32,20 @@ pub struct QueryPanel {
     pub shards_pruned: u64,
     /// Cumulative stream-key semi-joins pushed into window fragments.
     pub semi_joins_pushed: u64,
+    /// Median tick latency in microseconds (0 before the first tick).
+    pub tick_p50_us: u64,
+    /// 95th-percentile tick latency in microseconds.
+    pub tick_p95_us: u64,
+    /// 99th-percentile tick latency in microseconds.
+    pub tick_p99_us: u64,
 }
 
 /// One executed static (SPARQL) query's panel.
+///
+/// The four stage-time columns are **span-derived**: the platform reads
+/// them off the query's telemetry span tree (`parse` / `rewrite` / `unfold`
+/// / `exec` spans), so the panel and EXPLAIN ANALYZE report the same clock.
+/// With tracing off they render 0.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StaticQueryPanel {
     /// Platform-assigned id (its own sequence, separate from stream ids).
@@ -49,13 +60,13 @@ pub struct StaticQueryPanel {
     pub ucq_disjuncts: usize,
     /// SQL disjuncts emitted by unfolding.
     pub sql_disjuncts: usize,
-    /// Microseconds: parsing.
+    /// Microseconds: parsing (from the `parse` span).
     pub parse_micros: u64,
-    /// Microseconds: enrichment.
+    /// Microseconds: enrichment (summed `rewrite` spans).
     pub rewrite_micros: u64,
-    /// Microseconds: unfolding.
+    /// Microseconds: unfolding (summed `unfold` spans).
     pub unfold_micros: u64,
-    /// Microseconds: SQL execution.
+    /// Microseconds: SQL execution (summed `exec` spans).
     pub exec_micros: u64,
     /// BGPs answered from the per-BGP cache.
     pub cache_hits: usize,
@@ -119,6 +130,20 @@ impl StaticQueryPanel {
     pub const ACCURACY_CAP: f64 = 999.0;
 }
 
+/// One entry on the slow-query log: a static query whose end-to-end
+/// latency crossed the platform's configurable threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The static-query id (matches its [`StaticQueryPanel`]).
+    pub id: u64,
+    /// A one-line preview of the query text.
+    pub query: String,
+    /// Workers that executed it (1 = single-node).
+    pub workers: usize,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+}
+
 /// A point-in-time monitoring snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct Dashboard {
@@ -141,6 +166,17 @@ pub struct Dashboard {
     pub plan_cache_hits: u64,
     /// Worker plan-cache misses summed over the live federation pools.
     pub plan_cache_misses: u64,
+    /// Median static-query latency in microseconds over the whole history
+    /// (not just the remembered panels); 0 before the first query.
+    pub static_p50_us: u64,
+    /// 95th-percentile static-query latency in microseconds.
+    pub static_p95_us: u64,
+    /// 99th-percentile static-query latency in microseconds.
+    pub static_p99_us: u64,
+    /// Static queries that crossed the slow-query threshold, oldest first.
+    pub slow_queries: Vec<SlowQuery>,
+    /// The slow-query threshold in force when this snapshot was taken.
+    pub slow_threshold_us: u64,
 }
 
 impl Dashboard {
@@ -257,30 +293,34 @@ impl Dashboard {
                 None => "idle".to_string(),
             }
         ));
-        out.push_str(
-            "│ id   name                                bindings  ticks  alarms    tuples  fleet  wrk  wfrag   srows  prune  semi\n",
-        );
+        let stream = stream_layout();
+        out.push_str(&stream.header());
         for p in &self.panels {
-            out.push_str(&format!(
-                "│ {:<4} {:<36} {:>8} {:>6} {:>7} {:>9} {:>6} {:>4} {:>6} {:>7} {:>6} {:>5}\n",
-                p.id,
+            out.push_str(&stream.row(&[
+                p.id.to_string(),
                 truncate(&p.name, 36),
-                p.bindings,
-                p.ticks,
-                p.alarms,
-                p.tuples,
-                p.fleet_size,
-                p.workers,
-                p.window_fragments,
-                p.stream_rows,
-                p.shards_pruned,
-                p.semi_joins_pushed
-            ));
+                p.bindings.to_string(),
+                p.ticks.to_string(),
+                p.alarms.to_string(),
+                p.tuples.to_string(),
+                p.fleet_size.to_string(),
+                p.workers.to_string(),
+                p.window_fragments.to_string(),
+                p.stream_rows.to_string(),
+                p.shards_pruned.to_string(),
+                p.semi_joins_pushed.to_string(),
+                p.tick_p50_us.to_string(),
+                p.tick_p95_us.to_string(),
+                p.tick_p99_us.to_string(),
+            ]));
         }
         if !self.static_queries.is_empty() {
             out.push_str(&format!(
-                "├─ static SPARQL ─ {} queries ─ BGP cache {} ─ plan cache {}\n",
+                "├─ static SPARQL ─ {} queries ─ p50/p95/p99 {}/{}/{} µs ─ BGP cache {} ─ plan cache {}\n",
                 self.static_queries.len(),
+                self.static_p50_us,
+                self.static_p95_us,
+                self.static_p99_us,
                 match self.bgp_cache_hit_rate() {
                     Some(rate) => format!(
                         "{:.0}% hit ({} inval)",
@@ -294,40 +334,163 @@ impl Dashboard {
                     None => "idle".to_string(),
                 }
             ));
-            out.push_str(
-                "│ id   query                              rows  bgps  ucq  sql  hit  frag  wrk  part  repl  fall  prune  reord  semi  est/act   acc  fetched     µs\n",
-            );
+            let layout = static_layout();
+            out.push_str(&layout.header());
             for q in &self.static_queries {
-                out.push_str(&format!(
-                    "│ {:<4} {:<33} {:>5} {:>5} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>5} {:>5} {:>6} {:>6} {:>5} {:>8} {:>5} {:>8} {:>6}\n",
-                    q.id,
+                out.push_str(&layout.row(&[
+                    q.id.to_string(),
                     truncate(&q.query, 33),
-                    q.rows,
-                    q.bgps,
-                    q.ucq_disjuncts,
-                    q.sql_disjuncts,
-                    q.cache_hits,
-                    q.fragments,
-                    q.workers,
-                    q.partitioned_fragments,
-                    q.replicated_fallbacks,
-                    q.coordinator_fallbacks,
-                    q.shards_pruned,
-                    q.join_reorders,
-                    q.semi_joins_pushed,
+                    q.rows.to_string(),
+                    q.bgps.to_string(),
+                    q.ucq_disjuncts.to_string(),
+                    q.sql_disjuncts.to_string(),
+                    q.cache_hits.to_string(),
+                    q.fragments.to_string(),
+                    q.workers.to_string(),
+                    q.partitioned_fragments.to_string(),
+                    q.replicated_fallbacks.to_string(),
+                    q.coordinator_fallbacks.to_string(),
+                    q.shards_pruned.to_string(),
+                    q.join_reorders.to_string(),
+                    q.semi_joins_pushed.to_string(),
                     format!("{}/{}", q.estimated_rows, q.actual_rows),
                     match q.estimate_accuracy() {
                         Some(acc) => format!("{acc:.1}"),
                         None => "—".to_string(),
                     },
-                    q.fragment_rows,
-                    q.total_micros()
-                ));
+                    q.fragment_rows.to_string(),
+                    q.total_micros().to_string(),
+                ]));
+            }
+        }
+        if !self.slow_queries.is_empty() {
+            out.push_str(&format!(
+                "├─ slow queries ─ ≥ {} µs\n",
+                self.slow_threshold_us
+            ));
+            let layout = slow_layout();
+            out.push_str(&layout.header());
+            for s in &self.slow_queries {
+                out.push_str(&layout.row(&[
+                    s.id.to_string(),
+                    truncate(&s.query, 60),
+                    s.workers.to_string(),
+                    s.total_us.to_string(),
+                ]));
             }
         }
         out.push_str("└─\n");
         out
     }
+}
+
+/// Column alignment for [`ColumnLayout`].
+#[derive(Clone, Copy, Debug)]
+enum Align {
+    Left,
+    Right,
+}
+
+/// A shared header/row layout: every panel table renders its header and
+/// its rows through one set of column widths, so columns cannot drift when
+/// a field is added (the old hand-counted `format!` strings could — and
+/// did).
+struct ColumnLayout {
+    /// `(title, width, alignment)` per column; widths count chars, not
+    /// bytes, and never undercut the title.
+    columns: Vec<(&'static str, usize, Align)>,
+}
+
+impl ColumnLayout {
+    fn new(columns: Vec<(&'static str, usize, Align)>) -> Self {
+        let columns = columns
+            .into_iter()
+            .map(|(title, width, align)| (title, width.max(title.chars().count()), align))
+            .collect();
+        ColumnLayout { columns }
+    }
+
+    fn pad(text: &str, width: usize, align: Align) -> String {
+        let fill = width.saturating_sub(text.chars().count());
+        match align {
+            Align::Left => format!("{text}{}", " ".repeat(fill)),
+            Align::Right => format!("{}{text}", " ".repeat(fill)),
+        }
+    }
+
+    /// The header line, each title aligned exactly like its values.
+    fn header(&self) -> String {
+        let titles: Vec<String> = self.columns.iter().map(|(t, _, _)| t.to_string()).collect();
+        self.row(&titles)
+    }
+
+    /// One body line. Missing cells render empty; extra cells are ignored.
+    fn row(&self, cells: &[String]) -> String {
+        let mut line = String::from("│");
+        for (i, (_, width, align)) in self.columns.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            line.push(' ');
+            line.push_str(&Self::pad(cell, *width, *align));
+        }
+        while line.ends_with(' ') {
+            line.pop();
+        }
+        line.push('\n');
+        line
+    }
+}
+
+fn stream_layout() -> ColumnLayout {
+    ColumnLayout::new(vec![
+        ("id", 4, Align::Left),
+        ("name", 36, Align::Left),
+        ("bindings", 8, Align::Right),
+        ("ticks", 5, Align::Right),
+        ("alarms", 6, Align::Right),
+        ("tuples", 8, Align::Right),
+        ("fleet", 5, Align::Right),
+        ("wrk", 3, Align::Right),
+        ("wfrag", 5, Align::Right),
+        ("srows", 6, Align::Right),
+        ("prune", 5, Align::Right),
+        ("semi", 4, Align::Right),
+        ("p50µs", 6, Align::Right),
+        ("p95µs", 6, Align::Right),
+        ("p99µs", 6, Align::Right),
+    ])
+}
+
+fn static_layout() -> ColumnLayout {
+    ColumnLayout::new(vec![
+        ("id", 4, Align::Left),
+        ("query", 33, Align::Left),
+        ("rows", 5, Align::Right),
+        ("bgps", 4, Align::Right),
+        ("ucq", 3, Align::Right),
+        ("sql", 3, Align::Right),
+        ("hit", 3, Align::Right),
+        ("frag", 4, Align::Right),
+        ("wrk", 3, Align::Right),
+        ("part", 4, Align::Right),
+        ("repl", 4, Align::Right),
+        ("fall", 4, Align::Right),
+        ("prune", 5, Align::Right),
+        ("reord", 5, Align::Right),
+        ("semi", 4, Align::Right),
+        ("est/act", 8, Align::Right),
+        ("acc", 5, Align::Right),
+        ("fetched", 7, Align::Right),
+        ("µs", 6, Align::Right),
+    ])
+}
+
+fn slow_layout() -> ColumnLayout {
+    ColumnLayout::new(vec![
+        ("id", 4, Align::Left),
+        ("query", 60, Align::Left),
+        ("wrk", 3, Align::Right),
+        ("µs", 9, Align::Right),
+    ])
 }
 
 fn truncate(s: &str, n: usize) -> String {
@@ -359,6 +522,9 @@ mod tests {
                     stream_rows: 1100,
                     shards_pruned: 12,
                     semi_joins_pushed: 10,
+                    tick_p50_us: 800,
+                    tick_p95_us: 950,
+                    tick_p99_us: 990,
                 },
                 QueryPanel {
                     id: 2,
@@ -373,6 +539,9 @@ mod tests {
                     stream_rows: 0,
                     shards_pruned: 0,
                     semi_joins_pushed: 0,
+                    tick_p50_us: 0,
+                    tick_p95_us: 0,
+                    tick_p99_us: 0,
                 },
             ],
             static_queries: vec![StaticQueryPanel {
@@ -409,6 +578,16 @@ mod tests {
             bgp_cache_invalidations: 1,
             plan_cache_hits: 6,
             plan_cache_misses: 2,
+            static_p50_us: 2100,
+            static_p95_us: 2400,
+            static_p99_us: 2460,
+            slow_queries: vec![SlowQuery {
+                id: 1,
+                query: "SELECT ?s WHERE { ?s a sie:Sensor }".into(),
+                workers: 4,
+                total_us: 2460,
+            }],
+            slow_threshold_us: 1000,
         }
     }
 
@@ -465,6 +644,19 @@ mod tests {
         assert!(r.contains("2460"), "total µs column: {r}");
         assert!(r.contains("70/60"), "est/act column: {r}");
         assert!(r.contains("reord"), "planner columns present: {r}");
+    }
+
+    #[test]
+    fn render_contains_latency_columns_and_slow_log() {
+        let r = dash().render();
+        assert!(r.contains("p50µs"), "tick percentile header: {r}");
+        assert!(r.contains("800"), "p50 value: {r}");
+        assert!(r.contains("p50/p95/p99 2100/2400/2460 µs"), "{r}");
+        assert!(r.contains("slow queries ─ ≥ 1000 µs"), "{r}");
+        // An empty slow log renders no slow section at all.
+        let mut quiet = dash();
+        quiet.slow_queries.clear();
+        assert!(!quiet.render().contains("slow queries"));
     }
 
     #[test]
@@ -543,5 +735,50 @@ mod tests {
     fn long_names_truncated() {
         assert_eq!(truncate("abcdef", 4), "abc…");
         assert_eq!(truncate("abc", 4), "abc");
+    }
+
+    /// Every layout keeps header titles and row cells inside the same
+    /// column boundaries — the alignment guarantee the hand-counted
+    /// `format!` strings never had.
+    #[test]
+    fn header_and_rows_share_column_boundaries() {
+        for layout in [stream_layout(), static_layout(), slow_layout()] {
+            let header: Vec<char> = layout.header().chars().collect();
+            let cells = vec!["9".to_string(); layout.columns.len()];
+            let row: Vec<char> = layout.row(&cells).chars().collect();
+            let mut start = 2; // after "│ "
+            for (title, width, align) in &layout.columns {
+                let slot = |line: &[char]| -> String {
+                    line.iter()
+                        .chain(std::iter::repeat(&' '))
+                        .skip(start)
+                        .take(*width)
+                        .collect()
+                };
+                let header_slot = slot(&header);
+                let row_slot = slot(&row);
+                match align {
+                    Align::Left => {
+                        assert!(header_slot.starts_with(title), "{title}: {header_slot:?}");
+                        assert!(row_slot.starts_with('9'), "{title}: {row_slot:?}");
+                    }
+                    Align::Right => {
+                        assert!(header_slot.ends_with(title), "{title}: {header_slot:?}");
+                        assert!(row_slot.ends_with('9'), "{title}: {row_slot:?}");
+                    }
+                }
+                start += width + 1;
+            }
+        }
+    }
+
+    /// A header title wider than its configured width widens the column
+    /// instead of bleeding into its neighbor.
+    #[test]
+    fn narrow_columns_widen_to_their_title() {
+        let layout = ColumnLayout::new(vec![("bindings", 2, Align::Right)]);
+        assert_eq!(layout.columns[0].1, 8);
+        assert_eq!(layout.header(), "│ bindings\n");
+        assert_eq!(layout.row(&["7".into()]), "│        7\n");
     }
 }

@@ -338,6 +338,9 @@ impl FragmentExecutor for Federation {
             shards_pruned: round.shards_pruned,
             plan_cache_hits: round.plan_cache_hits,
             plan_cache_misses: round.plan_cache_misses,
+            // Worker-side spans ride back with the round; a traced pipeline
+            // grafts them under its exec span (untraced callers drop them).
+            spans: round.spans,
         })
     }
 

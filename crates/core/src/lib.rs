@@ -24,8 +24,9 @@ pub mod dashboard;
 pub mod federation;
 pub mod platform;
 
-pub use dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
+pub use dashboard::{Dashboard, QueryPanel, SlowQuery, StaticQueryPanel};
 pub use federation::{Federation, FederationTopology};
+pub use optique_telemetry as telemetry;
 
 /// The federation's pre-unification name, kept for downstream callers.
 pub type StaticFederation = Federation;

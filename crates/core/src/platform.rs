@@ -18,9 +18,10 @@ use optique_starql::{
     parse_starql, translate, ContinuousQuery, StreamToRdf, TickOutput, TranslationContext,
 };
 use optique_stream::WCache;
+use optique_telemetry::{render_tree, MetricsRegistry, MetricsSnapshot, Tracer};
 use parking_lot::{Mutex, RwLock};
 
-use crate::dashboard::{Dashboard, QueryPanel, StaticQueryPanel};
+use crate::dashboard::{Dashboard, QueryPanel, SlowQuery, StaticQueryPanel};
 use crate::federation::{Federation, FederationTopology};
 
 /// A registered STARQL query with its accumulated monitoring counters.
@@ -116,10 +117,30 @@ pub struct OptiquePlatform {
     /// How relational writes invalidate the per-BGP cache
     /// ([`CacheInvalidation::Dependent`] by default).
     invalidation: RwLock<CacheInvalidation>,
+    /// Platform-wide counters and latency histograms, exported by
+    /// [`metrics_snapshot`](Self::metrics_snapshot). Static queries feed
+    /// `static.query_us`; every registered continuous query feeds
+    /// `tick.q<id>.us`.
+    registry: Arc<MetricsRegistry>,
+    /// Whether static queries record span trees (on by default; the
+    /// tracing-overhead bench flips it off for its untraced baseline).
+    tracing: std::sync::atomic::AtomicBool,
+    /// End-to-end latency at which a static query lands on the slow-query
+    /// log, in microseconds.
+    slow_threshold_us: std::sync::atomic::AtomicU64,
+    /// The most recent slow static queries, oldest first (capped at
+    /// [`SLOW_LOG_CAP`]).
+    slow_log: Mutex<Vec<SlowQuery>>,
 }
 
 /// How many executed static queries the dashboard remembers.
 const STATIC_LOG_CAP: usize = 64;
+
+/// How many slow queries the log remembers.
+const SLOW_LOG_CAP: usize = 32;
+
+/// Default slow-query threshold: 100 ms.
+const DEFAULT_SLOW_THRESHOLD_US: u64 = 100_000;
 
 impl OptiquePlatform {
     /// Deploys over explicit assets.
@@ -148,6 +169,10 @@ impl OptiquePlatform {
             table_stats,
             planner: RwLock::new(PlannerSettings::default()),
             invalidation: RwLock::new(CacheInvalidation::default()),
+            registry: Arc::new(MetricsRegistry::new()),
+            tracing: std::sync::atomic::AtomicBool::new(true),
+            slow_threshold_us: std::sync::atomic::AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
+            slow_log: Mutex::new(Vec::new()),
         }
     }
 
@@ -488,47 +513,119 @@ impl OptiquePlatform {
         text: &str,
         federation: Option<Arc<Federation>>,
     ) -> Result<(SparqlResults, PipelineStats), String> {
-        let parse_started = std::time::Instant::now();
-        let query = parse_sparql(text, &self.namespaces).map_err(|e| e.to_string())?;
-        let parse_micros = parse_started.elapsed().as_micros() as u64;
+        let trace = self.tracing_enabled();
+        self.run_static_traced(text, federation, trace)
+            .map(|(results, stats, _)| (results, stats))
+    }
 
-        // Generation before snapshot: if an insert lands in between, either
-        // the snapshot already includes it (stores are fine) or the store's
-        // generation is stale (dropped) — never a stale cache fill.
-        let generation = self.static_cache.generation();
-        let db = self.db();
-        let stats_snapshot = Arc::clone(&self.table_stats.read());
-        let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &db)
-            .with_cache_at(&self.static_cache, generation)
-            .with_planner(*self.planner.read())
-            .with_table_stats(&stats_snapshot);
-        if let Some(federation) = federation.as_deref() {
-            pipeline = pipeline.with_executor(federation);
+    /// The driver behind every static entry point: parse and answer under a
+    /// per-query [`Tracer`] (when `trace` is set), log the dashboard panel
+    /// with span-derived stage timings, feed the latency histogram and the
+    /// slow-query log, and hand the tracer back for EXPLAIN ANALYZE.
+    fn run_static_traced(
+        &self,
+        text: &str,
+        federation: Option<Arc<Federation>>,
+        trace: bool,
+    ) -> Result<(SparqlResults, PipelineStats, Option<Tracer>), String> {
+        let started = std::time::Instant::now();
+        let workers = federation.as_ref().map_or(1, |f| f.workers());
+        let tracer = trace.then(Tracer::new);
+        let results;
+        let stats;
+        {
+            // Guards borrow the tracer; this scope closes every borrow
+            // before the tracer moves into the return value below.
+            let mut root = tracer.as_ref().map(|t| t.span(None, "static_query"));
+            let root_id = root.as_ref().map(|g| g.id());
+
+            let parse_span = tracer.as_ref().map(|t| t.span(root_id, "parse"));
+            let query = parse_sparql(text, &self.namespaces).map_err(|e| e.to_string())?;
+            if let Some(g) = parse_span {
+                g.finish();
+            }
+
+            // Generation before snapshot: if an insert lands in between,
+            // either the snapshot already includes it (stores are fine) or
+            // the store's generation is stale (dropped) — never a stale
+            // cache fill.
+            let generation = self.static_cache.generation();
+            let db = self.db();
+            let stats_snapshot = Arc::clone(&self.table_stats.read());
+            let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &db)
+                .with_cache_at(&self.static_cache, generation)
+                .with_planner(*self.planner.read())
+                .with_table_stats(&stats_snapshot);
+            if let Some(federation) = federation.as_deref() {
+                pipeline = pipeline.with_executor(federation);
+            }
+            if let Some(tracer) = tracer.as_ref() {
+                pipeline = pipeline.with_tracer(tracer, root_id);
+            }
+            let answered = pipeline.answer(&query).map_err(|e| e.to_string())?;
+            if let Some(mut g) = root.take() {
+                g.set_attr("rows", answered.1.rows as u64);
+                g.set_attr("workers", workers as u64);
+                g.finish();
+            }
+            results = answered.0;
+            stats = answered.1;
         }
-        let (results, stats) = pipeline.answer(&query).map_err(|e| e.to_string())?;
+
+        let total_us = started.elapsed().as_micros() as u64;
+        self.registry.histogram("static.query_us").record(total_us);
+
+        // Stage timings come off the span tree (0 when tracing is off) —
+        // the panel and EXPLAIN ANALYZE read the same clock.
+        let (parse_us, rewrite_us, unfold_us, exec_us) = match tracer.as_ref() {
+            Some(t) => (
+                t.sum_duration("parse"),
+                t.sum_duration("rewrite"),
+                t.sum_duration("unfold"),
+                t.sum_duration("exec"),
+            ),
+            None => (0, 0, 0, 0),
+        };
 
         let id = self
             .static_next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let preview = text.split_whitespace().collect::<Vec<_>>().join(" ");
+        if total_us
+            >= self
+                .slow_threshold_us
+                .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            let mut slow = self.slow_log.lock();
+            if slow.len() == SLOW_LOG_CAP {
+                slow.remove(0);
+            }
+            slow.push(SlowQuery {
+                id,
+                query: preview.clone(),
+                workers,
+                total_us,
+            });
+        }
         let mut log = self.static_log.lock();
         if log.len() == STATIC_LOG_CAP {
             log.remove(0);
         }
         log.push(StaticQueryPanel {
             id,
-            query: text.split_whitespace().collect::<Vec<_>>().join(" "),
+            query: preview,
             rows: stats.rows,
             bgps: stats.bgps,
             ucq_disjuncts: stats.ucq_disjuncts,
             sql_disjuncts: stats.sql_disjuncts,
-            parse_micros,
-            rewrite_micros: stats.rewrite_micros,
-            unfold_micros: stats.unfold_micros,
-            exec_micros: stats.exec_micros,
+            parse_micros: parse_us,
+            rewrite_micros: rewrite_us,
+            unfold_micros: unfold_us,
+            exec_micros: exec_us,
             cache_hits: stats.cache_hits,
             cache_misses: stats.cache_misses,
             fragments: stats.fragments,
-            workers: federation.map_or(1, |f| f.workers()),
+            workers,
             coordinator_fallbacks: stats.coordinator_fallbacks,
             join_reorders: stats.join_reorders,
             semi_joins_pushed: stats.semi_joins_pushed,
@@ -541,7 +638,68 @@ impl OptiquePlatform {
             plan_cache_hits: stats.plan_cache_hits,
             plan_cache_misses: stats.plan_cache_misses,
         });
-        Ok((results, stats))
+        drop(log);
+        Ok((results, stats, tracer))
+    }
+
+    /// Whether static queries currently record span trees.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Turns span recording for static queries on or off (on by default).
+    /// Latency histograms and the slow-query log keep working either way;
+    /// only the per-stage span tree (and the panel's stage-time columns)
+    /// goes dark when tracing is off.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.tracing
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The slow-query threshold in microseconds.
+    pub fn slow_query_threshold_us(&self) -> u64 {
+        self.slow_threshold_us
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Sets the end-to-end latency at which a static query lands on the
+    /// dashboard's slow-query log (default 100 ms).
+    pub fn set_slow_query_threshold_us(&self, threshold_us: u64) {
+        self.slow_threshold_us
+            .store(threshold_us, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of every platform counter and latency
+    /// histogram; the snapshot carries the JSON and Prometheus exporters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The shared metrics registry (experiment binaries hook their own
+    /// meters in here so everything exports together).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Runs a static query with tracing forced on and renders the stitched
+    /// span tree — coordinator stage spans plus the per-fragment worker
+    /// spans grafted under `exec` — as an EXPLAIN ANALYZE report.
+    /// `workers` picks the federated pool (`None` = single-node).
+    pub fn explain_analyze(&self, text: &str, workers: Option<usize>) -> Result<String, String> {
+        let federation = match workers {
+            Some(0) => return Err("a federated query needs at least one worker".into()),
+            Some(w) => Some(self.federation_for(w)),
+            None => None,
+        };
+        let (results, _, tracer) = self.run_static_traced(text, federation, true)?;
+        let tracer = tracer.expect("tracing was forced on");
+        let mut out = format!(
+            "EXPLAIN ANALYZE — {} row(s), {} worker(s)\n",
+            results.len(),
+            workers.unwrap_or(1),
+        );
+        out.push_str(&render_tree(&tracer.spans()));
+        Ok(out)
     }
 
     /// Appends rows to a static table, swapping in a new catalog snapshot.
@@ -661,12 +819,16 @@ impl OptiquePlatform {
             // and gets its pool next tick. Building here would deadlock on
             // the queries lock (pool construction reads the stream pairs).
             let executor = reg.workers.and_then(|w| pools.get(&w));
+            let tick_started = std::time::Instant::now();
             let result = reg.query.tick_via(
                 &db,
                 &self.wcache,
                 tick_ms,
                 executor.map(|f| f.as_ref() as _),
             )?;
+            self.registry
+                .histogram(&format!("tick.q{id}.us"))
+                .record(tick_started.elapsed().as_micros() as u64);
             reg.ticks += 1;
             reg.alarms += result.satisfied as u64;
             reg.tuples += result.tuples_in_window as u64;
@@ -702,19 +864,28 @@ impl OptiquePlatform {
         let queries = self.queries.lock();
         let panels = queries
             .values()
-            .map(|reg| QueryPanel {
-                id: reg.id,
-                name: reg.name.clone(),
-                bindings: reg.query.binding_count(),
-                ticks: reg.ticks,
-                alarms: reg.alarms,
-                tuples: reg.tuples,
-                fleet_size: reg.query.translated.fleet.len(),
-                workers: reg.workers.unwrap_or(1),
-                window_fragments: reg.window_fragments,
-                stream_rows: reg.stream_rows,
-                shards_pruned: reg.shards_pruned,
-                semi_joins_pushed: reg.semi_joins_pushed,
+            .map(|reg| {
+                let ticks = self
+                    .registry
+                    .histogram(&format!("tick.q{}.us", reg.id))
+                    .summary();
+                QueryPanel {
+                    id: reg.id,
+                    name: reg.name.clone(),
+                    bindings: reg.query.binding_count(),
+                    ticks: reg.ticks,
+                    alarms: reg.alarms,
+                    tuples: reg.tuples,
+                    fleet_size: reg.query.translated.fleet.len(),
+                    workers: reg.workers.unwrap_or(1),
+                    window_fragments: reg.window_fragments,
+                    stream_rows: reg.stream_rows,
+                    shards_pruned: reg.shards_pruned,
+                    semi_joins_pushed: reg.semi_joins_pushed,
+                    tick_p50_us: ticks.p50,
+                    tick_p95_us: ticks.p95,
+                    tick_p99_us: ticks.p99,
+                }
             })
             .collect();
         drop(queries);
@@ -724,6 +895,7 @@ impl OptiquePlatform {
             .values()
             .map(|f| f.plan_cache_stats())
             .fold((0, 0), |(h, m), (fh, fm)| (h + fh, m + fm));
+        let static_latency = self.registry.histogram("static.query_us").summary();
         Dashboard {
             panels,
             static_queries: self.static_log.lock().clone(),
@@ -734,6 +906,11 @@ impl OptiquePlatform {
             bgp_cache_invalidations: self.static_cache.invalidations(),
             plan_cache_hits,
             plan_cache_misses,
+            static_p50_us: static_latency.p50,
+            static_p95_us: static_latency.p95,
+            static_p99_us: static_latency.p99,
+            slow_queries: self.slow_log.lock().clone(),
+            slow_threshold_us: self.slow_query_threshold_us(),
         }
     }
 }

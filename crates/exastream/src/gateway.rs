@@ -10,9 +10,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use optique_relational::{PlanFragment, SelectStatement, SqlError, Table};
+use optique_telemetry::SpanRecord;
 use parking_lot::Mutex;
 
 use crate::cluster::Cluster;
@@ -247,6 +249,7 @@ impl Gateway {
     ///   just its slice of the `IN`-list.
     pub fn run_static_round(&self, fragments: &[StaticFragment]) -> StaticRound {
         let size = self.cluster.size();
+        let round_started = Instant::now();
 
         // Place the non-scatter fragments as transient StaticFragment tasks.
         let tasks: Vec<OperatorTask> = fragments
@@ -256,13 +259,19 @@ impl Gateway {
             .collect();
         let placement = self.scheduler.lock().place_batch(&tasks);
 
-        // Coordinator side: per-worker queues of (fragment slot, wire text).
-        // Shard-pruned scatter fragments encode one wire per target shard
-        // (each carrying that shard's `IN`-list slice); everything else
-        // encodes once.
-        let mut queues: Vec<Vec<(usize, Arc<String>)>> = vec![Vec::new(); size];
+        // Coordinator side: per-worker queues of fragment wires. Shard-pruned
+        // scatter fragments encode one wire per target shard (each carrying
+        // that shard's `IN`-list slice); everything else encodes once.
+        struct Queued {
+            idx: usize,
+            wire: Arc<String>,
+            op: Arc<String>,
+            scatter: bool,
+        }
+        let mut queues: Vec<Vec<Queued>> = (0..size).map(|_| Vec::new()).collect();
         let mut shards_pruned = 0usize;
         for (idx, f) in fragments.iter().enumerate() {
+            let op = Arc::new(f.fragment.describe());
             if f.scatter {
                 let plan = match &f.statement {
                     Some(statement) => f.fragment.shard_plan_with(statement, size),
@@ -272,19 +281,33 @@ impl Gateway {
                     Some(plan) => {
                         shards_pruned += size - plan.len();
                         for (shard, fragment) in plan {
-                            queues[shard].push((idx, Arc::new(fragment.encode())));
+                            queues[shard].push(Queued {
+                                idx,
+                                wire: Arc::new(fragment.encode()),
+                                op: Arc::clone(&op),
+                                scatter: true,
+                            });
                         }
                     }
                     None => {
                         let wire = Arc::new(f.fragment.encode());
                         for queue in queues.iter_mut() {
-                            queue.push((idx, Arc::clone(&wire)));
+                            queue.push(Queued {
+                                idx,
+                                wire: Arc::clone(&wire),
+                                op: Arc::clone(&op),
+                                scatter: true,
+                            });
                         }
                     }
                 }
             } else {
-                queues[placement.assignment[&f.fragment.id]]
-                    .push((idx, Arc::new(f.fragment.encode())));
+                queues[placement.assignment[&f.fragment.id]].push(Queued {
+                    idx,
+                    wire: Arc::new(f.fragment.encode()),
+                    op,
+                    scatter: false,
+                });
             }
         }
 
@@ -294,17 +317,36 @@ impl Gateway {
         // the local shard, ship the result batch back over the wire.
         // Each worker counts its own hits/misses for *this* round (the
         // cumulative cache counters are shared across concurrent rounds
-        // and would cross-attribute).
-        type WorkerOutput = (Vec<(usize, Result<String, SqlError>)>, u64, u64);
+        // and would cross-attribute), and records one span per fragment
+        // execution — queue wait, plan-cache outcome, rows and wire bytes —
+        // under a per-worker root span, all relative to the round start so
+        // the coordinator can graft them into its trace.
+        type WorkerOutput = (
+            Vec<(usize, Result<String, SqlError>)>,
+            u64,
+            u64,
+            Vec<SpanRecord>,
+        );
         let outputs: Vec<WorkerOutput> = self.cluster.parallel_map(|worker| {
             let cache = &self.plan_caches[worker.id];
             let (mut hits, mut misses) = (0u64, 0u64);
+            let worker_start_us = round_started.elapsed().as_micros() as u64;
+            let mut frag_spans: Vec<SpanRecord> = Vec::with_capacity(queues[worker.id].len());
             let results = queues[worker.id]
                 .iter()
-                .map(|(idx, wire)| {
+                .map(|q| {
+                    let queue_us = round_started
+                        .elapsed()
+                        .as_micros()
+                        .saturating_sub(worker_start_us as u128)
+                        as u64;
+                    let frag_started = Instant::now();
+                    let mut cache_hit = false;
+                    let mut rows = 0u64;
                     let result = cache
-                        .get_or_prepare(wire)
+                        .get_or_prepare(&q.wire)
                         .map(|(statement, hit)| {
+                            cache_hit = hit;
                             if hit {
                                 hits += 1;
                             } else {
@@ -315,15 +357,65 @@ impl Gateway {
                         .and_then(|statement| {
                             optique_relational::execute_prepared(&statement, &worker.db)
                         })
-                        .map(|t| exchange::ship(&t));
-                    (*idx, result)
+                        .map(|t| {
+                            rows = t.len() as u64;
+                            exchange::ship(&t)
+                        });
+                    let wire_bytes = result.as_ref().map(|w| w.len() as u64).unwrap_or(0);
+                    let mut span = SpanRecord::new(
+                        "fragment",
+                        worker_start_us + queue_us,
+                        frag_started.elapsed().as_micros() as u64,
+                    )
+                    // Parent index 0 is the worker root, prepended below.
+                    .under(0)
+                    .attr("op", q.op.as_str())
+                    .attr("frag", q.idx)
+                    .attr("worker", worker.id)
+                    .attr("queue_us", queue_us)
+                    .attr("cache", if cache_hit { "hit" } else { "miss" })
+                    .attr("rows", rows)
+                    .attr("bytes", wire_bytes);
+                    if q.scatter {
+                        span = span.attr("shard", worker.id);
+                    }
+                    frag_spans.push(span);
+                    (q.idx, result)
                 })
                 .collect();
-            (results, hits, misses)
+            let mut spans = Vec::with_capacity(frag_spans.len() + 1);
+            if !frag_spans.is_empty() {
+                spans.push(
+                    SpanRecord::new(
+                        "worker",
+                        worker_start_us,
+                        round_started
+                            .elapsed()
+                            .as_micros()
+                            .saturating_sub(worker_start_us as u128) as u64,
+                    )
+                    .attr("worker", worker.id)
+                    .attr("fragments", frag_spans.len()),
+                );
+                spans.extend(frag_spans);
+            }
+            (results, hits, misses, spans)
         });
         let (plan_cache_hits, plan_cache_misses) = outputs
             .iter()
-            .fold((0, 0), |(h, m), (_, wh, wm)| (h + wh, m + wm));
+            .fold((0, 0), |(h, m), (_, wh, wm, _)| (h + wh, m + wm));
+
+        // Merge the per-worker span batches into one round batch, shifting
+        // each batch's internal parent indices past the records already
+        // merged (worker roots stay roots of the round batch).
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for (_, _, _, batch) in &outputs {
+            let base = spans.len();
+            spans.extend(batch.iter().cloned().map(|mut record| {
+                record.parent = record.parent.map(|p| p + base);
+                record
+            }));
+        }
 
         // The round is over: transient (StaticFragment-kind) tasks release
         // their load; continuous operators are untouched.
@@ -334,7 +426,7 @@ impl Gateway {
         let mut worker_rows = vec![0usize; size];
         let mut gathered: Vec<Option<Result<Table, SqlError>>> =
             fragments.iter().map(|_| None).collect();
-        for (worker, (per_worker, _, _)) in outputs.into_iter().enumerate() {
+        for (worker, (per_worker, _, _, _)) in outputs.into_iter().enumerate() {
             for (idx, wire_result) in per_worker {
                 let table = wire_result.and_then(|wire| exchange::receive(&wire));
                 if let Ok(t) = &table {
@@ -357,6 +449,7 @@ impl Gateway {
             shards_pruned,
             plan_cache_hits,
             plan_cache_misses,
+            spans,
         }
     }
 }
@@ -379,6 +472,12 @@ pub struct StaticRound {
     pub plan_cache_hits: u64,
     /// Fragment executions that had to parse this round.
     pub plan_cache_misses: u64,
+    /// Worker-side trace spans for the round, one batch root per worker
+    /// that executed anything, with per-fragment children carrying worker
+    /// id, shard, queue wait, plan-cache outcome, rows and wire bytes.
+    /// Starts are relative to the round start; the coordinator stitches
+    /// them under its execution span with `Tracer::graft`.
+    pub spans: Vec<SpanRecord>,
 }
 
 /// One unit of a federated static query, as submitted to

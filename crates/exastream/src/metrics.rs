@@ -2,43 +2,58 @@
 //!
 //! Every number reported in EXPERIMENTS.md — tuples/sec for the node sweep,
 //! aggregate throughput under 1,024 tasks, extrapolated bytes/day against
-//! the paper's 10 TB/day claim — comes out of these counters.
+//! the paper's 10 TB/day claim — comes out of these counters. Since the
+//! telemetry crate landed, the meter is a thin throughput-rate view over
+//! [`MetricsRegistry`] counters, so throughput and latency live in one
+//! registry and export together.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A thread-safe tuples/bytes throughput meter.
+use optique_telemetry::{Counter, MetricsRegistry};
+
+/// A thread-safe tuples/bytes throughput meter: two registry counters plus
+/// a wall clock. [`ThroughputMeter::start`] keeps the original standalone
+/// interface (backed by a private registry); [`ThroughputMeter::in_registry`]
+/// shares the caller's registry, making the totals visible to its JSON and
+/// Prometheus exports under `<prefix>.tuples` / `<prefix>.bytes`.
 #[derive(Debug)]
 pub struct ThroughputMeter {
     start: Instant,
-    tuples: AtomicU64,
-    bytes: AtomicU64,
+    tuples: Arc<Counter>,
+    bytes: Arc<Counter>,
 }
 
 impl ThroughputMeter {
-    /// Starts the clock.
+    /// Starts the clock over a private registry.
     pub fn start() -> Self {
+        ThroughputMeter::in_registry(&MetricsRegistry::new(), "throughput")
+    }
+
+    /// Starts the clock over counters registered in `registry` as
+    /// `<prefix>.tuples` and `<prefix>.bytes`.
+    pub fn in_registry(registry: &MetricsRegistry, prefix: &str) -> Self {
         ThroughputMeter {
             start: Instant::now(),
-            tuples: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
+            tuples: registry.counter(&format!("{prefix}.tuples")),
+            bytes: registry.counter(&format!("{prefix}.bytes")),
         }
     }
 
     /// Records processed tuples (and optionally their encoded size).
     pub fn record(&self, tuples: u64, bytes: u64) {
-        self.tuples.fetch_add(tuples, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.tuples.add(tuples);
+        self.bytes.add(bytes);
     }
 
     /// Total tuples recorded.
     pub fn tuples(&self) -> u64 {
-        self.tuples.load(Ordering::Relaxed)
+        self.tuples.get()
     }
 
     /// Total bytes recorded.
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.get()
     }
 
     /// Elapsed wall-clock time.
@@ -146,6 +161,18 @@ mod tests {
         assert_eq!(meter.tuples(), 40_000);
         assert_eq!(meter.bytes(), 320_000);
         assert!(meter.tuples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn meter_in_registry_exports_counters() {
+        let registry = MetricsRegistry::new();
+        let meter = ThroughputMeter::in_registry(&registry, "stream");
+        meter.record(100, 800);
+        meter.record(20, 160);
+        assert_eq!(meter.tuples(), 120);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stream.tuples"), Some(120));
+        assert_eq!(snap.counter("stream.bytes"), Some(960));
     }
 
     #[test]

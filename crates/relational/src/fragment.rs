@@ -186,6 +186,39 @@ impl PlanFragment {
         execute_prepared(&self.statement()?, db)
     }
 
+    /// A one-line human summary for trace spans and plan displays: the SQL
+    /// (whitespace-collapsed, truncated) plus markers for the window slice,
+    /// semi-join restrictions and partition metadata it carries.
+    pub fn describe(&self) -> String {
+        const SQL_PREVIEW: usize = 48;
+        let mut sql = String::with_capacity(SQL_PREVIEW + 1);
+        for word in self.sql.split_whitespace() {
+            if !sql.is_empty() {
+                sql.push(' ');
+            }
+            sql.push_str(word);
+            if sql.len() > SQL_PREVIEW {
+                break;
+            }
+        }
+        if sql.len() > SQL_PREVIEW {
+            sql.truncate(SQL_PREVIEW);
+            sql.push('…');
+        }
+        let mut out = sql;
+        if let Some(win) = &self.window {
+            let _ = write!(out, " [win {}..{})", win.open_ms, win.close_ms);
+        }
+        if !self.semi_joins.is_empty() {
+            let keys: usize = self.semi_joins.iter().map(|s| s.values.len()).sum();
+            let _ = write!(out, " [⋉ {} col, {} key]", self.semi_joins.len(), keys);
+        }
+        if let Some(part) = &self.partition {
+            let _ = write!(out, " [part {}]", part.column);
+        }
+        out
+    }
+
     /// Encodes the fragment for the wire: the header line, an optional
     /// partition-metadata line, an optional window-slice line, then one
     /// line per semi-join restriction.

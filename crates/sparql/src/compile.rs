@@ -32,8 +32,6 @@
 //! reproduces the naive pipeline bit-for-bit, and the differential
 //! plan-equivalence suite asserts both modes return identical answers.
 
-use std::time::Instant;
-
 use optique_mapping::{unfold_ucq, MappingCatalog, UnfoldSettings};
 use optique_ontology::Ontology;
 use optique_rdf::{Literal, Term};
@@ -42,6 +40,7 @@ use optique_relational::{
     expr::BinOp, expr::UnaryOp, Database, Expr, PlanFragment, SemiJoin, StatsCatalog, Table, Value,
 };
 use optique_rewrite::{rewrite, Atom, ConjunctiveQuery, QueryTerm, RewriteSettings};
+use optique_telemetry::{SpanId, SpanRecord, Tracer};
 
 use crate::algebra::{
     ArithmeticOperator, ComparisonOperator, Expression, GroupPattern, PatternElement, Projection,
@@ -78,6 +77,11 @@ pub struct FragmentRound {
     pub plan_cache_hits: u64,
     /// Fragment executions that parsed their statement this round.
     pub plan_cache_misses: u64,
+    /// Worker-side trace spans for the round (batch-relative, see
+    /// [`optique_telemetry::SpanRecord`]). A traced pipeline grafts them
+    /// under its execution span so worker-side children stitch into the
+    /// coordinator's tree; an untraced pipeline ignores them.
+    pub spans: Vec<SpanRecord>,
 }
 
 /// A distributed backend for unfolded-SQL execution: takes one
@@ -132,9 +136,20 @@ pub struct StaticPipeline<'a> {
     /// Source statistics feeding the planner's cardinality model; `None`
     /// degrades estimates to mapping fan-out counts.
     pub table_stats: Option<&'a StatsCatalog>,
+    /// Span recorder for per-stage timing; `None` (the default) skips all
+    /// trace recording. Tracing never changes what a query answers — the
+    /// telemetry differential suite asserts traced ≡ untraced.
+    pub tracer: Option<&'a Tracer>,
+    /// Parent span the pipeline's stage spans attach under (typically the
+    /// platform's per-query root span).
+    pub trace_parent: Option<SpanId>,
 }
 
 /// Per-query observability, surfaced on the platform dashboard.
+///
+/// Counters only: per-stage *timings* come from the telemetry spans a
+/// traced pipeline records (see [`StaticPipeline::with_tracer`]) — one
+/// timing source instead of two that can drift.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Basic graph patterns evaluated.
@@ -143,12 +158,6 @@ pub struct PipelineStats {
     pub ucq_disjuncts: usize,
     /// Total SQL disjuncts emitted by unfolding.
     pub sql_disjuncts: usize,
-    /// Microseconds spent in PerfectRef.
-    pub rewrite_micros: u64,
-    /// Microseconds spent unfolding.
-    pub unfold_micros: u64,
-    /// Microseconds spent executing SQL.
-    pub exec_micros: u64,
     /// Rows in the final result.
     pub rows: usize,
     /// BGPs answered from the [`BgpCache`].
@@ -203,12 +212,23 @@ impl<'a> StaticPipeline<'a> {
             cache_generation: 0,
             planner: PlannerSettings::default(),
             table_stats: None,
+            tracer: None,
+            trace_parent: None,
         }
     }
 
     /// Routes unfolded SQL through a distributed executor.
     pub fn with_executor(mut self, executor: &'a dyn FragmentExecutor) -> Self {
         self.executor = Some(executor);
+        self
+    }
+
+    /// Records per-stage spans into `tracer`, attaching them under
+    /// `parent` (pass the caller's per-query root span, or `None` to make
+    /// the pipeline's spans roots).
+    pub fn with_tracer(mut self, tracer: &'a Tracer, parent: Option<SpanId>) -> Self {
+        self.tracer = Some(tracer);
+        self.trace_parent = parent;
         self
     }
 
@@ -376,6 +396,7 @@ impl<'a> StaticPipeline<'a> {
         }
         let operands = std::mem::take(batch);
         let order: Vec<usize> = if self.planner.reorder_joins && operands.len() > 1 {
+            let mut span = self.tracer.map(|t| t.span(self.trace_parent, "plan_batch"));
             let infos: Vec<JoinOperand> = operands
                 .iter()
                 .map(|element| JoinOperand {
@@ -384,8 +405,13 @@ impl<'a> StaticPipeline<'a> {
                 })
                 .collect();
             let order = greedy_order(&current.vars, &infos);
-            if order.iter().enumerate().any(|(pos, &idx)| pos != idx) {
+            let reordered = order.iter().enumerate().any(|(pos, &idx)| pos != idx);
+            if reordered {
                 stats.join_reorders += 1;
+            }
+            if let Some(span) = span.as_mut() {
+                span.set_attr("operands", operands.len());
+                span.set_attr("reordered", reordered);
             }
             order
         } else {
@@ -469,6 +495,11 @@ impl<'a> StaticPipeline<'a> {
         if atoms.is_empty() {
             return Ok(SolutionSet::unit());
         }
+        let mut bgp_span = self.tracer.map(|t| t.span(self.trace_parent, "bgp"));
+        if let Some(span) = bgp_span.as_mut() {
+            span.set_attr("atoms", atoms.len());
+        }
+        let bgp_id = bgp_span.as_ref().map(|s| s.id());
         let vars = bgp_variables(atoms);
         let restriction = restriction.restrict_to(&vars);
         if self.planner.reorder_joins {
@@ -490,9 +521,19 @@ impl<'a> StaticPipeline<'a> {
                 Some(restricted) => vec![restricted, plain],
                 None => vec![plain],
             };
-            if let Some(cached) = cache.lookup_any(&keys) {
+            let mut lookup_span = self.tracer.map(|t| t.span(bgp_id, "cache_lookup"));
+            let cached = cache.lookup_any(&keys);
+            if let Some(span) = lookup_span.as_mut() {
+                span.set_attr("outcome", if cached.is_some() { "hit" } else { "miss" });
+            }
+            drop(lookup_span);
+            if let Some(cached) = cached {
                 stats.cache_hits += 1;
                 stats.actual_rows += cached.len() as u64;
+                if let Some(span) = bgp_span.as_mut() {
+                    span.set_attr("cache", "hit");
+                    span.set_attr("rows", cached.len());
+                }
                 return Ok(cached);
             }
             stats.cache_misses += 1;
@@ -500,16 +541,22 @@ impl<'a> StaticPipeline<'a> {
 
         let cq = ConjunctiveQuery::new(vars.clone(), atoms.to_vec());
 
-        let started = Instant::now();
+        let rewrite_span = self.tracer.map(|t| t.span(bgp_id, "rewrite"));
         let (ucq, _) = rewrite(&cq, self.ontology, &self.rewrite_settings)
             .map_err(|e| SparqlError::execution(format!("enrichment failed: {e}")))?;
-        stats.rewrite_micros += started.elapsed().as_micros() as u64;
+        if let Some(mut span) = rewrite_span {
+            span.set_attr("ucq_disjuncts", ucq.len());
+            span.finish();
+        }
         stats.ucq_disjuncts += ucq.len();
 
-        let started = Instant::now();
+        let unfold_span = self.tracer.map(|t| t.span(bgp_id, "unfold"));
         let (sql, unfold_stats) = unfold_ucq(&ucq, self.mappings, &self.unfold_settings)
             .map_err(|e| SparqlError::execution(format!("unfolding failed: {e}")))?;
-        stats.unfold_micros += started.elapsed().as_micros() as u64;
+        if let Some(mut span) = unfold_span {
+            span.set_attr("sql_disjuncts", unfold_stats.emitted);
+            span.finish();
+        }
         stats.sql_disjuncts += unfold_stats.emitted;
 
         let semi_joins: Vec<SemiJoin> = restriction
@@ -534,9 +581,13 @@ impl<'a> StaticPipeline<'a> {
             Some(statement) => {
                 tables_read = optique_relational::referenced_tables(&statement);
                 stats.semi_joins_pushed += semi_joins.len();
-                let started = Instant::now();
-                let tables = self.execute_statement(statement, &semi_joins, stats)?;
-                stats.exec_micros += started.elapsed().as_micros() as u64;
+                let mut exec_span = self.tracer.map(|t| t.span(bgp_id, "exec"));
+                let exec_id = exec_span.as_ref().map(|s| s.id());
+                let tables = self.execute_statement(statement, &semi_joins, exec_id, stats)?;
+                if let Some(span) = exec_span.as_mut() {
+                    span.set_attr("rows", tables.iter().map(Table::len).sum::<usize>());
+                }
+                drop(exec_span);
 
                 if vars.is_empty() {
                     // Constant-only BGP: satisfiable iff any row came back.
@@ -555,6 +606,9 @@ impl<'a> StaticPipeline<'a> {
             }
         };
         stats.actual_rows += solutions.len() as u64;
+        if let Some(span) = bgp_span.as_mut() {
+            span.set_attr("rows", solutions.len());
+        }
 
         if let Some(cache) = self.cache {
             // A restricted execution materializes a *subset* of the BGP's
@@ -579,6 +633,7 @@ impl<'a> StaticPipeline<'a> {
         &self,
         statement: SelectStatement,
         semi_joins: &[SemiJoin],
+        parent: Option<SpanId>,
         stats: &mut PipelineStats,
     ) -> Result<Vec<Table>, SparqlError> {
         match self.executor {
@@ -596,9 +651,16 @@ impl<'a> StaticPipeline<'a> {
                     })
                     .collect();
                 stats.fragments += fragments.len();
+                // The round's worker spans are recorded relative to its own
+                // start; capture that instant on the tracer's clock so the
+                // graft lands them under the exec span at the right offset.
+                let round_base = self.tracer.map(|t| t.now_us());
                 let round = executor.execute(fragments).map_err(|e| {
                     SparqlError::execution(format!("federated execution failed: {e}"))
                 })?;
+                if let (Some(tracer), Some(base)) = (self.tracer, round_base) {
+                    tracer.graft(parent, base, &round.spans);
+                }
                 stats.coordinator_fallbacks += round.coordinator_fallbacks;
                 stats.partitioned_fragments += round.partitioned_fragments;
                 stats.replicated_fallbacks += round.replicated_fallbacks;
@@ -609,12 +671,17 @@ impl<'a> StaticPipeline<'a> {
                 Ok(round.tables)
             }
             None => {
+                let sql_span = self.tracer.map(|t| t.span(parent, "sql"));
                 let restricted =
                     optique_relational::fragment::restrict_statement(statement, semi_joins);
                 let table = optique_relational::plan::plan_select(&restricted, self.db)
                     .map(optique_relational::optimizer::optimize)
                     .and_then(|plan| optique_relational::exec::execute(&plan, self.db))
                     .map_err(|e| SparqlError::execution(format!("SQL execution failed: {e}")))?;
+                if let Some(mut span) = sql_span {
+                    span.set_attr("rows", table.len());
+                    span.finish();
+                }
                 stats.fragment_rows += table.len();
                 Ok(vec![table])
             }

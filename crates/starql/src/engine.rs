@@ -22,6 +22,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 use optique_ontology::materialize::materialize;
 use optique_rdf::{Term, Triple};
@@ -31,6 +32,7 @@ use optique_relational::{
 use optique_rewrite::{Atom, QueryTerm};
 use optique_sparql::FragmentExecutor;
 use optique_stream::{Stream, WCache, WindowSpec};
+use optique_telemetry::SpanRecord;
 
 use crate::having::Env;
 use crate::sequence::{build_stdseq, IcPolicy, StreamToRdf};
@@ -94,6 +96,12 @@ pub struct TickOutput {
     /// Window fragments that executed sharded over a hash-partitioned
     /// stream (scatter) rather than on a single replica.
     pub partitioned_fragments: usize,
+    /// Per-tick telemetry spans as flat wire records relative to the tick
+    /// epoch: `tick` at index 0, `window_build` (with its `wcache_lookup`
+    /// and `scatter` children) and `r2s` nested under it. Graft them into
+    /// a coordinator [`Tracer`](optique_telemetry::Tracer) to stitch or
+    /// render; empty when the tick closed no window.
+    pub spans: Vec<SpanRecord>,
 }
 
 impl ContinuousQuery {
@@ -225,12 +233,30 @@ impl ContinuousQuery {
         let mut semi_joins_pushed = 0usize;
         let mut shards_pruned = 0usize;
         let mut partitioned_fragments = 0usize;
+        // Spans assemble at the end under fixed indices — tick 0,
+        // window_build 1 — so children recorded here name their parents
+        // up front.
+        let epoch = Instant::now();
+        let now_us = |epoch: &Instant| epoch.elapsed().as_micros() as u64;
+        let lookup_span: Option<SpanRecord>;
+        let mut scatter_span: Option<SpanRecord> = None;
+        let build_start = now_us(&epoch);
         let rows: Arc<Vec<Vec<Value>>> = match executor {
-            None => wcache.get_or_build(stream_name, window_id, || {
-                let stream = Stream::new(stream_name.clone(), (**table).clone(), ts_col)
-                    .expect("stream table validated at registration");
-                stream.slice(open, close).to_vec()
-            }),
+            None => {
+                let mut built_fresh = false;
+                let rows = wcache.get_or_build(stream_name, window_id, || {
+                    built_fresh = true;
+                    let stream = Stream::new(stream_name.clone(), (**table).clone(), ts_col)
+                        .expect("stream table validated at registration");
+                    stream.slice(open, close).to_vec()
+                });
+                lookup_span = Some(
+                    SpanRecord::new("wcache_lookup", build_start, now_us(&epoch) - build_start)
+                        .under(1)
+                        .attr("outcome", if built_fresh { "miss" } else { "hit" }),
+                );
+                rows
+            }
             Some(executor) => {
                 // Restricted windows are a *subset* of the full window, so
                 // they cache under their own variant; the unrestricted
@@ -240,12 +266,20 @@ impl ContinuousQuery {
                     Some(keys) => format!("⋉{keys:?}"),
                     None => String::new(),
                 };
-                match wcache.lookup(stream_name, window_id, &variant) {
+                let lookup_start = now_us(&epoch);
+                let hit = wcache.lookup(stream_name, window_id, &variant);
+                lookup_span = Some(
+                    SpanRecord::new("wcache_lookup", lookup_start, now_us(&epoch) - lookup_start)
+                        .under(1)
+                        .attr("outcome", if hit.is_some() { "hit" } else { "miss" }),
+                );
+                match hit {
                     Some(hit) => hit,
                     None => {
                         let fragment = self.window_fragment(&schema, stream_name, open, close);
                         window_fragments += 1;
                         semi_joins_pushed += fragment.semi_joins.len();
+                        let scatter_start = now_us(&epoch);
                         let round = executor
                             .execute(vec![fragment])
                             .map_err(|e| format!("window fragment round failed: {e}"))?;
@@ -258,11 +292,23 @@ impl ContinuousQuery {
                             .map(|t| t.rows)
                             .unwrap_or_default();
                         stream_rows_shipped += built.len();
+                        scatter_span = Some(
+                            SpanRecord::new(
+                                "scatter",
+                                scatter_start,
+                                now_us(&epoch) - scatter_start,
+                            )
+                            .under(1)
+                            .attr("rows", built.len() as u64)
+                            .attr("pruned", round.shards_pruned as u64)
+                            .attr("partitioned", round.partitioned_fragments as u64),
+                        );
                         wcache.insert(stream_name, window_id, &variant, built)
                     }
                 }
             }
         };
+        let build_end = now_us(&epoch);
 
         let (mut seq, dropped_states) = build_stdseq(
             &rows,
@@ -291,6 +337,25 @@ impl ContinuousQuery {
                 instantiate_construct(&self.translated.query.construct, binding, &mut triples)?;
             }
         }
+        let r2s_end = now_us(&epoch);
+
+        let mut spans = vec![
+            SpanRecord::new("tick", 0, r2s_end)
+                .attr("window", window_id)
+                .attr("tuples", rows.len() as u64)
+                .attr("satisfied", satisfied as u64),
+            SpanRecord::new("window_build", build_start, build_end - build_start)
+                .under(0)
+                .attr("rows", rows.len() as u64),
+        ];
+        spans.extend(lookup_span);
+        spans.extend(scatter_span);
+        spans.push(
+            SpanRecord::new("r2s", build_end, r2s_end - build_end)
+                .under(0)
+                .attr("states", seq.len() as u64)
+                .attr("bindings", self.bindings.len() as u64),
+        );
 
         Ok(TickOutput {
             tick_ms,
@@ -306,6 +371,7 @@ impl ContinuousQuery {
             semi_joins_pushed,
             shards_pruned,
             partitioned_fragments,
+            spans,
         })
     }
 

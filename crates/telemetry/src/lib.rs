@@ -1,0 +1,27 @@
+//! Query observability for the OPTIQUE reproduction.
+//!
+//! The paper's Figure 3 dashboards "show diagnostics results in real time";
+//! behind them sits per-stage, per-worker timing. This crate is that
+//! measurement substrate:
+//!
+//! - [`Tracer`] — a low-overhead in-process span recorder. A span has an id,
+//!   an optional parent, a label, attributes, a start offset and a duration
+//!   (all times in microseconds relative to the tracer's epoch).
+//! - [`SpanRecord`] — a portable, epoch-free span batch entry. Workers record
+//!   their fragment spans as records (parents are batch indices, starts are
+//!   relative to the batch start); the coordinator [`Tracer::graft`]s the
+//!   batch under its own execution span, stitching worker-side children into
+//!   one tree.
+//! - [`Histogram`] — a log-linear (HDR-style) latency histogram with atomic
+//!   buckets and p50/p95/p99 extraction, accurate to one sub-bucket
+//!   (16 sub-buckets per power of two, ≤ 6.25 % relative error).
+//! - [`MetricsRegistry`] — a thread-safe name → counter/histogram registry
+//!   with JSON and Prometheus-text exporters.
+//! - [`render_tree`] — an `EXPLAIN ANALYZE`-style text rendering of a span
+//!   forest, used by `Platform::explain_analyze`.
+
+mod metrics;
+mod span;
+
+pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use span::{render_tree, AttrValue, Span, SpanGuard, SpanId, SpanRecord, Tracer};

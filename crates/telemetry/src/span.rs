@@ -1,0 +1,539 @@
+//! Span recording and cross-worker stitching.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Identifier of one recorded span, unique within its [`Tracer`].
+pub type SpanId = u64;
+
+/// One attribute value attached to a span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Signed integer (ids, deltas).
+    Int(i64),
+    /// Unsigned integer (rows, bytes, counts).
+    Uint(u64),
+    /// Floating point (costs, ratios).
+    Float(f64),
+    /// Free text (table names, variants).
+    Text(String),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Uint(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v:.2}"),
+            AttrValue::Text(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Uint(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Uint(v as u64)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Text(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Uint(v as u64)
+    }
+}
+
+/// One finished span: a labelled, timed slice of work in a tree.
+///
+/// Times are microseconds relative to the owning tracer's epoch (creation
+/// instant), so spans from one tracer order totally and nest exactly.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Tracer-unique id (ids start at 1).
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Stage label, e.g. `"rewrite"` or `"fragment"`.
+    pub label: String,
+    /// Key/value attributes (rows, worker id, cache hit, …).
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Start offset from the tracer epoch, in µs.
+    pub start_us: u64,
+    /// Wall-clock duration, in µs.
+    pub duration_us: u64,
+}
+
+/// A portable span batch entry for shipping spans between execution sites.
+///
+/// Worker-side code has no access to the coordinator's tracer (nor its
+/// epoch), so it records spans as *records*: the parent is an index into the
+/// same batch (or `None` for batch roots) and `start_us` is relative to the
+/// batch's own start. The coordinator stitches a batch into its tree with
+/// [`Tracer::graft`], which re-bases starts and re-parents batch roots under
+/// a coordinator span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Index of the parent record in the same batch, or `None` for roots.
+    pub parent: Option<usize>,
+    /// Stage label.
+    pub label: String,
+    /// Key/value attributes.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Start offset from the batch start, in µs.
+    pub start_us: u64,
+    /// Duration in µs.
+    pub duration_us: u64,
+}
+
+impl SpanRecord {
+    /// A root record with the given label and timing.
+    pub fn new(label: impl Into<String>, start_us: u64, duration_us: u64) -> Self {
+        SpanRecord {
+            parent: None,
+            label: label.into(),
+            attrs: Vec::new(),
+            start_us,
+            duration_us,
+        }
+    }
+
+    /// Sets the parent index (builder style).
+    pub fn under(mut self, parent: usize) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// Appends an attribute (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// A low-overhead, thread-safe span recorder.
+///
+/// Recording is a lock-push of an owned [`Span`]; when no tracer is
+/// installed the instrumented code paths skip even that (they carry
+/// `Option<&Tracer>`).
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer; its epoch is now.
+    pub fn new() -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Microseconds elapsed since the tracer's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Opens a span; it records itself when finished (or dropped).
+    pub fn span(&self, parent: Option<SpanId>, label: impl Into<String>) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            label: label.into(),
+            attrs: Vec::new(),
+            start_us: self.now_us(),
+            started: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Records a span with explicit timing (for spans derived after the
+    /// fact rather than measured in place). Returns its id.
+    pub fn record(
+        &self,
+        parent: Option<SpanId>,
+        label: impl Into<String>,
+        start_us: u64,
+        duration_us: u64,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> SpanId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.spans.lock().push(Span {
+            id,
+            parent,
+            label: label.into(),
+            attrs,
+            start_us,
+            duration_us,
+        });
+        id
+    }
+
+    /// Stitches a [`SpanRecord`] batch into this tracer's tree: batch roots
+    /// become children of `parent`, inner parent indices are preserved, and
+    /// every start is re-based by `base_us` (the batch start expressed on
+    /// this tracer's clock). Returns the new ids, index-aligned with the
+    /// batch.
+    pub fn graft(
+        &self,
+        parent: Option<SpanId>,
+        base_us: u64,
+        records: &[SpanRecord],
+    ) -> Vec<SpanId> {
+        // Two passes: a record's parent index may exceed its own index
+        // (children often finish before their parent), so ids are assigned
+        // up front.
+        let ids: Vec<SpanId> = records
+            .iter()
+            .map(|_| self.next_id.fetch_add(1, Ordering::Relaxed))
+            .collect();
+        let mut spans = self.spans.lock();
+        for (record, &id) in records.iter().zip(&ids) {
+            let stitched_parent = match record.parent {
+                Some(ix) => ids.get(ix).copied().or(parent),
+                None => parent,
+            };
+            spans.push(Span {
+                id,
+                parent: stitched_parent,
+                label: record.label.clone(),
+                attrs: record.attrs.clone(),
+                start_us: base_us + record.start_us,
+                duration_us: record.duration_us,
+            });
+        }
+        ids
+    }
+
+    /// Snapshot of every recorded span.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().clone()
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total duration of every span with the given label, in µs. The
+    /// single timing source for per-stage reporting (summing children of a
+    /// repeated stage, e.g. one `rewrite` per BGP).
+    pub fn sum_duration(&self, label: &str) -> u64 {
+        self.spans
+            .lock()
+            .iter()
+            .filter(|s| s.label == label)
+            .map(|s| s.duration_us)
+            .sum()
+    }
+
+    /// Exports the recorded spans as a portable batch: ids become batch
+    /// indices, parents recorded by other tracers become batch roots.
+    pub fn export(&self) -> Vec<SpanRecord> {
+        let spans = self.spans.lock();
+        let index: HashMap<SpanId, usize> =
+            spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        spans
+            .iter()
+            .map(|s| SpanRecord {
+                parent: s.parent.and_then(|p| index.get(&p).copied()),
+                label: s.label.clone(),
+                attrs: s.attrs.clone(),
+                start_us: s.start_us,
+                duration_us: s.duration_us,
+            })
+            .collect()
+    }
+}
+
+/// An open span; finishes (and records itself) on [`SpanGuard::finish`] or
+/// drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: SpanId,
+    parent: Option<SpanId>,
+    label: String,
+    attrs: Vec<(String, AttrValue)>,
+    start_us: u64,
+    started: Instant,
+    done: bool,
+}
+
+impl SpanGuard<'_> {
+    /// The span's id — usable as a parent for children opened while this
+    /// span is still running.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Attaches an attribute.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<AttrValue>) {
+        self.attrs.push((key.into(), value.into()));
+    }
+
+    /// Closes the span, recording its duration. Returns the id.
+    pub fn finish(mut self) -> SpanId {
+        self.close();
+        self.id
+    }
+
+    fn close(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.tracer.spans.lock().push(Span {
+            id: self.id,
+            parent: self.parent,
+            label: std::mem::take(&mut self.label),
+            attrs: std::mem::take(&mut self.attrs),
+            start_us: self.start_us,
+            duration_us: self.started.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Renders a span forest as an `EXPLAIN ANALYZE`-style text tree.
+///
+/// Siblings order by start time; each node shows its label, duration and
+/// attributes:
+///
+/// ```text
+/// static_query  (time=1240us)
+/// ├── parse  (time=12us)
+/// └── bgp  (time=1180us, cache=miss)
+///     └── exec  (time=1102us, rows=42)
+/// ```
+pub fn render_tree(spans: &[Span]) -> String {
+    let known: HashMap<SpanId, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut children: HashMap<Option<SpanId>, Vec<&Span>> = HashMap::new();
+    for span in spans {
+        // A dangling parent (never recorded) makes the span a root.
+        let key = span.parent.filter(|p| known.contains_key(p));
+        children.entry(key).or_default().push(span);
+    }
+    for siblings in children.values_mut() {
+        siblings.sort_by_key(|s| (s.start_us, s.id));
+    }
+    let mut out = String::new();
+    if let Some(roots) = children.get(&None) {
+        for (i, root) in roots.iter().enumerate() {
+            let last = i + 1 == roots.len();
+            render_node(root, "", last, roots.len() == 1, &children, &mut out);
+        }
+    }
+    out
+}
+
+fn render_node(
+    span: &Span,
+    prefix: &str,
+    last: bool,
+    top: bool,
+    children: &HashMap<Option<SpanId>, Vec<&Span>>,
+    out: &mut String,
+) {
+    let (branch, extend) = if top {
+        ("", "")
+    } else if last {
+        ("└── ", "    ")
+    } else {
+        ("├── ", "│   ")
+    };
+    out.push_str(prefix);
+    out.push_str(branch);
+    out.push_str(&span.label);
+    out.push_str(&format!("  (time={}us", span.duration_us));
+    for (key, value) in &span.attrs {
+        out.push_str(&format!(", {key}={value}"));
+    }
+    out.push_str(")\n");
+    if let Some(kids) = children.get(&Some(span.id)) {
+        let child_prefix = format!("{prefix}{extend}");
+        for (i, kid) in kids.iter().enumerate() {
+            let kid_last = i + 1 == kids.len();
+            render_node(kid, &child_prefix, kid_last, false, children, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_finish_and_on_drop() {
+        let tracer = Tracer::new();
+        let root = tracer.span(None, "root");
+        let root_id = root.id();
+        {
+            let mut child = tracer.span(Some(root_id), "child");
+            child.set_attr("rows", 7u64);
+            // Dropped without finish: still recorded.
+        }
+        let finished = root.finish();
+        assert_eq!(finished, root_id);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        let child = spans.iter().find(|s| s.label == "child").unwrap();
+        assert_eq!(child.parent, Some(root_id));
+        assert_eq!(child.attrs, vec![("rows".to_string(), AttrValue::Uint(7))]);
+    }
+
+    #[test]
+    fn graft_rebases_and_reparents() {
+        let tracer = Tracer::new();
+        let root = tracer.record(None, "exec", 100, 500, Vec::new());
+        let batch = vec![
+            SpanRecord::new("worker", 0, 400).attr("worker", 1u64),
+            SpanRecord::new("fragment", 10, 200).under(0),
+        ];
+        let ids = tracer.graft(Some(root), 150, &batch);
+        assert_eq!(ids.len(), 2);
+        let spans = tracer.spans();
+        let worker = spans.iter().find(|s| s.label == "worker").unwrap();
+        let fragment = spans.iter().find(|s| s.label == "fragment").unwrap();
+        assert_eq!(worker.parent, Some(root));
+        assert_eq!(worker.start_us, 150);
+        assert_eq!(fragment.parent, Some(worker.id));
+        assert_eq!(fragment.start_us, 160);
+    }
+
+    #[test]
+    fn graft_handles_child_before_parent_in_batch() {
+        let tracer = Tracer::new();
+        // Child at index 0 points at parent at index 1 (finish order).
+        let batch = vec![
+            SpanRecord::new("inner", 5, 10).under(1),
+            SpanRecord::new("outer", 0, 20),
+        ];
+        tracer.graft(None, 0, &batch);
+        let spans = tracer.spans();
+        let inner = spans.iter().find(|s| s.label == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.label == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+    }
+
+    #[test]
+    fn export_then_graft_roundtrips_structure() {
+        let worker = Tracer::new();
+        let root = worker.span(None, "round");
+        let root_id = root.id();
+        worker.span(Some(root_id), "fragment").finish();
+        root.finish();
+        let batch = worker.export();
+        assert_eq!(batch.len(), 2);
+
+        let coord = Tracer::new();
+        let exec = coord.record(None, "exec", 0, 1000, Vec::new());
+        coord.graft(Some(exec), 0, &batch);
+        let spans = coord.spans();
+        let round = spans.iter().find(|s| s.label == "round").unwrap();
+        let fragment = spans.iter().find(|s| s.label == "fragment").unwrap();
+        assert_eq!(round.parent, Some(exec));
+        assert_eq!(fragment.parent, Some(round.id));
+    }
+
+    #[test]
+    fn sum_duration_totals_repeated_labels() {
+        let tracer = Tracer::new();
+        tracer.record(None, "rewrite", 0, 30, Vec::new());
+        tracer.record(None, "rewrite", 40, 12, Vec::new());
+        tracer.record(None, "unfold", 60, 5, Vec::new());
+        assert_eq!(tracer.sum_duration("rewrite"), 42);
+        assert_eq!(tracer.sum_duration("unfold"), 5);
+        assert_eq!(tracer.sum_duration("missing"), 0);
+    }
+
+    #[test]
+    fn render_tree_shows_nested_spans_with_attrs() {
+        let tracer = Tracer::new();
+        let root = tracer.record(None, "static_query", 0, 1240, Vec::new());
+        tracer.record(Some(root), "parse", 0, 12, Vec::new());
+        let bgp = tracer.record(
+            Some(root),
+            "bgp",
+            20,
+            1180,
+            vec![("cache".to_string(), AttrValue::Text("miss".into()))],
+        );
+        tracer.record(
+            Some(bgp),
+            "exec",
+            40,
+            1102,
+            vec![("rows".to_string(), AttrValue::Uint(42))],
+        );
+        let text = render_tree(&tracer.spans());
+        assert!(text.starts_with("static_query  (time=1240us)\n"));
+        assert!(text.contains("├── parse  (time=12us)\n"));
+        assert!(text.contains("└── bgp  (time=1180us, cache=miss)\n"));
+        assert!(text.contains("    └── exec  (time=1102us, rows=42)\n"));
+    }
+
+    #[test]
+    fn render_tree_orders_siblings_by_start() {
+        let tracer = Tracer::new();
+        tracer.record(None, "second", 50, 1, Vec::new());
+        tracer.record(None, "first", 10, 1, Vec::new());
+        let text = render_tree(&tracer.spans());
+        let first_at = text.find("first").unwrap();
+        let second_at = text.find("second").unwrap();
+        assert!(first_at < second_at);
+    }
+}
