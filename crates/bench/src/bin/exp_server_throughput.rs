@@ -1,0 +1,159 @@
+//! Server-throughput smoke check: the concurrent serving layer must turn
+//! client concurrency into throughput. Closed-loop clients (each waits for
+//! its answer, thinks ~4 ms, submits again) drive the 100-disjunct fan-out
+//! workload through `optique::server` at 1, 8 and 64 clients; every
+//! request uses a fresh constant so the BGP cache cannot collapse the work.
+//! Fails (nonzero exit) if 8-client throughput does not exceed 1-client —
+//! the serving layer's overlap of think time with execution is exactly
+//! what a single-threaded front door cannot do.
+//!
+//! CI runs this after the test suites; locally:
+//! `cargo run --release -p optique-bench --bin exp_server_throughput`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use optique::{OptiquePlatform, Server, ServerConfig};
+use optique_mapping::{MappingAssertion, MappingCatalog, TermMap};
+use optique_ontology::Ontology;
+use optique_rdf::Iri;
+use optique_relational::{table::table_of, ColumnType, Database, Value};
+use optique_siemens::SiemensDeployment;
+
+/// Fan-out width: disjuncts per query (the paper-scale UNION ALL).
+const SOURCES: usize = 100;
+/// Rows per source table (also the number of distinct `b` constants).
+const ROWS_PER_TABLE: i64 = 64;
+/// Client fleet sizes measured, in order.
+const FLEETS: [usize; 3] = [1, 8, 64];
+/// Worker threads draining the server queue.
+const WORKERS: usize = 8;
+/// Measurement window per fleet size.
+const WINDOW: Duration = Duration::from_millis(1_500);
+/// Per-request client think time — the idle gap concurrency overlaps.
+const THINK: Duration = Duration::from_millis(4);
+
+/// One property mapped through `SOURCES` distinct tables (the same
+/// fan-out fixture as the tracing-overhead bench).
+fn fanout_platform() -> OptiquePlatform {
+    let mut db = Database::new();
+    let mut catalog = MappingCatalog::new();
+    for i in 0..SOURCES {
+        let rows = (0..ROWS_PER_TABLE)
+            .map(|k| vec![Value::Int(i as i64 * ROWS_PER_TABLE + k), Value::Int(k)])
+            .collect();
+        db.put_table(
+            format!("t{i}"),
+            table_of(
+                &format!("t{i}"),
+                &[("a", ColumnType::Int), ("b", ColumnType::Int)],
+                rows,
+            )
+            .expect("valid table"),
+        );
+        catalog
+            .add(
+                MappingAssertion::property(
+                    format!("p-src{i}"),
+                    Iri::new("http://x/p"),
+                    format!("SELECT a, b FROM t{i}"),
+                    TermMap::template("http://x/obj/{a}"),
+                    TermMap::template("http://x/obj/{b}"),
+                )
+                .with_key(vec!["a".into(), "b".into()]),
+            )
+            .expect("valid mapping");
+    }
+    let siemens = SiemensDeployment::small();
+    OptiquePlatform::deploy(
+        db,
+        Ontology::new(),
+        siemens.namespaces,
+        catalog,
+        siemens.stream_to_rdf,
+    )
+}
+
+/// The `n`-th request text: a constant-anchored fan-out probe. Each `b`
+/// constant names one row per source table (100 answer rows), and cycling
+/// the constant gives every request a distinct cache key, so throughput
+/// measures real pipeline work rather than cache hits.
+fn request_text(n: u64) -> String {
+    let b = n % ROWS_PER_TABLE as u64;
+    format!("SELECT ?a WHERE {{ ?a <http://x/p> <http://x/obj/{b}> }}")
+}
+
+/// Queries per second sustained by `clients` closed-loop clients.
+fn measure(server: &Server, clients: usize) -> f64 {
+    let sequence = AtomicU64::new(0);
+    let completed = AtomicUsize::new(0);
+    let barrier = Barrier::new(clients + 1);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let client = server.client(&format!("client-{c}"));
+            let sequence = &sequence;
+            let completed = &completed;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let deadline = Instant::now() + WINDOW;
+                while Instant::now() < deadline {
+                    let text = request_text(sequence.fetch_add(1, Ordering::Relaxed));
+                    let results = client.query(&text).expect("workload runs");
+                    assert_eq!(results.len(), SOURCES);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(THINK);
+                }
+            });
+        }
+        barrier.wait();
+    });
+    completed.load(Ordering::Relaxed) as f64 / WINDOW.as_secs_f64()
+}
+
+fn main() {
+    let platform = Arc::new(fanout_platform());
+    let server = Server::serve(
+        Arc::clone(&platform),
+        ServerConfig {
+            workers: WORKERS,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    );
+    // Warm the pipeline (mapping index, planner stats) outside the window.
+    server
+        .client("warmup")
+        .query(&request_text(0))
+        .expect("warmup");
+
+    println!("# server throughput — {SOURCES}-disjunct fan-out, {WORKERS} server workers");
+    println!("| clients | queries/s |");
+    println!("|--------:|----------:|");
+    let mut qps = Vec::new();
+    for &clients in &FLEETS {
+        let rate = measure(&server, clients);
+        println!("| {clients} | {rate:.1} |");
+        qps.push(rate);
+    }
+    let snap = platform.metrics_snapshot();
+    println!(
+        "\nadmitted {} / completed {} / shed {}",
+        snap.counter("server.admitted").unwrap_or(0),
+        snap.counter("server.completed").unwrap_or(0),
+        snap.counter("server.shed").unwrap_or(0),
+    );
+
+    if qps[1] <= qps[0] {
+        eprintln!(
+            "FAIL: 8-client throughput {:.1} q/s does not exceed 1-client {:.1} q/s",
+            qps[1], qps[0]
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: 8 clients sustain {:.2}x the 1-client rate",
+        qps[1] / qps[0].max(f64::EPSILON)
+    );
+}

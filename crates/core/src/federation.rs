@@ -197,6 +197,13 @@ impl Federation {
         self.workers
     }
 
+    /// The catalog snapshot this pool was sharded from. Pool caches compare
+    /// it by pointer identity against the current platform snapshot to
+    /// detect pools built over a superseded catalog.
+    pub fn catalog(&self) -> &Arc<Database> {
+        &self.coordinator
+    }
+
     /// The `(table, key_column)` pairs partitioned across the workers
     /// (empty for replicated pools).
     pub fn partition(&self) -> &[(String, String)] {

@@ -23,6 +23,7 @@
 pub mod dashboard;
 pub mod federation;
 pub mod platform;
+pub mod server;
 
 pub use dashboard::{Dashboard, QueryPanel, SlowQuery, StaticQueryPanel};
 pub use federation::{Federation, FederationTopology};
@@ -31,4 +32,7 @@ pub use optique_telemetry as telemetry;
 /// The federation's pre-unification name, kept for downstream callers.
 pub type StaticFederation = Federation;
 pub use optique_sparql::SparqlResults;
-pub use platform::{CacheInvalidation, FleetReport, OptiquePlatform, RegisteredStarQl};
+pub use platform::{
+    CacheInvalidation, FleetReport, OptiquePlatform, PlatformSnapshot, RegisteredStarQl,
+};
+pub use server::{Client, Request, Response, Server, ServerConfig, ServerError, TenantQuota};

@@ -1,6 +1,19 @@
 //! The OPTIQUE platform: deployment + continuous-query lifecycle.
+//!
+//! # Concurrency model
+//!
+//! The platform is a shared `&self` service. All query-relevant mutable
+//! state — catalog, statistics, topology, planner knobs, BGP-cache
+//! generation — lives in **one** [`PlatformSnapshot`] behind a single
+//! `RwLock<Arc<…>>`. Queries capture the current snapshot with one atomic
+//! read at the start and never touch shared state again (MVCC-style), so a
+//! request cannot mix pre-write and post-write state across its
+//! parse→rewrite→unfold→exec pipeline. Writers
+//! ([`insert_static`](OptiquePlatform::insert_static)) build the next
+//! snapshot, invalidate the BGP cache and drop the federation pools while
+//! still holding the write lock, then publish everything with one swap.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use optique_bootstrap::{bootstrap_direct, BootstrapSettings, RelationalSchema};
@@ -77,11 +90,37 @@ pub struct FleetReport {
     pub fleet_chars: usize,
 }
 
+/// An immutable, internally consistent view of everything a static or
+/// streaming query reads: captured with one atomic load at request start
+/// and pinned for the request's whole pipeline. Writers never mutate a
+/// published snapshot — they install a complete replacement, so in-flight
+/// readers keep a coherent (if momentarily stale) world.
+#[derive(Clone)]
+pub struct PlatformSnapshot {
+    /// The data sources (static tables + stream tables).
+    pub db: Arc<Database>,
+    /// Per-table row/distinct statistics over exactly [`Self::db`] —
+    /// refreshed in the same swap that installs the catalog, so a
+    /// snapshot's cardinalities always describe its rows (no db/stats
+    /// tear).
+    pub stats: Arc<StatsCatalog>,
+    /// Pool layout distributed queries build under this snapshot.
+    pub topology: FederationTopology,
+    /// Join-order / semi-join planner knobs in force for this snapshot.
+    pub planner: PlannerSettings,
+    /// BGP-cache generation this snapshot pairs with: readers pass it to
+    /// [`BgpCache::lookup_any_at`], so once a write bumps the generation a
+    /// reader still holding a pre-write snapshot misses instead of pairing
+    /// a fresh catalog with a stale cached solution set (or vice versa).
+    pub cache_generation: u64,
+}
+
 /// The deployed integration platform.
 pub struct OptiquePlatform {
-    /// The data sources (static tables + stream tables); swapped wholesale
-    /// on relational writes, so readers always see a consistent snapshot.
-    db: RwLock<Arc<Database>>,
+    /// The query-relevant mutable state, swapped wholesale as one
+    /// [`PlatformSnapshot`]: readers take one `read` to pin a consistent
+    /// view; writers build the successor and publish it atomically.
+    state: RwLock<Arc<PlatformSnapshot>>,
     /// The deployment TBox.
     pub ontology: Ontology,
     /// Prefixes for query text.
@@ -93,30 +132,30 @@ pub struct OptiquePlatform {
     wcache: Arc<WCache>,
     queries: Mutex<BTreeMap<u64, RegisteredStarQl>>,
     next_id: std::sync::atomic::AtomicU64,
-    static_log: Mutex<Vec<StaticQueryPanel>>,
+    static_log: Mutex<VecDeque<StaticQueryPanel>>,
     static_next_id: std::sync::atomic::AtomicU64,
     /// Per-BGP solution-set cache shared by every static query (single-node
-    /// and distributed); invalidated on relational writes.
+    /// and distributed); invalidated inside the write critical section.
     static_cache: BgpCache,
     /// Static-query worker pools, one per requested `(worker count,
-    /// topology)`, dropped on relational writes (workers snapshot the
-    /// catalog they were built over — and a write may change the advisor's
-    /// partition keys).
+    /// topology)`, dropped inside the write critical section (workers
+    /// snapshot the catalog they were built over — and a write may change
+    /// the advisor's partition keys). Lookups additionally validate the
+    /// cached pool's catalog against the request snapshot by pointer
+    /// identity, so a pool raced into the map over a superseded catalog is
+    /// never served.
     federations: Mutex<HashMap<(usize, FederationTopology), Arc<Federation>>>,
-    /// Which pool layout distributed static queries build
-    /// ([`FederationTopology::AutoPartitioned`] by default — the advisor
-    /// shards what the statistics say is worth sharding).
-    topology: RwLock<FederationTopology>,
-    /// Per-table row/distinct statistics over the current snapshot, feeding
-    /// the static planner's cardinality model; refreshed on relational
-    /// writes alongside the cache invalidation.
-    table_stats: RwLock<Arc<StatsCatalog>>,
-    /// Join-order / semi-join planner knobs for static queries (defaults
-    /// on; [`PlannerSettings::disabled`] reproduces the naive pipeline).
-    planner: RwLock<PlannerSettings>,
     /// How relational writes invalidate the per-BGP cache
     /// ([`CacheInvalidation::Dependent`] by default).
     invalidation: RwLock<CacheInvalidation>,
+    /// Fired once (and cleared) right after `insert_static`'s critical
+    /// section — the seam where the pre-fix write path had already
+    /// published the new catalog but not yet invalidated the BGP cache or
+    /// dropped the pools. Interleaving regression tests hang their
+    /// assertions here.
+    #[cfg(test)]
+    #[allow(clippy::type_complexity)]
+    write_probe: Mutex<Option<Box<dyn FnOnce(&OptiquePlatform) + Send>>>,
     /// Platform-wide counters and latency histograms, exported by
     /// [`metrics_snapshot`](Self::metrics_snapshot). Static queries feed
     /// `static.query_us`; every registered continuous query feeds
@@ -129,8 +168,8 @@ pub struct OptiquePlatform {
     /// log, in microseconds.
     slow_threshold_us: std::sync::atomic::AtomicU64,
     /// The most recent slow static queries, oldest first (capped at
-    /// [`SLOW_LOG_CAP`]).
-    slow_log: Mutex<Vec<SlowQuery>>,
+    /// [`SLOW_LOG_CAP`]; a deque so eviction pops the front in O(1)).
+    slow_log: Mutex<VecDeque<SlowQuery>>,
 }
 
 /// How many executed static queries the dashboard remembers.
@@ -151,9 +190,17 @@ impl OptiquePlatform {
         mappings: MappingCatalog,
         stream_to_rdf: StreamToRdf,
     ) -> Self {
-        let table_stats = RwLock::new(Arc::new(StatsCatalog::analyze(&db)));
+        let static_cache = BgpCache::new();
+        let stats = Arc::new(StatsCatalog::analyze(&db));
+        let state = RwLock::new(Arc::new(PlatformSnapshot {
+            db: Arc::new(db),
+            stats,
+            topology: FederationTopology::default(),
+            planner: PlannerSettings::default(),
+            cache_generation: static_cache.generation(),
+        }));
         OptiquePlatform {
-            db: RwLock::new(Arc::new(db)),
+            state,
             ontology,
             namespaces,
             mappings,
@@ -161,24 +208,30 @@ impl OptiquePlatform {
             wcache: Arc::new(WCache::new()),
             queries: Mutex::new(BTreeMap::new()),
             next_id: std::sync::atomic::AtomicU64::new(1),
-            static_log: Mutex::new(Vec::new()),
+            static_log: Mutex::new(VecDeque::new()),
             static_next_id: std::sync::atomic::AtomicU64::new(1),
-            static_cache: BgpCache::new(),
+            static_cache,
             federations: Mutex::new(HashMap::new()),
-            topology: RwLock::new(FederationTopology::default()),
-            table_stats,
-            planner: RwLock::new(PlannerSettings::default()),
             invalidation: RwLock::new(CacheInvalidation::default()),
+            #[cfg(test)]
+            write_probe: Mutex::new(None),
             registry: Arc::new(MetricsRegistry::new()),
             tracing: std::sync::atomic::AtomicBool::new(true),
             slow_threshold_us: std::sync::atomic::AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
-            slow_log: Mutex::new(Vec::new()),
+            slow_log: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Pins the current [`PlatformSnapshot`]: one atomic load, after which
+    /// the caller's view of catalog, statistics, topology, planner and
+    /// cache generation is immutable for as long as the `Arc` is held.
+    pub fn snapshot(&self) -> Arc<PlatformSnapshot> {
+        Arc::clone(&self.state.read())
     }
 
     /// The current relational snapshot (static tables + stream tables).
     pub fn db(&self) -> Arc<Database> {
-        Arc::clone(&self.db.read())
+        Arc::clone(&self.state.read().db)
     }
 
     /// Deploys straight from a generated Siemens scenario.
@@ -281,11 +334,14 @@ impl OptiquePlatform {
         // window machinery; the *bindings* are answered by the static
         // pipeline below instead of the raw unfolded SQL.
         let translated = translate(&parsed, &ctx).map_err(|e| e.to_string())?;
-        let bindings = self.starql_bindings(&translated, workers)?;
+        // One snapshot for bindings *and* registration, so the continuous
+        // query's initial state is internally consistent.
+        let snap = self.snapshot();
+        let bindings = self.starql_bindings(&translated, workers, &snap)?;
         let query = ContinuousQuery::register_with_bindings(
             translated,
             self.stream_to_rdf.clone(),
-            &self.db(),
+            &snap.db,
             bindings,
         )?;
         let id = self
@@ -326,6 +382,7 @@ impl OptiquePlatform {
         &self,
         translated: &optique_starql::TranslatedQuery,
         workers: Option<usize>,
+        snap: &PlatformSnapshot,
     ) -> Result<Vec<HashMap<String, optique_rdf::Term>>, String> {
         let fallback = [translated.query.where_bgp.clone()];
         let disjuncts: &[Vec<optique_rewrite::Atom>] =
@@ -363,14 +420,11 @@ impl OptiquePlatform {
             group_by: Vec::new(),
             modifiers: SolutionModifier::default(),
         };
-        let federation = workers.map(|w| self.federation_for(w));
-        let generation = self.static_cache.generation();
-        let db = self.db();
-        let stats_snapshot = Arc::clone(&self.table_stats.read());
-        let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &db)
-            .with_cache_at(&self.static_cache, generation)
-            .with_planner(*self.planner.read())
-            .with_table_stats(&stats_snapshot);
+        let federation = workers.map(|w| self.federation_for(w, snap));
+        let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &snap.db)
+            .with_cache_at(&self.static_cache, snap.cache_generation)
+            .with_planner(snap.planner)
+            .with_table_stats(&snap.stats);
         if let Some(federation) = federation.as_deref() {
             pipeline = pipeline.with_executor(federation);
         }
@@ -407,23 +461,40 @@ impl OptiquePlatform {
         pairs
     }
 
-    /// The cached federation pool for `workers` under the current
-    /// topology, building it (static tables per topology, registered
-    /// streams always hash-partitioned) on first use.
-    fn federation_for(&self, workers: usize) -> Arc<Federation> {
-        let topology = *self.topology.read();
+    /// The cached federation pool for `workers` under `snap`'s topology,
+    /// building it (static tables per topology, registered streams always
+    /// hash-partitioned) on first use. A cached pool is served only when
+    /// its catalog **is** the snapshot's catalog (pointer identity) — a
+    /// pool built over a superseded catalog, even one raced into the map
+    /// after a write cleared it, misses and is rebuilt over `snap`.
+    fn federation_for(&self, workers: usize, snap: &PlatformSnapshot) -> Arc<Federation> {
+        let key = (workers, snap.topology);
+        if let Some(pool) = self.federations.lock().get(&key) {
+            if Arc::ptr_eq(pool.catalog(), &snap.db) {
+                return Arc::clone(pool);
+            }
+        }
+        // Build outside the map lock: sharding the catalog is the slow
+        // part, and `stream_partition_pairs` takes the queries lock.
         let streams = self.stream_partition_pairs();
+        let pool = Arc::new(Federation::for_deployment(
+            Arc::clone(&snap.db),
+            workers,
+            snap.topology,
+            &snap.stats,
+            &self.mappings,
+            &streams,
+        ));
+        // Double-checked insert. When the slot holds a pool over a
+        // *different* catalog than ours, ours wins the slot — if that other
+        // pool was actually fresher, its own readers re-validate and
+        // rebuild, so staleness never escapes (only redundant builds).
         let mut pools = self.federations.lock();
-        Arc::clone(pools.entry((workers, topology)).or_insert_with(|| {
-            Arc::new(Federation::for_deployment(
-                self.db(),
-                workers,
-                topology,
-                &self.table_stats.read(),
-                &self.mappings,
-                &streams,
-            ))
-        }))
+        let entry = pools.entry(key).or_insert_with(|| Arc::clone(&pool));
+        if !Arc::ptr_eq(entry.catalog(), &snap.db) {
+            *entry = Arc::clone(&pool);
+        }
+        Arc::clone(entry)
     }
 
     /// Answers a **static** SPARQL query over the deployment's relational
@@ -489,32 +560,36 @@ impl OptiquePlatform {
         if workers == 0 {
             return Err("a federated query needs at least one worker".into());
         }
-        self.run_static(text, Some(self.federation_for(workers)))
+        self.run_static(text, Some(workers))
     }
 
     /// The pool layout distributed static queries currently build.
     pub fn federation_topology(&self) -> FederationTopology {
-        *self.topology.read()
+        self.state.read().topology
     }
 
     /// Switches the pool layout for subsequent distributed static queries.
     /// Pools of both layouts are cached side by side (keyed by `(workers,
     /// topology)`), so the partitioned-equivalence oracle can flip between
     /// them without rebuild churn — and without ever sharing a pool built
-    /// over the wrong layout.
+    /// over the wrong layout. In-flight queries keep the snapshot (and
+    /// topology) they pinned at start.
     pub fn set_federation_topology(&self, topology: FederationTopology) {
-        *self.topology.write() = topology;
+        let mut guard = self.state.write();
+        let mut next = (**guard).clone();
+        next.topology = topology;
+        *guard = Arc::new(next);
     }
 
-    /// Shared static-query driver: parse, answer (single-node or federated),
-    /// log the dashboard panel.
+    /// Shared static-query driver: parse, answer (single-node or federated
+    /// over `workers`), log the dashboard panel.
     fn run_static(
         &self,
         text: &str,
-        federation: Option<Arc<Federation>>,
+        workers: Option<usize>,
     ) -> Result<(SparqlResults, PipelineStats), String> {
         let trace = self.tracing_enabled();
-        self.run_static_traced(text, federation, trace)
+        self.run_static_traced(text, workers, trace)
             .map(|(results, stats, _)| (results, stats))
     }
 
@@ -525,10 +600,15 @@ impl OptiquePlatform {
     fn run_static_traced(
         &self,
         text: &str,
-        federation: Option<Arc<Federation>>,
+        workers: Option<usize>,
         trace: bool,
     ) -> Result<(SparqlResults, PipelineStats, Option<Tracer>), String> {
         let started = std::time::Instant::now();
+        // One atomic snapshot pin for the whole request: db, stats,
+        // planner, topology and cache generation all describe the same
+        // instant, no matter what writers do while we run.
+        let snap = self.snapshot();
+        let federation = workers.map(|w| self.federation_for(w, &snap));
         let workers = federation.as_ref().map_or(1, |f| f.workers());
         let tracer = trace.then(Tracer::new);
         let results;
@@ -545,17 +625,10 @@ impl OptiquePlatform {
                 g.finish();
             }
 
-            // Generation before snapshot: if an insert lands in between,
-            // either the snapshot already includes it (stores are fine) or
-            // the store's generation is stale (dropped) — never a stale
-            // cache fill.
-            let generation = self.static_cache.generation();
-            let db = self.db();
-            let stats_snapshot = Arc::clone(&self.table_stats.read());
-            let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &db)
-                .with_cache_at(&self.static_cache, generation)
-                .with_planner(*self.planner.read())
-                .with_table_stats(&stats_snapshot);
+            let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &snap.db)
+                .with_cache_at(&self.static_cache, snap.cache_generation)
+                .with_planner(snap.planner)
+                .with_table_stats(&snap.stats);
             if let Some(federation) = federation.as_deref() {
                 pipeline = pipeline.with_executor(federation);
             }
@@ -598,9 +671,9 @@ impl OptiquePlatform {
         {
             let mut slow = self.slow_log.lock();
             if slow.len() == SLOW_LOG_CAP {
-                slow.remove(0);
+                slow.pop_front();
             }
-            slow.push(SlowQuery {
+            slow.push_back(SlowQuery {
                 id,
                 query: preview.clone(),
                 workers,
@@ -609,9 +682,9 @@ impl OptiquePlatform {
         }
         let mut log = self.static_log.lock();
         if log.len() == STATIC_LOG_CAP {
-            log.remove(0);
+            log.pop_front();
         }
-        log.push(StaticQueryPanel {
+        log.push_back(StaticQueryPanel {
             id,
             query: preview,
             rows: stats.rows,
@@ -686,12 +759,10 @@ impl OptiquePlatform {
     /// spans grafted under `exec` — as an EXPLAIN ANALYZE report.
     /// `workers` picks the federated pool (`None` = single-node).
     pub fn explain_analyze(&self, text: &str, workers: Option<usize>) -> Result<String, String> {
-        let federation = match workers {
-            Some(0) => return Err("a federated query needs at least one worker".into()),
-            Some(w) => Some(self.federation_for(w)),
-            None => None,
-        };
-        let (results, _, tracer) = self.run_static_traced(text, federation, true)?;
+        if workers == Some(0) {
+            return Err("a federated query needs at least one worker".into());
+        }
+        let (results, _, tracer) = self.run_static_traced(text, workers, true)?;
         let tracer = tracer.expect("tracing was forced on");
         let mut out = format!(
             "EXPLAIN ANALYZE — {} row(s), {} worker(s)\n",
@@ -702,45 +773,81 @@ impl OptiquePlatform {
         Ok(out)
     }
 
-    /// Appends rows to a static table, swapping in a new catalog snapshot.
-    /// Every derived static-query structure is invalidated or refreshed:
-    /// the per-BGP cache clears (its hit counters survive), the federated
-    /// worker pools are dropped, and the planner's [`StatsCatalog`] is
-    /// re-analyzed — so the next query — cached, distributed or planned —
-    /// sees the new rows and the new cardinalities. Returns the number of
-    /// inserted rows.
+    /// Appends rows to a static table, swapping in a new
+    /// [`PlatformSnapshot`]. Every derived static-query structure is
+    /// invalidated or refreshed **inside the critical section**, before
+    /// the new snapshot is published: the per-BGP cache's generation bumps
+    /// (its hit counters survive), the federated worker pools are dropped,
+    /// and the planner's [`StatsCatalog`] is re-analyzed for the changed
+    /// table — so no concurrent reader can ever pair the new catalog with
+    /// a pre-write cache entry, an old-shard pool, or stale cardinalities.
+    /// Returns the number of inserted rows.
     pub fn insert_static(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, String> {
         let inserted = rows.len();
         {
-            let mut guard = self.db.write();
-            let mut new_db = (**guard).clone();
+            let mut guard = self.state.write();
+            let mut new_db = (*guard.db).clone();
             let mut new_table = (**new_db.table(table).map_err(|e| e.to_string())?).clone();
             for row in rows {
                 new_table.push_row(row).map_err(|e| e.to_string())?;
             }
             new_db.put_table(table, new_table);
-            *guard = Arc::new(new_db);
-            // Stats refresh stays inside the db critical section so
-            // concurrent writers serialize: the stats snapshot always
-            // describes the db snapshot just installed. Only the changed
-            // table is re-analyzed.
-            let changed = Arc::clone(guard.table(table).expect("table was just inserted"));
-            let refreshed = self
-                .table_stats
-                .read()
-                .with_refreshed_table(table, &changed);
-            *self.table_stats.write() = Arc::new(refreshed);
-        }
-        match *self.invalidation.read() {
-            CacheInvalidation::Dependent => {
-                self.static_cache.invalidate_table(table);
+            let new_db = Arc::new(new_db);
+            // Only the changed table is re-analyzed; writers serialize on
+            // the state write lock, so stats always describe the catalog
+            // installed by the same swap.
+            let changed = Arc::clone(new_db.table(table).expect("table was just inserted"));
+            let stats = Arc::new(guard.stats.with_refreshed_table(table, &changed));
+            // Invalidate the cache and drop the pools while the write lock
+            // still blocks snapshot pins: a reader runs entirely before
+            // this write (old snapshot, old generation — its cache hits
+            // are valid) or entirely after (new snapshot, new generation).
+            // The old ordering did both *after* releasing the lock,
+            // opening a window where the new catalog answered from stale
+            // cache entries and old-shard pools.
+            match *self.invalidation.read() {
+                CacheInvalidation::Dependent => {
+                    self.static_cache.invalidate_table(table);
+                }
+                CacheInvalidation::FullClear => {
+                    self.static_cache.invalidate();
+                }
             }
-            CacheInvalidation::FullClear => {
-                self.static_cache.invalidate();
-            }
+            self.federations.lock().clear();
+            *guard = Arc::new(PlatformSnapshot {
+                db: new_db,
+                stats,
+                topology: guard.topology,
+                planner: guard.planner,
+                cache_generation: self.static_cache.generation(),
+            });
         }
-        self.federations.lock().clear();
+        #[cfg(test)]
+        if let Some(probe) = self.write_probe.lock().take() {
+            probe(self);
+        }
         Ok(inserted)
+    }
+
+    /// Number of cached federation pools whose catalog is not the current
+    /// snapshot's — must always be zero at rest; the interleaving
+    /// regression tests assert it right after `insert_static`'s critical
+    /// section.
+    #[cfg(test)]
+    fn stale_pool_count(&self) -> usize {
+        let db = self.db();
+        self.federations
+            .lock()
+            .values()
+            .filter(|f| !Arc::ptr_eq(f.catalog(), &db))
+            .count()
+    }
+
+    /// Arms the one-shot write probe fired at the seam right after
+    /// `insert_static`'s critical section (see the field docs).
+    #[cfg(test)]
+    fn set_write_probe(&self, probe: impl FnOnce(&OptiquePlatform) + Send + 'static) {
+        *self.write_probe.lock() = Some(Box::new(probe));
     }
 
     /// How relational writes invalidate the per-BGP cache.
@@ -763,20 +870,24 @@ impl OptiquePlatform {
 
     /// The planner's statistics snapshot over the current relational state.
     pub fn table_stats(&self) -> Arc<StatsCatalog> {
-        Arc::clone(&self.table_stats.read())
+        Arc::clone(&self.state.read().stats)
     }
 
     /// The static-query planner knobs currently in force.
     pub fn planner_settings(&self) -> PlannerSettings {
-        *self.planner.read()
+        self.state.read().planner
     }
 
     /// Replaces the static-query planner knobs. Passing
     /// [`PlannerSettings::disabled`] runs every subsequent static query on
     /// the naive textual-order pipeline — the differential plan-equivalence
-    /// suite flips this to compare optimized and naive answers.
+    /// suite flips this to compare optimized and naive answers. In-flight
+    /// queries keep the snapshot (and planner) they pinned at start.
     pub fn set_planner_settings(&self, settings: PlannerSettings) {
-        *self.planner.write() = settings;
+        let mut guard = self.state.write();
+        let mut next = (**guard).clone();
+        next.planner = settings;
+        *guard = Arc::new(next);
     }
 
     /// Deregisters a query; returns whether it existed.
@@ -795,6 +906,10 @@ impl OptiquePlatform {
     /// materialize their windows as plan fragments over their federation
     /// pool; the rest slice locally.
     pub fn tick_all(&self, tick_ms: i64) -> Result<Vec<(u64, TickOutput)>, String> {
+        // One snapshot for the whole tick round: the pools and the db
+        // every query slices are the same world, even if a write lands
+        // mid-round (its rows show up next tick).
+        let snap = self.snapshot();
         // Pools build outside the query lock (pool construction calls
         // back into `stream_partition_pairs`, which takes it).
         let worker_counts: Vec<usize> = {
@@ -806,11 +921,11 @@ impl OptiquePlatform {
         };
         let pools: HashMap<usize, Arc<Federation>> = worker_counts
             .into_iter()
-            .map(|w| (w, self.federation_for(w)))
+            .map(|w| (w, self.federation_for(w, &snap)))
             .collect();
 
         let mut out = Vec::new();
-        let db = self.db();
+        let db = &snap.db;
         let mut queries = self.queries.lock();
         for (id, reg) in queries.iter_mut() {
             // A query whose worker count registered *between* the snapshot
@@ -820,12 +935,9 @@ impl OptiquePlatform {
             // the queries lock (pool construction reads the stream pairs).
             let executor = reg.workers.and_then(|w| pools.get(&w));
             let tick_started = std::time::Instant::now();
-            let result = reg.query.tick_via(
-                &db,
-                &self.wcache,
-                tick_ms,
-                executor.map(|f| f.as_ref() as _),
-            )?;
+            let result =
+                reg.query
+                    .tick_via(db, &self.wcache, tick_ms, executor.map(|f| f.as_ref() as _))?;
             self.registry
                 .histogram(&format!("tick.q{id}.us"))
                 .record(tick_started.elapsed().as_micros() as u64);
@@ -898,7 +1010,7 @@ impl OptiquePlatform {
         let static_latency = self.registry.histogram("static.query_us").summary();
         Dashboard {
             panels,
-            static_queries: self.static_log.lock().clone(),
+            static_queries: self.static_log.lock().iter().cloned().collect(),
             wcache_hits: self.wcache.hits(),
             wcache_misses: self.wcache.misses(),
             bgp_cache_hits: self.static_cache.hits(),
@@ -909,7 +1021,7 @@ impl OptiquePlatform {
             static_p50_us: static_latency.p50,
             static_p95_us: static_latency.p95,
             static_p99_us: static_latency.p99,
-            slow_queries: self.slow_log.lock().clone(),
+            slow_queries: self.slow_log.lock().iter().cloned().collect(),
             slow_threshold_us: self.slow_query_threshold_us(),
         }
     }
@@ -1039,6 +1151,95 @@ mod tests {
         p.insert_static("turbines", vec![row]).unwrap();
         let (_, stats) = p.query_static_with_stats(sensors).unwrap();
         assert_eq!(stats.cache_hits, 0, "full clear evicted sensors too");
+    }
+
+    /// A `turbines` row with a fresh primary key, cloned off the first row.
+    fn new_turbine_row(p: &OptiquePlatform, tid: i64) -> Vec<Value> {
+        let turbines = p.db().table("turbines").unwrap().clone();
+        let mut row: Vec<Value> = turbines.rows[0].clone();
+        let id_col = turbines.schema.index_of("tid").expect("turbines.tid");
+        row[id_col] = Value::Int(tid);
+        row
+    }
+
+    /// Interleaving regression (write-path race #1): at the seam right
+    /// after `insert_static`'s critical section the BGP cache must already
+    /// be invalidated. Under the pre-fix ordering — invalidate *after* the
+    /// write lock dropped — the probe runs before the invalidation, so it
+    /// observes the pre-write generation and a reader at the seam pairs
+    /// the new catalog with the stale cached solution set; both assertions
+    /// fail deterministically.
+    #[test]
+    fn bgp_cache_invalidated_inside_insert_critical_section() {
+        let p = platform();
+        let text = "SELECT ?t WHERE { ?t a sie:Turbine }";
+        let before = p.query_static(text).unwrap().len();
+        let generation_before = p.bgp_cache().generation();
+        let row = new_turbine_row(&p, 88_001);
+        p.set_write_probe(move |p| {
+            assert!(
+                p.bgp_cache().generation() > generation_before,
+                "cache invalidation must precede snapshot publication"
+            );
+            let fresh = p.query_static(text).unwrap();
+            assert_eq!(
+                fresh.len(),
+                before + 1,
+                "a reader at the seam sees the inserted row, not the stale cache entry"
+            );
+        });
+        p.insert_static("turbines", vec![row]).unwrap();
+    }
+
+    /// Interleaving regression (write-path race #2): at the same seam no
+    /// federation pool sharded over the superseded catalog may remain
+    /// visible to new lookups. Pre-fix, the pools were cleared after the
+    /// lock dropped, so a distributed query at the seam grabbed a pool
+    /// built over the old shards and missed the insert.
+    #[test]
+    fn federation_pools_dropped_inside_insert_critical_section() {
+        let p = platform();
+        let text = "SELECT DISTINCT ?t WHERE { ?t a sie:Turbine }";
+        let before = p.query_static_distributed(text, 2).unwrap().len();
+        let row = new_turbine_row(&p, 88_002);
+        p.set_write_probe(move |p| {
+            assert_eq!(
+                p.stale_pool_count(),
+                0,
+                "no pool over the superseded catalog survives publication"
+            );
+            let fresh = p.query_static_distributed(text, 2).unwrap();
+            assert_eq!(
+                fresh.len(),
+                before + 1,
+                "a distributed reader at the seam shards over the new catalog"
+            );
+        });
+        p.insert_static("turbines", vec![row]).unwrap();
+    }
+
+    /// A pinned snapshot's stats always describe its db — before, across,
+    /// and after a write (no db/stats tear), and the cache generation
+    /// moves with the catalog.
+    #[test]
+    fn snapshot_stats_describe_snapshot_db() {
+        let p = platform();
+        let old = p.snapshot();
+        let old_rows = old.db.table("turbines").unwrap().rows.len();
+        assert_eq!(old.stats.row_count("turbines"), Some(old_rows));
+
+        let row = new_turbine_row(&p, 88_003);
+        p.insert_static("turbines", vec![row]).unwrap();
+
+        // The pre-write snapshot still coheres…
+        assert_eq!(old.db.table("turbines").unwrap().rows.len(), old_rows);
+        assert_eq!(old.stats.row_count("turbines"), Some(old_rows));
+        // …and the new one describes the new catalog, under a new cache
+        // generation.
+        let new = p.snapshot();
+        assert_eq!(new.db.table("turbines").unwrap().rows.len(), old_rows + 1);
+        assert_eq!(new.stats.row_count("turbines"), Some(old_rows + 1));
+        assert!(new.cache_generation > old.cache_generation);
     }
 
     #[test]

@@ -693,6 +693,47 @@ mod tests {
         assert!(g.worker_loads().iter().all(|&l| l == 0.0));
     }
 
+    /// Concurrent static rounds on one shared gateway never cross results:
+    /// every round's gather order and values match its own fragments. This
+    /// is the serving layer's pool-lifetime contract — many simultaneous
+    /// distributed queries share one `Arc<Federation>` (and thus one
+    /// gateway) between write-induced pool drops.
+    #[test]
+    fn concurrent_static_rounds_do_not_cross_results() {
+        let g = Gateway::new(cluster(4));
+        std::thread::scope(|scope| {
+            for round in 0..8usize {
+                let g = &g;
+                scope.spawn(move || {
+                    let fragments: Vec<StaticFragment> = (0..4)
+                        .map(|i| {
+                            let threshold = round * 4 + i;
+                            StaticFragment::placed(PlanFragment::new(
+                                i as u64,
+                                format!("SELECT COUNT(*) AS n FROM m WHERE value >= {threshold}"),
+                                1.0,
+                            ))
+                        })
+                        .collect();
+                    for _ in 0..4 {
+                        let results = g.run_static_fragments(&fragments);
+                        for (i, result) in results.iter().enumerate() {
+                            let t = result.as_ref().unwrap();
+                            let expected = 100 - (round * 4 + i) as i64;
+                            assert_eq!(
+                                t.rows[0][0],
+                                Value::Int(expected),
+                                "round {round} fragment {i} crossed with another round"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        // Every transient fragment released its load despite the races.
+        assert!(g.worker_loads().iter().all(|&l| l == 0.0));
+    }
+
     #[test]
     fn scatter_fragments_concatenate_partitions() {
         // Each of 4 workers holds 100 distinct sensor rows; a scatter scan

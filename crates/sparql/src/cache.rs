@@ -18,6 +18,18 @@
 //! [`BgpCache::invalidate`] keeps the whole-cache clear as the
 //! conservative fallback (`OptiquePlatform` exposes a knob for it).
 //! Hit/miss/invalidation counters feed the platform dashboard.
+//!
+//! **Concurrency contract.** The cache maintains one invariant: every
+//! entry it holds is valid for the database snapshot(s) installed while
+//! the current [`BgpCache::generation`] was in force — stores stamped
+//! with an older generation are rejected, and invalidation (which bumps
+//! the generation) only keeps entries it can prove stay valid. A reader
+//! therefore captures the generation *together with* its database
+//! snapshot (the platform bundles both in one atomically-swapped
+//! `PlatformSnapshot`) and looks up through [`BgpCache::lookup_any_at`],
+//! which answers only when the reader's generation is still current —
+//! so a query holding a pre-write snapshot can never be served a
+//! post-write entry, nor a post-write reader a pre-write entry.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,9 +93,20 @@ impl BgpCache {
         format!("{atoms:?}⋉{fingerprint}")
     }
 
-    /// Looks up a BGP's cached solutions, counting a hit or a miss.
+    /// Looks up a BGP's cached solutions at the current generation,
+    /// counting a hit or a miss. Only correct when the caller's database
+    /// snapshot cannot be stale (single-writer tests, static fixtures);
+    /// concurrent readers use [`Self::lookup_any_at`] with the generation
+    /// captured alongside their snapshot.
     pub fn lookup(&self, key: &str) -> Option<SolutionSet> {
         self.lookup_any(&[key])
+    }
+
+    /// [`Self::lookup_any_at`] at the current generation.
+    pub fn lookup_any(&self, keys: &[&str]) -> Option<SolutionSet> {
+        let inner = self.inner.lock().expect("cache lock");
+        let generation = self.generation.load(Ordering::Acquire);
+        self.lookup_locked(&inner, keys, generation)
     }
 
     /// Looks up the first of `keys` that is cached — one *logical* lookup:
@@ -91,12 +114,34 @@ impl BgpCache {
     /// however many keys are probed. The pipeline uses this to prefer a
     /// restriction-exact entry while still accepting the unrestricted
     /// superset, without double-counting.
-    pub fn lookup_any(&self, keys: &[&str]) -> Option<SolutionSet> {
+    ///
+    /// `generation` is the cache generation the caller captured together
+    /// with its database snapshot. When an invalidation has run since —
+    /// the caller's snapshot may predate a relational write — every probe
+    /// misses: the entries now in the cache describe a *different*
+    /// snapshot than the one the caller is answering over, in either
+    /// direction (a pre-write reader must not see post-write solutions
+    /// any more than a post-write reader may see pre-write ones).
+    pub fn lookup_any_at(&self, keys: &[&str], generation: u64) -> Option<SolutionSet> {
+        // The generation is compared under the same lock invalidation
+        // bumps it under, so "current" and "present in the map" are one
+        // atomic observation.
         let inner = self.inner.lock().expect("cache lock");
-        for key in keys {
-            if let Some(entry) = inner.map.get(*key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(entry.solutions.clone());
+        self.lookup_locked(&inner, keys, generation)
+    }
+
+    fn lookup_locked(
+        &self,
+        inner: &Entries,
+        keys: &[&str],
+        generation: u64,
+    ) -> Option<SolutionSet> {
+        if self.generation.load(Ordering::Acquire) == generation {
+            for key in keys {
+                if let Some(entry) = inner.map.get(*key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(entry.solutions.clone());
+                }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -382,6 +427,30 @@ mod tests {
         cache.store_with_tables("one-more".into(), solutions(1), generation, deps(&["t"]));
         assert!(cache.lookup("b").is_none(), "oldest survivor evicts first");
         assert!(cache.lookup("k0").is_some());
+    }
+
+    /// A reader whose snapshot predates an invalidation must miss on every
+    /// probe — entries now in the cache describe a newer database snapshot
+    /// than the one the reader is answering over.
+    #[test]
+    fn stale_generation_lookup_misses() {
+        let cache = BgpCache::new();
+        let before = cache.generation();
+        cache.store_with_tables("sensors".into(), solutions(2), before, deps(&["sensors"]));
+        assert!(cache.lookup_any_at(&["sensors"], before).is_some());
+
+        // A write to an *unrelated* table keeps the entry — but a reader
+        // still holding the pre-write generation can no longer use it: it
+        // cannot prove which snapshot it paired the probe with.
+        cache.invalidate_table("turbines");
+        assert!(cache.lookup_any_at(&["sensors"], before).is_none());
+        assert!(
+            cache
+                .lookup_any_at(&["sensors"], cache.generation())
+                .is_some(),
+            "a current-generation reader still hits the surviving entry"
+        );
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
     }
 
     /// A computation that began before an invalidation must not repopulate

@@ -522,7 +522,11 @@ impl<'a> StaticPipeline<'a> {
                 None => vec![plain],
             };
             let mut lookup_span = self.tracer.map(|t| t.span(bgp_id, "cache_lookup"));
-            let cached = cache.lookup_any(&keys);
+            // Probed at the generation captured with this pipeline's
+            // database snapshot: if a relational write has invalidated the
+            // cache since, every probe misses rather than pairing this
+            // snapshot with entries computed over a different one.
+            let cached = cache.lookup_any_at(&keys, self.cache_generation);
             if let Some(span) = lookup_span.as_mut() {
                 span.set_attr("outcome", if cached.is_some() { "hit" } else { "miss" });
             }

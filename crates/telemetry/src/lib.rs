@@ -15,13 +15,13 @@
 //! - [`Histogram`] — a log-linear (HDR-style) latency histogram with atomic
 //!   buckets and p50/p95/p99 extraction, accurate to one sub-bucket
 //!   (16 sub-buckets per power of two, ≤ 6.25 % relative error).
-//! - [`MetricsRegistry`] — a thread-safe name → counter/histogram registry
-//!   with JSON and Prometheus-text exporters.
+//! - [`MetricsRegistry`] — a thread-safe name → counter/gauge/histogram
+//!   registry with JSON and Prometheus-text exporters.
 //! - [`render_tree`] — an `EXPLAIN ANALYZE`-style text rendering of a span
 //!   forest, used by `Platform::explain_analyze`.
 
 mod metrics;
 mod span;
 
-pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use span::{render_tree, AttrValue, Span, SpanGuard, SpanId, SpanRecord, Tracer};

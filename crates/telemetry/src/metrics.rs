@@ -33,6 +33,43 @@ impl Counter {
     }
 }
 
+/// A point-in-time level that can move both ways (queue depths, in-flight
+/// request counts) — where [`Counter`] only accumulates.
+#[derive(Debug, Default)]
+pub struct Gauge(std::sync::atomic::AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments the level.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements the level.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per power of two,
 /// bounding the relative quantization error at 1/16 = 6.25 %.
 const SUB_BITS: u32 = 4;
@@ -216,6 +253,7 @@ pub struct HistogramSummary {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -231,6 +269,15 @@ impl MetricsRegistry {
             return Arc::clone(c);
         }
         let mut map = self.counters.write();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut map = self.gauges.write();
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
@@ -252,6 +299,12 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(name, c)| (name.clone(), c.get()))
                 .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
             histograms: self
                 .histograms
                 .read()
@@ -267,6 +320,8 @@ impl MetricsRegistry {
 pub struct MetricsSnapshot {
     /// `(name, value)` counter rows, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `(name, level)` gauge rows, sorted by name.
+    pub gauges: Vec<(String, i64)>,
     /// `(name, summary)` histogram rows, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
 }
@@ -278,6 +333,11 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
+    }
+
+    /// The gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// The histogram summary named `name`, if present.
@@ -293,6 +353,13 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", json_string(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -321,14 +388,20 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot in the Prometheus text exposition format:
-    /// counters as `counter` metrics, histograms as `summary` metrics with
-    /// `quantile` labels plus `_sum`/`_count` rows. Dotted names are
-    /// sanitized (`static.query_us` → `static_query_us`).
+    /// counters as `counter` metrics, gauges as `gauge` metrics, histograms
+    /// as `summary` metrics with `quantile` labels plus `_sum`/`_count`
+    /// rows. Dotted names are sanitized (`static.query_us` →
+    /// `static_query_us`).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
             let name = prometheus_name(name);
             let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {value}");
         }
         for (name, s) in &self.histograms {
@@ -511,9 +584,22 @@ mod tests {
     }
 
     #[test]
+    fn gauge_tracks_level_not_total() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("server.queue_depth");
+        g.add(5);
+        g.dec();
+        registry.gauge("server.queue_depth").inc();
+        assert_eq!(g.get(), 5);
+        g.set(-2);
+        assert_eq!(registry.snapshot().gauge("server.queue_depth"), Some(-2));
+    }
+
+    #[test]
     fn snapshot_exports_json_and_prometheus() {
         let registry = MetricsRegistry::new();
         registry.counter("static.queries").add(42);
+        registry.gauge("server.queue_depth").set(7);
         let h = registry.histogram("static.query_us");
         for v in [100, 200, 300] {
             h.record(v);
@@ -524,11 +610,14 @@ mod tests {
 
         let json = snap.to_json();
         assert!(json.contains("\"static.queries\":42"), "{json}");
+        assert!(json.contains("\"server.queue_depth\":7"), "{json}");
         assert!(json.contains("\"static.query_us\":{\"count\":3"), "{json}");
 
         let prom = snap.to_prometheus();
         assert!(prom.contains("# TYPE static_queries counter"), "{prom}");
         assert!(prom.contains("static_queries 42"), "{prom}");
+        assert!(prom.contains("# TYPE server_queue_depth gauge"), "{prom}");
+        assert!(prom.contains("server_queue_depth 7"), "{prom}");
         assert!(prom.contains("# TYPE static_query_us summary"), "{prom}");
         assert!(prom.contains("static_query_us{quantile=\"0.5\"}"), "{prom}");
         assert!(prom.contains("static_query_us_count 3"), "{prom}");

@@ -1,0 +1,304 @@
+//! Concurrent serving smoke suite: the differential oracle for the
+//! multi-tenant write path.
+//!
+//! N reader threads hammer `query_static` / `query_static_distributed`
+//! (across 1/2/4/8-worker pools) while a single writer appends sentinel
+//! sensors and a ticker drives the streaming pipeline — first directly
+//! against the platform, then through the `optique::server` front-end.
+//!
+//! **The oracle:** each sentinel write adds exactly one sensor with a
+//! unique, recognizable IRI, and there is one writer, so the writes have a
+//! total order. Every concurrent answer must then equal the answer of a
+//! *serialized replay*: a fresh platform that applies some prefix of the
+//! write sequence and runs the same query alone. Which prefix a given
+//! answer observed is recoverable from the sentinels it contains — and if
+//! an answer mixes pre- and post-write state (the `insert_static` races
+//! this PR fixes: stale BGP-cache entries, old-shard pools, torn
+//! db/stats), its sentinel set is *not* a prefix or its rows diverge from
+//! the replay, and the oracle fails.
+//!
+//! Thread count comes from `CONCURRENT_THREADS` (default 4); CI runs the
+//! suite at a reduced count.
+
+mod common;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use common::canon;
+use common::streaming::{self, SIE};
+use optique::{OptiquePlatform, Server, ServerConfig};
+use optique_relational::Value;
+
+/// Sentinel sensors the writer appends, in order: sids `1000..1000+W`.
+const WRITES: usize = 10;
+/// Queries each reader thread issues.
+const READER_ITERS: usize = 15;
+/// First sentinel sid (4 digits, same width for all sentinels, so a
+/// substring check on `sensor/<sid>` is collision-free).
+const SENTINEL_BASE: usize = 1000;
+
+fn reader_threads() -> usize {
+    std::env::var("CONCURRENT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// The reader query corpus: a single cached BGP, a two-branch UNION (two
+/// cache entries — the shape that exposes mixed-generation answers), and a
+/// planner-reordered join over two separately-unfolded groups.
+fn queries() -> Vec<String> {
+    vec![
+        format!("SELECT ?x WHERE {{ ?x a <{SIE}Sensor> }}"),
+        format!(
+            "SELECT DISTINCT ?x WHERE {{ {{ ?x a <{SIE}TemperatureSensor> }} \
+             UNION {{ ?x a <{SIE}PressureSensor> }} }}"
+        ),
+        format!(
+            "SELECT ?x ?s WHERE {{ {{ ?x <{SIE}inAssembly> ?s }} \
+             {{ ?s a <{SIE}TemperatureSensor> }} }}"
+        ),
+    ]
+}
+
+/// The `k`-th sentinel write: one temperature sensor with sid
+/// `SENTINEL_BASE + k` (temperature, so every corpus query surfaces it).
+fn sentinel_row(k: usize) -> Vec<Value> {
+    vec![
+        Value::Int((SENTINEL_BASE + k) as i64),
+        Value::Int((k % 8) as i64),
+        Value::text("temperature"),
+    ]
+}
+
+/// Which write-prefix an answer observed: `Some(j)` when exactly the first
+/// `j` sentinels are present, `None` when the sentinel set is not a prefix
+/// of the write order — a torn (non-serializable) answer.
+fn observed_prefix(rows: &[String]) -> Option<usize> {
+    let present: Vec<bool> = (0..WRITES)
+        .map(|k| {
+            let needle = format!("sensor/{}", SENTINEL_BASE + k);
+            rows.iter().any(|r| r.contains(&needle))
+        })
+        .collect();
+    let j = present.iter().take_while(|&&p| p).count();
+    if present[j..].iter().any(|&p| p) {
+        None
+    } else {
+        Some(j)
+    }
+}
+
+/// One recorded concurrent answer.
+struct Observation {
+    query: usize,
+    workers: Option<usize>,
+    rows: Vec<String>,
+}
+
+/// How the schedule talks to the platform.
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Straight `&self` calls on the shared platform.
+    Direct,
+    /// Through `Server` clients, one tenant per thread.
+    Served,
+}
+
+/// Runs the mixed schedule — readers × {single-node, 1/2/4/8-worker
+/// pools}, one sentinel writer, one ticker — and returns every answer
+/// observed mid-flight.
+fn run_schedule(platform: &Arc<OptiquePlatform>, mode: Mode) -> Vec<Observation> {
+    let server = match mode {
+        Mode::Direct => None,
+        Mode::Served => Some(Server::serve(
+            Arc::clone(platform),
+            ServerConfig {
+                workers: (reader_threads() + 2).max(4),
+                queue_capacity: 256,
+                ..ServerConfig::default()
+            },
+        )),
+    };
+    let corpus = queries();
+    let observations = Mutex::new(Vec::new());
+    let writer_done = AtomicBool::new(false);
+    let pools: [Option<usize>; 5] = [None, Some(1), Some(2), Some(4), Some(8)];
+
+    std::thread::scope(|scope| {
+        // The single writer: sentinel sensors land in program order.
+        let writer_client = server.as_ref().map(|s| s.client("writer"));
+        let writer_done = &writer_done;
+        let platform_ref = platform;
+        scope.spawn(move || {
+            for k in 0..WRITES {
+                let inserted = match &writer_client {
+                    Some(client) => client.insert("sensors", vec![sentinel_row(k)]).unwrap(),
+                    None => platform_ref
+                        .insert_static("sensors", vec![sentinel_row(k)])
+                        .unwrap(),
+                };
+                assert_eq!(inserted, 1);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+
+        // The ticker: every pulse must execute cleanly mid-write.
+        let ticker_client = server.as_ref().map(|s| s.client("ticker"));
+        scope.spawn(move || {
+            let mut tick = 600_000;
+            while !writer_done.load(Ordering::Acquire) {
+                match &ticker_client {
+                    Some(client) => {
+                        client.tick(tick).unwrap();
+                    }
+                    None => {
+                        platform_ref.tick_all(tick).unwrap();
+                    }
+                }
+                tick += 1_000;
+            }
+        });
+
+        // The readers: every thread cycles queries and pool sizes.
+        for t in 0..reader_threads() {
+            let client = server.as_ref().map(|s| s.client(&format!("tenant-{t}")));
+            let corpus = &corpus;
+            let observations = &observations;
+            let pools = &pools;
+            scope.spawn(move || {
+                for i in 0..READER_ITERS {
+                    let query = (t + i) % corpus.len();
+                    let workers = pools[(t + i) % pools.len()];
+                    let text = &corpus[query];
+                    let results = match (&client, workers) {
+                        (Some(c), None) => c.query(text).unwrap(),
+                        (Some(c), Some(w)) => c.query_distributed(text, w).unwrap(),
+                        (None, None) => platform_ref.query_static(text).unwrap(),
+                        (None, Some(w)) => platform_ref.query_static_distributed(text, w).unwrap(),
+                    };
+                    observations.lock().unwrap().push(Observation {
+                        query,
+                        workers,
+                        rows: canon(&results).1,
+                    });
+                }
+            });
+        }
+    });
+    observations.into_inner().unwrap()
+}
+
+/// Serialized replay: answers of `query` on a fresh platform after the
+/// first `prefix` writes, computed alone on the reference single-node
+/// path. Memoized per `(query, prefix)`.
+fn replay_answers(
+    cache: &mut HashMap<(usize, usize), Vec<String>>,
+    query: usize,
+    prefix: usize,
+) -> Vec<String> {
+    if let Some(rows) = cache.get(&(query, prefix)) {
+        return rows.clone();
+    }
+    let replay = streaming::deployment(streaming::ramp_stream());
+    for k in 0..prefix {
+        replay
+            .insert_static("sensors", vec![sentinel_row(k)])
+            .unwrap();
+    }
+    let rows = canon(&replay.query_static(&queries()[query]).unwrap()).1;
+    cache.insert((query, prefix), rows.clone());
+    rows
+}
+
+/// Checks every observation against its serialized replay.
+fn check_oracle(observations: Vec<Observation>) {
+    assert!(!observations.is_empty());
+    let mut cache = HashMap::new();
+    for obs in observations {
+        let prefix = observed_prefix(&obs.rows).unwrap_or_else(|| {
+            panic!(
+                "torn answer: query {} (workers {:?}) observed a non-prefix \
+                 sentinel set in {:?}",
+                obs.query, obs.workers, obs.rows
+            )
+        });
+        let expected = replay_answers(&mut cache, obs.query, prefix);
+        assert_eq!(
+            obs.rows, expected,
+            "query {} (workers {:?}) diverged from the serialized replay \
+             of its observed {prefix}-write prefix",
+            obs.query, obs.workers
+        );
+    }
+}
+
+/// A platform with one registered continuous query for the ticker to pump.
+fn oracle_platform() -> Arc<OptiquePlatform> {
+    let platform = streaming::deployment(streaming::ramp_stream());
+    platform
+        .register_starql(&streaming::program(2, 5, 1, false, 0))
+        .unwrap();
+    Arc::new(platform)
+}
+
+#[test]
+fn concurrent_schedule_matches_serialized_replay_direct() {
+    let platform = oracle_platform();
+    check_oracle(run_schedule(&platform, Mode::Direct));
+}
+
+#[test]
+fn concurrent_schedule_matches_serialized_replay_through_server() {
+    let platform = oracle_platform();
+    let observations = run_schedule(&platform, Mode::Served);
+    check_oracle(observations);
+    // The serving layer metered every request and is quiescent.
+    let snap = platform.metrics_snapshot();
+    let admitted = snap.counter("server.admitted").unwrap_or(0);
+    let completed = snap.counter("server.completed").unwrap_or(0);
+    assert!(admitted > 0);
+    assert_eq!(admitted, completed, "all admitted requests completed");
+    assert_eq!(snap.counter("server.errors"), None);
+    assert_eq!(snap.gauge("server.queue_depth"), Some(0));
+}
+
+/// Snapshot-coherence hammer: while the writer appends, every pinned
+/// snapshot's stats must describe exactly its own catalog (regression for
+/// the db/stats tear `PlatformSnapshot` closes).
+#[test]
+fn snapshots_stay_coherent_under_concurrent_writes() {
+    let platform = oracle_platform();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let p = &platform;
+        let done = &done;
+        scope.spawn(move || {
+            for k in 0..WRITES {
+                p.insert_static("sensors", vec![sentinel_row(k)]).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..reader_threads().max(2) {
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    let snap = p.snapshot();
+                    let rows = snap.db.table("sensors").unwrap().rows.len();
+                    assert_eq!(
+                        snap.stats.row_count("sensors"),
+                        Some(rows),
+                        "snapshot stats describe a different catalog than its db"
+                    );
+                }
+            });
+        }
+    });
+    let last = platform.snapshot();
+    assert_eq!(
+        last.db.table("sensors").unwrap().rows.len(),
+        streaming::SENSORS as usize + WRITES
+    );
+}
