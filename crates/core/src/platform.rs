@@ -20,7 +20,7 @@ use optique_bootstrap::{bootstrap_direct, BootstrapSettings, RelationalSchema};
 use optique_mapping::MappingCatalog;
 use optique_ontology::Ontology;
 use optique_rdf::Namespaces;
-use optique_relational::{Database, StatsCatalog, Value};
+use optique_relational::{Database, DictSnapshot, StatsCatalog, TermDict, Value};
 use optique_rewrite::RewriteSettings;
 use optique_siemens::{DiagnosticTask, SiemensDeployment};
 use optique_sparql::{
@@ -113,6 +113,11 @@ pub struct PlatformSnapshot {
     /// reader still holding a pre-write snapshot misses instead of pairing
     /// a fresh catalog with a stale cached solution set (or vice versa).
     pub cache_generation: u64,
+    /// Watermark of the global term dictionary at capture. The dictionary
+    /// is append-only, so every id a batch produced under this snapshot can
+    /// carry resolves stably for the snapshot's lifetime; writers that
+    /// intern new terms only ever append past the watermark.
+    pub dict: DictSnapshot,
 }
 
 /// The deployed integration platform.
@@ -181,6 +186,11 @@ const SLOW_LOG_CAP: usize = 32;
 /// Default slow-query threshold: 100 ms.
 const DEFAULT_SLOW_THRESHOLD_US: u64 = 100_000;
 
+/// Registry counters accumulating plan-cache hits/misses of federation
+/// pools retired by catalog writes and distributed registrations.
+const PLAN_CACHE_RETIRED_HITS: &str = "plan_cache.retired_hits";
+const PLAN_CACHE_RETIRED_MISSES: &str = "plan_cache.retired_misses";
+
 impl OptiquePlatform {
     /// Deploys over explicit assets.
     pub fn deploy(
@@ -198,6 +208,7 @@ impl OptiquePlatform {
             topology: FederationTopology::default(),
             planner: PlannerSettings::default(),
             cache_generation: static_cache.generation(),
+            dict: TermDict::global().snapshot(),
         }));
         OptiquePlatform {
             state,
@@ -368,7 +379,9 @@ impl OptiquePlatform {
         // pools do not partition; drop them so the next tick's pool
         // re-shards over the full stream set.
         if workers.is_some() {
-            self.federations.lock().clear();
+            let mut pools = self.federations.lock();
+            self.retire_plan_cache_counters(&pools);
+            pools.clear();
         }
         Ok(id)
     }
@@ -813,13 +826,20 @@ impl OptiquePlatform {
                     self.static_cache.invalidate();
                 }
             }
-            self.federations.lock().clear();
+            {
+                let mut pools = self.federations.lock();
+                self.retire_plan_cache_counters(&pools);
+                pools.clear();
+            }
             *guard = Arc::new(PlatformSnapshot {
                 db: new_db,
                 stats,
                 topology: guard.topology,
                 planner: guard.planner,
                 cache_generation: self.static_cache.generation(),
+                // Re-pin after interning the inserted rows' text: ids for
+                // the new literals fall at or below the fresh watermark.
+                dict: TermDict::global().snapshot(),
             });
         }
         #[cfg(test)]
@@ -827,6 +847,26 @@ impl OptiquePlatform {
             probe(self);
         }
         Ok(inserted)
+    }
+
+    /// Folds the prepared-plan cache counters of pools that are about to be
+    /// dropped into the shared [`MetricsRegistry`], so the dashboard's
+    /// hit/miss totals accumulate across pool rebuilds instead of resetting
+    /// every time a write or a distributed registration drops the pools.
+    fn retire_plan_cache_counters(
+        &self,
+        pools: &HashMap<(usize, FederationTopology), Arc<Federation>>,
+    ) {
+        let (hits, misses) = pools
+            .values()
+            .map(|f| f.plan_cache_stats())
+            .fold((0, 0), |(h, m), (fh, fm)| (h + fh, m + fm));
+        if hits > 0 {
+            self.registry.counter(PLAN_CACHE_RETIRED_HITS).add(hits);
+        }
+        if misses > 0 {
+            self.registry.counter(PLAN_CACHE_RETIRED_MISSES).add(misses);
+        }
     }
 
     /// Number of cached federation pools whose catalog is not the current
@@ -1001,12 +1041,18 @@ impl OptiquePlatform {
             })
             .collect();
         drop(queries);
-        let (plan_cache_hits, plan_cache_misses) = self
+        // Live pools plus counters retired when earlier pools were dropped
+        // (`insert_static`, distributed registration) — rebuilding a pool
+        // must never zero the dashboard's cache-rate history.
+        let (live_hits, live_misses) = self
             .federations
             .lock()
             .values()
             .map(|f| f.plan_cache_stats())
             .fold((0, 0), |(h, m), (fh, fm)| (h + fh, m + fm));
+        let plan_cache_hits = live_hits + self.registry.counter(PLAN_CACHE_RETIRED_HITS).get();
+        let plan_cache_misses =
+            live_misses + self.registry.counter(PLAN_CACHE_RETIRED_MISSES).get();
         let static_latency = self.registry.histogram("static.query_us").summary();
         Dashboard {
             panels,
@@ -1151,6 +1197,38 @@ mod tests {
         p.insert_static("turbines", vec![row]).unwrap();
         let (_, stats) = p.query_static_with_stats(sensors).unwrap();
         assert_eq!(stats.cache_hits, 0, "full clear evicted sensors too");
+    }
+
+    /// Regression: a relational write drops the federation pools, but the
+    /// dashboard's plan-cache totals must accumulate across the rebuild —
+    /// the counters retire into the registry, they don't reset to zero.
+    #[test]
+    fn plan_cache_counters_survive_pool_rebuilds() {
+        let p = platform();
+        // Reads `turbines`, so the insert below evicts its BGP-cache entry
+        // and the post-write run re-executes on the rebuilt pool.
+        let q = "SELECT ?t WHERE { ?t a sie:Turbine }";
+        p.query_static_distributed(q, 2).unwrap();
+        p.query_static_distributed(q, 2).unwrap();
+        let before = p.dashboard();
+        assert!(before.plan_cache_hits + before.plan_cache_misses > 0);
+
+        p.insert_static("turbines", vec![new_turbine_row(&p, 88_001)])
+            .unwrap();
+        let after = p.dashboard();
+        assert!(
+            after.plan_cache_hits >= before.plan_cache_hits
+                && after.plan_cache_misses >= before.plan_cache_misses,
+            "retired counters lost: {before:?} -> {after:?}"
+        );
+
+        // New traffic lands on top of the retired totals.
+        p.query_static_distributed(q, 2).unwrap();
+        let later = p.dashboard();
+        assert!(
+            later.plan_cache_hits + later.plan_cache_misses
+                > after.plan_cache_hits + after.plan_cache_misses
+        );
     }
 
     /// A `turbines` row with a fresh primary key, cloned off the first row.

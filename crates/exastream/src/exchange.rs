@@ -122,7 +122,13 @@ fn combine(op: MergeOp, a: &Value, b: &Value) -> Result<Value, SqlError> {
     }
     Ok(match op {
         MergeOp::Sum => match (a, b) {
-            (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+            // Checked like the worker-side SUM accumulator: merging partials
+            // must overflow (typed) exactly where single-node execution would,
+            // not wrap.
+            (Value::Int(x), Value::Int(y)) => Value::Int(
+                x.checked_add(*y)
+                    .ok_or_else(|| SqlError::Overflow(format!("merging SUM partials {x} + {y}")))?,
+            ),
             _ => {
                 let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
                     return Err(SqlError::Type(format!("cannot sum {a} and {b}")));

@@ -20,6 +20,14 @@ impl Iri {
         Iri(Arc::from(v))
     }
 
+    /// Wraps an already-shared string without copying (refcount bump only).
+    /// Result rendering decodes dictionary-interned text through this, so
+    /// lifting a SQL row back into RDF terms allocates nothing per cell.
+    pub fn from_shared(value: Arc<str>) -> Self {
+        assert!(!value.is_empty(), "IRI must not be empty");
+        Iri(value)
+    }
+
     /// The full textual form of the IRI.
     pub fn as_str(&self) -> &str {
         &self.0
@@ -117,6 +125,15 @@ impl Literal {
     pub fn string(value: impl AsRef<str>) -> Self {
         Literal {
             lexical: Arc::from(value.as_ref()),
+            datatype: Datatype::String,
+        }
+    }
+
+    /// A plain `xsd:string` literal over an already-shared lexical form
+    /// (refcount bump, no copy) — see [`Iri::from_shared`].
+    pub fn string_shared(value: Arc<str>) -> Self {
+        Literal {
+            lexical: value,
             datatype: Datatype::String,
         }
     }

@@ -16,8 +16,13 @@ pub enum SqlError {
     Binding(String),
     /// A type rule was violated while evaluating an expression.
     Type(String),
-    /// Runtime execution failure (bad arguments, overflow treated as error…).
+    /// Runtime execution failure (bad arguments, exhausted resources…).
     Execution(String),
+    /// Integer arithmetic left the i64 range. Checked everywhere — scalar
+    /// `+`/`-`/`*`/`/`/`%`, `SUM`, and distributed partial-merge — so a
+    /// query overflows identically on one node and on a federation instead
+    /// of silently wrapping on whichever path it took.
+    Overflow(String),
     /// Referenced catalog object is missing.
     UnknownTable(String),
 }
@@ -41,6 +46,7 @@ impl fmt::Display for SqlError {
             SqlError::Binding(m) => write!(f, "binding error: {m}"),
             SqlError::Type(m) => write!(f, "type error: {m}"),
             SqlError::Execution(m) => write!(f, "execution error: {m}"),
+            SqlError::Overflow(m) => write!(f, "integer overflow: {m}"),
             SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
         }
     }

@@ -224,51 +224,79 @@ fn exec_join(
     }
 
     // Hash join: build on the right side (for LEFT joins the right side must
-    // be the build side anyway to preserve left rows).
-    let mut build: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
-    for (i, row) in right_rows.iter().enumerate() {
-        let mut key = Vec::with_capacity(equi.len());
-        let mut null_key = false;
-        for (_, rexpr) in equi {
-            let v = rexpr.eval(row)?;
-            if v.is_null() {
-                null_key = true;
-                break;
+    // be the build side anyway to preserve left rows). Keys are extracted
+    // **column-at-a-time** — one pass per equi term over each batch — so the
+    // probe loop works on contiguous key vectors; with interned text, each
+    // hash/equality is an O(1) dictionary-id operation, never a string walk.
+    let right_keys = key_columns(&right_rows, equi.iter().map(|(_, r)| r))?;
+    let left_keys = key_columns(&left_rows, equi.iter().map(|(l, _)| l))?;
+
+    let mut out = Vec::new();
+    let emit =
+        |l: &Vec<Value>, ids: &[usize], out: &mut Vec<Vec<Value>>| -> Result<bool, SqlError> {
+            let mut matched = false;
+            for &i in ids {
+                let mut joined = l.clone();
+                joined.extend(right_rows[i].iter().cloned());
+                let pass = match residual {
+                    Some(p) => p.eval(&joined)?.is_truthy(),
+                    None => true,
+                };
+                if pass {
+                    matched = true;
+                    out.push(joined);
+                }
             }
-            key.push(v);
+            Ok(matched)
+        };
+
+    if equi.len() == 1 {
+        // Single-key fast path (the dominant shape for unfolded OBDA
+        // joins): scalar keys, no per-row key-tuple allocation.
+        let rkeys = &right_keys[0];
+        let mut build: HashMap<&Value, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+        for (i, key) in rkeys.iter().enumerate() {
+            if !key.is_null() {
+                build.entry(key).or_default().push(i);
+            }
         }
-        if !null_key {
+        for (l, key) in left_rows.iter().zip(&left_keys[0]) {
+            let mut matched = false;
+            if !key.is_null() {
+                if let Some(ids) = build.get(key) {
+                    matched = emit(l, ids, &mut out)?;
+                }
+            }
+            if !matched && join_type == JoinType::Left {
+                let mut padded = l.clone();
+                padded.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(padded);
+            }
+        }
+        return Ok(out);
+    }
+
+    let key_at = |cols: &[Vec<Value>], i: usize| -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(cols.len());
+        for col in cols {
+            if col[i].is_null() {
+                return None;
+            }
+            key.push(col[i].clone());
+        }
+        Some(key)
+    };
+    let mut build: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+    for i in 0..right_rows.len() {
+        if let Some(key) = key_at(&right_keys, i) {
             build.entry(key).or_default().push(i);
         }
     }
-
-    let mut out = Vec::new();
-    for l in &left_rows {
-        let mut key = Vec::with_capacity(equi.len());
-        let mut null_key = false;
-        for (lexpr, _) in equi {
-            let v = lexpr.eval(l)?;
-            if v.is_null() {
-                null_key = true;
-                break;
-            }
-            key.push(v);
-        }
+    for (i, l) in left_rows.iter().enumerate() {
         let mut matched = false;
-        if !null_key {
+        if let Some(key) = key_at(&left_keys, i) {
             if let Some(ids) = build.get(&key) {
-                for &i in ids {
-                    let mut joined = l.clone();
-                    joined.extend(right_rows[i].iter().cloned());
-                    let pass = match residual {
-                        Some(p) => p.eval(&joined)?.is_truthy(),
-                        None => true,
-                    };
-                    if pass {
-                        matched = true;
-                        out.push(joined);
-                    }
-                }
+                matched = emit(l, ids, &mut out)?;
             }
         }
         if !matched && join_type == JoinType::Left {
@@ -278,6 +306,18 @@ fn exec_join(
         }
     }
     Ok(out)
+}
+
+/// Evaluates each key expression over the whole batch, yielding one
+/// contiguous key column per expression (NULLs stay in place; the join
+/// loops skip them).
+fn key_columns<'a>(
+    rows: &[Vec<Value>],
+    exprs: impl Iterator<Item = &'a Expr>,
+) -> Result<Vec<Vec<Value>>, SqlError> {
+    exprs
+        .map(|e| rows.iter().map(|row| e.eval(row)).collect())
+        .collect()
 }
 
 /// Builds a one-column table — handy in tests and benches.

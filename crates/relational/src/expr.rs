@@ -179,18 +179,13 @@ impl Expr {
         Expr::binary(BinOp::Eq, left, right)
     }
 
-    /// Conjunction of a non-empty expression list.
-    pub fn and_all(mut exprs: Vec<Expr>) -> Option<Expr> {
-        let first = if exprs.is_empty() {
-            return None;
-        } else {
-            exprs.remove(0)
-        };
-        Some(
-            exprs
-                .into_iter()
-                .fold(first, |acc, e| Expr::binary(BinOp::And, acc, e)),
-        )
+    /// Conjunction of a non-empty expression list. Folds by consuming the
+    /// iterator in place — no front-removal shifting, so a conjunction of
+    /// `n` terms builds in O(n).
+    pub fn and_all(exprs: Vec<Expr>) -> Option<Expr> {
+        let mut exprs = exprs.into_iter();
+        let first = exprs.next()?;
+        Some(exprs.fold(first, |acc, e| Expr::binary(BinOp::And, acc, e)))
     }
 
     /// Resolves all column names against `schema`.
@@ -493,22 +488,26 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
     // Integer arithmetic when both sides are integers (except division by
     // zero, which is NULL as in SQLite); otherwise float.
     if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        // Checked, never wrapped: i64 overflow is a typed error so single-node
+        // and distributed execution agree instead of one path silently
+        // returning a wrapped value. `/` and `%` also catch `i64::MIN / -1`.
+        let overflow = || SqlError::Overflow(format!("{a} {} {b}", op.symbol()));
         return Ok(match op {
-            BinOp::Add => Value::Int(a.wrapping_add(*b)),
-            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
-            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Add => Value::Int(a.checked_add(*b).ok_or_else(overflow)?),
+            BinOp::Sub => Value::Int(a.checked_sub(*b).ok_or_else(overflow)?),
+            BinOp::Mul => Value::Int(a.checked_mul(*b).ok_or_else(overflow)?),
             BinOp::Div => {
                 if *b == 0 {
                     Value::Null
                 } else {
-                    Value::Int(a / b)
+                    Value::Int(a.checked_div(*b).ok_or_else(overflow)?)
                 }
             }
             BinOp::Mod => {
                 if *b == 0 {
                     Value::Null
                 } else {
-                    Value::Int(a % b)
+                    Value::Int(a.checked_rem(*b).ok_or_else(overflow)?)
                 }
             }
             _ => unreachable!(),
@@ -662,6 +661,37 @@ mod tests {
         assert_eq!(e.eval(&[]).unwrap(), Value::Null);
         let f = Expr::binary(BinOp::Div, Expr::lit(1.0), Expr::lit(0.0));
         assert_eq!(f.eval(&[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn overflow_is_a_typed_error() {
+        for op in [BinOp::Add, BinOp::Mul] {
+            let e = Expr::binary(op, Expr::lit(i64::MAX), Expr::lit(2i64));
+            assert!(matches!(e.eval(&[]), Err(SqlError::Overflow(_))));
+        }
+        let e = Expr::binary(BinOp::Sub, Expr::lit(i64::MIN), Expr::lit(1i64));
+        assert!(matches!(e.eval(&[]), Err(SqlError::Overflow(_))));
+        let e = Expr::binary(BinOp::Div, Expr::lit(i64::MIN), Expr::lit(-1i64));
+        assert!(matches!(e.eval(&[]), Err(SqlError::Overflow(_))));
+    }
+
+    /// Regression for the front-removal fold: a long conjunction must build
+    /// linearly and evaluate left-to-right. (The old `remove(0)` shifted the
+    /// whole tail per unfolded disjunct's condition list.) Depth is bounded
+    /// by eval/Drop recursion on the left-deep tree, not by build cost.
+    #[test]
+    fn and_all_folds_long_chains_in_order() {
+        let n = 300;
+        let mut terms: Vec<Expr> = std::iter::repeat_n(Expr::lit(true), n).collect();
+        terms.push(Expr::lit(false));
+        let folded = Expr::and_all(terms).unwrap();
+        assert_eq!(folded.eval(&[]).unwrap(), Value::Bool(false));
+        assert!(Expr::and_all(Vec::new()).is_none());
+        // A single term folds to itself, no wrapping AND node.
+        assert_eq!(
+            Expr::and_all(vec![Expr::lit(7i64)]).unwrap(),
+            Expr::lit(7i64)
+        );
     }
 
     #[test]

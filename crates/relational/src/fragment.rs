@@ -72,12 +72,32 @@ pub struct SemiJoin {
 }
 
 impl SemiJoin {
-    /// A restriction of `column` to `values`.
-    pub fn new(column: impl Into<String>, values: Vec<Value>) -> Self {
+    /// A restriction of `column` to `values`. Values are canonically
+    /// sorted at construction: restrictions are sets, and a canonical
+    /// order makes the wire encoding (and therefore the per-worker
+    /// prepared-plan cache key) stable across rounds that learned the same
+    /// set in a different order.
+    pub fn new(column: impl Into<String>, mut values: Vec<Value>) -> Self {
+        values.sort_by(Value::total_cmp);
         SemiJoin {
             column: column.into(),
             values,
         }
+    }
+
+    /// The sorted dictionary-id slice of an all-text restriction: what
+    /// ships on the wire instead of the lexical `IN`-list. `None` when any
+    /// value is not interned text (mixed lists keep the tagged encoding).
+    pub fn id_slice(&self) -> Option<Vec<u64>> {
+        let mut ids = Vec::with_capacity(self.values.len());
+        for value in &self.values {
+            match value {
+                Value::Text(t) => ids.push(t.id()),
+                _ => return None,
+            }
+        }
+        ids.sort_unstable();
+        Some(ids)
     }
 }
 
@@ -243,9 +263,20 @@ impl PlanFragment {
             );
         }
         for semi in &self.semi_joins {
-            let _ = write!(out, "\nsemi\t{}", escape(&semi.column));
-            for value in &semi.values {
-                let _ = write!(out, "\t{}", encode_value(value));
+            // An all-text restriction (the common case: key-derived IRI
+            // lists) ships as a sorted dictionary-id slice — a fraction of
+            // the lexical `IN`-list's bytes. Anything else keeps the
+            // tagged value encoding.
+            if let Some(ids) = semi.id_slice() {
+                let _ = write!(out, "\nsemid\t{}", escape(&semi.column));
+                for id in ids {
+                    let _ = write!(out, "\t{id}");
+                }
+            } else {
+                let _ = write!(out, "\nsemi\t{}", escape(&semi.column));
+                for value in &semi.values {
+                    let _ = write!(out, "\t{}", encode_value(value));
+                }
             }
         }
         out
@@ -308,7 +339,25 @@ impl PlanFragment {
                             SqlError::Execution("semi-join column missing".into())
                         })?)?;
                     let values: Vec<Value> = fields.map(decode_value).collect::<Result<_, _>>()?;
-                    semi_joins.push(SemiJoin { column, values });
+                    semi_joins.push(SemiJoin::new(column, values));
+                }
+                Some("semid") => {
+                    let column =
+                        unescape(fields.next().ok_or_else(|| {
+                            SqlError::Execution("semi-join column missing".into())
+                        })?)?;
+                    let dict = crate::dict::TermDict::global();
+                    let values: Vec<Value> = fields
+                        .map(|c| {
+                            let id: u64 = c.parse().map_err(|_| {
+                                SqlError::Execution(format!("bad semi-join term id {c:?}"))
+                            })?;
+                            dict.resolve(id).map(Value::Text).ok_or_else(|| {
+                                SqlError::Execution(format!("unknown semi-join term id {id}"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    semi_joins.push(SemiJoin::new(column, values));
                 }
                 Some("part") => {
                     let mut field = || {
@@ -1022,67 +1071,439 @@ fn invert_restriction_value(
     }
 }
 
-/// A self-contained result relation: column names and types plus rows, with
-/// no schema qualifiers or index handles attached — exactly what survives a
-/// trip over the wire.
+/// One dictionary-encoded column of a [`ResultBatch`]: typed primitive
+/// vectors for the uniform cases, dictionary ids for text, tagged cells as
+/// the mixed-type fallback. The representation is chosen per column from
+/// the *values* (not the declared type), so a loosely-typed `ANY` column
+/// that happens to be all integers still ships as a primitive vector.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers (`None` = NULL).
+    Int(Vec<Option<i64>>),
+    /// 64-bit floats (`None` = NULL).
+    Float(Vec<Option<f64>>),
+    /// Booleans (`None` = NULL).
+    Bool(Vec<Option<bool>>),
+    /// Millisecond timestamps (`None` = NULL).
+    Timestamp(Vec<Option<i64>>),
+    /// Interned text as global-dictionary ids; id 0 = NULL. The lexical
+    /// term never touches the wire — decode resolves ids back through the
+    /// shared [`crate::dict::TermDict`] with a refcount bump.
+    Text(Vec<u64>),
+    /// Mixed-type fallback: one tagged cell per row.
+    Any(Vec<Value>),
+}
+
+impl ColumnData {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) | ColumnData::Timestamp(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Text(v) => v.len(),
+            ColumnData::Any(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds the best representation for one column of values.
+    fn from_values(values: Vec<Value>) -> ColumnData {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Kind {
+            Unknown,
+            Int,
+            Float,
+            Bool,
+            Timestamp,
+            Text,
+            Mixed,
+        }
+        let mut kind = Kind::Unknown;
+        for v in &values {
+            let this = match v {
+                Value::Null => continue,
+                Value::Int(_) => Kind::Int,
+                Value::Float(_) => Kind::Float,
+                Value::Bool(_) => Kind::Bool,
+                Value::Timestamp(_) => Kind::Timestamp,
+                Value::Text(_) => Kind::Text,
+            };
+            if kind == Kind::Unknown {
+                kind = this;
+            } else if kind != this {
+                kind = Kind::Mixed;
+                break;
+            }
+        }
+        match kind {
+            // All-NULL columns ship as the cheapest primitive form.
+            Kind::Unknown | Kind::Int => ColumnData::Int(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Int(i) => Some(i),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            Kind::Float => ColumnData::Float(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Float(f) => Some(f),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            Kind::Bool => ColumnData::Bool(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Bool(b) => Some(b),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            Kind::Timestamp => ColumnData::Timestamp(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Timestamp(t) => Some(t),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            Kind::Text => ColumnData::Text(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Text(t) => t.id(),
+                        _ => 0,
+                    })
+                    .collect(),
+            ),
+            Kind::Mixed => ColumnData::Any(values),
+        }
+    }
+
+    /// Materializes the column back into values (text ids resolve through
+    /// the global dictionary — a refcount bump per distinct term, no string
+    /// copy).
+    fn into_values(self) -> Result<Vec<Value>, SqlError> {
+        Ok(match self {
+            ColumnData::Int(v) => v
+                .into_iter()
+                .map(|c| c.map_or(Value::Null, Value::Int))
+                .collect(),
+            ColumnData::Float(v) => v
+                .into_iter()
+                .map(|c| c.map_or(Value::Null, Value::Float))
+                .collect(),
+            ColumnData::Bool(v) => v
+                .into_iter()
+                .map(|c| c.map_or(Value::Null, Value::Bool))
+                .collect(),
+            ColumnData::Timestamp(v) => v
+                .into_iter()
+                .map(|c| c.map_or(Value::Null, Value::Timestamp))
+                .collect(),
+            ColumnData::Text(ids) => {
+                let dict = crate::dict::TermDict::global();
+                ids.into_iter()
+                    .map(|id| {
+                        if id == 0 {
+                            Ok(Value::Null)
+                        } else {
+                            dict.resolve(id).map(Value::Text).ok_or_else(|| {
+                                SqlError::Execution(format!("unknown term id {id} in batch"))
+                            })
+                        }
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            ColumnData::Any(v) => v,
+        })
+    }
+}
+
+/// A self-contained result relation in **dictionary-encoded columnar**
+/// form: column names/types plus one [`ColumnData`] per column, with no
+/// schema qualifiers or index handles attached — exactly what survives a
+/// trip over the wire. Text cells travel as `u64` dictionary ids (interned
+/// once at the source, resolved once at the edge), so the wire never
+/// re-ships lexical IRIs a round already moved.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ResultBatch {
     /// Output columns in order.
     pub columns: Vec<(String, ColumnType)>,
-    /// Row-major values.
-    pub rows: Vec<Vec<Value>>,
+    /// Column-major data, one entry per column, all the same length.
+    pub data: Vec<ColumnData>,
 }
 
 impl ResultBatch {
-    /// Captures a table as a batch.
+    /// Captures a table as a columnar batch (transposes the table's
+    /// row-major storage once, at the ship boundary).
     pub fn from_table(table: &Table) -> Self {
-        ResultBatch {
-            columns: table
-                .schema
-                .columns()
-                .iter()
-                .map(|c| (c.name.clone(), c.ty))
-                .collect(),
-            rows: table.rows.clone(),
-        }
+        let columns: Vec<(String, ColumnType)> = table
+            .schema
+            .columns()
+            .iter()
+            .map(|c| (c.name.clone(), c.ty))
+            .collect();
+        let data = (0..columns.len())
+            .map(|i| ColumnData::from_values(table.rows.iter().map(|row| row[i].clone()).collect()))
+            .collect();
+        ResultBatch { columns, data }
     }
 
-    /// Rebuilds a table from the batch.
+    /// Builds a batch from row-major values (testing/bench convenience;
+    /// the shipping path uses [`from_table`](Self::from_table)).
+    pub fn from_rows(columns: Vec<(String, ColumnType)>, rows: Vec<Vec<Value>>) -> Self {
+        let data = (0..columns.len())
+            .map(|i| ColumnData::from_values(rows.iter().map(|row| row[i].clone()).collect()))
+            .collect();
+        ResultBatch { columns, data }
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.data.first().map_or(0, ColumnData::len)
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the batch's rows (text ids decode to shared terms).
+    pub fn to_rows(&self) -> Result<Vec<Vec<Value>>, SqlError> {
+        let rows = self.len();
+        let mut cols = Vec::with_capacity(self.data.len());
+        for col in &self.data {
+            cols.push(col.clone().into_values()?);
+        }
+        let mut out = vec![Vec::with_capacity(cols.len()); rows];
+        for col in cols {
+            for (row, value) in out.iter_mut().zip(col) {
+                row.push(value);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a table from the batch — the decode edge where dictionary
+    /// ids become lexical terms again.
     pub fn into_table(self) -> Result<Table, SqlError> {
         let schema = Schema::new(
             self.columns
-                .into_iter()
-                .map(|(name, ty)| Column::new(name, ty))
+                .iter()
+                .map(|(name, ty)| Column::new(name.clone(), *ty))
                 .collect(),
         );
-        Table::new(schema, self.rows)
+        let rows = self.to_rows()?;
+        Table::new(schema, rows)
     }
 
-    /// Encodes the batch for the wire.
+    /// Encodes the batch for the wire: a header line (row count + column
+    /// signature), then **one line per column** — a representation tag and
+    /// the column's packed cells. NULLs in primitive columns are empty
+    /// fields; text cells are bare dictionary ids (0 = NULL).
     pub fn encode(&self) -> String {
-        let mut out = String::from("batch");
+        let mut out = format!("cbatch\t{}", self.len());
         for (name, ty) in &self.columns {
             let _ = write!(out, "\t{}:{ty}", escape(name));
         }
         out.push('\n');
-        for row in &self.rows {
-            let cells: Vec<String> = row.iter().map(encode_value).collect();
-            out.push_str(&cells.join("\t"));
+        for col in &self.data {
+            match col {
+                ColumnData::Int(v) => {
+                    out.push('i');
+                    for c in v {
+                        out.push('\t');
+                        if let Some(i) = c {
+                            let _ = write!(out, "{i}");
+                        }
+                    }
+                }
+                ColumnData::Float(v) => {
+                    out.push('f');
+                    for c in v {
+                        out.push('\t');
+                        if let Some(f) = c {
+                            // `{:?}` keeps full f64 precision (shortest
+                            // round-trippable form).
+                            let _ = write!(out, "{f:?}");
+                        }
+                    }
+                }
+                ColumnData::Bool(v) => {
+                    out.push('b');
+                    for c in v {
+                        out.push('\t');
+                        if let Some(b) = c {
+                            out.push(if *b { '1' } else { '0' });
+                        }
+                    }
+                }
+                ColumnData::Timestamp(v) => {
+                    out.push('s');
+                    for c in v {
+                        out.push('\t');
+                        if let Some(t) = c {
+                            let _ = write!(out, "{t}");
+                        }
+                    }
+                }
+                ColumnData::Text(ids) => {
+                    out.push('d');
+                    for id in ids {
+                        let _ = write!(out, "\t{id}");
+                    }
+                }
+                ColumnData::Any(v) => {
+                    out.push('a');
+                    for value in v {
+                        let _ = write!(out, "\t{}", encode_value(value));
+                    }
+                }
+            }
             out.push('\n');
         }
         out
     }
 
-    /// Decodes a batch off the wire.
+    /// Encodes the batch in the seed's row-major tagged form. Kept as the
+    /// measured baseline for the columnar-wire bench (`exp_columnar_wire`);
+    /// [`decode`](Self::decode) still accepts it.
+    pub fn encode_row_major(&self) -> Result<String, SqlError> {
+        let mut out = String::from("batch");
+        for (name, ty) in &self.columns {
+            let _ = write!(out, "\t{}:{ty}", escape(name));
+        }
+        out.push('\n');
+        for row in self.to_rows()? {
+            let cells: Vec<String> = row.iter().map(encode_value).collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Decodes a batch off the wire — the columnar `cbatch` form, or the
+    /// legacy row-major `batch` form.
     pub fn decode(wire: &str) -> Result<Self, SqlError> {
         let mut lines = wire.lines();
         let header = lines
             .next()
             .ok_or_else(|| SqlError::Execution("empty result batch".into()))?;
         let mut fields = header.split('\t');
-        if fields.next() != Some("batch") {
+        let tag = fields.next();
+        if tag == Some("batch") {
+            return Self::decode_row_major(fields, lines);
+        }
+        if tag != Some("cbatch") {
             return Err(SqlError::Execution("not a result batch".into()));
         }
+        let rows: usize = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SqlError::Execution("batch row count missing".into()))?;
+        let mut columns = Vec::new();
+        for field in fields {
+            let (name, ty) = field
+                .rsplit_once(':')
+                .ok_or_else(|| SqlError::Execution(format!("bad column field {field:?}")))?;
+            columns.push((unescape(name)?, decode_type(ty)?));
+        }
+        let mut data = Vec::with_capacity(columns.len());
+        for line in lines {
+            let bad = |what: &str| SqlError::Execution(format!("bad {what} in column line"));
+            let mut cells = line.split('\t');
+            let tag = cells.next().unwrap_or_default();
+            let col = match tag {
+                "i" => ColumnData::Int(
+                    cells
+                        .map(|c| {
+                            if c.is_empty() {
+                                Ok(None)
+                            } else {
+                                c.parse().map(Some).map_err(|_| bad("int"))
+                            }
+                        })
+                        .collect::<Result<_, _>>()?,
+                ),
+                "f" => ColumnData::Float(
+                    cells
+                        .map(|c| {
+                            if c.is_empty() {
+                                Ok(None)
+                            } else {
+                                c.parse().map(Some).map_err(|_| bad("float"))
+                            }
+                        })
+                        .collect::<Result<_, _>>()?,
+                ),
+                "b" => ColumnData::Bool(
+                    cells
+                        .map(|c| match c {
+                            "" => Ok(None),
+                            "1" => Ok(Some(true)),
+                            "0" => Ok(Some(false)),
+                            _ => Err(bad("bool")),
+                        })
+                        .collect::<Result<_, _>>()?,
+                ),
+                "s" => ColumnData::Timestamp(
+                    cells
+                        .map(|c| {
+                            if c.is_empty() {
+                                Ok(None)
+                            } else {
+                                c.parse().map(Some).map_err(|_| bad("timestamp"))
+                            }
+                        })
+                        .collect::<Result<_, _>>()?,
+                ),
+                "d" => ColumnData::Text(
+                    cells
+                        .map(|c| c.parse().map_err(|_| bad("term id")))
+                        .collect::<Result<_, _>>()?,
+                ),
+                "a" => ColumnData::Any(cells.map(decode_value).collect::<Result<_, _>>()?),
+                other => {
+                    return Err(SqlError::Execution(format!(
+                        "unknown column representation {other:?}"
+                    )))
+                }
+            };
+            if col.len() != rows {
+                return Err(SqlError::Execution(format!(
+                    "column length {} does not match batch row count {rows}",
+                    col.len()
+                )));
+            }
+            data.push(col);
+        }
+        if data.len() != columns.len() {
+            return Err(SqlError::Execution(format!(
+                "batch has {} column lines for {} columns",
+                data.len(),
+                columns.len()
+            )));
+        }
+        Ok(ResultBatch { columns, data })
+    }
+
+    /// Decodes the legacy row-major form (`batch` header already consumed).
+    fn decode_row_major<'a>(
+        fields: impl Iterator<Item = &'a str>,
+        lines: impl Iterator<Item = &'a str>,
+    ) -> Result<Self, SqlError> {
         let mut columns = Vec::new();
         for field in fields {
             let (name, ty) = field
@@ -1108,7 +1529,7 @@ impl ResultBatch {
             }
             rows.push(row);
         }
-        Ok(ResultBatch { columns, rows })
+        Ok(ResultBatch::from_rows(columns, rows))
     }
 }
 
@@ -1769,27 +2190,156 @@ mod tests {
 
     #[test]
     fn float_precision_survives_the_wire() {
-        let batch = ResultBatch {
-            columns: vec![("x".into(), ColumnType::Float)],
-            rows: vec![vec![Value::Float(1.0 / 3.0)], vec![Value::Float(1e300)]],
-        };
+        let batch = ResultBatch::from_rows(
+            vec![("x".into(), ColumnType::Float)],
+            vec![vec![Value::Float(1.0 / 3.0)], vec![Value::Float(1e300)]],
+        );
         let decoded = ResultBatch::decode(&batch.encode()).unwrap();
-        assert_eq!(decoded.rows, batch.rows);
+        assert_eq!(decoded, batch);
+        assert_eq!(
+            decoded.to_rows().unwrap(),
+            vec![vec![Value::Float(1.0 / 3.0)], vec![Value::Float(1e300)]]
+        );
     }
 
     #[test]
     fn empty_batch_round_trip() {
-        let batch = ResultBatch {
-            columns: vec![("only".into(), ColumnType::Int)],
-            rows: vec![],
-        };
+        let batch = ResultBatch::from_rows(vec![("only".into(), ColumnType::Int)], vec![]);
         assert_eq!(ResultBatch::decode(&batch.encode()).unwrap(), batch);
+        assert!(batch.is_empty());
     }
 
     #[test]
     fn arity_mismatch_rejected() {
+        // Legacy row-major form: short row.
         assert!(ResultBatch::decode("batch\ta:INT\ti1\ti2").is_err());
         let wire = "batch\ta:INT\tb:INT\ni1\n";
         assert!(ResultBatch::decode(wire).is_err());
+        // Columnar form: column shorter than the declared row count, and a
+        // missing column line.
+        assert!(ResultBatch::decode("cbatch\t2\ta:INT\ni\t1\n").is_err());
+        assert!(ResultBatch::decode("cbatch\t1\ta:INT\tb:INT\ni\t1\n").is_err());
+    }
+
+    /// Text columns ship dictionary ids, not lexical terms: the wire line
+    /// for a text column is digits only, and decode resolves the ids back
+    /// to the exact interned strings.
+    #[test]
+    fn text_columns_ship_dictionary_ids() {
+        let iri = "http://example.org/sensor/wire-id-test";
+        let t = table_of(
+            "r",
+            &[("s", ColumnType::Text)],
+            vec![vec![Value::text(iri)], vec![Value::Null]],
+        )
+        .unwrap();
+        let batch = ResultBatch::from_table(&t);
+        let wire = batch.encode();
+        assert!(
+            !wire.contains("example.org"),
+            "lexical term must not cross the wire: {wire:?}"
+        );
+        let id = match &batch.data[0] {
+            ColumnData::Text(ids) => ids[0],
+            other => panic!("expected a text column, got {other:?}"),
+        };
+        assert!(wire.contains(&format!("d\t{id}\t0")), "{wire:?}");
+        let back = ResultBatch::decode(&wire).unwrap().into_table().unwrap();
+        assert_eq!(back.rows, t.rows);
+    }
+
+    /// The row-major legacy encoding is still accepted by `decode` and
+    /// describes the same relation — the baseline the columnar-wire bench
+    /// compares byte counts against.
+    #[test]
+    fn legacy_row_major_encoding_round_trips() {
+        let t = table_of(
+            "r",
+            &[("s", ColumnType::Text), ("n", ColumnType::Int)],
+            vec![
+                vec![Value::text("http://example.org/a"), Value::Int(1)],
+                vec![Value::Null, Value::Null],
+            ],
+        )
+        .unwrap();
+        let batch = ResultBatch::from_table(&t);
+        let legacy = batch.encode_row_major().unwrap();
+        assert!(legacy.contains("example.org"), "legacy ships lexical text");
+        let decoded = ResultBatch::decode(&legacy).unwrap();
+        assert_eq!(decoded, batch);
+        assert!(
+            batch.encode().len() < legacy.len(),
+            "columnar wire must be smaller than the row-major baseline"
+        );
+    }
+
+    /// A column whose values mix variants falls back to tagged cells and
+    /// still round-trips exactly.
+    #[test]
+    fn mixed_type_columns_round_trip() {
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::text("two")],
+            vec![Value::Bool(true)],
+            vec![Value::Null],
+        ];
+        let batch = ResultBatch::from_rows(vec![("v".into(), ColumnType::Any)], rows.clone());
+        assert!(matches!(batch.data[0], ColumnData::Any(_)));
+        let decoded = ResultBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded, batch);
+        assert_eq!(decoded.to_rows().unwrap(), rows);
+    }
+
+    /// `PROPTEST_CASES` dials generative coverage, as in the integration
+    /// suites (tests/common reads the same variable).
+    fn proptest_cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig { cases: proptest_cases() })]
+
+        /// Satellite coverage: columnar encode → decode is the identity
+        /// over generated batches — NULLs, every variant, mixed-type
+        /// columns, empty batches — and materialized rows match the
+        /// originals exactly.
+        #[test]
+        fn columnar_wire_round_trip(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0u8..6, 1..5),
+                0..12,
+            ),
+            seed in 0u64..u64::MAX,
+        ) {
+            // Shape the raw matrix into a rectangle: the first row fixes
+            // the arity; every row is cycled/truncated to it.
+            let arity = raw.first().map_or(1, Vec::len);
+            let value_of = |tag: u8, r: usize, c: usize| match tag {
+                0 => Value::Null,
+                1 => Value::Int((seed as i64).wrapping_add((r * 7 + c) as i64)),
+                2 => Value::Float((seed % 1000) as f64 / 3.0 + r as f64),
+                3 => Value::text(format!("term-{seed}-{}", (r + c) % 5)),
+                4 => Value::Bool((r + c).is_multiple_of(2)),
+                _ => Value::Timestamp((seed % 1_000_000) as i64 + r as i64),
+            };
+            let rows: Vec<Vec<Value>> = raw
+                .iter()
+                .enumerate()
+                .map(|(r, tags)| {
+                    (0..arity)
+                        .map(|c| value_of(tags[c % tags.len()], r, c))
+                        .collect()
+                })
+                .collect();
+            let columns: Vec<(String, ColumnType)> =
+                (0..arity).map(|i| (format!("c{i}"), ColumnType::Any)).collect();
+            let batch = ResultBatch::from_rows(columns, rows.clone());
+            let decoded = ResultBatch::decode(&batch.encode()).unwrap();
+            proptest::prop_assert_eq!(&decoded, &batch);
+            proptest::prop_assert_eq!(decoded.to_rows().unwrap(), rows);
+        }
     }
 }

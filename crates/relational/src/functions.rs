@@ -301,7 +301,13 @@ impl AggState {
                     Value::Int(i) => {
                         *total += *i as f64;
                         if *all_int {
-                            *int_total = int_total.wrapping_add(*i);
+                            // Checked: an integer SUM that leaves i64 is a
+                            // typed overflow error, not a silent wrap — the
+                            // float shadow total would otherwise mask it with
+                            // a rounded result on one execution path only.
+                            *int_total = int_total.checked_add(*i).ok_or_else(|| {
+                                SqlError::Overflow(format!("SUM accumulator + {i}"))
+                            })?;
                         }
                     }
                     other => {

@@ -25,6 +25,7 @@
 //! * [`stats`] — the [`StatsCatalog`] of per-table row counts and distinct
 //!   estimates that feeds the OBDA planner's join ordering.
 
+pub mod dict;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -40,6 +41,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use dict::{DictSnapshot, Term, TermDict};
 pub use error::SqlError;
 pub use exec::execute;
 pub use expr::Expr;

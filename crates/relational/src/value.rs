@@ -2,7 +2,8 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
+
+use crate::dict::Term;
 
 /// A runtime SQL value.
 ///
@@ -16,8 +17,11 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// UTF-8 text; `Arc` keeps row cloning cheap.
-    Text(Arc<str>),
+    /// UTF-8 text, interned in the global [`crate::dict::TermDict`]: the
+    /// `Term` derefs to `str`, clones by bumping a refcount, and
+    /// equals/hashes through its dictionary id (O(1), no string hashing
+    /// on join/`IN`-set probes).
+    Text(Term),
     /// Boolean.
     Bool(bool),
     /// Instant in integer milliseconds since the epoch.
@@ -25,9 +29,10 @@ pub enum Value {
 }
 
 impl Value {
-    /// Text constructor.
+    /// Text constructor: interns `s` once; equal texts share one id and
+    /// one allocation process-wide.
     pub fn text(s: impl AsRef<str>) -> Self {
-        Value::Text(Arc::from(s.as_ref()))
+        Value::Text(Term::intern(s.as_ref()))
     }
 
     /// True when NULL.
@@ -161,6 +166,8 @@ impl std::hash::Hash for Value {
                 canonical.to_bits().hash(state);
             }
             Value::Text(s) => {
+                // Interned: hashing the dictionary id is equality-consistent
+                // (same text ⇔ same id) and skips the string walk.
                 2u8.hash(state);
                 s.hash(state);
             }

@@ -34,7 +34,7 @@
 
 use optique_mapping::{unfold_ucq, MappingCatalog, UnfoldSettings};
 use optique_ontology::Ontology;
-use optique_rdf::{Literal, Term};
+use optique_rdf::{Iri, Literal, Term};
 use optique_relational::parser::SelectStatement;
 use optique_relational::{
     expr::BinOp, expr::UnaryOp, Database, Expr, PlanFragment, SemiJoin, StatsCatalog, Table, Value,
@@ -845,10 +845,12 @@ pub fn value_to_term(value: &Value) -> Option<Term> {
         Value::Bool(b) => Some(Term::Literal(Literal::boolean(*b))),
         Value::Timestamp(t) => Some(Term::Literal(Literal::datetime_millis(*t))),
         Value::Text(s) => {
+            // Interned text decodes zero-copy: the RDF term shares the
+            // dictionary's allocation instead of copying per result cell.
             if s.contains("://") || s.starts_with("urn:") {
-                Some(Term::iri(s.as_ref()))
+                Some(Term::Iri(Iri::from_shared(s.text_arc())))
             } else {
-                Some(Term::Literal(Literal::string(s.as_ref())))
+                Some(Term::Literal(Literal::string_shared(s.text_arc())))
             }
         }
     }

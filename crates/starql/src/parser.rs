@@ -735,7 +735,7 @@ impl Parser {
             return Err(self.err("comma-separated operands only valid in state comparisons".into()));
         }
         Ok(ProtoFormula::Cmp {
-            left: list.remove(0),
+            left: list.into_iter().next().expect("len checked above"),
             op,
             right,
         })
@@ -936,6 +936,41 @@ mod tests {
             }
         }
         assert!(find_stateless(&formula));
+    }
+
+    /// Regression for the comparison-list fold: a long comma chain of state
+    /// variables parses into one StateLess with every operand in order, and
+    /// a plain value comparison still lands in Cmp.
+    #[test]
+    fn long_state_comparison_chain_parses_in_order() {
+        let n = 32;
+        let vars: Vec<String> = (0..n).map(|i| format!("?s{i}")).collect();
+        let text = format!(
+            r#"
+            PREFIX sie: <http://siemens.example/ontology#>
+            CREATE STREAM s AS
+            CONSTRUCT GRAPH NOW {{ ?x a sie:Alert }}
+            FROM STREAM S [NOW-"PT1S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE {{ ?x sie:hasValue ?v }}
+            SEQUENCE BY StdSeq AS seq
+            HAVING EXISTS {} IN seq: {} < {}
+            "#,
+            vars.join(", "),
+            vars[..n - 1].join(", "),
+            vars[n - 1],
+        );
+        let q = parse_starql(&text, &ns()).unwrap();
+        let formula = expand(&q.having, &q.aggregates).unwrap();
+        let crate::having::HavingFormula::Exists { state_vars, body } = &formula else {
+            panic!("expected EXISTS, got {formula:?}")
+        };
+        assert_eq!(state_vars.len(), n);
+        let crate::having::HavingFormula::StateLess { left, right } = body.as_ref() else {
+            panic!("expected StateLess, got {body:?}")
+        };
+        let names: Vec<String> = (0..n - 1).map(|i| format!("s{i}")).collect();
+        assert_eq!(left, &names);
+        assert_eq!(right, &format!("s{}", n - 1));
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Integer-overflow semantics: arithmetic and SUM that leave the i64 range
+//! must raise a typed [`SqlError::Overflow`] — never wrap — and they must do
+//! so identically on a single node and on the distributed path (worker
+//! partials + partial-merge), so answers can't silently diverge by topology.
+
+use optique_exastream::cluster::{hash_partition, Cluster};
+use optique_exastream::exchange::{merge_partial_aggregates, MergeOp};
+use optique_relational::{Column, ColumnType, Database, Schema, SqlError, Table, Value};
+
+/// A table of one INT column `v` holding `values`, keyed for partitioning by
+/// a leading `k` column.
+fn int_db(values: &[i64]) -> Database {
+    let schema = Schema::new(vec![
+        Column::new("k", ColumnType::Int),
+        Column::new("v", ColumnType::Int),
+    ]);
+    let rows = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| vec![Value::Int(i as i64), Value::Int(v)])
+        .collect();
+    let mut db = Database::new();
+    db.put_table("t", Table::new(schema, rows).unwrap());
+    db
+}
+
+fn cluster_of(db: &Database, workers: usize) -> Cluster {
+    let t = (**db.table("t").unwrap()).clone();
+    let shards = hash_partition(&t, 0, workers);
+    Cluster::provision(workers, |id| {
+        let mut wdb = Database::new();
+        wdb.put_table("t", shards[id].clone());
+        wdb
+    })
+}
+
+/// Scalar `+` on i64::MAX overflows with the typed error on both paths.
+#[test]
+fn scalar_add_overflow_is_typed_and_topology_independent() {
+    let db = int_db(&[1, i64::MAX]);
+    let sql = "SELECT v + 1 AS w FROM t";
+
+    let single = optique_relational::exec::query(sql, &db).unwrap_err();
+    assert!(matches!(single, SqlError::Overflow(_)), "got {single}");
+
+    let distributed = cluster_of(&db, 2).parallel_query(sql).unwrap_err();
+    assert!(
+        matches!(distributed, SqlError::Overflow(_)),
+        "got {distributed}"
+    );
+}
+
+/// `i64::MIN / -1` and `i64::MIN % -1` are the division-shaped overflows;
+/// division by zero stays NULL (SQLite semantics), not an error.
+#[test]
+fn division_edge_cases() {
+    let db = int_db(&[i64::MIN]);
+    for sql in ["SELECT v / -1 AS w FROM t", "SELECT v % -1 AS w FROM t"] {
+        let err = optique_relational::exec::query(sql, &db).unwrap_err();
+        assert!(matches!(err, SqlError::Overflow(_)), "{sql}: got {err}");
+    }
+    let null = optique_relational::exec::query("SELECT v / 0 AS w FROM t", &db).unwrap();
+    assert_eq!(null.rows[0][0], Value::Null);
+}
+
+/// Integer SUM overflow: on one node the accumulator overflows; distributed,
+/// each worker's partial fits but the merge overflows. Both must surface the
+/// same typed error — the differential oracle for satellite semantics.
+#[test]
+fn sum_overflow_matches_between_single_node_and_merge() {
+    let db = int_db(&[i64::MAX, i64::MAX]);
+    let sql = "SELECT SUM(v) AS s FROM t";
+
+    let single = optique_relational::exec::query(sql, &db).unwrap_err();
+    assert!(matches!(single, SqlError::Overflow(_)), "got {single}");
+
+    // Two workers, one MAX row each: worker partials succeed…
+    let partials = cluster_of(&db, 2).parallel_query(sql).unwrap();
+    assert!(partials
+        .iter()
+        .all(|t| t.rows[0][0] == Value::Int(i64::MAX)));
+    // …and the global combine is where the overflow must reappear.
+    let merged = merge_partial_aggregates(partials, 0, &[MergeOp::Sum]).unwrap_err();
+    assert!(matches!(merged, SqlError::Overflow(_)), "got {merged}");
+}
+
+/// Sums that stay in range keep returning exact integers (no float detour).
+#[test]
+fn in_range_sum_stays_exact_int() {
+    let db = int_db(&[i64::MAX - 10, 7]);
+    let sql = "SELECT SUM(v) AS s FROM t";
+    let t = optique_relational::exec::query(sql, &db).unwrap();
+    assert_eq!(t.rows[0][0], Value::Int(i64::MAX - 3));
+}
