@@ -1,0 +1,190 @@
+//! Novelty-overlay write-latency smoke check: incremental writes must
+//! beat stop-the-world rebuilds by a wide margin on a write-heavy mix.
+//!
+//! A closed-loop 90/10 read/write workload (every 10th op appends one row
+//! to a large base table, the rest answer a cached SPARQL probe) runs at
+//! 1 and 4 client threads under both write policies on an otherwise
+//! identical deployment. Under `StopTheWorld` every insert clones and
+//! re-analyzes the big table inside the critical section; under the
+//! default `NoveltyOverlay` the row lands in the in-memory novelty log
+//! and the base catalog `Arc` stays put. Fails (nonzero exit) unless the
+//! overlay's write p95 beats stop-the-world's by at least [`GATE`]× at
+//! every fleet size. The deferred cost — one `merge_now` fold at the end
+//! — is reported alongside, so the trade is visible, not hidden.
+//!
+//! CI runs this after the test suites; locally:
+//! `cargo run --release -p optique-bench --bin exp_novelty_writes`.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use optique::{OptiquePlatform, WritePolicy};
+use optique_mapping::{MappingAssertion, MappingCatalog, TermMap};
+use optique_ontology::Ontology;
+use optique_rdf::Iri;
+use optique_relational::{table::table_of, ColumnType, Database, Value};
+use optique_siemens::SiemensDeployment;
+
+/// Rows in the big table every write path has to cope with — large enough
+/// that a stop-the-world clone+analyze is decisively more work than an
+/// overlay append.
+const BASE_ROWS: i64 = 100_000;
+/// Ops per client thread; every 10th is a write (the 90/10 mix).
+const OPS: usize = 200;
+/// Client fleet sizes measured, in order.
+const FLEETS: [usize; 2] = [1, 4];
+/// Required overlay-vs-stop-the-world write-p95 advantage.
+const GATE: u64 = 5;
+
+const PROBE_QUERY: &str = "SELECT ?x WHERE { ?x a <http://x/Probe> }";
+
+/// A deployment with one big relational table (the write target) and one
+/// small mapped table (the read probe — cheap, so the loop is genuinely
+/// write-bound under stop-the-world).
+fn bench_platform() -> OptiquePlatform {
+    let mut db = Database::new();
+    db.put_table(
+        "readings",
+        table_of(
+            "readings",
+            &[("rid", ColumnType::Int), ("val", ColumnType::Int)],
+            (0..BASE_ROWS)
+                .map(|k| vec![Value::Int(k), Value::Int(k % 997)])
+                .collect(),
+        )
+        .expect("valid table"),
+    );
+    db.put_table(
+        "probes",
+        table_of(
+            "probes",
+            &[("pid", ColumnType::Int)],
+            (0..64).map(|k| vec![Value::Int(k)]).collect(),
+        )
+        .expect("valid table"),
+    );
+    let mut catalog = MappingCatalog::new();
+    catalog
+        .add(
+            MappingAssertion::class(
+                "probe",
+                Iri::new("http://x/Probe"),
+                "SELECT pid FROM probes",
+                TermMap::template("http://x/obj/{pid}"),
+            )
+            .with_key(vec!["pid".into()]),
+        )
+        .expect("valid mapping");
+    catalog
+        .add(
+            MappingAssertion::property(
+                "reading-val",
+                Iri::new("http://x/hasVal"),
+                "SELECT rid, val FROM readings",
+                TermMap::template("http://x/reading/{rid}"),
+                TermMap::column("val", optique_rdf::Datatype::Integer),
+            )
+            .with_key(vec!["rid".into()]),
+        )
+        .expect("valid mapping");
+    let siemens = SiemensDeployment::small();
+    OptiquePlatform::deploy(
+        db,
+        Ontology::new(),
+        siemens.namespaces,
+        catalog,
+        siemens.stream_to_rdf,
+    )
+}
+
+fn p95(latencies: &mut [u64]) -> u64 {
+    latencies.sort_unstable();
+    latencies[(latencies.len() * 95 / 100).min(latencies.len() - 1)]
+}
+
+/// Runs the 90/10 closed loop at `clients` threads under `policy`;
+/// returns `(write p95 µs, read p95 µs, merge µs)`.
+fn run(policy: WritePolicy, clients: usize) -> (u64, u64, u64) {
+    let p = Arc::new(bench_platform());
+    p.set_write_policy(policy).expect("policy switch");
+    // Isolate pure append latency: the fold runs once at the end, metered
+    // separately, instead of ambushing a mid-window write.
+    p.set_merge_threshold(usize::MAX / 2);
+    p.query_static(PROBE_QUERY).expect("warmup");
+    let writes = Mutex::new(Vec::new());
+    let reads = Mutex::new(Vec::new());
+    let barrier = Barrier::new(clients);
+    std::thread::scope(|scope| {
+        for t in 0..clients {
+            let p = &p;
+            let writes = &writes;
+            let reads = &reads;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut my_writes = Vec::new();
+                let mut my_reads = Vec::new();
+                barrier.wait();
+                for i in 0..OPS {
+                    let started = Instant::now();
+                    if i % 10 == 0 {
+                        let rid = BASE_ROWS + (t * OPS + i) as i64;
+                        let row = vec![Value::Int(rid), Value::Int(rid % 997)];
+                        assert_eq!(p.insert_static("readings", vec![row]).unwrap(), 1);
+                        my_writes.push(started.elapsed().as_micros() as u64);
+                    } else {
+                        let results = p.query_static(PROBE_QUERY).unwrap();
+                        assert_eq!(results.len(), 64);
+                        my_reads.push(started.elapsed().as_micros() as u64);
+                    }
+                }
+                writes.lock().unwrap().extend(my_writes);
+                reads.lock().unwrap().extend(my_reads);
+            });
+        }
+    });
+    let merge_started = Instant::now();
+    let folded = p.merge_now().expect("merge");
+    let merge_us = merge_started.elapsed().as_micros() as u64;
+    if policy == WritePolicy::NoveltyOverlay {
+        assert_eq!(
+            folded,
+            clients * OPS / 10,
+            "every append folds exactly once"
+        );
+    }
+    // The folded catalog carries every write either way.
+    let total = p.db().table("readings").expect("readings").rows.len();
+    assert_eq!(total, BASE_ROWS as usize + clients * OPS / 10);
+    let write_p95 = p95(&mut writes.lock().unwrap());
+    let read_p95 = p95(&mut reads.lock().unwrap());
+    (write_p95, read_p95, merge_us)
+}
+
+fn main() {
+    println!(
+        "# novelty writes — 90/10 closed loop over a {BASE_ROWS}-row table, \
+         {OPS} ops/client"
+    );
+    println!("| clients | policy | write p95 (µs) | read p95 (µs) | merge (µs) |");
+    println!("|--------:|:-------|---------------:|--------------:|-----------:|");
+    let mut ok = true;
+    for &clients in &FLEETS {
+        let (stw_w, stw_r, stw_m) = run(WritePolicy::StopTheWorld, clients);
+        let (nov_w, nov_r, nov_m) = run(WritePolicy::NoveltyOverlay, clients);
+        println!("| {clients} | stop-the-world | {stw_w} | {stw_r} | {stw_m} |");
+        println!("| {clients} | novelty-overlay | {nov_w} | {nov_r} | {nov_m} |");
+        let speedup = stw_w as f64 / nov_w.max(1) as f64;
+        println!("\noverlay write p95 is {speedup:.1}x faster at {clients} client(s)\n");
+        if nov_w.saturating_mul(GATE) > stw_w {
+            eprintln!(
+                "FAIL: overlay write p95 {nov_w} µs not {GATE}x under \
+                 stop-the-world {stw_w} µs at {clients} client(s)"
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("OK: overlay writes beat stop-the-world by >= {GATE}x at every fleet size");
+}

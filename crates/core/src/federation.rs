@@ -43,8 +43,8 @@ use optique_exastream::cluster::hash_partition;
 use optique_exastream::{Cluster, Gateway, StaticFragment};
 use optique_mapping::MappingCatalog;
 use optique_relational::{
-    shard_compatibility, Database, PartitionSpec, PlanFragment, ShardCompatibility, StatsCatalog,
-    Table,
+    shard_compatibility, Database, NoveltyScope, PartitionSpec, PlanFragment, ShardCompatibility,
+    StatsCatalog, Table,
 };
 use optique_sparql::{FragmentExecutor, FragmentRound};
 
@@ -97,12 +97,14 @@ impl Federation {
     ) -> Result<Self, String> {
         // Shard each partitioned table by its key column.
         let mut shard_sets: Vec<(String, Vec<Table>)> = Vec::with_capacity(partition.len());
+        let mut key_columns: std::collections::HashMap<String, usize> = Default::default();
         for (table, key) in partition {
             let t = db.table(table).map_err(|e| e.to_string())?;
             let col = t
                 .schema
                 .index_of(key)
                 .ok_or_else(|| format!("no column {key} on partitioned table {table}"))?;
+            key_columns.insert(table.clone(), col);
             shard_sets.push((table.clone(), hash_partition(t, col, workers)));
         }
         let cluster = Arc::new(Cluster::provision(workers, |id| {
@@ -110,6 +112,15 @@ impl Federation {
             for (table, shards) in &shard_sets {
                 worker_db.put_table(table.clone(), shards[id].clone());
             }
+            // A partitioned worker sees only the novelty-overlay rows that
+            // hash to its shard for the keyed tables (replicated tables'
+            // overlay rows stay fully visible) — a scatter round then
+            // covers each appended row exactly once, like the base shards.
+            worker_db.set_novelty_scope(Some(Arc::new(NoveltyScope {
+                shard: id,
+                shards: workers,
+                keys: key_columns.clone(),
+            })));
             worker_db
         }));
         Ok(Federation {
@@ -832,6 +843,39 @@ mod tests {
         assert!(round.shards_pruned >= 6, "8 shards, ≤ 2 targets: {round:?}");
         assert_eq!(canon(&round.tables[0]), canon(&local));
         assert!(!round.tables[0].rows.is_empty());
+    }
+
+    /// A scatter round pinned at a novelty epoch gathers each overlay row
+    /// exactly once: partitioned workers slice the overlay by the same
+    /// hash as the base shards, while replicated pools (one worker answers)
+    /// see the full overlay.
+    #[test]
+    fn scatter_covers_novelty_rows_exactly_once() {
+        use optique_relational::NoveltyOverlay;
+        let db = db();
+        let overlay = NoveltyOverlay::empty().with_rows(
+            "sensors",
+            (100..110)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+                .collect(),
+        );
+        let pinned =
+            || PlanFragment::new(0, "SELECT sid FROM sensors", 1.0).at_epoch(overlay.epoch());
+
+        let partitioned = sensors_by_sid(Arc::clone(&db), 4);
+        let round = partitioned.execute(vec![pinned()]).unwrap();
+        assert_eq!(round.partitioned_fragments, 1, "the scan scattered");
+        let distinct: std::collections::HashSet<i64> = round.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(round.tables[0].len(), 110, "no overlay row duplicated");
+        assert_eq!(distinct.len(), 110, "no overlay row missed");
+
+        let replicated = Federation::replicated(Arc::clone(&db), 4);
+        let round = replicated.execute(vec![pinned()]).unwrap();
+        assert_eq!(round.tables[0].len(), 110);
     }
 
     /// The restriction budget widens only for pools that can slice lists

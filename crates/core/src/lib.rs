@@ -34,5 +34,6 @@ pub type StaticFederation = Federation;
 pub use optique_sparql::SparqlResults;
 pub use platform::{
     CacheInvalidation, FleetReport, OptiquePlatform, PlatformSnapshot, RegisteredStarQl,
+    WritePolicy,
 };
 pub use server::{Client, Request, Response, Server, ServerConfig, ServerError, TenantQuota};

@@ -12,6 +12,24 @@
 //! ([`insert_static`](OptiquePlatform::insert_static)) build the next
 //! snapshot, invalidate the BGP cache and drop the federation pools while
 //! still holding the write lock, then publish everything with one swap.
+//!
+//! # Incremental writes
+//!
+//! Under the default [`WritePolicy::NoveltyOverlay`], `insert_static` does
+//! **not** rebuild the catalog: appended rows land in an immutable
+//! per-table novelty log ([`optique_relational::NoveltyOverlay`]) swapped
+//! in alongside the *same* base catalog `Arc` — so federation pools stay
+//! valid, statistics take an O(1) row-count delta, and the BGP cache keeps
+//! every entry whose tables were untouched (per-table write versions,
+//! [`optique_sparql::TableVersions`]). Scans merge base + overlay; plan
+//! fragments pin the overlay's epoch on the wire so every worker in a
+//! round resolves the same overlay. A merge
+//! ([`merge_now`](OptiquePlatform::merge_now), or automatic past
+//! [`set_merge_threshold`](OptiquePlatform::set_merge_threshold)) folds
+//! the log into the base tables, re-analyzes only the touched tables'
+//! statistics, and drops the pools so the next distributed query
+//! re-partitions over the folded shards. [`WritePolicy::StopTheWorld`]
+//! restores the old rebuild-everything write path exactly.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -20,12 +38,13 @@ use optique_bootstrap::{bootstrap_direct, BootstrapSettings, RelationalSchema};
 use optique_mapping::MappingCatalog;
 use optique_ontology::Ontology;
 use optique_rdf::Namespaces;
-use optique_relational::{Database, DictSnapshot, StatsCatalog, TermDict, Value};
+use optique_relational::{Database, DictSnapshot, NoveltyOverlay, StatsCatalog, TermDict, Value};
 use optique_rewrite::RewriteSettings;
 use optique_siemens::{DiagnosticTask, SiemensDeployment};
 use optique_sparql::{
     parse_sparql, BgpCache, GroupPattern, PatternElement, PipelineStats, PlannerSettings,
     Projection, Query, SelectItem, SelectQuery, SolutionModifier, SparqlResults, StaticPipeline,
+    TableVersions,
 };
 use optique_starql::{
     parse_starql, translate, ContinuousQuery, StreamToRdf, TickOutput, TranslationContext,
@@ -76,6 +95,22 @@ pub enum CacheInvalidation {
     FullClear,
 }
 
+/// How [`insert_static`](OptiquePlatform::insert_static) publishes rows.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WritePolicy {
+    /// Append to the in-memory novelty overlay: the base catalog `Arc` is
+    /// untouched, so federation pools survive, stats take a row-count
+    /// delta, and versioned BGP-cache entries over other tables stay warm.
+    /// A merge (explicit or threshold-driven) folds the overlay into the
+    /// base — the default.
+    #[default]
+    NoveltyOverlay,
+    /// Rebuild the written table (clone + append), re-analyze its stats,
+    /// and drop the pools inside the critical section — the original
+    /// write path, kept for comparison and as the conservative fallback.
+    StopTheWorld,
+}
+
 /// The conciseness report behind experiment E3: one STARQL text versus the
 /// fleet of low-level queries it replaces.
 #[derive(Clone, Debug)]
@@ -97,8 +132,23 @@ pub struct FleetReport {
 /// readers keep a coherent (if momentarily stale) world.
 #[derive(Clone)]
 pub struct PlatformSnapshot {
-    /// The data sources (static tables + stream tables).
+    /// The **base** data sources (static tables + stream tables) — overlay
+    /// rows excluded. Federation pools shard this catalog and validate by
+    /// pointer identity against it; overlay appends keep the `Arc`, merges
+    /// swap it.
     pub db: Arc<Database>,
+    /// The catalog static queries read: [`Self::db`] with
+    /// [`Self::novelty`] installed, so scans merge base + overlay rows.
+    /// The same `Arc` as [`Self::db`] while the overlay is empty.
+    pub view: Arc<Database>,
+    /// Rows appended since the last merge, immutably versioned by epoch
+    /// (empty under [`WritePolicy::StopTheWorld`]).
+    pub novelty: Arc<NoveltyOverlay>,
+    /// Per-table write versions of this snapshot: bumped by every insert,
+    /// *unchanged* by merges (a merge changes no table's contents), so
+    /// versioned BGP-cache entries survive exactly as long as their data
+    /// is current.
+    pub versions: Arc<TableVersions>,
     /// Per-table row/distinct statistics over exactly [`Self::db`] —
     /// refreshed in the same swap that installs the catalog, so a
     /// snapshot's cardinalities always describe its rows (no db/stats
@@ -161,6 +211,17 @@ pub struct OptiquePlatform {
     #[cfg(test)]
     #[allow(clippy::type_complexity)]
     write_probe: Mutex<Option<Box<dyn FnOnce(&OptiquePlatform) + Send>>>,
+    /// Fired once (and cleared) right after [`merge_now`]'s critical
+    /// section — the seam where the folded catalog has just been published.
+    /// The merge-race regression tests hang their assertions here.
+    #[cfg(test)]
+    #[allow(clippy::type_complexity)]
+    merge_probe: Mutex<Option<Box<dyn FnOnce(&OptiquePlatform) + Send>>>,
+    /// How `insert_static` publishes rows
+    /// ([`WritePolicy::NoveltyOverlay`] by default).
+    write_policy: RwLock<WritePolicy>,
+    /// Overlay depth (rows) at which an insert triggers an automatic merge.
+    merge_threshold: std::sync::atomic::AtomicUsize,
     /// Platform-wide counters and latency histograms, exported by
     /// [`metrics_snapshot`](Self::metrics_snapshot). Static queries feed
     /// `static.query_us`; every registered continuous query feeds
@@ -186,6 +247,9 @@ const SLOW_LOG_CAP: usize = 32;
 /// Default slow-query threshold: 100 ms.
 const DEFAULT_SLOW_THRESHOLD_US: u64 = 100_000;
 
+/// Default overlay depth that triggers an automatic merge.
+const DEFAULT_MERGE_THRESHOLD: usize = 4096;
+
 /// Registry counters accumulating plan-cache hits/misses of federation
 /// pools retired by catalog writes and distributed registrations.
 const PLAN_CACHE_RETIRED_HITS: &str = "plan_cache.retired_hits";
@@ -202,8 +266,12 @@ impl OptiquePlatform {
     ) -> Self {
         let static_cache = BgpCache::new();
         let stats = Arc::new(StatsCatalog::analyze(&db));
+        let db = Arc::new(db);
         let state = RwLock::new(Arc::new(PlatformSnapshot {
-            db: Arc::new(db),
+            view: Arc::clone(&db),
+            db,
+            novelty: NoveltyOverlay::empty(),
+            versions: Arc::new(TableVersions::new()),
             stats,
             topology: FederationTopology::default(),
             planner: PlannerSettings::default(),
@@ -226,6 +294,10 @@ impl OptiquePlatform {
             invalidation: RwLock::new(CacheInvalidation::default()),
             #[cfg(test)]
             write_probe: Mutex::new(None),
+            #[cfg(test)]
+            merge_probe: Mutex::new(None),
+            write_policy: RwLock::new(WritePolicy::default()),
+            merge_threshold: std::sync::atomic::AtomicUsize::new(DEFAULT_MERGE_THRESHOLD),
             registry: Arc::new(MetricsRegistry::new()),
             tracing: std::sync::atomic::AtomicBool::new(true),
             slow_threshold_us: std::sync::atomic::AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
@@ -240,9 +312,12 @@ impl OptiquePlatform {
         Arc::clone(&self.state.read())
     }
 
-    /// The current relational snapshot (static tables + stream tables).
+    /// The current relational snapshot (static tables + stream tables),
+    /// **including** any unmerged novelty-overlay rows: scans over the
+    /// returned catalog merge base + overlay, so readers see every
+    /// committed insert regardless of the write policy.
     pub fn db(&self) -> Arc<Database> {
-        Arc::clone(&self.state.read().db)
+        Arc::clone(&self.state.read().view)
     }
 
     /// Deploys straight from a generated Siemens scenario.
@@ -434,8 +509,8 @@ impl OptiquePlatform {
             modifiers: SolutionModifier::default(),
         };
         let federation = workers.map(|w| self.federation_for(w, snap));
-        let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &snap.db)
-            .with_cache_at(&self.static_cache, snap.cache_generation)
+        let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &snap.view)
+            .with_cache_versions(&self.static_cache, &snap.versions)
             .with_planner(snap.planner)
             .with_table_stats(&snap.stats);
         if let Some(federation) = federation.as_deref() {
@@ -638,8 +713,8 @@ impl OptiquePlatform {
                 g.finish();
             }
 
-            let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &snap.db)
-                .with_cache_at(&self.static_cache, snap.cache_generation)
+            let mut pipeline = StaticPipeline::new(&self.ontology, &self.mappings, &snap.view)
+                .with_cache_versions(&self.static_cache, &snap.versions)
                 .with_planner(snap.planner)
                 .with_table_stats(&snap.stats);
             if let Some(federation) = federation.as_deref() {
@@ -789,28 +864,110 @@ impl OptiquePlatform {
     /// Appends rows to a static table, swapping in a new
     /// [`PlatformSnapshot`]. Every derived static-query structure is
     /// invalidated or refreshed **inside the critical section**, before
-    /// the new snapshot is published: the per-BGP cache's generation bumps
-    /// (its hit counters survive), the federated worker pools are dropped,
-    /// and the planner's [`StatsCatalog`] is re-analyzed for the changed
-    /// table — so no concurrent reader can ever pair the new catalog with
-    /// a pre-write cache entry, an old-shard pool, or stale cardinalities.
-    /// Returns the number of inserted rows.
+    /// the new snapshot is published — so no concurrent reader can ever
+    /// pair the new catalog with a pre-write cache entry, an old-shard
+    /// pool, or stale cardinalities. Returns the number of inserted rows.
+    ///
+    /// What "refreshed" means depends on the [`WritePolicy`]: under the
+    /// default overlay policy the rows land in the novelty log (same base
+    /// catalog `Arc`, pools survive, O(1) stats delta, per-table cache
+    /// versions bump); under [`WritePolicy::StopTheWorld`] the table is
+    /// rebuilt, its stats re-analyzed, and the pools dropped, exactly as
+    /// before. Either way the dependent BGP-cache entries are evicted
+    /// inside the critical section.
     pub fn insert_static(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, String> {
+        match self.write_policy() {
+            WritePolicy::NoveltyOverlay => self.insert_overlay(table, rows),
+            WritePolicy::StopTheWorld => self.insert_stop_the_world(table, rows),
+        }
+    }
+
+    /// The overlay fast path: validate against the base schema, publish a
+    /// successor overlay alongside the *same* base catalog `Arc`, and
+    /// leave the pools alone. An automatic merge runs afterwards (outside
+    /// the critical section) once the overlay passes the threshold.
+    fn insert_overlay(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, String> {
+        let inserted = rows.len();
+        let merge_pending;
+        {
+            let mut guard = self.state.write();
+            // Validate arity and types against the base table *without*
+            // cloning it — a rejected batch must leave no trace.
+            let base = guard.db.table(table).map_err(|e| e.to_string())?;
+            for row in &rows {
+                base.check_row(row).map_err(|e| e.to_string())?;
+            }
+            let novelty = guard.novelty.with_rows(table, rows);
+            let depth = novelty.depth();
+            // O(1) stats refresh: the planner sees the new cardinality
+            // immediately; per-column histograms refresh at merge.
+            let stats = Arc::new(guard.stats.with_row_delta(table, inserted));
+            let versions = Arc::new(guard.versions.bumped(table));
+            // Same eviction discipline (and counter parity) as the
+            // stop-the-world path for readers of the legacy generation API.
+            match *self.invalidation.read() {
+                CacheInvalidation::Dependent => {
+                    self.static_cache.invalidate_table(table);
+                }
+                CacheInvalidation::FullClear => {
+                    self.static_cache.invalidate();
+                }
+            }
+            let mut view = (*guard.db).clone();
+            view.set_novelty(Some(Arc::clone(&novelty)));
+            *guard = Arc::new(PlatformSnapshot {
+                // Same base Arc: pools keyed on its pointer identity stay
+                // valid, and a scatter round merges overlay rows per shard
+                // through each worker's NoveltyScope.
+                db: Arc::clone(&guard.db),
+                view: Arc::new(view),
+                novelty,
+                versions,
+                stats,
+                topology: guard.topology,
+                planner: guard.planner,
+                cache_generation: self.static_cache.generation(),
+                dict: TermDict::global().snapshot(),
+            });
+            self.registry.gauge("novelty.depth").set(depth as i64);
+            merge_pending = depth
+                >= self
+                    .merge_threshold
+                    .load(std::sync::atomic::Ordering::Relaxed);
+        }
+        #[cfg(test)]
+        if let Some(probe) = self.write_probe.lock().take() {
+            probe(self);
+        }
+        if merge_pending {
+            self.merge_now()?;
+        }
+        Ok(inserted)
+    }
+
+    /// The original write path: rebuild the written table, re-analyze its
+    /// stats and drop the pools inside the critical section. Any unmerged
+    /// overlay (left over from a policy switch) is folded in the same
+    /// swap, so no row is ever lost or double-counted.
+    fn insert_stop_the_world(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, String> {
         let inserted = rows.len();
         {
             let mut guard = self.state.write();
-            let mut new_db = (*guard.db).clone();
+            let (mut new_db, folded) = Self::fold_overlay(&guard.db, &guard.novelty)?;
             let mut new_table = (**new_db.table(table).map_err(|e| e.to_string())?).clone();
             for row in rows {
                 new_table.push_row(row).map_err(|e| e.to_string())?;
             }
             new_db.put_table(table, new_table);
             let new_db = Arc::new(new_db);
-            // Only the changed table is re-analyzed; writers serialize on
+            // Only the changed tables are re-analyzed; writers serialize on
             // the state write lock, so stats always describe the catalog
             // installed by the same swap.
-            let changed = Arc::clone(new_db.table(table).expect("table was just inserted"));
-            let stats = Arc::new(guard.stats.with_refreshed_table(table, &changed));
+            let mut stats = (*guard.stats).clone();
+            for touched in folded.iter().map(String::as_str).chain([table]) {
+                let changed = Arc::clone(new_db.table(touched).expect("table was just rebuilt"));
+                stats = stats.with_refreshed_table(touched, &changed);
+            }
             // Invalidate the cache and drop the pools while the write lock
             // still blocks snapshot pins: a reader runs entirely before
             // this write (old snapshot, old generation — its cache hits
@@ -832,8 +989,11 @@ impl OptiquePlatform {
                 pools.clear();
             }
             *guard = Arc::new(PlatformSnapshot {
+                view: Arc::clone(&new_db),
                 db: new_db,
-                stats,
+                novelty: NoveltyOverlay::empty(),
+                versions: Arc::new(guard.versions.bumped(table)),
+                stats: Arc::new(stats),
                 topology: guard.topology,
                 planner: guard.planner,
                 cache_generation: self.static_cache.generation(),
@@ -847,6 +1007,120 @@ impl OptiquePlatform {
             probe(self);
         }
         Ok(inserted)
+    }
+
+    /// `db` with every overlay row appended to its base table; returns the
+    /// folded catalog (novelty cleared) and the names of the touched
+    /// tables, in sorted order.
+    fn fold_overlay(
+        db: &Database,
+        novelty: &NoveltyOverlay,
+    ) -> Result<(Database, Vec<String>), String> {
+        let mut folded = db.clone();
+        folded.set_novelty(None);
+        folded.set_novelty_scope(None);
+        let mut touched = Vec::new();
+        for (table, rows) in novelty.tables() {
+            let mut t = (**folded.table(table).map_err(|e| e.to_string())?).clone();
+            for row in rows.iter() {
+                // Rows were validated against this schema on append.
+                t.push_row(row.clone()).map_err(|e| e.to_string())?;
+            }
+            folded.put_table(table, t);
+            touched.push(table.to_string());
+        }
+        Ok((folded, touched))
+    }
+
+    /// Folds the novelty overlay into the base catalog **now**: every
+    /// overlay row becomes a base-table row, the touched tables' stats are
+    /// re-analyzed (per-column histograms catch up with the O(1) deltas),
+    /// and the pools are dropped so the next distributed query
+    /// re-partitions over the folded shards — only tables whose advisor
+    /// keys drifted actually change layout. Table versions do **not**
+    /// bump: a merge changes no table's contents, so versioned BGP-cache
+    /// entries stay warm across it. Returns the number of rows folded
+    /// (0 when the overlay was already empty).
+    ///
+    /// Inserts past [`set_merge_threshold`](Self::set_merge_threshold)
+    /// trigger this automatically; calling it directly makes merge timing
+    /// deterministic for tests and benchmarks.
+    pub fn merge_now(&self) -> Result<usize, String> {
+        let started = std::time::Instant::now();
+        let merged;
+        {
+            let mut guard = self.state.write();
+            if guard.novelty.is_empty() {
+                return Ok(0);
+            }
+            merged = guard.novelty.depth();
+            let (folded, touched) = Self::fold_overlay(&guard.db, &guard.novelty)?;
+            let folded = Arc::new(folded);
+            let mut stats = (*guard.stats).clone();
+            for table in &touched {
+                let t = Arc::clone(folded.table(table).expect("folded table exists"));
+                stats = stats.with_refreshed_table(table, &t);
+            }
+            // The fold swaps the base catalog Arc the pools shard, so they
+            // retire here exactly like a stop-the-world write.
+            {
+                let mut pools = self.federations.lock();
+                self.retire_plan_cache_counters(&pools);
+                pools.clear();
+            }
+            *guard = Arc::new(PlatformSnapshot {
+                view: Arc::clone(&folded),
+                db: folded,
+                novelty: NoveltyOverlay::empty(),
+                // Unchanged: pre-merge and post-merge answers are
+                // identical, so cached solution sets stay valid.
+                versions: Arc::clone(&guard.versions),
+                stats: Arc::new(stats),
+                topology: guard.topology,
+                planner: guard.planner,
+                cache_generation: self.static_cache.generation(),
+                dict: TermDict::global().snapshot(),
+            });
+            self.registry.gauge("novelty.depth").set(0);
+        }
+        self.registry
+            .histogram("novelty.merge_us")
+            .record(started.elapsed().as_micros() as u64);
+        #[cfg(test)]
+        if let Some(probe) = self.merge_probe.lock().take() {
+            probe(self);
+        }
+        Ok(merged)
+    }
+
+    /// How `insert_static` currently publishes rows.
+    pub fn write_policy(&self) -> WritePolicy {
+        *self.write_policy.read()
+    }
+
+    /// Switches the write path. Switching **to**
+    /// [`WritePolicy::StopTheWorld`] merges any pending overlay first, so
+    /// the policies never interleave over the same unmerged rows.
+    pub fn set_write_policy(&self, policy: WritePolicy) -> Result<(), String> {
+        *self.write_policy.write() = policy;
+        if policy == WritePolicy::StopTheWorld {
+            self.merge_now()?;
+        }
+        Ok(())
+    }
+
+    /// Rows currently in the novelty overlay (0 right after a merge).
+    pub fn novelty_depth(&self) -> usize {
+        self.state.read().novelty.depth()
+    }
+
+    /// Sets the overlay depth at which an insert triggers an automatic
+    /// [`merge_now`](Self::merge_now) (default 4096 rows). Benchmarks
+    /// isolating pure append latency set it high; write-heavy workloads
+    /// tune it to bound scan-side merge work.
+    pub fn set_merge_threshold(&self, rows: usize) {
+        self.merge_threshold
+            .store(rows.max(1), std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Folds the prepared-plan cache counters of pools that are about to be
@@ -875,11 +1149,13 @@ impl OptiquePlatform {
     /// section.
     #[cfg(test)]
     fn stale_pool_count(&self) -> usize {
-        let db = self.db();
+        // Pools shard the *base* catalog — overlay appends must not make
+        // them look stale.
+        let base = Arc::clone(&self.state.read().db);
         self.federations
             .lock()
             .values()
-            .filter(|f| !Arc::ptr_eq(f.catalog(), &db))
+            .filter(|f| !Arc::ptr_eq(f.catalog(), &base))
             .count()
     }
 
@@ -888,6 +1164,13 @@ impl OptiquePlatform {
     #[cfg(test)]
     fn set_write_probe(&self, probe: impl FnOnce(&OptiquePlatform) + Send + 'static) {
         *self.write_probe.lock() = Some(Box::new(probe));
+    }
+
+    /// Arms the one-shot merge probe fired at the seam right after
+    /// [`merge_now`](Self::merge_now)'s critical section.
+    #[cfg(test)]
+    fn set_merge_probe(&self, probe: impl FnOnce(&OptiquePlatform) + Send + 'static) {
+        *self.merge_probe.lock() = Some(Box::new(probe));
     }
 
     /// How relational writes invalidate the per-BGP cache.
@@ -1250,6 +1533,9 @@ mod tests {
     #[test]
     fn bgp_cache_invalidated_inside_insert_critical_section() {
         let p = platform();
+        // The race this regression pins lives in the stop-the-world write
+        // path; the overlay path has its own seam test below.
+        p.set_write_policy(WritePolicy::StopTheWorld).unwrap();
         let text = "SELECT ?t WHERE { ?t a sie:Turbine }";
         let before = p.query_static(text).unwrap().len();
         let generation_before = p.bgp_cache().generation();
@@ -1277,6 +1563,9 @@ mod tests {
     #[test]
     fn federation_pools_dropped_inside_insert_critical_section() {
         let p = platform();
+        // Pool-dropping is stop-the-world behavior; under the overlay
+        // policy pools deliberately survive (seam test below).
+        p.set_write_policy(WritePolicy::StopTheWorld).unwrap();
         let text = "SELECT DISTINCT ?t WHERE { ?t a sie:Turbine }";
         let before = p.query_static_distributed(text, 2).unwrap().len();
         let row = new_turbine_row(&p, 88_002);
@@ -1302,6 +1591,9 @@ mod tests {
     #[test]
     fn snapshot_stats_describe_snapshot_db() {
         let p = platform();
+        // Base-table growth per insert is the stop-the-world contract; the
+        // overlay twin below checks the same coherence over the view.
+        p.set_write_policy(WritePolicy::StopTheWorld).unwrap();
         let old = p.snapshot();
         let old_rows = old.db.table("turbines").unwrap().rows.len();
         assert_eq!(old.stats.row_count("turbines"), Some(old_rows));
@@ -1318,6 +1610,146 @@ mod tests {
         assert_eq!(new.db.table("turbines").unwrap().rows.len(), old_rows + 1);
         assert_eq!(new.stats.row_count("turbines"), Some(old_rows + 1));
         assert!(new.cache_generation > old.cache_generation);
+    }
+
+    /// Overlay seam regression: right after an overlay insert publishes,
+    /// the federation pools must still be valid (same base catalog Arc —
+    /// nothing was dropped) and a distributed reader at the seam already
+    /// sees the row through the fragment's pinned novelty epoch.
+    #[test]
+    fn overlay_insert_keeps_pools_and_is_visible_at_seam() {
+        let p = platform();
+        assert_eq!(p.write_policy(), WritePolicy::NoveltyOverlay);
+        let text = "SELECT DISTINCT ?t WHERE { ?t a sie:Turbine }";
+        let before = p.query_static_distributed(text, 2).unwrap().len();
+        let base_before = Arc::clone(&p.snapshot().db);
+        let row = new_turbine_row(&p, 90_001);
+        p.set_write_probe(move |p| {
+            assert_eq!(p.stale_pool_count(), 0, "pools survive an overlay append");
+            assert_eq!(p.federations.lock().len(), 1, "…without being rebuilt");
+            let fresh = p.query_static_distributed(text, 2).unwrap();
+            assert_eq!(
+                fresh.len(),
+                before + 1,
+                "a distributed reader at the seam sees the appended row"
+            );
+        });
+        p.insert_static("turbines", vec![row]).unwrap();
+        assert_eq!(p.novelty_depth(), 1);
+        let snap = p.snapshot();
+        assert!(
+            Arc::ptr_eq(&snap.db, &base_before),
+            "overlay writes keep the base catalog"
+        );
+        assert_eq!(snap.novelty.epoch(), snap.view.novelty_epoch());
+        assert_eq!(p.query_static(text).unwrap().len(), before + 1);
+    }
+
+    /// Overlay twin of `snapshot_stats_describe_snapshot_db`: the base
+    /// stays put, the view layers the row, the stats carry the O(1)
+    /// cardinality delta, and the table's write version bumps.
+    #[test]
+    fn overlay_snapshot_stats_and_versions_cohere() {
+        let p = platform();
+        let old = p.snapshot();
+        let old_rows = old.db.table("turbines").unwrap().rows.len();
+        p.insert_static("turbines", vec![new_turbine_row(&p, 90_002)])
+            .unwrap();
+        // The pre-write snapshot still coheres…
+        assert_eq!(old.novelty.depth(), 0);
+        assert_eq!(old.stats.row_count("turbines"), Some(old_rows));
+        // …and the new one layers the row over the same base.
+        let new = p.snapshot();
+        assert!(Arc::ptr_eq(&new.db, &old.db));
+        assert_eq!(new.db.table("turbines").unwrap().rows.len(), old_rows);
+        assert_eq!(new.view.novelty_rows("turbines").count(), 1);
+        assert_eq!(new.stats.row_count("turbines"), Some(old_rows + 1));
+        assert_eq!(new.versions.of("turbines"), old.versions.of("turbines") + 1);
+    }
+
+    /// Interleaving regression (merge race): a query at the seam right
+    /// after `merge_now` publishes sees the folded catalog — the same
+    /// answer as before the merge, never a torn mix — while a reader that
+    /// pinned its snapshot pre-merge keeps answering over base + overlay.
+    #[test]
+    fn query_racing_a_merge_is_never_torn() {
+        let p = platform();
+        let text = "SELECT ?t WHERE { ?t a sie:Turbine }";
+        let before = p.query_static(text).unwrap().len();
+        p.insert_static("turbines", vec![new_turbine_row(&p, 91_001)])
+            .unwrap();
+        p.insert_static("turbines", vec![new_turbine_row(&p, 91_002)])
+            .unwrap();
+        let old = p.snapshot();
+        assert_eq!(old.novelty.depth(), 2);
+        p.set_merge_probe(move |p| {
+            assert_eq!(p.novelty_depth(), 0);
+            assert_eq!(p.query_static(text).unwrap().len(), before + 2);
+            assert_eq!(
+                p.query_static_distributed(text, 2).unwrap().len(),
+                before + 2,
+                "a distributed reader at the seam shards over the folded catalog"
+            );
+        });
+        assert_eq!(p.merge_now().unwrap(), 2);
+        // The pre-merge snapshot holds its overlay strong and still
+        // resolves: scans over its view keep merging base + overlay.
+        assert_eq!(old.view.novelty_epoch(), old.novelty.epoch());
+        let rows = optique_relational::exec::query("SELECT tid FROM turbines", &old.view).unwrap();
+        assert_eq!(rows.rows.len(), before + 2);
+    }
+
+    /// A merge changes no table's contents, so versioned BGP-cache entries
+    /// stay warm across it — and the incrementally maintained stats equal
+    /// a from-scratch analyze (no drift survives a merge).
+    #[test]
+    fn merge_keeps_versioned_cache_entries_warm() {
+        let p = platform();
+        let sensors = "SELECT ?s WHERE { ?s a sie:Sensor }";
+        p.query_static(sensors).unwrap();
+        p.insert_static("turbines", vec![new_turbine_row(&p, 94_001)])
+            .unwrap();
+        assert_eq!(p.merge_now().unwrap(), 1);
+        let (_, stats) = p.query_static_with_stats(sensors).unwrap();
+        assert!(
+            stats.cache_hits >= 1,
+            "merge must not cold the cache: {stats:?}"
+        );
+        assert_eq!(*p.table_stats(), StatsCatalog::analyze(&p.db()));
+    }
+
+    #[test]
+    fn auto_merge_triggers_past_threshold() {
+        let p = platform();
+        p.set_merge_threshold(3);
+        let base_rows = p.snapshot().db.table("turbines").unwrap().rows.len();
+        for tid in 0..3 {
+            p.insert_static("turbines", vec![new_turbine_row(&p, 92_000 + tid)])
+                .unwrap();
+        }
+        // The third insert crossed the threshold and folded the log.
+        assert_eq!(p.novelty_depth(), 0);
+        assert_eq!(
+            p.snapshot().db.table("turbines").unwrap().rows.len(),
+            base_rows + 3
+        );
+    }
+
+    /// Switching to the stop-the-world policy merges the pending overlay
+    /// first, so the two write paths never interleave over unmerged rows.
+    #[test]
+    fn policy_switch_merges_pending_overlay() {
+        let p = platform();
+        let text = "SELECT ?t WHERE { ?t a sie:Turbine }";
+        let before = p.query_static(text).unwrap().len();
+        p.insert_static("turbines", vec![new_turbine_row(&p, 93_001)])
+            .unwrap();
+        assert_eq!(p.novelty_depth(), 1);
+        p.set_write_policy(WritePolicy::StopTheWorld).unwrap();
+        assert_eq!(p.novelty_depth(), 0);
+        p.insert_static("turbines", vec![new_turbine_row(&p, 93_002)])
+            .unwrap();
+        assert_eq!(p.query_static(text).unwrap().len(), before + 2);
     }
 
     #[test]

@@ -128,6 +128,9 @@ pub enum Request {
     /// One pulse tick for every registered continuous query
     /// ([`OptiquePlatform::tick_all`]).
     Tick(i64),
+    /// Fold the novelty overlay into the base catalog now
+    /// ([`OptiquePlatform::merge_now`]).
+    Merge,
 }
 
 /// A completed request's payload.
@@ -139,6 +142,8 @@ pub enum Response {
     Inserted(usize),
     /// Per-query outputs of [`Request::Tick`].
     Ticks(Vec<(u64, TickOutput)>),
+    /// Overlay rows folded by [`Request::Merge`].
+    Merged(usize),
 }
 
 /// Why the serving layer refused or failed a request.
@@ -347,6 +352,10 @@ fn execute(platform: &OptiquePlatform, request: Request) -> Result<Response, Ser
             .tick_all(tick_ms)
             .map(Response::Ticks)
             .map_err(ServerError::Query),
+        Request::Merge => platform
+            .merge_now()
+            .map(Response::Merged)
+            .map_err(ServerError::Query),
     }
 }
 
@@ -527,6 +536,14 @@ impl Client {
             other => Err(ServerError::Query(format!("unexpected response {other:?}"))),
         }
     }
+
+    /// Submits a novelty merge and waits for the folded-row count.
+    pub fn merge(&self) -> Result<usize, ServerError> {
+        match self.submit(Request::Merge)?.wait()? {
+            Response::Merged(n) => Ok(n),
+            other => Err(ServerError::Query(format!("unexpected response {other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -577,6 +594,17 @@ mod tests {
             .unwrap()
             .len();
         assert_eq!(after, before + 1);
+        // The write landed in the overlay; a served merge folds it and a
+        // second merge is a no-op.
+        assert_eq!(client.merge().unwrap(), 1);
+        assert_eq!(client.merge().unwrap(), 0);
+        assert_eq!(
+            client
+                .query("SELECT ?t WHERE { ?t a sie:Turbine }")
+                .unwrap()
+                .len(),
+            after
+        );
         // Ticks are servable too (no queries registered → empty round).
         assert!(client.tick(609_000).unwrap().is_empty());
     }

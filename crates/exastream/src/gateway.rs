@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use optique_relational::{PlanFragment, SelectStatement, SqlError, Table};
+use optique_relational::{Database, PlanFragment, SelectStatement, SqlError, Table};
 use optique_telemetry::SpanRecord;
 use parking_lot::Mutex;
 
@@ -330,6 +330,12 @@ impl Gateway {
         let outputs: Vec<WorkerOutput> = self.cluster.parallel_map(|worker| {
             let cache = &self.plan_caches[worker.id];
             let (mut hits, mut misses) = (0u64, 0u64);
+            // Per-round memo of resolved novelty views: every fragment
+            // pinned at the same epoch shares one merged catalog (`None`
+            // means the worker's base db already answers that epoch). The
+            // epoch is stripped from the wire *before* plan caching, so
+            // write-induced epoch churn never churns the plan cache.
+            let mut views: HashMap<u64, Option<Database>> = HashMap::new();
             let worker_start_us = round_started.elapsed().as_micros() as u64;
             let mut frag_spans: Vec<SpanRecord> = Vec::with_capacity(queues[worker.id].len());
             let results = queues[worker.id]
@@ -343,24 +349,26 @@ impl Gateway {
                     let frag_started = Instant::now();
                     let mut cache_hit = false;
                     let mut rows = 0u64;
-                    let result = cache
-                        .get_or_prepare(&q.wire)
-                        .map(|(statement, hit)| {
-                            cache_hit = hit;
-                            if hit {
-                                hits += 1;
-                            } else {
-                                misses += 1;
-                            }
-                            statement
-                        })
-                        .and_then(|statement| {
-                            optique_relational::execute_prepared(&statement, &worker.db)
-                        })
-                        .map(|t| {
-                            rows = t.len() as u64;
-                            exchange::ship(&t)
-                        });
+                    let result = (|| {
+                        let (epoch, base_wire) = optique_relational::split_novelty_wire(&q.wire);
+                        let (statement, hit) = cache.get_or_prepare(&base_wire)?;
+                        cache_hit = hit;
+                        if hit {
+                            hits += 1;
+                        } else {
+                            misses += 1;
+                        }
+                        if let std::collections::hash_map::Entry::Vacant(slot) = views.entry(epoch)
+                        {
+                            slot.insert(optique_relational::view_at(&worker.db, epoch)?);
+                        }
+                        let db = views[&epoch].as_ref().unwrap_or(&worker.db);
+                        optique_relational::execute_prepared(&statement, db)
+                    })()
+                    .map(|t| {
+                        rows = t.len() as u64;
+                        exchange::ship(&t)
+                    });
                     let wire_bytes = result.as_ref().map(|w| w.len() as u64).unwrap_or(0);
                     let mut span = SpanRecord::new(
                         "fragment",
@@ -871,6 +879,48 @@ mod tests {
         assert_eq!(narrow.tables[0].as_ref().unwrap().len(), 5);
         assert_eq!(wide.tables[0].as_ref().unwrap().len(), 50);
         assert_eq!(g.plan_cache_stats(), (0, 2), "two distinct wires parse");
+    }
+
+    /// Rounds pinned at a novelty epoch merge that overlay's rows — and
+    /// *only* that overlay's: a newer append never leaks into an older
+    /// round, and the epoch line never churns the plan cache (the wire is
+    /// stripped before plan caching, so every epoch of the same SQL shares
+    /// one prepared statement).
+    #[test]
+    fn novelty_epoch_pins_rounds_without_churning_plan_cache() {
+        use optique_relational::NoveltyOverlay;
+        let g = Gateway::new(cluster(1));
+        let count = |epoch: u64| {
+            let frag = PlanFragment::new(0, "SELECT COUNT(*) AS n FROM m", 1.0).at_epoch(epoch);
+            let round = g.run_static_round(&[StaticFragment::placed(frag)]);
+            let n = round.tables[0].as_ref().unwrap().rows[0][0]
+                .as_i64()
+                .unwrap();
+            (n, round.plan_cache_hits, round.plan_cache_misses)
+        };
+        assert_eq!(count(0), (100, 0, 1), "base only; first round parses");
+        let overlay =
+            NoveltyOverlay::empty().with_rows("m", vec![vec![Value::Int(1000), Value::Float(0.5)]]);
+        assert_eq!(
+            count(overlay.epoch()),
+            (101, 1, 0),
+            "pinned round merges the overlay without re-parsing"
+        );
+        let newer = overlay.with_rows("m", vec![vec![Value::Int(1001), Value::Float(0.6)]]);
+        assert_eq!(
+            count(overlay.epoch()),
+            (101, 1, 0),
+            "a newer append never leaks into a round pinned at the older epoch"
+        );
+        assert_eq!(count(newer.epoch()), (102, 1, 0));
+        // A retired (dropped) epoch fails the round rather than silently
+        // serving torn data.
+        let dead = overlay.epoch();
+        drop(overlay);
+        drop(newer);
+        let frag = PlanFragment::new(0, "SELECT COUNT(*) AS n FROM m", 1.0).at_epoch(dead);
+        let round = g.run_static_round(&[StaticFragment::placed(frag)]);
+        assert!(round.tables[0].is_err(), "retired epoch must error");
     }
 
     #[test]

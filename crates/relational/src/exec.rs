@@ -45,7 +45,10 @@ fn run(plan: &LogicalPlan, db: &Database) -> Result<Vec<Vec<Value>>, SqlError> {
         } => {
             let t = db.table(table)?;
             let mut out = Vec::new();
-            for row in &t.rows {
+            // Base rows first, then the novelty overlay's appended rows —
+            // the same order a merged table would scan in, so overlay and
+            // post-merge answers are row-for-row identical.
+            for row in t.rows.iter().chain(db.novelty_rows(table)) {
                 if let Some(f) = filter {
                     if !f.eval(row)?.is_truthy() {
                         continue;

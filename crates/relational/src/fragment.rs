@@ -154,6 +154,11 @@ pub struct PlanFragment {
     /// Time-slice of one sliding window, for fragments a continuous query
     /// ships per tick ([`WindowSlice`]).
     pub window: Option<WindowSlice>,
+    /// The novelty epoch the coordinator pinned for this round (0 = no
+    /// overlay): every worker resolves the same overlay
+    /// ([`crate::novelty::view_at`]), so one scatter round never mixes
+    /// pre- and post-append rows across workers.
+    pub novelty_epoch: u64,
 }
 
 impl PlanFragment {
@@ -166,6 +171,7 @@ impl PlanFragment {
             semi_joins: Vec::new(),
             partition: None,
             window: None,
+            novelty_epoch: 0,
         }
     }
 
@@ -187,6 +193,13 @@ impl PlanFragment {
         self
     }
 
+    /// Pins the fragment to a novelty epoch (builder style): workers
+    /// execute it over the base catalog merged with exactly that overlay.
+    pub fn at_epoch(mut self, epoch: u64) -> Self {
+        self.novelty_epoch = epoch;
+        self
+    }
+
     /// The fragment's executable statement: the parsed SQL with the window
     /// time-slice (when present) and any semi-join restrictions applied
     /// around it, in that order.
@@ -203,7 +216,10 @@ impl PlanFragment {
     /// slice or restriction is never silently dropped on any execution
     /// path.
     pub fn execute(&self, db: &Database) -> Result<Table, SqlError> {
-        execute_prepared(&self.statement()?, db)
+        match crate::novelty::view_at(db, self.novelty_epoch)? {
+            Some(view) => execute_prepared(&self.statement()?, &view),
+            None => execute_prepared(&self.statement()?, db),
+        }
     }
 
     /// A one-line human summary for trace spans and plan displays: the SQL
@@ -244,6 +260,9 @@ impl PlanFragment {
     /// line per semi-join restriction.
     pub fn encode(&self) -> String {
         let mut out = format!("frag\t{}\t{}\t{}", self.id, self.cost, escape(&self.sql));
+        if self.novelty_epoch != 0 {
+            let _ = write!(out, "\nnov\t{}", self.novelty_epoch);
+        }
         if let Some(win) = &self.window {
             let _ = write!(
                 out,
@@ -311,9 +330,16 @@ impl PlanFragment {
         let mut semi_joins = Vec::new();
         let mut partition = None;
         let mut window = None;
+        let mut novelty_epoch = 0;
         for line in lines {
             let mut fields = line.split('\t');
             match fields.next() {
+                Some("nov") => {
+                    novelty_epoch = fields
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| SqlError::Execution("bad novelty epoch".into()))?;
+                }
                 Some("win") => {
                     let mut field = || {
                         fields
@@ -388,8 +414,26 @@ impl PlanFragment {
             semi_joins,
             partition,
             window,
+            novelty_epoch,
         })
     }
+}
+
+/// Splits a fragment wire into its pinned novelty epoch and the wire with
+/// the `nov` line stripped. Worker plan caches key on the stripped wire:
+/// the epoch changes the *data* a fragment scans, never its plan, so
+/// epoch churn must not churn the prepared-plan cache.
+pub fn split_novelty_wire(wire: &str) -> (u64, std::borrow::Cow<'_, str>) {
+    let Some(start) = wire.find("\nnov\t") else {
+        return (0, std::borrow::Cow::Borrowed(wire));
+    };
+    let rest = &wire[start + 1..];
+    let line_end = rest.find('\n').map_or(rest.len(), |i| i);
+    let epoch = rest[4..line_end].parse().unwrap_or(0);
+    let mut stripped = String::with_capacity(wire.len());
+    stripped.push_str(&wire[..start]);
+    stripped.push_str(&rest[line_end..]);
+    (epoch, std::borrow::Cow::Owned(stripped))
 }
 
 /// Plans and executes an already-built statement against `db` — the
@@ -1636,6 +1680,60 @@ mod tests {
         assert!(PlanFragment::decode("nonsense").is_err());
         assert!(PlanFragment::decode("frag\txyz\t1.0\tSELECT 1").is_err());
         assert!(PlanFragment::decode("frag\t1\t1.0\tSELECT a FROM t\nbogus\tx").is_err());
+        assert!(PlanFragment::decode("frag\t1\t1.0\tSELECT a FROM t\nnov\tx").is_err());
+    }
+
+    #[test]
+    fn novelty_epoch_rides_the_wire() {
+        let f = PlanFragment::new(2, "SELECT a FROM t", 1.0).at_epoch(41);
+        let wire = f.encode();
+        assert!(wire.contains("\nnov\t41"));
+        assert_eq!(PlanFragment::decode(&wire).unwrap(), f);
+        // Epoch 0 ships no section — pre-novelty wires stay byte-identical.
+        let plain = PlanFragment::new(2, "SELECT a FROM t", 1.0);
+        assert!(!plain.encode().contains("nov\t"));
+    }
+
+    #[test]
+    fn split_novelty_wire_strips_only_the_epoch() {
+        let pinned = PlanFragment::new(5, "SELECT a AS v FROM t", 1.0)
+            .with_semi_joins(vec![SemiJoin::new("v", vec![Value::Int(1)])])
+            .at_epoch(99);
+        let pinned_wire = pinned.encode();
+        let (epoch, stripped) = split_novelty_wire(&pinned_wire);
+        assert_eq!(epoch, 99);
+        let unpinned = PlanFragment {
+            novelty_epoch: 0,
+            ..pinned
+        };
+        let unpinned_wire = unpinned.encode();
+        assert_eq!(stripped.as_ref(), unpinned_wire);
+        // A wire without the section is borrowed through untouched.
+        let (epoch, same) = split_novelty_wire(&unpinned_wire);
+        assert_eq!(epoch, 0);
+        assert!(matches!(same, std::borrow::Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn execute_resolves_the_pinned_overlay() {
+        let db = restricted_db();
+        let overlay = crate::novelty::NoveltyOverlay::empty()
+            .with_rows("t", vec![vec![Value::Int(9), Value::text("new")]]);
+        let f = PlanFragment::new(0, "SELECT a AS v, b AS w FROM t", 1.0);
+        assert_eq!(f.execute(&db).unwrap().len(), 4, "epoch 0 sees base only");
+        let pinned = f.clone().at_epoch(overlay.epoch());
+        assert_eq!(pinned.execute(&db).unwrap().len(), 5, "pinned epoch merges");
+        // A newer overlay does not leak into the pinned round.
+        let newer = overlay.with_rows("t", vec![vec![Value::Int(10), Value::Null]]);
+        assert_eq!(pinned.execute(&db).unwrap().len(), 5);
+        assert_eq!(
+            f.clone()
+                .at_epoch(newer.epoch())
+                .execute(&db)
+                .unwrap()
+                .len(),
+            6
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod fragment;
 pub mod functions;
 pub mod index;
 pub mod lexer;
+pub mod novelty;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
@@ -46,9 +47,10 @@ pub use error::SqlError;
 pub use exec::execute;
 pub use expr::Expr;
 pub use fragment::{
-    execute_prepared, referenced_tables, shard_compatibility, shard_of, PartitionSpec,
-    PlanFragment, ResultBatch, SemiJoin, ShardCompatibility, WindowSlice,
+    execute_prepared, referenced_tables, shard_compatibility, shard_of, split_novelty_wire,
+    PartitionSpec, PlanFragment, ResultBatch, SemiJoin, ShardCompatibility, WindowSlice,
 };
+pub use novelty::{view_at, NoveltyOverlay, NoveltyScope};
 pub use parser::{parse_select, SelectStatement};
 pub use plan::LogicalPlan;
 pub use schema::{Column, ColumnType, Schema};

@@ -93,6 +93,18 @@ impl StatsCatalog {
         StatsCatalog { tables }
     }
 
+    /// A copy of this catalog with `name`'s row count bumped by `added` —
+    /// the O(1) path for novelty-overlay appends. Distinct/skew estimates
+    /// are left as analyzed (advisory only) until the next merge
+    /// re-samples the touched table.
+    pub fn with_row_delta(&self, name: &str, added: usize) -> StatsCatalog {
+        let mut tables = self.tables.clone();
+        if let Some(stats) = tables.get_mut(name) {
+            stats.rows += added;
+        }
+        StatsCatalog { tables }
+    }
+
     fn analyze_table(table: &Table) -> TableStats {
         let rows = table.len();
         let sample = rows.min(DISTINCT_SAMPLE_CAP);

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::error::SqlError;
 use crate::index::{BTreeIndex, HashIndex};
+use crate::novelty::{NoveltyOverlay, NoveltyScope};
 use crate::schema::{Column, ColumnType, Schema};
 use crate::value::Value;
 
@@ -37,6 +38,15 @@ impl Table {
 
     /// Appends a row after arity/type validation.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), SqlError> {
+        self.check_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Validates a row against the schema (arity + column types) without
+    /// appending it — the novelty write path admits rows into the overlay
+    /// log without cloning the base table.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), SqlError> {
         if row.len() != self.schema.len() {
             return Err(SqlError::Execution(format!(
                 "row arity {} does not match schema arity {}",
@@ -52,7 +62,6 @@ impl Table {
                 )));
             }
         }
-        self.rows.push(row);
         Ok(())
     }
 
@@ -95,6 +104,12 @@ pub struct Database {
     hash_indexes: HashMap<(String, String), Arc<HashIndex>>,
     btree_indexes: HashMap<(String, String), Arc<BTreeIndex>>,
     table_functions: HashMap<String, TableFunction>,
+    /// Rows appended since the last merge; scans union these with the
+    /// base rows of the scanned table ([`Self::novelty_rows`]).
+    novelty: Option<Arc<NoveltyOverlay>>,
+    /// On a partitioned worker: which slice of the overlay this catalog
+    /// sees (None = the full overlay).
+    novelty_scope: Option<Arc<NoveltyScope>>,
 }
 
 impl Database {
@@ -179,17 +194,58 @@ impl Database {
     pub fn table_function(&self, name: &str) -> Option<&TableFunction> {
         self.table_functions.get(&name.to_ascii_lowercase())
     }
+
+    /// Installs (or clears) the novelty overlay scans merge with.
+    pub fn set_novelty(&mut self, overlay: Option<Arc<NoveltyOverlay>>) {
+        self.novelty = overlay;
+    }
+
+    /// The installed novelty overlay, if any.
+    pub fn novelty(&self) -> Option<&Arc<NoveltyOverlay>> {
+        self.novelty.as_ref()
+    }
+
+    /// The installed overlay's epoch (0 when none is installed).
+    pub fn novelty_epoch(&self) -> u64 {
+        self.novelty.as_ref().map_or(0, |n| n.epoch())
+    }
+
+    /// Restricts the visible overlay to one worker's shard slice (see
+    /// [`NoveltyScope`]).
+    pub fn set_novelty_scope(&mut self, scope: Option<Arc<NoveltyScope>>) {
+        self.novelty_scope = scope;
+    }
+
+    /// The overlay rows of `table` visible through this catalog: all of
+    /// them by default, or — for a table this catalog's [`NoveltyScope`]
+    /// partitions — only the rows hashing to this worker's shard.
+    pub fn novelty_rows<'a>(&'a self, table: &str) -> impl Iterator<Item = &'a Vec<Value>> + 'a {
+        let rows: &[Vec<Value>] = self
+            .novelty
+            .as_ref()
+            .and_then(|n| n.rows(table))
+            .map_or(&[], |r| r.as_slice());
+        let slice = self
+            .novelty_scope
+            .as_ref()
+            .and_then(|s| s.keys.get(table).map(|&col| (s.shard, s.shards, col)));
+        rows.iter().filter(move |row| match slice {
+            Some((shard, shards, col)) => crate::fragment::shard_of(&row[col], shards) == shard,
+            None => true,
+        })
+    }
 }
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Database({} tables, {} hash idx, {} btree idx, {} table fns)",
+            "Database({} tables, {} hash idx, {} btree idx, {} table fns, novelty@{})",
             self.tables.len(),
             self.hash_indexes.len(),
             self.btree_indexes.len(),
-            self.table_functions.len()
+            self.table_functions.len(),
+            self.novelty_epoch()
         )
     }
 }

@@ -58,11 +58,62 @@ pub struct BgpCache {
     generation: AtomicU64,
 }
 
+/// Monotonic per-table write versions, kept alongside the database snapshot
+/// they describe. The novelty-overlay write path bumps the written table's
+/// version on every append (and the global counter with it) **without**
+/// clearing any cache: a versioned entry answers a reader exactly when the
+/// reader's snapshot carries the same versions for every table the entry
+/// read ([`BgpCache::lookup_any_versioned`]). A background merge folds
+/// overlay rows into the base without changing what any table contains, so
+/// it bumps *nothing* — versioned entries stay warm across merges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableVersions {
+    tables: HashMap<String, u64>,
+    global: u64,
+}
+
+impl TableVersions {
+    /// All-zero versions (a fresh deployment).
+    pub fn new() -> Self {
+        TableVersions::default()
+    }
+
+    /// The version of `table` (0 until its first write).
+    pub fn of(&self, table: &str) -> u64 {
+        self.tables.get(table).copied().unwrap_or(0)
+    }
+
+    /// The global write counter (bumped by every write to any table).
+    pub fn global(&self) -> u64 {
+        self.global
+    }
+
+    /// These versions after one write to `table`.
+    pub fn bumped(&self, table: &str) -> TableVersions {
+        let mut next = self.clone();
+        *next.tables.entry(table.to_string()).or_insert(0) += 1;
+        next.global += 1;
+        next
+    }
+}
+
+/// The versions a versioned entry was computed at: one `(table, version)`
+/// pair per dependency when provenance is known, or the global counter
+/// alone when it is not (such an entry answers only readers that have seen
+/// no write at all since the store).
+struct Stamp {
+    deps: Option<Vec<(String, u64)>>,
+    global: u64,
+}
+
 struct Entry {
     solutions: SolutionSet,
     /// Base tables the entry's unfolded SQL read; `None` = unknown
     /// provenance, evicted by any write.
     tables: Option<BTreeSet<String>>,
+    /// Dependency versions at store time; `None` for entries stored
+    /// through the generation API, which never answer versioned lookups.
+    stamp: Option<Stamp>,
 }
 
 #[derive(Default)]
@@ -182,7 +233,18 @@ impl BgpCache {
         if self.generation.load(Ordering::Acquire) != generation {
             return;
         }
-        let entry = Entry { solutions, tables };
+        Self::insert_locked(
+            &mut inner,
+            key,
+            Entry {
+                solutions,
+                tables,
+                stamp: None,
+            },
+        );
+    }
+
+    fn insert_locked(inner: &mut Entries, key: String, entry: Entry) {
         if let Some(existing) = inner.map.get_mut(&key) {
             *existing = entry;
             return;
@@ -194,6 +256,68 @@ impl BgpCache {
         }
         inner.order.push_back(key.clone());
         inner.map.insert(key, entry);
+    }
+
+    /// Stores a BGP's solutions stamped with the versions (from the
+    /// reader's snapshot) of every table the unfolded SQL read. Unlike
+    /// [`Self::store_with_tables`] there is no generation gate: the stamp
+    /// itself is the validity proof — a write that landed since the
+    /// snapshot was taken bumped some dependency's version, so the entry
+    /// simply stops matching newer readers (and never matches older ones
+    /// it didn't already match).
+    pub fn store_versioned(
+        &self,
+        key: String,
+        solutions: SolutionSet,
+        versions: &TableVersions,
+        tables: Option<BTreeSet<String>>,
+    ) {
+        let stamp = Stamp {
+            deps: tables
+                .as_ref()
+                .map(|deps| deps.iter().map(|t| (t.clone(), versions.of(t))).collect()),
+            global: versions.global(),
+        };
+        let mut inner = self.inner.lock().expect("cache lock");
+        Self::insert_locked(
+            &mut inner,
+            key,
+            Entry {
+                solutions,
+                tables,
+                stamp: Some(stamp),
+            },
+        );
+    }
+
+    /// Looks up the first of `keys` whose entry was stored at exactly the
+    /// versions the reader's snapshot carries — one logical lookup, one
+    /// hit or miss counted. An entry with known provenance matches when
+    /// every dependency's version agrees; one with unknown provenance only
+    /// when the global counter does. Entries stored through the
+    /// generation API carry no stamp and never answer here.
+    pub fn lookup_any_versioned(
+        &self,
+        keys: &[&str],
+        versions: &TableVersions,
+    ) -> Option<SolutionSet> {
+        let inner = self.inner.lock().expect("cache lock");
+        for key in keys {
+            let Some(entry) = inner.map.get(*key) else {
+                continue;
+            };
+            let Some(stamp) = &entry.stamp else { continue };
+            let valid = match &stamp.deps {
+                Some(deps) => deps.iter().all(|(t, v)| versions.of(t) == *v),
+                None => stamp.global == versions.global(),
+            };
+            if valid {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.solutions.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Drops every entry (the conservative whole-cache invalidation),
@@ -451,6 +575,56 @@ mod tests {
             "a current-generation reader still hits the surviving entry"
         );
         assert_eq!((cache.hits(), cache.misses()), (2, 1));
+    }
+
+    /// A versioned entry answers exactly the readers whose snapshots carry
+    /// the versions it was stamped with — writes to a dependency hide it
+    /// from newer readers, writes elsewhere don't.
+    #[test]
+    fn versioned_lookup_matches_on_dependency_versions() {
+        let cache = BgpCache::new();
+        let v0 = TableVersions::new();
+        cache.store_versioned("sensors".into(), solutions(2), &v0, deps(&["sensors"]));
+
+        assert!(cache.lookup_any_versioned(&["sensors"], &v0).is_some());
+        // A write to an unrelated table leaves the entry answering both the
+        // old and the new snapshot (its dependency's version is unchanged).
+        let v1 = v0.bumped("turbines");
+        assert!(cache.lookup_any_versioned(&["sensors"], &v1).is_some());
+        // A write to the dependency hides it from post-write readers while
+        // pre-write readers (still pinning v0/v1 snapshots) keep hitting.
+        let v2 = v1.bumped("sensors");
+        assert!(cache.lookup_any_versioned(&["sensors"], &v2).is_none());
+        assert!(cache.lookup_any_versioned(&["sensors"], &v0).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (3, 1));
+    }
+
+    /// Unknown-provenance versioned entries pin the global counter: any
+    /// write anywhere hides them.
+    #[test]
+    fn versioned_unknown_provenance_pins_global_counter() {
+        let cache = BgpCache::new();
+        let v0 = TableVersions::new();
+        cache.store_versioned("opaque".into(), solutions(1), &v0, None);
+        assert!(cache.lookup_any_versioned(&["opaque"], &v0).is_some());
+        assert!(cache
+            .lookup_any_versioned(&["opaque"], &v0.bumped("anything"))
+            .is_none());
+    }
+
+    /// Generation-stored entries never answer versioned lookups (they
+    /// carry no stamp), and versioned stores ignore the generation gate.
+    #[test]
+    fn versioned_and_generation_entries_stay_apart() {
+        let cache = BgpCache::new();
+        let v0 = TableVersions::new();
+        cache.store("legacy".into(), solutions(1), cache.generation());
+        assert!(cache.lookup_any_versioned(&["legacy"], &v0).is_none());
+        // A generation bump (whole-cache invalidation) does not block a
+        // versioned store — the stamp, not the generation, proves validity.
+        cache.invalidate();
+        cache.store_versioned("stamped".into(), solutions(2), &v0, deps(&["t"]));
+        assert!(cache.lookup_any_versioned(&["stamped"], &v0).is_some());
     }
 
     /// A computation that began before an invalidation must not repopulate

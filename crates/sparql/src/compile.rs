@@ -46,7 +46,7 @@ use crate::algebra::{
     ArithmeticOperator, ComparisonOperator, Expression, GroupPattern, PatternElement, Projection,
     Query, SelectItem, SelectQuery,
 };
-use crate::cache::BgpCache;
+use crate::cache::{BgpCache, TableVersions};
 use crate::error::SparqlError;
 use crate::eval::{aggregate, solutions_from_tables, SolutionSet};
 use crate::planner::{greedy_order, CardinalityModel, JoinOperand, PlannerSettings, Restriction};
@@ -131,6 +131,12 @@ pub struct StaticPipeline<'a> {
     /// that snapshot a mutable database must capture this **before** the
     /// snapshot (see [`Self::with_cache_at`]).
     pub cache_generation: u64,
+    /// Per-table write versions of this pipeline's database snapshot; when
+    /// set, cache lookups and stores go through the *versioned* API
+    /// ([`BgpCache::lookup_any_versioned`]) instead of the generation gate
+    /// — entries survive writes to tables they never read, and survive
+    /// merges outright (see [`Self::with_cache_versions`]).
+    pub cache_versions: Option<&'a TableVersions>,
     /// Join-order / semi-join planner knobs.
     pub planner: PlannerSettings,
     /// Source statistics feeding the planner's cardinality model; `None`
@@ -210,6 +216,7 @@ impl<'a> StaticPipeline<'a> {
             executor: None,
             cache: None,
             cache_generation: 0,
+            cache_versions: None,
             planner: PlannerSettings::default(),
             table_stats: None,
             tracer: None,
@@ -262,6 +269,19 @@ impl<'a> StaticPipeline<'a> {
     pub fn with_cache_at(mut self, cache: &'a BgpCache, generation: u64) -> Self {
         self.cache = Some(cache);
         self.cache_generation = generation;
+        self
+    }
+
+    /// Attaches a per-BGP cache in *versioned* mode: `versions` are the
+    /// per-table write versions of this pipeline's database snapshot,
+    /// captured atomically with it. Entries are stamped with the versions
+    /// of the tables they read and answer exactly the readers whose
+    /// snapshots agree — a write to one table hides only the entries that
+    /// read it, and a novelty merge (which changes no table's contents)
+    /// hides nothing.
+    pub fn with_cache_versions(mut self, cache: &'a BgpCache, versions: &'a TableVersions) -> Self {
+        self.cache = Some(cache);
+        self.cache_versions = Some(versions);
         self
     }
 
@@ -526,7 +546,10 @@ impl<'a> StaticPipeline<'a> {
             // database snapshot: if a relational write has invalidated the
             // cache since, every probe misses rather than pairing this
             // snapshot with entries computed over a different one.
-            let cached = cache.lookup_any_at(&keys, self.cache_generation);
+            let cached = match self.cache_versions {
+                Some(versions) => cache.lookup_any_versioned(&keys, versions),
+                None => cache.lookup_any_at(&keys, self.cache_generation),
+            };
             if let Some(span) = lookup_span.as_mut() {
                 span.set_attr("outcome", if cached.is_some() { "hit" } else { "miss" });
             }
@@ -622,7 +645,17 @@ impl<'a> StaticPipeline<'a> {
             // this store a no-op instead of repopulating the cache with
             // stale answers.
             if let Some(key) = restricted_key.or(plain_key) {
-                cache.store_with_tables(key, solutions.clone(), self.cache_generation, tables_read);
+                match self.cache_versions {
+                    Some(versions) => {
+                        cache.store_versioned(key, solutions.clone(), versions, tables_read)
+                    }
+                    None => cache.store_with_tables(
+                        key,
+                        solutions.clone(),
+                        self.cache_generation,
+                        tables_read,
+                    ),
+                }
             }
         }
         Ok(solutions)
@@ -650,8 +683,13 @@ impl<'a> StaticPipeline<'a> {
                         // disjunct cost far more than anything else we can
                         // see statically).
                         let cost = (stmt.joins.len() + 1) as f64;
+                        // Pin the round at the coordinator snapshot's
+                        // novelty epoch: every worker resolves the same
+                        // overlay, so one round never mixes pre- and
+                        // post-append rows.
                         PlanFragment::new(i as u64, stmt.to_string(), cost)
                             .with_semi_joins(semi_joins.to_vec())
+                            .at_epoch(self.db.novelty_epoch())
                     })
                     .collect();
                 stats.fragments += fragments.len();
@@ -1157,6 +1195,43 @@ mod tests {
         let (warm, _) = pipeline.answer(&query).unwrap();
         assert_eq!(canonical(&cold), canonical(&warm));
         assert_eq!(warm.len(), 3);
+    }
+
+    /// Novelty-overlay rows answer through both backends: single-node scans
+    /// merge the overlay directly, and fragments pin the coordinator
+    /// snapshot's epoch so a worker holding only the *base* catalog
+    /// resolves the same overlay from the epoch registry.
+    #[test]
+    fn novelty_overlay_rows_reach_both_backends() {
+        use optique_relational::NoveltyOverlay;
+        let mut overlaid = db();
+        let overlay = NoveltyOverlay::empty().with_rows(
+            "turbines",
+            vec![vec![
+                Value::Int(4),
+                Value::text("SGT-750"),
+                Value::text("gas"),
+            ]],
+        );
+        overlaid.set_novelty(Some(overlay));
+        let onto = ontology();
+        let maps = catalog();
+        let query = crate::parse_sparql("SELECT ?t WHERE { ?t a x:Turbine }", &ns()).unwrap();
+
+        let (single, _) = StaticPipeline::new(&onto, &maps, &overlaid)
+            .answer(&query)
+            .unwrap();
+        assert_eq!(single.len(), 4, "overlay turbine joins the base three");
+
+        // The worker's catalog has no overlay installed — the pinned epoch
+        // on the wire is its only path to the appended row.
+        let loopback = Loopback { db: db() };
+        let (fragmented, stats) = StaticPipeline::new(&onto, &maps, &overlaid)
+            .with_executor(&loopback)
+            .answer(&query)
+            .unwrap();
+        assert!(stats.fragments >= 1);
+        assert_eq!(canonical(&single), canonical(&fragmented));
     }
 
     /// Two adjacent groups force a residual join; with the planner on, the

@@ -58,7 +58,7 @@ pub use algebra::{
     AggregateFunction, ArithmeticOperator, AskQuery, ComparisonOperator, Expression, GroupPattern,
     PatternElement, Projection, Query, SelectItem, SelectQuery, SolutionModifier, ValuesBlock,
 };
-pub use cache::BgpCache;
+pub use cache::{BgpCache, TableVersions};
 pub use compile::{
     expression_to_sql, split_union_chain, FragmentExecutor, FragmentRound, PipelineStats,
     StaticPipeline,

@@ -286,7 +286,11 @@ fn snapshots_stay_coherent_under_concurrent_writes() {
             scope.spawn(move || {
                 while !done.load(Ordering::Acquire) {
                     let snap = p.snapshot();
-                    let rows = snap.db.table("sensors").unwrap().rows.len();
+                    // Under the novelty-overlay write path a snapshot's
+                    // rows are base + its own overlay log; the stats must
+                    // describe exactly that sum, never a torn mix.
+                    let rows = snap.db.table("sensors").unwrap().rows.len()
+                        + snap.novelty.rows("sensors").map_or(0, |r| r.len());
                     assert_eq!(
                         snap.stats.row_count("sensors"),
                         Some(rows),
@@ -298,7 +302,14 @@ fn snapshots_stay_coherent_under_concurrent_writes() {
     });
     let last = platform.snapshot();
     assert_eq!(
-        last.db.table("sensors").unwrap().rows.len(),
+        last.db.table("sensors").unwrap().rows.len()
+            + last.novelty.rows("sensors").map_or(0, |r| r.len()),
+        streaming::SENSORS as usize + WRITES
+    );
+    // Folding the overlay lands every write in the base table.
+    platform.merge_now().unwrap();
+    assert_eq!(
+        platform.snapshot().db.table("sensors").unwrap().rows.len(),
         streaming::SENSORS as usize + WRITES
     );
 }
