@@ -1,0 +1,176 @@
+//! Pane-aggregation tick-latency smoke check: incremental panes must keep
+//! warm tick latency flat as the window range grows, while full-window
+//! rescans pay for the whole range on every tick.
+//!
+//! One additive aggregate query (`SUM ≥ threshold` — COUNT/SUM/AVG advance
+//! the cached sliding accumulator by O(slide) pane add/subtract per tick,
+//! independent of range) runs over a 1 Hz measurement stream at window
+//! ranges of 2 s, 20 s and 200 s with a fixed 1 s slide, distributed at 1
+//! and 4 workers, under both execution modes on otherwise identical
+//! deployments: the default pane path, and full rescans via the
+//! `set_pane_aggregation(false)` kill switch. After warmup, the median
+//! warm-tick latency is measured over a run of consecutive pulse instants.
+//!
+//! Fails (nonzero exit) unless, at every worker count, pane tick latency
+//! grows at most [`GATE`]× per 10× range step (medians below [`FLOOR_US`]
+//! are clamped first — at microsecond scale, scheduler noise would
+//! otherwise dominate the ratio). Rescan latencies are reported alongside
+//! so the O(range) vs O(slide) trade is visible, not hidden.
+//!
+//! CI runs this after the test suites; locally:
+//! `cargo run --release -p optique-bench --bin exp_window_panes`.
+
+use std::time::Instant;
+
+use optique::OptiquePlatform;
+use optique_relational::{table::table_of, ColumnType, Value};
+use optique_siemens::SiemensDeployment;
+
+/// Window ranges measured (seconds), in 10× steps; the slide is 1 s.
+const RANGES_S: [i64; 3] = [2, 20, 200];
+/// Worker counts measured.
+const WORKERS: [usize; 2] = [1, 4];
+/// Streamed sensors (1 Hz each).
+const SENSORS: i64 = 16;
+/// Stream duration in seconds — long enough that the largest window plus
+/// the measured tick run stays fully inside the data.
+const DURATION_S: i64 = 260;
+/// First stream timestamp (the pulse grid's origin).
+const START_MS: i64 = 600_000;
+/// Warmup ticks before measuring (first touch folds the base into panes).
+const WARMUP: usize = 3;
+/// Measured warm ticks per configuration.
+const TICKS: usize = 20;
+/// Allowed pane-latency growth per 10× range step.
+const GATE: u64 = 2;
+/// Medians below this are measurement noise, not signal: clamp before
+/// computing growth ratios.
+const FLOOR_US: u64 = 300;
+
+/// The additive aggregate program at window range `range_s`.
+fn program(range_s: i64) -> String {
+    format!(
+        "PREFIX sie: <http://siemens.example/ontology#>\n\
+         PREFIX : <http://siemens.example/ontology#>\n\
+         CREATE STREAM S_out AS\n\
+         CONSTRUCT GRAPH NOW {{ ?c2 a :HotSum }}\n\
+         FROM STREAM S_Msmt [NOW-\"PT{range_s}S\"^^xsd:duration, NOW]->\"PT1S\"^^xsd:duration\n\
+         USING PULSE WITH START = \"00:10:00CET\", FREQUENCY = \"PT1S\"\n\
+         WHERE {{ ?c1 a sie:Assembly. ?c2 a sie:Sensor. ?c1 sie:inAssembly ?c2. }}\n\
+         SEQUENCE BY StdSeq AS seq\n\
+         HAVING SUM(?c2, sie:hasValue) >= 100\n"
+    )
+}
+
+/// The Siemens deployment with `S_Msmt` replaced by a long whole-valued
+/// 1 Hz stream (whole values keep float sums exact; the generated small
+/// stream only covers 60 s — far short of a 200 s window).
+fn bench_platform() -> OptiquePlatform {
+    let mut d = SiemensDeployment::small();
+    let rows = (0..DURATION_S)
+        .flat_map(|sec| {
+            (0..SENSORS).map(move |sensor| {
+                vec![
+                    Value::Timestamp(START_MS + sec * 1_000),
+                    Value::Int(sensor),
+                    Value::Float((40 + (sec + sensor * 7) % 50) as f64),
+                    Value::Null,
+                ]
+            })
+        })
+        .collect();
+    d.db.put_table(
+        "S_Msmt",
+        table_of(
+            "S_Msmt",
+            &[
+                ("ts", ColumnType::Timestamp),
+                ("sensor_id", ColumnType::Int),
+                ("value", ColumnType::Float),
+                ("event", ColumnType::Text),
+            ],
+            rows,
+        )
+        .expect("valid stream table"),
+    );
+    OptiquePlatform::deploy(d.db, d.ontology, d.namespaces, d.mappings, d.stream_to_rdf)
+}
+
+fn median(latencies: &mut [u64]) -> u64 {
+    latencies.sort_unstable();
+    latencies[latencies.len() / 2]
+}
+
+/// Ticks one configuration and returns the median warm-tick latency in µs.
+/// Windows are fully inside the stream for every measured instant, and the
+/// pane counters are cross-checked against the requested mode.
+fn run(range_s: i64, workers: usize, panes: bool) -> u64 {
+    let p = bench_platform();
+    p.register_starql_distributed(&program(range_s), workers)
+        .expect("registration");
+    if !panes {
+        p.set_pane_aggregation(false);
+    }
+    let first = START_MS + range_s * 1_000;
+    for k in 0..WARMUP {
+        p.tick_all(first + k as i64 * 1_000).expect("warmup tick");
+    }
+    let mut lat = Vec::with_capacity(TICKS);
+    for k in 0..TICKS {
+        let instant = first + (WARMUP + k) as i64 * 1_000;
+        let started = Instant::now();
+        let out = p.tick_all(instant).expect("tick");
+        lat.push(started.elapsed().as_micros() as u64);
+        assert!(out[0].1.tuples_in_window > 0 || !panes || out[0].1.pane_hits > 0);
+    }
+    let panel = &p.dashboard().panels[0];
+    if panes {
+        assert!(
+            panel.pane_hits > 0,
+            "pane mode must answer warm ticks from panes: {panel:?}"
+        );
+    } else {
+        assert_eq!(
+            panel.pane_hits + panel.pane_misses,
+            0,
+            "rescan mode must not touch panes: {panel:?}"
+        );
+    }
+    median(&mut lat)
+}
+
+fn main() {
+    println!(
+        "# window panes — {SENSORS}-sensor 1 Hz stream over {DURATION_S} s, \
+         1 s slide, median of {TICKS} warm ticks"
+    );
+    println!("| workers | range (s) | pane (µs) | rescan (µs) |");
+    println!("|--------:|----------:|----------:|------------:|");
+    let mut ok = true;
+    for &workers in &WORKERS {
+        let mut prev_pane: Option<u64> = None;
+        for &range_s in &RANGES_S {
+            let pane = run(range_s, workers, true);
+            let rescan = run(range_s, workers, false);
+            println!("| {workers} | {range_s} | {pane} | {rescan} |");
+            if let Some(prev) = prev_pane {
+                // Clamp both sides to the noise floor before comparing:
+                // sub-floor medians are indistinguishable timer jitter.
+                let (prev, next) = (prev.max(FLOOR_US), pane.max(FLOOR_US));
+                if next > prev.saturating_mul(GATE) {
+                    eprintln!(
+                        "FAIL: pane median grew {prev} -> {next} µs (> {GATE}x) \
+                         at a 10x range step, {workers} worker(s)"
+                    );
+                    ok = false;
+                }
+            }
+            prev_pane = Some(pane);
+        }
+        println!();
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("OK: pane tick latency grew <= {GATE}x per 10x range step at every fleet size");
+}

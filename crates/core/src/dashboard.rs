@@ -32,6 +32,11 @@ pub struct QueryPanel {
     pub shards_pruned: u64,
     /// Cumulative stream-key semi-joins pushed into window fragments.
     pub semi_joins_pushed: u64,
+    /// Cumulative worker pane-store probes answered from warm incremental
+    /// state (pane-combinable distributed queries only).
+    pub pane_hits: u64,
+    /// Cumulative worker pane-store probes folded from scratch.
+    pub pane_misses: u64,
     /// Median tick latency in microseconds (0 before the first tick).
     pub tick_p50_us: u64,
     /// 95th-percentile tick latency in microseconds.
@@ -281,6 +286,20 @@ impl Dashboard {
         self.panels.iter().map(|p| p.shards_pruned).sum()
     }
 
+    /// Worker pane-store hit rate across the continuous-query panels in
+    /// `[0, 1]` (`None` before any pane probe — e.g. no pane-combinable
+    /// distributed query registered).
+    pub fn pane_hit_rate(&self) -> Option<f64> {
+        let hits: u64 = self.panels.iter().map(|p| p.pane_hits).sum();
+        let misses: u64 = self.panels.iter().map(|p| p.pane_misses).sum();
+        let total = hits + misses;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+
     /// Renders an ASCII dashboard frame.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -309,6 +328,8 @@ impl Dashboard {
                 p.stream_rows.to_string(),
                 p.shards_pruned.to_string(),
                 p.semi_joins_pushed.to_string(),
+                p.pane_hits.to_string(),
+                p.pane_misses.to_string(),
                 p.tick_p50_us.to_string(),
                 p.tick_p95_us.to_string(),
                 p.tick_p99_us.to_string(),
@@ -454,6 +475,8 @@ fn stream_layout() -> ColumnLayout {
         ("srows", 6, Align::Right),
         ("prune", 5, Align::Right),
         ("semi", 4, Align::Right),
+        ("phit", 4, Align::Right),
+        ("pmiss", 5, Align::Right),
         ("p50µs", 6, Align::Right),
         ("p95µs", 6, Align::Right),
         ("p99µs", 6, Align::Right),
@@ -522,6 +545,8 @@ mod tests {
                     stream_rows: 1100,
                     shards_pruned: 12,
                     semi_joins_pushed: 10,
+                    pane_hits: 8,
+                    pane_misses: 2,
                     tick_p50_us: 800,
                     tick_p95_us: 950,
                     tick_p99_us: 990,
@@ -539,6 +564,8 @@ mod tests {
                     stream_rows: 0,
                     shards_pruned: 0,
                     semi_joins_pushed: 0,
+                    pane_hits: 0,
+                    pane_misses: 0,
                     tick_p50_us: 0,
                     tick_p95_us: 0,
                     tick_p99_us: 0,
@@ -617,6 +644,16 @@ mod tests {
         assert!(r.contains("plan cache 75% hit"), "{r}");
         assert!(r.contains("wfrag"), "{r}");
         assert!(r.contains("srows"), "{r}");
+    }
+
+    #[test]
+    fn pane_hit_rate_and_render() {
+        let d = dash();
+        assert_eq!(d.pane_hit_rate(), Some(0.8));
+        let r = d.render();
+        assert!(r.contains("phit"), "{r}");
+        assert!(r.contains("pmiss"), "{r}");
+        assert_eq!(Dashboard::default().pane_hit_rate(), None);
     }
 
     #[test]

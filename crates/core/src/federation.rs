@@ -203,6 +203,11 @@ impl Federation {
         self.gateway.plan_cache_stats()
     }
 
+    /// Summed pane-store hits and misses across the pool's workers.
+    pub fn pane_stats(&self) -> (u64, u64) {
+        self.gateway.pane_stats()
+    }
+
     /// Number of workers in the pool.
     pub fn workers(&self) -> usize {
         self.workers
@@ -302,6 +307,24 @@ impl FragmentExecutor for Federation {
         let mut partitioned_fragments = 0usize;
         let mut replicated_fallbacks = 0usize;
         for (slot, fragment) in fragments.into_iter().enumerate() {
+            // Pane-combine fragments route on their probe, not their SQL:
+            // a partitioned stream scatters (each worker combines its
+            // shard's panes; per-key partials concatenate on gather), any
+            // other layout places on one worker's full replica — answering
+            // on every replica would multiply each group by the pool size.
+            if let Some(probe) = &fragment.pane {
+                if self.partition.iter().any(|(t, _)| t == &probe.stream) {
+                    partitioned_fragments += 1;
+                    shipped.push(StaticFragment::scattered(fragment));
+                } else {
+                    if !self.partition.is_empty() {
+                        replicated_fallbacks += 1;
+                    }
+                    shipped.push(StaticFragment::placed(fragment));
+                }
+                shipped_slots.push((slot, false));
+                continue;
+            }
             match self.classify(&fragment.sql) {
                 Classification::Placed => {
                     if !self.partition.is_empty() {
@@ -356,6 +379,8 @@ impl FragmentExecutor for Federation {
             shards_pruned: round.shards_pruned,
             plan_cache_hits: round.plan_cache_hits,
             plan_cache_misses: round.plan_cache_misses,
+            pane_hits: round.pane_hits,
+            pane_misses: round.pane_misses,
             // Worker-side spans ride back with the round; a traced pipeline
             // grafts them under its exec span (untraced callers drop them).
             spans: round.spans,

@@ -82,6 +82,16 @@ pub struct RegisteredStarQl {
     pub shards_pruned: u64,
     /// Cumulative stream-key semi-joins pushed into window fragments.
     pub semi_joins_pushed: u64,
+    /// Cumulative worker pane-store probes answered from warm incremental
+    /// state (pane-combinable distributed queries only).
+    pub pane_hits: u64,
+    /// Cumulative worker pane-store probes folded from scratch.
+    pub pane_misses: u64,
+    /// Highest window id already driven by
+    /// [`append_stream`](OptiquePlatform::append_stream) — initialized to
+    /// the last window the stream's rows had closed at registration, so an
+    /// append only ticks windows it *newly* closes.
+    last_auto_window: Option<u64>,
 }
 
 /// How `insert_static` invalidates the per-BGP cache.
@@ -254,6 +264,11 @@ const DEFAULT_MERGE_THRESHOLD: usize = 4096;
 /// pools retired by catalog writes and distributed registrations.
 const PLAN_CACHE_RETIRED_HITS: &str = "plan_cache.retired_hits";
 const PLAN_CACHE_RETIRED_MISSES: &str = "plan_cache.retired_misses";
+
+/// Registry counters accumulating worker pane-store probe outcomes across
+/// every registered query (pane-combinable distributed ticks only).
+const PANE_HITS: &str = "pane.hits";
+const PANE_MISSES: &str = "pane.misses";
 
 impl OptiquePlatform {
     /// Deploys over explicit assets.
@@ -434,6 +449,12 @@ impl OptiquePlatform {
             .next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let name = name.unwrap_or_else(|| parsed.output_stream.clone());
+        // Windows the stream's existing rows have already closed never
+        // re-fire on the first append: the append-driven clock starts at
+        // the registration-time high-water mark.
+        let last_auto_window = self
+            .stream_clock(&snap, &query.translated.query.stream.name)
+            .and_then(|ts| query.window().last_closed(query.window_start(), ts));
         self.queries.lock().insert(
             id,
             RegisteredStarQl {
@@ -448,6 +469,9 @@ impl OptiquePlatform {
                 stream_rows: 0,
                 shards_pruned: 0,
                 semi_joins_pushed: 0,
+                pane_hits: 0,
+                pane_misses: 0,
+                last_auto_window,
             },
         );
         // A distributed registration may introduce a stream the existing
@@ -580,6 +604,16 @@ impl OptiquePlatform {
         let mut pools = self.federations.lock();
         let entry = pools.entry(key).or_insert_with(|| Arc::clone(&pool));
         if !Arc::ptr_eq(entry.catalog(), &snap.db) {
+            // The replaced pool's plan-cache counters retire exactly like
+            // an explicitly dropped pool's: a mid-flight swap must not
+            // zero the dashboard's cache-rate history.
+            let (hits, misses) = entry.plan_cache_stats();
+            if hits > 0 {
+                self.registry.counter(PLAN_CACHE_RETIRED_HITS).add(hits);
+            }
+            if misses > 0 {
+                self.registry.counter(PLAN_CACHE_RETIRED_MISSES).add(misses);
+            }
             *entry = Arc::clone(&pool);
         }
         Arc::clone(entry)
@@ -1248,7 +1282,10 @@ impl OptiquePlatform {
             .collect();
 
         let mut out = Vec::new();
-        let db = &snap.db;
+        // Ticks read the *view* catalog: unmerged novelty-overlay rows are
+        // part of every window, single-node and distributed alike (the
+        // fragments pin the overlay epoch on the wire).
+        let db = &snap.view;
         let mut queries = self.queries.lock();
         for (id, reg) in queries.iter_mut() {
             // A query whose worker count registered *between* the snapshot
@@ -1257,23 +1294,134 @@ impl OptiquePlatform {
             // and gets its pool next tick. Building here would deadlock on
             // the queries lock (pool construction reads the stream pairs).
             let executor = reg.workers.and_then(|w| pools.get(&w));
-            let tick_started = std::time::Instant::now();
-            let result =
-                reg.query
-                    .tick_via(db, &self.wcache, tick_ms, executor.map(|f| f.as_ref() as _))?;
-            self.registry
-                .histogram(&format!("tick.q{id}.us"))
-                .record(tick_started.elapsed().as_micros() as u64);
-            reg.ticks += 1;
-            reg.alarms += result.satisfied as u64;
-            reg.tuples += result.tuples_in_window as u64;
-            reg.window_fragments += result.window_fragments as u64;
-            reg.stream_rows += result.stream_rows_shipped as u64;
-            reg.shards_pruned += result.shards_pruned as u64;
-            reg.semi_joins_pushed += result.semi_joins_pushed as u64;
+            let result = self.run_tick(reg, db, tick_ms, executor)?;
             out.push((*id, result));
         }
         Ok(out)
+    }
+
+    /// One timed tick of one registered query, folding the tick's counters
+    /// into the query's panel and the pane counters into the registry —
+    /// shared by [`tick_all`](Self::tick_all) and append-driven ticking.
+    fn run_tick(
+        &self,
+        reg: &mut RegisteredStarQl,
+        db: &Arc<Database>,
+        tick_ms: i64,
+        executor: Option<&Arc<Federation>>,
+    ) -> Result<TickOutput, String> {
+        let tick_started = std::time::Instant::now();
+        let result =
+            reg.query
+                .tick_via(db, &self.wcache, tick_ms, executor.map(|f| f.as_ref() as _))?;
+        self.registry
+            .histogram(&format!("tick.q{}.us", reg.id))
+            .record(tick_started.elapsed().as_micros() as u64);
+        reg.ticks += 1;
+        reg.alarms += result.satisfied as u64;
+        reg.tuples += result.tuples_in_window as u64;
+        reg.window_fragments += result.window_fragments as u64;
+        reg.stream_rows += result.stream_rows_shipped as u64;
+        reg.shards_pruned += result.shards_pruned as u64;
+        reg.semi_joins_pushed += result.semi_joins_pushed as u64;
+        reg.pane_hits += result.pane_hits;
+        reg.pane_misses += result.pane_misses;
+        if result.pane_hits > 0 {
+            self.registry.counter(PANE_HITS).add(result.pane_hits);
+        }
+        if result.pane_misses > 0 {
+            self.registry.counter(PANE_MISSES).add(result.pane_misses);
+        }
+        Ok(result)
+    }
+
+    /// The stream's clock under `snap`: the maximum timestamp over the
+    /// table's base rows and any unmerged overlay rows (`None` for an
+    /// empty or non-stream table).
+    fn stream_clock(&self, snap: &PlatformSnapshot, table: &str) -> Option<i64> {
+        let base = snap.view.table(table).ok()?;
+        let ts_idx = base.schema.index_of(&self.stream_to_rdf.timestamp_col)?;
+        base.rows
+            .iter()
+            .chain(snap.view.novelty_rows(table))
+            .filter_map(|row| row.get(ts_idx).and_then(Value::as_i64))
+            .max()
+    }
+
+    /// Appends rows to a stream table **and drives the continuous queries
+    /// over it**: after the write publishes, every registered query on
+    /// `table` ticks once per window the appended rows newly closed (each
+    /// tick at that window's close instant), exactly as if
+    /// [`tick_all`](Self::tick_all) had been pulsed at those times.
+    /// Returns the driven tick outputs as `(query id, output)` pairs in
+    /// registration order, oldest window first — empty when the append
+    /// left every window still open.
+    ///
+    /// This is the push half of the paper's pulse model: where `tick_all`
+    /// polls on an external clock, `append_stream` lets the *data* advance
+    /// the clock — the batch's maximum timestamp becomes the stream's new
+    /// high-water mark.
+    pub fn append_stream(
+        &self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Vec<(u64, TickOutput)>, String> {
+        self.insert_static(table, rows)?;
+        // One snapshot for the whole driven round, pinned *after* the
+        // write so the ticks see the rows that closed their windows.
+        let snap = self.snapshot();
+        let Some(clock) = self.stream_clock(&snap, table) else {
+            return Ok(Vec::new());
+        };
+        // Pools build outside the queries lock, exactly as in `tick_all`.
+        let worker_counts: Vec<usize> = {
+            let queries = self.queries.lock();
+            let mut counts: Vec<usize> = queries
+                .values()
+                .filter(|r| r.query.translated.query.stream.name == table)
+                .filter_map(|r| r.workers)
+                .collect();
+            counts.sort_unstable();
+            counts.dedup();
+            counts
+        };
+        let pools: HashMap<usize, Arc<Federation>> = worker_counts
+            .into_iter()
+            .map(|w| (w, self.federation_for(w, &snap)))
+            .collect();
+
+        let mut out = Vec::new();
+        let db = &snap.view;
+        let mut queries = self.queries.lock();
+        for (id, reg) in queries.iter_mut() {
+            if reg.query.translated.query.stream.name != table {
+                continue;
+            }
+            let window = reg.query.window();
+            let start = reg.query.window_start();
+            let Some(newest) = window.last_closed(start, clock) else {
+                continue;
+            };
+            let first = reg.last_auto_window.map_or(0, |w| w + 1);
+            let executor = reg.workers.and_then(|w| pools.get(&w));
+            for w in first..=newest {
+                let close = window.bounds(start, w).1;
+                let result = self.run_tick(reg, db, close, executor)?;
+                out.push((*id, result));
+            }
+            reg.last_auto_window = Some(newest);
+        }
+        Ok(out)
+    }
+
+    /// Enables/disables incremental pane aggregation on every registered
+    /// query. Disabled queries rescan the full window even when
+    /// pane-combinable — the differential oracle's reference arm; output
+    /// streams are identical either way.
+    pub fn set_pane_aggregation(&self, enabled: bool) {
+        for reg in self.queries.lock().values() {
+            reg.query.set_pane_aggregation(enabled);
+        }
     }
 
     /// The shared window cache (hit/miss statistics for E8).
@@ -1317,6 +1465,8 @@ impl OptiquePlatform {
                     stream_rows: reg.stream_rows,
                     shards_pruned: reg.shards_pruned,
                     semi_joins_pushed: reg.semi_joins_pushed,
+                    pane_hits: reg.pane_hits,
+                    pane_misses: reg.pane_misses,
                     tick_p50_us: ticks.p50,
                     tick_p95_us: ticks.p95,
                     tick_p99_us: ticks.p99,
@@ -1512,6 +1662,211 @@ mod tests {
             later.plan_cache_hits + later.plan_cache_misses
                 > after.plan_cache_hits + after.plan_cache_misses
         );
+    }
+
+    /// Regression (pool-*replacement* counter loss): a straggler holding a
+    /// pre-write snapshot can win the pool slot back from a fresher pool
+    /// via `federation_for`'s double-checked insert. The replaced pool's
+    /// plan-cache counters must retire into the registry exactly like an
+    /// explicitly dropped pool's — pre-fix they vanished with the `Arc`.
+    #[test]
+    fn plan_cache_counters_survive_pool_replacement() {
+        let p = platform();
+        let q = "SELECT ?t WHERE { ?t a sie:Turbine }";
+        p.query_static_distributed(q, 2).unwrap();
+        let old_snap = p.snapshot();
+        // A stop-the-world write swaps the base catalog and drops the
+        // pools (retiring the first pool's counters).
+        p.set_write_policy(WritePolicy::StopTheWorld).unwrap();
+        p.insert_static("turbines", vec![new_turbine_row(&p, 97_001)])
+            .unwrap();
+        // Fresh pool over the new catalog, with live counters.
+        p.query_static_distributed(q, 2).unwrap();
+        let before = p.dashboard();
+        assert!(before.plan_cache_hits + before.plan_cache_misses > 0);
+
+        // The straggler rebuilds over the superseded catalog and replaces
+        // the fresh pool in the slot.
+        let _ = p.federation_for(2, &old_snap);
+        let after = p.dashboard();
+        assert!(
+            after.plan_cache_hits >= before.plan_cache_hits
+                && after.plan_cache_misses >= before.plan_cache_misses,
+            "replaced pool's counters lost: {} + {} -> {} + {}",
+            before.plan_cache_hits,
+            before.plan_cache_misses,
+            after.plan_cache_hits,
+            after.plan_cache_misses,
+        );
+    }
+
+    /// An aggregate HAVING over the Siemens stream: a pure `MAX` threshold
+    /// tree over the stream's value property — pane-combinable by
+    /// construction, and exact across backends (`MAX` is order-independent,
+    /// unlike a float `SUM`). The planted ramps peak at 87.5 and the hot
+    /// bursts at 96+, so `>= 85` fires on the anomalies only.
+    const AGG_QUERY: &str = r#"
+PREFIX sie: <http://siemens.example/ontology#>
+CREATE STREAM S_agg AS
+CONSTRUCT GRAPH NOW { ?c2 a sie:MonInc }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+USING PULSE WITH START = "00:10:00CET", FREQUENCY = "1S"
+WHERE {?c1 a sie:Assembly. ?c2 a sie:Sensor. ?c1 sie:inAssembly ?c2.}
+SEQUENCE BY StdSeq AS seq
+HAVING MAX(?c2, sie:hasValue) >= 85
+"#;
+
+    /// An `S_Msmt` row (`ts TIMESTAMP, sensor_id INT, value FLOAT,
+    /// event TEXT`).
+    fn msmt_row(ts: i64, sensor_id: i64, value: f64) -> Vec<Value> {
+        vec![
+            Value::Timestamp(ts),
+            Value::Int(sensor_id),
+            Value::Float(value),
+            Value::Null,
+        ]
+    }
+
+    /// A sensor id that actually streams (first row of `S_Msmt`).
+    fn streamed_sensor(p: &OptiquePlatform) -> i64 {
+        p.db().table("S_Msmt").unwrap().rows[0][1]
+            .as_i64()
+            .expect("sensor_id is an int")
+    }
+
+    /// Appending stream rows drives registered queries without any
+    /// external `tick_all` pulse: each newly closed window ticks at its
+    /// close instant, counters accumulate, and an append that closes no
+    /// window drives nothing.
+    #[test]
+    fn append_driven_ticks_fire_without_external_pulse() {
+        let p = platform();
+        p.register_starql(AGG_QUERY).unwrap();
+        let sensor = streamed_sensor(&p);
+
+        // Within the last already-closed window: no new window, no tick.
+        let out = p
+            .append_stream("S_Msmt", vec![msmt_row(659_500, sensor, 50.0)])
+            .unwrap();
+        assert!(out.is_empty(), "no window newly closed: {out:?}");
+        assert_eq!(p.dashboard().panels[0].ticks, 0);
+
+        // Ten seconds past the stream end, hot values: ten windows close
+        // and the threshold fires.
+        let rows: Vec<Vec<Value>> = (1..=10)
+            .map(|k| msmt_row(659_000 + k * 1_000, sensor, 99.0))
+            .collect();
+        let out = p.append_stream("S_Msmt", rows).unwrap();
+        assert_eq!(out.len(), 10, "one driven tick per newly closed window");
+        assert!(
+            out.iter().any(|(_, t)| t.satisfied > 0),
+            "hot appended values must fire: {out:?}"
+        );
+        let dash = p.dashboard();
+        assert_eq!(dash.panels[0].ticks, 10);
+        assert!(dash.panels[0].alarms > 0);
+
+        // Re-appending inside the now-closed span drives nothing again.
+        let out = p
+            .append_stream("S_Msmt", vec![msmt_row(669_000, sensor, 99.0)])
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    /// Append-driven ticking raises the same output stream as external
+    /// pulses at the same instants — over base rows *and* unmerged
+    /// novelty-overlay rows (the overlay write path is the default).
+    #[test]
+    fn append_driven_ticks_match_external_pulses() {
+        let driven = platform();
+        let pulsed = platform();
+        driven.register_starql(AGG_QUERY).unwrap();
+        pulsed.register_starql(AGG_QUERY).unwrap();
+        let sensor = streamed_sensor(&driven);
+        let rows: Vec<Vec<Value>> = (1..=5)
+            .map(|k| msmt_row(659_000 + k * 1_000, sensor, 99.0))
+            .collect();
+
+        let driven_out = driven.append_stream("S_Msmt", rows.clone()).unwrap();
+        pulsed.insert_static("S_Msmt", rows).unwrap();
+        let mut pulsed_out = Vec::new();
+        for tick in (660_000..=664_000).step_by(1_000) {
+            pulsed_out.extend(pulsed.tick_all(tick).unwrap());
+        }
+
+        assert_eq!(driven_out.len(), pulsed_out.len());
+        for ((_, d), (_, e)) in driven_out.iter().zip(&pulsed_out) {
+            assert_eq!(d.tick_ms, e.tick_ms);
+            let mut dt = d.triples.clone();
+            let mut et = e.triples.clone();
+            dt.sort_by_key(|t| format!("{t:?}"));
+            et.sort_by_key(|t| format!("{t:?}"));
+            assert_eq!(dt, et, "tick {}", d.tick_ms);
+        }
+    }
+
+    /// A pane-combinable distributed query answers its ticks from
+    /// shard-local pane stores: probe counters surface on the panel and
+    /// the registry, and overlapping windows re-use warm panes.
+    #[test]
+    fn pane_counters_accumulate_on_distributed_agg_query() {
+        let p = platform();
+        p.register_starql_distributed(AGG_QUERY, 4).unwrap();
+        for tick in (600_000..=620_000).step_by(1_000) {
+            p.tick_all(tick).unwrap();
+        }
+        let dash = p.dashboard();
+        let panel = &dash.panels[0];
+        assert!(
+            panel.pane_hits + panel.pane_misses > 0,
+            "pane path never probed: {panel:?}"
+        );
+        assert!(
+            panel.pane_hits > 0,
+            "overlapping windows must re-use warm panes: {panel:?}"
+        );
+        assert_eq!(
+            p.registry.counter(PANE_HITS).get() + p.registry.counter(PANE_MISSES).get(),
+            panel.pane_hits + panel.pane_misses,
+            "registry mirrors the panel"
+        );
+        assert!(dash.pane_hit_rate().is_some());
+        assert!(dash.render().contains("phit"));
+    }
+
+    /// The pane-combined distributed backend, the rescan fallback
+    /// (panes disabled), and single-node evaluation raise identical
+    /// output streams tick for tick.
+    #[test]
+    fn distributed_agg_ticks_match_single_node_with_and_without_panes() {
+        let single = platform();
+        let panes = platform();
+        let rescan = platform();
+        single.register_starql(AGG_QUERY).unwrap();
+        panes.register_starql_distributed(AGG_QUERY, 4).unwrap();
+        rescan.register_starql_distributed(AGG_QUERY, 4).unwrap();
+        rescan.set_pane_aggregation(false);
+        let mut alarms = 0usize;
+        for tick in (600_000..=660_000).step_by(1_000) {
+            let s = single.tick_all(tick).unwrap();
+            let p = panes.tick_all(tick).unwrap();
+            let r = rescan.tick_all(tick).unwrap();
+            alarms += s[0].1.satisfied;
+            let sort = |t: &TickOutput| {
+                let mut v = t.triples.clone();
+                v.sort_by_key(|t| format!("{t:?}"));
+                v
+            };
+            assert_eq!(sort(&s[0].1), sort(&p[0].1), "panes, tick {tick}");
+            assert_eq!(sort(&s[0].1), sort(&r[0].1), "rescan, tick {tick}");
+        }
+        assert!(alarms >= 1, "planted anomalies must fire");
+        // The pane arm genuinely used panes; the rescan arm genuinely
+        // did not.
+        assert!(panes.dashboard().panels[0].pane_hits > 0);
+        let rp = &rescan.dashboard().panels[0];
+        assert_eq!(rp.pane_hits + rp.pane_misses, 0);
+        assert!(rp.window_fragments > 0, "rescan fell back to shipping");
     }
 
     /// A `turbines` row with a fresh primary key, cloned off the first row.

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use optique_relational::{Database, PlanFragment, SelectStatement, SqlError, Table};
+use optique_relational::{Database, PaneStore, PlanFragment, SelectStatement, SqlError, Table};
 use optique_telemetry::SpanRecord;
 use parking_lot::Mutex;
 
@@ -119,6 +119,10 @@ pub struct Gateway {
     /// One plan cache per worker (a real cluster's cache lives with the
     /// worker process, so the simulation keeps them worker-local too).
     plan_caches: Vec<PlanCache>,
+    /// One pane store per worker: shard-local partial aggregates answering
+    /// pane-combine fragments incrementally (worker-local for the same
+    /// reason the plan caches are).
+    pane_stores: Vec<PaneStore>,
 }
 
 impl Gateway {
@@ -126,12 +130,14 @@ impl Gateway {
     pub fn new(cluster: Arc<Cluster>) -> Arc<Self> {
         let scheduler = Scheduler::new(cluster.size());
         let plan_caches = (0..cluster.size()).map(|_| PlanCache::default()).collect();
+        let pane_stores = (0..cluster.size()).map(|_| PaneStore::new()).collect();
         Arc::new(Gateway {
             cluster,
             scheduler: Mutex::new(scheduler),
             registry: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             plan_caches,
+            pane_stores,
         })
     }
 
@@ -140,6 +146,14 @@ impl Gateway {
         self.plan_caches
             .iter()
             .fold((0, 0), |(h, m), c| (h + c.hits(), m + c.misses()))
+    }
+
+    /// Summed pane-store hits and misses across the workers.
+    pub fn pane_stats(&self) -> (u64, u64) {
+        self.pane_stores.iter().fold((0, 0), |(h, m), s| {
+            let (sh, sm) = s.stats();
+            (h + sh, m + sm)
+        })
     }
 
     /// Registers a continuous query: validates it parses, places it on the
@@ -325,11 +339,13 @@ impl Gateway {
             Vec<(usize, Result<String, SqlError>)>,
             u64,
             u64,
+            (u64, u64),
             Vec<SpanRecord>,
         );
         let outputs: Vec<WorkerOutput> = self.cluster.parallel_map(|worker| {
             let cache = &self.plan_caches[worker.id];
             let (mut hits, mut misses) = (0u64, 0u64);
+            let (mut pane_hits, mut pane_misses) = (0u64, 0u64);
             // Per-round memo of resolved novelty views: every fragment
             // pinned at the same epoch shares one merged catalog (`None`
             // means the worker's base db already answers that epoch). The
@@ -351,6 +367,29 @@ impl Gateway {
                     let mut rows = 0u64;
                     let result = (|| {
                         let (epoch, base_wire) = optique_relational::split_novelty_wire(&q.wire);
+                        if let std::collections::hash_map::Entry::Vacant(slot) = views.entry(epoch)
+                        {
+                            slot.insert(optique_relational::view_at(&worker.db, epoch)?);
+                        }
+                        let db = views[&epoch].as_ref().unwrap_or(&worker.db);
+                        // Pane probes bypass SQL planning entirely — no
+                        // parse, no plan cache: the worker answers from its
+                        // shard-local pane store, folding at most the rows
+                        // appended since the last probe.
+                        if base_wire.contains("\npane\t") {
+                            let fragment = PlanFragment::decode(&base_wire)?;
+                            let probe = fragment.pane.as_ref().ok_or_else(|| {
+                                SqlError::Execution("pane wire without probe".into())
+                            })?;
+                            let (table, warm) = self.pane_stores[worker.id].combine(probe, db)?;
+                            cache_hit = warm;
+                            if warm {
+                                pane_hits += 1;
+                            } else {
+                                pane_misses += 1;
+                            }
+                            return Ok(table);
+                        }
                         let (statement, hit) = cache.get_or_prepare(&base_wire)?;
                         cache_hit = hit;
                         if hit {
@@ -358,11 +397,6 @@ impl Gateway {
                         } else {
                             misses += 1;
                         }
-                        if let std::collections::hash_map::Entry::Vacant(slot) = views.entry(epoch)
-                        {
-                            slot.insert(optique_relational::view_at(&worker.db, epoch)?);
-                        }
-                        let db = views[&epoch].as_ref().unwrap_or(&worker.db);
                         optique_relational::execute_prepared(&statement, db)
                     })()
                     .map(|t| {
@@ -407,17 +441,20 @@ impl Gateway {
                 );
                 spans.extend(frag_spans);
             }
-            (results, hits, misses, spans)
+            (results, hits, misses, (pane_hits, pane_misses), spans)
         });
         let (plan_cache_hits, plan_cache_misses) = outputs
             .iter()
-            .fold((0, 0), |(h, m), (_, wh, wm, _)| (h + wh, m + wm));
+            .fold((0, 0), |(h, m), (_, wh, wm, _, _)| (h + wh, m + wm));
+        let (pane_hits, pane_misses) = outputs
+            .iter()
+            .fold((0, 0), |(h, m), (_, _, _, (ph, pm), _)| (h + ph, m + pm));
 
         // Merge the per-worker span batches into one round batch, shifting
         // each batch's internal parent indices past the records already
         // merged (worker roots stay roots of the round batch).
         let mut spans: Vec<SpanRecord> = Vec::new();
-        for (_, _, _, batch) in &outputs {
+        for (_, _, _, _, batch) in &outputs {
             let base = spans.len();
             spans.extend(batch.iter().cloned().map(|mut record| {
                 record.parent = record.parent.map(|p| p + base);
@@ -434,7 +471,7 @@ impl Gateway {
         let mut worker_rows = vec![0usize; size];
         let mut gathered: Vec<Option<Result<Table, SqlError>>> =
             fragments.iter().map(|_| None).collect();
-        for (worker, (per_worker, _, _, _)) in outputs.into_iter().enumerate() {
+        for (worker, (per_worker, _, _, _, _)) in outputs.into_iter().enumerate() {
             for (idx, wire_result) in per_worker {
                 let table = wire_result.and_then(|wire| exchange::receive(&wire));
                 if let Ok(t) = &table {
@@ -457,6 +494,8 @@ impl Gateway {
             shards_pruned,
             plan_cache_hits,
             plan_cache_misses,
+            pane_hits,
+            pane_misses,
             spans,
         }
     }
@@ -480,6 +519,11 @@ pub struct StaticRound {
     pub plan_cache_hits: u64,
     /// Fragment executions that had to parse this round.
     pub plan_cache_misses: u64,
+    /// Pane probes answered from a warm worker pane store this round.
+    pub pane_hits: u64,
+    /// Pane probes that paid a full fold (first touch) or answered
+    /// store-lessly this round.
+    pub pane_misses: u64,
     /// Worker-side trace spans for the round, one batch root per worker
     /// that executed anything, with per-fragment children carrying worker
     /// id, shard, queue wait, plan-cache outcome, rows and wire bytes.
@@ -921,6 +965,73 @@ mod tests {
         let frag = PlanFragment::new(0, "SELECT COUNT(*) AS n FROM m", 1.0).at_epoch(dead);
         let round = g.run_static_round(&[StaticFragment::placed(frag)]);
         assert!(round.tables[0].is_err(), "retired epoch must error");
+    }
+
+    /// A scattered pane fragment is answered worker-side from the pane
+    /// stores — no parse, no plan-cache churn — and the gathered partials
+    /// concatenate into disjoint per-shard groups. Repeating the round is
+    /// a warm hit on every worker.
+    #[test]
+    fn pane_fragments_answer_from_worker_stores() {
+        use optique_relational::{table::table_of, PaneProbe};
+        // 4 workers, each holding a disjoint shard of stream rows keyed by
+        // sensor: worker w owns sensors 4i+w.
+        let g = Gateway::new(Arc::new(Cluster::provision(4, |id| {
+            let rows = (0..200)
+                .filter(|i| (i % 4) as usize == id)
+                .map(|i| {
+                    vec![
+                        Value::Timestamp((i % 50) * 10 + 5),
+                        Value::Int(i % 4),
+                        Value::Float(1.0),
+                    ]
+                })
+                .collect();
+            let mut db = Database::new();
+            db.put_table(
+                "s",
+                table_of(
+                    "s",
+                    &[
+                        ("ts", ColumnType::Timestamp),
+                        ("k", ColumnType::Int),
+                        ("v", ColumnType::Float),
+                    ],
+                    rows,
+                )
+                .unwrap(),
+            );
+            db
+        })));
+        let fragment = || {
+            StaticFragment::scattered(
+                PlanFragment::new(0, "SELECT ts, k, v FROM s", 1.0).with_pane(PaneProbe {
+                    stream: "s".into(),
+                    ts_col: "ts".into(),
+                    key_col: "k".into(),
+                    val_col: "v".into(),
+                    width_ms: 100,
+                    start_ms: 0,
+                    open_ms: 0,
+                    close_ms: 400,
+                    needs_extrema: false,
+                }),
+            )
+        };
+        let cold = g.run_static_round(&[fragment()]);
+        assert_eq!(cold.pane_misses, 4, "first touch folds each shard");
+        assert_eq!(cold.pane_hits, 0);
+        assert_eq!(cold.plan_cache_hits + cold.plan_cache_misses, 0);
+        let t = cold.tables[0].as_ref().unwrap();
+        assert_eq!(t.len(), 4, "one group per key, keys disjoint per shard");
+        // Window (0,400] holds ts 5,15,…,395 → 40 of each worker's 50
+        // distinct timestamps, one row per timestamp (i%50 cycles once per
+        // shard... each shard has 50 rows at 50 distinct ts).
+        let total: i64 = t.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        assert_eq!(total, 4 * 40);
+        let warm = g.run_static_round(&[fragment()]);
+        assert_eq!(warm.pane_hits, 4, "repeat rounds hit every store");
+        assert_eq!(g.pane_stats(), (4, 4));
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::hash::{Hash, Hasher};
 
 use crate::error::SqlError;
 use crate::expr::{BinOp, Expr};
+use crate::panes::PaneProbe;
 use crate::parser::{Projection, SelectStatement, TableRef};
 use crate::schema::{Column, ColumnType, Schema};
 use crate::table::{Database, Table};
@@ -154,6 +155,11 @@ pub struct PlanFragment {
     /// Time-slice of one sliding window, for fragments a continuous query
     /// ships per tick ([`WindowSlice`]).
     pub window: Option<WindowSlice>,
+    /// A pane-combine probe ([`PaneProbe`]): instead of executing
+    /// [`Self::sql`], each worker answers with per-key partial aggregates
+    /// combined from its shard-local pane store. The SQL text still
+    /// describes the equivalent scan for humans and fallback paths.
+    pub pane: Option<PaneProbe>,
     /// The novelty epoch the coordinator pinned for this round (0 = no
     /// overlay): every worker resolves the same overlay
     /// ([`crate::novelty::view_at`]), so one scatter round never mixes
@@ -171,6 +177,7 @@ impl PlanFragment {
             semi_joins: Vec::new(),
             partition: None,
             window: None,
+            pane: None,
             novelty_epoch: 0,
         }
     }
@@ -190,6 +197,13 @@ impl PlanFragment {
     /// Attaches a window time-slice (builder style).
     pub fn with_window(mut self, window: WindowSlice) -> Self {
         self.window = Some(window);
+        self
+    }
+
+    /// Attaches a pane-combine probe (builder style): the fragment answers
+    /// from shard-local panes instead of executing its SQL.
+    pub fn with_pane(mut self, pane: PaneProbe) -> Self {
+        self.pane = Some(pane);
         self
     }
 
@@ -216,10 +230,15 @@ impl PlanFragment {
     /// slice or restriction is never silently dropped on any execution
     /// path.
     pub fn execute(&self, db: &Database) -> Result<Table, SqlError> {
-        match crate::novelty::view_at(db, self.novelty_epoch)? {
-            Some(view) => execute_prepared(&self.statement()?, &view),
-            None => execute_prepared(&self.statement()?, db),
+        let view = crate::novelty::view_at(db, self.novelty_epoch)?;
+        let db = view.as_ref().unwrap_or(db);
+        // A pane probe bypasses SQL execution entirely: the store-less
+        // reference fold keeps coordinator fallbacks and single-worker
+        // loopbacks bit-identical to the pane-store answers.
+        if let Some(probe) = &self.pane {
+            return crate::panes::compute_window_aggregates(probe, db);
         }
+        execute_prepared(&self.statement()?, db)
     }
 
     /// A one-line human summary for trace spans and plan displays: the SQL
@@ -244,6 +263,13 @@ impl PlanFragment {
         let mut out = sql;
         if let Some(win) = &self.window {
             let _ = write!(out, " [win {}..{})", win.open_ms, win.close_ms);
+        }
+        if let Some(pane) = &self.pane {
+            let _ = write!(
+                out,
+                " [pane w{} {}..{}]",
+                pane.width_ms, pane.open_ms, pane.close_ms
+            );
         }
         if !self.semi_joins.is_empty() {
             let keys: usize = self.semi_joins.iter().map(|s| s.values.len()).sum();
@@ -270,6 +296,21 @@ impl PlanFragment {
                 escape(&win.column),
                 win.open_ms,
                 win.close_ms
+            );
+        }
+        if let Some(pane) = &self.pane {
+            let _ = write!(
+                out,
+                "\npane\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                escape(&pane.stream),
+                escape(&pane.ts_col),
+                escape(&pane.key_col),
+                escape(&pane.val_col),
+                pane.width_ms,
+                pane.start_ms,
+                pane.open_ms,
+                pane.close_ms,
+                u8::from(pane.needs_extrema),
             );
         }
         if let Some(part) = &self.partition {
@@ -330,6 +371,7 @@ impl PlanFragment {
         let mut semi_joins = Vec::new();
         let mut partition = None;
         let mut window = None;
+        let mut pane = None;
         let mut novelty_epoch = 0;
         for line in lines {
             let mut fields = line.split('\t');
@@ -385,6 +427,37 @@ impl PlanFragment {
                         .collect::<Result<_, _>>()?;
                     semi_joins.push(SemiJoin::new(column, values));
                 }
+                Some("pane") => {
+                    let mut field = || {
+                        fields
+                            .next()
+                            .ok_or_else(|| SqlError::Execution("pane field missing".into()))
+                    };
+                    let stream = unescape(field()?)?;
+                    let ts_col = unescape(field()?)?;
+                    let key_col = unescape(field()?)?;
+                    let val_col = unescape(field()?)?;
+                    let parse = |s: &str| {
+                        s.parse::<i64>()
+                            .map_err(|_| SqlError::Execution(format!("bad pane bound {s:?}")))
+                    };
+                    let width_ms = parse(field()?)?;
+                    let start_ms = parse(field()?)?;
+                    let open_ms = parse(field()?)?;
+                    let close_ms = parse(field()?)?;
+                    let needs_extrema = field()? == "1";
+                    pane = Some(PaneProbe {
+                        stream,
+                        ts_col,
+                        key_col,
+                        val_col,
+                        width_ms,
+                        start_ms,
+                        open_ms,
+                        close_ms,
+                        needs_extrema,
+                    });
+                }
                 Some("part") => {
                     let mut field = || {
                         fields
@@ -414,6 +487,7 @@ impl PlanFragment {
             semi_joins,
             partition,
             window,
+            pane,
             novelty_epoch,
         })
     }

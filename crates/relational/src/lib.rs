@@ -35,6 +35,7 @@ pub mod index;
 pub mod lexer;
 pub mod novelty;
 pub mod optimizer;
+pub mod panes;
 pub mod parser;
 pub mod plan;
 pub mod schema;
@@ -51,6 +52,9 @@ pub use fragment::{
     PartitionSpec, PlanFragment, ResultBatch, SemiJoin, ShardCompatibility, WindowSlice,
 };
 pub use novelty::{view_at, NoveltyOverlay, NoveltyScope};
+pub use panes::{
+    compute_window_aggregates, merge_pane_rows, pane_width, AggAcc, PaneProbe, PaneStore,
+};
 pub use parser::{parse_select, SelectStatement};
 pub use plan::LogicalPlan;
 pub use schema::{Column, ColumnType, Schema};

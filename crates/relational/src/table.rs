@@ -216,6 +216,13 @@ impl Database {
         self.novelty_scope = scope;
     }
 
+    /// The installed novelty scope, if any — consumers that index the raw
+    /// overlay log (the pane store's incremental fold) re-apply the shard
+    /// filter themselves.
+    pub fn novelty_scope(&self) -> Option<&Arc<NoveltyScope>> {
+        self.novelty_scope.as_ref()
+    }
+
     /// The overlay rows of `table` visible through this catalog: all of
     /// them by default, or — for a table this catalog's [`NoveltyScope`]
     /// partitions — only the rows hashing to this worker's shard.

@@ -77,6 +77,12 @@ pub struct FragmentRound {
     pub plan_cache_hits: u64,
     /// Fragment executions that parsed their statement this round.
     pub plan_cache_misses: u64,
+    /// Pane probes answered from a worker's warm pane store (at most
+    /// O(slide) incremental folding).
+    pub pane_hits: u64,
+    /// Pane probes that paid a full fold (first touch of a pane grid) or
+    /// answered store-lessly (stale epoch, misaligned window bounds).
+    pub pane_misses: u64,
     /// Worker-side trace spans for the round (batch-relative, see
     /// [`optique_telemetry::SpanRecord`]). A traced pipeline grafts them
     /// under its execution span so worker-side children stitch into the

@@ -5,11 +5,32 @@ use optique_sparql::Expression;
 
 use crate::having::ProtoFormula;
 
+/// CQL-style relation-to-stream operator selecting what a tick emits.
+///
+/// Each tick computes a relation (the constructed graph for the closed
+/// window); the output mode turns the tick-indexed sequence of relations
+/// back into a stream: `RSTREAM` emits the whole relation, `ISTREAM` only
+/// the triples new since the previous tick, `DSTREAM` only the triples
+/// that disappeared.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Emit the full per-tick relation (the default).
+    #[default]
+    RStream,
+    /// Emit insertions w.r.t. the previous tick.
+    IStream,
+    /// Emit deletions w.r.t. the previous tick.
+    DStream,
+}
+
 /// A parsed STARQL continuous query (paper Figure 1 shape).
 #[derive(Clone, Debug)]
 pub struct StarQlQuery {
     /// `CREATE STREAM <name> AS` — the output stream's name.
     pub output_stream: String,
+    /// `AS [RSTREAM|ISTREAM|DSTREAM] CONSTRUCT` — the relation-to-stream
+    /// operator applied to the per-tick constructed graphs.
+    pub output_mode: OutputMode,
     /// `CONSTRUCT GRAPH NOW { … }` — the output triple template (atoms over
     /// WHERE/HAVING variables).
     pub construct: Vec<Atom>,

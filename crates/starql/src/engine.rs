@@ -20,21 +20,24 @@
 //! raw keys — the stream-static join pushdown — which also lets the
 //! gateway's shard routing skip shards that can hold no admissible key.
 
-use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use optique_ontology::materialize::materialize;
 use optique_rdf::{Term, Triple};
 use optique_relational::{
-    ColumnType, Database, PlanFragment, Schema, SemiJoin, Value, WindowSlice,
+    merge_pane_rows, pane_width, AggAcc, ColumnType, Database, PaneProbe, PlanFragment, Schema,
+    SemiJoin, Value, WindowSlice,
 };
 use optique_rewrite::{Atom, QueryTerm};
 use optique_sparql::FragmentExecutor;
-use optique_stream::{Stream, WCache, WindowSpec};
+use optique_stream::{Stream, StreamDiffer, WCache, WindowSpec};
 use optique_telemetry::SpanRecord;
 
-use crate::having::Env;
+use crate::ast::OutputMode;
+use crate::having::{AggContext, Env, HavingFormula};
 use crate::sequence::{build_stdseq, IcPolicy, StreamToRdf};
 use crate::translate::TranslatedQuery;
 
@@ -61,6 +64,28 @@ pub struct ContinuousQuery {
     /// restriction not provably sound, or too many keys): distributed
     /// ticks push these into the window fragment as a semi-join.
     stream_keys: Option<Vec<Value>>,
+    /// When the HAVING condition is a pure tree of window aggregates over
+    /// the stream's value property, distributed ticks skip window
+    /// materialization and combine per-shard pane partials instead.
+    pane_plan: Option<PanePlan>,
+    /// Runtime switch for the pane path (`true` by default); turning it
+    /// off forces the full-window rescan — the oracle's reference arm.
+    pane_enabled: AtomicBool,
+    /// Relation-to-stream differ for ISTREAM/DSTREAM output: tracks the
+    /// previous tick's constructed triples.
+    differ: Mutex<StreamDiffer<Triple>>,
+}
+
+/// The pane-combinability verdict for a registered query: which stream
+/// columns the per-shard partial aggregates are keyed and valued on.
+#[derive(Clone, Debug)]
+struct PanePlan {
+    /// Group-by column (the subject-template column).
+    key_col: String,
+    /// Aggregated value column.
+    val_col: String,
+    /// Whether any MIN/MAX atom appears — extrema partials must ride along.
+    needs_extrema: bool,
 }
 
 /// One tick's output and accounting.
@@ -96,6 +121,11 @@ pub struct TickOutput {
     /// Window fragments that executed sharded over a hash-partitioned
     /// stream (scatter) rather than on a single replica.
     pub partitioned_fragments: usize,
+    /// Worker pane-store probes answered from warm incremental state.
+    pub pane_hits: u64,
+    /// Worker pane-store probes that had to fold panes from scratch (or
+    /// fell back to the store-less reference fold).
+    pub pane_misses: u64,
     /// Per-tick telemetry spans as flat wire records relative to the tick
     /// epoch: `tick` at index 0, `window_build` (with its `wcache_lookup`
     /// and `scatter` children) and `r2s` nested under it. Graft them into
@@ -158,6 +188,7 @@ impl ContinuousQuery {
             .map(|p| p.start_ms)
             .unwrap_or(0);
         let stream_keys = admissible_stream_keys(&translated, &stream_to_rdf, db, &bindings);
+        let pane_plan = pane_plan_for(&translated, &stream_to_rdf, db);
         Ok(ContinuousQuery {
             translated,
             stream_to_rdf,
@@ -167,6 +198,9 @@ impl ContinuousQuery {
             window,
             window_start,
             stream_keys,
+            pane_plan,
+            pane_enabled: AtomicBool::new(true),
+            differ: Mutex::new(StreamDiffer::new()),
         })
     }
 
@@ -184,6 +218,30 @@ impl ContinuousQuery {
     /// HAVING formula is restriction-safe (observability / tests).
     pub fn stream_keys(&self) -> Option<&[Value]> {
         self.stream_keys.as_deref()
+    }
+
+    /// First window start (the pulse's START, or 0).
+    pub fn window_start(&self) -> i64 {
+        self.window_start
+    }
+
+    /// The query's relation-to-stream output mode.
+    pub fn output_mode(&self) -> OutputMode {
+        self.translated.query.output_mode
+    }
+
+    /// True when registration proved the HAVING condition answerable from
+    /// per-shard pane partials (distributed ticks then skip window
+    /// materialization).
+    pub fn pane_combinable(&self) -> bool {
+        self.pane_plan.is_some()
+    }
+
+    /// Enables/disables the pane path at runtime; disabled queries rescan
+    /// the full window even when pane-combinable (the differential oracle's
+    /// reference arm).
+    pub fn set_pane_aggregation(&self, enabled: bool) {
+        self.pane_enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// Evaluates one pulse tick at `tick_ms` over the stream table in `db`,
@@ -228,6 +286,17 @@ impl ContinuousQuery {
             })?;
 
         let (open, close) = self.window.bounds(self.window_start, window_id);
+
+        // Pane-combinable queries skip window materialization entirely on
+        // the distributed path: each worker answers from its shard-local
+        // incremental pane store and only per-group partial aggregates
+        // travel, independent of the window's row count.
+        if let (Some(plan), Some(executor)) = (&self.pane_plan, executor) {
+            if self.pane_enabled.load(Ordering::Relaxed) {
+                return self.tick_panes(db, tick_ms, window_id, open, close, plan, executor);
+            }
+        }
+
         let mut window_fragments = 0usize;
         let mut stream_rows_shipped = 0usize;
         let mut semi_joins_pushed = 0usize;
@@ -241,31 +310,65 @@ impl ContinuousQuery {
         let lookup_span: Option<SpanRecord>;
         let mut scatter_span: Option<SpanRecord> = None;
         let build_start = now_us(&epoch);
+        let novelty_epoch = db.novelty_epoch();
         let rows: Arc<Vec<Vec<Value>>> = match executor {
             None => {
-                let mut built_fresh = false;
-                let rows = wcache.get_or_build(stream_name, window_id, || {
-                    built_fresh = true;
+                // Unmerged novelty-overlay rows are part of the window too:
+                // the base slice is chained with the overlay's in-range rows.
+                // Overlaid windows cache under an epoch variant — the plain
+                // entry stays the base-only slice other epochs share.
+                let build = || {
                     let stream = Stream::new(stream_name.clone(), (**table).clone(), ts_col)
                         .expect("stream table validated at registration");
-                    stream.slice(open, close).to_vec()
-                });
-                lookup_span = Some(
-                    SpanRecord::new("wcache_lookup", build_start, now_us(&epoch) - build_start)
-                        .under(1)
-                        .attr("outcome", if built_fresh { "miss" } else { "hit" }),
-                );
-                rows
+                    let mut rows = stream.slice(open, close).to_vec();
+                    for row in db.novelty_rows(stream_name) {
+                        if let Some(ts) = row[ts_col].as_i64() {
+                            if ts > open && ts <= close {
+                                rows.push(row.clone());
+                            }
+                        }
+                    }
+                    rows
+                };
+                if novelty_epoch == 0 {
+                    let mut built_fresh = false;
+                    let rows = wcache.get_or_build(stream_name, window_id, || {
+                        built_fresh = true;
+                        build()
+                    });
+                    lookup_span = Some(
+                        SpanRecord::new("wcache_lookup", build_start, now_us(&epoch) - build_start)
+                            .under(1)
+                            .attr("outcome", if built_fresh { "miss" } else { "hit" }),
+                    );
+                    rows
+                } else {
+                    let variant = format!("e{novelty_epoch}");
+                    let hit = wcache.lookup(stream_name, window_id, &variant);
+                    lookup_span = Some(
+                        SpanRecord::new("wcache_lookup", build_start, now_us(&epoch) - build_start)
+                            .under(1)
+                            .attr("outcome", if hit.is_some() { "hit" } else { "miss" }),
+                    );
+                    match hit {
+                        Some(hit) => hit,
+                        None => wcache.insert(stream_name, window_id, &variant, build()),
+                    }
+                }
             }
             Some(executor) => {
                 // Restricted windows are a *subset* of the full window, so
                 // they cache under their own variant; the unrestricted
                 // distributed window is the same multiset as the local
-                // slice and shares the plain entry.
-                let variant = match &self.stream_keys {
+                // slice and shares the plain entry. Overlay epochs split
+                // the cache the same way the local path does.
+                let mut variant = match &self.stream_keys {
                     Some(keys) => format!("⋉{keys:?}"),
                     None => String::new(),
                 };
+                if novelty_epoch > 0 {
+                    variant.push_str(&format!("e{novelty_epoch}"));
+                }
                 let lookup_start = now_us(&epoch);
                 let hit = wcache.lookup(stream_name, window_id, &variant);
                 lookup_span = Some(
@@ -276,7 +379,9 @@ impl ContinuousQuery {
                 match hit {
                     Some(hit) => hit,
                     None => {
-                        let fragment = self.window_fragment(&schema, stream_name, open, close);
+                        let fragment = self
+                            .window_fragment(&schema, stream_name, open, close)
+                            .at_epoch(novelty_epoch);
                         window_fragments += 1;
                         semi_joins_pushed += fragment.semi_joins.len();
                         let scatter_start = now_us(&epoch);
@@ -325,6 +430,39 @@ impl ContinuousQuery {
             }
         }
 
+        // Aggregate atoms evaluate against per-subject accumulators over the
+        // whole window — the store-less reference fold, kept bit-identical
+        // to what pane combination reconstructs.
+        let aggs = if contains_agg(&self.translated.having) {
+            let key_idx = schema
+                .index_of(self.stream_to_rdf.subject.column())
+                .ok_or_else(|| {
+                    format!(
+                        "stream {stream_name} lacks subject column {}",
+                        self.stream_to_rdf.subject.column()
+                    )
+                })?;
+            let val_idx = schema
+                .index_of(&self.stream_to_rdf.value_col)
+                .ok_or_else(|| {
+                    format!(
+                        "stream {stream_name} lacks value column {}",
+                        self.stream_to_rdf.value_col
+                    )
+                })?;
+            let mut groups: BTreeMap<Value, AggAcc> = BTreeMap::new();
+            for row in rows.iter() {
+                groups
+                    .entry(row[key_idx].clone())
+                    .or_default()
+                    .observe(&row[val_idx])
+                    .map_err(|e| e.to_string())?;
+            }
+            Some(self.mint_agg_context(&groups))
+        } else {
+            None
+        };
+
         let mut triples = Vec::new();
         let mut satisfied = 0usize;
         for binding in &self.bindings {
@@ -332,11 +470,16 @@ impl ContinuousQuery {
             for (var, term) in binding {
                 env.values.insert(var.clone(), term.clone());
             }
-            if self.translated.having.eval(&seq, &env)? {
+            if self
+                .translated
+                .having
+                .eval_with(&seq, &env, aggs.as_ref())?
+            {
                 satisfied += 1;
                 instantiate_construct(&self.translated.query.construct, binding, &mut triples)?;
             }
         }
+        let triples = self.apply_output_mode(triples);
         let r2s_end = now_us(&epoch);
 
         let mut spans = vec![
@@ -371,8 +514,150 @@ impl ContinuousQuery {
             semi_joins_pushed,
             shards_pruned,
             partitioned_fragments,
+            pane_hits: 0,
+            pane_misses: 0,
             spans,
         })
+    }
+
+    /// The pane tick: ships one pane-combine fragment, merges the workers'
+    /// per-group partial aggregates, and evaluates the HAVING tree straight
+    /// off the combined accumulators — no window rows, no state sequence.
+    #[allow(clippy::too_many_arguments)]
+    fn tick_panes(
+        &self,
+        db: &Database,
+        tick_ms: i64,
+        window_id: u64,
+        open: i64,
+        close: i64,
+        plan: &PanePlan,
+        executor: &dyn FragmentExecutor,
+    ) -> Result<TickOutput, String> {
+        let stream_name = &self.translated.query.stream.name;
+        let epoch = Instant::now();
+        let now_us = |epoch: &Instant| epoch.elapsed().as_micros() as u64;
+        let probe = PaneProbe {
+            stream: stream_name.clone(),
+            ts_col: self.stream_to_rdf.timestamp_col.clone(),
+            key_col: plan.key_col.clone(),
+            val_col: plan.val_col.clone(),
+            width_ms: pane_width(
+                self.translated.query.stream.range_ms,
+                self.translated.query.stream.slide_ms,
+            ),
+            start_ms: self.window_start,
+            open_ms: open,
+            close_ms: close,
+            needs_extrema: plan.needs_extrema,
+        };
+        let fragment = PlanFragment::new(
+            0,
+            format!(
+                "SELECT {}, {} FROM {stream_name}",
+                plan.key_col, plan.val_col
+            ),
+            1.0,
+        )
+        .with_pane(probe)
+        .at_epoch(db.novelty_epoch());
+        let combine_start = now_us(&epoch);
+        let round = executor
+            .execute(vec![fragment])
+            .map_err(|e| format!("pane fragment round failed: {e}"))?;
+        let mut groups: BTreeMap<Value, AggAcc> = BTreeMap::new();
+        let mut rows_shipped = 0usize;
+        for table in &round.tables {
+            rows_shipped += table.rows.len();
+            merge_pane_rows(&mut groups, &table.rows).map_err(|e| e.to_string())?;
+        }
+        let tuples_in_window: i64 = groups.values().map(|a| a.count).sum();
+        let ctx = self.mint_agg_context(&groups);
+        let combine_end = now_us(&epoch);
+
+        let seq = crate::sequence::StateSequence::default();
+        let mut triples = Vec::new();
+        let mut satisfied = 0usize;
+        for binding in &self.bindings {
+            let mut env = Env::default();
+            for (var, term) in binding {
+                env.values.insert(var.clone(), term.clone());
+            }
+            if self.translated.having.eval_with(&seq, &env, Some(&ctx))? {
+                satisfied += 1;
+                instantiate_construct(&self.translated.query.construct, binding, &mut triples)?;
+            }
+        }
+        let triples = self.apply_output_mode(triples);
+        let r2s_end = now_us(&epoch);
+
+        let spans = vec![
+            SpanRecord::new("tick", 0, r2s_end)
+                .attr("window", window_id)
+                .attr("tuples", tuples_in_window.max(0) as u64)
+                .attr("satisfied", satisfied as u64),
+            SpanRecord::new("pane_combine", combine_start, combine_end - combine_start)
+                .under(0)
+                .attr("groups", groups.len() as u64)
+                .attr("rows", rows_shipped as u64)
+                .attr("pane_hits", round.pane_hits)
+                .attr("pane_misses", round.pane_misses),
+        ];
+
+        Ok(TickOutput {
+            tick_ms,
+            window_id,
+            triples,
+            satisfied,
+            bindings_checked: self.bindings.len(),
+            tuples_in_window: tuples_in_window.max(0) as usize,
+            states: 0,
+            dropped_states: 0,
+            window_fragments: 1,
+            stream_rows_shipped: rows_shipped,
+            semi_joins_pushed: 0,
+            shards_pruned: round.shards_pruned,
+            partitioned_fragments: round.partitioned_fragments,
+            pane_hits: round.pane_hits,
+            pane_misses: round.pane_misses,
+            spans,
+        })
+    }
+
+    /// Mints the per-subject aggregate context from raw group accumulators:
+    /// group keys render through the stream's subject template — the exact
+    /// terms `tuple_triples` would mint, so aggregate lookups agree with
+    /// graph-pattern matching. Null keys (subjectless rows) and all-null
+    /// groups are skipped on every path alike.
+    fn mint_agg_context(&self, groups: &BTreeMap<Value, AggAcc>) -> AggContext {
+        let mut ctx = AggContext::new();
+        for (key, acc) in groups {
+            if key.is_null() || acc.count == 0 {
+                continue;
+            }
+            ctx.insert(
+                Term::iri(self.stream_to_rdf.subject.render(key)),
+                acc.clone(),
+            );
+        }
+        ctx
+    }
+
+    /// Applies the query's relation-to-stream operator to one tick's
+    /// constructed triples. RSTREAM leaves the differ untouched, so
+    /// RSTREAM queries stay stateless across backends.
+    fn apply_output_mode(&self, triples: Vec<Triple>) -> Vec<Triple> {
+        match self.translated.query.output_mode {
+            OutputMode::RStream => triples,
+            OutputMode::IStream => {
+                let (ins, _) = self.differ.lock().expect("differ poisoned").tick(triples);
+                ins
+            }
+            OutputMode::DStream => {
+                let (_, del) = self.differ.lock().expect("differ poisoned").tick(triples);
+                del
+            }
+        }
     }
 
     /// Compiles one window into its plan fragment: a plain scan of the
@@ -491,6 +776,114 @@ fn admissible_stream_keys(
         }
     }
     Some(keys.into_iter().collect())
+}
+
+/// True when any [`HavingFormula::Agg`] atom appears anywhere in the
+/// formula — such ticks must fold the window into per-subject accumulators.
+fn contains_agg(f: &HavingFormula) -> bool {
+    match f {
+        HavingFormula::Agg { .. } => true,
+        HavingFormula::Exists { body, .. }
+        | HavingFormula::Forall { body, .. }
+        | HavingFormula::Not(body) => contains_agg(body),
+        HavingFormula::If { cond, then } => contains_agg(cond) || contains_agg(then),
+        HavingFormula::And(a, b) | HavingFormula::Or(a, b) => contains_agg(a) || contains_agg(b),
+        HavingFormula::True
+        | HavingFormula::StateLess { .. }
+        | HavingFormula::Graph { .. }
+        | HavingFormula::Cmp { .. } => false,
+    }
+}
+
+/// Decides, at registration, whether ticks can be answered from per-shard
+/// pane partials alone. Sound exactly when:
+///
+/// * the HAVING condition is a boolean tree (`AND`/`OR`/`NOT`/`TRUE`) of
+///   aggregate atoms only — no quantifier, graph pattern, state order, or
+///   bare comparison needs the state sequence;
+/// * every aggregate reads the stream's mapped value property, so the
+///   pane store's one (key, value) accumulator grid answers them all;
+/// * every aggregate subject is a WHERE-bound variable or an IRI constant
+///   (both render/invert through the subject template), and every
+///   threshold is a numeric literal or a WHERE-bound variable;
+/// * the subject, timestamp and value columns exist, the value column
+///   numeric.
+///
+/// Anything else declines: the tick falls back to full-window shipping,
+/// whose semantics the streaming-equivalence oracle already pins down.
+fn pane_plan_for(
+    translated: &TranslatedQuery,
+    stream_to_rdf: &StreamToRdf,
+    db: &Database,
+) -> Option<PanePlan> {
+    let having = &translated.having;
+    if !contains_agg(having) || !pane_combinable_tree(having, translated, stream_to_rdf) {
+        return None;
+    }
+    let schema = &db.table(&translated.query.stream.name).ok()?.schema;
+    let key_col = stream_to_rdf.subject.column().to_string();
+    schema.index_of(&key_col)?;
+    schema.index_of(&stream_to_rdf.timestamp_col)?;
+    let val_idx = schema.index_of(&stream_to_rdf.value_col)?;
+    if !matches!(
+        schema.columns()[val_idx].ty,
+        ColumnType::Int | ColumnType::Float
+    ) {
+        return None;
+    }
+    Some(PanePlan {
+        key_col,
+        val_col: stream_to_rdf.value_col.clone(),
+        needs_extrema: needs_extrema(having),
+    })
+}
+
+fn pane_combinable_tree(
+    f: &HavingFormula,
+    translated: &TranslatedQuery,
+    stream_to_rdf: &StreamToRdf,
+) -> bool {
+    let where_bound = |v: &str| translated.where_answer_vars.iter().any(|w| w == v);
+    match f {
+        HavingFormula::True => true,
+        HavingFormula::And(a, b) | HavingFormula::Or(a, b) => {
+            pane_combinable_tree(a, translated, stream_to_rdf)
+                && pane_combinable_tree(b, translated, stream_to_rdf)
+        }
+        HavingFormula::Not(a) => pane_combinable_tree(a, translated, stream_to_rdf),
+        HavingFormula::Agg {
+            subject,
+            property,
+            threshold,
+            ..
+        } => {
+            property == &stream_to_rdf.value_property
+                && match subject {
+                    QueryTerm::Var(v) => where_bound(v),
+                    QueryTerm::Const(Term::Iri(_)) => true,
+                    QueryTerm::Const(_) => false,
+                }
+                && match threshold {
+                    QueryTerm::Const(Term::Literal(l)) => l.as_f64().is_some(),
+                    QueryTerm::Const(_) => false,
+                    QueryTerm::Var(v) => where_bound(v),
+                }
+        }
+        _ => false,
+    }
+}
+
+fn needs_extrema(f: &HavingFormula) -> bool {
+    use crate::having::AggFunc;
+    match f {
+        HavingFormula::Agg { func, .. } => matches!(func, AggFunc::Min | AggFunc::Max),
+        HavingFormula::Exists { body, .. }
+        | HavingFormula::Forall { body, .. }
+        | HavingFormula::Not(body) => needs_extrema(body),
+        HavingFormula::If { cond, then } => needs_extrema(cond) || needs_extrema(then),
+        HavingFormula::And(a, b) | HavingFormula::Or(a, b) => needs_extrema(a) || needs_extrema(b),
+        _ => false,
+    }
 }
 
 /// Maps a subject IRI back to the raw key value of the declared column
@@ -914,6 +1307,154 @@ mod tests {
         let out = cq.tick(&db, &wcache, 1_000).unwrap();
         assert_eq!(out.bindings_checked, 0);
         assert!(out.triples.is_empty());
+    }
+
+    /// Registers a query over the shared deployment from explicit STARQL
+    /// text (the Figure 1 static side, custom CONSTRUCT/HAVING).
+    fn registered_text(text: &str) -> (ContinuousQuery, Database) {
+        let (db, onto, maps) = deployment();
+        let ns = Namespaces::with_w3c_defaults();
+        let q = parse_starql(text, &ns).unwrap();
+        let ctx = TranslationContext {
+            ontology: &onto,
+            mappings: &maps,
+            rewrite_settings: Default::default(),
+            unfold_settings: Default::default(),
+        };
+        let translated = translate(&q, &ctx).unwrap();
+        let cq = ContinuousQuery::register(translated, stream_mapping(), &db).unwrap();
+        (cq, db)
+    }
+
+    fn agg_query(output_mode: &str, having: &str) -> String {
+        format!(
+            r#"
+            PREFIX sie: <http://siemens.example/ontology#>
+            CREATE STREAM S_out AS {output_mode}
+            CONSTRUCT GRAPH NOW {{ ?c2 a sie:HighLoad }}
+            FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE {{ ?c1 a sie:Assembly. ?c2 a sie:Sensor. ?c1 sie:inAssembly ?c2. }}
+            SEQUENCE BY StdSeq AS seq
+            HAVING {having}
+            "#
+        )
+    }
+
+    /// A pure aggregate HAVING tree is proven pane-combinable at
+    /// registration; mixing in a graph pattern declines the analysis.
+    #[test]
+    fn pane_analysis_accepts_pure_aggregate_trees() {
+        let (cq, _) = registered_text(&agg_query("", "AVG(?c2, sie:hasValue) >= 80"));
+        assert!(cq.pane_combinable());
+        let (cq, _) = registered_text(&agg_query(
+            "",
+            "SUM(?c2, sie:hasValue) >= 100 AND NOT COUNT(?c2, sie:hasValue) > 99",
+        ));
+        assert!(cq.pane_combinable());
+        // A graph pattern needs the state sequence: declined.
+        let (cq, _) = registered_text(&agg_query(
+            "",
+            "SUM(?c2, sie:hasValue) >= 100 AND EXISTS ?k IN seq: GRAPH ?k { ?c2 sie:showsFailure }",
+        ));
+        assert!(!cq.pane_combinable());
+        // An aggregate over a property other than the mapped value
+        // property has no pane grid: declined.
+        let (cq, _) = registered_text(&agg_query("", "SUM(?c2, sie:hasTemperature) >= 100"));
+        assert!(!cq.pane_combinable());
+    }
+
+    /// Pane-combined distributed ticks produce exactly the local reference
+    /// output, and disabling the pane path at runtime falls back to
+    /// full-window shipping with the same result.
+    #[test]
+    fn pane_ticks_match_local_ticks() {
+        // Sensor 10 averages 74.5 over the ramp, sensor 11 averages 85.5:
+        // threshold 80 fires for sensor 11 only.
+        let (cq, db) = registered_text(&agg_query("", "AVG(?c2, sie:hasValue) >= 80"));
+        assert!(cq.pane_combinable());
+        let loopback = Loopback { db: db.clone() };
+        for tick_ms in [1_000, 604_000, 609_000, 700_000] {
+            let local = cq.tick(&db, &WCache::new(), tick_ms).unwrap();
+            let paned = cq
+                .tick_via(&db, &WCache::new(), tick_ms, Some(&loopback))
+                .unwrap();
+            assert_eq!(local.window_id, paned.window_id);
+            assert_eq!(local.triples, paned.triples, "tick {tick_ms}");
+            assert_eq!(local.satisfied, paned.satisfied);
+            assert_eq!(local.tuples_in_window, paned.tuples_in_window);
+            cq.set_pane_aggregation(false);
+            let rescan = cq
+                .tick_via(&db, &WCache::new(), tick_ms, Some(&loopback))
+                .unwrap();
+            cq.set_pane_aggregation(true);
+            assert_eq!(local.triples, rescan.triples, "rescan tick {tick_ms}");
+        }
+        let alarm = cq.tick(&db, &WCache::new(), 609_000).unwrap();
+        assert_eq!(alarm.satisfied, 1);
+        assert_eq!(
+            alarm.triples[0].subject,
+            Term::iri("http://siemens.example/data/sensor/11")
+        );
+    }
+
+    /// A declined-analysis query (aggregate AND graph pattern) still ticks
+    /// identically through the full-window fragment fallback.
+    #[test]
+    fn declined_analysis_falls_back_to_window_shipping() {
+        let (cq, db) = registered_text(&agg_query(
+            "",
+            "SUM(?c2, sie:hasValue) >= 100 AND EXISTS ?k IN seq: GRAPH ?k { ?c2 sie:showsFailure }",
+        ));
+        assert!(!cq.pane_combinable());
+        let loopback = Loopback { db: db.clone() };
+        for tick_ms in [604_000, 609_000, 700_000] {
+            let local = cq.tick(&db, &WCache::new(), tick_ms).unwrap();
+            let shipped = cq
+                .tick_via(&db, &WCache::new(), tick_ms, Some(&loopback))
+                .unwrap();
+            assert_eq!(local.triples, shipped.triples, "tick {tick_ms}");
+            assert_eq!(shipped.pane_hits + shipped.pane_misses, 0, "no pane probe");
+        }
+        // Only the failing-and-heavy sensor 10 fires at 609 s.
+        let out = cq.tick(&db, &WCache::new(), 609_000).unwrap();
+        assert_eq!(out.satisfied, 1);
+        assert_eq!(
+            out.triples[0].subject,
+            Term::iri("http://siemens.example/data/sensor/10")
+        );
+    }
+
+    /// ISTREAM emits an alarm only on the tick where it first appears;
+    /// steady-state re-confirmations are empty deltas.
+    #[test]
+    fn istream_emits_only_new_alarms() {
+        let (cq, db) = registered_text(&agg_query("ISTREAM", "AVG(?c2, sie:hasValue) >= 80"));
+        assert_eq!(cq.output_mode(), OutputMode::IStream);
+        let wcache = WCache::new();
+        let first = cq.tick(&db, &wcache, 609_000).unwrap();
+        assert_eq!(first.triples.len(), 1, "first appearance streams out");
+        assert_eq!(first.satisfied, 1, "satisfaction accounting is pre-differ");
+        let second = cq.tick(&db, &wcache, 610_000).unwrap();
+        assert_eq!(second.satisfied, 1, "alarm still holds");
+        assert!(second.triples.is_empty(), "unchanged relation, empty delta");
+    }
+
+    /// DSTREAM emits an alarm only when it disappears.
+    #[test]
+    fn dstream_emits_dropped_alarms() {
+        let (cq, db) = registered_text(&agg_query("DSTREAM", "AVG(?c2, sie:hasValue) >= 80"));
+        let wcache = WCache::new();
+        let present = cq.tick(&db, &wcache, 609_000).unwrap();
+        assert_eq!(present.satisfied, 1);
+        assert!(present.triples.is_empty(), "nothing dropped yet");
+        // The window (690s, 700s] is empty: the alarm disappears.
+        let gone = cq.tick(&db, &wcache, 700_000).unwrap();
+        assert_eq!(gone.satisfied, 0);
+        assert_eq!(gone.triples.len(), 1, "the dropped alarm streams out");
+        assert_eq!(
+            gone.triples[0].subject,
+            Term::iri("http://siemens.example/data/sensor/11")
+        );
     }
 
     #[test]

@@ -16,12 +16,49 @@
 //! requirement): evaluation enumerates the condition's satisfying
 //! assignments and checks the consequent under each.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use optique_rdf::{Iri, Term};
+use optique_relational::AggAcc;
 use optique_rewrite::{Atom, ConjunctiveQuery, QueryTerm};
 
 use crate::sequence::StateSequence;
+
+/// Window-aggregate functions usable in HAVING atoms like
+/// `SUM(?c, sie:hasValue) >= 100`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFunc {
+    /// Number of non-null values.
+    Count,
+    /// Sum of numeric values.
+    Sum,
+    /// Arithmetic mean of numeric values.
+    Avg,
+    /// Smallest numeric value.
+    Min,
+    /// Largest numeric value.
+    Max,
+}
+
+impl AggFunc {
+    /// Parses an aggregate keyword (case-insensitive); `None` for any other
+    /// identifier, so ordinary macro namespaces keep working.
+    pub fn from_keyword(word: &str) -> Option<AggFunc> {
+        match word.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// Per-subject window aggregates handed to the evaluator for a tick: the
+/// group key is the minted subject term (one group per sensor), the value
+/// the combined accumulator over the window's tuples.
+pub type AggContext = BTreeMap<Term, AggAcc>;
 
 /// Comparison operators in value comparisons.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -153,6 +190,20 @@ pub enum ProtoFormula {
         name: String,
         /// Actual arguments.
         args: Vec<ProtoTerm>,
+    },
+    /// `SUM(?c, sie:hasValue) >= 100` — a window aggregate over one
+    /// subject's values of a property, compared against a threshold.
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The grouped subject (a WHERE variable or a constant IRI).
+        subject: ProtoTerm,
+        /// The aggregated value property.
+        property: ProtoPred,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Threshold term (a numeric literal or a bound variable).
+        threshold: ProtoTerm,
     },
 }
 
@@ -298,6 +349,19 @@ fn expand_with(
             }
             expand_with(&def.body, macros, &inner, depth + 1)?
         }
+        ProtoFormula::Agg {
+            func,
+            subject,
+            property,
+            op,
+            threshold,
+        } => HavingFormula::Agg {
+            func: *func,
+            subject: resolve_term(subject)?,
+            property: resolve_pred(property)?,
+            op: *op,
+            threshold: resolve_term(threshold)?,
+        },
     })
 }
 
@@ -359,6 +423,24 @@ pub enum HavingFormula {
         /// Right term.
         right: QueryTerm,
     },
+    /// Window aggregate comparison: `FUNC(subject, property) op threshold`.
+    ///
+    /// Evaluated against the tick's [`AggContext`] (per-subject accumulators
+    /// over the whole window), not against individual states — which is what
+    /// lets the engine answer it from pane partials without materializing
+    /// the window.
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The grouped subject.
+        subject: QueryTerm,
+        /// The aggregated value property.
+        property: Iri,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Threshold term.
+        threshold: QueryTerm,
+    },
 }
 
 /// Evaluation environment: state variables → state indices, value
@@ -373,14 +455,26 @@ pub struct Env {
 
 impl HavingFormula {
     /// Evaluates the formula over a state sequence under an environment
-    /// binding its free variables.
+    /// binding its free variables. Formulas containing [`HavingFormula::Agg`]
+    /// atoms need [`HavingFormula::eval_with`] and an aggregate context.
     pub fn eval(&self, seq: &StateSequence, env: &Env) -> Result<bool, String> {
+        self.eval_with(seq, env, None)
+    }
+
+    /// Evaluates the formula, additionally supplying the tick's per-subject
+    /// window aggregates for [`HavingFormula::Agg`] atoms.
+    pub fn eval_with(
+        &self,
+        seq: &StateSequence,
+        env: &Env,
+        aggs: Option<&AggContext>,
+    ) -> Result<bool, String> {
         match self {
             HavingFormula::True => Ok(true),
             HavingFormula::Exists { state_vars, body } => {
                 let n = seq.states.len();
                 let mut env = env.clone();
-                exists_rec(state_vars, 0, n, &mut env, |e| body.eval(seq, e))
+                exists_rec(state_vars, 0, n, &mut env, |e| body.eval_with(seq, e, aggs))
             }
             HavingFormula::Forall {
                 state_vars,
@@ -391,13 +485,13 @@ impl HavingFormula {
                 // IF) handles value-variable range restriction.
                 let n = seq.states.len();
                 let mut env = env.clone();
-                forall_rec(state_vars, 0, n, &mut env, |e| body.eval(seq, e))
+                forall_rec(state_vars, 0, n, &mut env, |e| body.eval_with(seq, e, aggs))
             }
             HavingFormula::If { cond, then } => {
                 // For every satisfying extension of the antecedent, the
                 // consequent must hold.
-                for extended in cond.satisfying_assignments(seq, env)? {
-                    if !then.eval(seq, &extended)? {
+                for extended in cond.satisfying_assignments(seq, env, aggs)? {
+                    if !then.eval_with(seq, &extended, aggs)? {
                         return Ok(false);
                     }
                 }
@@ -408,10 +502,12 @@ impl HavingFormula {
                 // graph patterns produce: `GRAPH ?k {?s :v ?x} AND ?x >= 95`
                 // holds when SOME match of the pattern satisfies the
                 // comparison. Non-binding conjuncts act as boolean filters.
-                Ok(!self.satisfying_assignments(seq, env)?.is_empty())
+                Ok(!self.satisfying_assignments(seq, env, aggs)?.is_empty())
             }
-            HavingFormula::Or(a, b) => Ok(a.eval(seq, env)? || b.eval(seq, env)?),
-            HavingFormula::Not(a) => Ok(!a.eval(seq, env)?),
+            HavingFormula::Or(a, b) => {
+                Ok(a.eval_with(seq, env, aggs)? || b.eval_with(seq, env, aggs)?)
+            }
+            HavingFormula::Not(a) => Ok(!a.eval_with(seq, env, aggs)?),
             HavingFormula::StateLess { left, right } => {
                 let r = lookup_state(env, right)?;
                 for l in left {
@@ -436,18 +532,56 @@ impl HavingFormula {
                 let r = lookup_value(env, right)?;
                 Ok(op.test(compare_terms(&l, &r)))
             }
+            HavingFormula::Agg {
+                func,
+                subject,
+                property: _,
+                op,
+                threshold,
+            } => {
+                let Some(ctx) = aggs else {
+                    return Err(
+                        "aggregate atom requires a windowed aggregate context (eval_with)".into(),
+                    );
+                };
+                let subj = lookup_value(env, subject)?;
+                let threshold = match lookup_value(env, threshold)? {
+                    Term::Literal(lit) => lit
+                        .as_f64()
+                        .ok_or_else(|| format!("aggregate threshold {lit:?} is not numeric"))?,
+                    other => return Err(format!("aggregate threshold {other:?} is not a literal")),
+                };
+                let acc = ctx.get(&subj);
+                // A subject with no rows in the window has COUNT 0 but no
+                // defined SUM/AVG/MIN/MAX — those comparisons are false.
+                let value = match (func, acc) {
+                    (AggFunc::Count, None) => Some(0.0),
+                    (AggFunc::Count, Some(a)) => Some(a.count as f64),
+                    (_, None) => None,
+                    (AggFunc::Sum, Some(a)) => (a.count > 0).then(|| a.sum()),
+                    (AggFunc::Avg, Some(a)) => (a.count > 0).then(|| a.sum() / a.count as f64),
+                    (AggFunc::Min, Some(a)) => a.min,
+                    (AggFunc::Max, Some(a)) => a.max,
+                };
+                Ok(value.is_some_and(|v| op.test(v.total_cmp(&threshold))))
+            }
         }
     }
 
     /// Enumerates the environments extending `env` that satisfy this
     /// formula — defined for the conjunctive fragment (AND / Graph /
     /// StateLess / Cmp); other connectives act as boolean filters.
-    fn satisfying_assignments(&self, seq: &StateSequence, env: &Env) -> Result<Vec<Env>, String> {
+    fn satisfying_assignments(
+        &self,
+        seq: &StateSequence,
+        env: &Env,
+        aggs: Option<&AggContext>,
+    ) -> Result<Vec<Env>, String> {
         match self {
             HavingFormula::And(a, b) => {
                 let mut out = Vec::new();
-                for e in a.satisfying_assignments(seq, env)? {
-                    out.extend(b.satisfying_assignments(seq, &e)?);
+                for e in a.satisfying_assignments(seq, env, aggs)? {
+                    out.extend(b.satisfying_assignments(seq, &e, aggs)?);
                 }
                 Ok(out)
             }
@@ -472,7 +606,7 @@ impl HavingFormula {
                 Ok(out)
             }
             other => {
-                if other.eval(seq, env)? {
+                if other.eval_with(seq, env, aggs)? {
                     Ok(vec![env.clone()])
                 } else {
                     Ok(vec![])
@@ -634,6 +768,10 @@ impl HavingFormula {
                     walk(b, out);
                 }
                 HavingFormula::Not(a) => walk(a, out),
+                // Aggregate atoms group by subject exactly as graph atoms
+                // match by subject: the restriction machinery must keep every
+                // aggregated subject's rows in the shipped window.
+                HavingFormula::Agg { subject, .. } => out.push(subject),
                 HavingFormula::True
                 | HavingFormula::StateLess { .. }
                 | HavingFormula::Cmp { .. } => {}
@@ -651,10 +789,15 @@ impl HavingFormula {
     /// stream key.
     pub fn restriction_safe(&self) -> bool {
         match self {
+            // An aggregate atom reads only its own subject's group; the
+            // restricted window keeps all rows of every bound subject (and
+            // of every inverted constant subject — `graph_subjects` reports
+            // them), so the group's accumulator is unchanged.
             HavingFormula::True
             | HavingFormula::StateLess { .. }
             | HavingFormula::Graph { .. }
-            | HavingFormula::Cmp { .. } => true,
+            | HavingFormula::Cmp { .. }
+            | HavingFormula::Agg { .. } => true,
             HavingFormula::Not(_) => false,
             HavingFormula::And(a, b) | HavingFormula::Or(a, b) => {
                 a.restriction_safe() && b.restriction_safe()
@@ -1113,6 +1256,152 @@ mod tests {
             args: vec![],
         };
         assert!(expand(&call, &[]).is_err());
+    }
+
+    fn agg_formula(func: AggFunc, op: CmpOp, threshold: f64) -> HavingFormula {
+        HavingFormula::Agg {
+            func,
+            subject: QueryTerm::var("c"),
+            property: iri("hasValue"),
+            op,
+            threshold: QueryTerm::Const(Term::Literal(Literal::double(threshold))),
+        }
+    }
+
+    fn agg_ctx() -> AggContext {
+        let mut acc = AggAcc::default();
+        for v in [70.0, 75.0, 80.0] {
+            acc.observe(&optique_relational::Value::Float(v)).unwrap();
+        }
+        let mut ctx = AggContext::new();
+        ctx.insert(sensor(1), acc);
+        ctx
+    }
+
+    #[test]
+    fn agg_atoms_evaluate_against_the_context() {
+        let seq = StateSequence { states: vec![] };
+        let ctx = agg_ctx();
+        let env = env_with_sensor(1);
+        let cases = [
+            (AggFunc::Sum, CmpOp::Ge, 225.0, true),
+            (AggFunc::Sum, CmpOp::Gt, 225.0, false),
+            (AggFunc::Count, CmpOp::Eq, 3.0, true),
+            (AggFunc::Avg, CmpOp::Eq, 75.0, true),
+            (AggFunc::Min, CmpOp::Eq, 70.0, true),
+            (AggFunc::Max, CmpOp::Eq, 80.0, true),
+        ];
+        for (func, op, t, expect) in cases {
+            let f = agg_formula(func, op, t);
+            assert_eq!(
+                f.eval_with(&seq, &env, Some(&ctx)).unwrap(),
+                expect,
+                "{func:?} {op:?} {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_group_counts_zero_and_fails_other_aggregates() {
+        let seq = StateSequence { states: vec![] };
+        let ctx = agg_ctx();
+        let env = env_with_sensor(2); // no group for sensor 2
+        assert!(agg_formula(AggFunc::Count, CmpOp::Eq, 0.0)
+            .eval_with(&seq, &env, Some(&ctx))
+            .unwrap());
+        for func in [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            assert!(
+                !agg_formula(func, CmpOp::Ge, -1e18)
+                    .eval_with(&seq, &env, Some(&ctx))
+                    .unwrap(),
+                "{func:?} over an empty group must not satisfy any comparison"
+            );
+        }
+    }
+
+    #[test]
+    fn agg_without_context_is_an_error() {
+        let seq = StateSequence { states: vec![] };
+        assert!(agg_formula(AggFunc::Sum, CmpOp::Ge, 0.0)
+            .eval(&seq, &env_with_sensor(1))
+            .is_err());
+    }
+
+    #[test]
+    fn agg_combines_with_connectives_and_graph_atoms() {
+        let seq = rising_sequence();
+        let ctx = agg_ctx();
+        let env = env_with_sensor(1);
+        // AND with a graph pattern: both sides must hold.
+        let combo = HavingFormula::And(
+            Box::new(HavingFormula::Exists {
+                state_vars: vec!["k".into()],
+                body: Box::new(HavingFormula::Graph {
+                    state: "k".into(),
+                    atoms: vec![Atom::class(iri("showsFailure"), QueryTerm::var("c"))],
+                }),
+            }),
+            Box::new(agg_formula(AggFunc::Max, CmpOp::Ge, 80.0)),
+        );
+        assert!(combo.eval_with(&seq, &env, Some(&ctx)).unwrap());
+        let failing = HavingFormula::And(
+            Box::new(HavingFormula::True),
+            Box::new(agg_formula(AggFunc::Max, CmpOp::Gt, 80.0)),
+        );
+        assert!(!failing.eval_with(&seq, &env, Some(&ctx)).unwrap());
+    }
+
+    #[test]
+    fn agg_is_restriction_safe_and_reports_its_subject() {
+        let f = agg_formula(AggFunc::Sum, CmpOp::Ge, 100.0);
+        assert!(f.restriction_safe());
+        let subjects = f.graph_subjects();
+        assert_eq!(subjects.len(), 1);
+        assert!(matches!(subjects[0], QueryTerm::Var(v) if v == "c"));
+        // But an aggregate never guards a state variable: EXISTS over an
+        // agg-only body stays unsafe.
+        let unguarded = HavingFormula::Exists {
+            state_vars: vec!["k".into()],
+            body: Box::new(agg_formula(AggFunc::Sum, CmpOp::Ge, 100.0)),
+        };
+        assert!(!unguarded.restriction_safe());
+    }
+
+    #[test]
+    fn agg_expands_through_macros() {
+        use crate::ast::AggregateDef;
+        let def = AggregateDef {
+            namespace: "THRESH".into(),
+            name: "SUMGE".into(),
+            params: vec!["var".into(), "attr".into()],
+            body: ProtoFormula::Agg {
+                func: AggFunc::Sum,
+                subject: ProtoTerm::Param("var".into()),
+                property: ProtoPred::Param("attr".into()),
+                op: CmpOp::Ge,
+                threshold: ProtoTerm::Const(Term::Literal(Literal::integer(100))),
+            },
+        };
+        let call = ProtoFormula::MacroCall {
+            namespace: "THRESH".into(),
+            name: "SUMGE".into(),
+            args: vec![
+                ProtoTerm::Var("c".into()),
+                ProtoTerm::Const(Term::Iri(iri("hasValue"))),
+            ],
+        };
+        let HavingFormula::Agg {
+            func,
+            subject,
+            property,
+            ..
+        } = expand(&call, &[def]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(func, AggFunc::Sum);
+        assert_eq!(subject, QueryTerm::var("c"));
+        assert_eq!(property, iri("hasValue"));
     }
 
     #[test]

@@ -3,9 +3,11 @@
 use optique_rdf::{Iri, Literal, Namespaces, Term};
 use optique_rewrite::{Atom, QueryTerm};
 
-use crate::ast::{AggregateDef, PulseClause, SequenceMethod, StarQlQuery, StreamClause};
+use crate::ast::{
+    AggregateDef, OutputMode, PulseClause, SequenceMethod, StarQlQuery, StreamClause,
+};
 use crate::duration::{parse_clock_ms, parse_duration_ms};
-use crate::having::{CmpOp, ProtoAtom, ProtoFormula, ProtoPred, ProtoTerm};
+use crate::having::{AggFunc, CmpOp, ProtoAtom, ProtoFormula, ProtoPred, ProtoTerm};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// Parse failure with positional context.
@@ -178,6 +180,16 @@ impl Parser {
         let output_stream = self.expect_ident()?;
         self.expect_kw("AS")?;
 
+        // Optional CQL relation-to-stream operator before CONSTRUCT.
+        let output_mode = if self.eat_kw("ISTREAM") {
+            OutputMode::IStream
+        } else if self.eat_kw("DSTREAM") {
+            OutputMode::DStream
+        } else {
+            self.eat_kw("RSTREAM");
+            OutputMode::RStream
+        };
+
         self.expect_kw("CONSTRUCT")?;
         self.expect_kw("GRAPH")?;
         self.expect_kw("NOW")?;
@@ -267,6 +279,7 @@ impl Parser {
 
         Ok(StarQlQuery {
             output_stream,
+            output_mode,
             construct,
             stream,
             static_data,
@@ -591,8 +604,16 @@ impl Parser {
             self.expect(&TokenKind::RParen)?;
             return Ok(inner);
         }
-        // Macro call: IDENT(.IDENT)?(…) — possibly a CURIE-shaped name.
+        // Window aggregate atom: SUM(?c, sie:hasValue) >= 100. The keyword
+        // must be directly followed by `(` — `SUM.NAME(…)` stays a macro
+        // call in the SUM namespace.
         if let Some(TokenKind::Ident(word)) = self.peek().cloned() {
+            if let Some(func) = AggFunc::from_keyword(&word) {
+                if matches!(self.peek2(), Some(TokenKind::LParen)) {
+                    return self.parse_agg_atom(func);
+                }
+            }
+            // Macro call: IDENT(.IDENT)?(…) — possibly a CURIE-shaped name.
             return self.parse_macro_call(word);
         }
         // Comparisons starting with a variable (or term).
@@ -687,6 +708,39 @@ impl Parser {
         })
     }
 
+    /// `FUNC(subject, property) op threshold` — a window-aggregate atom.
+    fn parse_agg_atom(&mut self, func: AggFunc) -> Result<ProtoFormula, StarQlError> {
+        self.pos += 1; // the aggregate keyword
+        self.expect(&TokenKind::LParen)?;
+        let subject = self.parse_proto_term()?;
+        self.expect(&TokenKind::Comma)?;
+        let property = self.parse_proto_pred()?;
+        self.expect(&TokenKind::RParen)?;
+        let op = self.parse_cmp_op()?;
+        let threshold = self.parse_proto_term()?;
+        Ok(ProtoFormula::Agg {
+            func,
+            subject,
+            property,
+            op,
+            threshold,
+        })
+    }
+
+    fn parse_cmp_op(&mut self) -> Result<CmpOp, StarQlError> {
+        let op = match self.peek() {
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            Some(TokenKind::Eq) => CmpOp::Eq,
+            Some(TokenKind::Ne) => CmpOp::Ne,
+            other => return Err(self.err(format!("expected comparison operator, got {other:?}"))),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
     /// `?i, ?j < ?k` (state order) or `?x <= ?y` (value comparison).
     fn parse_comparison(&mut self) -> Result<ProtoFormula, StarQlError> {
         let first = self.parse_proto_term()?;
@@ -698,16 +752,7 @@ impl Parser {
             self.pos += 1;
             list.push(self.parse_proto_term()?);
         }
-        let op = match self.peek() {
-            Some(TokenKind::Lt) => CmpOp::Lt,
-            Some(TokenKind::Le) => CmpOp::Le,
-            Some(TokenKind::Gt) => CmpOp::Gt,
-            Some(TokenKind::Ge) => CmpOp::Ge,
-            Some(TokenKind::Eq) => CmpOp::Eq,
-            Some(TokenKind::Ne) => CmpOp::Ne,
-            other => return Err(self.err(format!("expected comparison operator, got {other:?}"))),
-        };
-        self.pos += 1;
+        let op = self.parse_cmp_op()?;
         let right = self.parse_proto_term()?;
 
         // State-order form: `<` with every operand a state variable.
@@ -893,6 +938,113 @@ mod tests {
         };
         assert_eq!(class.local_name(), "MonInc");
         assert_eq!(arg, &QueryTerm::var("c2"));
+    }
+
+    fn with_output_mode(mode_kw: &str) -> String {
+        format!(
+            r#"
+            PREFIX sie: <http://siemens.example/ontology#>
+            CREATE STREAM s AS {mode_kw}
+            CONSTRUCT GRAPH NOW {{ ?x a sie:Alert }}
+            FROM STREAM S [NOW-"PT2S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration
+            WHERE {{ ?x a sie:Sensor }}
+            SEQUENCE BY StdSeq AS seq
+            HAVING SUM(?x, sie:hasValue) >= 100
+            "#
+        )
+    }
+
+    #[test]
+    fn output_mode_defaults_to_rstream() {
+        let q = parse_starql(FIGURE1, &ns()).unwrap();
+        assert_eq!(q.output_mode, OutputMode::RStream);
+    }
+
+    #[test]
+    fn output_mode_keywords_parse() {
+        for (kw, mode) in [
+            ("RSTREAM", OutputMode::RStream),
+            ("ISTREAM", OutputMode::IStream),
+            ("DSTREAM", OutputMode::DStream),
+            ("istream", OutputMode::IStream),
+            ("", OutputMode::RStream),
+        ] {
+            let q = parse_starql(&with_output_mode(kw), &ns()).unwrap();
+            assert_eq!(q.output_mode, mode, "keyword {kw:?}");
+        }
+    }
+
+    #[test]
+    fn agg_atom_parses() {
+        let q = parse_starql(&with_output_mode(""), &ns()).unwrap();
+        let formula = expand(&q.having, &q.aggregates).unwrap();
+        let crate::having::HavingFormula::Agg {
+            func,
+            subject,
+            property,
+            op,
+            threshold,
+        } = formula
+        else {
+            panic!("expected Agg atom")
+        };
+        assert_eq!(func, AggFunc::Sum);
+        assert_eq!(subject, QueryTerm::var("x"));
+        assert_eq!(property.local_name(), "hasValue");
+        assert_eq!(op, CmpOp::Ge);
+        assert!(
+            matches!(threshold, QueryTerm::Const(Term::Literal(ref l)) if l.as_f64() == Some(100.0))
+        );
+    }
+
+    #[test]
+    fn agg_atoms_combine_with_connectives() {
+        let text = with_output_mode("").replace(
+            "HAVING SUM(?x, sie:hasValue) >= 100",
+            "HAVING COUNT(?x, sie:hasValue) > 3 AND NOT MAX(?x, sie:hasValue) > 95",
+        );
+        let q = parse_starql(&text, &ns()).unwrap();
+        let formula = expand(&q.having, &q.aggregates).unwrap();
+        let crate::having::HavingFormula::And(a, b) = formula else {
+            panic!("expected AND")
+        };
+        assert!(matches!(
+            a.as_ref(),
+            crate::having::HavingFormula::Agg {
+                func: AggFunc::Count,
+                ..
+            }
+        ));
+        let crate::having::HavingFormula::Not(inner) = b.as_ref() else {
+            panic!("expected NOT")
+        };
+        assert!(matches!(
+            inner.as_ref(),
+            crate::having::HavingFormula::Agg {
+                func: AggFunc::Max,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn dotted_agg_keyword_stays_a_macro_call() {
+        // `SUM.NAME(...)` is a macro in the SUM namespace, not an aggregate.
+        let text =
+            with_output_mode("").replace("HAVING SUM(?x, sie:hasValue) >= 100", "HAVING SUM.X(?x)");
+        let q = parse_starql(&text, &ns()).unwrap();
+        assert!(matches!(
+            q.having,
+            ProtoFormula::MacroCall { ref namespace, .. } if namespace == "SUM"
+        ));
+    }
+
+    #[test]
+    fn bare_identifier_in_having_still_errors() {
+        let text =
+            with_output_mode("").replace("HAVING SUM(?x, sie:hasValue) >= 100", "HAVING bogus");
+        let err = parse_starql(&text, &ns()).unwrap_err();
+        assert!(err.message.contains("bare identifier"));
     }
 
     #[test]

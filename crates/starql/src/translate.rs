@@ -354,6 +354,15 @@ fn collect_having_vars(f: &HavingFormula, out: &mut BTreeSet<String>) {
                 }
             }
         }
+        HavingFormula::Agg {
+            subject, threshold, ..
+        } => {
+            for t in [subject, threshold] {
+                if let QueryTerm::Var(v) = t {
+                    out.insert(v.clone());
+                }
+            }
+        }
     }
 }
 
@@ -381,6 +390,9 @@ fn having_properties(f: &HavingFormula) -> BTreeSet<optique_rdf::Iri> {
                 walk(b, out);
             }
             HavingFormula::Not(a) => walk(a, out),
+            HavingFormula::Agg { property, .. } => {
+                out.insert(property.clone());
+            }
             _ => {}
         }
     }

@@ -29,6 +29,7 @@ pub mod wcache;
 pub mod window;
 
 pub use pulse::Pulse;
+pub use r2s::{dstream, istream, rstream, StreamDiffer};
 pub use registry::register_stream_functions;
 pub use stream::Stream;
 pub use wcache::WCache;

@@ -4,20 +4,25 @@
 //! contents; these operators turn the tick-indexed sequence of relations
 //! back into a stream: `RStream` emits each whole relation, `IStream` emits
 //! insertions w.r.t. the previous tick, `DStream` emits deletions.
+//!
+//! The operators are generic over the tuple type: the relational layer
+//! diffs `Vec<Value>` rows (the default), while the STARQL engine diffs the
+//! RDF triples a tick constructs — one differ per registered query turns
+//! its per-tick graph sequence into a delta stream.
 
 use std::collections::BTreeMap;
 
 use optique_relational::Value;
 
-/// Multiset difference `a − b` over rows.
-fn multiset_diff(a: &[Vec<Value>], b: &[Vec<Value>]) -> Vec<Vec<Value>> {
-    let mut counts: BTreeMap<&[Value], isize> = BTreeMap::new();
+/// Multiset difference `a − b` over tuples.
+fn multiset_diff<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut counts: BTreeMap<&T, isize> = BTreeMap::new();
     for row in b {
-        *counts.entry(row.as_slice()).or_insert(0) += 1;
+        *counts.entry(row).or_insert(0) += 1;
     }
     let mut out = Vec::new();
     for row in a {
-        let slot = counts.entry(row.as_slice()).or_insert(0);
+        let slot = counts.entry(row).or_insert(0);
         if *slot > 0 {
             *slot -= 1;
         } else {
@@ -28,34 +33,42 @@ fn multiset_diff(a: &[Vec<Value>], b: &[Vec<Value>]) -> Vec<Vec<Value>> {
 }
 
 /// `RStream`: the relation at this tick, unchanged.
-pub fn rstream(current: &[Vec<Value>]) -> Vec<Vec<Value>> {
+pub fn rstream<T: Clone>(current: &[T]) -> Vec<T> {
     current.to_vec()
 }
 
-/// `IStream`: rows present now but not at the previous tick (multiset).
-pub fn istream(previous: &[Vec<Value>], current: &[Vec<Value>]) -> Vec<Vec<Value>> {
+/// `IStream`: tuples present now but not at the previous tick (multiset).
+pub fn istream<T: Ord + Clone>(previous: &[T], current: &[T]) -> Vec<T> {
     multiset_diff(current, previous)
 }
 
-/// `DStream`: rows present at the previous tick but not now (multiset).
-pub fn dstream(previous: &[Vec<Value>], current: &[Vec<Value>]) -> Vec<Vec<Value>> {
+/// `DStream`: tuples present at the previous tick but not now (multiset).
+pub fn dstream<T: Ord + Clone>(previous: &[T], current: &[T]) -> Vec<T> {
     multiset_diff(previous, current)
 }
 
 /// Stateful wrapper that tracks the previous tick for repeated application.
-#[derive(Debug, Default, Clone)]
-pub struct StreamDiffer {
-    previous: Vec<Vec<Value>>,
+#[derive(Debug, Clone)]
+pub struct StreamDiffer<T = Vec<Value>> {
+    previous: Vec<T>,
 }
 
-impl StreamDiffer {
+impl<T> Default for StreamDiffer<T> {
+    fn default() -> Self {
+        StreamDiffer {
+            previous: Vec::new(),
+        }
+    }
+}
+
+impl<T: Ord + Clone> StreamDiffer<T> {
     /// Fresh differ with an empty previous relation.
     pub fn new() -> Self {
         StreamDiffer::default()
     }
 
     /// Advances one tick, returning `(inserted, deleted)`.
-    pub fn tick(&mut self, current: Vec<Vec<Value>>) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    pub fn tick(&mut self, current: Vec<T>) -> (Vec<T>, Vec<T>) {
         let ins = istream(&self.previous, &current);
         let del = dstream(&self.previous, &current);
         self.previous = current;
@@ -109,5 +122,14 @@ mod tests {
     fn empty_relations() {
         assert!(istream(&r(&[]), &r(&[])).is_empty());
         assert!(dstream(&r(&[]), &r(&[])).is_empty());
+    }
+
+    #[test]
+    fn differ_is_generic_over_tuple_type() {
+        // The STARQL engine diffs plain strings-of-triples shapes; any Ord
+        // tuple works.
+        let mut d: StreamDiffer<&'static str> = StreamDiffer::new();
+        assert_eq!(d.tick(vec!["a", "b"]), (vec!["a", "b"], vec![]));
+        assert_eq!(d.tick(vec!["b", "c"]), (vec!["c"], vec!["a"]));
     }
 }

@@ -172,3 +172,82 @@ fn differ_handles_empty_and_identical_ticks() {
     assert!(ins.is_empty(), "identical relation inserts nothing");
     assert!(del.is_empty());
 }
+
+#[test]
+fn first_tick_is_all_insertions_and_no_deletions() {
+    // IStream's previous relation starts empty: the very first non-empty
+    // tick inserts everything and deletes nothing — there is no phantom
+    // deletion of a "pre-stream" state.
+    let mut d = StreamDiffer::new();
+    let rel = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+    let (ins, del) = d.tick(rel.clone());
+    assert_eq!(ins, rel, "first tick: every tuple is new");
+    assert!(del.is_empty(), "nothing existed to delete");
+}
+
+#[test]
+fn empty_delta_ticks_emit_nothing_until_the_relation_changes() {
+    // A stable relation produces a silent IStream/DStream for any number
+    // of ticks; the next genuine change surfaces exactly the delta.
+    let mut d = StreamDiffer::new();
+    let rel = vec![vec![Value::Int(7)]];
+    let _ = d.tick(rel.clone());
+    for _ in 0..5 {
+        let (ins, del) = d.tick(rel.clone());
+        assert!(ins.is_empty() && del.is_empty(), "quiet tick stays quiet");
+    }
+    let (ins, del) = d.tick(vec![vec![Value::Int(8)]]);
+    assert_eq!(ins, vec![vec![Value::Int(8)]]);
+    assert_eq!(del, vec![vec![Value::Int(7)]]);
+}
+
+#[test]
+fn relation_emptying_emits_full_dstream() {
+    // The relation dropping to empty is a pure DStream tick — and staying
+    // empty afterwards is a quiet tick, not a repeated deletion.
+    let mut d = StreamDiffer::new();
+    let rel = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+    let _ = d.tick(rel.clone());
+    let (ins, del) = d.tick(vec![]);
+    assert!(ins.is_empty());
+    assert_eq!(del, rel, "every tuple deletes exactly once");
+    let (ins, del) = d.tick(vec![]);
+    assert!(ins.is_empty() && del.is_empty(), "no repeated deletions");
+}
+
+#[test]
+fn differ_diffs_duplicate_rows_as_multisets() {
+    // Duplicate rows are counted, not collapsed: going 2×a → 3×a inserts
+    // one copy; 3×a → 1×a deletes two copies; and a swap of equal-count
+    // duplicates is a no-op.
+    let a = || vec![Value::Int(1)];
+    let mut d = StreamDiffer::new();
+    let _ = d.tick(vec![a(), a()]);
+    let (ins, del) = d.tick(vec![a(), a(), a()]);
+    assert_eq!(ins.len(), 1, "one extra copy inserts once");
+    assert!(del.is_empty());
+    let (ins, del) = d.tick(vec![a()]);
+    assert!(ins.is_empty());
+    assert_eq!(del.len(), 2, "two lost copies delete twice");
+    let (ins, del) = d.tick(vec![a()]);
+    assert!(ins.is_empty() && del.is_empty());
+}
+
+#[test]
+fn gap_windows_produce_delta_bursts_between_empty_ticks() {
+    // Slide 3 s over range 1 s: consecutive window contents alternate
+    // between covered tuples and gap emptiness, so IStream/DStream fire in
+    // bursts — insert on entering a covered window, delete on leaving it.
+    let w = WindowSpec::new(1_000, 3_000).unwrap();
+    let s = stream_with_times(&[2_500, 5_500]);
+    let mut d: StreamDiffer<Vec<Value>> = StreamDiffer::new();
+    let mut log = Vec::new();
+    for id in 0..3u64 {
+        let (open, close) = w.bounds(0, id);
+        let (ins, del) = d.tick(s.slice(open, close).to_vec());
+        log.push((ins.len(), del.len()));
+    }
+    // Window 0 (-1000,0] empty; window 1 (2000,3000] holds ts 2500;
+    // window 2 (5000,6000] swaps it for ts 5500.
+    assert_eq!(log, vec![(0, 0), (1, 0), (1, 1)]);
+}

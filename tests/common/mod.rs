@@ -389,6 +389,83 @@ pub mod streaming {
         format!("{header}{construct}\n{window}{pulse}{where_clause}\nSEQUENCE BY StdSeq AS seq\n{having}")
     }
 
+    /// Renders an **aggregate-HAVING** program over the stream-static
+    /// join: shapes 0–5 are pure aggregate threshold trees
+    /// (COUNT/SUM/AVG/MIN/MAX and an AND/NOT combination — all
+    /// pane-combinable, so distributed ticks answer from shard-local pane
+    /// partials); shape 6 mixes in an EXISTS graph condition, which the
+    /// pane analysis must decline (ticks fall back to full-window
+    /// shipping). `mode` is the relation-to-stream operator (`""` /
+    /// `"RSTREAM"` / `"ISTREAM"` / `"DSTREAM"`).
+    pub fn agg_program(
+        shape: usize,
+        mode: &str,
+        range_s: i64,
+        slide_s: i64,
+        pulse: bool,
+        knob: i64,
+    ) -> String {
+        let header =
+            format!("PREFIX sie: <{SIE}>\nPREFIX : <{SIE}>\nCREATE STREAM S_out AS {mode}\n");
+        let window = format!(
+            "FROM STREAM S_Msmt [NOW-\"PT{range_s}S\"^^xsd:duration, NOW]->\"PT{slide_s}S\"^^xsd:duration\n"
+        );
+        let pulse = if pulse {
+            "USING PULSE WITH START = \"00:10:00CET\", FREQUENCY = \"PT1S\"\n"
+        } else {
+            ""
+        };
+        // Thresholds span the generated value band (whole numbers only:
+        // whole-valued f64 sums are exact, so pane-merge order cannot
+        // flip a threshold).
+        let threshold = 55 + (knob % 40);
+        let count_cap = 1 + (knob % 20);
+        let having = match shape % 7 {
+            0 => format!("HAVING COUNT(?c2, sie:hasValue) >= {count_cap}"),
+            1 => format!("HAVING SUM(?c2, sie:hasValue) >= {}", threshold * 5),
+            2 => format!("HAVING AVG(?c2, sie:hasValue) >= {threshold}"),
+            3 => format!("HAVING MIN(?c2, sie:hasValue) >= {threshold}"),
+            4 => format!("HAVING MAX(?c2, sie:hasValue) >= {threshold}"),
+            5 => format!(
+                "HAVING MAX(?c2, sie:hasValue) >= {threshold} AND \
+                 NOT COUNT(?c2, sie:hasValue) > {count_cap}"
+            ),
+            _ => format!(
+                "HAVING AVG(?c2, sie:hasValue) >= {threshold} AND \
+                 EXISTS ?k IN seq: GRAPH ?k {{ ?c2 sie:showsFailure }}"
+            ),
+        };
+        format!(
+            "{header}CONSTRUCT GRAPH NOW {{ ?c2 a :AggAlarm }}\n\
+             {window}{pulse}WHERE {{ ?c1 sie:inAssembly ?c2 }}\n\
+             SEQUENCE BY StdSeq AS seq\n{having}"
+        )
+    }
+
+    /// Property-based generator for the **pane** oracle: aggregate program
+    /// shape × output mode × window geometry × a generated whole-valued
+    /// measurement stream (whole values keep float sums order-exact).
+    pub fn pane_case_strategy() -> impl Strategy<Value = StreamingCase> {
+        let row = (0..STREAM_SENSORS, 0i64..12_000, 0i64..100, 0u32..12).prop_map(
+            |(sensor, dt, value, failure)| msmt(600_000 + dt, sensor, value as f64, failure == 0),
+        );
+        (
+            (
+                0usize..7,
+                prop_oneof![Just(""), Just("ISTREAM"), Just("DSTREAM")],
+                prop_oneof![Just(2i64), Just(5i64), Just(10i64)],
+                prop_oneof![Just(1i64), Just(2i64)],
+            ),
+            (0u32..2, 0i64..100, proptest::collection::vec(row, 0..100)),
+        )
+            .prop_map(|((shape, mode, range_s, slide_s), (pulse, knob, rows))| {
+                StreamingCase {
+                    text: agg_program(shape, mode, range_s, slide_s, pulse == 0, knob),
+                    rows,
+                }
+            })
+    }
+
     /// Property-based generator of oracle cases: program shape × window
     /// geometry × pulse × a generated measurement stream.
     pub fn case_strategy() -> impl Strategy<Value = StreamingCase> {
